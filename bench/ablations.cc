@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Design-choice ablations beyond the paper's own figures, for the
+ * decisions DESIGN.md calls out:
+ *
+ *  1. FMAC extension (section 5's what-if): a compute-bound kernel
+ *     with fused multiply-accumulate versus separate mul+add.
+ *  2. Conflict-free address reordering versus routing strided
+ *     accesses through the CR box (what the 2.1 KB ROM buys).
+ *  3. MAF replay-threshold sensitivity under a thrashing L2 (the
+ *     panic-mode livelock guard).
+ *  4. Vector TLB PALcode refill policy (missed lanes vs all lanes)
+ *     on a gather sweeping many 512 MB pages.
+ */
+
+#include <cstdio>
+
+#include <vector>
+
+#include "base/random.hh"
+#include "bench/bench_util.hh"
+#include "program/assembler.hh"
+
+using namespace tarantula;
+using namespace tarantula::bench;
+using namespace tarantula::program;
+
+namespace
+{
+
+/** Compute-bound: four independent accumulation chains in registers. */
+proc::RunResult
+runComputeKernel(bool fmac)
+{
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(3), 4000);
+    a.fconst(F(1), 1.0000001, R(9));
+    a.setvl(128);
+    a.bind(loop);
+    for (unsigned c = 0; c < 4; ++c) {
+        const auto acc = V(1 + 2 * c);
+        const auto src = V(2 + 2 * c);
+        if (fmac) {
+            a.vfmact(acc, src, F(1));
+        } else {
+            a.vmult(V(20 + c), src, F(1));
+            a.vaddt(acc, acc, V(20 + c));
+        }
+    }
+    a.subq(R(3), R(3), 1);
+    a.bgt(R(3), loop);
+    a.halt();
+    Program p = a.finalize();
+    exec::FunctionalMemory mem;
+    proc::Processor pr(proc::tarantulaConfig(), p, mem);
+    return pr.run(1ULL << 30);
+}
+
+void
+fmacAblation()
+{
+    std::printf("\n[1] FMAC extension (section 5 what-if), "
+                "compute-bound kernel\n");
+    const auto base = runComputeKernel(false);
+    const auto fmac = runComputeKernel(true);
+    std::printf("    mul+add: %8llu cycles, %6.2f flops/cycle\n",
+                static_cast<unsigned long long>(base.cycles),
+                base.fpc());
+    std::printf("    FMAC:    %8llu cycles, %6.2f flops/cycle "
+                "(%.2fx fewer cycles; paper: ~2x peak for very\n"
+                "    little extra power)\n",
+                static_cast<unsigned long long>(fmac.cycles),
+                fmac.fpc(),
+                static_cast<double>(base.cycles) / fmac.cycles);
+}
+
+void
+reorderAblation()
+{
+    std::printf("\n[2] Conflict-free reordering vs CR box for strided "
+                "accesses\n");
+    for (const char *name : {"swim_naive", "dgemm"}) {
+        const auto w = workloads::byName(name);
+        const auto with = runOn(proc::tarantulaConfig(), w);
+        auto cfg = proc::tarantulaConfig();
+        cfg.vbox.slicer.forceCrBox = true;
+        cfg.name = "T-crbox";
+        const auto without = runOn(cfg, w);
+        std::printf("    %-12s reorder %8llu cyc, CR-box-only %8llu "
+                    "cyc -> %.2fx slower\n",
+                    name, static_cast<unsigned long long>(with.cycles),
+                    static_cast<unsigned long long>(without.cycles),
+                    static_cast<double>(without.cycles) / with.cycles);
+    }
+}
+
+void
+paddingAblation()
+{
+    std::printf("\n[2b] Radix-sort padding trick: odd chunk count "
+                "(reorderable key stride)\n     vs power-of-two "
+                "(self-conflicting, CR box)\n");
+    const auto tiled = runOn(proc::tarantulaConfig(),
+                             workloads::byName("ccradix"));
+    const auto naive = runOn(proc::tarantulaConfig(),
+                             workloads::byName("radix"));
+    std::printf("    ccradix (padded) %8llu cyc, radix (naive) %8llu "
+                "cyc -> %.2fx slower\n",
+                static_cast<unsigned long long>(tiled.cycles),
+                static_cast<unsigned long long>(naive.cycles),
+                static_cast<double>(naive.cycles) / tiled.cycles);
+}
+
+void
+mafThresholdSweep()
+{
+    std::printf("\n[3] MAF replay-threshold sweep under a thrashing "
+                "L2 (256 KB)\n");
+    const auto w = workloads::byName("rndmemscale");
+    for (unsigned thr : {0u, 2u, 8u, 64u}) {
+        auto cfg = proc::tarantulaConfig();
+        cfg.l2.sizeBytes = 256 << 10;
+        cfg.l2.retryThreshold = thr;
+        cfg.name = "T-thr";
+
+        exec::FunctionalMemory mem;
+        w.init(mem);
+        proc::Processor p(cfg, w.vectorProg, mem);
+        const auto r = p.run(8ULL << 30);
+        const std::string err = w.check(mem);
+        if (!err.empty())
+            fatal("maf sweep: wrong result: %s", err.c_str());
+        std::printf("    threshold %2u: %8llu cycles, %6llu replays, "
+                    "%4llu panics\n",
+                    thr, static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(
+                        p.l2().sliceReplays()),
+                    static_cast<unsigned long long>(
+                        p.l2().panicEntries()));
+    }
+}
+
+/**
+ * Gather whose 128 offsets sweep @p pages distinct 512 MB pages in a
+ * rotating pattern, so different lanes keep needing translations the
+ * missed-lanes policy never prefetched.
+ */
+proc::RunResult
+runPagedGather(tlb::RefillPolicy policy, unsigned pages)
+{
+    constexpr Addr IdxBase = 0x10000;
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 0);                    // gather base
+    a.movi(R(2), IdxBase);
+    a.movi(R(3), 64);                   // iterations
+    a.setvl(128);
+    a.setvs(8);
+    a.bind(loop);
+    a.vldq(V(1), R(2));
+    a.vgathq(V(2), V(1), R(1));
+    a.addq(R(2), R(2), 1024);
+    a.subq(R(3), R(3), 1);
+    a.bgt(R(3), loop);
+    a.halt();
+    Program p = a.finalize();
+
+    exec::FunctionalMemory mem;
+    Random rng(0x77);
+    std::vector<std::uint64_t> idx(64 * 128);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        const std::uint64_t page = rng.below(pages);
+        idx[i] = (page << 29) + 0x400000 + rng.below(512) * 8;
+    }
+    mem.write(IdxBase, idx.data(), idx.size() * 8);
+
+    auto cfg = proc::tarantulaConfig();
+    cfg.vbox.refill = policy;
+    cfg.name = "T-tlb";
+    proc::Processor pr(cfg, p, mem);
+    return pr.run(1ULL << 30);
+}
+
+void
+tlbPolicyAblation()
+{
+    std::printf("\n[4] Vector TLB PALcode refill policy, gather over "
+                "48 distinct 512 MB pages\n");
+    for (auto policy : {tlb::RefillPolicy::MissedLanesOnly,
+                        tlb::RefillPolicy::AllLanes}) {
+        const auto r = runPagedGather(policy, 48);
+        std::printf("    %-16s %8llu cycles\n",
+                    policy == tlb::RefillPolicy::MissedLanesOnly
+                        ? "missed-lanes" : "all-lanes",
+                    static_cast<unsigned long long>(r.cycles));
+    }
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Design-choice ablations (beyond the paper's own "
+                "figures)\n");
+    fmacAblation();
+    reorderAblation();
+    paddingAblation();
+    mafThresholdSweep();
+    tlbPolicyAblation();
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: run a
+ * workload on a machine (with L2 warmup and result checking) and
+ * print aligned tables.
+ */
+
+#ifndef TARANTULA_BENCH_BENCH_UTIL_HH
+#define TARANTULA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "workloads/workload.hh"
+
+namespace tarantula::bench
+{
+
+/** Run @p w on @p cfg; verifies the result and returns the metrics. */
+inline proc::RunResult
+runOn(const proc::MachineConfig &cfg, const workloads::Workload &w,
+      std::uint64_t max_cycles = 8ULL << 30)
+{
+    exec::FunctionalMemory mem;
+    w.init(mem);
+    const auto &prog = cfg.hasVbox ? w.vectorProg : w.scalarProg;
+    proc::Processor p(cfg, prog, mem);
+    for (const auto &r : w.warmRanges) {
+        for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
+            p.l2().warmLine(r.base + o);
+    }
+    auto res = p.run(max_cycles);
+    const std::string err = w.check(mem);
+    if (!err.empty())
+        fatal("%s on %s: wrong result: %s", w.name.c_str(),
+              cfg.name.c_str(), err.c_str());
+    return res;
+}
+
+/** Print a horizontal rule sized for an n-column table. */
+inline void
+rule(unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace tarantula::bench
+
+#endif // TARANTULA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces Figure 6: sustained operations per cycle on Tarantula for
+ * every suite benchmark, broken into flops per cycle (FPC), memory
+ * operations per cycle (MPC) and other (integer/scalar).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace tarantula;
+using namespace tarantula::bench;
+
+int
+main()
+{
+    std::printf("Figure 6: operations per cycle sustained on "
+                "Tarantula\n");
+    std::printf("Paper shape: most benchmarks > 10 OPC, several > 20; "
+                "gather/scatter codes\n");
+    std::printf("(sparse MxV, radix sort) lowest; linpack100 well "
+                "below linpackTPP.\n\n");
+    std::printf("%-12s %8s %8s %8s %8s   %s\n", "benchmark", "OPC",
+                "FPC", "MPC", "Other", "bar");
+    rule(76);
+
+    const auto cfg = proc::tarantulaConfig();
+    for (const auto &w : workloads::figureSuite()) {
+        const auto r = runOn(cfg, w);
+        std::printf("%-12s %8.2f %8.2f %8.2f %8.2f   ",
+                    w.name.c_str(), r.opc(), r.fpc(), r.mpc(),
+                    r.otherPc());
+        const unsigned bars = static_cast<unsigned>(r.opc() / 1.5);
+        for (unsigned i = 0; i < bars && i < 36; ++i)
+            std::putchar('#');
+        std::putchar('\n');
+    }
+    return 0;
+}

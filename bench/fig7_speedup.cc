@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Figure 7: the speedup of EV8+ (EV8 core with Tarantula's
+ * memory system) and of Tarantula itself over the EV8 baseline.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace tarantula;
+using namespace tarantula::bench;
+
+int
+main()
+{
+    std::printf("Figure 7: speedup of EV8+ and Tarantula over EV8\n");
+    std::printf("Paper shape: Tarantula typically >= 5x (peak flop "
+                "ratio is 8x); several\n");
+    std::printf("benchmarks exceed 8x; EV8+ alone explains only a "
+                "small part of the win.\n\n");
+    std::printf("%-12s %10s %10s %10s %10s %10s\n", "benchmark",
+                "EV8 cyc", "EV8+ cyc", "T cyc", "EV8+ spd", "T spd");
+    rule(68);
+
+    const auto ev8 = proc::ev8Config();
+    const auto ev8p = proc::ev8PlusConfig();
+    const auto t = proc::tarantulaConfig();
+
+    double geo_plus = 1.0, geo_t = 1.0;
+    unsigned n = 0;
+    for (const auto &w : workloads::figureSuite()) {
+        const auto re = runOn(ev8, w);
+        const auto rp = runOn(ev8p, w);
+        const auto rt = runOn(t, w);
+        const double s_plus =
+            static_cast<double>(re.cycles) / rp.cycles;
+        const double s_t = static_cast<double>(re.cycles) / rt.cycles;
+        std::printf("%-12s %10llu %10llu %10llu %10.2f %10.2f\n",
+                    w.name.c_str(),
+                    static_cast<unsigned long long>(re.cycles),
+                    static_cast<unsigned long long>(rp.cycles),
+                    static_cast<unsigned long long>(rt.cycles), s_plus,
+                    s_t);
+        geo_plus *= s_plus;
+        geo_t *= s_t;
+        ++n;
+    }
+    if (n) {
+        std::printf("\ngeometric mean speedup: EV8+ %.2fx, Tarantula "
+                    "%.2fx (paper average: ~5x)\n",
+                    std::pow(geo_plus, 1.0 / n),
+                    std::pow(geo_t, 1.0 / n));
+    }
+    return 0;
+}

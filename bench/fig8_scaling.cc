@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figure 8: performance scaling when the core frequency
+ * rises to 4.8 GHz (T4, 1:4 CPU:RAMBUS) and 10.6 GHz (T10, 1:8 to
+ * 1333 MHz parts). Reported as wall-clock speedup over T, so a value
+ * equal to the clock ratio means perfect scaling.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace tarantula;
+using namespace tarantula::bench;
+
+int
+main()
+{
+    std::printf("Figure 8: performance scaling with frequency "
+                "(speedup over T)\n");
+    std::printf("Clock ratios: T4 = 2.25x, T10 = 4.98x. Paper shape: "
+                "cache-resident codes\n");
+    std::printf("scale well; memory-bound codes (sparse MxV) barely "
+                "reach 1.6-1.8x.\n\n");
+    std::printf("%-12s %10s %10s %10s %10s\n", "benchmark", "T cyc",
+                "T4 spd", "T10 spd", "");
+    rule(56);
+
+    const auto t = proc::tarantulaConfig();
+    const auto t4 = proc::tarantula4Config();
+    const auto t10 = proc::tarantula10Config();
+
+    for (const auto &w : workloads::figureSuite()) {
+        const auto rt = runOn(t, w);
+        const auto rt4 = runOn(t4, w);
+        const auto rt10 = runOn(t10, w);
+        std::printf("%-12s %10llu %10.2f %10.2f\n", w.name.c_str(),
+                    static_cast<unsigned long long>(rt.cycles),
+                    rt.seconds() / rt4.seconds(),
+                    rt.seconds() / rt10.seconds());
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Figure 9: relative performance when the stride-1
+ * double-bandwidth PUMP is disabled. Without it, stride-1 bandwidth
+ * halves (16 instead of 32 words/cycle) and every stride-1 request
+ * consumes eight MAF slots instead of one.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace tarantula;
+using namespace tarantula::bench;
+
+int
+main()
+{
+    std::printf("Figure 9: relative performance with the PUMP "
+                "disabled (1.0 = no slowdown)\n");
+    std::printf("Paper shape: ratio < 1 everywhere; streaming and "
+                "stride-1-rich codes suffer\n");
+    std::printf("most (non-tiled codes near 0.5); even sparse MxV and "
+                "ccradix lose.\n\n");
+    std::printf("%-12s %12s %12s %10s\n", "benchmark", "pump cyc",
+                "no-pump cyc", "relative");
+    rule(50);
+
+    const auto on = proc::tarantulaConfig();
+    auto off = proc::tarantulaConfig();
+    off.vbox.slicer.pumpEnabled = false;    // Figure 9 ablation knob
+    off.name = "T-nopump";
+
+    std::vector<workloads::Workload> suite = workloads::figureSuite();
+    suite.push_back(workloads::swim(false));    // the untiled point
+    for (const auto &w : suite) {
+        const auto r_on = runOn(on, w);
+        const auto r_off = runOn(off, w);
+        std::printf("%-12s %12llu %12llu %10.2f\n", w.name.c_str(),
+                    static_cast<unsigned long long>(r_on.cycles),
+                    static_cast<unsigned long long>(r_off.cycles),
+                    static_cast<double>(r_on.cycles) / r_off.cycles);
+    }
+    return 0;
+}

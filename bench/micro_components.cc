@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the
+ * conflict-free slicer, the CR-box tournament, the functional
+ * interpreter and the L2 slice pipeline. These measure the simulator
+ * itself, not the simulated machine -- useful to keep the cycle model
+ * fast enough for the paper-scale sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "base/random.hh"
+#include "cache/l2_cache.hh"
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "mem/zbox.hh"
+#include "program/assembler.hh"
+#include "vbox/slicer.hh"
+
+using namespace tarantula;
+
+namespace
+{
+
+std::vector<exec::VecElemAddr>
+stridedAddrs(std::int64_t stride, unsigned vl)
+{
+    std::vector<exec::VecElemAddr> v;
+    for (unsigned i = 0; i < vl; ++i) {
+        v.push_back({static_cast<std::uint16_t>(i),
+                     0x100000 + static_cast<std::uint64_t>(
+                                    stride * std::int64_t(i))});
+    }
+    return v;
+}
+
+void
+BM_SlicerStride1Pump(benchmark::State &state)
+{
+    vbox::Slicer slicer;
+    auto addrs = stridedAddrs(8, 128);
+    for (auto _ : state) {
+        auto plan = slicer.plan(addrs, false, true, 8, 1);
+        benchmark::DoNotOptimize(plan.slices.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SlicerStride1Pump);
+
+void
+BM_SlicerOddStrideReorder(benchmark::State &state)
+{
+    vbox::Slicer slicer;
+    const std::int64_t stride = state.range(0) * 8;
+    auto addrs = stridedAddrs(stride, 128);
+    for (auto _ : state) {
+        auto plan = slicer.plan(addrs, false, true, stride, 1);
+        benchmark::DoNotOptimize(plan.slices.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SlicerOddStrideReorder)->Arg(3)->Arg(7)->Arg(31);
+
+void
+BM_CrBoxRandomGather(benchmark::State &state)
+{
+    vbox::Slicer slicer;
+    Random rng(11);
+    std::vector<exec::VecElemAddr> addrs;
+    for (unsigned i = 0; i < 128; ++i) {
+        addrs.push_back({static_cast<std::uint16_t>(i),
+                         rng.below(1 << 17) * 8});
+    }
+    for (auto _ : state) {
+        auto plan = slicer.plan(addrs, false, false, 0, 1);
+        benchmark::DoNotOptimize(plan.addrGenCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_CrBoxRandomGather);
+
+void
+BM_InterpScalarLoop(benchmark::State &state)
+{
+    using namespace program;
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 1000);
+    a.bind(loop);
+    a.addq(R(2), R(2), 1);
+    a.mulq(R(3), R(2), 7);
+    a.xor_(R(4), R(3), R(2));
+    a.subq(R(1), R(1), 1);
+    a.bgt(R(1), loop);
+    a.halt();
+    Program p = a.finalize();
+    exec::FunctionalMemory mem;
+    for (auto _ : state) {
+        exec::Interpreter interp(p, mem);
+        const auto n = interp.run();
+        benchmark::DoNotOptimize(n);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(n));
+    }
+}
+BENCHMARK(BM_InterpScalarLoop);
+
+void
+BM_InterpVectorLoop(benchmark::State &state)
+{
+    using namespace program;
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 0x100000);
+    a.movi(R(3), 100);
+    a.setvl(128);
+    a.setvs(8);
+    a.bind(loop);
+    a.vldt(V(0), R(1));
+    a.vmult(V(1), V(0), 1.5);
+    a.vaddt(V(2), V(1), V(0));
+    a.vstt(V(2), R(1), 65536);
+    a.subq(R(3), R(3), 1);
+    a.bgt(R(3), loop);
+    a.halt();
+    Program p = a.finalize();
+    exec::FunctionalMemory mem;
+    for (auto _ : state) {
+        exec::Interpreter interp(p, mem);
+        benchmark::DoNotOptimize(interp.run());
+    }
+    // 4 vector ops x 128 elements x 100 iterations per run.
+    state.SetItemsProcessed(state.iterations() * 4 * 128 * 100);
+}
+BENCHMARK(BM_InterpVectorLoop);
+
+void
+BM_L2WarmSlicePipeline(benchmark::State &state)
+{
+    stats::StatGroup root("bench");
+    mem::Zbox zbox(mem::ZboxConfig{}, root);
+    cache::L2Cache l2(cache::L2Config{}, zbox, root);
+    mem::Slice s;
+    s.id = 1;
+    for (unsigned i = 0; i < 16; ++i) {
+        s.elems[i] = {true, static_cast<std::uint16_t>(i),
+                      0x100000 + i * 64};
+        l2.warmLine(s.elems[i].addr);
+    }
+    for (auto _ : state) {
+        zbox.cycle();
+        l2.cycle();
+        if (l2.acceptSlice(s))
+            ++s.id;
+        while (l2.dequeueSliceResp()) {
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2WarmSlicePipeline);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

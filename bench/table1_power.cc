@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Table 1: power and area estimates for a CMP of two EV8
+ * cores versus Tarantula, with the Gflops/Watt comparison the paper
+ * closes on (plus the FMAC what-if from section 5).
+ */
+
+#include <cstdio>
+
+#include "power/power_model.hh"
+
+using namespace tarantula::power;
+
+namespace
+{
+
+void
+printColumn(const ChipEstimate &e)
+{
+    std::printf("\n%s\n", e.name.c_str());
+    std::printf("  %-12s %8s %9s\n", "Circuitry", "Area(%)",
+                "Power(W)");
+    for (const auto &c : e.components) {
+        if (c.areaMm2 > 0.0) {
+            std::printf("  %-12s %8.0f %9.1f\n", c.name.c_str(),
+                        e.areaPercent(c.name), c.watts);
+        } else {
+            std::printf("  %-12s %8s %9.1f\n", c.name.c_str(), "-",
+                        c.watts);
+        }
+    }
+    std::printf("  %-12s %8s %9.1f\n", "Total (+20%)", "",
+                e.totalWatts());
+    std::printf("  %-12s %5.0f mm2\n", "Die Area", e.dieAreaMm2());
+    std::printf("  %-12s %8.0f\n", "Peak Gflops", e.peakGflops());
+    std::printf("  %-12s %8.2f\n", "Gflops/Watt", e.gflopsPerWatt());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Table 1: power and area estimates (65 nm, ~1 V, "
+                "2.5 GHz)\n");
+    std::printf("Paper reference: CMP-EV8 128.0 W / 250 mm2 / 0.16 "
+                "Gflops/W;\n");
+    std::printf("                 Tarantula 143.7 W / 286 mm2 / 0.55 "
+                "Gflops/W\n");
+
+    const ChipEstimate cmp = cmpEv8Estimate();
+    const ChipEstimate t = tarantulaEstimate();
+    printColumn(cmp);
+    printColumn(t);
+
+    std::printf("\nGflops/Watt ratio (Tarantula / CMP-EV8): %.2fx "
+                "(paper: 3.4x)\n",
+                t.gflopsPerWatt() / cmp.gflopsPerWatt());
+
+    const ChipEstimate fmac = tarantulaFmacEstimate();
+    std::printf("\nSection 5 what-if: adding FMAC units\n");
+    std::printf("  %-16s peak %3.0f Gflops, %6.1f W, %4.2f Gflops/W\n",
+                t.name.c_str(), t.peakGflops(), t.totalWatts(),
+                t.gflopsPerWatt());
+    std::printf("  %-16s peak %3.0f Gflops, %6.1f W, %4.2f Gflops/W\n",
+                fmac.name.c_str(), fmac.peakGflops(),
+                fmac.totalWatts(), fmac.gflopsPerWatt());
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Prints Table 3: the characteristics of the four architectures under
+ * study (EV8, EV8+, T, T4) plus the T10 scaling point, as configured
+ * in this model.
+ */
+
+#include <cstdio>
+
+#include "proc/machine_config.hh"
+
+using namespace tarantula;
+using proc::MachineConfig;
+
+namespace
+{
+
+/** Sustainable L2 bandwidth in GB/s for this configuration. */
+double
+l2BandwidthGBs(const MachineConfig &m)
+{
+    // EV8-style L2: a line read and a line write per cycle.
+    // Tarantula: 16 lines read / 4 cycles + 16 lines written / 4
+    // cycles in stride-1 pump mode.
+    const double bytes_per_cycle =
+        m.hasVbox ? 2.0 * 16 * 64 / 4.0 : 2.0 * 64;
+    return bytes_per_cycle * m.freqGhz;
+}
+
+double
+memBandwidthGBs(const MachineConfig &m)
+{
+    // Raw: ports * 64B per lineXfer mem-clocks at the memory clock.
+    const double mem_ghz = m.freqGhz / m.zbox.cpuPerMemClock;
+    return m.zbox.numPorts * 64.0 * mem_ghz /
+           m.zbox.lineXferMemClocks;
+}
+
+void
+row(const char *name, double ev8, double ev8p, double t, double t4,
+    double t10, const char *fmt = "%10.1f")
+{
+    std::printf("%-26s", name);
+    for (double v : {ev8, ev8p, t, t4, t10})
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const MachineConfig ev8 = proc::ev8Config();
+    const MachineConfig ev8p = proc::ev8PlusConfig();
+    const MachineConfig t = proc::tarantulaConfig();
+    const MachineConfig t4 = proc::tarantula4Config();
+    const MachineConfig t10 = proc::tarantula10Config();
+
+    std::printf("Table 3: characteristics of the architectures under "
+                "study\n\n");
+    std::printf("%-26s%10s%10s%10s%10s%10s\n", "Symbol", "EV8", "EV8+",
+                "T", "T4", "T10");
+
+    row("Core Speed (GHz)", ev8.freqGhz, ev8p.freqGhz, t.freqGhz,
+        t4.freqGhz, t10.freqGhz, "%10.2f");
+    row("Vbox issue", 0, 0, t.vbox.dispatchBusWidth,
+        t4.vbox.dispatchBusWidth, t10.vbox.dispatchBusWidth, "%10.0f");
+    row("Peak FP ops/cycle", ev8.core.fpIssueWidth,
+        ev8p.core.fpIssueWidth, 32, 32, 32, "%10.0f");
+    row("Peak Ld+St/cycle",
+        ev8.core.loadPorts + ev8.core.storePorts,
+        ev8p.core.loadPorts + ev8p.core.storePorts, 64, 64, 64,
+        "%10.0f");
+    row("L1 assoc", ev8.core.l1.assoc, ev8p.core.l1.assoc,
+        t.core.l1.assoc, t4.core.l1.assoc, t10.core.l1.assoc,
+        "%10.0f");
+    row("L2 size (MB)", ev8.l2.sizeBytes >> 20, ev8p.l2.sizeBytes >> 20,
+        t.l2.sizeBytes >> 20, t4.l2.sizeBytes >> 20,
+        t10.l2.sizeBytes >> 20, "%10.0f");
+    row("L2 assoc", ev8.l2.assoc, ev8p.l2.assoc, t.l2.assoc,
+        t4.l2.assoc, t10.l2.assoc, "%10.0f");
+    row("L2 BW (GB/s)", l2BandwidthGBs(ev8), l2BandwidthGBs(ev8p),
+        l2BandwidthGBs(t), l2BandwidthGBs(t4), l2BandwidthGBs(t10));
+    row("RAMBUS ports", ev8.zbox.numPorts, ev8p.zbox.numPorts,
+        t.zbox.numPorts, t4.zbox.numPorts, t10.zbox.numPorts,
+        "%10.0f");
+    row("CPU:mem clock ratio", ev8.zbox.cpuPerMemClock,
+        ev8p.zbox.cpuPerMemClock, t.zbox.cpuPerMemClock,
+        t4.zbox.cpuPerMemClock, t10.zbox.cpuPerMemClock, "%10.0f");
+    row("Mem BW (GB/s)", memBandwidthGBs(ev8), memBandwidthGBs(ev8p),
+        memBandwidthGBs(t), memBandwidthGBs(t4),
+        memBandwidthGBs(t10));
+
+    std::printf("\nPaper reference row (Mem BW GB/s): 16.6 / 66.6 / "
+                "66.6 / 75.0\n");
+    return 0;
+}

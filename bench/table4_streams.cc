@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Table 4: sustained bandwidth of the memory-system
+ * microkernels on Tarantula, in the STREAMS accounting (useful
+ * read/write bytes) and in raw controller traffic including directory
+ * updates.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace tarantula;
+using namespace tarantula::bench;
+
+int
+main()
+{
+    std::printf("Table 4: sustained bandwidth in MB/s on Tarantula\n");
+    std::printf("Paper reference: Copy 42983/64475, Scale 41689/62492, "
+                "Add 43097/57463,\n");
+    std::printf("                 Triadd 47970/63960, RndCopy 73456/-, "
+                "RndMemScale 7512/50106\n\n");
+    std::printf("%-14s %12s %12s %10s %12s\n", "STREAMS",
+                "Streams BW", "Raw BW", "ratio", "activates");
+    rule(66);
+
+    const auto cfg = proc::tarantulaConfig();
+    for (const auto &w : workloads::microkernelSuite()) {
+        const auto r = runOn(cfg, w);
+        const double streams = r.bandwidthMBs(w.usefulBytes);
+        const double raw = r.rawBandwidthMBs();
+        std::printf("%-14s %12.0f %12.0f %10.2f %12llu\n",
+                    w.name.c_str(), streams, raw,
+                    raw > 0 ? streams / raw : 0.0,
+                    static_cast<unsigned long long>(r.rowActivates));
+    }
+    return 0;
+}

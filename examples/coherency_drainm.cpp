@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Scalar-vector coherency walkthrough (paper section 3.4): the P-bit
+ * protocol keeps the L1 and the vector unit consistent automatically
+ * -- except for one case, a scalar store still sitting in the write
+ * buffer when a younger vector load reads the same line. The paper
+ * requires the programmer to insert a DrainM barrier there. This
+ * example triggers the hazard, shows the detector flagging it, and
+ * then fixes it with DrainM.
+ *
+ *   ./build/examples/coherency_drainm
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "program/assembler.hh"
+
+using namespace tarantula;
+using namespace tarantula::program;
+
+namespace
+{
+
+std::uint64_t
+statValue(proc::Processor &p, const std::string &key)
+{
+    std::ostringstream os;
+    p.stats().report(os);
+    const std::string text = os.str();
+    const auto pos = text.find(key + " ");
+    if (pos == std::string::npos)
+        return 0;
+    return std::strtoull(text.c_str() + pos + key.size() + 1, nullptr,
+                         10);
+}
+
+proc::RunResult
+runCase(bool with_drainm, std::uint64_t &hazards,
+        std::uint64_t &invalidates)
+{
+    Assembler a;
+    a.movi(R(1), 0x100000);
+    a.movi(R(2), 1234);
+    // Scalar stores: they sit in the store queue / write buffer on
+    // their way to the L2.
+    for (unsigned i = 0; i < 4; ++i)
+        a.stq(R(2), i * 8, R(1));
+    if (with_drainm)
+        a.drainm();     // purge the write buffer, replay trap
+    // Younger vector load of the same lines.
+    a.setvl(128);
+    a.setvs(8);
+    a.vldq(V(1), R(1));
+    a.halt();
+    Program p = a.finalize();
+
+    exec::FunctionalMemory mem;
+    proc::Processor cpu(proc::tarantulaConfig(), p, mem);
+    const auto r = cpu.run();
+    hazards = statValue(cpu, "stale_hazards");
+    invalidates = statValue(cpu, "l1_invalidates");
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::uint64_t hazards = 0, invalidates = 0;
+
+    std::printf("case 1: scalar stores -> vector load, NO DrainM\n");
+    auto r1 = runCase(false, hazards, invalidates);
+    std::printf("  cycles: %llu, staleness hazards flagged: %llu\n",
+                static_cast<unsigned long long>(r1.cycles),
+                static_cast<unsigned long long>(hazards));
+    std::printf("  (on real hardware the vector load could read stale "
+                "data here)\n\n");
+    const bool flagged = hazards > 0;
+
+    std::printf("case 2: the same code WITH DrainM\n");
+    auto r2 = runCase(true, hazards, invalidates);
+    std::printf("  cycles: %llu, staleness hazards flagged: %llu, "
+                "L1 invalidates: %llu\n",
+                static_cast<unsigned long long>(r2.cycles),
+                static_cast<unsigned long long>(hazards),
+                static_cast<unsigned long long>(invalidates));
+    std::printf("  (the barrier drained the write buffer; the P-bit "
+                "then synchronized the L1;\n"
+                "   the replay trap and purge cost %lld extra "
+                "cycles)\n",
+                static_cast<long long>(r2.cycles) -
+                    static_cast<long long>(r1.cycles));
+
+    const bool clean = hazards == 0;
+    std::printf("\n%s\n", flagged && clean
+                              ? "protocol demonstrated correctly"
+                              : "UNEXPECTED BEHAVIOUR");
+    return flagged && clean ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: write a vectorized DAXPY with the Assembler DSL, run it
+ * on the Tarantula machine model, check the result against plain C++,
+ * and print the performance counters.
+ *
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "program/assembler.hh"
+
+using namespace tarantula;
+using namespace tarantula::program;
+
+int
+main()
+{
+    // ---- 1. Build the input data set -------------------------------
+    const unsigned n = 16 * 1024;
+    const double alpha = 2.5;
+    const Addr x_base = 0x100000;
+    const Addr y_base = 0x200000;
+
+    exec::FunctionalMemory mem;
+    std::vector<double> x(n), y(n);
+    for (unsigned i = 0; i < n; ++i) {
+        x[i] = 0.01 * i;
+        y[i] = 1.0;
+    }
+    mem.write(x_base, x.data(), n * sizeof(double));
+    mem.write(y_base, y.data(), n * sizeof(double));
+
+    // ---- 2. Hand-vectorize y += alpha * x ---------------------------
+    Assembler as;
+    Label loop = as.newLabel();
+    as.movi(R(1), static_cast<std::int64_t>(x_base));
+    as.movi(R(2), static_cast<std::int64_t>(y_base));
+    as.movi(R(3), n);
+    as.fconst(F(1), alpha, R(9));
+    as.setvl(128);      // 128 elements per vector instruction
+    as.setvs(8);        // unit stride (8-byte doubles)
+    as.bind(loop);
+    as.vldt(V(0), R(1));                // x chunk
+    as.vldt(V(1), R(2));                // y chunk
+    as.vmult(V(2), V(0), F(1));         // alpha * x
+    as.vaddt(V(1), V(1), V(2));         // y + alpha*x
+    as.vstt(V(1), R(2));
+    as.addq(R(1), R(1), 128 * 8);
+    as.addq(R(2), R(2), 128 * 8);
+    as.subq(R(3), R(3), 128);
+    as.bgt(R(3), loop);
+    as.halt();
+    Program prog = as.finalize();
+
+    std::printf("Program (%zu instructions):\n%s\n", prog.size(),
+                prog.disasm().c_str());
+
+    // ---- 3. Run it on the Tarantula machine model --------------------
+    proc::Processor cpu(proc::tarantulaConfig(), prog, mem);
+    const proc::RunResult r = cpu.run();
+
+    // ---- 4. Check the result -----------------------------------------
+    unsigned errors = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const double expect = 1.0 + alpha * (0.01 * i);
+        if (mem.readT(y_base + i * 8) != expect)
+            ++errors;
+    }
+
+    std::printf("cycles:            %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("instructions:      %llu\n",
+                static_cast<unsigned long long>(r.insts));
+    std::printf("operations/cycle:  %.2f\n", r.opc());
+    std::printf("flops/cycle:       %.2f\n", r.fpc());
+    std::printf("memops/cycle:      %.2f\n", r.mpc());
+    std::printf("result:            %s\n",
+                errors == 0 ? "correct" : "WRONG");
+
+    // ---- 5. Full statistics tree --------------------------------------
+    std::ostringstream stats;
+    cpu.stats().report(stats);
+    std::printf("\nSelected statistics:\n");
+    std::istringstream lines(stats.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("::") == std::string::npos &&
+            (line.find("vbox.") != std::string::npos ||
+             line.find("l2.slices") != std::string::npos)) {
+            std::printf("  %s\n", line.c_str());
+        }
+    }
+    return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Gather/scatter walkthrough: a sparse matrix-vector product with the
+ * masked-reduction idiom, showing how the CR box packs random
+ * addresses into conflict-free slices and what that costs relative to
+ * dense access.
+ *
+ *   ./build/examples/sparse_gather
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/random.hh"
+#include "exec/dyn_inst.hh"
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "program/assembler.hh"
+#include "vbox/slicer.hh"
+#include "workloads/workload.hh"
+
+using namespace tarantula;
+using namespace tarantula::program;
+
+namespace
+{
+
+/** Show the CR-box tournament on one random address set. */
+void
+demoSlicePlans()
+{
+    Random rng(1);
+    std::vector<exec::VecElemAddr> addrs;
+    for (unsigned i = 0; i < 128; ++i) {
+        addrs.push_back({static_cast<std::uint16_t>(i),
+                         rng.below(1 << 16) * 8});
+    }
+    vbox::Slicer slicer;
+
+    auto gather = slicer.plan(addrs, false, false, 0, 1);
+    std::printf("random gather of 128 elements:\n");
+    std::printf("  scheme: CR box, %zu slices, %u tournament rounds "
+                "(%.1f addresses packed per round)\n",
+                gather.slices.size(), gather.addrGenCycles,
+                128.0 / gather.addrGenCycles);
+
+    std::vector<exec::VecElemAddr> unit;
+    for (unsigned i = 0; i < 128; ++i)
+        unit.push_back({static_cast<std::uint16_t>(i),
+                        0x1000 + Addr(i) * 8});
+    auto pump = slicer.plan(unit, false, true, 8, 2);
+    std::printf("stride-1 load of 128 elements:\n");
+    std::printf("  scheme: pump, %zu slice(s), %u address-generation "
+                "cycle(s)\n\n",
+                pump.slices.size(), pump.addrGenCycles);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    demoSlicePlans();
+
+    // Run the full sparse matrix-vector workload and report.
+    std::printf("running the sparsemxv workload on Tarantula...\n");
+    workloads::Workload w = workloads::byName("sparsemxv");
+    exec::FunctionalMemory mem;
+    w.init(mem);
+    proc::Processor cpu(proc::tarantulaConfig(), w.vectorProg, mem);
+    const auto r = cpu.run();
+    const std::string err = w.check(mem);
+
+    std::printf("  result: %s\n",
+                err.empty() ? "correct" : err.c_str());
+    std::printf("  cycles: %llu, ops/cycle: %.2f (flops %.2f, mem "
+                "%.2f)\n",
+                static_cast<unsigned long long>(r.cycles), r.opc(),
+                r.fpc(), r.mpc());
+    std::printf("  slices issued: %llu, addr-gen busy cycles: %llu\n",
+                static_cast<unsigned long long>(
+                    cpu.vbox()->slicesIssued()),
+                static_cast<unsigned long long>(
+                    cpu.vbox()->addrGenBusy()));
+    std::printf("\nThe paper's point: gather-bound codes sustain far "
+                "fewer operations per\n"
+                "cycle than dense ones, yet a handful of gather "
+                "instructions keeps the\n"
+                "whole memory system busy where a superscalar would "
+                "stall after its\n"
+                "miss buffers fill.\n");
+    return err.empty() ? 0 : 1;
+}

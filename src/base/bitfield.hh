@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the address-mapping logic.
+ */
+
+#ifndef TARANTULA_BASE_BITFIELD_HH
+#define TARANTULA_BASE_BITFIELD_HH
+
+#include <cstdint>
+
+namespace tarantula
+{
+
+/**
+ * Extract bits <hi:lo> (inclusive, LSB numbering) of a 64-bit value.
+ *
+ * @param val   The value to extract from.
+ * @param hi    Most-significant bit of the field.
+ * @param lo    Least-significant bit of the field.
+ * @return The extracted field, right-justified.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned hi, unsigned lo)
+{
+    std::uint64_t mask =
+        (hi >= 63) ? ~std::uint64_t(0) : ((std::uint64_t(1) << (hi + 1)) - 1);
+    return (val & mask) >> lo;
+}
+
+/** Extract a single bit of a 64-bit value. */
+constexpr bool
+bit(std::uint64_t val, unsigned n)
+{
+    return (val >> n) & 1;
+}
+
+/** Replace bits <hi:lo> of @p val with the low bits of @p field. */
+constexpr std::uint64_t
+insertBits(std::uint64_t val, unsigned hi, unsigned lo, std::uint64_t field)
+{
+    std::uint64_t mask =
+        (hi >= 63) ? ~std::uint64_t(0) : ((std::uint64_t(1) << (hi + 1)) - 1);
+    mask &= ~((std::uint64_t(1) << lo) - 1);
+    return (val & ~mask) | ((field << lo) & mask);
+}
+
+/** True iff @p val is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Floor of log2; undefined for zero. */
+constexpr unsigned
+floorLog2(std::uint64_t val)
+{
+    unsigned result = 0;
+    while (val >>= 1)
+        ++result;
+    return result;
+}
+
+/** Number of trailing zero bits; 64 for zero. */
+constexpr unsigned
+countTrailingZeros(std::uint64_t val)
+{
+    if (val == 0)
+        return 64;
+    unsigned n = 0;
+    while (!(val & 1)) {
+        val >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Round @p val up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t val, std::uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** Round @p val down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t val, std::uint64_t align)
+{
+    return val & ~(align - 1);
+}
+
+} // namespace tarantula
+
+#endif // TARANTULA_BASE_BITFIELD_HH

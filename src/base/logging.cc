@@ -1,0 +1,68 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+
+namespace tarantula
+{
+namespace detail
+{
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (len < 0)
+        return std::string(fmt);
+    std::string buf(static_cast<size_t>(len) + 1, '\0');
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    buf.resize(static_cast<size_t>(len));
+    return buf;
+}
+
+void
+panicImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+void
+fatalImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace tarantula

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Status and error reporting helpers, modeled on gem5's logging.hh.
+ *
+ * panic()  -- a simulator bug: a condition that must never happen
+ *             regardless of user input. Throws PanicError (so tests can
+ *             assert on it) after printing the message.
+ * fatal()  -- a user error: bad configuration or arguments. Throws
+ *             FatalError.
+ * warn()   -- questionable-but-survivable condition.
+ * inform() -- plain status output.
+ */
+
+#ifndef TARANTULA_BASE_LOGGING_HH
+#define TARANTULA_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace tarantula
+{
+
+/** Thrown by panic(); indicates an internal simulator bug. */
+struct PanicError : std::logic_error
+{
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(); indicates a user/configuration error. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail
+{
+
+std::string vformat(const char *fmt, va_list ap);
+
+[[noreturn]] void panicImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void fatalImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Report an internal error and abort the simulation via exception. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    detail::panicImpl(fmt, args...);
+}
+
+/** Report a user error and abort the simulation via exception. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::fatalImpl(fmt, args...);
+}
+
+/** Report a suspicious condition without stopping the simulation. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::warnImpl(fmt, args...);
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::informImpl(fmt, args...);
+}
+
+/** panic() unless the given condition holds. */
+#define tarantula_assert(cond)                                            \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::tarantula::panic("assertion '%s' failed at %s:%d",          \
+                               #cond, __FILE__, __LINE__);                \
+    } while (0)
+
+} // namespace tarantula
+
+#endif // TARANTULA_BASE_LOGGING_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * The simulator must be bit-reproducible across runs and platforms, so
+ * all stochastic inputs (workload data, random index streams) come from
+ * this generator rather than std::mt19937 whose distributions are not
+ * specified identically across standard libraries.
+ */
+
+#ifndef TARANTULA_BASE_RANDOM_HH
+#define TARANTULA_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace tarantula
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256**) with convenience helpers. */
+class Random
+{
+  public:
+    /** Seed the generator; the same seed yields the same stream. */
+    explicit Random(std::uint64_t seed = 0x2002'15c4ULL)
+    {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift rejection-free mapping is fine here; the tiny
+        // modulo bias is irrelevant for workload generation.
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    real(double lo, double hi)
+    {
+        return lo + (hi - lo) * real();
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace tarantula
+
+#endif // TARANTULA_BASE_RANDOM_HH

@@ -1,0 +1,145 @@
+#include "base/statistics.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "base/logging.hh"
+
+namespace tarantula::stats
+{
+
+StatBase::StatBase(StatGroup &parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    parent.addStat(this);
+}
+
+void
+Scalar::report(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Average::report(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::count " << count_ << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::mean " << mean() << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::min " << min_ << " # " << desc() << "\n";
+    os << prefix << name() << "::max " << max_ << " # " << desc() << "\n";
+}
+
+void
+Average::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(StatGroup &parent, std::string name, std::string desc,
+                     double lo, double hi, unsigned buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    if (buckets == 0 || hi <= lo)
+        fatal("histogram '%s': bad bucket configuration", this->name()
+              .c_str());
+}
+
+void
+Histogram::sample(double v)
+{
+    ++samples_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>(
+        (v - lo_) / (hi_ - lo_) * counts_.size());
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+void
+Histogram::report(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::samples " << samples_ << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::underflow " << underflow_ << "\n";
+    const double width = (hi_ - lo_) / counts_.size();
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        os << prefix << name() << "::[" << lo_ + i * width << ","
+           << lo_ + (i + 1) * width << ") " << counts_[i] << "\n";
+    }
+    os << prefix << name() << "::overflow " << overflow_ << "\n";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = samples_ = 0;
+}
+
+Formula::Formula(StatGroup &parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      fn_(std::move(fn))
+{
+}
+
+void
+Formula::report(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << std::setprecision(6) << value()
+       << " # " << desc() << "\n";
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name))
+{
+    if (parent)
+        parent->children_.push_back(this);
+}
+
+void
+StatGroup::report(std::ostream &os, const std::string &prefix) const
+{
+    const std::string here =
+        name_.empty() ? prefix : prefix + name_ + ".";
+    for (const auto *stat : stats_)
+        stat->report(os, here);
+    for (const auto *child : children_)
+        child->report(os, here);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (auto *stat : stats_)
+        stat->reset();
+    for (auto *child : children_)
+        child->resetStats();
+}
+
+} // namespace tarantula::stats

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Components own a StatGroup; individual statistics register themselves
+ * with the group at construction so a whole component tree can be
+ * reported or reset with one call. Everything is plain counters -- the
+ * simulator is single-threaded.
+ */
+
+#ifndef TARANTULA_BASE_STATISTICS_HH
+#define TARANTULA_BASE_STATISTICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tarantula::stats
+{
+
+class StatGroup;
+
+/** Base class for every statistic; handles registration and naming. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Write one or more "name value # desc" lines. */
+    virtual void report(std::ostream &os, const std::string &prefix)
+        const = 0;
+
+    /** Return the statistic to its initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically increasing (or explicitly set) scalar counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+
+    void report(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; reports count / sum / mean / min / max. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v);
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void report(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with under/overflow buckets. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup &parent, std::string name, std::string desc,
+              double lo, double hi, unsigned buckets);
+
+    void sample(double v);
+    std::uint64_t bucketCount(unsigned i) const { return counts_[i]; }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(counts_.size());
+    }
+    std::uint64_t totalSamples() const { return samples_; }
+
+    void report(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+/** A derived value computed on demand from other statistics. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup &parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_(); }
+
+    void report(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of statistics with optional child groups,
+ * mirroring the component hierarchy.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Recursively write all statistics below this group. */
+    void report(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Recursively reset all statistics below this group. */
+    void resetStats();
+
+    /** Called by StatBase's constructor. */
+    void addStat(StatBase *stat) { stats_.push_back(stat); }
+
+  private:
+    std::string name_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace tarantula::stats
+
+#endif // TARANTULA_BASE_STATISTICS_HH

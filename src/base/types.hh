@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator component.
+ */
+
+#ifndef TARANTULA_BASE_TYPES_HH
+#define TARANTULA_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace tarantula
+{
+
+/** A (virtual or physical) byte address. */
+using Addr = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycle = std::uint64_t;
+
+/** A 64-bit quadword, the Alpha architecture's natural data unit. */
+using Quadword = std::uint64_t;
+
+/** Number of 64-bit elements in one vector register. */
+constexpr unsigned MaxVectorLength = 128;
+
+/** Number of lanes in the Vbox; also the number of L2 cache lanes. */
+constexpr unsigned NumLanes = 16;
+
+/** Number of architectural vector registers (v31 reads as zero). */
+constexpr unsigned NumVectorRegs = 32;
+
+/** Bytes per cache line in both the L1 and the L2 (Table 3). */
+constexpr unsigned CacheLineBytes = 64;
+
+/** Elements (quadwords) per cache line. */
+constexpr unsigned QwPerLine = CacheLineBytes / sizeof(Quadword);
+
+} // namespace tarantula
+
+#endif // TARANTULA_BASE_TYPES_HH

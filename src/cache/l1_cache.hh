@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The first-level data cache tag model.
+ *
+ * EV8's L1 D-cache per Table 3: 2-way set-associative, 64-byte lines.
+ * The core's load/store pipeline owns all timing; this class is the
+ * tag/LRU state plus the invalidate entry point used by the L2's
+ * P-bit scalar-vector coherency protocol. The L1 is modeled
+ * write-through (stores drain from the core's write buffer straight
+ * to the L2), so invalidates never need a writeback.
+ */
+
+#ifndef TARANTULA_CACHE_L1_CACHE_HH
+#define TARANTULA_CACHE_L1_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "base/statistics.hh"
+#include "base/types.hh"
+
+namespace tarantula::cache
+{
+
+/** Configuration for the L1 tag model. */
+struct L1Config
+{
+    std::uint64_t sizeBytes = 64 << 10;
+    unsigned assoc = 2;
+};
+
+/** L1 data-cache tags; see file comment. */
+class L1Cache
+{
+  public:
+    L1Cache(const L1Config &cfg, stats::StatGroup &parent)
+        : cfg_(cfg),
+          statGroup_("l1", &parent),
+          hits_(statGroup_, "hits", "L1 lookup hits"),
+          misses_(statGroup_, "misses", "L1 lookup misses"),
+          invalidates_(statGroup_, "invalidates",
+                       "lines invalidated by the L2 P-bit protocol")
+    {
+        if (!isPowerOf2(cfg.sizeBytes) || cfg.assoc == 0)
+            fatal("l1: size must be a power of two, assoc non-zero");
+        numSets_ = static_cast<unsigned>(
+            cfg.sizeBytes / (CacheLineBytes * cfg.assoc));
+        lines_.resize(static_cast<std::size_t>(numSets_) * cfg.assoc);
+    }
+
+    /** Probe and touch; true on hit. */
+    bool
+    lookup(Addr addr)
+    {
+        Line *l = find(addr);
+        if (l) {
+            l->lastUse = ++useClock_;
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
+
+    /** Probe without touching or counting (tests). */
+    bool
+    probe(Addr addr) const
+    {
+        return const_cast<L1Cache *>(this)->find(addr) != nullptr;
+    }
+
+    /** Install a line, evicting LRU if needed. */
+    void
+    fill(Addr addr)
+    {
+        if (find(addr))
+            return;
+        const unsigned set = setOf(addr);
+        Line *base = &lines_[static_cast<std::size_t>(set) * cfg_.assoc];
+        Line *victim = &base[0];
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        }
+        victim->valid = true;
+        victim->tag = tagOf(addr);
+        victim->lastUse = ++useClock_;
+    }
+
+    /** P-bit protocol entry point: drop the line if present. */
+    void
+    invalidate(Addr addr)
+    {
+        Line *l = find(addr);
+        if (l) {
+            l->valid = false;
+            ++invalidates_;
+        }
+    }
+
+    std::uint64_t numHits() const { return hits_.value(); }
+    std::uint64_t numMisses() const { return misses_.value(); }
+    std::uint64_t numInvalidates() const { return invalidates_.value(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned
+    setOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr / CacheLineBytes) &
+                                     (numSets_ - 1));
+    }
+
+    std::uint64_t
+    tagOf(Addr addr) const
+    {
+        return (addr / CacheLineBytes) / numSets_;
+    }
+
+    Line *
+    find(Addr addr)
+    {
+        const unsigned set = setOf(addr);
+        const std::uint64_t tag = tagOf(addr);
+        Line *base = &lines_[static_cast<std::size_t>(set) * cfg_.assoc];
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            if (base[w].valid && base[w].tag == tag)
+                return &base[w];
+        }
+        return nullptr;
+    }
+
+    L1Config cfg_;
+    unsigned numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar hits_;
+    stats::Scalar misses_;
+    stats::Scalar invalidates_;
+};
+
+} // namespace tarantula::cache
+
+#endif // TARANTULA_CACHE_L1_CACHE_HH

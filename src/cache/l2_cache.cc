@@ -1,0 +1,463 @@
+#include "cache/l2_cache.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace tarantula::cache
+{
+
+using mem::MemCmd;
+using mem::MemRequest;
+using mem::MemResponse;
+using mem::Slice;
+using mem::SliceResp;
+
+L2Cache::L2Cache(const L2Config &cfg, mem::Zbox &zbox,
+                 stats::StatGroup &parent)
+    : cfg_(cfg),
+      zbox_(zbox),
+      statGroup_("l2", &parent),
+      slices_(statGroup_, "slices", "vector slices that entered the pipe"),
+      sliceHits_(statGroup_, "slice_hits", "slices completing on lookup"),
+      sliceMisses_(statGroup_, "slice_misses",
+                   "slices put to sleep in the MAF"),
+      pumpSlices_(statGroup_, "pump_slices", "stride-1 pump-mode slices"),
+      scalarReqs_(statGroup_, "scalar_reqs", "scalar (core-side) requests"),
+      scalarMisses_(statGroup_, "scalar_misses", "scalar request misses"),
+      replays_(statGroup_, "replays", "slice retry-queue replays"),
+      panics_(statGroup_, "panics", "MAF panic-mode entries"),
+      invalidates_(statGroup_, "l1_invalidates",
+                   "invalidate commands sent to the L1 (P-bit protocol)"),
+      writebacks_(statGroup_, "writebacks", "dirty victim writebacks"),
+      mafFullRejects_(statGroup_, "maf_full_rejects",
+                      "requests rejected because the MAF was full")
+{
+    if (!isPowerOf2(cfg.sizeBytes) || cfg.assoc == 0)
+        fatal("l2: size must be a power of two and assoc non-zero");
+    numSets_ = static_cast<unsigned>(
+        cfg.sizeBytes / (CacheLineBytes * cfg.assoc));
+    if (!isPowerOf2(numSets_) || numSets_ < NumLanes)
+        fatal("l2: bad set count %u", numSets_);
+    lines_.resize(static_cast<std::size_t>(numSets_) * cfg.assoc);
+    maf_.resize(cfg.mafEntries);
+}
+
+unsigned
+L2Cache::setOf(Addr line_addr) const
+{
+    return static_cast<unsigned>((line_addr / CacheLineBytes) &
+                                 (numSets_ - 1));
+}
+
+std::uint64_t
+L2Cache::tagOf(Addr line_addr) const
+{
+    return (line_addr / CacheLineBytes) / numSets_;
+}
+
+L2Cache::Line *
+L2Cache::findLine(Addr line_addr)
+{
+    const unsigned set = setOf(line_addr);
+    const std::uint64_t tag = tagOf(line_addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const L2Cache::Line *
+L2Cache::findLine(Addr line_addr) const
+{
+    return const_cast<L2Cache *>(this)->findLine(line_addr);
+}
+
+void
+L2Cache::installLine(Addr line_addr, bool as_dirty, bool p_bit)
+{
+    const unsigned set = setOf(line_addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * cfg_.assoc];
+
+    // Pick an invalid way, else the LRU way.
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    if (victim->valid) {
+        const Addr victim_addr =
+            (victim->tag * numSets_ + set) * CacheLineBytes;
+        if (victim->dirty) {
+            ++writebacks_;
+            MemRequest wb;
+            wb.lineAddr = victim_addr;
+            wb.cmd = MemCmd::Writeback;
+            if (!zbox_.enqueue(wb))
+                deferredReqs_.push_back(wb);
+        }
+        if (victim->pBit) {
+            ++invalidates_;
+            if (l1Invalidate_)
+                l1Invalidate_(victim_addr);
+        }
+    }
+
+    victim->valid = true;
+    victim->dirty = as_dirty;
+    victim->pBit = p_bit;
+    victim->tag = tagOf(line_addr);
+    victim->lastUse = ++useClock_;
+}
+
+void
+L2Cache::requestLine(Addr line_addr, bool exclusive)
+{
+    if (pendingLines_.count(line_addr))
+        return;     // already on its way; the fill wakes all waiters
+    pendingLines_.emplace(line_addr, 1);
+    MemRequest req;
+    req.lineAddr = line_addr;
+    req.cmd = exclusive ? MemCmd::ReadExclusive : MemCmd::ReadShared;
+    if (!zbox_.enqueue(req))
+        deferredReqs_.push_back(req);
+}
+
+int
+L2Cache::allocMaf()
+{
+    for (unsigned i = 0; i < maf_.size(); ++i) {
+        if (!maf_[i].valid)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+// ---- vector side --------------------------------------------------------
+
+bool
+L2Cache::acceptSlice(const Slice &slice)
+{
+    if (acceptedThisCycle_ || panicMaf_ >= 0)
+        return false;
+    const int idx = allocMaf();
+    if (idx < 0) {
+        ++mafFullRejects_;
+        return false;
+    }
+
+    MafEntry &e = maf_[idx];
+    e = MafEntry{};
+    e.valid = true;
+    e.isScalar = false;
+    e.slice = slice;
+
+    acceptedThisCycle_ = true;
+    ++slices_;
+    if (slice.pump)
+        ++pumpSlices_;
+    processSlice(static_cast<unsigned>(idx));
+    return true;
+}
+
+bool
+L2Cache::processSlice(unsigned maf_idx)
+{
+    MafEntry &e = maf_[maf_idx];
+    const Slice &s = e.slice;
+    unsigned extra = 0;     // invalidate penalties
+    e.waiting = 0;
+
+    // For pump writes that overwrite whole lines we allocate without
+    // fetching, paying only the directory transition (wh64-style).
+    const bool no_fetch_alloc = s.pump && s.isWrite;
+
+    for (unsigned i = 0; i < NumLanes; ++i) {
+        const auto &el = s.elems[i];
+        if (!el.valid)
+            continue;
+        const Addr line_addr = roundDown(el.addr, CacheLineBytes);
+        Line *line = findLine(line_addr);
+        if (line) {
+            line->lastUse = ++useClock_;
+            if (s.isWrite)
+                line->dirty = true;
+            if (line->pBit) {
+                // The core may hold this line in its L1: synchronize.
+                ++invalidates_;
+                extra += cfg_.invalidatePenalty;
+                if (l1Invalidate_)
+                    l1Invalidate_(line_addr);
+                line->pBit = false;
+            }
+        } else if (no_fetch_alloc) {
+            installLine(line_addr, /*as_dirty=*/true, /*p_bit=*/false);
+            MemRequest dir;
+            dir.lineAddr = line_addr;
+            dir.cmd = MemCmd::DirOnly;
+            if (!zbox_.enqueue(dir))
+                deferredReqs_.push_back(dir);
+        } else {
+            e.waiting |= static_cast<std::uint16_t>(1u << i);
+            requestLine(line_addr, s.isWrite);
+        }
+    }
+
+    if (e.waiting != 0) {
+        ++sliceMisses_;
+        return false;       // slice sleeps in the MAF
+    }
+
+    ++sliceHits_;
+    const Cycle base = now_ + cfg_.hitLatency + extra;
+    SliceResp resp;
+    resp.sliceId = s.id;
+    resp.instTag = s.instTag;
+    resp.isWrite = s.isWrite;
+    resp.dataQw = s.dataQw();
+
+    if (s.isWrite) {
+        Cycle start = base > writeBusFreeAt_ ? base : writeBusFreeAt_;
+        if (s.pump) {
+            // 32 qw/cycle accumulate for four cycles; the single-cycle
+            // ECC+array write overlaps the next slice's accumulation.
+            writeBusFreeAt_ = start + cfg_.pumpStreamCycles;
+            resp.readyAt = start + cfg_.pumpStreamCycles + 1;
+        } else {
+            writeBusFreeAt_ = start + 1;
+            resp.readyAt = start + 1;
+        }
+    } else {
+        Cycle start = base > readBusFreeAt_ ? base : readBusFreeAt_;
+        if (s.pump) {
+            readBusFreeAt_ = start + cfg_.pumpStreamCycles;
+            resp.readyAt = start + cfg_.pumpStreamCycles;
+        } else {
+            readBusFreeAt_ = start + 1;
+            resp.readyAt = start + 1;
+        }
+    }
+
+    sliceResps_.push_back(resp);
+    if (panicMaf_ == static_cast<int>(maf_idx))
+        panicMaf_ = -1;     // starving slice serviced; resume normal ops
+    e.valid = false;
+    return true;
+}
+
+std::optional<SliceResp>
+L2Cache::dequeueSliceResp()
+{
+    for (auto it = sliceResps_.begin(); it != sliceResps_.end(); ++it) {
+        if (it->readyAt <= now_) {
+            SliceResp r = *it;
+            sliceResps_.erase(it);
+            return r;
+        }
+    }
+    return std::nullopt;
+}
+
+// ---- scalar side ----------------------------------------------------------
+
+bool
+L2Cache::scalarRequest(Addr line_addr, bool is_write, std::uint64_t tag,
+                       bool no_fetch, unsigned requester)
+{
+    if (panicMaf_ >= 0)
+        return false;       // MAF is NACKing all competing requests
+    const int idx = allocMaf();
+    if (idx < 0) {
+        ++mafFullRejects_;
+        return false;
+    }
+    MafEntry &e = maf_[idx];
+    e = MafEntry{};
+    e.valid = true;
+    e.isScalar = true;
+    e.scalarLine = roundDown(line_addr, CacheLineBytes);
+    e.scalarWrite = is_write;
+    e.scalarNoFetch = no_fetch;
+    e.scalarRequester = requester;
+    e.scalarTag = tag;
+    ++scalarReqs_;
+    processScalar(static_cast<unsigned>(idx));
+    return true;
+}
+
+void
+L2Cache::processScalar(unsigned maf_idx)
+{
+    MafEntry &e = maf_[maf_idx];
+    Line *line = findLine(e.scalarLine);
+    if (!line && e.scalarNoFetch) {
+        // wh64: allocate without fetching; only the directory
+        // transition (Invalid -> Dirty) goes out to memory.
+        ++scalarMisses_;
+        installLine(e.scalarLine, /*as_dirty=*/true, /*p_bit=*/true);
+        mem::MemRequest dir;
+        dir.lineAddr = e.scalarLine;
+        dir.cmd = MemCmd::DirOnly;
+        if (!zbox_.enqueue(dir))
+            deferredReqs_.push_back(dir);
+        line = findLine(e.scalarLine);
+    }
+    if (!line) {
+        ++scalarMisses_;
+        e.waiting = 1;
+        requestLine(e.scalarLine, e.scalarWrite);
+        return;
+    }
+    line->lastUse = ++useClock_;
+    line->pBit = true;      // the core now (potentially) holds it in L1
+    if (e.scalarWrite)
+        line->dirty = true;
+
+    ScalarResp resp;
+    resp.lineAddr = e.scalarLine;
+    resp.requester = e.scalarRequester;
+    resp.tag = e.scalarTag;
+    resp.isWrite = e.scalarWrite;
+    resp.readyAt = now_ + cfg_.scalarHitLatency;
+    scalarResps_.push_back(resp);
+    if (panicMaf_ == static_cast<int>(maf_idx))
+        panicMaf_ = -1;
+    e.valid = false;
+}
+
+std::optional<ScalarResp>
+L2Cache::dequeueScalarResp(unsigned requester)
+{
+    for (auto it = scalarResps_.begin(); it != scalarResps_.end(); ++it) {
+        if (it->readyAt <= now_ && it->requester == requester) {
+            ScalarResp r = *it;
+            scalarResps_.erase(it);
+            return r;
+        }
+    }
+    return std::nullopt;
+}
+
+// ---- fills and the clock -------------------------------------------------
+
+void
+L2Cache::handleFill(const MemResponse &resp)
+{
+    if (resp.cmd == MemCmd::Writeback || resp.cmd == MemCmd::DirOnly)
+        return;     // completion acknowledgements; nothing to install
+
+    installLine(resp.lineAddr, /*as_dirty=*/false, /*p_bit=*/false);
+    pendingLines_.erase(resp.lineAddr);
+
+    // The arriving line searches the MAF for matching addresses and
+    // clears their waiting bits (paper: "Servicing Vector Misses").
+    for (unsigned i = 0; i < maf_.size(); ++i) {
+        MafEntry &e = maf_[i];
+        if (!e.valid || e.waiting == 0)
+            continue;
+        if (e.isScalar) {
+            if (e.scalarLine == resp.lineAddr) {
+                e.waiting = 0;
+                if (!e.inRetryQueue) {
+                    e.inRetryQueue = true;
+                    retryQueue_.push_back(i);
+                }
+            }
+            continue;
+        }
+        for (unsigned j = 0; j < NumLanes; ++j) {
+            if (!(e.waiting & (1u << j)))
+                continue;
+            const Addr el_line =
+                roundDown(e.slice.elems[j].addr, CacheLineBytes);
+            if (el_line == resp.lineAddr)
+                e.waiting &= static_cast<std::uint16_t>(~(1u << j));
+        }
+        if (e.waiting == 0 && !e.inRetryQueue) {
+            e.inRetryQueue = true;
+            retryQueue_.push_back(i);
+        }
+    }
+}
+
+void
+L2Cache::cycle()
+{
+    ++now_;
+    acceptedThisCycle_ = false;
+
+    // Re-issue memory requests that bounced off a full Zbox queue.
+    while (!deferredReqs_.empty()) {
+        if (!zbox_.enqueue(deferredReqs_.front()))
+            break;
+        deferredReqs_.pop_front();
+    }
+
+    // Absorb fills from memory.
+    while (auto resp = zbox_.dequeueResponse())
+        handleFill(*resp);
+
+    // The retry queue has priority for the single pipe slot per cycle.
+    if (!retryQueue_.empty()) {
+        const unsigned idx = retryQueue_.front();
+        retryQueue_.pop_front();
+        MafEntry &e = maf_[idx];
+        e.inRetryQueue = false;
+        if (e.valid) {
+            acceptedThisCycle_ = true;
+            ++e.replays;
+            ++replays_;
+            if (e.replays > cfg_.retryThreshold && panicMaf_ < 0) {
+                panicMaf_ = static_cast<int>(idx);
+                ++panics_;
+            }
+            if (e.isScalar)
+                processScalar(idx);
+            else
+                processSlice(idx);
+        }
+    }
+}
+
+bool
+L2Cache::idle() const
+{
+    if (!retryQueue_.empty() || !deferredReqs_.empty() ||
+        !sliceResps_.empty() || !scalarResps_.empty()) {
+        return false;
+    }
+    for (const auto &e : maf_) {
+        if (e.valid)
+            return false;
+    }
+    return true;
+}
+
+void
+L2Cache::warmLine(Addr line_addr)
+{
+    const Addr aligned = roundDown(line_addr, CacheLineBytes);
+    if (!findLine(aligned))
+        installLine(aligned, false, false);
+}
+
+bool
+L2Cache::probe(Addr line_addr) const
+{
+    return findLine(roundDown(line_addr, CacheLineBytes)) != nullptr;
+}
+
+bool
+L2Cache::probePBit(Addr line_addr) const
+{
+    const Line *l = findLine(roundDown(line_addr, CacheLineBytes));
+    return l && l->pBit;
+}
+
+} // namespace tarantula::cache

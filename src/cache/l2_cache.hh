@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The banked second-level cache, the centerpiece of Tarantula's memory
+ * system (paper section 3.4).
+ *
+ * Physical organization: 16 banks (bank = address bits <9:6>), 8 ways,
+ * 64-byte lines. One slice enters the pipeline per cycle; its up-to-16
+ * addresses hit distinct banks by construction, so all 16 tag lookups
+ * and data reads proceed in parallel.
+ *
+ * Modeled mechanisms:
+ *  - MAF (Miss Address File): a slice with one or more misses is "put
+ *    to sleep" with a waiting bit per missing address; fills arriving
+ *    from the Zbox search the MAF and clear matching waiting bits;
+ *    when all are clear the slice moves to the Retry Queue and walks
+ *    the pipe again.
+ *  - Replay threshold / panic mode: a slice that replays more than the
+ *    threshold forces the MAF to NACK all competing requests until the
+ *    starved slice is serviced (livelock avoidance).
+ *  - PUMP: stride-1 slices with the pump bit read 16 whole lines into
+ *    a per-bank register and stream 32 qw/cycle to the Vbox (reads) or
+ *    accumulate 32 qw/cycle and write the array in one cycle (writes),
+ *    doubling stride-1 bandwidth (Figure 4 / Figure 9).
+ *  - Scalar-vector coherency: each tag carries a P-bit set by scalar
+ *    (core-side) accesses. Vector accesses that touch a P-bit line
+ *    trigger an invalidate to the L1; evicting a P-bit line does too.
+ */
+
+#ifndef TARANTULA_CACHE_L2_CACHE_HH
+#define TARANTULA_CACHE_L2_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/statistics.hh"
+#include "base/types.hh"
+#include "mem/mem_types.hh"
+#include "mem/slice.hh"
+#include "mem/zbox.hh"
+
+namespace tarantula::cache
+{
+
+/** Configuration for the L2 model. */
+struct L2Config
+{
+    std::uint64_t sizeBytes = 16ULL << 20;  ///< 16 MB (Table 3)
+    unsigned assoc = 8;
+    unsigned hitLatency = 16;       ///< lookup+read+transport pipeline
+    unsigned scalarHitLatency = 16; ///< scalar request pipe latency
+    unsigned mafEntries = 32;
+    unsigned retryThreshold = 8;    ///< replays before panic mode
+    unsigned pumpStreamCycles = 4;  ///< cycles to stream 128 qw
+    unsigned invalidatePenalty = 6; ///< extra cycles per P-bit hit
+};
+
+/** Scalar-side completion notice. */
+struct ScalarResp
+{
+    Addr lineAddr = 0;
+    std::uint64_t tag = 0;
+    bool isWrite = false;
+    Cycle readyAt = 0;
+    unsigned requester = 0;     ///< core id in CMP configurations
+};
+
+/** The L2 cache; see file comment. */
+class L2Cache
+{
+  public:
+    L2Cache(const L2Config &cfg, mem::Zbox &zbox,
+            stats::StatGroup &parent);
+
+    // ---- vector (Vbox) side -------------------------------------------
+    /**
+     * Offer a slice to the pipeline. At most one slice is accepted per
+     * cycle; acceptance also fails while the MAF is full, panic mode
+     * is NACKing, or the required data bus is busy (pump streams).
+     */
+    bool acceptSlice(const mem::Slice &slice);
+
+    /** Next completed slice, if any. */
+    std::optional<mem::SliceResp> dequeueSliceResp();
+
+    // ---- scalar (core/L1) side ------------------------------------------
+    /**
+     * Request a line on behalf of the core. Sets the P-bit. Writes
+     * are write-through arriving from the core's write buffer.
+     *
+     * @param no_fetch  wh64 semantics: on a miss, allocate the line
+     *                  without fetching (only the directory transition
+     *                  goes to memory).
+     * @return false when no MAF entry is free (retry later).
+     */
+    bool scalarRequest(Addr line_addr, bool is_write, std::uint64_t tag,
+                       bool no_fetch = false, unsigned requester = 0);
+
+    /** Next completed scalar request for @p requester, if any. */
+    std::optional<ScalarResp> dequeueScalarResp(unsigned requester = 0);
+
+    /** Hook invoked with the line address of every L1 invalidate. */
+    void
+    setL1InvalidateHook(std::function<void(Addr)> hook)
+    {
+        l1Invalidate_ = std::move(hook);
+    }
+
+    /** Advance one cycle: drain fills, run retry/new slice, scalars. */
+    void cycle();
+
+    /** True when nothing is pending anywhere in the cache. */
+    bool idle() const;
+
+    /** Direct-install a line (warmup); no timing, no P-bit. */
+    void warmLine(Addr line_addr);
+
+    /** True if the line is present (tests/checkers). */
+    bool probe(Addr line_addr) const;
+
+    /** P-bit of a resident line (tests). */
+    bool probePBit(Addr line_addr) const;
+
+    const L2Config &config() const { return cfg_; }
+
+    // Stats accessors used by benches.
+    std::uint64_t sliceAccesses() const { return slices_.value(); }
+    std::uint64_t sliceReplays() const { return replays_.value(); }
+    std::uint64_t panicEntries() const { return panics_.value(); }
+    std::uint64_t l1Invalidates() const { return invalidates_.value(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool pBit = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct MafEntry
+    {
+        bool valid = false;
+        bool isScalar = false;
+        mem::Slice slice;
+        std::uint64_t scalarTag = 0;
+        Addr scalarLine = 0;
+        bool scalarWrite = false;
+        bool scalarNoFetch = false;
+        unsigned scalarRequester = 0;
+        std::uint16_t waiting = 0;  ///< bit per slice element
+        unsigned replays = 0;
+        bool inRetryQueue = false;
+    };
+
+    unsigned setOf(Addr line_addr) const;
+    std::uint64_t tagOf(Addr line_addr) const;
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+    /** Install a fill; returns false if the victim way is blocked. */
+    void installLine(Addr line_addr, bool as_dirty, bool p_bit);
+    void handleFill(const mem::MemResponse &resp);
+    /** Run one slice through the tag pipe; true if it completed. */
+    bool processSlice(unsigned maf_idx);
+    void processScalar(unsigned maf_idx);
+    int allocMaf();
+    void requestLine(Addr line_addr, bool exclusive);
+
+    L2Config cfg_;
+    mem::Zbox &zbox_;
+    unsigned numSets_;
+    std::vector<Line> lines_;       ///< [set * assoc + way]
+    std::vector<MafEntry> maf_;
+    std::deque<unsigned> retryQueue_;
+    std::deque<mem::SliceResp> sliceResps_;
+    std::deque<ScalarResp> scalarResps_;
+    /** Lines already requested from memory (dedup across MAF). */
+    std::unordered_map<Addr, unsigned> pendingLines_;
+    /** Zbox requests that bounced off a full port queue. */
+    std::deque<mem::MemRequest> deferredReqs_;
+    std::function<void(Addr)> l1Invalidate_;
+
+    Cycle now_ = 0;
+    bool acceptedThisCycle_ = false;
+    Cycle readBusFreeAt_ = 0;
+    Cycle writeBusFreeAt_ = 0;
+    int panicMaf_ = -1;             ///< MAF index being protected
+    std::uint64_t useClock_ = 0;    ///< LRU timestamp source
+
+    stats::StatGroup statGroup_;
+    stats::Scalar slices_;
+    stats::Scalar sliceHits_;
+    stats::Scalar sliceMisses_;
+    stats::Scalar pumpSlices_;
+    stats::Scalar scalarReqs_;
+    stats::Scalar scalarMisses_;
+    stats::Scalar replays_;
+    stats::Scalar panics_;
+    stats::Scalar invalidates_;
+    stats::Scalar writebacks_;
+    stats::Scalar mafFullRejects_;
+};
+
+} // namespace tarantula::cache
+
+#endif // TARANTULA_CACHE_L2_CACHE_HH

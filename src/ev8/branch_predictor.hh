@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A gshare conditional-branch predictor.
+ *
+ * EV8's real predictor was a large hybrid; a sizeable gshare is enough
+ * to reproduce the relevant behaviour (loop branches predict well, the
+ * data-dependent branches that vector masks eliminate in moldyn do
+ * not). Unconditional branches always predict taken; targets are
+ * considered BTB hits (the trace knows them).
+ */
+
+#ifndef TARANTULA_EV8_BRANCH_PREDICTOR_HH
+#define TARANTULA_EV8_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/statistics.hh"
+
+namespace tarantula::ev8
+{
+
+/** Global-history two-bit-counter predictor. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(unsigned table_bits, stats::StatGroup &parent)
+        : tableBits_(table_bits),
+          table_(std::size_t(1) << table_bits, 2),
+          statGroup_("bpred", &parent),
+          lookups_(statGroup_, "lookups", "conditional branches seen"),
+          mispredicts_(statGroup_, "mispredicts",
+                       "conditional branches mispredicted")
+    {
+    }
+
+    /**
+     * Predict, update with the actual outcome, and report whether the
+     * prediction was wrong.
+     *
+     * @param pc     Instruction index of the branch.
+     * @param taken  Architectural outcome from the trace.
+     * @return true when the prediction missed (redirect needed).
+     */
+    bool
+    predictAndUpdate(std::uint32_t pc, bool taken)
+    {
+        ++lookups_;
+        const std::size_t idx =
+            (pc ^ history_) & ((std::size_t(1) << tableBits_) - 1);
+        const bool predicted = table_[idx] >= 2;
+
+        if (taken) {
+            if (table_[idx] < 3)
+                ++table_[idx];
+        } else {
+            if (table_[idx] > 0)
+                --table_[idx];
+        }
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) &
+                   ((1u << tableBits_) - 1);
+
+        if (predicted != taken) {
+            ++mispredicts_;
+            return true;
+        }
+        return false;
+    }
+
+    std::uint64_t numMispredicts() const { return mispredicts_.value(); }
+    std::uint64_t numLookups() const { return lookups_.value(); }
+
+  private:
+    unsigned tableBits_;
+    std::uint32_t history_ = 0;
+    std::vector<std::uint8_t> table_;
+    stats::StatGroup statGroup_;
+    stats::Scalar lookups_;
+    stats::Scalar mispredicts_;
+};
+
+} // namespace tarantula::ev8
+
+#endif // TARANTULA_EV8_BRANCH_PREDICTOR_HH

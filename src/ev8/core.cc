@@ -1,0 +1,556 @@
+#include "ev8/core.hh"
+
+#include <algorithm>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace tarantula::ev8
+{
+
+using exec::DynInst;
+using isa::InstClass;
+using isa::Opcode;
+
+Core::Core(const CoreConfig &cfg, exec::Interpreter &interp,
+           cache::L2Cache &l2, vbox::Vbox *vbox,
+           stats::StatGroup &parent, unsigned core_id)
+    : cfg_(cfg),
+      interp_(interp),
+      l2_(l2),
+      vbox_(vbox),
+      coreId_(core_id),
+      l1_(cfg.l1, parent),
+      bpred_(cfg.bpTableBits, parent),
+      statGroup_("core", &parent),
+      retired_(statGroup_, "retired", "instructions retired"),
+      ops_(statGroup_, "ops", "operations retired (paper's OPC basis)"),
+      flops_(statGroup_, "flops", "floating-point operations retired"),
+      memops_(statGroup_, "memops", "memory operations retired"),
+      vecRetired_(statGroup_, "vec_retired", "vector instructions retired"),
+      fetchStallCycles_(statGroup_, "fetch_stall_cycles",
+                        "cycles fetch was stalled on redirect/drain"),
+      robFullStalls_(statGroup_, "rob_full_stalls",
+                     "dispatch stalls due to a full ROB"),
+      wbFullStalls_(statGroup_, "wb_full_stalls",
+                    "retire stalls due to a full write buffer"),
+      drainmStalls_(statGroup_, "drainm_stalls",
+                    "cycles DrainM waited for the write buffer"),
+      staleHazards_(statGroup_, "stale_hazards",
+                    "vector loads overlapping undrained scalar stores")
+{
+    for (unsigned i = 0; i < isa::NumFlatRegs; ++i)
+        writerValid_[i] = false;
+}
+
+Core::RobEntry *
+Core::entry(std::uint64_t seq)
+{
+    if (seq < robBaseSeq_)
+        return nullptr;     // already retired
+    const std::uint64_t idx = seq - robBaseSeq_;
+    if (idx >= rob_.size())
+        return nullptr;
+    return &rob_[idx];
+}
+
+void
+Core::cycle()
+{
+    ++now_;
+    completeStage();
+    issueStage();
+    retireStage();
+    drainWriteBuffer();
+    dispatchStage();
+    fetchStage();
+}
+
+// ---- fetch -----------------------------------------------------------
+
+void
+Core::fetchStage()
+{
+    if (interp_.halted() && fetchDrained_())
+        return;
+    if (waitingRedirect_ || fetchBlockedOnDrain_) {
+        ++fetchStallCycles_;
+        return;
+    }
+    if (now_ < fetchResumeAt_) {
+        ++fetchStallCycles_;
+        return;
+    }
+    // Keep the frontend buffer modest: two fetch groups.
+    if (fetchBuffer_.size() >= 2 * cfg_.fetchWidth)
+        return;
+    const unsigned space = static_cast<unsigned>(
+        2 * cfg_.fetchWidth - fetchBuffer_.size());
+    const unsigned limit = std::min(cfg_.fetchWidth, space);
+
+    // EV8's frontend fetches up to two branch blocks per cycle.
+    unsigned taken_blocks = 0;
+    for (unsigned n = 0; n < limit; ++n) {
+        if (interp_.halted())
+            break;
+        RobEntry e;
+        interp_.step(e.di);
+        e.readyAt = now_ + cfg_.frontendDepth;
+        const isa::Inst &in = *e.di.inst;
+
+        bool stop = false;
+        if (in.isBranch()) {
+            bool mispredict;
+            if (in.isCondBranch()) {
+                mispredict =
+                    bpred_.predictAndUpdate(e.di.pc, e.di.taken);
+            } else {
+                mispredict = false;     // BTB hit assumed
+            }
+            if (mispredict) {
+                e.mispredicted = true;
+                waitingRedirect_ = true;
+                redirectSeq_ = e.di.seq;
+                stop = true;
+            } else if (e.di.taken) {
+                // Fetch continues into a second block; the group ends
+                // at the second taken branch.
+                if (++taken_blocks >= 2)
+                    stop = true;
+            }
+        } else if (in.op == Opcode::DrainM) {
+            fetchBlockedOnDrain_ = true;
+            stop = true;
+        } else if (in.op == Opcode::Halt) {
+            stop = true;
+        }
+
+        fetchBuffer_.push_back(std::move(e));
+        if (stop)
+            break;
+    }
+}
+
+bool
+Core::fetchDrained_() const
+{
+    return fetchBuffer_.empty();
+}
+
+// ---- dispatch ----------------------------------------------------------
+
+void
+Core::dispatchStage()
+{
+    unsigned dispatched = 0;
+    unsigned vec_dispatched = 0;
+
+    while (!fetchBuffer_.empty() && dispatched < cfg_.fetchWidth) {
+        if (rob_.size() >= cfg_.robSize) {
+            ++robFullStalls_;
+            break;
+        }
+        RobEntry &fe = fetchBuffer_.front();
+        const bool is_vec = fe.di.inst->isVec();
+        if (is_vec && vec_dispatched >= cfg_.vecDispatchWidth)
+            break;      // the 3-instruction Pbox->Vbox bus is full
+
+        rob_.push_back(std::move(fe));
+        fetchBuffer_.pop_front();
+        RobEntry &e = rob_.back();
+        const std::uint64_t seq = e.di.seq;
+        tarantula_assert(seq == robBaseSeq_ + rob_.size() - 1);
+
+        // Dataflow: link to producers of each source register.
+        isa::RegId srcs[6];
+        const unsigned nsrcs = e.di.inst->srcRegs(srcs);
+        for (unsigned i = 0; i < nsrcs; ++i) {
+            const unsigned flat = srcs[i].flat();
+            if (!writerValid_[flat])
+                continue;
+            RobEntry *prod = entry(lastWriter_[flat]);
+            if (prod && prod->stage != Stage::Done) {
+                ++e.pendingSrcs;
+                prod->dependents.push_back(seq);
+            }
+        }
+        isa::RegId dsts[2];
+        const unsigned ndsts = e.di.inst->dstRegs(dsts);
+        for (unsigned i = 0; i < ndsts; ++i) {
+            lastWriter_[dsts[i].flat()] = seq;
+            writerValid_[dsts[i].flat()] = true;
+        }
+
+        // Track unretired store lines for the staleness detector.
+        if (e.di.inst->cls() == InstClass::Store)
+            ++pendingStoreLines_[roundDown(e.di.effAddr,
+                                           CacheLineBytes)];
+
+        if (e.pendingSrcs == 0) {
+            e.stage = Stage::Ready;
+            enqueueReady_(e);
+        }
+
+        ++dispatched;
+        if (is_vec)
+            ++vec_dispatched;
+    }
+}
+
+void
+Core::enqueueReady_(RobEntry &e)
+{
+    const std::uint64_t seq = e.di.seq;
+    if (e.di.inst->isVec()) {
+        vecQueue_.push_back(seq);
+        return;
+    }
+    switch (e.di.inst->cls()) {
+      case InstClass::FpAlu:
+        fpQueue_.push_back(seq);
+        break;
+      case InstClass::Load:
+        loadQueue_.push_back(seq);
+        break;
+      case InstClass::Store:
+        storeQueue_.push_back(seq);
+        break;
+      default:
+        intQueue_.push_back(seq);
+        break;
+    }
+}
+
+// ---- issue -------------------------------------------------------------
+
+void
+Core::issueStage()
+{
+    issueFromQueue_(intQueue_, cfg_.intIssueWidth);
+    issueFromQueue_(fpQueue_, cfg_.fpIssueWidth);
+    issueFromQueue_(loadQueue_, cfg_.loadPorts);
+    issueFromQueue_(storeQueue_, cfg_.storePorts);
+    issueFromQueue_(vecQueue_, 4);
+}
+
+void
+Core::issueFromQueue_(std::deque<std::uint64_t> &queue, unsigned width)
+{
+    // Oldest-first scan over a bounded issue window.
+    constexpr unsigned ScanDepth = 32;
+    unsigned issued = 0;
+    unsigned scanned = 0;
+    for (auto it = queue.begin();
+         it != queue.end() && issued < width && scanned < ScanDepth;) {
+        ++scanned;
+        RobEntry *e = entry(*it);
+        if (!e) {
+            it = queue.erase(it);
+            continue;
+        }
+        if (e->readyAt > now_) {
+            ++it;
+            continue;
+        }
+        if (issueOne(*it)) {
+            ++issued;
+            it = queue.erase(it);
+        } else {
+            ++it;       // structural hazard; retry next cycle
+        }
+    }
+}
+
+bool
+Core::issueOne(std::uint64_t seq)
+{
+    RobEntry &e = *entry(seq);
+    const isa::Inst &in = *e.di.inst;
+
+    if (in.isVec()) {
+        if (!vbox_)
+            panic("vector instruction on a core without a Vbox");
+        if (in.cls() == InstClass::VecLoad ||
+            in.cls() == InstClass::VecStore) {
+            if (!vbox_->issueMem(e.di, now_, seq))
+                return false;   // vector memory queue full
+            // Staleness detector (checked once, on acceptance): a
+            // vector load overlapping a not-yet-drained scalar store
+            // is the hazard the paper requires a DrainM for.
+            if (in.cls() == InstClass::VecLoad &&
+                (!pendingStoreLines_.empty() || !wbLines_.empty())) {
+                for (const auto &ea : e.di.vaddrs) {
+                    if (hasPendingStore(roundDown(ea.addr,
+                                                  CacheLineBytes))) {
+                        ++staleHazards_;
+                        break;
+                    }
+                }
+            }
+            e.stage = Stage::Issued;
+            return true;
+        }
+        const Cycle done = vbox_->issueArith(e.di, now_);
+        e.stage = Stage::Issued;
+        completionEvents_.emplace(done, seq);
+        return true;
+    }
+
+    unsigned latency = cfg_.intLatency;
+    switch (in.cls()) {
+      case InstClass::IntAlu:
+        latency = in.op == Opcode::Mulq ? cfg_.mulLatency
+                                        : cfg_.intLatency;
+        break;
+      case InstClass::FpAlu:
+        if (in.op == Opcode::Divt)
+            latency = cfg_.divLatency;
+        else if (in.op == Opcode::Sqrtt)
+            latency = cfg_.sqrtLatency;
+        else
+            latency = cfg_.fpLatency;
+        break;
+      case InstClass::Branch:
+        latency = cfg_.intLatency;
+        break;
+      case InstClass::Load:
+        return issueLoad(e);
+      case InstClass::Store:
+        // Data and address are ready; the actual write happens from
+        // the write buffer after retirement (write-through).
+        latency = 1;
+        break;
+      case InstClass::Misc:
+        if (in.op == Opcode::Prefetch) {
+            // Non-binding: start an L1 fill if the line is absent and
+            // an L1 MAF entry is free; never stalls.
+            const Addr line = roundDown(e.di.effAddr, CacheLineBytes);
+            if (!l1_.lookup(line) && !l1Maf_.count(line) &&
+                l1Maf_.size() < cfg_.l1MafEntries &&
+                l2_.scalarRequest(line, false, 0, false, coreId_)) {
+                l1Maf_[line];   // no waiters; fill on response
+            }
+        }
+        latency = 1;
+        break;
+      default:
+        latency = 1;
+        break;
+    }
+
+    e.stage = Stage::Issued;
+    completionEvents_.emplace(now_ + latency, seq);
+    return true;
+}
+
+bool
+Core::issueLoad(RobEntry &e)
+{
+    const Addr line = roundDown(e.di.effAddr, CacheLineBytes);
+    if (l1_.lookup(line)) {
+        e.stage = Stage::Issued;
+        completionEvents_.emplace(now_ + cfg_.l1HitLatency, e.di.seq);
+        return true;
+    }
+    auto it = l1Maf_.find(line);
+    if (it != l1Maf_.end()) {
+        it->second.waiters.push_back(e.di.seq);
+        e.stage = Stage::Issued;
+        return true;
+    }
+    if (l1Maf_.size() >= cfg_.l1MafEntries)
+        return false;   // all miss registers busy
+    if (!l2_.scalarRequest(line, false, 0, false, coreId_))
+        return false;   // L2 MAF full or panicking
+    l1Maf_[line].waiters.push_back(e.di.seq);
+    e.stage = Stage::Issued;
+    return true;
+}
+
+// ---- completion ----------------------------------------------------------
+
+void
+Core::completeStage()
+{
+    // Scheduled FU completions.
+    while (!completionEvents_.empty() &&
+           completionEvents_.begin()->first <= now_) {
+        auto [at, seq] = *completionEvents_.begin();
+        completionEvents_.erase(completionEvents_.begin());
+        markDone(seq, at);
+    }
+
+    // Scalar L2 responses: fills wake loads; write acks retire stores.
+    while (auto resp = l2_.dequeueScalarResp(coreId_)) {
+        if (resp->isWrite) {
+            tarantula_assert(outstandingStores_ > 0);
+            --outstandingStores_;
+            continue;
+        }
+        l1_.fill(resp->lineAddr);
+        auto it = l1Maf_.find(resp->lineAddr);
+        if (it != l1Maf_.end()) {
+            for (std::uint64_t seq : it->second.waiters)
+                markDone(seq, now_ + 1);
+            l1Maf_.erase(it);
+        }
+    }
+
+    // VCU completions from the Vbox.
+    if (vbox_) {
+        while (auto c = vbox_->dequeueCompletion())
+            markDone(c->robTag, std::max(c->doneAt, now_));
+    }
+}
+
+void
+Core::markDone(std::uint64_t seq, Cycle done_at)
+{
+    RobEntry *e = entry(seq);
+    if (!e)
+        panic("markDone: instruction %llu already retired",
+              static_cast<unsigned long long>(seq));
+    tarantula_assert(e->stage != Stage::Done);
+    e->stage = Stage::Done;
+    e->doneAt = done_at;
+
+    if (e->mispredicted) {
+        // The branch resolved; redirect fetch after the penalty.
+        waitingRedirect_ = false;
+        fetchResumeAt_ =
+            std::max(fetchResumeAt_, done_at + cfg_.mispredictPenalty);
+    }
+
+    wakeup(*e);
+}
+
+void
+Core::wakeup(RobEntry &producer)
+{
+    for (std::uint64_t dep_seq : producer.dependents) {
+        RobEntry *dep = entry(dep_seq);
+        if (!dep)
+            continue;
+        tarantula_assert(dep->pendingSrcs > 0);
+        if (--dep->pendingSrcs == 0 &&
+            dep->stage == Stage::Dispatched) {
+            dep->stage = Stage::Ready;
+            enqueueReady_(*dep);
+        }
+    }
+    producer.dependents.clear();
+}
+
+// ---- retire ------------------------------------------------------------
+
+void
+Core::retireStage()
+{
+    for (unsigned n = 0; n < cfg_.retireWidth && !rob_.empty(); ++n) {
+        RobEntry &e = rob_.front();
+        if (e.stage != Stage::Done || e.doneAt > now_)
+            break;
+        const isa::Inst &in = *e.di.inst;
+
+        if (in.cls() == InstClass::Store) {
+            if (!retireStoreToWb_(e))
+                break;      // write buffer full
+        } else if (in.op == Opcode::Wh64) {
+            if (!pushWb_(roundDown(e.di.effAddr, CacheLineBytes), true))
+                break;
+        } else if (in.op == Opcode::DrainM) {
+            if (!writeBuffer_.empty() || outstandingStores_ > 0) {
+                ++drainmStalls_;
+                break;      // purge still in progress
+            }
+            // Purge complete: retire and take the replay trap.
+            fetchBlockedOnDrain_ = false;
+            fetchResumeAt_ = std::max(fetchResumeAt_,
+                                      now_ + cfg_.mispredictPenalty);
+        } else if (in.op == Opcode::Halt) {
+            trulyHalted_ = true;
+        }
+
+        ++retired_;
+        ops_ += e.di.ops();
+        flops_ += e.di.flops();
+        memops_ += e.di.memops();
+        if (in.isVec())
+            ++vecRetired_;
+
+        rob_.pop_front();
+        ++robBaseSeq_;
+    }
+}
+
+bool
+Core::retireStoreToWb_(RobEntry &e)
+{
+    const Addr line = roundDown(e.di.effAddr, CacheLineBytes);
+    if (!pushWb_(line, false))
+        return false;
+    auto it = pendingStoreLines_.find(line);
+    tarantula_assert(it != pendingStoreLines_.end());
+    if (--it->second == 0)
+        pendingStoreLines_.erase(it);
+    return true;
+}
+
+bool
+Core::pushWb_(Addr line, bool wh64)
+{
+    auto it = wbLines_.find(line);
+    if (it != wbLines_.end()) {
+        // Write-combining: merge into the existing entry.
+        for (auto &wb : writeBuffer_) {
+            if (wb.line == line) {
+                wb.wh64 = wb.wh64 || wh64;
+                break;
+            }
+        }
+        return true;
+    }
+    if (writeBuffer_.size() >= cfg_.writeBufferEntries) {
+        ++wbFullStalls_;
+        return false;
+    }
+    writeBuffer_.push_back({line, wh64});
+    wbLines_.emplace(line, 1);
+    return true;
+}
+
+void
+Core::drainWriteBuffer()
+{
+    unsigned drained = 0;
+    while (!writeBuffer_.empty() && drained < cfg_.storePorts) {
+        const WbEntry wb = writeBuffer_.front();
+        if (!l2_.scalarRequest(wb.line, true, 0, wb.wh64, coreId_))
+            break;      // L2 busy; retry next cycle
+        // Write-through: keep the L1 copy coherent if present.
+        ++outstandingStores_;
+        writeBuffer_.pop_front();
+        wbLines_.erase(wb.line);
+        ++drained;
+    }
+}
+
+// ---- queries ---------------------------------------------------------
+
+bool
+Core::hasPendingStore(Addr line_addr) const
+{
+    return wbLines_.count(line_addr) > 0 ||
+           pendingStoreLines_.count(line_addr) > 0;
+}
+
+bool
+Core::done() const
+{
+    return trulyHalted_ && rob_.empty() && fetchBuffer_.empty() &&
+           writeBuffer_.empty() && outstandingStores_ == 0 &&
+           completionEvents_.empty() && l1Maf_.empty() &&
+           (!vbox_ || vbox_->idle());
+}
+
+} // namespace tarantula::ev8

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The EV8-class out-of-order superscalar core model.
+ *
+ * Trace-driven, timing-directed: the functional interpreter supplies
+ * the committed dynamic instruction stream; the core models fetch
+ * (with a real predictor -- mispredictions stall fetch until the
+ * branch resolves plus a redirect penalty), in-order dispatch into a
+ * ROB, dataflow wakeup/issue with per-class bandwidths and functional
+ * unit latencies, a load/store pipeline through the L1 and L2, a
+ * coalescing write buffer with write-through stores, the DrainM
+ * scalar-vector memory barrier, and in-order retirement.
+ *
+ * Vector instructions ride the paper's narrow core-Vbox interface:
+ * at most three renamed vector instructions per cycle cross to the
+ * Vbox, scalar operands cross on two 64-bit buses (delay modeled in
+ * the Vbox), and completions return through the VCU for the core to
+ * retire.
+ */
+
+#ifndef TARANTULA_EV8_CORE_HH
+#define TARANTULA_EV8_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/statistics.hh"
+#include "base/types.hh"
+#include "cache/l1_cache.hh"
+#include "cache/l2_cache.hh"
+#include "ev8/branch_predictor.hh"
+#include "exec/interp.hh"
+#include "vbox/vbox.hh"
+
+namespace tarantula::ev8
+{
+
+/** Core configuration (Table 3 parameters plus internals). */
+struct CoreConfig
+{
+    unsigned fetchWidth = 8;
+    unsigned frontendDepth = 8;     ///< fetch-to-dispatch stages
+    unsigned robSize = 256;
+    unsigned intIssueWidth = 8;     ///< peak Int ops/cycle
+    unsigned fpIssueWidth = 4;      ///< peak FP ops/cycle
+    unsigned loadPorts = 2;
+    unsigned storePorts = 2;
+    unsigned vecDispatchWidth = 3;  ///< Pbox -> Vbox instruction bus
+    unsigned retireWidth = 8;
+    unsigned mispredictPenalty = 14;
+    unsigned bpTableBits = 14;
+
+    unsigned intLatency = 1;
+    unsigned mulLatency = 7;
+    unsigned fpLatency = 4;
+    unsigned divLatency = 12;
+    unsigned sqrtLatency = 20;
+
+    unsigned l1HitLatency = 3;
+    unsigned l1MafEntries = 16;
+    unsigned writeBufferEntries = 32;
+
+    cache::L1Config l1;
+};
+
+/** The core; see file comment. */
+class Core
+{
+  public:
+    /**
+     * @param cfg    Configuration.
+     * @param interp Functional interpreter (committed-path oracle).
+     * @param l2     Second-level cache (scalar port).
+     * @param vbox   Vector engine, or nullptr for a vector-less EV8.
+     */
+    Core(const CoreConfig &cfg, exec::Interpreter &interp,
+         cache::L2Cache &l2, vbox::Vbox *vbox,
+         stats::StatGroup &parent, unsigned core_id = 0);
+
+    /** Advance one cycle through all pipeline stages. */
+    void cycle();
+
+    /** True once the program halted and every buffer drained. */
+    bool done() const;
+
+    /** P-bit protocol entry point: the L2 invalidating an L1 line. */
+    void l1Invalidate(Addr line_addr) { l1_.invalidate(line_addr); }
+
+    /**
+     * Scalar-store -> vector-load staleness check: true if a store to
+     * @p line_addr is still in the store queue or write buffer (the
+     * case the paper requires a DrainM for).
+     */
+    bool hasPendingStore(Addr line_addr) const;
+
+    // ---- results ----------------------------------------------------
+    Cycle numCycles() const { return now_; }
+    std::uint64_t numRetired() const { return retired_.value(); }
+    std::uint64_t numOps() const { return ops_.value(); }
+    std::uint64_t numFlops() const { return flops_.value(); }
+    std::uint64_t numMemops() const { return memops_.value(); }
+    std::uint64_t numVecInsts() const { return vecRetired_.value(); }
+
+    const CoreConfig &config() const { return cfg_; }
+    cache::L1Cache &l1() { return l1_; }
+    BranchPredictor &bpred() { return bpred_; }
+
+  private:
+    /** ROB entry state machine flags. */
+    enum class Stage : std::uint8_t
+    {
+        Dispatched,     ///< in ROB, waiting on sources
+        Ready,          ///< sources done, in an issue queue
+        Issued,         ///< executing (completion scheduled or pending)
+        Done            ///< finished; awaiting in-order retire
+    };
+
+    struct RobEntry
+    {
+        exec::DynInst di;
+        Stage stage = Stage::Dispatched;
+        unsigned pendingSrcs = 0;
+        Cycle readyAt = 0;          ///< earliest issue (frontend depth)
+        Cycle doneAt = 0;
+        bool mispredicted = false;
+        bool sentToVbox = false;
+        std::vector<std::uint64_t> dependents;  ///< consumer seq numbers
+    };
+
+    RobEntry *entry(std::uint64_t seq);
+    void fetchStage();
+    bool fetchDrained_() const;
+    void dispatchStage();
+    void enqueueReady_(RobEntry &e);
+    void issueStage();
+    void issueFromQueue_(std::deque<std::uint64_t> &queue,
+                         unsigned width);
+    void completeStage();
+    void retireStage();
+    void drainWriteBuffer();
+    void markDone(std::uint64_t seq, Cycle done_at);
+    void wakeup(RobEntry &producer);
+    bool issueOne(std::uint64_t seq);
+    bool issueLoad(RobEntry &e);
+    bool retireStoreToWb_(RobEntry &e);
+    bool pushWb_(Addr line, bool wh64);
+
+    CoreConfig cfg_;
+    exec::Interpreter &interp_;
+    cache::L2Cache &l2_;
+    vbox::Vbox *vbox_;
+    unsigned coreId_ = 0;       ///< requester id on the shared L2
+    Cycle now_ = 0;
+
+    // Fetch state.
+    std::deque<RobEntry> fetchBuffer_;  ///< fetched, not yet dispatched
+    Cycle fetchResumeAt_ = 0;           ///< redirect / trap stall
+    std::uint64_t redirectSeq_ = 0;     ///< branch seq fetch waits on
+    bool waitingRedirect_ = false;
+    bool fetchBlockedOnDrain_ = false;  ///< DrainM fetch barrier
+    bool trulyHalted_ = false;
+
+    // ROB (indexed by seq - robBaseSeq_).
+    std::deque<RobEntry> rob_;
+    std::uint64_t robBaseSeq_ = 0;
+
+    // Dataflow bookkeeping.
+    std::uint64_t lastWriter_[isa::NumFlatRegs];
+    bool writerValid_[isa::NumFlatRegs];
+
+    // Issue queues (seq numbers; FIFO approximates oldest-first).
+    std::deque<std::uint64_t> intQueue_;
+    std::deque<std::uint64_t> fpQueue_;
+    std::deque<std::uint64_t> loadQueue_;
+    std::deque<std::uint64_t> storeQueue_;
+    std::deque<std::uint64_t> vecQueue_;
+
+    // Completion events: doneAt -> seq.
+    std::multimap<Cycle, std::uint64_t> completionEvents_;
+
+    // L1 miss handling.
+    struct L1MafEntry
+    {
+        std::vector<std::uint64_t> waiters;
+    };
+    std::unordered_map<Addr, L1MafEntry> l1Maf_;
+
+    // Write buffer (line addresses; coalescing).
+    struct WbEntry
+    {
+        Addr line = 0;
+        bool wh64 = false;
+    };
+    std::deque<WbEntry> writeBuffer_;
+    std::unordered_map<Addr, unsigned> wbLines_;   ///< line -> count
+    unsigned outstandingStores_ = 0;    ///< L2 write acks pending
+    /** Lines with stores dispatched but not yet drained to the L2. */
+    std::unordered_map<Addr, unsigned> pendingStoreLines_;
+
+    cache::L1Cache l1_;
+    BranchPredictor bpred_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar retired_;
+    stats::Scalar ops_;
+    stats::Scalar flops_;
+    stats::Scalar memops_;
+    stats::Scalar vecRetired_;
+    stats::Scalar fetchStallCycles_;
+    stats::Scalar robFullStalls_;
+    stats::Scalar wbFullStalls_;
+    stats::Scalar drainmStalls_;
+    stats::Scalar staleHazards_;
+};
+
+} // namespace tarantula::ev8
+
+#endif // TARANTULA_EV8_CORE_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Architectural register state: the Alpha scalar registers plus the
+ * Tarantula vector extension state (v0..v31, vl, vs, vm).
+ */
+
+#ifndef TARANTULA_EXEC_ARCH_STATE_HH
+#define TARANTULA_EXEC_ARCH_STATE_HH
+
+#include <array>
+#include <bit>
+#include <bitset>
+#include <cstdint>
+
+#include "base/types.hh"
+#include "isa/registers.hh"
+
+namespace tarantula::exec
+{
+
+/** One 128-element vector register. */
+using VecValue = std::array<Quadword, MaxVectorLength>;
+
+/**
+ * The complete architectural state of one hardware context.
+ *
+ * r31, f31 and v31 are hardwired to zero: reads return zero and writes
+ * are discarded, exactly as in the Alpha tradition the paper follows.
+ */
+class ArchState
+{
+  public:
+    ArchState() { reset(); }
+
+    /** Reset every register to zero, vl to MaxVectorLength. */
+    void
+    reset()
+    {
+        intRegs_.fill(0);
+        fpRegs_.fill(0);
+        for (auto &v : vecRegs_)
+            v.fill(0);
+        vl_ = MaxVectorLength;
+        vs_ = sizeof(Quadword);
+        vm_.set();
+    }
+
+    // ---- scalar integer ----------------------------------------------
+    std::uint64_t
+    readInt(isa::RegIndex i) const
+    {
+        return i == isa::ZeroReg ? 0 : intRegs_[i];
+    }
+
+    void
+    writeInt(isa::RegIndex i, std::uint64_t v)
+    {
+        if (i != isa::ZeroReg)
+            intRegs_[i] = v;
+    }
+
+    // ---- scalar floating point -----------------------------------------
+    double
+    readFp(isa::RegIndex i) const
+    {
+        return i == isa::ZeroReg ? 0.0
+                                 : std::bit_cast<double>(fpRegs_[i]);
+    }
+
+    std::uint64_t
+    readFpBits(isa::RegIndex i) const
+    {
+        return i == isa::ZeroReg ? 0 : fpRegs_[i];
+    }
+
+    void
+    writeFp(isa::RegIndex i, double v)
+    {
+        if (i != isa::ZeroReg)
+            fpRegs_[i] = std::bit_cast<std::uint64_t>(v);
+    }
+
+    void
+    writeFpBits(isa::RegIndex i, std::uint64_t v)
+    {
+        if (i != isa::ZeroReg)
+            fpRegs_[i] = v;
+    }
+
+    // ---- vector registers ----------------------------------------------
+    /** Read one element; v31 reads as zero. */
+    Quadword
+    readVecElem(isa::RegIndex v, unsigned e) const
+    {
+        return v == isa::ZeroReg ? 0 : vecRegs_[v][e];
+    }
+
+    /** Write one element; writes to v31 are discarded. */
+    void
+    writeVecElem(isa::RegIndex v, unsigned e, Quadword val)
+    {
+        if (v != isa::ZeroReg)
+            vecRegs_[v][e] = val;
+    }
+
+    /** Whole-register access for checkers/tests (v31 yields zeros). */
+    VecValue
+    readVec(isa::RegIndex v) const
+    {
+        return v == isa::ZeroReg ? VecValue{} : vecRegs_[v];
+    }
+
+    // ---- control registers --------------------------------------------
+    unsigned vl() const { return vl_; }
+    void
+    setVl(std::uint64_t v)
+    {
+        vl_ = static_cast<unsigned>(v > MaxVectorLength ? MaxVectorLength
+                                                        : v);
+    }
+
+    std::int64_t vs() const { return vs_; }
+    void setVs(std::int64_t v) { vs_ = v; }
+
+    bool vmBit(unsigned e) const { return vm_.test(e); }
+    void setVmBit(unsigned e, bool b) { vm_.set(e, b); }
+    const std::bitset<MaxVectorLength> &vm() const { return vm_; }
+
+    /** Active-element predicate: within vl and (if masked) vm set. */
+    bool
+    active(unsigned e, bool under_mask) const
+    {
+        return e < vl_ && (!under_mask || vm_.test(e));
+    }
+
+  private:
+    std::array<std::uint64_t, 32> intRegs_;
+    std::array<std::uint64_t, 32> fpRegs_;
+    std::array<VecValue, NumVectorRegs> vecRegs_;
+    unsigned vl_;
+    std::int64_t vs_;
+    std::bitset<MaxVectorLength> vm_;
+};
+
+} // namespace tarantula::exec
+
+#endif // TARANTULA_EXEC_ARCH_STATE_HH

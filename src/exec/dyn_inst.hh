@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The dynamic-instruction record handed from the functional
+ * interpreter to the timing models (the ASIM "functional-first"
+ * interface). It carries everything timing needs: control-flow
+ * outcome, effective addresses, and the vector-length/mask snapshot
+ * under which a vector instruction executed.
+ */
+
+#ifndef TARANTULA_EXEC_DYN_INST_HH
+#define TARANTULA_EXEC_DYN_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/instruction.hh"
+
+namespace tarantula::exec
+{
+
+/** One element's effective address, tagged with its element index. */
+struct VecElemAddr
+{
+    std::uint16_t elem;     ///< element index 0..127 (lane = elem % 16)
+    Addr addr;              ///< effective byte address
+};
+
+/** A committed dynamic instruction. */
+struct DynInst
+{
+    std::uint64_t seq = 0;          ///< global commit sequence number
+    std::uint32_t pc = 0;           ///< instruction index in the program
+    const isa::Inst *inst = nullptr;
+    std::uint32_t nextPc = 0;       ///< architectural next PC
+    bool taken = false;             ///< branch outcome
+
+    Addr effAddr = 0;               ///< scalar memory effective address
+
+    unsigned vl = 0;                ///< vector length at execution
+    std::int64_t vs = 0;            ///< vector stride at execution
+    /** Effective addresses of the active elements (vl and mask). */
+    std::vector<VecElemAddr> vaddrs;
+
+    bool isVec() const { return inst && inst->isVec(); }
+
+    /** Active element count of a vector instruction (else 0). */
+    unsigned
+    activeElems() const
+    {
+        if (!isVec())
+            return 0;
+        return inst->isMem() ? static_cast<unsigned>(vaddrs.size())
+                             : vl;
+    }
+
+    /** Floating-point operations this instruction performs (Fig 6). */
+    unsigned
+    flops() const
+    {
+        using isa::InstClass;
+        using isa::Opcode;
+        if (!inst)
+            return 0;
+        switch (inst->cls()) {
+          case InstClass::FpAlu:
+            return 1;
+          case InstClass::VecOperate:
+            if (inst->dt != isa::DataType::T)
+                return 0;
+            return inst->op == Opcode::Vfmac ? 2 * vl : vl;
+          default:
+            return 0;
+        }
+    }
+
+    /** Memory operations this instruction performs (Fig 6). */
+    unsigned
+    memops() const
+    {
+        using isa::InstClass;
+        if (!inst)
+            return 0;
+        switch (inst->cls()) {
+          case InstClass::Load:
+          case InstClass::Store:
+            return 1;
+          case InstClass::VecLoad:
+          case InstClass::VecStore:
+            return static_cast<unsigned>(vaddrs.size());
+          default:
+            return 0;
+        }
+    }
+
+    /** Total "operations" in the paper's OPC accounting. */
+    unsigned
+    ops() const
+    {
+        if (!inst)
+            return 0;
+        if (inst->isVec()) {
+            switch (inst->cls()) {
+              case isa::InstClass::VecOperate:
+                return inst->op == isa::Opcode::Vfmac ? 2 * vl : vl;
+              case isa::InstClass::VecLoad:
+              case isa::InstClass::VecStore:
+                return static_cast<unsigned>(vaddrs.size());
+              default:
+                return 1;     // vector control
+            }
+        }
+        return 1;
+    }
+};
+
+} // namespace tarantula::exec
+
+#endif // TARANTULA_EXEC_DYN_INST_HH

@@ -1,0 +1,496 @@
+#include "exec/interp.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace tarantula::exec
+{
+
+using isa::DataType;
+using isa::Inst;
+using isa::InstClass;
+using isa::Opcode;
+using isa::VecMode;
+
+Interpreter::Interpreter(const program::Program &prog,
+                         FunctionalMemory &mem)
+    : prog_(prog), mem_(mem)
+{
+    if (prog.empty())
+        fatal("interpreter: empty program");
+}
+
+void
+Interpreter::step(DynInst &out)
+{
+    if (halted_)
+        panic("interpreter: step() after halt");
+    if (pc_ >= prog_.size())
+        panic("interpreter: pc %u ran off the end of the program", pc_);
+
+    const Inst &in = prog_[pc_];
+    out = DynInst{};
+    out.seq = seq_++;
+    out.pc = pc_;
+    out.inst = &in;
+    out.vl = state_.vl();
+    out.vs = state_.vs();
+
+    std::uint32_t next_pc = pc_ + 1;
+
+    switch (in.cls()) {
+      case InstClass::IntAlu:
+        execScalarInt(in);
+        break;
+      case InstClass::FpAlu:
+        execScalarFp(in);
+        break;
+      case InstClass::Load:
+      case InstClass::Store:
+        execScalarMem(in, out);
+        break;
+      case InstClass::Branch:
+        out.taken = execBranch(in);
+        if (out.taken)
+            next_pc = static_cast<std::uint32_t>(in.target);
+        break;
+      case InstClass::Misc:
+        switch (in.op) {
+          case Opcode::Halt:
+            halted_ = true;
+            next_pc = pc_;
+            break;
+          case Opcode::Prefetch:
+          case Opcode::Wh64:
+            out.effAddr = state_.readInt(in.rb) +
+                static_cast<std::uint64_t>(in.imm);
+            break;
+          default:
+            break;    // nop, drainm: no architectural effect
+        }
+        break;
+      case InstClass::VecOperate:
+        execVecOperate(in);
+        break;
+      case InstClass::VecLoad:
+      case InstClass::VecStore:
+        execVecMem(in, out);
+        break;
+      case InstClass::VecControl:
+        execVecControl(in);
+        break;
+    }
+
+    out.nextPc = next_pc;
+    pc_ = next_pc;
+}
+
+std::uint64_t
+Interpreter::run(std::uint64_t max_steps)
+{
+    DynInst scratch;
+    std::uint64_t n = 0;
+    while (!halted_) {
+        if (n >= max_steps)
+            fatal("interpreter: exceeded %llu steps; runaway program?",
+                  static_cast<unsigned long long>(max_steps));
+        step(scratch);
+        ++n;
+    }
+    return n;
+}
+
+// ---- scalar integer -----------------------------------------------------
+
+void
+Interpreter::execScalarInt(const Inst &in)
+{
+    if (in.op == Opcode::Ftoit) {
+        state_.writeInt(in.rd, state_.readFpBits(in.ra));
+        return;
+    }
+
+    const std::uint64_t a = state_.readInt(in.ra);
+    const std::uint64_t b = in.immValid
+        ? static_cast<std::uint64_t>(in.imm)
+        : state_.readInt(in.rb);
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    std::uint64_t r = 0;
+
+    switch (in.op) {
+      case Opcode::Addq: r = a + b; break;
+      case Opcode::Subq: r = a - b; break;
+      case Opcode::Mulq: r = a * b; break;
+      case Opcode::And: r = a & b; break;
+      case Opcode::Or: r = a | b; break;
+      case Opcode::Xor: r = a ^ b; break;
+      case Opcode::Sll: r = a << (b & 63); break;
+      case Opcode::Srl: r = a >> (b & 63); break;
+      case Opcode::Sra:
+        r = static_cast<std::uint64_t>(sa >> (b & 63));
+        break;
+      case Opcode::Cmpeq: r = (a == b) ? 1 : 0; break;
+      case Opcode::Cmplt: r = (sa < sb) ? 1 : 0; break;
+      case Opcode::Cmple: r = (sa <= sb) ? 1 : 0; break;
+      case Opcode::Cmpult: r = (a < b) ? 1 : 0; break;
+      case Opcode::Lda:
+        r = a + static_cast<std::uint64_t>(in.imm);
+        break;
+      default:
+        panic("execScalarInt: bad opcode %s", isa::opcodeName(in.op));
+    }
+    state_.writeInt(in.rd, r);
+}
+
+// ---- scalar floating point -------------------------------------------------
+
+void
+Interpreter::execScalarFp(const Inst &in)
+{
+    if (in.op == Opcode::Itoft) {
+        state_.writeFpBits(in.rd, state_.readInt(in.ra));
+        return;
+    }
+
+    const double a = state_.readFp(in.ra);
+    const double b = state_.readFp(in.rb);
+    double r = 0.0;
+
+    switch (in.op) {
+      case Opcode::Addt: r = a + b; break;
+      case Opcode::Subt: r = a - b; break;
+      case Opcode::Mult: r = a * b; break;
+      case Opcode::Divt: r = a / b; break;
+      case Opcode::Sqrtt: r = std::sqrt(b); break;
+      // Alpha FP compares write 2.0 for true, 0.0 for false.
+      case Opcode::Cmpteq: r = (a == b) ? 2.0 : 0.0; break;
+      case Opcode::Cmptlt: r = (a < b) ? 2.0 : 0.0; break;
+      case Opcode::Cmptle: r = (a <= b) ? 2.0 : 0.0; break;
+      case Opcode::Cvtqt:
+        r = static_cast<double>(
+            static_cast<std::int64_t>(state_.readFpBits(in.rb)));
+        break;
+      case Opcode::Cvttq:
+        state_.writeFpBits(
+            in.rd,
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(b)));
+        return;
+      case Opcode::Fmov: r = b; break;
+      default:
+        panic("execScalarFp: bad opcode %s", isa::opcodeName(in.op));
+    }
+    state_.writeFp(in.rd, r);
+}
+
+// ---- scalar memory -----------------------------------------------------
+
+void
+Interpreter::execScalarMem(const Inst &in, DynInst &out)
+{
+    const Addr ea =
+        state_.readInt(in.rb) + static_cast<std::uint64_t>(in.imm);
+    if (ea & 7)
+        panic("unaligned scalar access 0x%llx at pc %u",
+              static_cast<unsigned long long>(ea), pc_);
+    out.effAddr = ea;
+
+    switch (in.op) {
+      case Opcode::Ldq:
+        state_.writeInt(in.rd, mem_.readQ(ea));
+        break;
+      case Opcode::Ldt:
+        state_.writeFp(in.rd, mem_.readT(ea));
+        break;
+      case Opcode::Stq:
+        mem_.writeQ(ea, state_.readInt(in.ra));
+        break;
+      case Opcode::Stt:
+        mem_.writeT(ea, state_.readFp(in.ra));
+        break;
+      default:
+        panic("execScalarMem: bad opcode %s", isa::opcodeName(in.op));
+    }
+}
+
+// ---- branches ------------------------------------------------------------
+
+bool
+Interpreter::execBranch(const Inst &in)
+{
+    switch (in.op) {
+      case Opcode::Br: return true;
+      case Opcode::Beq: return state_.readInt(in.ra) == 0;
+      case Opcode::Bne: return state_.readInt(in.ra) != 0;
+      case Opcode::Blt:
+        return static_cast<std::int64_t>(state_.readInt(in.ra)) < 0;
+      case Opcode::Bge:
+        return static_cast<std::int64_t>(state_.readInt(in.ra)) >= 0;
+      case Opcode::Ble:
+        return static_cast<std::int64_t>(state_.readInt(in.ra)) <= 0;
+      case Opcode::Bgt:
+        return static_cast<std::int64_t>(state_.readInt(in.ra)) > 0;
+      case Opcode::Fbeq: return state_.readFp(in.ra) == 0.0;
+      case Opcode::Fbne: return state_.readFp(in.ra) != 0.0;
+      default:
+        panic("execBranch: bad opcode %s", isa::opcodeName(in.op));
+    }
+}
+
+// ---- vector operate ------------------------------------------------------
+
+namespace
+{
+
+double
+asT(Quadword q)
+{
+    return std::bit_cast<double>(q);
+}
+
+Quadword
+fromT(double d)
+{
+    return std::bit_cast<Quadword>(d);
+}
+
+} // anonymous namespace
+
+void
+Interpreter::execVecOperate(const Inst &in)
+{
+    const unsigned vl = state_.vl();
+    const bool is_t = in.dt == DataType::T;
+
+    // Scalar operand of a VS-form instruction.
+    Quadword sq = 0;
+    double st = 0.0;
+    if (in.mode == VecMode::VS) {
+        if (in.immValid) {
+            sq = static_cast<Quadword>(in.imm);
+            st = is_t ? in.fimm : static_cast<double>(in.imm);
+        } else if (is_t) {
+            st = state_.readFp(in.rb);
+            sq = fromT(st);
+        } else {
+            sq = state_.readInt(in.rb);
+            st = static_cast<double>(static_cast<std::int64_t>(sq));
+        }
+    }
+
+    for (unsigned e = 0; e < vl; ++e) {
+        if (in.underMask && !state_.vmBit(e))
+            continue;
+
+        const Quadword aq = state_.readVecElem(in.ra, e);
+        const Quadword bq = in.mode == VecMode::VS
+            ? sq : state_.readVecElem(in.rb, e);
+        const double at = asT(aq);
+        const double bt = in.mode == VecMode::VS ? st : asT(bq);
+        const auto sa = static_cast<std::int64_t>(aq);
+        const auto sb = static_cast<std::int64_t>(bq);
+        Quadword r = 0;
+
+        switch (in.op) {
+          case Opcode::Vadd:
+            r = is_t ? fromT(at + bt) : aq + bq;
+            break;
+          case Opcode::Vsub:
+            r = is_t ? fromT(at - bt) : aq - bq;
+            break;
+          case Opcode::Vmul:
+            r = is_t ? fromT(at * bt) : aq * bq;
+            break;
+          case Opcode::Vdiv:
+            tarantula_assert(is_t);
+            r = fromT(at / bt);
+            break;
+          case Opcode::Vsqrt:
+            tarantula_assert(is_t);
+            r = fromT(std::sqrt(at));
+            break;
+          case Opcode::Vfmac: {
+            tarantula_assert(is_t);
+            const double acc = asT(state_.readVecElem(in.rd, e));
+            r = fromT(acc + at * bt);
+            break;
+          }
+          case Opcode::Vand: r = aq & bq; break;
+          case Opcode::Vor: r = aq | bq; break;
+          case Opcode::Vxor: r = aq ^ bq; break;
+          case Opcode::Vsll: r = aq << (bq & 63); break;
+          case Opcode::Vsrl: r = aq >> (bq & 63); break;
+          case Opcode::Vsra:
+            r = static_cast<Quadword>(sa >> (bq & 63));
+            break;
+          case Opcode::Vcmpeq:
+            r = (is_t ? at == bt : aq == bq) ? 1 : 0;
+            break;
+          case Opcode::Vcmpne:
+            r = (is_t ? at != bt : aq != bq) ? 1 : 0;
+            break;
+          case Opcode::Vcmplt:
+            r = (is_t ? at < bt : sa < sb) ? 1 : 0;
+            break;
+          case Opcode::Vcmple:
+            r = (is_t ? at <= bt : sa <= sb) ? 1 : 0;
+            break;
+          case Opcode::Vmin:
+            r = is_t ? fromT(std::fmin(at, bt))
+                     : static_cast<Quadword>(sa < sb ? sa : sb);
+            break;
+          case Opcode::Vmax:
+            r = is_t ? fromT(std::fmax(at, bt))
+                     : static_cast<Quadword>(sa > sb ? sa : sb);
+            break;
+          case Opcode::Vmerge:
+            r = state_.vmBit(e) ? aq : bq;
+            break;
+          default:
+            panic("execVecOperate: bad opcode %s",
+                  isa::opcodeName(in.op));
+        }
+        state_.writeVecElem(in.rd, e, r);
+    }
+
+    if (poisonTail_)
+        poison(in);
+}
+
+// ---- vector memory --------------------------------------------------------
+
+void
+Interpreter::execVecMem(const Inst &in, DynInst &out)
+{
+    const unsigned vl = state_.vl();
+    const Addr base =
+        state_.readInt(in.rb) + static_cast<std::uint64_t>(in.imm);
+    const std::int64_t stride = state_.vs();
+    out.vaddrs.reserve(vl);
+
+    for (unsigned e = 0; e < vl; ++e) {
+        if (in.underMask && !state_.vmBit(e))
+            continue;
+
+        Addr ea = 0;
+        switch (in.op) {
+          case Opcode::Vld:
+          case Opcode::Vst:
+            ea = base + static_cast<std::uint64_t>(
+                stride * static_cast<std::int64_t>(e));
+            break;
+          case Opcode::Vgath:
+            ea = base + state_.readVecElem(in.ra, e);
+            break;
+          case Opcode::Vscat:
+            // Scatter's index vector travels in the rd slot.
+            ea = base + state_.readVecElem(in.rd, e);
+            break;
+          default:
+            panic("execVecMem: bad opcode %s", isa::opcodeName(in.op));
+        }
+        if (ea & 7)
+            panic("unaligned vector element access 0x%llx at pc %u",
+                  static_cast<unsigned long long>(ea), pc_);
+        out.vaddrs.push_back({static_cast<std::uint16_t>(e), ea});
+
+        switch (in.op) {
+          case Opcode::Vld:
+          case Opcode::Vgath:
+            state_.writeVecElem(in.rd, e, mem_.readQ(ea));
+            break;
+          case Opcode::Vst:
+          case Opcode::Vscat:
+            mem_.writeQ(ea, state_.readVecElem(in.ra, e));
+            break;
+          default:
+            break;
+        }
+    }
+
+    if (poisonTail_ && in.cls() == InstClass::VecLoad)
+        poison(in);
+}
+
+// ---- vector control ---------------------------------------------------
+
+void
+Interpreter::execVecControl(const Inst &in)
+{
+    switch (in.op) {
+      case Opcode::Setvl:
+        state_.setVl(in.immValid ? static_cast<std::uint64_t>(in.imm)
+                                 : state_.readInt(in.ra));
+        break;
+      case Opcode::Setvs:
+        state_.setVs(in.immValid
+                         ? in.imm
+                         : static_cast<std::int64_t>(
+                               state_.readInt(in.ra)));
+        break;
+      case Opcode::Setvm:
+        // vm[i] = low bit of element i; elements past vl set the mask
+        // bit to zero so stale state cannot leak into masked ops.
+        for (unsigned e = 0; e < MaxVectorLength; ++e) {
+            const bool b = e < state_.vl() &&
+                (state_.readVecElem(in.ra, e) & 1);
+            state_.setVmBit(e, b);
+        }
+        break;
+      case Opcode::Viota:
+        for (unsigned e = 0; e < state_.vl(); ++e)
+            state_.writeVecElem(in.rd, e, e);
+        if (poisonTail_)
+            poison(in);
+        break;
+      case Opcode::Vslidedown: {
+        const auto k = static_cast<unsigned>(in.imm);
+        for (unsigned e = 0; e < state_.vl(); ++e) {
+            const unsigned src = e + k;
+            const Quadword v = src < MaxVectorLength
+                ? state_.readVecElem(in.ra, src) : 0;
+            state_.writeVecElem(in.rd, e, v);
+        }
+        if (poisonTail_)
+            poison(in);
+        break;
+      }
+      case Opcode::Vextract: {
+        const auto idx = static_cast<unsigned>(
+            in.immValid ? static_cast<std::uint64_t>(in.imm)
+                        : state_.readInt(in.rb));
+        if (idx >= MaxVectorLength)
+            panic("vextract: element index %u out of range", idx);
+        const Quadword v = state_.readVecElem(in.ra, idx);
+        if (in.dt == DataType::T)
+            state_.writeFpBits(in.rd, v);
+        else
+            state_.writeInt(in.rd, v);
+        break;
+      }
+      case Opcode::Vinsert: {
+        const auto idx = static_cast<unsigned>(
+            in.immValid ? static_cast<std::uint64_t>(in.imm)
+                        : state_.readInt(in.rb));
+        if (idx >= MaxVectorLength)
+            panic("vinsert: element index %u out of range", idx);
+        const Quadword v = in.dt == DataType::T
+            ? state_.readFpBits(in.ra) : state_.readInt(in.ra);
+        state_.writeVecElem(in.rd, idx, v);
+        break;
+      }
+      default:
+        panic("execVecControl: bad opcode %s", isa::opcodeName(in.op));
+    }
+}
+
+void
+Interpreter::poison(const Inst &in)
+{
+    for (unsigned e = state_.vl(); e < MaxVectorLength; ++e)
+        state_.writeVecElem(in.rd, e, TailPoison);
+}
+
+} // namespace tarantula::exec

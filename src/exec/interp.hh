@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The functional interpreter: executes a Program against an ArchState
+ * and a FunctionalMemory, one instruction per step(), emitting the
+ * committed DynInst stream the timing models consume.
+ */
+
+#ifndef TARANTULA_EXEC_INTERP_HH
+#define TARANTULA_EXEC_INTERP_HH
+
+#include <cstdint>
+
+#include "exec/arch_state.hh"
+#include "exec/dyn_inst.hh"
+#include "exec/memory.hh"
+#include "program/program.hh"
+
+namespace tarantula::exec
+{
+
+/** Functional executor; see file comment. */
+class Interpreter
+{
+  public:
+    /**
+     * @param prog  Program to run (must outlive the interpreter).
+     * @param mem   Architectural memory image (shared with checkers).
+     */
+    Interpreter(const program::Program &prog, FunctionalMemory &mem);
+
+    /** True once a Halt instruction has committed. */
+    bool halted() const { return halted_; }
+
+    /** Current program counter. */
+    std::uint32_t pc() const { return pc_; }
+
+    /** Committed instruction count. */
+    std::uint64_t numInsts() const { return seq_; }
+
+    /**
+     * Execute the instruction at the current PC and advance.
+     * @param out  Filled with the committed dynamic record.
+     * Calling step() after halt is a panic (caller bug).
+     */
+    void step(DynInst &out);
+
+    /**
+     * Run functionally to completion (no timing).
+     * @param max_steps  Safety bound; fatal() if exceeded.
+     * @return Number of instructions executed.
+     */
+    std::uint64_t run(std::uint64_t max_steps = 1ULL << 32);
+
+    ArchState &state() { return state_; }
+    const ArchState &state() const { return state_; }
+
+    /**
+     * When set, elements at indices >= vl of a vector-operate or
+     * vector-load destination are overwritten with a canary pattern,
+     * implementing the ISA's <UNPREDICTABLE> in the most hostile legal
+     * way. Correct kernels must produce identical results either way;
+     * the workload test suite runs both settings to prove it.
+     */
+    void setPoisonTail(bool p) { poisonTail_ = p; }
+
+    /** The canary written into UNPREDICTABLE tail elements. */
+    static constexpr Quadword TailPoison = 0xdeadbeefcafef00dULL;
+
+  private:
+    void execScalarInt(const isa::Inst &in);
+    void execScalarFp(const isa::Inst &in);
+    void execScalarMem(const isa::Inst &in, DynInst &out);
+    bool execBranch(const isa::Inst &in);     // returns taken
+    void execVecOperate(const isa::Inst &in);
+    void execVecMem(const isa::Inst &in, DynInst &out);
+    void execVecControl(const isa::Inst &in);
+    void poison(const isa::Inst &in);
+
+    const program::Program &prog_;
+    FunctionalMemory &mem_;
+    ArchState state_;
+    std::uint32_t pc_ = 0;
+    std::uint64_t seq_ = 0;
+    bool halted_ = false;
+    bool poisonTail_ = false;
+};
+
+} // namespace tarantula::exec
+
+#endif // TARANTULA_EXEC_INTERP_HH

@@ -1,0 +1,316 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace tarantula::isa
+{
+
+namespace
+{
+
+/** Append a register to the list unless it reads as zero. */
+void
+push(RegId out[], unsigned &n, RegId id)
+{
+    if (!id.isZero())
+        out[n++] = id;
+}
+
+/** The scalar register class a VS-form operand uses for a data type. */
+RegId
+scalarSrc(DataType dt, RegIndex idx)
+{
+    return dt == DataType::T ? fpReg(idx) : intReg(idx);
+}
+
+} // anonymous namespace
+
+unsigned
+Inst::srcRegs(RegId out[6]) const
+{
+    unsigned n = 0;
+    switch (cls()) {
+      case InstClass::IntAlu:
+        if (op == Opcode::Ftoit) {
+            push(out, n, fpReg(ra));
+            break;
+        }
+        push(out, n, intReg(ra));
+        if (!immValid && op != Opcode::Lda)
+            push(out, n, intReg(rb));
+        break;
+
+      case InstClass::FpAlu:
+        if (op == Opcode::Itoft) {
+            push(out, n, intReg(ra));
+            break;
+        }
+        if (op != Opcode::Sqrtt && op != Opcode::Fmov &&
+            op != Opcode::Cvtqt && op != Opcode::Cvttq) {
+            push(out, n, fpReg(ra));
+        }
+        push(out, n, fpReg(rb));
+        break;
+
+      case InstClass::Load:
+        push(out, n, intReg(rb));
+        break;
+
+      case InstClass::Store:
+        push(out, n, op == Opcode::Stt ? fpReg(ra) : intReg(ra));
+        push(out, n, intReg(rb));
+        break;
+
+      case InstClass::Branch:
+        if (op == Opcode::Fbeq || op == Opcode::Fbne)
+            push(out, n, fpReg(ra));
+        else if (op != Opcode::Br)
+            push(out, n, intReg(ra));
+        break;
+
+      case InstClass::Misc:
+        if (op == Opcode::Prefetch || op == Opcode::Wh64)
+            push(out, n, intReg(rb));
+        break;
+
+      case InstClass::VecOperate:
+        push(out, n, ctrlReg(CtrlVl));
+        if (underMask || op == Opcode::Vmerge)
+            push(out, n, ctrlReg(CtrlVm));
+        push(out, n, vecReg(ra));
+        if (op == Opcode::Vfmac)
+            push(out, n, vecReg(rd));
+        if (op != Opcode::Vsqrt) {
+            if (mode == VecMode::VS) {
+                if (!immValid)
+                    push(out, n, scalarSrc(dt, rb));
+            } else {
+                push(out, n, vecReg(rb));
+            }
+        }
+        break;
+
+      case InstClass::VecLoad:
+        push(out, n, ctrlReg(CtrlVl));
+        if (underMask)
+            push(out, n, ctrlReg(CtrlVm));
+        push(out, n, intReg(rb));
+        if (op == Opcode::Vld)
+            push(out, n, ctrlReg(CtrlVs));
+        else
+            push(out, n, vecReg(ra));   // gather index vector
+        break;
+
+      case InstClass::VecStore:
+        push(out, n, ctrlReg(CtrlVl));
+        if (underMask)
+            push(out, n, ctrlReg(CtrlVm));
+        push(out, n, intReg(rb));
+        push(out, n, vecReg(ra));       // store data
+        if (op == Opcode::Vst)
+            push(out, n, ctrlReg(CtrlVs));
+        else
+            push(out, n, vecReg(rd));   // scatter index vector (vd slot)
+        break;
+
+      case InstClass::VecControl:
+        switch (op) {
+          case Opcode::Setvl:
+          case Opcode::Setvs:
+            if (!immValid)
+                push(out, n, intReg(ra));
+            break;
+          case Opcode::Setvm:
+            push(out, n, vecReg(ra));
+            push(out, n, ctrlReg(CtrlVl));
+            break;
+          case Opcode::Viota:
+            push(out, n, ctrlReg(CtrlVl));
+            break;
+          case Opcode::Vslidedown:
+            push(out, n, vecReg(ra));
+            push(out, n, ctrlReg(CtrlVl));
+            break;
+          case Opcode::Vextract:
+            push(out, n, vecReg(ra));
+            if (!immValid)
+                push(out, n, intReg(rb));
+            break;
+          case Opcode::Vinsert:
+            push(out, n, vecReg(rd));   // read-modify-write
+            push(out, n, scalarSrc(dt, ra));
+            if (!immValid)
+                push(out, n, intReg(rb));
+            break;
+          default:
+            panic("srcRegs: unhandled VC opcode");
+        }
+        break;
+    }
+    return n;
+}
+
+unsigned
+Inst::dstRegs(RegId out[2]) const
+{
+    unsigned n = 0;
+    switch (cls()) {
+      case InstClass::IntAlu:
+        push(out, n, intReg(rd));
+        break;
+      case InstClass::FpAlu:
+        push(out, n, fpReg(rd));
+        break;
+      case InstClass::Load:
+        push(out, n, op == Opcode::Ldt ? fpReg(rd) : intReg(rd));
+        break;
+      case InstClass::Store:
+      case InstClass::Branch:
+      case InstClass::Misc:
+        break;
+      case InstClass::VecOperate:
+      case InstClass::VecLoad:
+        push(out, n, vecReg(rd));
+        break;
+      case InstClass::VecStore:
+        break;
+      case InstClass::VecControl:
+        switch (op) {
+          case Opcode::Setvl:
+            out[n++] = ctrlReg(CtrlVl);
+            break;
+          case Opcode::Setvs:
+            out[n++] = ctrlReg(CtrlVs);
+            break;
+          case Opcode::Setvm:
+            out[n++] = ctrlReg(CtrlVm);
+            break;
+          case Opcode::Viota:
+          case Opcode::Vslidedown:
+          case Opcode::Vinsert:
+            push(out, n, vecReg(rd));
+            break;
+          case Opcode::Vextract:
+            push(out, n, dt == DataType::T ? fpReg(rd) : intReg(rd));
+            break;
+          default:
+            panic("dstRegs: unhandled VC opcode");
+        }
+        break;
+    }
+    return n;
+}
+
+std::string
+Inst::disasm() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    if (isVec() && cls() == InstClass::VecOperate)
+        os << (dt == DataType::T ? "t" : "q")
+           << (mode == VecMode::VS ? ".vs" : ".vv");
+    else if (isVec() && (cls() == InstClass::VecLoad ||
+                         cls() == InstClass::VecStore))
+        os << (dt == DataType::T ? "t" : "q");
+    if (underMask)
+        os << ".m";
+    os << " ";
+
+    auto r = [](const char *pfx, RegIndex i) {
+        std::ostringstream s;
+        s << pfx << static_cast<int>(i);
+        return s.str();
+    };
+
+    switch (cls()) {
+      case InstClass::IntAlu:
+        os << r("r", rd) << ", " << r("r", ra);
+        if (immValid)
+            os << ", #" << imm;
+        else if (op != Opcode::Lda)
+            os << ", " << r("r", rb);
+        break;
+      case InstClass::FpAlu:
+        os << r("f", rd) << ", " << r("f", ra) << ", " << r("f", rb);
+        break;
+      case InstClass::Load:
+        os << (op == Opcode::Ldt ? r("f", rd) : r("r", rd)) << ", "
+           << imm << "(" << r("r", rb) << ")";
+        break;
+      case InstClass::Store:
+        os << (op == Opcode::Stt ? r("f", ra) : r("r", ra)) << ", "
+           << imm << "(" << r("r", rb) << ")";
+        break;
+      case InstClass::Branch:
+        if (op != Opcode::Br)
+            os << r("r", ra) << ", ";
+        os << "@" << target;
+        break;
+      case InstClass::Misc:
+        break;
+      case InstClass::VecOperate:
+        os << r("v", rd) << ", " << r("v", ra) << ", ";
+        if (mode == VecMode::VS) {
+            if (immValid)
+                os << "#" << (dt == DataType::T ? fimm : double(imm));
+            else
+                os << (dt == DataType::T ? r("f", rb) : r("r", rb));
+        } else {
+            os << r("v", rb);
+        }
+        break;
+      case InstClass::VecLoad:
+        os << r("v", rd) << ", " << imm << "(" << r("r", rb) << ")";
+        if (op == Opcode::Vgath)
+            os << " [" << r("v", ra) << "]";
+        break;
+      case InstClass::VecStore:
+        os << r("v", ra) << ", " << imm << "(" << r("r", rb) << ")";
+        if (op == Opcode::Vscat)
+            os << " [" << r("v", rd) << "]";
+        break;
+      case InstClass::VecControl:
+        switch (op) {
+          case Opcode::Setvl:
+          case Opcode::Setvs:
+            if (immValid)
+                os << "#" << imm;
+            else
+                os << r("r", ra);
+            break;
+          case Opcode::Setvm:
+            os << r("v", ra);
+            break;
+          case Opcode::Viota:
+            os << r("v", rd);
+            break;
+          case Opcode::Vslidedown:
+            os << r("v", rd) << ", " << r("v", ra) << ", #" << imm;
+            break;
+          case Opcode::Vextract:
+            os << (dt == DataType::T ? r("f", rd) : r("r", rd)) << ", "
+               << r("v", ra);
+            if (immValid)
+                os << ", #" << imm;
+            else
+                os << ", " << r("r", rb);
+            break;
+          case Opcode::Vinsert:
+            os << r("v", rd) << ", "
+               << (dt == DataType::T ? r("f", ra) : r("r", ra));
+            if (immValid)
+                os << ", #" << imm;
+            else
+                os << ", " << r("r", rb);
+            break;
+          default:
+            break;
+        }
+        break;
+    }
+    return os.str();
+}
+
+} // namespace tarantula::isa

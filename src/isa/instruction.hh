@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The static instruction representation.
+ *
+ * Operand conventions (Alpha-flavored):
+ *  - operate:        rd = ra OP rb   (or OP imm when immValid)
+ *  - load:           rd = MEM[rb + imm]
+ *  - store:          MEM[rb + imm] = ra
+ *  - branch:         test ra, branch to `target` (an instruction index)
+ *  - vector operate: vd = va OP vb          (VV mode)
+ *                    vd = va OP scalar(rb)  (VS mode; int or fp per dt)
+ *  - vld/vst:        base rb, stride from the vs control register
+ *  - vgath:          vd[i] = MEM[rb + va[i]]
+ *  - vscat:          MEM[rb + vb[i]] = va[i]
+ *
+ * Branch targets are resolved instruction indices within a Program (the
+ * Assembler patches labels), so the simulator needs no decode stage.
+ */
+
+#ifndef TARANTULA_ISA_INSTRUCTION_HH
+#define TARANTULA_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace tarantula::isa
+{
+
+/** A static (decoded) instruction. */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    VecMode mode = VecMode::None;       ///< VV / VS for vector operates
+    DataType dt = DataType::Q;          ///< element type
+    bool underMask = false;             ///< masked-execution modifier
+
+    RegIndex rd = ZeroReg;              ///< destination register
+    RegIndex ra = ZeroReg;              ///< first source
+    RegIndex rb = ZeroReg;              ///< second source / base
+
+    bool immValid = false;              ///< rb replaced by a literal
+    std::int64_t imm = 0;               ///< integer literal/displacement
+    double fimm = 0.0;                  ///< FP literal for VS/T forms
+
+    std::int32_t target = -1;           ///< branch target (inst index)
+
+    /** @name Classification helpers */
+    /// @{
+    InstClass cls() const { return instClass(op); }
+    VecGroup group() const { return vecGroup(op, mode); }
+    bool isVec() const { return isVector(op); }
+    bool
+    isBranch() const
+    {
+        return cls() == InstClass::Branch;
+    }
+    bool
+    isCondBranch() const
+    {
+        return isBranch() && op != Opcode::Br;
+    }
+    bool
+    isMem() const
+    {
+        auto c = cls();
+        return c == InstClass::Load || c == InstClass::Store ||
+               c == InstClass::VecLoad || c == InstClass::VecStore;
+    }
+    /// @}
+
+    /**
+     * Collect the architectural source registers this instruction
+     * reads, including implicit control-register reads (vl, vs, vm).
+     * Zero registers are skipped.
+     *
+     * @param out   Array of at least 6 RegIds.
+     * @return Number of entries written.
+     */
+    unsigned srcRegs(RegId out[6]) const;
+
+    /**
+     * Collect the architectural destination registers, including
+     * implicit control-register writes.
+     *
+     * @param out   Array of at least 2 RegIds.
+     * @return Number of entries written.
+     */
+    unsigned dstRegs(RegId out[2]) const;
+
+    /** Human-readable disassembly. */
+    std::string disasm() const;
+};
+
+} // namespace tarantula::isa
+
+#endif // TARANTULA_ISA_INSTRUCTION_HH

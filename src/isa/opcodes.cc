@@ -1,0 +1,226 @@
+#include "isa/opcodes.hh"
+
+#include "base/logging.hh"
+
+namespace tarantula::isa
+{
+
+InstClass
+instClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Addq:
+      case Opcode::Subq:
+      case Opcode::Mulq:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Cmpeq:
+      case Opcode::Cmplt:
+      case Opcode::Cmple:
+      case Opcode::Cmpult:
+      case Opcode::Lda:
+      case Opcode::Ftoit:
+        return InstClass::IntAlu;
+
+      case Opcode::Addt:
+      case Opcode::Subt:
+      case Opcode::Mult:
+      case Opcode::Divt:
+      case Opcode::Sqrtt:
+      case Opcode::Cmpteq:
+      case Opcode::Cmptlt:
+      case Opcode::Cmptle:
+      case Opcode::Cvtqt:
+      case Opcode::Cvttq:
+      case Opcode::Fmov:
+      case Opcode::Itoft:
+        return InstClass::FpAlu;
+
+      case Opcode::Ldq:
+      case Opcode::Ldt:
+        return InstClass::Load;
+
+      case Opcode::Stq:
+      case Opcode::Stt:
+        return InstClass::Store;
+
+      case Opcode::Br:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+      case Opcode::Fbeq:
+      case Opcode::Fbne:
+        return InstClass::Branch;
+
+      case Opcode::Prefetch:
+      case Opcode::Wh64:
+      case Opcode::DrainM:
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return InstClass::Misc;
+
+      case Opcode::Vadd:
+      case Opcode::Vsub:
+      case Opcode::Vmul:
+      case Opcode::Vdiv:
+      case Opcode::Vsqrt:
+      case Opcode::Vand:
+      case Opcode::Vor:
+      case Opcode::Vxor:
+      case Opcode::Vsll:
+      case Opcode::Vsrl:
+      case Opcode::Vsra:
+      case Opcode::Vcmpeq:
+      case Opcode::Vcmpne:
+      case Opcode::Vcmplt:
+      case Opcode::Vcmple:
+      case Opcode::Vmin:
+      case Opcode::Vmax:
+      case Opcode::Vmerge:
+      case Opcode::Vfmac:
+        return InstClass::VecOperate;
+
+      case Opcode::Vld:
+      case Opcode::Vgath:
+        return InstClass::VecLoad;
+
+      case Opcode::Vst:
+      case Opcode::Vscat:
+        return InstClass::VecStore;
+
+      case Opcode::Setvl:
+      case Opcode::Setvs:
+      case Opcode::Setvm:
+      case Opcode::Viota:
+      case Opcode::Vslidedown:
+      case Opcode::Vextract:
+      case Opcode::Vinsert:
+        return InstClass::VecControl;
+
+      default:
+        panic("instClass: unknown opcode %d", static_cast<int>(op));
+    }
+}
+
+VecGroup
+vecGroup(Opcode op, VecMode mode)
+{
+    switch (instClass(op)) {
+      case InstClass::VecOperate:
+        return mode == VecMode::VS ? VecGroup::VS : VecGroup::VV;
+      case InstClass::VecLoad:
+      case InstClass::VecStore:
+        return (op == Opcode::Vgath || op == Opcode::Vscat)
+            ? VecGroup::RM : VecGroup::SM;
+      case InstClass::VecControl:
+        return VecGroup::VC;
+      default:
+        return VecGroup::NotVector;
+    }
+}
+
+bool
+isVector(Opcode op)
+{
+    switch (instClass(op)) {
+      case InstClass::VecOperate:
+      case InstClass::VecLoad:
+      case InstClass::VecStore:
+      case InstClass::VecControl:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Addq: return "addq";
+      case Opcode::Subq: return "subq";
+      case Opcode::Mulq: return "mulq";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "bis";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Cmpeq: return "cmpeq";
+      case Opcode::Cmplt: return "cmplt";
+      case Opcode::Cmple: return "cmple";
+      case Opcode::Cmpult: return "cmpult";
+      case Opcode::Lda: return "lda";
+      case Opcode::Addt: return "addt";
+      case Opcode::Subt: return "subt";
+      case Opcode::Mult: return "mult";
+      case Opcode::Divt: return "divt";
+      case Opcode::Sqrtt: return "sqrtt";
+      case Opcode::Cmpteq: return "cmpteq";
+      case Opcode::Cmptlt: return "cmptlt";
+      case Opcode::Cmptle: return "cmptle";
+      case Opcode::Cvtqt: return "cvtqt";
+      case Opcode::Cvttq: return "cvttq";
+      case Opcode::Fmov: return "fmov";
+      case Opcode::Itoft: return "itoft";
+      case Opcode::Ftoit: return "ftoit";
+      case Opcode::Ldq: return "ldq";
+      case Opcode::Stq: return "stq";
+      case Opcode::Ldt: return "ldt";
+      case Opcode::Stt: return "stt";
+      case Opcode::Prefetch: return "prefetch";
+      case Opcode::Wh64: return "wh64";
+      case Opcode::DrainM: return "drainm";
+      case Opcode::Br: return "br";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Ble: return "ble";
+      case Opcode::Bgt: return "bgt";
+      case Opcode::Fbeq: return "fbeq";
+      case Opcode::Fbne: return "fbne";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      case Opcode::Vadd: return "vadd";
+      case Opcode::Vsub: return "vsub";
+      case Opcode::Vmul: return "vmul";
+      case Opcode::Vdiv: return "vdiv";
+      case Opcode::Vsqrt: return "vsqrt";
+      case Opcode::Vand: return "vand";
+      case Opcode::Vor: return "vor";
+      case Opcode::Vxor: return "vxor";
+      case Opcode::Vsll: return "vsll";
+      case Opcode::Vsrl: return "vsrl";
+      case Opcode::Vsra: return "vsra";
+      case Opcode::Vcmpeq: return "vcmpeq";
+      case Opcode::Vcmpne: return "vcmpne";
+      case Opcode::Vcmplt: return "vcmplt";
+      case Opcode::Vcmple: return "vcmple";
+      case Opcode::Vmin: return "vmin";
+      case Opcode::Vmax: return "vmax";
+      case Opcode::Vmerge: return "vmerge";
+      case Opcode::Vfmac: return "vfmac";
+      case Opcode::Vld: return "vld";
+      case Opcode::Vst: return "vst";
+      case Opcode::Vgath: return "vgath";
+      case Opcode::Vscat: return "vscat";
+      case Opcode::Setvl: return "setvl";
+      case Opcode::Setvs: return "setvs";
+      case Opcode::Setvm: return "setvm";
+      case Opcode::Viota: return "viota";
+      case Opcode::Vslidedown: return "vslidedown";
+      case Opcode::Vextract: return "vextract";
+      case Opcode::Vinsert: return "vinsert";
+      default: return "<bad>";
+    }
+}
+
+} // namespace tarantula::isa

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Opcode and operand-class definitions for the simulated ISA.
+ *
+ * The scalar portion is a functional subset of the Alpha ISA (integer
+ * quadword ops, IEEE T-format floating point, loads/stores, branches).
+ * The vector portion is the Tarantula extension: 45 new instructions
+ * (not counting data-type variations), grouped -- as in the paper --
+ * into vector-vector operate (VV), vector-scalar operate (VS), strided
+ * memory (SM), random memory (RM) and vector control (VC).
+ *
+ * Data-type variation (quadword integer vs. T-format double) is a field
+ * of the instruction, not a separate opcode, mirroring the paper's
+ * counting convention. The under-mask specifier is likewise a modifier.
+ */
+
+#ifndef TARANTULA_ISA_OPCODES_HH
+#define TARANTULA_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace tarantula::isa
+{
+
+/** Every operation the simulator can execute. */
+enum class Opcode : std::uint8_t
+{
+    // ---- scalar integer operate -------------------------------------
+    Addq,       ///< Rc = Ra + Rb/imm
+    Subq,       ///< Rc = Ra - Rb/imm
+    Mulq,       ///< Rc = Ra * Rb/imm
+    And,        ///< bitwise and
+    Or,         ///< bitwise or (BIS); also the canonical register move
+    Xor,        ///< bitwise xor
+    Sll,        ///< shift left logical
+    Srl,        ///< shift right logical
+    Sra,        ///< shift right arithmetic
+    Cmpeq,      ///< Rc = (Ra == Rb/imm) ? 1 : 0
+    Cmplt,      ///< signed less-than compare
+    Cmple,      ///< signed less-or-equal compare
+    Cmpult,     ///< unsigned less-than compare
+    Lda,        ///< Rc = Ra + imm (address/constant formation)
+
+    // ---- scalar floating point (T = IEEE double) --------------------
+    Addt,       ///< Fc = Fa + Fb
+    Subt,       ///< Fc = Fa - Fb
+    Mult,       ///< Fc = Fa * Fb
+    Divt,       ///< Fc = Fa / Fb
+    Sqrtt,      ///< Fc = sqrt(Fb)
+    Cmpteq,     ///< Fc = (Fa == Fb) ? 2.0 : 0.0 (Alpha convention)
+    Cmptlt,     ///< FP less-than compare
+    Cmptle,     ///< FP less-or-equal compare
+    Cvtqt,      ///< int -> double conversion
+    Cvttq,      ///< double -> int conversion (truncate)
+    Fmov,       ///< Fc = Fb (CPYS in real Alpha)
+    Itoft,      ///< Fc = bits of Ra (integer-to-FP register move)
+    Ftoit,      ///< Rc = bits of Fa (FP-to-integer register move)
+
+    // ---- scalar memory ----------------------------------------------
+    Ldq,        ///< Rc = MEM[Ra + imm] (quadword)
+    Stq,        ///< MEM[Ra + imm] = Rc
+    Ldt,        ///< Fc = MEM[Ra + imm] (double)
+    Stt,        ///< MEM[Ra + imm] = Fc
+    Prefetch,   ///< non-binding line prefetch into L1 (ECB-style)
+    Wh64,       ///< write hint: allocate line without fetching
+    DrainM,     ///< scalar/vector coherency barrier (paper section 3.4)
+
+    // ---- scalar control ---------------------------------------------
+    Br,         ///< unconditional branch
+    Beq,        ///< branch if Ra == 0
+    Bne,        ///< branch if Ra != 0
+    Blt,        ///< branch if Ra < 0
+    Bge,        ///< branch if Ra >= 0
+    Ble,        ///< branch if Ra <= 0
+    Bgt,        ///< branch if Ra > 0
+    Fbeq,       ///< branch if Fa == 0.0
+    Fbne,       ///< branch if Fa != 0.0
+    Nop,        ///< no operation
+    Halt,       ///< terminate the simulated program
+
+    // ---- Tarantula vector operate (VV and VS forms) ------------------
+    // Whether the second source is a vector register (VV group) or a
+    // scalar register (VS group) is the instruction's `mode` field.
+    Vadd,       ///< element-wise add (Q or T)
+    Vsub,       ///< element-wise subtract
+    Vmul,       ///< element-wise multiply
+    Vdiv,       ///< element-wise divide
+    Vsqrt,      ///< element-wise square root (VV form only)
+    Vand,       ///< element-wise bitwise and
+    Vor,        ///< element-wise bitwise or
+    Vxor,       ///< element-wise bitwise xor
+    Vsll,       ///< element-wise shift left logical
+    Vsrl,       ///< element-wise shift right logical
+    Vsra,       ///< element-wise shift right arithmetic
+    Vcmpeq,     ///< element compare ==; boolean result vector
+    Vcmpne,     ///< element compare !=
+    Vcmplt,     ///< element compare < (signed / FP per data type)
+    Vcmple,     ///< element compare <=
+    Vmin,       ///< element-wise minimum
+    Vmax,       ///< element-wise maximum
+    Vmerge,     ///< Vc[i] = vm[i] ? Va[i] : Vb[i]/scalar
+    Vfmac,      ///< fused multiply-add Vc += Va * Vb (FMAC extension)
+
+    // ---- Tarantula strided memory (SM group) -------------------------
+    Vld,        ///< Vc[i] = MEM[Rb + i*vs], i < vl
+    Vst,        ///< MEM[Rb + i*vs] = Va[i], i < vl
+    // ---- Tarantula random memory (RM group) --------------------------
+    Vgath,      ///< Vc[i] = MEM[Rb + Va[i]] (gather)
+    Vscat,      ///< MEM[Rb + Vb[i]] = Va[i] (scatter)
+
+    // ---- Tarantula vector control (VC group) -------------------------
+    Setvl,      ///< vl = min(Ra, 128)
+    Setvs,      ///< vs = Ra (byte stride)
+    Setvm,      ///< vm = low bit of each element of Va
+    Viota,      ///< Vc[i] = i (index generation)
+    Vslidedown, ///< Vc[i] = Va[i + imm] (zero-fill past the top)
+    Vextract,   ///< scalar = Va[Rb] (element read to Rc or Fc per type)
+    Vinsert,    ///< Vc[Rb] = scalar (element write)
+
+    NumOpcodes
+};
+
+/** Vector operand mode: second source vector (VV) or scalar (VS). */
+enum class VecMode : std::uint8_t
+{
+    None,   ///< not a vector-operate instruction
+    VV,     ///< vector-vector
+    VS      ///< vector-scalar
+};
+
+/** Element data type of a vector or scalar FP operation. */
+enum class DataType : std::uint8_t
+{
+    Q,      ///< 64-bit integer quadword
+    T       ///< IEEE double-precision (Alpha T format)
+};
+
+/** Broad instruction classes used by the timing models. */
+enum class InstClass : std::uint8_t
+{
+    IntAlu,         ///< scalar integer operate
+    FpAlu,          ///< scalar FP operate
+    Load,           ///< scalar load
+    Store,          ///< scalar store
+    Branch,         ///< scalar control transfer
+    Misc,           ///< nop/halt/barriers/prefetch
+    VecOperate,     ///< vector arithmetic (VV or VS)
+    VecLoad,        ///< vector strided load or gather
+    VecStore,       ///< vector strided store or scatter
+    VecControl      ///< setvl/setvs/setvm and friends
+};
+
+/** The paper's five-way grouping of the new vector instructions. */
+enum class VecGroup : std::uint8_t
+{
+    NotVector,
+    VV,     ///< vector-vector operate
+    VS,     ///< vector-scalar operate
+    SM,     ///< strided memory access
+    RM,     ///< random memory access
+    VC      ///< vector control
+};
+
+/** Map an opcode (plus its vector mode) to its timing class. */
+InstClass instClass(Opcode op);
+
+/** Map an opcode (plus mode) to the paper's vector grouping. */
+VecGroup vecGroup(Opcode op, VecMode mode);
+
+/** True for any Tarantula vector-extension opcode. */
+bool isVector(Opcode op);
+
+/** Mnemonic string for disassembly. */
+const char *opcodeName(Opcode op);
+
+} // namespace tarantula::isa
+
+#endif // TARANTULA_ISA_OPCODES_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Architectural register identifiers and the unified flat register
+ * numbering used for dependency tracking in the timing models.
+ */
+
+#ifndef TARANTULA_ISA_REGISTERS_HH
+#define TARANTULA_ISA_REGISTERS_HH
+
+#include <cstdint>
+
+namespace tarantula::isa
+{
+
+/** Index of a register within its class (0..31). */
+using RegIndex = std::uint8_t;
+
+constexpr RegIndex ZeroReg = 31;    ///< r31 / f31 / v31 read as zero
+
+/** Register classes in the unified flat numbering. */
+enum class RegClass : std::uint8_t
+{
+    IntReg,     ///< scalar integer r0..r31
+    FpReg,      ///< scalar floating point f0..f31
+    VecReg,     ///< vector v0..v31
+    CtrlReg     ///< vl, vs, vm
+};
+
+/** Control register indices within RegClass::CtrlReg. */
+enum CtrlRegIndex : std::uint8_t
+{
+    CtrlVl = 0,     ///< vector length (8-bit)
+    CtrlVs = 1,     ///< vector stride (64-bit, bytes)
+    CtrlVm = 2,     ///< vector mask (128-bit)
+    NumCtrlRegs = 3
+};
+
+/**
+ * A flat register id combining class and index, usable as a map key in
+ * the renaming and scoreboarding logic. The "invalid" value marks an
+ * unused operand slot.
+ */
+struct RegId
+{
+    RegClass cls = RegClass::IntReg;
+    RegIndex idx = ZeroReg;
+    bool valid = false;
+
+    constexpr RegId() = default;
+    constexpr RegId(RegClass c, RegIndex i) : cls(c), idx(i), valid(true)
+    {
+    }
+
+    /** True for the hardwired-zero registers (and invalid slots). */
+    constexpr bool
+    isZero() const
+    {
+        return !valid ||
+               (cls != RegClass::CtrlReg && idx == ZeroReg);
+    }
+
+    /** Flat number: 0..31 int, 32..63 fp, 64..95 vec, 96..98 ctrl. */
+    constexpr unsigned
+    flat() const
+    {
+        return static_cast<unsigned>(cls) * 32 + idx;
+    }
+
+    constexpr bool
+    operator==(const RegId &other) const
+    {
+        return valid == other.valid && cls == other.cls &&
+               idx == other.idx;
+    }
+};
+
+constexpr unsigned NumFlatRegs = 32 * 3 + NumCtrlRegs;
+
+constexpr RegId intReg(RegIndex i) { return {RegClass::IntReg, i}; }
+constexpr RegId fpReg(RegIndex i) { return {RegClass::FpReg, i}; }
+constexpr RegId vecReg(RegIndex i) { return {RegClass::VecReg, i}; }
+constexpr RegId
+ctrlReg(CtrlRegIndex i)
+{
+    return {RegClass::CtrlReg, static_cast<RegIndex>(i)};
+}
+
+} // namespace tarantula::isa
+
+#endif // TARANTULA_ISA_REGISTERS_HH

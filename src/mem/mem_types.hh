@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory-transaction types exchanged between the L2 cache and the Zbox
+ * memory controller.
+ */
+
+#ifndef TARANTULA_MEM_MEM_TYPES_HH
+#define TARANTULA_MEM_MEM_TYPES_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace tarantula::mem
+{
+
+/**
+ * Transaction kinds, chosen to reproduce the paper's directory-traffic
+ * accounting (section 6, Table 4):
+ *
+ *  - ReadShared:    plain line fetch; directory lookup piggybacks.
+ *  - ReadExclusive: fetch with intent to modify; the Invalid->Dirty
+ *                   directory transition costs one extra RAMBUS access.
+ *  - Writeback:     dirty line written to memory.
+ *  - DirOnly:       a wh64-style ownership transition with no data
+ *                   transfer -- "i.e., a read from RAMBUS".
+ */
+enum class MemCmd : std::uint8_t
+{
+    ReadShared,
+    ReadExclusive,
+    Writeback,
+    DirOnly
+};
+
+/** A request from the L2 to the memory controller. */
+struct MemRequest
+{
+    Addr lineAddr = 0;          ///< line-aligned physical address
+    MemCmd cmd = MemCmd::ReadShared;
+    std::uint64_t tag = 0;      ///< opaque requester cookie
+};
+
+/** A completion notification from the memory controller. */
+struct MemResponse
+{
+    Addr lineAddr = 0;
+    MemCmd cmd = MemCmd::ReadShared;
+    std::uint64_t tag = 0;
+    Cycle readyAt = 0;          ///< CPU cycle the data is available
+};
+
+} // namespace tarantula::mem
+
+#endif // TARANTULA_MEM_MEM_TYPES_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The "slice": the currency of Tarantula's vector memory pipeline.
+ *
+ * A slice is a group of up to 16 addresses guaranteed to be both
+ * L2-bank conflict-free (bits <9:6> all distinct) and register-lane
+ * conflict-free (element % 16 all distinct). Slices are created at the
+ * Vbox address generators, tagged with an identifier, and tracked
+ * through the L2 lookup, the Miss Address File, the Retry Queue and
+ * completion (paper section 3.4).
+ *
+ * A stride-1 slice may instead carry the addresses of up to 16 whole
+ * cache lines with the "pump" bit set, engaging the double-bandwidth
+ * PUMP structure at the output of each L2 bank.
+ */
+
+#ifndef TARANTULA_MEM_SLICE_HH
+#define TARANTULA_MEM_SLICE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/bitfield.hh"
+#include "base/types.hh"
+
+namespace tarantula::mem
+{
+
+/** One address within a slice. */
+struct SliceElem
+{
+    bool valid = false;
+    std::uint16_t elem = 0;     ///< vector element index (lane = %16)
+    Addr addr = 0;              ///< element address (line addr if pump)
+};
+
+/** Bank of an address: bits <9:6>, i.e. line address modulo 16. */
+inline unsigned
+bankOf(Addr addr)
+{
+    return static_cast<unsigned>(bits(addr, 9, 6));
+}
+
+/** A bank-and-lane conflict-free address group. */
+struct Slice
+{
+    std::uint64_t id = 0;       ///< tag assigned at creation
+    std::uint64_t instTag = 0;  ///< owning vector memory instruction
+    bool isWrite = false;
+    bool pump = false;          ///< stride-1 double-bandwidth mode
+    std::array<SliceElem, NumLanes> elems{};
+
+    unsigned
+    numValid() const
+    {
+        unsigned n = 0;
+        for (const auto &e : elems)
+            n += e.valid;
+        return n;
+    }
+
+    /** Quadwords of data this slice moves (128 per full pump slice). */
+    unsigned
+    dataQw() const
+    {
+        return pump ? numValid() * QwPerLine : numValid();
+    }
+};
+
+/** Completion notice for a slice that finished its L2 access. */
+struct SliceResp
+{
+    std::uint64_t sliceId = 0;
+    std::uint64_t instTag = 0;
+    bool isWrite = false;
+    Cycle readyAt = 0;          ///< cycle the last quadword arrives
+    unsigned dataQw = 0;
+};
+
+} // namespace tarantula::mem
+
+#endif // TARANTULA_MEM_SLICE_HH

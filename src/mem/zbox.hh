@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The Zbox: Tarantula's RAMBUS-style memory controller model.
+ *
+ * The chip reuses EV8's Zbox with more ports: 32 RAMBUS channels
+ * grouped as eight ports, about 66.6 GB/s raw at 1066 MHz (section
+ * 3.1). The model reproduces the three effects the paper's Table 4
+ * hinges on:
+ *
+ *  1. Directory traffic: ownership transitions cost an extra RAMBUS
+ *     access (1/3 of raw bandwidth in the STREAMS copy loop).
+ *  2. Read<->write turnaround on a channel loses ~10% of peak.
+ *  3. Open-page behaviour: row activates/precharges penalize random
+ *     access streams (RndMemScale performs 2.5x more activates and 2x
+ *     more precharges per request than STREAMS copy).
+ *
+ * Lines interleave across ports; each port owns a set of banks with
+ * one open row each. Port occupancy is tracked in fractional CPU
+ * cycles so any CPU:memory clock ratio (Figure 8's 1:2 / 1:4 / 1:8)
+ * works without a separate clock domain.
+ */
+
+#ifndef TARANTULA_MEM_ZBOX_HH
+#define TARANTULA_MEM_ZBOX_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "base/statistics.hh"
+#include "base/types.hh"
+#include "mem/mem_types.hh"
+
+namespace tarantula::mem
+{
+
+/** Configuration knobs for the memory controller. */
+struct ZboxConfig
+{
+    unsigned numPorts = 8;          ///< RAMBUS channel groups
+    double cpuPerMemClock = 2.0;    ///< CPU cycles per memory clock
+    unsigned lineXferMemClocks = 8; ///< 64B data transfer time
+    unsigned dirMemClocks = 8;      ///< directory RAMBUS access time
+    unsigned activateMemClocks = 10;///< row activate
+    unsigned prechargeMemClocks = 8;///< row precharge
+    unsigned turnaroundMemClocks = 1; ///< read<->write bus turnaround
+    unsigned banksPerPort = 16;     ///< independent DRAM banks per port
+    unsigned rowBytes = 2048;       ///< bytes per DRAM row (per port)
+    unsigned portQueueDepth = 16;   ///< request queue entries per port
+    Cycle baseLatency = 40;         ///< fixed pin/board round trip (CPU cyc)
+};
+
+/** The memory controller; see file comment. */
+class Zbox
+{
+  public:
+    Zbox(const ZboxConfig &cfg, stats::StatGroup &parent);
+
+    /**
+     * Try to enqueue a request.
+     * @return false if the target port's queue is full (retry later).
+     */
+    bool enqueue(const MemRequest &req);
+
+    /** Advance one CPU cycle; pops queues onto free ports. */
+    void cycle();
+
+    /** Retrieve the next completed response, if any is ready. */
+    std::optional<MemResponse> dequeueResponse();
+
+    /** True when no request is queued or in flight. */
+    bool idle() const;
+
+    Cycle now() const { return now_; }
+
+    // ---- accounting for Table 4 ------------------------------------
+    /** All bytes moved at the controller, incl. directory accesses. */
+    std::uint64_t rawBytes() const { return rawBytes_.value(); }
+    /** Data-only bytes (the STREAMS accounting). */
+    std::uint64_t dataBytes() const { return dataBytes_.value(); }
+    std::uint64_t rowActivates() const { return activates_.value(); }
+    std::uint64_t rowPrecharges() const { return precharges_.value(); }
+
+    const ZboxConfig &config() const { return cfg_; }
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+    };
+
+    struct Port
+    {
+        std::deque<MemRequest> queue;
+        double freeAt = 0.0;        ///< fractional CPU cycle
+        bool lastWasWrite = false;
+        std::vector<Bank> banks;
+    };
+
+    unsigned portOf(Addr lineAddr) const;
+    void service(Port &port, const MemRequest &req);
+
+    ZboxConfig cfg_;
+    Cycle now_ = 0;
+    std::vector<Port> ports_;
+    std::deque<MemResponse> responses_;
+    unsigned inFlight_ = 0;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar reads_;
+    stats::Scalar writes_;
+    stats::Scalar dirOps_;
+    stats::Scalar rawBytes_;
+    stats::Scalar dataBytes_;
+    stats::Scalar activates_;
+    stats::Scalar precharges_;
+    stats::Scalar turnarounds_;
+    stats::Scalar queueFullRejects_;
+};
+
+} // namespace tarantula::mem
+
+#endif // TARANTULA_MEM_ZBOX_HH

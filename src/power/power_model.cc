@@ -1,0 +1,131 @@
+#include "power/power_model.hh"
+
+namespace tarantula::power
+{
+
+double
+ChipEstimate::dieAreaMm2() const
+{
+    double a = 0.0;
+    for (const auto &c : components)
+        a += c.areaMm2;
+    return a;
+}
+
+double
+ChipEstimate::dynamicWatts() const
+{
+    double w = 0.0;
+    for (const auto &c : components)
+        w += c.watts;
+    return w;
+}
+
+double
+ChipEstimate::totalWatts() const
+{
+    return dynamicWatts() * (1.0 + leakageFraction);
+}
+
+double
+ChipEstimate::areaPercent(const std::string &component) const
+{
+    const double die = dieAreaMm2();
+    if (die <= 0.0)
+        return 0.0;
+    for (const auto &c : components) {
+        if (c.name == component)
+            return 100.0 * c.areaMm2 / die;
+    }
+    return 0.0;
+}
+
+double
+ChipEstimate::wattsOf(const std::string &component) const
+{
+    for (const auto &c : components) {
+        if (c.name == component)
+            return c.watts;
+    }
+    return 0.0;
+}
+
+namespace
+{
+
+Component
+byDensity(std::string name, double area_mm2, double density)
+{
+    return {std::move(name), area_mm2, area_mm2 * density};
+}
+
+} // anonymous namespace
+
+ChipEstimate
+cmpEv8Estimate(const TechParams &tech)
+{
+    ChipEstimate e;
+    e.name = "CMP-EV8";
+    e.freqGhz = tech.freqGhz;
+    // Two 4-flop EV8 cores.
+    e.flopsPerCycle = 2 * 4;
+    e.components.push_back(byDensity(
+        "Core", 2 * tech.coreAreaMm2, tech.coreDensity));
+    e.components.push_back({"IO Drivers", 0.0, tech.ioDriverWatts});
+    e.components.push_back(byDensity("IO logic", 35.0,
+                                     tech.ioLogicDensity));
+    e.components.push_back(byDensity("L2 cache", tech.cacheAreaMm2,
+                                     tech.cacheDensity));
+    e.components.push_back(byDensity("R/Z Box", 12.5,
+                                     tech.rzBoxDensity));
+    e.components.push_back(byDensity("Other", 15.0,
+                                     tech.otherDensity));
+    return e;
+}
+
+ChipEstimate
+tarantulaEstimate(const TechParams &tech)
+{
+    ChipEstimate e;
+    e.name = "Tarantula";
+    e.freqGhz = tech.freqGhz;
+    // One EV8 core plus the 32-flop Vbox.
+    e.flopsPerCycle = 32;
+    e.components.push_back(byDensity(
+        "Core", tech.coreAreaMm2, tech.coreDensity));
+    e.components.push_back({"IO Drivers", 0.0, tech.ioDriverWatts});
+    e.components.push_back(byDensity("IO logic", 23.0,
+                                     tech.ioLogicDensity));
+    // The L2 grows by the PUMP structures, the quadword crossbar and
+    // the coarse-metal wiring needed for vector-width access.
+    e.components.push_back(byDensity(
+        "L2 cache", tech.cacheAreaMm2 + tech.cacheVecExtraMm2,
+        tech.cacheDensity));
+    // More memory ports than EV8's Zbox.
+    e.components.push_back(byDensity("R/Z Box", 20.0,
+                                     tech.rzBoxDensity));
+    e.components.push_back(byDensity("Vbox", tech.vboxAreaMm2,
+                                     tech.vboxDensity));
+    e.components.push_back(byDensity("Other", 34.0,
+                                     tech.otherDensity));
+    return e;
+}
+
+ChipEstimate
+tarantulaFmacEstimate(const TechParams &tech)
+{
+    ChipEstimate e = tarantulaEstimate(tech);
+    e.name = "Tarantula+FMAC";
+    // FMAC doubles per-lane flops; the paper estimates "very little
+    // extra complexity and power" -- model a 10% Vbox increment.
+    e.flopsPerCycle = 64;
+    for (auto &c : e.components) {
+        if (c.name == "Vbox") {
+            c.areaMm2 *= 1.08;
+            c.watts *= 1.10;
+        }
+    }
+    return e;
+}
+
+} // namespace tarantula::power

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The analytical power and area estimator behind the paper's Table 1.
+ *
+ * The paper scaled EV7 measurements down to 65 nm at ~1 V and 2.5 GHz
+ * and compared a CMP of two EV8 cores against Tarantula (one EV8 core
+ * plus the Vbox), both with the same 16 MB L2 and memory subsystem.
+ * This module reproduces the estimator: each chip is a list of
+ * components with an area and a power density (or a fixed wattage for
+ * pad/IO structures); totals add a 20% leakage surcharge; peak Gflops
+ * follow from FPU count times frequency.
+ *
+ * The Vbox density is extrapolated from EV7's floating-point unit
+ * power density and is therefore a lower bound (the paper makes the
+ * same caveat: TLBs and address generators are not properly accounted
+ * for).
+ */
+
+#ifndef TARANTULA_POWER_POWER_MODEL_HH
+#define TARANTULA_POWER_POWER_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace tarantula::power
+{
+
+/** One floorplan component of a chip estimate. */
+struct Component
+{
+    std::string name;
+    double areaMm2 = 0.0;       ///< 0 for pad-ring structures
+    double watts = 0.0;         ///< dynamic power at target f, V
+};
+
+/** A whole-chip power/area estimate (one Table 1 column). */
+struct ChipEstimate
+{
+    std::string name;
+    std::vector<Component> components;
+    double flopsPerCycle = 0.0;
+    double freqGhz = 2.5;
+    /** Leakage surcharge applied to the dynamic total (paper: 20%). */
+    double leakageFraction = 0.2;
+
+    double dieAreaMm2() const;
+    /** Dynamic power before the leakage surcharge. */
+    double dynamicWatts() const;
+    /** Total including leakage (Table 1's "Total (+20%)" row). */
+    double totalWatts() const;
+    double peakGflops() const { return flopsPerCycle * freqGhz; }
+    double gflopsPerWatt() const { return peakGflops() / totalWatts(); }
+    /** Area share of a component, in percent of the die. */
+    double areaPercent(const std::string &component) const;
+    /** Wattage of a component (0 if absent). */
+    double wattsOf(const std::string &component) const;
+};
+
+/**
+ * Technology/density constants shared by both estimates (65 nm,
+ * slightly under 1 V, 2.5 GHz), scaled from EV7 as the paper did.
+ */
+struct TechParams
+{
+    double freqGhz = 2.5;
+    double coreAreaMm2 = 46.0;      ///< one EV8 core at 65 nm
+    double coreDensity = 0.50;      ///< W/mm^2 of OoO core logic
+    double ioDriverWatts = 26.5;    ///< pad ring; area not in the die core
+    double ioLogicDensity = 0.19;   ///< W/mm^2
+    double cacheAreaMm2 = 85.0;     ///< 16 MB L2 data+tag arrays
+    double cacheVecExtraMm2 = 38.0; ///< pumps, crossbar, extra wiring
+    double cacheDensity = 0.062;    ///< W/mm^2 (low-activity SRAM)
+    double rzBoxDensity = 0.50;     ///< router + memory controller
+    double vboxAreaMm2 = 43.0;      ///< 16 lanes, register file, FUs
+    double vboxDensity = 0.72;      ///< EV7 FPU-scaled (lower bound)
+    double otherDensity = 0.53;     ///< clocking, global routing, misc
+};
+
+/** Table 1's "CMP-EV8" column: two EV8 cores, shared L2/memory. */
+ChipEstimate cmpEv8Estimate(const TechParams &tech = {});
+
+/** Table 1's "Tarantula" column: one EV8 core plus the Vbox. */
+ChipEstimate tarantulaEstimate(const TechParams &tech = {});
+
+/**
+ * The FMAC what-if from section 5: fused multiply-accumulate units
+ * double peak flops with very little extra complexity and power.
+ */
+ChipEstimate tarantulaFmacEstimate(const TechParams &tech = {});
+
+} // namespace tarantula::power
+
+#endif // TARANTULA_POWER_POWER_MODEL_HH

@@ -1,0 +1,83 @@
+#include "proc/machine_config.hh"
+
+namespace tarantula::proc
+{
+
+MachineConfig
+ev8Config()
+{
+    MachineConfig m;
+    m.name = "EV8";
+    m.freqGhz = 2.13;
+    m.hasVbox = false;
+
+    m.l2.sizeBytes = 4ULL << 20;
+    // EV8 scalar load-to-use from L2 is 12 cycles (Table 3); the L1
+    // miss path adds ~2 around the L2 pipe.
+    m.l2.scalarHitLatency = 10;
+    m.l2.hitLatency = 10;
+
+    m.zbox.numPorts = 2;
+    m.zbox.cpuPerMemClock = 2.0;    // 2.13 GHz : 1066 MHz
+    return m;
+}
+
+MachineConfig
+ev8PlusConfig()
+{
+    MachineConfig m = ev8Config();
+    m.name = "EV8+";
+    // Tarantula's memory system: four times the cache, four times the
+    // raw memory bandwidth.
+    m.l2.sizeBytes = 16ULL << 20;
+    m.zbox.numPorts = 8;
+    return m;
+}
+
+MachineConfig
+tarantulaConfig()
+{
+    MachineConfig m;
+    m.name = "T";
+    m.freqGhz = 2.13;
+    m.hasVbox = true;
+
+    m.l2.sizeBytes = 16ULL << 20;
+    // Tarantula's bigger, farther L2: scalar load-to-use 28, vector
+    // stride-1 34, odd stride 38 (Table 3). The slice pipeline and
+    // chaining latencies below combine to land on those numbers.
+    m.l2.scalarHitLatency = 26;
+    m.l2.hitLatency = 21;
+
+    m.vbox.chainLatency = 6;
+
+    m.zbox.numPorts = 8;
+    m.zbox.cpuPerMemClock = 2.0;
+    return m;
+}
+
+MachineConfig
+tarantula4Config()
+{
+    MachineConfig m = tarantulaConfig();
+    m.name = "T4";
+    m.freqGhz = 4.8;
+    // 1:4 CPU to RAMBUS-1200 ratio; memory latency in CPU cycles grows.
+    m.zbox.cpuPerMemClock = 4.0;
+    m.zbox.baseLatency = 80;
+    return m;
+}
+
+MachineConfig
+tarantula10Config()
+{
+    MachineConfig m = tarantulaConfig();
+    m.name = "T10";
+    m.freqGhz = 10.6;
+    // 1:8 ratio to 1333 MHz parts (Figure 8).
+    m.zbox.cpuPerMemClock = 8.0;
+    m.zbox.baseLatency = 160;
+    return m;
+}
+
+} // namespace tarantula::proc

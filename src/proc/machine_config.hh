@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The four machine configurations of the paper's Table 3 (plus the T10
+ * scaling point of Figure 8), expressed as a bundle of component
+ * configurations.
+ *
+ *   EV8   -- the baseline 8-wide superscalar: 4 MB L2, 2 RAMBUS ports.
+ *   EV8+  -- an EV8 core attached to Tarantula's memory system (16 MB
+ *            L2, 8 ports); isolates how much of Tarantula's win is
+ *            just the better memory system.
+ *   T     -- Tarantula: EV8 core + Vbox + 16 MB L2 + 8 ports.
+ *   T4    -- Tarantula at 4.8 GHz (1:4 CPU:RAMBUS ratio, 1200 MHz).
+ *   T10   -- Tarantula at 10.6 GHz (1:8 ratio, 1333 MHz parts).
+ */
+
+#ifndef TARANTULA_PROC_MACHINE_CONFIG_HH
+#define TARANTULA_PROC_MACHINE_CONFIG_HH
+
+#include <string>
+
+#include "cache/l2_cache.hh"
+#include "ev8/core.hh"
+#include "mem/zbox.hh"
+#include "vbox/vbox.hh"
+
+namespace tarantula::proc
+{
+
+/** Everything needed to instantiate one simulated machine. */
+struct MachineConfig
+{
+    std::string name = "tarantula";
+    double freqGhz = 2.13;
+    bool hasVbox = true;
+    ev8::CoreConfig core;
+    vbox::VboxConfig vbox;
+    cache::L2Config l2;
+    mem::ZboxConfig zbox;
+};
+
+/** Table 3 column "EV8". */
+MachineConfig ev8Config();
+/** Table 3 column "EV8+". */
+MachineConfig ev8PlusConfig();
+/** Table 3 column "T". */
+MachineConfig tarantulaConfig();
+/** Table 3 column "T4". */
+MachineConfig tarantula4Config();
+/** Figure 8's T10 point. */
+MachineConfig tarantula10Config();
+
+} // namespace tarantula::proc
+
+#endif // TARANTULA_PROC_MACHINE_CONFIG_HH

@@ -1,0 +1,78 @@
+#include "proc/processor.hh"
+
+#include "base/logging.hh"
+
+namespace tarantula::proc
+{
+
+Processor::Processor(const MachineConfig &cfg,
+                     const program::Program &prog,
+                     exec::FunctionalMemory &mem)
+    : cfg_(cfg), statRoot_(cfg.name)
+{
+    zbox_ = std::make_unique<mem::Zbox>(cfg.zbox, statRoot_);
+    l2_ = std::make_unique<cache::L2Cache>(cfg.l2, *zbox_, statRoot_);
+    if (cfg.hasVbox)
+        vbox_ = std::make_unique<vbox::Vbox>(cfg.vbox, *l2_, statRoot_);
+    interp_ = std::make_unique<exec::Interpreter>(prog, mem);
+    core_ = std::make_unique<ev8::Core>(cfg.core, *interp_, *l2_,
+                                        vbox_.get(), statRoot_);
+    l2_->setL1InvalidateHook(
+        [this](Addr line) { core_->l1Invalidate(line); });
+}
+
+void
+Processor::step()
+{
+    ++now_;
+    zbox_->cycle();
+    l2_->cycle();
+    if (vbox_)
+        vbox_->cycle();
+    core_->cycle();
+}
+
+RunResult
+Processor::run(std::uint64_t max_cycles)
+{
+    std::uint64_t last_retired = 0;
+    Cycle last_progress = 0;
+
+    while (!(core_->done() && l2_->idle() && zbox_->idle() &&
+             (!vbox_ || vbox_->idle()))) {
+        if (now_ >= max_cycles) {
+            fatal("processor '%s': exceeded %llu cycles",
+                  cfg_.name.c_str(),
+                  static_cast<unsigned long long>(max_cycles));
+        }
+        step();
+
+        // Deadlock detector: the machine must retire something every
+        // so often or the model has wedged (a simulator bug).
+        if (core_->numRetired() != last_retired) {
+            last_retired = core_->numRetired();
+            last_progress = now_;
+        } else if (now_ - last_progress > 1'000'000) {
+            panic("processor '%s': no retirement in 1M cycles "
+                  "(pc=%u retired=%llu)",
+                  cfg_.name.c_str(), interp_->pc(),
+                  static_cast<unsigned long long>(last_retired));
+        }
+    }
+
+    RunResult r;
+    r.machine = cfg_.name;
+    r.cycles = now_;
+    r.insts = core_->numRetired();
+    r.ops = core_->numOps();
+    r.flops = core_->numFlops();
+    r.memops = core_->numMemops();
+    r.rawBytes = zbox_->rawBytes();
+    r.dataBytes = zbox_->dataBytes();
+    r.rowActivates = zbox_->rowActivates();
+    r.rowPrecharges = zbox_->rowPrecharges();
+    r.freqGhz = cfg_.freqGhz;
+    return r;
+}
+
+} // namespace tarantula::proc

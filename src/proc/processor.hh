@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The top-level Processor: composes the Zbox, the banked L2, the
+ * optional Vbox and the EV8 core around a functional interpreter, and
+ * drives the whole machine cycle by cycle.
+ */
+
+#ifndef TARANTULA_PROC_PROCESSOR_HH
+#define TARANTULA_PROC_PROCESSOR_HH
+
+#include <memory>
+#include <string>
+
+#include "base/statistics.hh"
+#include "cache/l2_cache.hh"
+#include "ev8/core.hh"
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "mem/zbox.hh"
+#include "proc/machine_config.hh"
+#include "program/program.hh"
+#include "vbox/vbox.hh"
+
+namespace tarantula::proc
+{
+
+/** Aggregate results of one simulation. */
+struct RunResult
+{
+    std::string machine;
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;        ///< instructions retired
+    std::uint64_t ops = 0;          ///< operations (paper's OPC basis)
+    std::uint64_t flops = 0;
+    std::uint64_t memops = 0;
+    std::uint64_t rawBytes = 0;     ///< Zbox raw traffic
+    std::uint64_t dataBytes = 0;    ///< Zbox data-only traffic
+    std::uint64_t rowActivates = 0; ///< DRAM row activations
+    std::uint64_t rowPrecharges = 0;
+    double freqGhz = 0.0;
+
+    double opc() const { return cycles ? double(ops) / cycles : 0.0; }
+    double fpc() const { return cycles ? double(flops) / cycles : 0.0; }
+    double mpc() const { return cycles ? double(memops) / cycles : 0.0; }
+    double
+    otherPc() const
+    {
+        return cycles ? double(ops - flops - memops) / cycles : 0.0;
+    }
+    /** Wall-clock seconds at the configured frequency. */
+    double
+    seconds() const
+    {
+        return static_cast<double>(cycles) / (freqGhz * 1e9);
+    }
+    /**
+     * Sustained bandwidth for @p useful_bytes moved by the kernel, in
+     * MB/s (the STREAMS accounting).
+     */
+    double
+    bandwidthMBs(double useful_bytes) const
+    {
+        return useful_bytes / seconds() / 1e6;
+    }
+    /** Raw controller bandwidth in MB/s (Table 4's "Raw" column). */
+    double
+    rawBandwidthMBs() const
+    {
+        return static_cast<double>(rawBytes) / seconds() / 1e6;
+    }
+};
+
+/** One simulated machine running one program; see file comment. */
+class Processor
+{
+  public:
+    /**
+     * @param cfg   Machine description (Table 3 column).
+     * @param prog  Program to run (must outlive the processor).
+     * @param mem   Architectural memory image (inputs pre-loaded).
+     */
+    Processor(const MachineConfig &cfg, const program::Program &prog,
+              exec::FunctionalMemory &mem);
+
+    /**
+     * Run to completion.
+     * @param max_cycles  Safety bound; fatal() when exceeded.
+     */
+    RunResult run(std::uint64_t max_cycles = 1ULL << 32);
+
+    /** Advance a single cycle (tests drive fine-grained scenarios). */
+    void step();
+
+    cache::L2Cache &l2() { return *l2_; }
+    mem::Zbox &zbox() { return *zbox_; }
+    ev8::Core &core() { return *core_; }
+    vbox::Vbox *vbox() { return vbox_.get(); }
+    exec::Interpreter &interp() { return *interp_; }
+    stats::StatGroup &stats() { return statRoot_; }
+
+    const MachineConfig &config() const { return cfg_; }
+
+  private:
+    MachineConfig cfg_;
+    stats::StatGroup statRoot_;
+    std::unique_ptr<mem::Zbox> zbox_;
+    std::unique_ptr<cache::L2Cache> l2_;
+    std::unique_ptr<vbox::Vbox> vbox_;
+    std::unique_ptr<exec::Interpreter> interp_;
+    std::unique_ptr<ev8::Core> core_;
+    Cycle now_ = 0;
+};
+
+} // namespace tarantula::proc
+
+#endif // TARANTULA_PROC_PROCESSOR_HH

@@ -1,0 +1,629 @@
+#include "program/assembler.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace tarantula::program
+{
+
+using isa::DataType;
+using isa::Inst;
+using isa::Opcode;
+using isa::VecMode;
+
+Label
+Assembler::newLabel()
+{
+    Label l;
+    l.id = static_cast<std::int32_t>(labelPos_.size());
+    labelPos_.push_back(-1);
+    return l;
+}
+
+void
+Assembler::bind(Label l)
+{
+    tarantula_assert(l.id >= 0 &&
+                     l.id < static_cast<std::int32_t>(labelPos_.size()));
+    tarantula_assert(labelPos_[l.id] == -1);
+    labelPos_[l.id] = static_cast<std::int32_t>(insts_.size());
+}
+
+Inst &
+Assembler::emit(Opcode op)
+{
+    Inst inst;
+    inst.op = op;
+    insts_.push_back(inst);
+    return insts_.back();
+}
+
+// ---- control flow ------------------------------------------------------
+
+void
+Assembler::branch(Opcode op, isa::RegIndex test, Label l)
+{
+    tarantula_assert(l.id >= 0);
+    Inst &i = emit(op);
+    i.ra = test;
+    fixups_.emplace_back(insts_.size() - 1, l.id);
+}
+
+void Assembler::br(Label l) { branch(Opcode::Br, 31, l); }
+void Assembler::beq(IR a, Label l) { branch(Opcode::Beq, a.i, l); }
+void Assembler::bne(IR a, Label l) { branch(Opcode::Bne, a.i, l); }
+void Assembler::blt(IR a, Label l) { branch(Opcode::Blt, a.i, l); }
+void Assembler::bge(IR a, Label l) { branch(Opcode::Bge, a.i, l); }
+void Assembler::ble(IR a, Label l) { branch(Opcode::Ble, a.i, l); }
+void Assembler::bgt(IR a, Label l) { branch(Opcode::Bgt, a.i, l); }
+void Assembler::fbeq(FR a, Label l) { branch(Opcode::Fbeq, a.i, l); }
+void Assembler::fbne(FR a, Label l) { branch(Opcode::Fbne, a.i, l); }
+
+// ---- scalar integer ------------------------------------------------------
+
+void
+Assembler::intOp(Opcode op, IR d, IR a, IR b)
+{
+    Inst &i = emit(op);
+    i.rd = d.i;
+    i.ra = a.i;
+    i.rb = b.i;
+}
+
+void
+Assembler::intOpImm(Opcode op, IR d, IR a, std::int64_t imm)
+{
+    Inst &i = emit(op);
+    i.rd = d.i;
+    i.ra = a.i;
+    i.immValid = true;
+    i.imm = imm;
+}
+
+void Assembler::addq(IR d, IR a, IR b) { intOp(Opcode::Addq, d, a, b); }
+void
+Assembler::addq(IR d, IR a, std::int64_t imm)
+{
+    intOpImm(Opcode::Addq, d, a, imm);
+}
+void Assembler::subq(IR d, IR a, IR b) { intOp(Opcode::Subq, d, a, b); }
+void
+Assembler::subq(IR d, IR a, std::int64_t imm)
+{
+    intOpImm(Opcode::Subq, d, a, imm);
+}
+void Assembler::mulq(IR d, IR a, IR b) { intOp(Opcode::Mulq, d, a, b); }
+void
+Assembler::mulq(IR d, IR a, std::int64_t imm)
+{
+    intOpImm(Opcode::Mulq, d, a, imm);
+}
+void Assembler::and_(IR d, IR a, IR b) { intOp(Opcode::And, d, a, b); }
+void
+Assembler::and_(IR d, IR a, std::int64_t imm)
+{
+    intOpImm(Opcode::And, d, a, imm);
+}
+void Assembler::or_(IR d, IR a, IR b) { intOp(Opcode::Or, d, a, b); }
+void Assembler::xor_(IR d, IR a, IR b) { intOp(Opcode::Xor, d, a, b); }
+void
+Assembler::xor_(IR d, IR a, std::int64_t imm)
+{
+    intOpImm(Opcode::Xor, d, a, imm);
+}
+void
+Assembler::sll(IR d, IR a, std::int64_t imm)
+{
+    intOpImm(Opcode::Sll, d, a, imm);
+}
+void
+Assembler::srl(IR d, IR a, std::int64_t imm)
+{
+    intOpImm(Opcode::Srl, d, a, imm);
+}
+void
+Assembler::sra(IR d, IR a, std::int64_t imm)
+{
+    intOpImm(Opcode::Sra, d, a, imm);
+}
+void Assembler::cmpeq(IR d, IR a, IR b) { intOp(Opcode::Cmpeq, d, a, b); }
+void
+Assembler::cmpeq(IR d, IR a, std::int64_t imm)
+{
+    intOpImm(Opcode::Cmpeq, d, a, imm);
+}
+void Assembler::cmplt(IR d, IR a, IR b) { intOp(Opcode::Cmplt, d, a, b); }
+void Assembler::cmple(IR d, IR a, IR b) { intOp(Opcode::Cmple, d, a, b); }
+void
+Assembler::cmpult(IR d, IR a, IR b)
+{
+    intOp(Opcode::Cmpult, d, a, b);
+}
+
+void
+Assembler::lda(IR d, std::int64_t imm, IR a)
+{
+    intOpImm(Opcode::Lda, d, a, imm);
+}
+
+void Assembler::mov(IR d, IR a) { intOp(Opcode::Or, d, a, a); }
+void Assembler::movi(IR d, std::int64_t imm) { lda(d, imm); }
+
+// ---- scalar floating point -----------------------------------------------
+
+void
+Assembler::fpOp(Opcode op, FR d, FR a, FR b)
+{
+    Inst &i = emit(op);
+    i.rd = d.i;
+    i.ra = a.i;
+    i.rb = b.i;
+    i.dt = DataType::T;
+}
+
+void Assembler::addt(FR d, FR a, FR b) { fpOp(Opcode::Addt, d, a, b); }
+void Assembler::subt(FR d, FR a, FR b) { fpOp(Opcode::Subt, d, a, b); }
+void Assembler::mult(FR d, FR a, FR b) { fpOp(Opcode::Mult, d, a, b); }
+void Assembler::divt(FR d, FR a, FR b) { fpOp(Opcode::Divt, d, a, b); }
+void Assembler::sqrtt(FR d, FR b) { fpOp(Opcode::Sqrtt, d, F(31), b); }
+void
+Assembler::cmpteq(FR d, FR a, FR b)
+{
+    fpOp(Opcode::Cmpteq, d, a, b);
+}
+void
+Assembler::cmptlt(FR d, FR a, FR b)
+{
+    fpOp(Opcode::Cmptlt, d, a, b);
+}
+void
+Assembler::cmptle(FR d, FR a, FR b)
+{
+    fpOp(Opcode::Cmptle, d, a, b);
+}
+void Assembler::cvtqt(FR d, FR b) { fpOp(Opcode::Cvtqt, d, F(31), b); }
+void Assembler::cvttq(FR d, FR b) { fpOp(Opcode::Cvttq, d, F(31), b); }
+void Assembler::fmov(FR d, FR b) { fpOp(Opcode::Fmov, d, F(31), b); }
+
+void
+Assembler::itoft(FR d, IR a)
+{
+    Inst &i = emit(Opcode::Itoft);
+    i.rd = d.i;
+    i.ra = a.i;
+    i.dt = DataType::T;
+}
+
+void
+Assembler::ftoit(IR d, FR a)
+{
+    Inst &i = emit(Opcode::Ftoit);
+    i.rd = d.i;
+    i.ra = a.i;
+}
+
+void
+Assembler::fconst(FR d, double v, IR tmp)
+{
+    movi(tmp, std::bit_cast<std::int64_t>(v));
+    itoft(d, tmp);
+}
+
+// ---- scalar memory ---------------------------------------------------------
+
+void
+Assembler::ldq(IR d, std::int64_t disp, IR base)
+{
+    Inst &i = emit(Opcode::Ldq);
+    i.rd = d.i;
+    i.rb = base.i;
+    i.imm = disp;
+}
+
+void
+Assembler::stq(IR val, std::int64_t disp, IR base)
+{
+    Inst &i = emit(Opcode::Stq);
+    i.ra = val.i;
+    i.rb = base.i;
+    i.imm = disp;
+}
+
+void
+Assembler::ldt(FR d, std::int64_t disp, IR base)
+{
+    Inst &i = emit(Opcode::Ldt);
+    i.rd = d.i;
+    i.rb = base.i;
+    i.imm = disp;
+    i.dt = DataType::T;
+}
+
+void
+Assembler::stt(FR val, std::int64_t disp, IR base)
+{
+    Inst &i = emit(Opcode::Stt);
+    i.ra = val.i;
+    i.rb = base.i;
+    i.imm = disp;
+    i.dt = DataType::T;
+}
+
+void
+Assembler::prefetch(std::int64_t disp, IR base)
+{
+    Inst &i = emit(Opcode::Prefetch);
+    i.rb = base.i;
+    i.imm = disp;
+}
+
+void
+Assembler::wh64(IR base, std::int64_t disp)
+{
+    Inst &i = emit(Opcode::Wh64);
+    i.rb = base.i;
+    i.imm = disp;
+}
+
+void Assembler::drainm() { emit(Opcode::DrainM); }
+void Assembler::nop() { emit(Opcode::Nop); }
+void Assembler::halt() { emit(Opcode::Halt); }
+
+// ---- vector operate ----------------------------------------------------
+
+void
+Assembler::vecVV(Opcode op, DataType dt, VR d, VR a, VR b, bool m)
+{
+    Inst &i = emit(op);
+    i.mode = VecMode::VV;
+    i.dt = dt;
+    i.underMask = m;
+    i.rd = d.i;
+    i.ra = a.i;
+    i.rb = b.i;
+}
+
+void
+Assembler::vecVS(Opcode op, DataType dt, VR d, VR a, isa::RegIndex sb,
+                 bool m)
+{
+    Inst &i = emit(op);
+    i.mode = VecMode::VS;
+    i.dt = dt;
+    i.underMask = m;
+    i.rd = d.i;
+    i.ra = a.i;
+    i.rb = sb;
+}
+
+void
+Assembler::vecVSImmQ(Opcode op, VR d, VR a, std::int64_t imm, bool m)
+{
+    Inst &i = emit(op);
+    i.mode = VecMode::VS;
+    i.dt = DataType::Q;
+    i.underMask = m;
+    i.rd = d.i;
+    i.ra = a.i;
+    i.immValid = true;
+    i.imm = imm;
+}
+
+void
+Assembler::vecVSImmT(Opcode op, VR d, VR a, double imm, bool m)
+{
+    Inst &i = emit(op);
+    i.mode = VecMode::VS;
+    i.dt = DataType::T;
+    i.underMask = m;
+    i.rd = d.i;
+    i.ra = a.i;
+    i.immValid = true;
+    i.fimm = imm;
+}
+
+#define VV_Q(name, opc)                                                   \
+    void Assembler::name(VR d, VR a, VR b, bool m)                        \
+    { vecVV(Opcode::opc, DataType::Q, d, a, b, m); }
+#define VS_Q(name, opc)                                                   \
+    void Assembler::name(VR d, VR a, IR b, bool m)                        \
+    { vecVS(Opcode::opc, DataType::Q, d, a, b.i, m); }
+#define VI_Q(name, opc)                                                   \
+    void Assembler::name(VR d, VR a, std::int64_t imm, bool m)            \
+    { vecVSImmQ(Opcode::opc, d, a, imm, m); }
+#define VV_T(name, opc)                                                   \
+    void Assembler::name(VR d, VR a, VR b, bool m)                        \
+    { vecVV(Opcode::opc, DataType::T, d, a, b, m); }
+#define VS_T(name, opc)                                                   \
+    void Assembler::name(VR d, VR a, FR b, bool m)                        \
+    { vecVS(Opcode::opc, DataType::T, d, a, b.i, m); }
+#define VI_T(name, opc)                                                   \
+    void Assembler::name(VR d, VR a, double imm, bool m)                  \
+    { vecVSImmT(Opcode::opc, d, a, imm, m); }
+
+VV_Q(vaddq, Vadd)
+VS_Q(vaddq, Vadd)
+VI_Q(vaddq, Vadd)
+VV_Q(vsubq, Vsub)
+VS_Q(vsubq, Vsub)
+VV_Q(vmulq, Vmul)
+VS_Q(vmulq, Vmul)
+VI_Q(vmulq, Vmul)
+VV_Q(vandq, Vand)
+VI_Q(vandq, Vand)
+VV_Q(vorq, Vor)
+VV_Q(vxorq, Vxor)
+VI_Q(vsllq, Vsll)
+VI_Q(vsrlq, Vsrl)
+VI_Q(vsraq, Vsra)
+VV_Q(vcmpeqq, Vcmpeq)
+VI_Q(vcmpeqq, Vcmpeq)
+VI_Q(vcmpneq, Vcmpne)
+VV_Q(vcmpltq, Vcmplt)
+VS_Q(vcmpltq, Vcmplt)
+VI_Q(vcmpltq, Vcmplt)
+VI_Q(vcmpleq, Vcmple)
+VV_Q(vminq, Vmin)
+VV_Q(vmaxq, Vmax)
+
+VV_T(vaddt, Vadd)
+VS_T(vaddt, Vadd)
+VI_T(vaddt, Vadd)
+VV_T(vsubt, Vsub)
+VS_T(vsubt, Vsub)
+VV_T(vmult, Vmul)
+VS_T(vmult, Vmul)
+VI_T(vmult, Vmul)
+VV_T(vdivt, Vdiv)
+VS_T(vdivt, Vdiv)
+VI_T(vcmpeqt, Vcmpeq)
+VI_T(vcmpnet, Vcmpne)
+VV_T(vcmpltt, Vcmplt)
+VI_T(vcmpltt, Vcmplt)
+VV_T(vcmplet, Vcmple)
+VI_T(vcmplet, Vcmple)
+VV_T(vmint, Vmin)
+VV_T(vmaxt, Vmax)
+VV_T(vfmact, Vfmac)
+VS_T(vfmact, Vfmac)
+
+#undef VV_Q
+#undef VS_Q
+#undef VI_Q
+#undef VV_T
+#undef VS_T
+#undef VI_T
+
+void
+Assembler::vsqrtt(VR d, VR a, bool m)
+{
+    vecVV(Opcode::Vsqrt, DataType::T, d, a, V(31), m);
+}
+
+void
+Assembler::vmerget(VR d, VR a, VR b)
+{
+    vecVV(Opcode::Vmerge, DataType::T, d, a, b, false);
+}
+
+void
+Assembler::vmergeq(VR d, VR a, VR b)
+{
+    vecVV(Opcode::Vmerge, DataType::Q, d, a, b, false);
+}
+
+// ---- vector memory ------------------------------------------------------
+
+void
+Assembler::vecMem(Opcode op, DataType dt, VR v, IR base,
+                  std::int64_t disp, bool m)
+{
+    Inst &i = emit(op);
+    i.dt = dt;
+    i.underMask = m;
+    i.rb = base.i;
+    i.imm = disp;
+    if (op == Opcode::Vld)
+        i.rd = v.i;
+    else
+        i.ra = v.i;
+}
+
+void
+Assembler::vldq(VR d, IR base, std::int64_t disp, bool m)
+{
+    vecMem(Opcode::Vld, DataType::Q, d, base, disp, m);
+}
+
+void
+Assembler::vldt(VR d, IR base, std::int64_t disp, bool m)
+{
+    vecMem(Opcode::Vld, DataType::T, d, base, disp, m);
+}
+
+void
+Assembler::vstq(VR a, IR base, std::int64_t disp, bool m)
+{
+    vecMem(Opcode::Vst, DataType::Q, a, base, disp, m);
+}
+
+void
+Assembler::vstt(VR a, IR base, std::int64_t disp, bool m)
+{
+    vecMem(Opcode::Vst, DataType::T, a, base, disp, m);
+}
+
+void
+Assembler::vgathq(VR d, VR idx, IR base, bool m)
+{
+    Inst &i = emit(Opcode::Vgath);
+    i.dt = DataType::Q;
+    i.underMask = m;
+    i.rd = d.i;
+    i.ra = idx.i;
+    i.rb = base.i;
+}
+
+void
+Assembler::vgatht(VR d, VR idx, IR base, bool m)
+{
+    vgathq(d, idx, base, m);
+    insts_.back().dt = DataType::T;
+}
+
+void
+Assembler::vscatq(VR a, VR idx, IR base, bool m)
+{
+    Inst &i = emit(Opcode::Vscat);
+    i.dt = DataType::Q;
+    i.underMask = m;
+    i.ra = a.i;
+    i.rd = idx.i;   // index vector travels in the rd slot (no dest)
+    i.rb = base.i;
+}
+
+void
+Assembler::vscatt(VR a, VR idx, IR base, bool m)
+{
+    vscatq(a, idx, base, m);
+    insts_.back().dt = DataType::T;
+}
+
+void
+Assembler::vprefetch(IR base, std::int64_t disp)
+{
+    vecMem(Opcode::Vld, DataType::Q, V(31), base, disp, false);
+}
+
+// ---- vector control ---------------------------------------------------
+
+void
+Assembler::setvl(IR a)
+{
+    Inst &i = emit(Opcode::Setvl);
+    i.ra = a.i;
+}
+
+void
+Assembler::setvl(std::int64_t imm)
+{
+    Inst &i = emit(Opcode::Setvl);
+    i.immValid = true;
+    i.imm = imm;
+}
+
+void
+Assembler::setvs(IR a)
+{
+    Inst &i = emit(Opcode::Setvs);
+    i.ra = a.i;
+}
+
+void
+Assembler::setvs(std::int64_t imm)
+{
+    Inst &i = emit(Opcode::Setvs);
+    i.immValid = true;
+    i.imm = imm;
+}
+
+void
+Assembler::setvm(VR a)
+{
+    Inst &i = emit(Opcode::Setvm);
+    i.ra = a.i;
+}
+
+void
+Assembler::viota(VR d)
+{
+    Inst &i = emit(Opcode::Viota);
+    i.rd = d.i;
+}
+
+void
+Assembler::vslidedown(VR d, VR a, std::int64_t k)
+{
+    Inst &i = emit(Opcode::Vslidedown);
+    i.rd = d.i;
+    i.ra = a.i;
+    i.immValid = true;
+    i.imm = k;
+}
+
+void
+Assembler::vextractq(IR d, VR a, IR idx)
+{
+    Inst &i = emit(Opcode::Vextract);
+    i.rd = d.i;
+    i.ra = a.i;
+    i.rb = idx.i;
+}
+
+void
+Assembler::vextractq(IR d, VR a, std::int64_t idx)
+{
+    Inst &i = emit(Opcode::Vextract);
+    i.rd = d.i;
+    i.ra = a.i;
+    i.immValid = true;
+    i.imm = idx;
+}
+
+void
+Assembler::vextractt(FR d, VR a, std::int64_t idx)
+{
+    Inst &i = emit(Opcode::Vextract);
+    i.dt = DataType::T;
+    i.rd = d.i;
+    i.ra = a.i;
+    i.immValid = true;
+    i.imm = idx;
+}
+
+void
+Assembler::vinsertq(VR d, IR val, std::int64_t idx)
+{
+    Inst &i = emit(Opcode::Vinsert);
+    i.rd = d.i;
+    i.ra = val.i;
+    i.immValid = true;
+    i.imm = idx;
+}
+
+void
+Assembler::vinsertt(VR d, FR val, std::int64_t idx)
+{
+    Inst &i = emit(Opcode::Vinsert);
+    i.dt = DataType::T;
+    i.rd = d.i;
+    i.ra = val.i;
+    i.immValid = true;
+    i.imm = idx;
+}
+
+// ---- finalization ----------------------------------------------------
+
+Program
+Assembler::finalize()
+{
+    for (auto &[pos, label] : fixups_) {
+        std::int32_t tgt = labelPos_[label];
+        if (tgt < 0)
+            fatal("assembler: label %d used but never bound", label);
+        insts_[pos].target = tgt;
+    }
+    for (std::size_t pc = 0; pc < insts_.size(); ++pc) {
+        const Inst &i = insts_[pc];
+        if (i.isBranch() &&
+            (i.target < 0 ||
+             i.target > static_cast<std::int32_t>(insts_.size()))) {
+            fatal("assembler: branch at %zu has bad target %d", pc,
+                  i.target);
+        }
+    }
+    return Program(std::move(insts_));
+}
+
+} // namespace tarantula::program

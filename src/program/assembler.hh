@@ -1,0 +1,244 @@
+/**
+ * @file
+ * A builder DSL for writing simulated-ISA programs in C++.
+ *
+ * Registers are strong types (IR/FR/VR) so operand-class mistakes fail
+ * to compile. Vector-operate methods are overloaded on the second
+ * source: a VR produces the VV form, an IR/FR or a literal produces the
+ * VS form. Labels are forward-referenceable and patched at finalize().
+ *
+ * Example (DAXPY, y += a*x, vectorized):
+ * @code
+ *   Assembler as;
+ *   Label loop = as.newLabel();
+ *   as.setvl(128);
+ *   as.setvs(8);
+ *   as.bind(loop);
+ *   as.vldt(V(0), R(1));             // x chunk
+ *   as.vldt(V(1), R(2));             // y chunk
+ *   as.vfmact(V(1), V(0), F(1));     // y += a*x  (VS form)
+ *   as.vstt(V(1), R(2));
+ *   as.addq(R(1), R(1), 1024);
+ *   as.addq(R(2), R(2), 1024);
+ *   as.subq(R(3), R(3), 128);
+ *   as.bgt(R(3), loop);
+ *   as.halt();
+ *   Program prog = as.finalize();
+ * @endcode
+ */
+
+#ifndef TARANTULA_PROGRAM_ASSEMBLER_HH
+#define TARANTULA_PROGRAM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "program/program.hh"
+
+namespace tarantula::program
+{
+
+/** Strongly-typed scalar integer register operand. */
+struct IR { isa::RegIndex i; };
+/** Strongly-typed scalar floating-point register operand. */
+struct FR { isa::RegIndex i; };
+/** Strongly-typed vector register operand. */
+struct VR { isa::RegIndex i; };
+
+constexpr IR R(unsigned i) { return {static_cast<isa::RegIndex>(i)}; }
+constexpr FR F(unsigned i) { return {static_cast<isa::RegIndex>(i)}; }
+constexpr VR V(unsigned i) { return {static_cast<isa::RegIndex>(i)}; }
+
+/** An opaque label handle; bind() fixes its position. */
+struct Label { std::int32_t id = -1; };
+
+/** Incremental program builder; see file comment for usage. */
+class Assembler
+{
+  public:
+    // ---- labels and control flow -------------------------------------
+    Label newLabel();
+    /** Attach @p l to the next emitted instruction. */
+    void bind(Label l);
+
+    void br(Label l);
+    void beq(IR a, Label l);
+    void bne(IR a, Label l);
+    void blt(IR a, Label l);
+    void bge(IR a, Label l);
+    void ble(IR a, Label l);
+    void bgt(IR a, Label l);
+    void fbeq(FR a, Label l);
+    void fbne(FR a, Label l);
+
+    // ---- scalar integer ----------------------------------------------
+    void addq(IR d, IR a, IR b);
+    void addq(IR d, IR a, std::int64_t imm);
+    void subq(IR d, IR a, IR b);
+    void subq(IR d, IR a, std::int64_t imm);
+    void mulq(IR d, IR a, IR b);
+    void mulq(IR d, IR a, std::int64_t imm);
+    void and_(IR d, IR a, IR b);
+    void and_(IR d, IR a, std::int64_t imm);
+    void or_(IR d, IR a, IR b);
+    void xor_(IR d, IR a, IR b);
+    void xor_(IR d, IR a, std::int64_t imm);
+    void sll(IR d, IR a, std::int64_t imm);
+    void srl(IR d, IR a, std::int64_t imm);
+    void sra(IR d, IR a, std::int64_t imm);
+    void cmpeq(IR d, IR a, IR b);
+    void cmpeq(IR d, IR a, std::int64_t imm);
+    void cmplt(IR d, IR a, IR b);
+    void cmple(IR d, IR a, IR b);
+    void cmpult(IR d, IR a, IR b);
+    /** d = a + imm; with a == r31 this materializes a constant. */
+    void lda(IR d, std::int64_t imm, IR a = R(31));
+    /** Pseudo: register move (BIS d, a, a). */
+    void mov(IR d, IR a);
+    /** Pseudo: materialize a full 64-bit constant. */
+    void movi(IR d, std::int64_t imm);
+
+    // ---- scalar floating point ----------------------------------------
+    void addt(FR d, FR a, FR b);
+    void subt(FR d, FR a, FR b);
+    void mult(FR d, FR a, FR b);
+    void divt(FR d, FR a, FR b);
+    void sqrtt(FR d, FR b);
+    void cmpteq(FR d, FR a, FR b);
+    void cmptlt(FR d, FR a, FR b);
+    void cmptle(FR d, FR a, FR b);
+    void cvtqt(FR d, FR b);
+    void cvttq(FR d, FR b);
+    void fmov(FR d, FR b);
+    void itoft(FR d, IR a);
+    void ftoit(IR d, FR a);
+    /** Pseudo: materialize an FP constant through scratch IR @p tmp. */
+    void fconst(FR d, double v, IR tmp);
+
+    // ---- scalar memory -------------------------------------------------
+    void ldq(IR d, std::int64_t disp, IR base);
+    void stq(IR val, std::int64_t disp, IR base);
+    void ldt(FR d, std::int64_t disp, IR base);
+    void stt(FR val, std::int64_t disp, IR base);
+    void prefetch(std::int64_t disp, IR base);
+    void wh64(IR base, std::int64_t disp = 0);
+    void drainm();
+    void nop();
+    void halt();
+
+    // ---- vector operate (overloads select VV / VS / VS-immediate) ------
+    // Integer quadword forms.
+    void vaddq(VR d, VR a, VR b, bool m = false);
+    void vaddq(VR d, VR a, IR b, bool m = false);
+    void vaddq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vsubq(VR d, VR a, VR b, bool m = false);
+    void vsubq(VR d, VR a, IR b, bool m = false);
+    void vmulq(VR d, VR a, VR b, bool m = false);
+    void vmulq(VR d, VR a, IR b, bool m = false);
+    void vmulq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vandq(VR d, VR a, VR b, bool m = false);
+    void vandq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vorq(VR d, VR a, VR b, bool m = false);
+    void vxorq(VR d, VR a, VR b, bool m = false);
+    void vsllq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vsrlq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vsraq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vcmpeqq(VR d, VR a, VR b, bool m = false);
+    void vcmpeqq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vcmpneq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vcmpltq(VR d, VR a, VR b, bool m = false);
+    void vcmpltq(VR d, VR a, IR b, bool m = false);
+    void vcmpltq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vcmpleq(VR d, VR a, std::int64_t imm, bool m = false);
+    void vminq(VR d, VR a, VR b, bool m = false);
+    void vmaxq(VR d, VR a, VR b, bool m = false);
+
+    // T-format (double) forms.
+    void vaddt(VR d, VR a, VR b, bool m = false);
+    void vaddt(VR d, VR a, FR b, bool m = false);
+    void vaddt(VR d, VR a, double imm, bool m = false);
+    void vsubt(VR d, VR a, VR b, bool m = false);
+    void vsubt(VR d, VR a, FR b, bool m = false);
+    void vmult(VR d, VR a, VR b, bool m = false);
+    void vmult(VR d, VR a, FR b, bool m = false);
+    void vmult(VR d, VR a, double imm, bool m = false);
+    void vdivt(VR d, VR a, VR b, bool m = false);
+    void vdivt(VR d, VR a, FR b, bool m = false);
+    void vsqrtt(VR d, VR a, bool m = false);
+    void vcmpeqt(VR d, VR a, double imm, bool m = false);
+    void vcmpnet(VR d, VR a, double imm, bool m = false);
+    void vcmpltt(VR d, VR a, VR b, bool m = false);
+    void vcmpltt(VR d, VR a, double imm, bool m = false);
+    void vcmplet(VR d, VR a, VR b, bool m = false);
+    void vcmplet(VR d, VR a, double imm, bool m = false);
+    void vmint(VR d, VR a, VR b, bool m = false);
+    void vmaxt(VR d, VR a, VR b, bool m = false);
+    /** Fused multiply-accumulate: d[i] += a[i] * b (FMAC extension). */
+    void vfmact(VR d, VR a, VR b, bool m = false);
+    void vfmact(VR d, VR a, FR b, bool m = false);
+    /** Merge: d[i] = vm[i] ? a[i] : b[i]. */
+    void vmerget(VR d, VR a, VR b);
+    void vmergeq(VR d, VR a, VR b);
+
+    // ---- vector memory --------------------------------------------------
+    /** Strided load: d[i] = MEM[base + disp + i*vs]. */
+    void vldq(VR d, IR base, std::int64_t disp = 0, bool m = false);
+    void vldt(VR d, IR base, std::int64_t disp = 0, bool m = false);
+    /** Strided store: MEM[base + disp + i*vs] = a[i]. */
+    void vstq(VR a, IR base, std::int64_t disp = 0, bool m = false);
+    void vstt(VR a, IR base, std::int64_t disp = 0, bool m = false);
+    /** Gather: d[i] = MEM[base + idx[i]] (byte offsets in idx). */
+    void vgathq(VR d, VR idx, IR base, bool m = false);
+    void vgatht(VR d, VR idx, IR base, bool m = false);
+    /** Scatter: MEM[base + idx[i]] = a[i]. */
+    void vscatq(VR a, VR idx, IR base, bool m = false);
+    void vscatt(VR a, VR idx, IR base, bool m = false);
+    /** Vector prefetch: a gather/load with destination v31. */
+    void vprefetch(IR base, std::int64_t disp = 0);
+
+    // ---- vector control ---------------------------------------------------
+    void setvl(IR a);
+    void setvl(std::int64_t imm);
+    void setvs(IR a);
+    void setvs(std::int64_t imm);
+    void setvm(VR a);
+    void viota(VR d);
+    void vslidedown(VR d, VR a, std::int64_t k);
+    void vextractq(IR d, VR a, IR idx);
+    void vextractq(IR d, VR a, std::int64_t idx);
+    void vextractt(FR d, VR a, std::int64_t idx);
+    void vinsertq(VR d, IR val, std::int64_t idx);
+    void vinsertt(VR d, FR val, std::int64_t idx);
+
+    // ---- finalization -------------------------------------------------
+    /** Resolve labels and return the finished program. */
+    Program finalize();
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return insts_.size(); }
+
+  private:
+    isa::Inst &emit(isa::Opcode op);
+    void intOp(isa::Opcode op, IR d, IR a, IR b);
+    void intOpImm(isa::Opcode op, IR d, IR a, std::int64_t imm);
+    void fpOp(isa::Opcode op, FR d, FR a, FR b);
+    void branch(isa::Opcode op, isa::RegIndex test, Label l);
+    void vecVV(isa::Opcode op, isa::DataType dt, VR d, VR a, VR b,
+               bool m);
+    void vecVS(isa::Opcode op, isa::DataType dt, VR d, VR a,
+               isa::RegIndex sb, bool m);
+    void vecVSImmQ(isa::Opcode op, VR d, VR a, std::int64_t imm,
+                   bool m);
+    void vecVSImmT(isa::Opcode op, VR d, VR a, double imm, bool m);
+    void vecMem(isa::Opcode op, isa::DataType dt, VR v, IR base,
+                std::int64_t disp, bool m);
+
+    std::vector<isa::Inst> insts_;
+    std::vector<std::int32_t> labelPos_;    ///< label id -> inst index
+    std::vector<std::pair<std::size_t, std::int32_t>> fixups_;
+};
+
+} // namespace tarantula::program
+
+#endif // TARANTULA_PROGRAM_ASSEMBLER_HH

@@ -1,0 +1,164 @@
+#include "program/encoding.hh"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace tarantula::program
+{
+
+unsigned
+encode(const isa::Inst &inst, std::vector<std::uint32_t> &out)
+{
+    const bool has_target = inst.target >= 0;
+    const bool has_imm = inst.imm != 0 || inst.immValid;
+    const bool has_fimm = inst.fimm != 0.0;
+
+    std::uint64_t w = 0;
+    w = insertBits(w, 31, 25, static_cast<std::uint64_t>(inst.op));
+    w = insertBits(w, 24, 20, inst.rd);
+    w = insertBits(w, 19, 15, inst.ra);
+    w = insertBits(w, 14, 10, inst.rb);
+    w = insertBits(w, 9, 9, inst.immValid);
+    w = insertBits(w, 8, 8, inst.underMask);
+    w = insertBits(w, 7, 6, static_cast<std::uint64_t>(inst.mode));
+    w = insertBits(w, 5, 5, static_cast<std::uint64_t>(inst.dt));
+    w = insertBits(w, 2, 2, has_target);
+    w = insertBits(w, 1, 1, has_imm);
+    w = insertBits(w, 0, 0, has_fimm);
+    out.push_back(static_cast<std::uint32_t>(w));
+
+    unsigned n = 1;
+    if (has_target) {
+        out.push_back(static_cast<std::uint32_t>(inst.target));
+        ++n;
+    }
+    if (has_imm) {
+        const auto imm = static_cast<std::uint64_t>(inst.imm);
+        out.push_back(static_cast<std::uint32_t>(imm));
+        out.push_back(static_cast<std::uint32_t>(imm >> 32));
+        n += 2;
+    }
+    if (has_fimm) {
+        const auto bits = std::bit_cast<std::uint64_t>(inst.fimm);
+        out.push_back(static_cast<std::uint32_t>(bits));
+        out.push_back(static_cast<std::uint32_t>(bits >> 32));
+        n += 2;
+    }
+    return n;
+}
+
+namespace
+{
+
+std::uint32_t
+next(const std::vector<std::uint32_t> &words, std::size_t &pos)
+{
+    if (pos >= words.size())
+        panic("decode: truncated instruction stream at word %zu", pos);
+    return words[pos++];
+}
+
+} // anonymous namespace
+
+isa::Inst
+decode(const std::vector<std::uint32_t> &words, std::size_t &pos)
+{
+    const std::uint64_t w = next(words, pos);
+
+    isa::Inst inst;
+    const auto opc = static_cast<unsigned>(bits(w, 31, 25));
+    if (opc >= static_cast<unsigned>(isa::Opcode::NumOpcodes))
+        panic("decode: bad opcode %u", opc);
+    inst.op = static_cast<isa::Opcode>(opc);
+    inst.rd = static_cast<isa::RegIndex>(bits(w, 24, 20));
+    inst.ra = static_cast<isa::RegIndex>(bits(w, 19, 15));
+    inst.rb = static_cast<isa::RegIndex>(bits(w, 14, 10));
+    inst.immValid = bit(w, 9);
+    inst.underMask = bit(w, 8);
+    const auto mode = static_cast<unsigned>(bits(w, 7, 6));
+    if (mode > static_cast<unsigned>(isa::VecMode::VS))
+        panic("decode: bad vector mode %u", mode);
+    inst.mode = static_cast<isa::VecMode>(mode);
+    inst.dt = static_cast<isa::DataType>(bits(w, 5, 5));
+
+    if (bit(w, 2)) {
+        inst.target =
+            static_cast<std::int32_t>(next(words, pos));
+    }
+    if (bit(w, 1)) {
+        std::uint64_t imm = next(words, pos);
+        imm |= static_cast<std::uint64_t>(next(words, pos)) << 32;
+        inst.imm = static_cast<std::int64_t>(imm);
+    }
+    if (bit(w, 0)) {
+        std::uint64_t fb = next(words, pos);
+        fb |= static_cast<std::uint64_t>(next(words, pos)) << 32;
+        inst.fimm = std::bit_cast<double>(fb);
+    }
+    return inst;
+}
+
+std::vector<std::uint32_t>
+encodeProgram(const Program &prog)
+{
+    std::vector<std::uint32_t> out;
+    out.push_back(ProgramMagic);
+    out.push_back(static_cast<std::uint32_t>(prog.size()));
+    for (const isa::Inst &inst : prog.insts())
+        encode(inst, out);
+    return out;
+}
+
+Program
+decodeProgram(const std::vector<std::uint32_t> &words)
+{
+    if (words.size() < 2 || words[0] != ProgramMagic)
+        fatal("decodeProgram: bad magic");
+    const std::uint32_t count = words[1];
+    std::vector<isa::Inst> insts;
+    insts.reserve(count);
+    std::size_t pos = 2;
+    for (std::uint32_t i = 0; i < count; ++i)
+        insts.push_back(decode(words, pos));
+    if (pos != words.size())
+        fatal("decodeProgram: %zu trailing words",
+              words.size() - pos);
+    return Program(std::move(insts));
+}
+
+void
+saveProgram(const Program &prog, const std::string &path)
+{
+    const auto words = encodeProgram(prog);
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("saveProgram: cannot open '%s'", path.c_str());
+    out.write(reinterpret_cast<const char *>(words.data()),
+              static_cast<std::streamsize>(words.size() * 4));
+    if (!out)
+        fatal("saveProgram: write to '%s' failed", path.c_str());
+}
+
+Program
+loadProgram(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        fatal("loadProgram: cannot open '%s'", path.c_str());
+    const auto bytes = static_cast<std::size_t>(in.tellg());
+    if (bytes % 4 != 0)
+        fatal("loadProgram: '%s' is not a word stream", path.c_str());
+    std::vector<std::uint32_t> words(bytes / 4);
+    in.seekg(0);
+    in.read(reinterpret_cast<char *>(words.data()),
+            static_cast<std::streamsize>(bytes));
+    if (!in)
+        fatal("loadProgram: read from '%s' failed", path.c_str());
+    return decodeProgram(words);
+}
+
+} // namespace tarantula::program

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Binary instruction encoding: a compact, Alpha-flavored interchange
+ * format for simulated programs.
+ *
+ * Each instruction encodes into one 32-bit base word plus optional
+ * extension words (a branch target, a 64-bit integer immediate or
+ * displacement, a 64-bit FP immediate). Real Alpha packs everything
+ * into 32 bits by splitting large constants across LDA/LDAH pairs;
+ * the simulator's assembler accepts full 64-bit literals directly, so
+ * the interchange format carries them in extension words instead of
+ * rewriting programs.
+ *
+ * Base word layout (LSB numbering):
+ *
+ *   [31:25] opcode        [24:20] rd      [19:15] ra     [14:10] rb
+ *   [9]     immValid      [8]     underMask
+ *   [7:6]   VecMode       [5]     DataType
+ *   [2]     hasTarget     [1]     hasImm   [0] hasFimm
+ *
+ * Programs serialize as a magic/count header followed by the
+ * instruction stream; Program round-trips bit-exactly.
+ */
+
+#ifndef TARANTULA_PROGRAM_ENCODING_HH
+#define TARANTULA_PROGRAM_ENCODING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "program/program.hh"
+
+namespace tarantula::program
+{
+
+/** Serialized-program magic number ("TAR1"). */
+constexpr std::uint32_t ProgramMagic = 0x54415231;
+
+/**
+ * Encode one instruction.
+ * @param inst  The instruction to encode.
+ * @param out   Words are appended here (1 to 4 of them).
+ * @return Number of words appended.
+ */
+unsigned encode(const isa::Inst &inst, std::vector<std::uint32_t> &out);
+
+/**
+ * Decode one instruction.
+ * @param words     Word stream.
+ * @param pos       Read cursor; advanced past the instruction.
+ * @return The decoded instruction. panic()s on malformed input
+ *         (truncated stream, bad opcode).
+ */
+isa::Inst decode(const std::vector<std::uint32_t> &words, std::size_t &pos);
+
+/** Serialize a whole program (header + instruction stream). */
+std::vector<std::uint32_t> encodeProgram(const Program &prog);
+
+/** Reconstruct a program; fatal() on bad magic or truncation. */
+Program decodeProgram(const std::vector<std::uint32_t> &words);
+
+/** Write a serialized program to a file (fatal on I/O error). */
+void saveProgram(const Program &prog, const std::string &path);
+
+/** Read a serialized program from a file (fatal on I/O error). */
+Program loadProgram(const std::string &path);
+
+} // namespace tarantula::program
+
+#endif // TARANTULA_PROGRAM_ENCODING_HH

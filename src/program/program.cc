@@ -1,0 +1,17 @@
+#include "program/program.hh"
+
+#include <sstream>
+
+namespace tarantula::program
+{
+
+std::string
+Program::disasm() const
+{
+    std::ostringstream os;
+    for (std::size_t pc = 0; pc < insts_.size(); ++pc)
+        os << pc << ":\t" << insts_[pc].disasm() << "\n";
+    return os.str();
+}
+
+} // namespace tarantula::program

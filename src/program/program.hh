@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A Program is a finalized linear sequence of decoded instructions with
+ * resolved branch targets, ready for functional execution.
+ */
+
+#ifndef TARANTULA_PROGRAM_PROGRAM_HH
+#define TARANTULA_PROGRAM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace tarantula::program
+{
+
+/** An immutable instruction sequence with resolved branch targets. */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::vector<isa::Inst> insts)
+        : insts_(std::move(insts))
+    {
+    }
+
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    const isa::Inst &operator[](std::size_t pc) const
+    {
+        return insts_[pc];
+    }
+
+    const std::vector<isa::Inst> &insts() const { return insts_; }
+
+    /** Full-program disassembly listing. */
+    std::string disasm() const;
+
+  private:
+    std::vector<isa::Inst> insts_;
+};
+
+} // namespace tarantula::program
+
+#endif // TARANTULA_PROGRAM_PROGRAM_HH

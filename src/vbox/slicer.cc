@@ -1,0 +1,255 @@
+#include "vbox/slicer.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace tarantula::vbox
+{
+
+using exec::VecElemAddr;
+using mem::bankOf;
+using mem::Slice;
+
+bool
+Slicer::selfConflicting(std::int64_t stride_bytes)
+{
+    if (stride_bytes == 0)
+        return true;    // every element hits the same bank
+    const std::uint64_t mag = static_cast<std::uint64_t>(
+        stride_bytes < 0 ? -stride_bytes : stride_bytes);
+    if (mag % sizeof(Quadword) != 0)
+        return true;    // sub-element strides never happen in practice
+    const std::uint64_t qw_stride = mag / sizeof(Quadword);
+    // qw_stride = sigma * 2^s, sigma odd; self-conflicting iff s > 4.
+    return countTrailingZeros(qw_stride) > 4;
+}
+
+SlicePlan
+Slicer::plan(const std::vector<VecElemAddr> &addrs, bool is_write,
+             bool is_strided, std::int64_t stride,
+             std::uint64_t inst_tag)
+{
+    if (addrs.empty()) {
+        // Fully-masked or vl=0 instruction: nothing to access, but
+        // address generation still cycles once.
+        SlicePlan p;
+        p.scheme = AddrScheme::Reorder;
+        p.addrGenCycles = 1;
+        return p;
+    }
+
+    if (is_strided && stride == static_cast<std::int64_t>(
+                          sizeof(Quadword)) &&
+        cfg_.pumpEnabled && !cfg_.forceCrBox) {
+        return planPump(addrs, is_write, inst_tag);
+    }
+    if (is_strided && !selfConflicting(stride) && !cfg_.forceCrBox)
+        return planReorder(addrs, is_write, inst_tag);
+    return planCrBox(addrs, is_write, inst_tag);
+}
+
+// ---- stride-1 pump mode ---------------------------------------------------
+
+SlicePlan
+Slicer::planPump(const std::vector<VecElemAddr> &addrs, bool is_write,
+                 std::uint64_t inst_tag) const
+{
+    SlicePlan p;
+    p.scheme = AddrScheme::Pump;
+
+    // Collect the distinct cache lines covered, in address order.
+    // Stride-1 addresses ascend, so lines come out sorted already.
+    std::vector<Addr> line_addrs;
+    line_addrs.reserve(17);
+    for (const auto &ea : addrs) {
+        const Addr line = roundDown(ea.addr, CacheLineBytes);
+        if (line_addrs.empty() || line_addrs.back() != line)
+            line_addrs.push_back(line);
+    }
+
+    // Sixteen consecutive lines touch sixteen distinct banks, so each
+    // chunk of up to 16 is conflict-free. A line-aligned full-length
+    // access is exactly 16 lines (one slice); a misaligned one spans
+    // 17 and produces two pump slices (paper, footnote 3).
+    for (std::size_t base = 0; base < line_addrs.size();
+         base += NumLanes) {
+        Slice s;
+        s.id = nextSliceId_++;
+        s.instTag = inst_tag;
+        s.isWrite = is_write;
+        s.pump = true;
+        const std::size_t n =
+            std::min<std::size_t>(NumLanes, line_addrs.size() - base);
+        for (std::size_t i = 0; i < n; ++i) {
+            s.elems[i].valid = true;
+            s.elems[i].elem = static_cast<std::uint16_t>(i);
+            s.elems[i].addr = line_addrs[base + i];
+        }
+        p.slices.push_back(s);
+    }
+
+    // The modified address generation emits 16 line addresses per
+    // cycle instead of 16 element addresses.
+    p.addrGenCycles =
+        static_cast<unsigned>((line_addrs.size() + NumLanes - 1) /
+                              NumLanes);
+    return p;
+}
+
+// ---- conflict-free reordering ------------------------------------------
+
+namespace
+{
+
+/**
+ * Kuhn's maximum bipartite matching over the 16x16 lane->bank
+ * adjacency. adj[lane] is a bitmask of banks with pending elements.
+ * match_bank[bank] = matched lane or -1.
+ */
+bool
+tryAugment(unsigned lane, const std::array<std::uint16_t, 16> &adj,
+           std::uint16_t &visited, std::array<int, 16> &match_bank)
+{
+    for (unsigned bank = 0; bank < 16; ++bank) {
+        if (!(adj[lane] & (1u << bank)) || (visited & (1u << bank)))
+            continue;
+        visited |= static_cast<std::uint16_t>(1u << bank);
+        if (match_bank[bank] < 0 ||
+            tryAugment(static_cast<unsigned>(match_bank[bank]), adj,
+                       visited, match_bank)) {
+            match_bank[bank] = static_cast<int>(lane);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+SlicePlan
+Slicer::planReorder(const std::vector<VecElemAddr> &addrs,
+                    bool is_write, std::uint64_t inst_tag) const
+{
+    SlicePlan p;
+    p.scheme = AddrScheme::Reorder;
+
+    // Pending elements bucketed by (lane, bank); FIFO within a bucket.
+    std::array<std::array<std::deque<VecElemAddr>, 16>, 16> buckets;
+    for (const auto &ea : addrs) {
+        const unsigned lane = ea.elem % NumLanes;
+        buckets[lane][bankOf(ea.addr)].push_back(ea);
+    }
+
+    unsigned remaining = static_cast<unsigned>(addrs.size());
+    while (remaining > 0) {
+        // Adjacency of non-empty buckets.
+        std::array<std::uint16_t, 16> adj{};
+        for (unsigned lane = 0; lane < 16; ++lane) {
+            for (unsigned bank = 0; bank < 16; ++bank) {
+                if (!buckets[lane][bank].empty())
+                    adj[lane] |= static_cast<std::uint16_t>(1u << bank);
+            }
+        }
+
+        std::array<int, 16> match_bank;
+        match_bank.fill(-1);
+        for (unsigned lane = 0; lane < 16; ++lane) {
+            if (adj[lane]) {
+                std::uint16_t visited = 0;
+                tryAugment(lane, adj, visited, match_bank);
+            }
+        }
+
+        Slice s;
+        s.id = nextSliceId_++;
+        s.instTag = inst_tag;
+        s.isWrite = is_write;
+        unsigned taken = 0;
+        for (unsigned bank = 0; bank < 16; ++bank) {
+            if (match_bank[bank] < 0)
+                continue;
+            auto &q =
+                buckets[static_cast<unsigned>(match_bank[bank])][bank];
+            const VecElemAddr ea = q.front();
+            q.pop_front();
+            s.elems[taken].valid = true;
+            s.elems[taken].elem = ea.elem;
+            s.elems[taken].addr = ea.addr;
+            ++taken;
+        }
+        if (taken == 0)
+            panic("slicer: matching made no progress");
+        remaining -= taken;
+        p.slices.push_back(s);
+    }
+
+    // Reordered instructions always pay the full 8 address-generation
+    // cycles: elements stream out of order, so even short vectors wait
+    // for the complete schedule (paper section 3.4).
+    p.addrGenCycles = std::max<unsigned>(
+        MaxVectorLength / NumLanes,
+        static_cast<unsigned>(p.slices.size()));
+    return p;
+}
+
+// ---- CR box tournament ------------------------------------------------
+
+SlicePlan
+Slicer::planCrBox(const std::vector<VecElemAddr> &addrs, bool is_write,
+                  std::uint64_t inst_tag) const
+{
+    SlicePlan p;
+    p.scheme = AddrScheme::CrBox;
+
+    // The CR box sees up to crWindow new bank identifiers per round
+    // and runs a selection tournament across those plus whatever was
+    // left from previous rounds, packing the winners into a slice.
+    std::deque<VecElemAddr> pool;
+    std::size_t fed = 0;
+    unsigned rounds = 0;
+
+    while (fed < addrs.size() || !pool.empty()) {
+        ++rounds;
+        while (fed < addrs.size() && pool.size() < cfg_.crWindow)
+            pool.push_back(addrs[fed++]);
+
+        // Tournament: greedy oldest-first pick of addresses whose bank
+        // and destination lane are both still free this round.
+        std::uint16_t banks_used = 0;
+        std::uint16_t lanes_used = 0;
+        Slice s;
+        s.id = nextSliceId_++;
+        s.instTag = inst_tag;
+        s.isWrite = is_write;
+        unsigned taken = 0;
+
+        for (auto it = pool.begin(); it != pool.end() && taken < 16;) {
+            const unsigned bank = bankOf(it->addr);
+            const unsigned lane = it->elem % NumLanes;
+            if ((banks_used & (1u << bank)) ||
+                (lanes_used & (1u << lane))) {
+                ++it;
+                continue;
+            }
+            banks_used |= static_cast<std::uint16_t>(1u << bank);
+            lanes_used |= static_cast<std::uint16_t>(1u << lane);
+            s.elems[taken].valid = true;
+            s.elems[taken].elem = it->elem;
+            s.elems[taken].addr = it->addr;
+            ++taken;
+            it = pool.erase(it);
+        }
+
+        tarantula_assert(taken > 0);
+        p.slices.push_back(s);
+    }
+
+    p.addrGenCycles = rounds;
+    return p;
+}
+
+} // namespace tarantula::vbox

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Conflict-free address generation: turning a vector memory
+ * instruction's 128 effective addresses into slices (paper section
+ * 3.4, "Conflict-free Address Generation", and the CR box of
+ * "Gather/Scatters and Self-Conflicting Strides").
+ *
+ * Three regimes:
+ *
+ *  1. Stride-1 (pump mode): the 128 quadwords live in at most 17
+ *     consecutive cache lines; address generation emits the starting
+ *     address of each line and sets the pump bit (one slice, two if
+ *     the base is not line-aligned).
+ *
+ *  2. Reorderable strides S = sigma * 2^s quadwords, sigma odd,
+ *     s <= 4: a requesting order exists that groups the 128 elements
+ *     into 8 slices, each bank- and lane-conflict-free. The hardware
+ *     encodes the order in a 2.1 KB ROM; this model computes the same
+ *     schedule constructively with a maximum bipartite matching
+ *     (lane -> bank) per slice. The property test suite verifies the
+ *     8-slice guarantee across the whole stride family.
+ *
+ *  3. Gather/scatter and self-conflicting strides (s > 4): addresses
+ *     run through the CR-box selection tournament, which repeatedly
+ *     picks the largest conflict-free subset of the pending window
+ *     (worst case 128 slices when every address maps to one bank).
+ */
+
+#ifndef TARANTULA_VBOX_SLICER_HH
+#define TARANTULA_VBOX_SLICER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "exec/dyn_inst.hh"
+#include "mem/slice.hh"
+
+namespace tarantula::vbox
+{
+
+/** How the address generators handled one vector memory instruction. */
+enum class AddrScheme : std::uint8_t
+{
+    Pump,       ///< stride-1 double-bandwidth mode
+    Reorder,    ///< conflict-free reordering ROM schedule
+    CrBox       ///< conflict-resolution tournament
+};
+
+/** The slice schedule for one vector memory instruction. */
+struct SlicePlan
+{
+    AddrScheme scheme = AddrScheme::Reorder;
+    std::vector<mem::Slice> slices;
+    /**
+     * Cycles the address generators are busy producing this plan.
+     * Reordered strides always pay the full 8 cycles even for short
+     * vectors (elements return out of order, so chaining waits for
+     * everything); the CR box pays one cycle per tournament round.
+     */
+    unsigned addrGenCycles = 0;
+};
+
+/** Configuration knobs for the address-generation model. */
+struct SlicerConfig
+{
+    bool pumpEnabled = true;    ///< Figure 9 ablation switch
+    /**
+     * Ablation: route every strided access through the CR box
+     * instead of the conflict-free reordering ROM (measures what the
+     * reordering scheme buys).
+     */
+    bool forceCrBox = false;
+    /** New addresses fed to the CR tournament per cycle. */
+    unsigned crWindow = 16;
+};
+
+/** Stateless slice scheduler; see file comment. */
+class Slicer
+{
+  public:
+    explicit Slicer(const SlicerConfig &cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Build the slice plan for one vector memory instruction.
+     *
+     * @param addrs     Active element addresses (element index, addr).
+     * @param is_write  Store/scatter?
+     * @param is_strided  Vld/Vst (true) or gather/scatter (false).
+     * @param stride    Byte stride (Vld/Vst only).
+     * @param inst_tag  Cookie copied into every slice.
+     */
+    SlicePlan plan(const std::vector<exec::VecElemAddr> &addrs,
+                   bool is_write, bool is_strided, std::int64_t stride,
+                   std::uint64_t inst_tag);
+
+    /**
+     * The paper's stride classification: S = sigma * 2^s quadwords
+     * with sigma odd is self-conflicting when s > 4 (such strides map
+     * all addresses onto a handful of banks and go to the CR box).
+     */
+    static bool selfConflicting(std::int64_t stride_bytes);
+
+    const SlicerConfig &config() const { return cfg_; }
+
+  private:
+    SlicePlan planPump(const std::vector<exec::VecElemAddr> &addrs,
+                       bool is_write, std::uint64_t inst_tag) const;
+    SlicePlan planReorder(const std::vector<exec::VecElemAddr> &addrs,
+                          bool is_write, std::uint64_t inst_tag) const;
+    SlicePlan planCrBox(const std::vector<exec::VecElemAddr> &addrs,
+                        bool is_write, std::uint64_t inst_tag) const;
+
+    SlicerConfig cfg_;
+    mutable std::uint64_t nextSliceId_ = 0;
+};
+
+} // namespace tarantula::vbox
+
+#endif // TARANTULA_VBOX_SLICER_HH

@@ -1,0 +1,235 @@
+#include "vbox/vbox.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace tarantula::vbox
+{
+
+using exec::DynInst;
+using isa::InstClass;
+using isa::Opcode;
+
+Vbox::Vbox(const VboxConfig &cfg, cache::L2Cache &l2,
+           stats::StatGroup &parent)
+    : cfg_(cfg),
+      l2_(l2),
+      slicer_(cfg.slicer),
+      statGroup_("vbox", &parent),
+      vtlb_(cfg.tlb, cfg.refill, statGroup_),
+      arithIssued_(statGroup_, "arith_issued",
+                   "vector arithmetic/control instructions issued"),
+      memIssued_(statGroup_, "mem_issued",
+                 "vector memory instructions issued"),
+      slicesIssued_(statGroup_, "slices_issued",
+                    "slices sent to the L2"),
+      sliceBackpressure_(statGroup_, "slice_backpressure",
+                         "cycles a slice was refused by the L2"),
+      addrGenBusy_(statGroup_, "addrgen_busy_cycles",
+                   "cycles the address generators were occupied"),
+      portBusyCycles_(statGroup_, "port_busy_cycles",
+                      "issue-port occupancy (north + south)"),
+      memLatency_(statGroup_, "mem_latency",
+                  "vector memory instruction latency (cycles)", 0.0,
+                  512.0, 16)
+{
+}
+
+Cycle
+Vbox::issueArith(const DynInst &di, Cycle src_ready)
+{
+    const isa::Inst &in = *di.inst;
+    ++arithIssued_;
+
+    // Scalar operands ride the narrow EV8->Vbox operand buses.
+    const bool needs_scalar =
+        in.mode == isa::VecMode::VS ||
+        (in.cls() == InstClass::VecControl && !in.immValid);
+    Cycle ready = src_ready + (needs_scalar ? cfg_.scalarBusDelay : 0);
+    if (ready < now_)
+        ready = now_;
+
+    // Control instructions execute in the rename/queue stage.
+    if (in.cls() == InstClass::VecControl &&
+        (in.op == Opcode::Setvl || in.op == Opcode::Setvs ||
+         in.op == Opcode::Setvm || in.op == Opcode::Vextract ||
+         in.op == Opcode::Vinsert)) {
+        return ready + 1;
+    }
+
+    const unsigned vl = di.vl ? di.vl : 1;
+    const unsigned occ = (vl + NumLanes - 1) / NumLanes;
+
+    unsigned latency;
+    if (in.op == Opcode::Vdiv || in.op == Opcode::Vsqrt)
+        latency = cfg_.vecDivLatency;
+    else if (in.dt == isa::DataType::T)
+        latency = cfg_.vecFpLatency;
+    else
+        latency = cfg_.vecIntLatency;
+
+    // The 32 FUs appear to the scheduler as two resources: pick the
+    // port that frees first.
+    Cycle &port =
+        northFreeAt_ <= southFreeAt_ ? northFreeAt_ : southFreeAt_;
+    const Cycle start = std::max(ready, port);
+    port = start + occ;
+    portBusyCycles_ += occ;
+    return start + occ - 1 + latency;
+}
+
+bool
+Vbox::issueMem(const DynInst &di, Cycle src_ready,
+               std::uint64_t rob_tag)
+{
+    if (memQueue_.size() >= cfg_.memQueueEntries)
+        return false;
+
+    const isa::Inst &in = *di.inst;
+    ++memIssued_;
+
+    MemInst mi;
+    mi.robTag = rob_tag;
+    mi.issuedAt = now_ > src_ready ? now_ : src_ready;
+    mi.isWrite = in.cls() == InstClass::VecStore;
+    startAddrGen(mi, di, src_ready);
+    memQueue_.push_back(std::move(mi));
+    return true;
+}
+
+void
+Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
+{
+    const isa::Inst &in = *di.inst;
+    const bool is_strided =
+        in.op == Opcode::Vld || in.op == Opcode::Vst;
+    const bool is_prefetch =
+        in.cls() == InstClass::VecLoad && in.rd == isa::ZeroReg;
+
+    mi.plan = slicer_.plan(di.vaddrs, mi.isWrite, is_strided, di.vs,
+                           mi.robTag);
+
+    // Per-lane TLB translation during address generation. Prefetches
+    // ignore TLB misses entirely (paper section 2).
+    Cycle tlb_stall = 0;
+    if (!di.vaddrs.empty()) {
+        std::vector<Addr> miss_addrs;
+        std::vector<unsigned> miss_elems;
+        std::vector<Addr> all_addrs;
+        std::vector<unsigned> all_elems;
+        all_addrs.reserve(di.vaddrs.size());
+        all_elems.reserve(di.vaddrs.size());
+        for (const auto &ea : di.vaddrs) {
+            all_addrs.push_back(ea.addr);
+            all_elems.push_back(ea.elem);
+            if (!vtlb_.lookup(ea.elem, ea.addr)) {
+                miss_addrs.push_back(ea.addr);
+                miss_elems.push_back(ea.elem);
+            }
+        }
+        if (!miss_addrs.empty()) {
+            if (is_prefetch) {
+                // Misses ignored; the elements simply don't prefetch.
+            } else {
+                tlb_stall = vtlb_.refill(
+                    miss_addrs.data(), miss_elems.data(),
+                    static_cast<unsigned>(miss_addrs.size()),
+                    all_addrs.data(), all_elems.data(),
+                    static_cast<unsigned>(all_addrs.size()));
+            }
+        }
+    }
+
+    const Cycle start =
+        std::max({now_, src_ready, addrGenFreeAt_});
+    const Cycle busy = mi.plan.addrGenCycles + tlb_stall;
+    addrGenFreeAt_ = start + busy;
+    addrGenBusy_ += busy;
+    mi.addrGenReady = start + busy;
+}
+
+void
+Vbox::cycle()
+{
+    ++now_;
+
+    // Absorb slice completions from the L2.
+    while (auto resp = l2_.dequeueSliceResp()) {
+        bool matched = false;
+        for (auto &mi : memQueue_) {
+            if (mi.robTag == resp->instTag) {
+                tarantula_assert(mi.outstanding > 0);
+                --mi.outstanding;
+                mi.lastData = std::max(mi.lastData, resp->readyAt);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            panic("vbox: slice response for unknown instruction");
+    }
+
+    // Offer at most one slice per cycle to the L2, oldest first.
+    for (auto &mi : memQueue_) {
+        if (now_ < mi.addrGenReady)
+            continue;
+        if (mi.nextSlice >= mi.plan.slices.size())
+            continue;
+        if (l2_.acceptSlice(mi.plan.slices[mi.nextSlice])) {
+            ++mi.nextSlice;
+            ++mi.outstanding;
+            ++slicesIssued_;
+        } else {
+            ++sliceBackpressure_;
+        }
+        break;
+    }
+
+    // Complete instructions whose slices have all returned.
+    for (auto it = memQueue_.begin(); it != memQueue_.end();) {
+        MemInst &mi = *it;
+        if (now_ >= mi.addrGenReady &&
+            mi.nextSlice == mi.plan.slices.size() &&
+            mi.outstanding == 0) {
+            VboxCompletion c;
+            c.robTag = mi.robTag;
+            // Loads chain only after the full instruction returns
+            // (elements arrive out of order); stores complete when the
+            // last write slice is absorbed.
+            const Cycle data_done =
+                std::max(mi.lastData, mi.addrGenReady);
+            c.doneAt = mi.isWrite
+                ? std::max(data_done, now_)
+                : std::max(data_done + cfg_.chainLatency, now_);
+            memLatency_.sample(
+                static_cast<double>(c.doneAt - mi.issuedAt));
+            completions_.push_back(c);
+            it = memQueue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::optional<VboxCompletion>
+Vbox::dequeueCompletion()
+{
+    for (auto it = completions_.begin(); it != completions_.end();
+         ++it) {
+        if (it->doneAt <= now_) {
+            VboxCompletion c = *it;
+            completions_.erase(it);
+            return c;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+Vbox::idle() const
+{
+    return memQueue_.empty() && completions_.empty();
+}
+
+} // namespace tarantula::vbox

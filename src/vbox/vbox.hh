@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The Vbox: Tarantula's 16-lane vector execution engine (paper
+ * sections 3.2-3.4).
+ *
+ * Arithmetic: the 32 functional units appear to the scheduler as just
+ * two resources, the north and south issue ports. A launched
+ * instruction holds its port for ceil(vl/16) cycles (typically 8)
+ * while the sixteen lane FUs work in lockstep.
+ *
+ * Memory: one shared address-generation engine (16 generators, one per
+ * lane) feeds the slicer; per-lane TLBs translate during generation;
+ * slices issue to the L2 at one per cycle subject to backpressure;
+ * an instruction completes atomically when its last slice returns
+ * (reordered elements cannot chain early).
+ *
+ * The core-facing interface mirrors the paper's narrow Vbox interface:
+ * a 3-instruction dispatch bus, scalar-operand delivery delay, and the
+ * VCU completion stream back to the core for retirement.
+ */
+
+#ifndef TARANTULA_VBOX_VBOX_HH
+#define TARANTULA_VBOX_VBOX_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "base/statistics.hh"
+#include "base/types.hh"
+#include "cache/l2_cache.hh"
+#include "exec/dyn_inst.hh"
+#include "tlb/tlb.hh"
+#include "vbox/slicer.hh"
+
+namespace tarantula::vbox
+{
+
+/** Configuration of the vector engine. */
+struct VboxConfig
+{
+    unsigned dispatchBusWidth = 3;  ///< renamed insts per cycle from Pbox
+    unsigned vecFpLatency = 8;      ///< FP functional-unit latency
+    unsigned vecIntLatency = 4;     ///< integer FU latency
+    unsigned vecDivLatency = 16;    ///< divide/sqrt (not fully pipelined)
+    unsigned scalarBusDelay = 4;    ///< EV8 regfile -> Vbox operand bus
+    unsigned chainLatency = 6;      ///< last slice data -> register ready
+    unsigned memQueueEntries = 16;  ///< in-flight vector memory insts
+    SlicerConfig slicer;
+    tlb::TlbConfig tlb;
+    tlb::RefillPolicy refill = tlb::RefillPolicy::MissedLanesOnly;
+};
+
+/** VCU completion notice: instruction @p robTag finished at @p doneAt. */
+struct VboxCompletion
+{
+    std::uint64_t robTag = 0;
+    Cycle doneAt = 0;
+};
+
+/** The vector engine; see file comment. */
+class Vbox
+{
+  public:
+    Vbox(const VboxConfig &cfg, cache::L2Cache &l2,
+         stats::StatGroup &parent);
+
+    /**
+     * Issue a vector arithmetic or control instruction whose sources
+     * become ready at @p src_ready.
+     * @return Projected completion cycle.
+     */
+    Cycle issueArith(const exec::DynInst &di, Cycle src_ready);
+
+    /**
+     * Enter a vector memory instruction into the memory pipeline.
+     * @return false when the vector load/store queue is full.
+     */
+    bool issueMem(const exec::DynInst &di, Cycle src_ready,
+                  std::uint64_t rob_tag);
+
+    /** Next VCU completion for the core, if any. */
+    std::optional<VboxCompletion> dequeueCompletion();
+
+    /** Advance one cycle: run address generation and slice issue. */
+    void cycle();
+
+    /** True when no memory instruction is in flight. */
+    bool idle() const;
+
+    /** Statistics for benches. */
+    std::uint64_t slicesIssued() const { return slicesIssued_.value(); }
+    std::uint64_t addrGenBusy() const { return addrGenBusy_.value(); }
+
+    const VboxConfig &config() const { return cfg_; }
+
+  private:
+    struct MemInst
+    {
+        std::uint64_t robTag = 0;
+        Cycle issuedAt = 0;             ///< for the latency histogram
+        bool isWrite = false;
+        SlicePlan plan;
+        std::size_t nextSlice = 0;      ///< next slice to offer the L2
+        unsigned outstanding = 0;       ///< slices issued, not returned
+        bool addrGenDone = false;
+        Cycle addrGenReady = 0;         ///< when generation completes
+        Cycle lastData = 0;             ///< latest slice data cycle
+    };
+
+    void startAddrGen(MemInst &mi, const exec::DynInst &di,
+                      Cycle src_ready);
+
+    VboxConfig cfg_;
+    cache::L2Cache &l2_;
+    Slicer slicer_;
+    Cycle now_ = 0;
+
+    Cycle northFreeAt_ = 0;
+    Cycle southFreeAt_ = 0;
+    Cycle addrGenFreeAt_ = 0;
+
+    std::deque<MemInst> memQueue_;
+    std::unordered_map<std::uint64_t, std::size_t> bySliceInst_;
+    std::deque<VboxCompletion> completions_;
+
+    stats::StatGroup statGroup_;
+    tlb::VectorTlb vtlb_;
+    stats::Scalar arithIssued_;
+    stats::Scalar memIssued_;
+    stats::Scalar slicesIssued_;
+    stats::Scalar sliceBackpressure_;
+    stats::Scalar addrGenBusy_;
+    stats::Scalar portBusyCycles_;
+    /** Issue-to-completion latency of vector memory instructions. */
+    stats::Histogram memLatency_;
+};
+
+} // namespace tarantula::vbox
+
+#endif // TARANTULA_VBOX_VBOX_HH

@@ -1,0 +1,736 @@
+/**
+ * @file
+ * Dense linear algebra workloads (Table 2, "Algebra"): dgemm, dtrmm,
+ * LU decomposition, Linpack100 and LinpackTPP.
+ *
+ * All matrices are column-major so columns are unit-stride vectors --
+ * the layout every classic vector machine used. The vectorized dgemm
+ * and LU are register-tiled (accumulators / multiplier vectors held
+ * in vector registers across the inner loop), reproducing the paper's
+ * observation that Tarantula's many registers cut memory traffic;
+ * LinpackTPP deliberately is not register-tiled (the paper did the
+ * same and reports LU's lower memory demands), and Linpack100's
+ * 100-element columns exercise the short-vector penalty.
+ */
+
+#include "workloads/workload.hh"
+
+#include <vector>
+
+#include "workloads/kernel_util.hh"
+
+namespace tarantula::workloads
+{
+
+using namespace tarantula::program;
+
+namespace
+{
+
+constexpr Addr MatA = 0x10000000;
+constexpr Addr MatB = 0x18000000;
+constexpr Addr MatC = 0x20000000;
+constexpr Addr VecB = 0x28000000;   ///< right-hand side for solvers
+
+/** Column-major index. */
+inline std::size_t
+cm(std::size_t i, std::size_t j, std::size_t n)
+{
+    return i + j * n;
+}
+
+/** Diagonally dominant random matrix (stable without pivoting). */
+std::vector<double>
+ddMatrix(std::size_t n, std::uint64_t seed)
+{
+    auto m = randomT(n * n, seed, 0.1, 1.0);
+    for (std::size_t i = 0; i < n; ++i)
+        m[cm(i, i, n)] += static_cast<double>(n);
+    return m;
+}
+
+// ---- dgemm ------------------------------------------------------------
+
+constexpr std::size_t GemmN = 96;
+
+/** C += A * B, column-major, reference. */
+void
+refGemm(std::vector<double> &c, const std::vector<double> &a,
+        const std::vector<double> &b, std::size_t n)
+{
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+            const double bkj = b[cm(k, j, n)];
+            for (std::size_t i = 0; i < n; ++i)
+                c[cm(i, j, n)] += a[cm(i, k, n)] * bkj;
+        }
+    }
+}
+
+} // anonymous namespace
+
+Workload
+dgemm()
+{
+    const std::size_t n = GemmN;
+    const std::int64_t colBytes = static_cast<std::int64_t>(n) * 8;
+
+    Workload w;
+    w.name = "dgemm";
+    w.description = "Dense register-tiled matrix multiply C += A*B";
+    w.usesPrefetch = true;
+
+    // Vector: columns of C as accumulators, 4 columns per pass so each
+    // A-column load is reused four times (register tiling).
+    Assembler v;
+    {
+        // r1=A r2=B r3=C r5=j r6=k r7=&A[:,k] r8=&B[k,j..j+3] r10=&C[:,j]
+        Label jloop = v.newLabel();
+        Label kloop = v.newLabel();
+        v.movi(R(1), static_cast<std::int64_t>(MatA));
+        v.movi(R(2), static_cast<std::int64_t>(MatB));
+        v.movi(R(3), static_cast<std::int64_t>(MatC));
+        v.setvl(static_cast<std::int64_t>(n));
+        v.setvs(8);
+        v.movi(R(5), static_cast<std::int64_t>(n));     // j counter
+        v.mov(R(10), R(3));                             // &C[:,j]
+        v.mov(R(11), R(2));                             // &B[0,j]
+        v.bind(jloop);
+        // Load 4 accumulator columns.
+        v.vldt(V(0), R(10), 0 * 0);
+        v.vldt(V(1), R(10), colBytes);
+        v.vldt(V(2), R(10), 2 * colBytes);
+        v.vldt(V(3), R(10), 3 * colBytes);
+        v.mov(R(7), R(1));                              // &A[:,0]
+        v.mov(R(8), R(11));                             // &B[0,j]
+        v.movi(R(6), static_cast<std::int64_t>(n));     // k counter
+        v.bind(kloop);
+        v.vldt(V(4), R(7));                             // A[:,k]
+        v.ldt(F(0), 0 * 0, R(8));                       // B[k,j]
+        v.ldt(F(1), colBytes, R(8));
+        v.ldt(F(2), 2 * colBytes, R(8));
+        v.ldt(F(3), 3 * colBytes, R(8));
+        v.vmult(V(5), V(4), F(0));
+        v.vaddt(V(0), V(0), V(5));
+        v.vmult(V(6), V(4), F(1));
+        v.vaddt(V(1), V(1), V(6));
+        v.vmult(V(7), V(4), F(2));
+        v.vaddt(V(2), V(2), V(7));
+        v.vmult(V(8), V(4), F(3));
+        v.vaddt(V(3), V(3), V(8));
+        v.addq(R(7), R(7), colBytes);                   // next A column
+        v.addq(R(8), R(8), 8);                          // next B row
+        v.subq(R(6), R(6), 1);
+        v.bgt(R(6), kloop);
+        v.vstt(V(0), R(10), 0 * 0);
+        v.vstt(V(1), R(10), colBytes);
+        v.vstt(V(2), R(10), 2 * colBytes);
+        v.vstt(V(3), R(10), 3 * colBytes);
+        v.addq(R(10), R(10), 4 * colBytes);
+        v.addq(R(11), R(11), 4 * colBytes);
+        v.subq(R(5), R(5), 4);
+        v.bgt(R(5), jloop);
+        v.halt();
+    }
+    w.vectorProg = v.finalize();
+
+    // Scalar: same blocking, 4x1 register tile.
+    Assembler s;
+    {
+        Label jloop = s.newLabel();
+        Label iloop = s.newLabel();
+        Label kloop = s.newLabel();
+        s.movi(R(1), static_cast<std::int64_t>(MatA));
+        s.movi(R(2), static_cast<std::int64_t>(MatB));
+        s.movi(R(3), static_cast<std::int64_t>(MatC));
+        s.movi(R(5), static_cast<std::int64_t>(n));     // j
+        s.mov(R(11), R(2));                             // &B[0,j]
+        s.mov(R(12), R(3));                             // &C[0,j]
+        s.bind(jloop);
+        s.movi(R(6), static_cast<std::int64_t>(n));     // i
+        s.mov(R(13), R(12));                            // &C[i,j]
+        s.mov(R(14), R(1));                             // &A[i,0]
+        s.bind(iloop);
+        // 4 accumulators C[i..i+3, j].
+        s.ldt(F(4), 0, R(13));
+        s.ldt(F(5), 8, R(13));
+        s.ldt(F(6), 16, R(13));
+        s.ldt(F(7), 24, R(13));
+        s.mov(R(7), R(14));                             // &A[i,k]
+        s.mov(R(8), R(11));                             // &B[k,j]
+        s.movi(R(9), static_cast<std::int64_t>(n));     // k
+        s.bind(kloop);
+        s.ldt(F(0), 0, R(8));                           // B[k,j]
+        s.ldt(F(1), 0, R(7));
+        s.ldt(F(2), 8, R(7));
+        s.mult(F(1), F(1), F(0));
+        s.addt(F(4), F(4), F(1));
+        s.ldt(F(3), 16, R(7));
+        s.mult(F(2), F(2), F(0));
+        s.addt(F(5), F(5), F(2));
+        s.ldt(F(8), 24, R(7));
+        s.mult(F(3), F(3), F(0));
+        s.addt(F(6), F(6), F(3));
+        s.mult(F(8), F(8), F(0));
+        s.addt(F(7), F(7), F(8));
+        s.addq(R(7), R(7), colBytes);
+        s.addq(R(8), R(8), 8);
+        s.subq(R(9), R(9), 1);
+        s.bgt(R(9), kloop);
+        s.stt(F(4), 0, R(13));
+        s.stt(F(5), 8, R(13));
+        s.stt(F(6), 16, R(13));
+        s.stt(F(7), 24, R(13));
+        s.addq(R(13), R(13), 32);
+        s.addq(R(14), R(14), 32);
+        s.subq(R(6), R(6), 4);
+        s.bgt(R(6), iloop);
+        s.addq(R(11), R(11), colBytes);
+        s.addq(R(12), R(12), colBytes);
+        s.subq(R(5), R(5), 1);
+        s.bgt(R(5), jloop);
+        s.halt();
+    }
+    w.scalarProg = s.finalize();
+
+    w.init = [n](exec::FunctionalMemory &mem) {
+        putT(mem, MatA, ddMatrix(n, 0xa));
+        putT(mem, MatB, ddMatrix(n, 0xb));
+        putT(mem, MatC, randomT(n * n, 0xc, 0.0, 1.0));
+    };
+    w.check = [n](exec::FunctionalMemory &mem) {
+        auto a = ddMatrix(n, 0xa);
+        auto b = ddMatrix(n, 0xb);
+        auto c = randomT(n * n, 0xc, 0.0, 1.0);
+        refGemm(c, a, b, n);
+        return checkArrayT(mem, MatC, c, "C", 1e-8);
+    };
+    return w;
+}
+
+// ---- dtrmm -----------------------------------------------------------
+
+Workload
+dtrmm()
+{
+    const std::size_t n = 96;
+    const std::int64_t colBytes = static_cast<std::int64_t>(n) * 8;
+
+    Workload w;
+    w.name = "dtrmm";
+    w.description = "Triangular matrix multiply B := L * B (in place)";
+
+    // In-place, k descending within each column j:
+    //   t = B[k,j];  B[k+1.., j] += L[k+1..,k] * t;  B[k,j] = L[k,k]*t
+    Assembler v;
+    {
+        Label jloop = v.newLabel();
+        Label kloop = v.newLabel();
+        Label tail = v.newLabel();
+        v.movi(R(1), static_cast<std::int64_t>(MatA));  // L
+        v.movi(R(2), static_cast<std::int64_t>(MatB));  // B
+        v.setvs(8);
+        v.movi(R(5), static_cast<std::int64_t>(n));     // j counter
+        v.mov(R(10), R(2));                             // &B[0,j]
+        v.bind(jloop);
+        v.movi(R(6), static_cast<std::int64_t>(n - 1)); // k
+        v.bind(kloop);
+        // r7 = &L[k,k], r8 = &B[k,j]
+        v.mulq(R(7), R(6), static_cast<std::int64_t>(n + 1));
+        v.sll(R(7), R(7), 3);
+        v.addq(R(7), R(7), R(1));
+        v.sll(R(8), R(6), 3);
+        v.addq(R(8), R(8), R(10));
+        v.ldt(F(0), 0, R(8));                           // t = B[k,j]
+        // vl = n-1-k (may be zero for the last row).
+        v.movi(R(9), static_cast<std::int64_t>(n - 1));
+        v.subq(R(9), R(9), R(6));
+        v.ble(R(9), tail);
+        v.setvl(R(9));
+        v.vldt(V(0), R(7), 8);                          // L[k+1..,k]
+        v.vldt(V(1), R(8), 8);                          // B[k+1..,j]
+        v.vmult(V(2), V(0), F(0));
+        v.vaddt(V(1), V(1), V(2));
+        v.vstt(V(1), R(8), 8);
+        v.bind(tail);
+        v.ldt(F(1), 0, R(7));                           // L[k,k]
+        v.mult(F(1), F(1), F(0));
+        v.stt(F(1), 0, R(8));
+        v.subq(R(6), R(6), 1);
+        v.bge(R(6), kloop);
+        v.addq(R(10), R(10), colBytes);
+        v.subq(R(5), R(5), 1);
+        v.bgt(R(5), jloop);
+        v.halt();
+    }
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    {
+        Label jloop = s.newLabel();
+        Label kloop = s.newLabel();
+        Label iloop = s.newLabel();
+        Label tail = s.newLabel();
+        s.movi(R(1), static_cast<std::int64_t>(MatA));
+        s.movi(R(2), static_cast<std::int64_t>(MatB));
+        s.movi(R(5), static_cast<std::int64_t>(n));
+        s.mov(R(10), R(2));
+        s.bind(jloop);
+        s.movi(R(6), static_cast<std::int64_t>(n - 1));
+        s.bind(kloop);
+        s.mulq(R(7), R(6), static_cast<std::int64_t>(n + 1));
+        s.sll(R(7), R(7), 3);
+        s.addq(R(7), R(7), R(1));
+        s.sll(R(8), R(6), 3);
+        s.addq(R(8), R(8), R(10));
+        s.ldt(F(0), 0, R(8));
+        s.movi(R(9), static_cast<std::int64_t>(n - 1));
+        s.subq(R(9), R(9), R(6));
+        s.ble(R(9), tail);
+        s.mov(R(12), R(7));
+        s.mov(R(13), R(8));
+        s.bind(iloop);
+        s.ldt(F(1), 8, R(12));
+        s.ldt(F(2), 8, R(13));
+        s.mult(F(1), F(1), F(0));
+        s.addt(F(2), F(2), F(1));
+        s.stt(F(2), 8, R(13));
+        s.addq(R(12), R(12), 8);
+        s.addq(R(13), R(13), 8);
+        s.subq(R(9), R(9), 1);
+        s.bgt(R(9), iloop);
+        s.bind(tail);
+        s.ldt(F(1), 0, R(7));
+        s.mult(F(1), F(1), F(0));
+        s.stt(F(1), 0, R(8));
+        s.subq(R(6), R(6), 1);
+        s.bge(R(6), kloop);
+        s.addq(R(10), R(10), colBytes);
+        s.subq(R(5), R(5), 1);
+        s.bgt(R(5), jloop);
+        s.halt();
+    }
+    w.scalarProg = s.finalize();
+
+    w.init = [n](exec::FunctionalMemory &mem) {
+        putT(mem, MatA, ddMatrix(n, 0x11));
+        putT(mem, MatB, randomT(n * n, 0x12, 0.0, 1.0));
+    };
+    w.check = [n](exec::FunctionalMemory &mem) {
+        auto l = ddMatrix(n, 0x11);
+        auto b = randomT(n * n, 0x12, 0.0, 1.0);
+        std::vector<double> c(n * n, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t i = 0; i < n; ++i) {
+                double acc = 0.0;
+                for (std::size_t k = 0; k <= i; ++k)
+                    acc += l[cm(i, k, n)] * b[cm(k, j, n)];
+                c[cm(i, j, n)] = acc;
+            }
+        }
+        return checkArrayT(mem, MatB, c, "B", 1e-8);
+    };
+    return w;
+}
+
+// ---- LU family -----------------------------------------------------------
+
+namespace
+{
+
+/** Reference right-looking LU without pivoting, column-major. */
+void
+refLu(std::vector<double> &a, std::size_t n)
+{
+    for (std::size_t k = 0; k < n - 1; ++k) {
+        const double inv = 1.0 / a[cm(k, k, n)];
+        for (std::size_t i = k + 1; i < n; ++i)
+            a[cm(i, k, n)] *= inv;
+        for (std::size_t j = k + 1; j < n; ++j) {
+            const double akj = a[cm(k, j, n)];
+            for (std::size_t i = k + 1; i < n; ++i)
+                a[cm(i, j, n)] -= a[cm(i, k, n)] * akj;
+        }
+    }
+}
+
+/** Reference solve L U x = b (unit lower L from the factored a). */
+std::vector<double>
+refSolve(const std::vector<double> &a, std::vector<double> b,
+         std::size_t n)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = k + 1; i < n; ++i)
+            b[i] -= a[cm(i, k, n)] * b[k];
+    }
+    for (std::size_t k = n; k-- > 0;) {
+        b[k] /= a[cm(k, k, n)];
+        for (std::size_t i = 0; i < k; ++i)
+            b[i] -= a[cm(i, k, n)] * b[k];
+    }
+    return b;
+}
+
+/**
+ * Emit the vectorized right-looking LU factorization.
+ * @param tile_j  Register-tile the update over 2 columns (LU) or not
+ *                (LinpackTPP).
+ */
+void
+emitVecLu(Assembler &v, std::size_t n, bool tile_j)
+{
+    const std::int64_t colBytes = static_cast<std::int64_t>(n) * 8;
+    Label kloop = v.newLabel();
+    Label jloop = v.newLabel();
+    Label jtail = v.newLabel();
+    Label kdone = v.newLabel();
+    v.movi(R(1), static_cast<std::int64_t>(MatA));
+    v.setvs(8);
+    v.movi(R(6), 0);                            // k
+    v.bind(kloop);
+    // r7 = &A[k,k]; vl = n-1-k
+    v.mulq(R(7), R(6), static_cast<std::int64_t>(n + 1));
+    v.sll(R(7), R(7), 3);
+    v.addq(R(7), R(7), R(1));
+    v.movi(R(9), static_cast<std::int64_t>(n - 1));
+    v.subq(R(9), R(9), R(6));
+    v.ble(R(9), kdone);
+    v.setvl(R(9));
+    // Multipliers: A[k+1..,k] *= 1/A[k,k]; kept in v0 for the update.
+    v.ldt(F(0), 0, R(7));
+    v.fconst(F(1), 1.0, R(20));
+    v.divt(F(0), F(1), F(0));
+    v.vldt(V(0), R(7), 8);
+    v.vmult(V(0), V(0), F(0));
+    v.vstt(V(0), R(7), 8);
+    // Trailing update: for j > k: A[k+1..,j] -= v0 * A[k,j].
+    v.mov(R(8), R(7));                          // &A[k,j]
+    v.mov(R(10), R(9));                         // columns left
+    if (tile_j) {
+        Label two = v.newLabel();
+        v.bind(two);
+        v.movi(R(12), 2);
+        v.cmplt(R(12), R(10), R(12));           // r10 < 2 ?
+        v.bne(R(12), jtail);
+        v.addq(R(8), R(8), colBytes);
+        v.ldt(F(2), 0, R(8));                   // A[k,j]
+        v.ldt(F(3), colBytes, R(8));            // A[k,j+1]
+        v.vldt(V(1), R(8), 8);
+        v.vldt(V(2), R(8), colBytes + 8);
+        v.vmult(V(3), V(0), F(2));
+        v.vsubt(V(1), V(1), V(3));
+        v.vmult(V(4), V(0), F(3));
+        v.vsubt(V(2), V(2), V(4));
+        v.vstt(V(1), R(8), 8);
+        v.vstt(V(2), R(8), colBytes + 8);
+        v.addq(R(8), R(8), colBytes);
+        v.subq(R(10), R(10), 2);
+        v.bgt(R(10), two);
+        v.br(kdone);
+        v.bind(jtail);
+        // One leftover column.
+        v.addq(R(8), R(8), colBytes);
+        v.ldt(F(2), 0, R(8));
+        v.vldt(V(1), R(8), 8);
+        v.vmult(V(3), V(0), F(2));
+        v.vsubt(V(1), V(1), V(3));
+        v.vstt(V(1), R(8), 8);
+    } else {
+        v.bind(jloop);
+        v.addq(R(8), R(8), colBytes);
+        v.ldt(F(2), 0, R(8));
+        v.vldt(V(1), R(8), 8);
+        v.vmult(V(3), V(0), F(2));
+        v.vsubt(V(1), V(1), V(3));
+        v.vstt(V(1), R(8), 8);
+        v.subq(R(10), R(10), 1);
+        v.bgt(R(10), jloop);
+    }
+    v.bind(kdone);
+    v.addq(R(6), R(6), 1);
+    v.movi(R(12), static_cast<std::int64_t>(n - 1));
+    v.cmplt(R(12), R(6), R(12));
+    v.bne(R(12), kloop);
+}
+
+/** Emit the scalar right-looking LU factorization. */
+void
+emitScalarLu(Assembler &s, std::size_t n)
+{
+    const std::int64_t colBytes = static_cast<std::int64_t>(n) * 8;
+    Label kloop = s.newLabel();
+    Label mloop = s.newLabel();
+    Label jloop = s.newLabel();
+    Label iloop = s.newLabel();
+    Label kdone = s.newLabel();
+    s.movi(R(1), static_cast<std::int64_t>(MatA));
+    s.movi(R(6), 0);                            // k
+    s.bind(kloop);
+    s.mulq(R(7), R(6), static_cast<std::int64_t>(n + 1));
+    s.sll(R(7), R(7), 3);
+    s.addq(R(7), R(7), R(1));                   // &A[k,k]
+    s.movi(R(9), static_cast<std::int64_t>(n - 1));
+    s.subq(R(9), R(9), R(6));                   // rows below
+    s.ble(R(9), kdone);
+    s.ldt(F(0), 0, R(7));
+    s.fconst(F(1), 1.0, R(20));
+    s.divt(F(0), F(1), F(0));
+    s.mov(R(12), R(7));
+    s.mov(R(13), R(9));
+    s.bind(mloop);
+    s.ldt(F(2), 8, R(12));
+    s.mult(F(2), F(2), F(0));
+    s.stt(F(2), 8, R(12));
+    s.addq(R(12), R(12), 8);
+    s.subq(R(13), R(13), 1);
+    s.bgt(R(13), mloop);
+    // Update (inner loop unrolled by two; EV8 deserves tuned code
+    // just as the vector version got).
+    Label itail = s.newLabel();
+    Label idone = s.newLabel();
+    s.mov(R(8), R(7));                          // &A[k,j]
+    s.mov(R(10), R(9));                         // columns left
+    s.bind(jloop);
+    s.addq(R(8), R(8), colBytes);
+    s.ldt(F(2), 0, R(8));                       // A[k,j]
+    s.mov(R(12), R(7));                         // &A[k,k] (mult col)
+    s.mov(R(13), R(8));                         // &A[k,j]
+    s.mov(R(14), R(9));
+    s.movi(R(15), 2);
+    s.cmplt(R(15), R(14), R(15));
+    s.bne(R(15), itail);
+    s.bind(iloop);
+    s.ldt(F(3), 8, R(12));
+    s.ldt(F(4), 8, R(13));
+    s.ldt(F(5), 16, R(12));
+    s.ldt(F(6), 16, R(13));
+    s.mult(F(3), F(3), F(2));
+    s.subt(F(4), F(4), F(3));
+    s.mult(F(5), F(5), F(2));
+    s.subt(F(6), F(6), F(5));
+    s.stt(F(4), 8, R(13));
+    s.stt(F(6), 16, R(13));
+    s.addq(R(12), R(12), 16);
+    s.addq(R(13), R(13), 16);
+    s.subq(R(14), R(14), 2);
+    s.movi(R(15), 2);
+    s.cmplt(R(15), R(14), R(15));
+    s.beq(R(15), iloop);
+    s.bind(itail);
+    s.ble(R(14), idone);
+    s.ldt(F(3), 8, R(12));
+    s.ldt(F(4), 8, R(13));
+    s.mult(F(3), F(3), F(2));
+    s.subt(F(4), F(4), F(3));
+    s.stt(F(4), 8, R(13));
+    s.bind(idone);
+    s.subq(R(10), R(10), 1);
+    s.bgt(R(10), jloop);
+    s.bind(kdone);
+    s.addq(R(6), R(6), 1);
+    s.movi(R(12), static_cast<std::int64_t>(n - 1));
+    s.cmplt(R(12), R(6), R(12));
+    s.bne(R(12), kloop);
+}
+
+/** Emit the vectorized forward + backward solve on VecB. */
+void
+emitVecSolve(Assembler &v, std::size_t n)
+{
+    const std::int64_t colBytes = static_cast<std::int64_t>(n) * 8;
+    Label floop = v.newLabel();
+    Label fskip = v.newLabel();
+    Label bloop = v.newLabel();
+    Label bskip = v.newLabel();
+    v.movi(R(1), static_cast<std::int64_t>(MatA));
+    v.movi(R(2), static_cast<std::int64_t>(VecB));
+    v.setvs(8);
+    // Forward: b[k+1..] -= b[k] * L[k+1..,k].
+    v.movi(R(6), 0);
+    v.bind(floop);
+    v.movi(R(9), static_cast<std::int64_t>(n - 1));
+    v.subq(R(9), R(9), R(6));
+    v.ble(R(9), fskip);
+    v.setvl(R(9));
+    v.mulq(R(7), R(6), static_cast<std::int64_t>(n + 1));
+    v.sll(R(7), R(7), 3);
+    v.addq(R(7), R(7), R(1));                   // &A[k,k]
+    v.sll(R(8), R(6), 3);
+    v.addq(R(8), R(8), R(2));                   // &b[k]
+    v.ldt(F(0), 0, R(8));
+    v.vldt(V(0), R(7), 8);
+    v.vldt(V(1), R(8), 8);
+    v.vmult(V(2), V(0), F(0));
+    v.vsubt(V(1), V(1), V(2));
+    v.vstt(V(1), R(8), 8);
+    v.bind(fskip);
+    v.addq(R(6), R(6), 1);
+    v.movi(R(12), static_cast<std::int64_t>(n));
+    v.cmplt(R(12), R(6), R(12));
+    v.bne(R(12), floop);
+    // Backward: b[k] /= U[k,k]; b[0..k-1] -= b[k] * U[0..k-1,k].
+    v.movi(R(6), static_cast<std::int64_t>(n - 1));
+    v.bind(bloop);
+    v.mulq(R(7), R(6), static_cast<std::int64_t>(n));
+    v.sll(R(7), R(7), 3);
+    v.addq(R(7), R(7), R(1));                   // &A[0,k]
+    v.sll(R(8), R(6), 3);
+    v.addq(R(8), R(8), R(7));                   // &A[k,k]
+    v.ldt(F(1), 0, R(8));
+    v.sll(R(8), R(6), 3);
+    v.addq(R(8), R(8), R(2));                   // &b[k]
+    v.ldt(F(0), 0, R(8));
+    v.divt(F(0), F(0), F(1));
+    v.stt(F(0), 0, R(8));
+    v.ble(R(6), bskip);
+    v.setvl(R(6));
+    v.vldt(V(0), R(7));                         // U[0..k-1,k]
+    v.vldt(V(1), R(2));                         // b[0..k-1]
+    v.vmult(V(2), V(0), F(0));
+    v.vsubt(V(1), V(1), V(2));
+    v.vstt(V(1), R(2));
+    v.bind(bskip);
+    v.subq(R(6), R(6), 1);
+    v.bge(R(6), bloop);
+    (void)colBytes;
+}
+
+/** Emit the scalar forward + backward solve on VecB. */
+void
+emitScalarSolve(Assembler &s, std::size_t n)
+{
+    Label floop = s.newLabel();
+    Label fin = s.newLabel();
+    Label fskip = s.newLabel();
+    Label bloop = s.newLabel();
+    Label bin = s.newLabel();
+    Label bskip = s.newLabel();
+    s.movi(R(1), static_cast<std::int64_t>(MatA));
+    s.movi(R(2), static_cast<std::int64_t>(VecB));
+    s.movi(R(6), 0);
+    s.bind(floop);
+    s.movi(R(9), static_cast<std::int64_t>(n - 1));
+    s.subq(R(9), R(9), R(6));
+    s.ble(R(9), fskip);
+    s.mulq(R(7), R(6), static_cast<std::int64_t>(n + 1));
+    s.sll(R(7), R(7), 3);
+    s.addq(R(7), R(7), R(1));
+    s.sll(R(8), R(6), 3);
+    s.addq(R(8), R(8), R(2));
+    s.ldt(F(0), 0, R(8));
+    s.bind(fin);
+    s.ldt(F(1), 8, R(7));
+    s.ldt(F(2), 8, R(8));
+    s.mult(F(1), F(1), F(0));
+    s.subt(F(2), F(2), F(1));
+    s.stt(F(2), 8, R(8));
+    s.addq(R(7), R(7), 8);
+    s.addq(R(8), R(8), 8);
+    s.subq(R(9), R(9), 1);
+    s.bgt(R(9), fin);
+    s.bind(fskip);
+    s.addq(R(6), R(6), 1);
+    s.movi(R(12), static_cast<std::int64_t>(n));
+    s.cmplt(R(12), R(6), R(12));
+    s.bne(R(12), floop);
+    s.movi(R(6), static_cast<std::int64_t>(n - 1));
+    s.bind(bloop);
+    s.mulq(R(7), R(6), static_cast<std::int64_t>(n));
+    s.sll(R(7), R(7), 3);
+    s.addq(R(7), R(7), R(1));
+    s.sll(R(8), R(6), 3);
+    s.addq(R(8), R(8), R(7));
+    s.ldt(F(1), 0, R(8));
+    s.sll(R(8), R(6), 3);
+    s.addq(R(8), R(8), R(2));
+    s.ldt(F(0), 0, R(8));
+    s.divt(F(0), F(0), F(1));
+    s.stt(F(0), 0, R(8));
+    s.ble(R(6), bskip);
+    s.mov(R(9), R(6));
+    s.mov(R(10), R(7));
+    s.mov(R(11), R(2));
+    s.bind(bin);
+    s.ldt(F(1), 0, R(10));
+    s.ldt(F(2), 0, R(11));
+    s.mult(F(1), F(1), F(0));
+    s.subt(F(2), F(2), F(1));
+    s.stt(F(2), 0, R(11));
+    s.addq(R(10), R(10), 8);
+    s.addq(R(11), R(11), 8);
+    s.subq(R(9), R(9), 1);
+    s.bgt(R(9), bin);
+    s.bind(bskip);
+    s.subq(R(6), R(6), 1);
+    s.bge(R(6), bloop);
+}
+
+/** Build an LU-family workload. */
+Workload
+luFamily(const char *name, const char *desc, std::size_t n,
+         bool tile_j, bool with_solve, std::uint64_t seed)
+{
+    Workload w;
+    w.name = name;
+    w.description = desc;
+
+    Assembler v;
+    emitVecLu(v, n, tile_j);
+    if (with_solve)
+        emitVecSolve(v, n);
+    v.halt();
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    emitScalarLu(s, n);
+    if (with_solve)
+        emitScalarSolve(s, n);
+    s.halt();
+    w.scalarProg = s.finalize();
+
+    w.init = [n, seed, with_solve](exec::FunctionalMemory &mem) {
+        putT(mem, MatA, ddMatrix(n, seed));
+        if (with_solve)
+            putT(mem, VecB, randomT(n, seed + 1, 0.5, 1.5));
+    };
+    w.check = [n, seed, with_solve](exec::FunctionalMemory &mem) {
+        auto a = ddMatrix(n, seed);
+        refLu(a, n);
+        std::string err = checkArrayT(mem, MatA, a, "LU", 1e-7);
+        if (!err.empty() || !with_solve)
+            return err;
+        auto x = refSolve(a, randomT(n, seed + 1, 0.5, 1.5), n);
+        return checkArrayT(mem, VecB, x, "x", 1e-6);
+    };
+    return w;
+}
+
+} // anonymous namespace
+
+Workload
+lu()
+{
+    return luFamily("lu", "Register-tiled LU decomposition (128x128)",
+                    128, /*tile_j=*/true, /*with_solve=*/false, 0x21);
+}
+
+Workload
+linpack100()
+{
+    return luFamily("linpack100",
+                    "Linpack 100x100: LU + solve, short vectors", 100,
+                    /*tile_j=*/false, /*with_solve=*/true, 0x22);
+}
+
+Workload
+linpackTpp()
+{
+    // Full-length (128-element) columns, unlike linpack100's short
+    // ones; n is capped at one vector register so the update needs no
+    // strip-mining (EXPERIMENTS.md records the scaling).
+    return luFamily("linpackTPP",
+                    "Linpack TPP: full-vector LU + solve, untiled",
+                    128, /*tile_j=*/false, /*with_solve=*/true, 0x23);
+}
+
+} // namespace tarantula::workloads

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Batched radix-2 FFT, vectorized across the batch dimension: 128
+ * independent n-point transforms stored "element-major" so that every
+ * butterfly touches unit-stride vectors of 128 lanes. This is the
+ * classic way to vectorize many small FFTs (the paper runs 5120
+ * transforms of 1024 points); it turns the power-of-two strides that
+ * would self-conflict in the L2 into pure stride-1 pump traffic.
+ *
+ * Complex data lives in separate re/im planes; twiddle factors are
+ * precomputed per (stage, j) into a table read with scalar loads.
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "workloads/kernel_util.hh"
+
+namespace tarantula::workloads
+{
+
+using namespace tarantula::program;
+
+namespace
+{
+
+constexpr std::size_t FftN = 256;       ///< points per transform
+constexpr std::size_t Batch = 128;      ///< transforms (= vl)
+constexpr unsigned Log2N = 8;
+
+constexpr Addr ReBase = 0x10000000;
+constexpr Addr ImBase = 0x12000000;
+constexpr Addr TwBase = 0x14000000;     ///< (re, im) pairs per stage
+
+constexpr std::int64_t RowBytes = Batch * 8;
+
+/** Bit-reverse an index below FftN. */
+unsigned
+bitrev(unsigned x)
+{
+    unsigned r = 0;
+    for (unsigned b = 0; b < Log2N; ++b)
+        r |= ((x >> b) & 1u) << (Log2N - 1 - b);
+    return r;
+}
+
+/** Twiddle-table layout: stage s (1-based) starts at twOffset(s). */
+std::size_t
+twOffset(unsigned s)
+{
+    // Stage s has 2^(s-1) twiddles of 2 doubles each.
+    return ((1u << (s - 1)) - 1) * 2;
+}
+
+std::vector<double>
+buildTwiddles()
+{
+    std::vector<double> tw;
+    for (unsigned s = 1; s <= Log2N; ++s) {
+        const unsigned half = 1u << (s - 1);
+        for (unsigned j = 0; j < half; ++j) {
+            const double ang = -2.0 * M_PI * j / (2.0 * half);
+            tw.push_back(std::cos(ang));
+            tw.push_back(std::sin(ang));
+        }
+    }
+    return tw;
+}
+
+/** Reference FFT over the same batched layout, same operation order. */
+void
+refFft(std::vector<double> &re, std::vector<double> &im)
+{
+    // Bit-reverse rows.
+    for (unsigned i = 0; i < FftN; ++i) {
+        const unsigned j = bitrev(i);
+        if (i < j) {
+            for (std::size_t b = 0; b < Batch; ++b) {
+                std::swap(re[i * Batch + b], re[j * Batch + b]);
+                std::swap(im[i * Batch + b], im[j * Batch + b]);
+            }
+        }
+    }
+    for (unsigned s = 1; s <= Log2N; ++s) {
+        const unsigned half = 1u << (s - 1);
+        const unsigned step = 1u << s;
+        for (unsigned j = 0; j < half; ++j) {
+            const double ang = -2.0 * M_PI * j / step;
+            const double wr = std::cos(ang);
+            const double wi = std::sin(ang);
+            for (unsigned k = j; k < FftN; k += step) {
+                const unsigned a = k;
+                const unsigned b = k + half;
+                for (std::size_t l = 0; l < Batch; ++l) {
+                    const double br = re[b * Batch + l];
+                    const double bi = im[b * Batch + l];
+                    const double tr = br * wr - bi * wi;
+                    const double ti = br * wi + bi * wr;
+                    const double ar = re[a * Batch + l];
+                    const double ai = im[a * Batch + l];
+                    re[b * Batch + l] = ar - tr;
+                    im[b * Batch + l] = ai - ti;
+                    re[a * Batch + l] = ar + tr;
+                    im[a * Batch + l] = ai + ti;
+                }
+            }
+        }
+    }
+}
+
+std::vector<double>
+inputRe()
+{
+    return randomT(FftN * Batch, 0x71, -1.0, 1.0);
+}
+
+std::vector<double>
+inputIm()
+{
+    return randomT(FftN * Batch, 0x72, -1.0, 1.0);
+}
+
+} // anonymous namespace
+
+Workload
+fft()
+{
+    Workload w;
+    w.name = "fft";
+    w.description = "Batched radix-2 FFT, vectorized across 128 FFTs";
+    w.usesPrefetch = true;
+
+    // ---- vector program -------------------------------------------------
+    Assembler v;
+    {
+        v.movi(R(1), static_cast<std::int64_t>(ReBase));
+        v.movi(R(2), static_cast<std::int64_t>(ImBase));
+        v.movi(R(3), static_cast<std::int64_t>(TwBase));
+        v.setvl(128);
+        v.setvs(8);
+
+        // Bit-reversal: unrolled row swaps (host computes the pairs).
+        for (unsigned i = 0; i < FftN; ++i) {
+            const unsigned j = bitrev(i);
+            if (i >= j)
+                continue;
+            const std::int64_t oi = static_cast<std::int64_t>(i) *
+                                    RowBytes;
+            const std::int64_t oj = static_cast<std::int64_t>(j) *
+                                    RowBytes;
+            v.vldt(V(0), R(1), oi);
+            v.vldt(V(1), R(1), oj);
+            v.vstt(V(0), R(1), oj);
+            v.vstt(V(1), R(1), oi);
+            v.vldt(V(2), R(2), oi);
+            v.vldt(V(3), R(2), oj);
+            v.vstt(V(2), R(2), oj);
+            v.vstt(V(3), R(2), oi);
+        }
+
+        // Stages: registers r5=s-index helpers are unrolled per stage
+        // (8 stages); j and k loop at run time.
+        for (unsigned s = 1; s <= Log2N; ++s) {
+            const std::int64_t half = 1 << (s - 1);
+            const std::int64_t step = 1 << s;
+            Label jloop = v.newLabel();
+            Label kloop = v.newLabel();
+            // r4 = j
+            v.movi(R(4), 0);
+            v.bind(jloop);
+            // Twiddle for (s, j): scalar loads.
+            v.sll(R(5), R(4), 4);   // j * 16 bytes
+            v.addq(R(5), R(5),
+                   static_cast<std::int64_t>(twOffset(s) * 8));
+            v.addq(R(5), R(5), R(3));
+            v.ldt(F(0), 0, R(5));   // wr
+            v.ldt(F(1), 8, R(5));   // wi
+            // r6 = row a = j; loop k over blocks of `step`.
+            v.mov(R(6), R(4));
+            v.bind(kloop);
+            v.mulq(R(7), R(6), RowBytes);
+            v.addq(R(8), R(7), R(1));               // &re[a]
+            v.addq(R(9), R(7), R(2));               // &im[a]
+            const std::int64_t hb = half * RowBytes;
+            v.vldt(V(0), R(8), hb);                 // br
+            v.vldt(V(1), R(9), hb);                 // bi
+            v.vmult(V(2), V(0), F(0));              // br*wr
+            v.vmult(V(3), V(1), F(1));              // bi*wi
+            v.vsubt(V(2), V(2), V(3));              // tr
+            v.vmult(V(4), V(0), F(1));              // br*wi
+            v.vmult(V(5), V(1), F(0));              // bi*wr
+            v.vaddt(V(4), V(4), V(5));              // ti
+            v.vldt(V(6), R(8));                     // ar
+            v.vldt(V(7), R(9));                     // ai
+            v.vsubt(V(8), V(6), V(2));              // ar - tr
+            v.vsubt(V(9), V(7), V(4));              // ai - ti
+            v.vaddt(V(10), V(6), V(2));             // ar + tr
+            v.vaddt(V(11), V(7), V(4));             // ai + ti
+            v.vstt(V(8), R(8), hb);
+            v.vstt(V(9), R(9), hb);
+            v.vstt(V(10), R(8));
+            v.vstt(V(11), R(9));
+            v.addq(R(6), R(6), step);
+            v.movi(R(10), static_cast<std::int64_t>(FftN));
+            v.cmplt(R(10), R(6), R(10));
+            v.bne(R(10), kloop);
+            v.addq(R(4), R(4), 1);
+            v.movi(R(10), half);
+            v.cmplt(R(10), R(4), R(10));
+            v.bne(R(10), jloop);
+        }
+        v.halt();
+    }
+    w.vectorProg = v.finalize();
+
+    // ---- scalar program --------------------------------------------
+    Assembler s;
+    {
+        s.movi(R(1), static_cast<std::int64_t>(ReBase));
+        s.movi(R(2), static_cast<std::int64_t>(ImBase));
+        s.movi(R(3), static_cast<std::int64_t>(TwBase));
+
+        // Bit-reversal: per-row element loop (r11 = lane).
+        for (unsigned i = 0; i < FftN; ++i) {
+            const unsigned j = bitrev(i);
+            if (i >= j)
+                continue;
+            const std::int64_t oi = static_cast<std::int64_t>(i) *
+                                    RowBytes;
+            const std::int64_t oj = static_cast<std::int64_t>(j) *
+                                    RowBytes;
+            Label lane = s.newLabel();
+            s.movi(R(11), 0);
+            s.bind(lane);
+            s.addq(R(12), R(11), R(1));
+            s.addq(R(13), R(11), R(2));
+            s.ldt(F(0), oi, R(12));
+            s.ldt(F(1), oj, R(12));
+            s.stt(F(0), oj, R(12));
+            s.stt(F(1), oi, R(12));
+            s.ldt(F(2), oi, R(13));
+            s.ldt(F(3), oj, R(13));
+            s.stt(F(2), oj, R(13));
+            s.stt(F(3), oi, R(13));
+            s.addq(R(11), R(11), 8);
+            s.movi(R(14), RowBytes);
+            s.cmplt(R(14), R(11), R(14));
+            s.bne(R(14), lane);
+        }
+
+        for (unsigned st = 1; st <= Log2N; ++st) {
+            const std::int64_t half = 1 << (st - 1);
+            const std::int64_t step = 1 << st;
+            Label jloop = s.newLabel();
+            Label kloop = s.newLabel();
+            Label laneloop = s.newLabel();
+            s.movi(R(4), 0);                        // j
+            s.bind(jloop);
+            s.sll(R(5), R(4), 4);
+            s.addq(R(5), R(5),
+                   static_cast<std::int64_t>(twOffset(st) * 8));
+            s.addq(R(5), R(5), R(3));
+            s.ldt(F(0), 0, R(5));                   // wr
+            s.ldt(F(1), 8, R(5));                   // wi
+            s.mov(R(6), R(4));                      // row a
+            s.bind(kloop);
+            s.mulq(R(7), R(6), RowBytes);
+            s.addq(R(8), R(7), R(1));               // &re[a][0]
+            s.addq(R(9), R(7), R(2));               // &im[a][0]
+            const std::int64_t hb = half * RowBytes;
+            s.movi(R(11), static_cast<std::int64_t>(Batch));
+            s.bind(laneloop);
+            s.ldt(F(2), hb, R(8));                  // br
+            s.ldt(F(3), hb, R(9));                  // bi
+            s.mult(F(4), F(2), F(0));
+            s.mult(F(5), F(3), F(1));
+            s.subt(F(4), F(4), F(5));               // tr
+            s.mult(F(6), F(2), F(1));
+            s.mult(F(7), F(3), F(0));
+            s.addt(F(6), F(6), F(7));               // ti
+            s.ldt(F(8), 0, R(8));                   // ar
+            s.ldt(F(9), 0, R(9));                   // ai
+            s.subt(F(10), F(8), F(4));
+            s.subt(F(11), F(9), F(6));
+            s.addt(F(12), F(8), F(4));
+            s.addt(F(13), F(9), F(6));
+            s.stt(F(10), hb, R(8));
+            s.stt(F(11), hb, R(9));
+            s.stt(F(12), 0, R(8));
+            s.stt(F(13), 0, R(9));
+            s.addq(R(8), R(8), 8);
+            s.addq(R(9), R(9), 8);
+            s.subq(R(11), R(11), 1);
+            s.bgt(R(11), laneloop);
+            s.addq(R(6), R(6), step);
+            s.movi(R(10), static_cast<std::int64_t>(FftN));
+            s.cmplt(R(10), R(6), R(10));
+            s.bne(R(10), kloop);
+            s.addq(R(4), R(4), 1);
+            s.movi(R(10), half);
+            s.cmplt(R(10), R(4), R(10));
+            s.bne(R(10), jloop);
+        }
+        s.halt();
+    }
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        putT(mem, ReBase, inputRe());
+        putT(mem, ImBase, inputIm());
+        putT(mem, TwBase, buildTwiddles());
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        auto re = inputRe();
+        auto im = inputIm();
+        refFft(re, im);
+        std::string err = checkArrayT(mem, ReBase, re, "re", 1e-8);
+        if (!err.empty())
+            return err;
+        return checkArrayT(mem, ImBase, im, "im", 1e-8);
+    };
+    return w;
+}
+
+} // namespace tarantula::workloads

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared helpers for hand-written kernels: vector reductions, strip-
+ * mining, data generation and result checking.
+ */
+
+#ifndef TARANTULA_WORKLOADS_KERNEL_UTIL_HH
+#define TARANTULA_WORKLOADS_KERNEL_UTIL_HH
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "exec/memory.hh"
+#include "program/assembler.hh"
+
+namespace tarantula::workloads
+{
+
+/**
+ * Emit the slide-down log-tree that sums the first vl (power-of-two
+ * padded) elements of @p acc into element 0. Clobbers @p tmp.
+ * Requires vl = 128 at execution (pad the accumulator with zeros).
+ */
+inline void
+emitVecSumT(program::Assembler &as, program::VR acc, program::VR tmp)
+{
+    for (unsigned k = 64; k >= 1; k /= 2) {
+        as.vslidedown(tmp, acc, k);
+        as.vaddt(acc, acc, tmp);
+    }
+}
+
+/** Zero a vector register: v = v31 + 0 (integer form zeroes bits). */
+inline void
+emitVecZero(program::Assembler &as, program::VR v)
+{
+    as.vaddq(v, program::V(31), std::int64_t(0));
+}
+
+/** Write a double array into memory. */
+inline void
+putT(exec::FunctionalMemory &mem, Addr base,
+     const std::vector<double> &v)
+{
+    mem.write(base, v.data(), v.size() * sizeof(double));
+}
+
+/** Write a quadword array into memory. */
+inline void
+putQ(exec::FunctionalMemory &mem, Addr base,
+     const std::vector<std::uint64_t> &v)
+{
+    mem.write(base, v.data(), v.size() * sizeof(std::uint64_t));
+}
+
+/** Read back a double array. */
+inline std::vector<double>
+getT(exec::FunctionalMemory &mem, Addr base, std::size_t n)
+{
+    std::vector<double> v(n);
+    mem.read(base, v.data(), n * sizeof(double));
+    return v;
+}
+
+/** Read back a quadword array. */
+inline std::vector<std::uint64_t>
+getQ(exec::FunctionalMemory &mem, Addr base, std::size_t n)
+{
+    std::vector<std::uint64_t> v(n);
+    mem.read(base, v.data(), n * sizeof(std::uint64_t));
+    return v;
+}
+
+/**
+ * Compare a double array in memory against a reference.
+ * @return Empty string on success, else a diagnostic.
+ */
+inline std::string
+checkArrayT(exec::FunctionalMemory &mem, Addr base,
+            const std::vector<double> &expect, const char *what,
+            double rel_tol = 1e-9)
+{
+    const auto got = getT(mem, base, expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        const double e = expect[i];
+        const double g = got[i];
+        const double err = std::abs(g - e);
+        const double bound =
+            rel_tol * std::max(1.0, std::max(std::abs(e), std::abs(g)));
+        if (!(err <= bound)) {
+            std::ostringstream os;
+            os << what << "[" << i << "]: got " << g << ", expected "
+               << e;
+            return os.str();
+        }
+    }
+    return {};
+}
+
+/** Compare a quadword array in memory against a reference. */
+inline std::string
+checkArrayQ(exec::FunctionalMemory &mem, Addr base,
+            const std::vector<std::uint64_t> &expect, const char *what)
+{
+    const auto got = getQ(mem, base, expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        if (got[i] != expect[i]) {
+            std::ostringstream os;
+            os << what << "[" << i << "]: got " << got[i]
+               << ", expected " << expect[i];
+            return os.str();
+        }
+    }
+    return {};
+}
+
+/** Deterministic doubles in [lo, hi). */
+inline std::vector<double>
+randomT(std::size_t n, std::uint64_t seed, double lo = 0.0,
+        double hi = 1.0)
+{
+    Random rng(seed);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.real(lo, hi);
+    return v;
+}
+
+} // namespace tarantula::workloads
+
+#endif // TARANTULA_WORKLOADS_KERNEL_UTIL_HH

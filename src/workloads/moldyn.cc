@@ -1,0 +1,280 @@
+/**
+ * @file
+ * moldyn: molecular dynamics force computation over a neighbor list.
+ * For every particle the kernel gathers its neighbours' coordinates,
+ * computes pair distances, and accumulates a short-range force for
+ * the pairs inside the cutoff.
+ *
+ * This is the paper's masked-execution showcase: the cutoff test
+ * becomes a vector mask (no data-dependent branches), while the
+ * scalar version eats one hard-to-predict branch per pair.
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "base/random.hh"
+#include "workloads/kernel_util.hh"
+
+namespace tarantula::workloads
+{
+
+using namespace tarantula::program;
+
+namespace
+{
+
+constexpr std::size_t NPart = 2048;
+constexpr unsigned NeighK = 64;     ///< neighbours per particle
+constexpr double Cutoff2 = 0.09;    ///< squared cutoff distance
+
+constexpr Addr XBase = 0x10000000;
+constexpr Addr YBase = 0x10100000;
+constexpr Addr ZBase = 0x10200000;
+constexpr Addr FxBase = 0x10300000;
+constexpr Addr FyBase = 0x10400000;
+constexpr Addr FzBase = 0x10500000;
+constexpr Addr NbrBase = 0x10600000;    ///< byte offsets, K per particle
+
+std::vector<double> posX() { return randomT(NPart, 0xa1, 0.0, 1.0); }
+std::vector<double> posY() { return randomT(NPart, 0xa2, 0.0, 1.0); }
+std::vector<double> posZ() { return randomT(NPart, 0xa3, 0.0, 1.0); }
+
+std::vector<std::uint64_t>
+neighbours()
+{
+    Random rng(0xa4);
+    std::vector<std::uint64_t> nbr(NPart * NeighK);
+    for (std::size_t i = 0; i < NPart; ++i) {
+        for (unsigned k = 0; k < NeighK; ++k) {
+            std::uint64_t j = rng.below(NPart);
+            if (j == i)
+                j = (j + 1) % NPart;
+            nbr[i * NeighK + k] = j * 8;
+        }
+    }
+    return nbr;
+}
+
+struct RefForces
+{
+    std::vector<double> fx, fy, fz;
+};
+
+RefForces
+refMoldyn()
+{
+    const auto x = posX();
+    const auto y = posY();
+    const auto z = posZ();
+    const auto nbr = neighbours();
+    RefForces r;
+    r.fx.assign(NPart, 0.0);
+    r.fy.assign(NPart, 0.0);
+    r.fz.assign(NPart, 0.0);
+    for (std::size_t i = 0; i < NPart; ++i) {
+        double fx = 0.0, fy = 0.0, fz = 0.0;
+        for (unsigned k = 0; k < NeighK; ++k) {
+            const std::size_t j = nbr[i * NeighK + k] / 8;
+            const double dx = x[i] - x[j];
+            const double dy = y[i] - y[j];
+            const double dz = z[i] - z[j];
+            const double r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < Cutoff2) {
+                const double f = 1.0 / r2;
+                fx += dx * f;
+                fy += dy * f;
+                fz += dz * f;
+            }
+        }
+        r.fx[i] = fx;
+        r.fy[i] = fy;
+        r.fz[i] = fz;
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+Workload
+moldyn()
+{
+    Workload w;
+    w.name = "moldyn";
+    w.description = "MD neighbor-list forces; cutoff as a vector mask";
+
+    Assembler v2;
+    {
+        Label iloop = v2.newLabel();
+        v2.movi(R(1), static_cast<std::int64_t>(XBase));
+        v2.movi(R(2), static_cast<std::int64_t>(YBase));
+        v2.movi(R(3), static_cast<std::int64_t>(ZBase));
+        v2.movi(R(4), static_cast<std::int64_t>(NbrBase));
+        v2.movi(R(5), 0);
+        v2.movi(R(21), static_cast<std::int64_t>(FxBase));
+        v2.movi(R(22), static_cast<std::int64_t>(FyBase));
+        v2.movi(R(23), static_cast<std::int64_t>(FzBase));
+        v2.setvs(8);
+        // Everything runs at full vector length under masks, so no
+        // element is ever left UNPREDICTABLE: lanes >= K are masked
+        // off by the iota test, lanes outside the cutoff by the
+        // distance test.
+        v2.setvl(128);
+        v2.viota(V(13));
+        v2.vcmpltq(V(14), V(13),
+                   static_cast<std::int64_t>(NeighK));   // lane < K
+        v2.bind(iloop);
+        v2.sll(R(6), R(5), 3);
+        v2.addq(R(7), R(6), R(1));
+        v2.ldt(F(0), 0, R(7));              // xi
+        v2.addq(R(7), R(6), R(2));
+        v2.ldt(F(1), 0, R(7));              // yi
+        v2.addq(R(7), R(6), R(3));
+        v2.ldt(F(2), 0, R(7));              // zi
+        v2.vxorq(V(7), V(7), V(7));         // fx acc
+        v2.vxorq(V(8), V(8), V(8));         // fy acc
+        v2.vxorq(V(9), V(9), V(9));         // fz acc
+        v2.setvm(V(14));
+        v2.vldq(V(0), R(4), 0, /*m=*/true);             // offsets
+        v2.vgatht(V(1), V(0), R(1), /*m=*/true);        // xj
+        v2.vgatht(V(2), V(0), R(2), /*m=*/true);        // yj
+        v2.vgatht(V(3), V(0), R(3), /*m=*/true);        // zj
+        v2.vsubt(V(1), V(1), F(0), /*m=*/true);
+        v2.vmult(V(1), V(1), -1.0, /*m=*/true);         // dx
+        v2.vsubt(V(2), V(2), F(1), /*m=*/true);
+        v2.vmult(V(2), V(2), -1.0, /*m=*/true);         // dy
+        v2.vsubt(V(3), V(3), F(2), /*m=*/true);
+        v2.vmult(V(3), V(3), -1.0, /*m=*/true);         // dz
+        v2.vmult(V(4), V(1), V(1), /*m=*/true);
+        v2.vmult(V(5), V(2), V(2), /*m=*/true);
+        v2.vaddt(V(4), V(4), V(5), /*m=*/true);
+        v2.vmult(V(5), V(3), V(3), /*m=*/true);
+        v2.vaddt(V(4), V(4), V(5), /*m=*/true);         // r2
+        // Combined mask: lane < K and r2 < cutoff^2.
+        v2.vcmpltt(V(6), V(4), Cutoff2, /*m=*/true);
+        v2.vandq(V(6), V(6), V(14));
+        v2.setvm(V(6));
+        // f = 1/r2 and the three contributions, under the mask.
+        v2.vdivt(V(10), V(4), V(4), /*m=*/true);    // r2/r2 = 1
+        v2.vdivt(V(10), V(10), V(4), /*m=*/true);   // 1/r2
+        v2.vmult(V(11), V(1), V(10), /*m=*/true);
+        v2.vaddt(V(7), V(7), V(11), /*m=*/true);
+        v2.vmult(V(11), V(2), V(10), /*m=*/true);
+        v2.vaddt(V(8), V(8), V(11), /*m=*/true);
+        v2.vmult(V(11), V(3), V(10), /*m=*/true);
+        v2.vaddt(V(9), V(9), V(11), /*m=*/true);
+        // Reduce the three accumulators and store.
+        emitVecSumT(v2, V(7), V(12));
+        emitVecSumT(v2, V(8), V(12));
+        emitVecSumT(v2, V(9), V(12));
+        v2.vextractt(F(3), V(7), 0);
+        v2.vextractt(F(4), V(8), 0);
+        v2.vextractt(F(5), V(9), 0);
+        v2.addq(R(7), R(6), R(21));
+        v2.stt(F(3), 0, R(7));
+        v2.addq(R(7), R(6), R(22));
+        v2.stt(F(4), 0, R(7));
+        v2.addq(R(7), R(6), R(23));
+        v2.stt(F(5), 0, R(7));
+        v2.addq(R(4), R(4), NeighK * 8);
+        v2.addq(R(5), R(5), 1);
+        v2.movi(R(7), static_cast<std::int64_t>(NPart));
+        v2.cmplt(R(7), R(5), R(7));
+        v2.bne(R(7), iloop);
+        v2.halt();
+    }
+    w.vectorProg = v2.finalize();
+
+    Assembler s;
+    {
+        Label iloop = s.newLabel();
+        Label kloop = s.newLabel();
+        Label skip = s.newLabel();
+        s.movi(R(1), static_cast<std::int64_t>(XBase));
+        s.movi(R(2), static_cast<std::int64_t>(YBase));
+        s.movi(R(3), static_cast<std::int64_t>(ZBase));
+        s.movi(R(4), static_cast<std::int64_t>(NbrBase));
+        s.movi(R(5), 0);
+        s.movi(R(21), static_cast<std::int64_t>(FxBase));
+        s.movi(R(22), static_cast<std::int64_t>(FyBase));
+        s.movi(R(23), static_cast<std::int64_t>(FzBase));
+        s.fconst(F(14), Cutoff2, R(9));
+        s.fconst(F(15), 1.0, R(9));
+        s.bind(iloop);
+        s.sll(R(6), R(5), 3);
+        s.addq(R(7), R(6), R(1));
+        s.ldt(F(0), 0, R(7));               // xi
+        s.addq(R(7), R(6), R(2));
+        s.ldt(F(1), 0, R(7));               // yi
+        s.addq(R(7), R(6), R(3));
+        s.ldt(F(2), 0, R(7));               // zi
+        s.fconst(F(3), 0.0, R(9));          // fx
+        s.fconst(F(4), 0.0, R(9));          // fy
+        s.fconst(F(5), 0.0, R(9));          // fz
+        s.movi(R(8), static_cast<std::int64_t>(NeighK));
+        s.bind(kloop);
+        s.ldq(R(10), 0, R(4));              // neighbour byte offset
+        s.addq(R(11), R(10), R(1));
+        s.ldt(F(6), 0, R(11));              // xj
+        s.addq(R(11), R(10), R(2));
+        s.ldt(F(7), 0, R(11));
+        s.addq(R(11), R(10), R(3));
+        s.ldt(F(8), 0, R(11));
+        s.subt(F(6), F(0), F(6));           // dx
+        s.subt(F(7), F(1), F(7));           // dy
+        s.subt(F(8), F(2), F(8));           // dz
+        s.mult(F(9), F(6), F(6));
+        s.mult(F(10), F(7), F(7));
+        s.addt(F(9), F(9), F(10));
+        s.mult(F(10), F(8), F(8));
+        s.addt(F(9), F(9), F(10));          // r2
+        // The data-dependent branch the vector version masks away.
+        s.cmptlt(F(10), F(9), F(14));
+        s.fbeq(F(10), skip);
+        s.divt(F(11), F(15), F(9));         // 1/r2
+        s.mult(F(12), F(6), F(11));
+        s.addt(F(3), F(3), F(12));
+        s.mult(F(12), F(7), F(11));
+        s.addt(F(4), F(4), F(12));
+        s.mult(F(12), F(8), F(11));
+        s.addt(F(5), F(5), F(12));
+        s.bind(skip);
+        s.addq(R(4), R(4), 8);
+        s.subq(R(8), R(8), 1);
+        s.bgt(R(8), kloop);
+        s.addq(R(7), R(6), R(21));
+        s.stt(F(3), 0, R(7));
+        s.addq(R(7), R(6), R(22));
+        s.stt(F(4), 0, R(7));
+        s.addq(R(7), R(6), R(23));
+        s.stt(F(5), 0, R(7));
+        s.addq(R(5), R(5), 1);
+        s.movi(R(7), static_cast<std::int64_t>(NPart));
+        s.cmplt(R(7), R(5), R(7));
+        s.bne(R(7), iloop);
+        s.halt();
+    }
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        putT(mem, XBase, posX());
+        putT(mem, YBase, posY());
+        putT(mem, ZBase, posZ());
+        putQ(mem, NbrBase, neighbours());
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        RefForces r = refMoldyn();
+        std::string err = checkArrayT(mem, FxBase, r.fx, "fx", 1e-7);
+        if (!err.empty())
+            return err;
+        err = checkArrayT(mem, FyBase, r.fy, "fy", 1e-7);
+        if (!err.empty())
+            return err;
+        return checkArrayT(mem, FzBase, r.fz, "fz", 1e-7);
+    };
+    return w;
+}
+
+} // namespace tarantula::workloads

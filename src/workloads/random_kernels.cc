@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The random-access microkernels of Table 4:
+ *
+ *  RndCopy      B(i) = A(index(i)) with A resident in the L2 -- a pure
+ *               gather-bandwidth test limited by the CR box.
+ *  RndMemScale  B(index(i)) += 1 with B far larger than the L2 -- a
+ *               random main-memory test dominated by row
+ *               activates/precharges and directory traffic.
+ */
+
+#include "workloads/workload.hh"
+
+#include "base/random.hh"
+#include "workloads/kernel_util.hh"
+
+namespace tarantula::workloads
+{
+
+using namespace tarantula::program;
+
+namespace
+{
+
+// RndCopy: table of 1M doubles (8 MB; fits the 16 MB L2).
+constexpr std::uint64_t RcTableN = 1u << 20;
+constexpr std::uint64_t RcAccesses = 128u << 10;
+constexpr Addr RcTable = 0x10000000;
+constexpr Addr RcIndex = RcTable + RcTableN * 8 + 4096;
+constexpr Addr RcOut = RcIndex + RcAccesses * 8 + 4096;
+
+// RndMemScale: 4M doubles (32 MB; double the L2).
+constexpr std::uint64_t RmTableN = 4u << 20;
+constexpr std::uint64_t RmAccesses = 96u << 10;
+constexpr Addr RmTable = 0x30000000;
+constexpr Addr RmIndex = RmTable + RmTableN * 8 + 4096;
+
+/** Random byte offsets into a table of n quadwords. */
+std::vector<std::uint64_t>
+randomOffsets(std::uint64_t n, std::uint64_t count, std::uint64_t seed)
+{
+    Random rng(seed);
+    std::vector<std::uint64_t> v(count);
+    for (auto &x : v)
+        x = rng.below(n) * 8;
+    return v;
+}
+
+/**
+ * Random *distinct-per-chunk* byte offsets: a random permutation
+ * prefix, so a gather+modify+scatter chunk never loses updates to
+ * duplicate addresses.
+ */
+std::vector<std::uint64_t>
+distinctOffsets(std::uint64_t n, std::uint64_t count,
+                std::uint64_t seed)
+{
+    Random rng(seed);
+    std::vector<std::uint64_t> perm(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        perm[i] = i;
+    // Fisher-Yates over the prefix we need.
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t j = i + rng.below(n - i);
+        std::swap(perm[i], perm[j]);
+    }
+    std::vector<std::uint64_t> v(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        v[i] = perm[i] * 8;
+    return v;
+}
+
+} // anonymous namespace
+
+Workload
+rndCopy()
+{
+    Workload w;
+    w.name = "rndcopy";
+    w.description = "RndCopy: B(i) = A(index(i)), table in L2";
+    // The paper reports RndCopy in address-generation bandwidth terms
+    // (4.3 addresses/cycle x 8 B = 73.4 GB/s): one quadword per
+    // gathered element.
+    w.usefulBytes = 1.0 * RcAccesses * 8;
+    w.warmRanges.push_back({RcTable, RcTableN * 8});
+    w.warmRanges.push_back({RcIndex, RcAccesses * 8});
+
+    // Vector: load an index chunk, gather, store sequentially.
+    Assembler v;
+    {
+        Label loop = v.newLabel();
+        v.movi(R(1), static_cast<std::int64_t>(RcTable));
+        v.movi(R(2), static_cast<std::int64_t>(RcIndex));
+        v.movi(R(3), static_cast<std::int64_t>(RcOut));
+        v.movi(R(4), static_cast<std::int64_t>(RcAccesses));
+        v.setvl(128);
+        v.setvs(8);
+        v.bind(loop);
+        v.vldq(V(1), R(2));             // byte offsets
+        v.vgatht(V(2), V(1), R(1));
+        v.vstt(V(2), R(3));
+        v.addq(R(2), R(2), 1024);
+        v.addq(R(3), R(3), 1024);
+        v.subq(R(4), R(4), 128);
+        v.bgt(R(4), loop);
+        v.halt();
+    }
+    w.vectorProg = v.finalize();
+
+    // Scalar: pointer-chasing loads, one at a time.
+    Assembler s;
+    {
+        Label loop = s.newLabel();
+        s.movi(R(1), static_cast<std::int64_t>(RcTable));
+        s.movi(R(2), static_cast<std::int64_t>(RcIndex));
+        s.movi(R(3), static_cast<std::int64_t>(RcOut));
+        s.movi(R(4), static_cast<std::int64_t>(RcAccesses));
+        s.bind(loop);
+        s.ldq(R(5), 0, R(2));           // offset
+        s.addq(R(5), R(5), R(1));
+        s.ldt(F(1), 0, R(5));
+        s.stt(F(1), 0, R(3));
+        s.addq(R(2), R(2), 8);
+        s.addq(R(3), R(3), 8);
+        s.subq(R(4), R(4), 1);
+        s.bgt(R(4), loop);
+        s.halt();
+    }
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        std::vector<double> table(RcTableN);
+        for (std::uint64_t i = 0; i < RcTableN; ++i)
+            table[i] = static_cast<double>(i) * 0.5;
+        putT(mem, RcTable, table);
+        putQ(mem, RcIndex, randomOffsets(RcTableN, RcAccesses, 0xc0));
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        const auto idx = getQ(mem, RcIndex, RcAccesses);
+        std::vector<double> expect(RcAccesses);
+        for (std::uint64_t i = 0; i < RcAccesses; ++i)
+            expect[i] = static_cast<double>(idx[i] / 8) * 0.5;
+        return checkArrayT(mem, RcOut, expect, "B");
+    };
+    return w;
+}
+
+Workload
+rndMemScale()
+{
+    Workload w;
+    w.name = "rndmemscale";
+    w.description = "RndMemScale: B(index(i)) += 1, all from memory";
+    w.usefulBytes = 2.0 * RmAccesses * 8;
+
+    Assembler v;
+    {
+        Label loop = v.newLabel();
+        v.movi(R(1), static_cast<std::int64_t>(RmTable));
+        v.movi(R(2), static_cast<std::int64_t>(RmIndex));
+        v.movi(R(4), static_cast<std::int64_t>(RmAccesses));
+        v.setvl(128);
+        v.setvs(8);
+        v.bind(loop);
+        v.vldq(V(1), R(2));
+        v.vgatht(V(2), V(1), R(1));
+        v.vaddt(V(2), V(2), 1.0);
+        v.vscatt(V(2), V(1), R(1));
+        v.addq(R(2), R(2), 1024);
+        v.subq(R(4), R(4), 128);
+        v.bgt(R(4), loop);
+        v.halt();
+    }
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    {
+        Label loop = s.newLabel();
+        s.movi(R(1), static_cast<std::int64_t>(RmTable));
+        s.movi(R(2), static_cast<std::int64_t>(RmIndex));
+        s.movi(R(4), static_cast<std::int64_t>(RmAccesses));
+        s.fconst(F(9), 1.0, R(9));
+        s.bind(loop);
+        s.ldq(R(5), 0, R(2));
+        s.addq(R(5), R(5), R(1));
+        s.ldt(F(1), 0, R(5));
+        s.addt(F(1), F(1), F(9));
+        s.stt(F(1), 0, R(5));
+        s.addq(R(2), R(2), 8);
+        s.subq(R(4), R(4), 1);
+        s.bgt(R(4), loop);
+        s.halt();
+    }
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        // Table starts at value(index) = index * 0.25; only touched
+        // entries change, so the checker recomputes from the indices.
+        std::vector<double> table(RmTableN);
+        for (std::uint64_t i = 0; i < RmTableN; ++i)
+            table[i] = static_cast<double>(i & 1023) * 0.25;
+        putT(mem, RmTable, table);
+        putQ(mem, RmIndex,
+             distinctOffsets(RmTableN, RmAccesses, 0xd1));
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        const auto idx = getQ(mem, RmIndex, RmAccesses);
+        // Spot-check every touched entry (all indices are distinct).
+        for (std::uint64_t i = 0; i < RmAccesses; ++i) {
+            const std::uint64_t q = idx[i] / 8;
+            const double expect =
+                static_cast<double>(q & 1023) * 0.25 + 1.0;
+            const double got = mem.readT(RmTable + idx[i]);
+            if (got != expect) {
+                std::ostringstream os;
+                os << "B[" << q << "]: got " << got << ", expected "
+                   << expect;
+                return os.str();
+            }
+        }
+        return std::string{};
+    };
+    return w;
+}
+
+} // namespace tarantula::workloads

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The workload registry: suite composition and name lookup.
+ */
+
+#include "workloads/workload.hh"
+
+#include "base/logging.hh"
+
+namespace tarantula::workloads
+{
+
+std::vector<Workload>
+figureSuite()
+{
+    std::vector<Workload> suite;
+    suite.push_back(swim(true));
+    suite.push_back(art());
+    suite.push_back(sixtrack());
+    suite.push_back(dgemm());
+    suite.push_back(dtrmm());
+    suite.push_back(sparseMxv());
+    suite.push_back(fft());
+    suite.push_back(lu());
+    suite.push_back(linpack100());
+    suite.push_back(linpackTpp());
+    suite.push_back(moldyn());
+    suite.push_back(ccradix());
+    return suite;
+}
+
+std::vector<Workload>
+microkernelSuite()
+{
+    std::vector<Workload> suite;
+    suite.push_back(streamsCopy());
+    suite.push_back(streamsScale());
+    suite.push_back(streamsAdd());
+    suite.push_back(streamsTriadd());
+    suite.push_back(rndCopy());
+    suite.push_back(rndMemScale());
+    return suite;
+}
+
+Workload
+byName(const std::string &name)
+{
+    if (name == "swim")
+        return swim(true);
+    if (name == "swim_naive")
+        return swim(false);
+    if (name == "art")
+        return art();
+    if (name == "sixtrack")
+        return sixtrack();
+    if (name == "dgemm")
+        return dgemm();
+    if (name == "dtrmm")
+        return dtrmm();
+    if (name == "sparsemxv")
+        return sparseMxv();
+    if (name == "fft")
+        return fft();
+    if (name == "lu")
+        return lu();
+    if (name == "linpack100")
+        return linpack100();
+    if (name == "linpackTPP")
+        return linpackTpp();
+    if (name == "moldyn")
+        return moldyn();
+    if (name == "ccradix")
+        return ccradix();
+    if (name == "radix")
+        return radixNaive();
+    if (name == "copy")
+        return streamsCopy();
+    if (name == "scale")
+        return streamsScale();
+    if (name == "add")
+        return streamsAdd();
+    if (name == "triadd")
+        return streamsTriadd();
+    if (name == "rndcopy")
+        return rndCopy();
+    if (name == "rndmemscale")
+        return rndMemScale();
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace tarantula::workloads

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * sixtrack: high-energy particle tracking (SpecFP2000). The hot loop
+ * advances a bunch of particles through drift sections and sextupole
+ * kicks in 4D transverse phase space -- long unit-stride sweeps of
+ * element-wise fused arithmetic, exactly the "aggressive floating
+ * point" profile the paper targets.
+ */
+
+#include "workloads/workload.hh"
+
+#include <vector>
+
+#include "workloads/kernel_util.hh"
+
+namespace tarantula::workloads
+{
+
+using namespace tarantula::program;
+
+namespace
+{
+
+constexpr std::size_t NPart = 32768;
+constexpr unsigned Turns = 2;
+
+constexpr Addr XBase = 0x10000000;
+constexpr Addr PxBase = 0x10100000;
+constexpr Addr YBase = 0x10200000;
+constexpr Addr PyBase = 0x10300000;
+
+constexpr double DriftL = 0.25;
+constexpr double KickK = 0.0173;
+
+void
+refTurn(std::vector<double> &x, std::vector<double> &px,
+        std::vector<double> &y, std::vector<double> &py)
+{
+    for (std::size_t i = 0; i < NPart; ++i) {
+        // Drift.
+        x[i] += DriftL * px[i];
+        y[i] += DriftL * py[i];
+        // Sextupole kick.
+        const double x2 = x[i] * x[i];
+        const double y2 = y[i] * y[i];
+        px[i] -= KickK * (x2 - y2);
+        py[i] += 2.0 * KickK * (x[i] * y[i]);
+    }
+}
+
+std::vector<double> in0() { return randomT(NPart, 0x61, -1e-2, 1e-2); }
+std::vector<double> in1() { return randomT(NPart, 0x62, -1e-3, 1e-3); }
+std::vector<double> in2() { return randomT(NPart, 0x63, -1e-2, 1e-2); }
+std::vector<double> in3() { return randomT(NPart, 0x64, -1e-3, 1e-3); }
+
+} // anonymous namespace
+
+Workload
+sixtrack()
+{
+    Workload w;
+    w.name = "sixtrack";
+    w.description = "Particle tracking: drift + sextupole kick maps";
+    w.usesPrefetch = true;
+
+    Assembler v;
+    {
+        v.fconst(F(0), DriftL, R(9));
+        v.fconst(F(1), KickK, R(9));
+        v.fconst(F(2), 2.0 * KickK, R(9));
+        v.setvl(128);
+        v.setvs(8);
+        for (unsigned t = 0; t < Turns; ++t) {
+            Label loop = v.newLabel();
+            v.movi(R(1), static_cast<std::int64_t>(XBase));
+            v.movi(R(2), static_cast<std::int64_t>(PxBase));
+            v.movi(R(3), static_cast<std::int64_t>(YBase));
+            v.movi(R(4), static_cast<std::int64_t>(PyBase));
+            v.movi(R(5), static_cast<std::int64_t>(NPart));
+            v.bind(loop);
+            v.vprefetch(R(1), 8192);
+            v.vldt(V(0), R(1));             // x
+            v.vldt(V(1), R(2));             // px
+            v.vldt(V(2), R(3));             // y
+            v.vldt(V(3), R(4));             // py
+            v.vmult(V(4), V(1), F(0));
+            v.vaddt(V(0), V(0), V(4));      // x += L*px
+            v.vmult(V(5), V(3), F(0));
+            v.vaddt(V(2), V(2), V(5));      // y += L*py
+            v.vmult(V(6), V(0), V(0));      // x^2
+            v.vmult(V(7), V(2), V(2));      // y^2
+            v.vsubt(V(8), V(6), V(7));
+            v.vmult(V(8), V(8), F(1));
+            v.vsubt(V(1), V(1), V(8));      // px -= k(x^2-y^2)
+            v.vmult(V(9), V(0), V(2));
+            v.vmult(V(9), V(9), F(2));
+            v.vaddt(V(3), V(3), V(9));      // py += 2k*x*y
+            v.vstt(V(0), R(1));
+            v.vstt(V(1), R(2));
+            v.vstt(V(2), R(3));
+            v.vstt(V(3), R(4));
+            v.addq(R(1), R(1), 1024);
+            v.addq(R(2), R(2), 1024);
+            v.addq(R(3), R(3), 1024);
+            v.addq(R(4), R(4), 1024);
+            v.subq(R(5), R(5), 128);
+            v.bgt(R(5), loop);
+        }
+        v.halt();
+    }
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    {
+        s.fconst(F(0), DriftL, R(9));
+        s.fconst(F(1), KickK, R(9));
+        s.fconst(F(2), 2.0 * KickK, R(9));
+        for (unsigned t = 0; t < Turns; ++t) {
+            Label loop = s.newLabel();
+            s.movi(R(1), static_cast<std::int64_t>(XBase));
+            s.movi(R(2), static_cast<std::int64_t>(PxBase));
+            s.movi(R(3), static_cast<std::int64_t>(YBase));
+            s.movi(R(4), static_cast<std::int64_t>(PyBase));
+            s.movi(R(5), static_cast<std::int64_t>(NPart));
+            s.bind(loop);
+            s.ldt(F(4), 0, R(1));           // x
+            s.ldt(F(5), 0, R(2));           // px
+            s.ldt(F(6), 0, R(3));           // y
+            s.ldt(F(7), 0, R(4));           // py
+            s.mult(F(8), F(5), F(0));
+            s.addt(F(4), F(4), F(8));
+            s.mult(F(9), F(7), F(0));
+            s.addt(F(6), F(6), F(9));
+            s.mult(F(10), F(4), F(4));
+            s.mult(F(11), F(6), F(6));
+            s.subt(F(12), F(10), F(11));
+            s.mult(F(12), F(12), F(1));
+            s.subt(F(5), F(5), F(12));
+            s.mult(F(13), F(4), F(6));
+            s.mult(F(13), F(13), F(2));
+            s.addt(F(7), F(7), F(13));
+            s.stt(F(4), 0, R(1));
+            s.stt(F(5), 0, R(2));
+            s.stt(F(6), 0, R(3));
+            s.stt(F(7), 0, R(4));
+            s.addq(R(1), R(1), 8);
+            s.addq(R(2), R(2), 8);
+            s.addq(R(3), R(3), 8);
+            s.addq(R(4), R(4), 8);
+            s.subq(R(5), R(5), 1);
+            s.bgt(R(5), loop);
+        }
+        s.halt();
+    }
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        putT(mem, XBase, in0());
+        putT(mem, PxBase, in1());
+        putT(mem, YBase, in2());
+        putT(mem, PyBase, in3());
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        auto x = in0();
+        auto px = in1();
+        auto y = in2();
+        auto py = in3();
+        for (unsigned t = 0; t < Turns; ++t)
+            refTurn(x, px, y, py);
+        std::string err = checkArrayT(mem, XBase, x, "x", 1e-9);
+        if (!err.empty())
+            return err;
+        err = checkArrayT(mem, PxBase, px, "px", 1e-9);
+        if (!err.empty())
+            return err;
+        err = checkArrayT(mem, YBase, y, "y", 1e-9);
+        if (!err.empty())
+            return err;
+        return checkArrayT(mem, PyBase, py, "py", 1e-9);
+    };
+    return w;
+}
+
+} // namespace tarantula::workloads

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Sparse matrix-vector product y = A*x in CSR form -- the paper's
+ * gather-dominated algebra kernel (and one of its lowest-OPC bars in
+ * Figure 6).
+ *
+ * The vector version processes one row per iteration: the row's
+ * values load with stride 1, the source elements x[col[j]] gather
+ * through the CR box, the products accumulate into a zeroed register
+ * under a mask of the row's length (the architecturally safe way to
+ * combine short rows with the full-length slide-down reduction --
+ * elements past vl are UNPREDICTABLE, so the idiom masks instead of
+ * relying on them).
+ */
+
+#include "workloads/workload.hh"
+
+#include <vector>
+
+#include "base/random.hh"
+#include "workloads/kernel_util.hh"
+
+namespace tarantula::workloads
+{
+
+using namespace tarantula::program;
+
+namespace
+{
+
+constexpr std::size_t Rows = 4096;
+constexpr std::size_t Cols = 4096;
+constexpr unsigned MinNnz = 16;
+constexpr unsigned MaxNnz = 96;
+
+constexpr Addr ValBase = 0x10000000;
+constexpr Addr ColBase = 0x14000000;    ///< byte offsets into x
+constexpr Addr PtrBase = 0x18000000;    ///< row start, in elements
+constexpr Addr XBase = 0x1a000000;
+constexpr Addr YBase = 0x1b000000;
+
+struct Csr
+{
+    std::vector<double> vals;
+    std::vector<std::uint64_t> colOff;  ///< byte offsets
+    std::vector<std::uint64_t> rowPtr;  ///< element index per row
+};
+
+Csr
+buildMatrix(std::uint64_t seed)
+{
+    Random rng(seed);
+    Csr m;
+    m.rowPtr.push_back(0);
+    for (std::size_t r = 0; r < Rows; ++r) {
+        const unsigned nnz =
+            MinNnz + static_cast<unsigned>(rng.below(MaxNnz - MinNnz));
+        for (unsigned k = 0; k < nnz; ++k) {
+            m.vals.push_back(rng.real(0.1, 1.0));
+            m.colOff.push_back(rng.below(Cols) * 8);
+        }
+        m.rowPtr.push_back(m.vals.size());
+    }
+    return m;
+}
+
+std::vector<double>
+refSpmv(const Csr &m, const std::vector<double> &x)
+{
+    std::vector<double> y(Rows, 0.0);
+    for (std::size_t r = 0; r < Rows; ++r) {
+        double acc = 0.0;
+        for (std::uint64_t j = m.rowPtr[r]; j < m.rowPtr[r + 1]; ++j)
+            acc += m.vals[j] * x[m.colOff[j] / 8];
+        y[r] = acc;
+    }
+    return y;
+}
+
+} // anonymous namespace
+
+Workload
+sparseMxv()
+{
+    Workload w;
+    w.name = "sparsemxv";
+    w.description = "CSR sparse matrix-vector product (gather bound)";
+
+    // Vector, one row per iteration:
+    //   r5=row  r6=&rowptr[row]  r7=start elem  r8=nnz
+    Assembler v;
+    {
+        Label rloop = v.newLabel();
+        Label empty = v.newLabel();
+        v.movi(R(1), static_cast<std::int64_t>(ValBase));
+        v.movi(R(2), static_cast<std::int64_t>(ColBase));
+        v.movi(R(3), static_cast<std::int64_t>(XBase));
+        v.movi(R(4), static_cast<std::int64_t>(YBase));
+        v.movi(R(6), static_cast<std::int64_t>(PtrBase));
+        v.movi(R(5), static_cast<std::int64_t>(Rows));
+        v.setvs(8);
+        v.bind(rloop);
+        v.ldq(R(7), 0, R(6));               // row start
+        v.ldq(R(8), 8, R(6));               // row end
+        v.subq(R(8), R(8), R(7));           // nnz
+        // Mask = (iota < nnz); all ops run at vl=128 under mask so the
+        // tail stays architecturally defined (zeros) for the tree sum.
+        v.setvl(128);
+        v.viota(V(1));
+        v.vcmpltq(V(2), V(1), R(8));
+        v.setvm(V(2));
+        v.vxorq(V(3), V(3), V(3));          // acc = 0 (all 128)
+        v.ble(R(8), empty);
+        v.sll(R(9), R(7), 3);               // byte offset of row start
+        v.addq(R(10), R(9), R(1));          // &vals[start]
+        v.addq(R(11), R(9), R(2));          // &colOff[start]
+        v.vldt(V(4), R(10), 0, /*m=*/true);     // row values
+        v.vldq(V(5), R(11), 0, /*m=*/true);     // x byte offsets
+        v.vgatht(V(6), V(5), R(3), /*m=*/true); // x[col[j]]
+        v.vmult(V(3), V(4), V(6), /*m=*/true);  // products (tail = 0)
+        v.bind(empty);
+        emitVecSumT(v, V(3), V(7));
+        v.vextractt(F(0), V(3), 0);
+        v.stt(F(0), 0, R(4));
+        v.addq(R(4), R(4), 8);
+        v.addq(R(6), R(6), 8);
+        v.subq(R(5), R(5), 1);
+        v.bgt(R(5), rloop);
+        v.halt();
+    }
+    w.vectorProg = v.finalize();
+
+    // Scalar CSR loop.
+    Assembler s;
+    {
+        Label rloop = s.newLabel();
+        Label inner = s.newLabel();
+        Label empty = s.newLabel();
+        s.movi(R(1), static_cast<std::int64_t>(ValBase));
+        s.movi(R(2), static_cast<std::int64_t>(ColBase));
+        s.movi(R(3), static_cast<std::int64_t>(XBase));
+        s.movi(R(4), static_cast<std::int64_t>(YBase));
+        s.movi(R(6), static_cast<std::int64_t>(PtrBase));
+        s.movi(R(5), static_cast<std::int64_t>(Rows));
+        s.bind(rloop);
+        s.ldq(R(7), 0, R(6));
+        s.ldq(R(8), 8, R(6));
+        s.subq(R(8), R(8), R(7));
+        s.fconst(F(0), 0.0, R(20));
+        s.ble(R(8), empty);
+        s.sll(R(9), R(7), 3);
+        s.addq(R(10), R(9), R(1));          // &vals[j]
+        s.addq(R(11), R(9), R(2));          // &colOff[j]
+        s.bind(inner);
+        s.ldt(F(1), 0, R(10));
+        s.ldq(R(12), 0, R(11));
+        s.addq(R(12), R(12), R(3));
+        s.ldt(F(2), 0, R(12));              // x[col[j]]
+        s.mult(F(1), F(1), F(2));
+        s.addt(F(0), F(0), F(1));
+        s.addq(R(10), R(10), 8);
+        s.addq(R(11), R(11), 8);
+        s.subq(R(8), R(8), 1);
+        s.bgt(R(8), inner);
+        s.bind(empty);
+        s.stt(F(0), 0, R(4));
+        s.addq(R(4), R(4), 8);
+        s.addq(R(6), R(6), 8);
+        s.subq(R(5), R(5), 1);
+        s.bgt(R(5), rloop);
+        s.halt();
+    }
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        Csr m = buildMatrix(0x5b);
+        putT(mem, ValBase, m.vals);
+        putQ(mem, ColBase, m.colOff);
+        putQ(mem, PtrBase, m.rowPtr);
+        putT(mem, XBase, randomT(Cols, 0x5c, 0.0, 1.0));
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        Csr m = buildMatrix(0x5b);
+        auto y = refSpmv(m, randomT(Cols, 0x5c, 0.0, 1.0));
+        // The vector version sums in tree order; allow for that.
+        return checkArrayT(mem, YBase, y, "y", 1e-7);
+    };
+    return w;
+}
+
+} // namespace tarantula::workloads

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * swim: a shallow-water finite-difference stencil (the SpecFP2000
+ * kernel's computational core). Three state grids (U, V, P) advance
+ * through interleaved stencil updates over several time steps.
+ *
+ * The tiled variant sweeps row-wise: every vector is a unit-stride
+ * (pump mode) row segment. The "naive" variant -- the paper reports
+ * the untiled swim runs almost 2x slower -- sweeps column-wise, so
+ * every vector access carries the row-pitch stride and must use the
+ * reordering scheme at half bandwidth and full address-generation
+ * cost. EXPERIMENTS.md documents this substitution (grids small
+ * enough for a software simulator fit in the L2, so the slowdown is
+ * reproduced through the stride path rather than through capacity
+ * misses).
+ */
+
+#include "workloads/workload.hh"
+
+#include <vector>
+
+#include "workloads/kernel_util.hh"
+
+namespace tarantula::workloads
+{
+
+using namespace tarantula::program;
+
+namespace
+{
+
+constexpr std::size_t NX = 130;     ///< columns (interior = 128 = vl)
+constexpr std::size_t NY = 128;     ///< rows
+constexpr unsigned Steps = 3;
+
+constexpr Addr UBase = 0x10000000;
+constexpr Addr VBase = 0x10400000;
+constexpr Addr PBase = 0x10800000;
+constexpr Addr UNew = 0x10c00000;
+constexpr Addr PNew = 0x11000000;
+
+constexpr std::int64_t RowBytes = NX * 8;
+
+constexpr double Ca = 0.12;
+constexpr double Cb = 0.07;
+constexpr double Cc = 0.09;
+constexpr double Cd = 0.004;
+
+std::size_t
+at(std::size_t i, std::size_t j)
+{
+    return i * NX + j;
+}
+
+/** One full reference time step (must match both kernels' order). */
+void
+refStep(std::vector<double> &u, std::vector<double> &v,
+        std::vector<double> &p, std::vector<double> &un,
+        std::vector<double> &pn)
+{
+    for (std::size_t i = 1; i + 1 < NY; ++i) {
+        for (std::size_t j = 1; j + 1 < NX; ++j) {
+            un[at(i, j)] = u[at(i, j)] +
+                Ca * (p[at(i, j + 1)] - p[at(i, j - 1)]) +
+                Cb * (v[at(i + 1, j)] - v[at(i - 1, j)]);
+            pn[at(i, j)] = p[at(i, j)] +
+                Cc * (u[at(i, j + 1)] - u[at(i, j - 1)]) +
+                Cd * (v[at(i, j)] * p[at(i, j)]);
+        }
+    }
+    for (std::size_t i = 1; i + 1 < NY; ++i) {
+        for (std::size_t j = 1; j + 1 < NX; ++j) {
+            u[at(i, j)] = un[at(i, j)];
+            p[at(i, j)] = pn[at(i, j)];
+        }
+    }
+}
+
+std::vector<double> gridU() { return randomT(NY * NX, 0x91, 0.0, 1.0); }
+std::vector<double> gridV() { return randomT(NY * NX, 0x92, 0.0, 1.0); }
+std::vector<double> gridP() { return randomT(NY * NX, 0x93, 1.0, 2.0); }
+
+/**
+ * Emit one vector time step sweeping row-wise (tiled) or column-wise
+ * (naive). Interior is 128 columns x (NY-2) rows either way.
+ */
+void
+emitVecStep(Assembler &v, bool tiled)
+{
+    // f0..f3 hold the four constants (set up by the caller).
+    if (tiled) {
+        Label iloop = v.newLabel();
+        v.setvl(128);
+        v.setvs(8);
+        v.movi(R(5), 1);                    // row i
+        v.bind(iloop);
+        v.mulq(R(6), R(5), RowBytes);
+        v.addq(R(7), R(6), 8);              // byte offset of (i, 1)
+        v.addq(R(10), R(7), R(1));          // &U[i,1]
+        v.addq(R(11), R(7), R(2));          // &V[i,1]
+        v.addq(R(12), R(7), R(3));          // &P[i,1]
+        v.addq(R(13), R(7), R(20));         // &UNEW[i,1]
+        v.addq(R(14), R(7), R(21));         // &PNEW[i,1]
+        // UNEW = U + Ca*(P[j+1]-P[j-1]) + Cb*(V[i+1]-V[i-1])
+        v.vldt(V(0), R(12), 8);             // P[i, j+1]
+        v.vldt(V(1), R(12), -8);            // P[i, j-1]
+        v.vsubt(V(2), V(0), V(1));
+        v.vmult(V(2), V(2), F(0));
+        v.vldt(V(3), R(11), RowBytes);      // V[i+1, j]
+        v.vldt(V(4), R(11), -RowBytes);     // V[i-1, j]
+        v.vsubt(V(5), V(3), V(4));
+        v.vmult(V(5), V(5), F(1));
+        v.vldt(V(6), R(10));                // U[i, j]
+        v.vaddt(V(7), V(6), V(2));
+        v.vaddt(V(7), V(7), V(5));
+        v.vstt(V(7), R(13));
+        // PNEW = P + Cc*(U[j+1]-U[j-1]) + Cd*(V*P)
+        v.vldt(V(8), R(10), 8);
+        v.vldt(V(9), R(10), -8);
+        v.vsubt(V(10), V(8), V(9));
+        v.vmult(V(10), V(10), F(2));
+        v.vldt(V(11), R(11));               // V[i, j]
+        v.vldt(V(12), R(12));               // P[i, j]
+        v.vmult(V(13), V(11), V(12));
+        v.vmult(V(13), V(13), F(3));
+        v.vaddt(V(14), V(12), V(10));
+        v.vaddt(V(14), V(14), V(13));
+        v.vstt(V(14), R(14));
+        v.addq(R(5), R(5), 1);
+        v.movi(R(15), static_cast<std::int64_t>(NY - 1));
+        v.cmplt(R(15), R(5), R(15));
+        v.bne(R(15), iloop);
+        // Copy back.
+        Label cloop = v.newLabel();
+        v.movi(R(5), 1);
+        v.bind(cloop);
+        v.mulq(R(6), R(5), RowBytes);
+        v.addq(R(7), R(6), 8);
+        v.addq(R(10), R(7), R(1));
+        v.addq(R(12), R(7), R(3));
+        v.addq(R(13), R(7), R(20));
+        v.addq(R(14), R(7), R(21));
+        v.vldt(V(0), R(13));
+        v.vstt(V(0), R(10));
+        v.vldt(V(1), R(14));
+        v.vstt(V(1), R(12));
+        v.addq(R(5), R(5), 1);
+        v.movi(R(15), static_cast<std::int64_t>(NY - 1));
+        v.cmplt(R(15), R(5), R(15));
+        v.bne(R(15), cloop);
+    } else {
+        // Naive: vectors run down columns with the row-pitch stride.
+        Label jloop = v.newLabel();
+        v.setvl(static_cast<std::int64_t>(NY - 2));
+        v.setvs(RowBytes);
+        v.movi(R(5), 1);                    // column j
+        v.bind(jloop);
+        v.sll(R(6), R(5), 3);
+        v.addq(R(7), R(6), RowBytes);       // byte offset of (1, j)
+        v.addq(R(10), R(7), R(1));
+        v.addq(R(11), R(7), R(2));
+        v.addq(R(12), R(7), R(3));
+        v.addq(R(13), R(7), R(20));
+        v.addq(R(14), R(7), R(21));
+        v.vldt(V(0), R(12), 8);
+        v.vldt(V(1), R(12), -8);
+        v.vsubt(V(2), V(0), V(1));
+        v.vmult(V(2), V(2), F(0));
+        v.vldt(V(3), R(11), RowBytes);
+        v.vldt(V(4), R(11), -RowBytes);
+        v.vsubt(V(5), V(3), V(4));
+        v.vmult(V(5), V(5), F(1));
+        v.vldt(V(6), R(10));
+        v.vaddt(V(7), V(6), V(2));
+        v.vaddt(V(7), V(7), V(5));
+        v.vstt(V(7), R(13));
+        v.vldt(V(8), R(10), 8);
+        v.vldt(V(9), R(10), -8);
+        v.vsubt(V(10), V(8), V(9));
+        v.vmult(V(10), V(10), F(2));
+        v.vldt(V(11), R(11));
+        v.vldt(V(12), R(12));
+        v.vmult(V(13), V(11), V(12));
+        v.vmult(V(13), V(13), F(3));
+        v.vaddt(V(14), V(12), V(10));
+        v.vaddt(V(14), V(14), V(13));
+        v.vstt(V(14), R(14));
+        v.addq(R(5), R(5), 1);
+        v.movi(R(15), static_cast<std::int64_t>(NX - 1));
+        v.cmplt(R(15), R(5), R(15));
+        v.bne(R(15), jloop);
+        Label cloop = v.newLabel();
+        v.movi(R(5), 1);
+        v.bind(cloop);
+        v.sll(R(6), R(5), 3);
+        v.addq(R(7), R(6), RowBytes);
+        v.addq(R(10), R(7), R(1));
+        v.addq(R(12), R(7), R(3));
+        v.addq(R(13), R(7), R(20));
+        v.addq(R(14), R(7), R(21));
+        v.vldt(V(0), R(13));
+        v.vstt(V(0), R(10));
+        v.vldt(V(1), R(14));
+        v.vstt(V(1), R(12));
+        v.addq(R(5), R(5), 1);
+        v.movi(R(15), static_cast<std::int64_t>(NX - 1));
+        v.cmplt(R(15), R(5), R(15));
+        v.bne(R(15), cloop);
+    }
+}
+
+} // anonymous namespace
+
+Workload
+swim(bool tiled)
+{
+    Workload w;
+    w.name = tiled ? "swim" : "swim_naive";
+    w.description = tiled
+        ? "Shallow-water stencil, tiled (row-wise, unit stride)"
+        : "Shallow-water stencil, naive (column-wise, strided)";
+    w.usesPrefetch = tiled;
+
+    Assembler v;
+    {
+        v.movi(R(1), static_cast<std::int64_t>(UBase));
+        v.movi(R(2), static_cast<std::int64_t>(VBase));
+        v.movi(R(3), static_cast<std::int64_t>(PBase));
+        v.movi(R(20), static_cast<std::int64_t>(UNew));
+        v.movi(R(21), static_cast<std::int64_t>(PNew));
+        v.fconst(F(0), Ca, R(9));
+        v.fconst(F(1), Cb, R(9));
+        v.fconst(F(2), Cc, R(9));
+        v.fconst(F(3), Cd, R(9));
+        for (unsigned t = 0; t < Steps; ++t)
+            emitVecStep(v, tiled);
+        v.halt();
+    }
+    w.vectorProg = v.finalize();
+
+    // Scalar version: row-wise always.
+    Assembler s;
+    {
+        s.movi(R(1), static_cast<std::int64_t>(UBase));
+        s.movi(R(2), static_cast<std::int64_t>(VBase));
+        s.movi(R(3), static_cast<std::int64_t>(PBase));
+        s.movi(R(20), static_cast<std::int64_t>(UNew));
+        s.movi(R(21), static_cast<std::int64_t>(PNew));
+        s.fconst(F(0), Ca, R(9));
+        s.fconst(F(1), Cb, R(9));
+        s.fconst(F(2), Cc, R(9));
+        s.fconst(F(3), Cd, R(9));
+        for (unsigned t = 0; t < Steps; ++t) {
+            Label iloop = s.newLabel();
+            Label jloop = s.newLabel();
+            s.movi(R(5), 1);
+            s.bind(iloop);
+            s.mulq(R(6), R(5), RowBytes);
+            s.addq(R(7), R(6), 8);
+            s.addq(R(10), R(7), R(1));
+            s.addq(R(11), R(7), R(2));
+            s.addq(R(12), R(7), R(3));
+            s.addq(R(13), R(7), R(20));
+            s.addq(R(14), R(7), R(21));
+            s.movi(R(8), static_cast<std::int64_t>(NX - 2));
+            s.bind(jloop);
+            s.ldt(F(4), 8, R(12));          // P[j+1]
+            s.ldt(F(5), -8, R(12));         // P[j-1]
+            s.subt(F(4), F(4), F(5));
+            s.mult(F(4), F(4), F(0));
+            s.ldt(F(5), RowBytes, R(11));
+            s.ldt(F(6), -RowBytes, R(11));
+            s.subt(F(5), F(5), F(6));
+            s.mult(F(5), F(5), F(1));
+            s.ldt(F(6), 0, R(10));          // U
+            s.addt(F(7), F(6), F(4));
+            s.addt(F(7), F(7), F(5));
+            s.stt(F(7), 0, R(13));
+            s.ldt(F(8), 8, R(10));
+            s.ldt(F(9), -8, R(10));
+            s.subt(F(8), F(8), F(9));
+            s.mult(F(8), F(8), F(2));
+            s.ldt(F(9), 0, R(11));
+            s.ldt(F(10), 0, R(12));
+            s.mult(F(11), F(9), F(10));
+            s.mult(F(11), F(11), F(3));
+            s.addt(F(12), F(10), F(8));
+            s.addt(F(12), F(12), F(11));
+            s.stt(F(12), 0, R(14));
+            s.addq(R(10), R(10), 8);
+            s.addq(R(11), R(11), 8);
+            s.addq(R(12), R(12), 8);
+            s.addq(R(13), R(13), 8);
+            s.addq(R(14), R(14), 8);
+            s.subq(R(8), R(8), 1);
+            s.bgt(R(8), jloop);
+            s.addq(R(5), R(5), 1);
+            s.movi(R(15), static_cast<std::int64_t>(NY - 1));
+            s.cmplt(R(15), R(5), R(15));
+            s.bne(R(15), iloop);
+            // Copy back.
+            Label ciloop = s.newLabel();
+            Label cjloop = s.newLabel();
+            s.movi(R(5), 1);
+            s.bind(ciloop);
+            s.mulq(R(6), R(5), RowBytes);
+            s.addq(R(7), R(6), 8);
+            s.addq(R(10), R(7), R(1));
+            s.addq(R(12), R(7), R(3));
+            s.addq(R(13), R(7), R(20));
+            s.addq(R(14), R(7), R(21));
+            s.movi(R(8), static_cast<std::int64_t>(NX - 2));
+            s.bind(cjloop);
+            s.ldt(F(4), 0, R(13));
+            s.stt(F(4), 0, R(10));
+            s.ldt(F(5), 0, R(14));
+            s.stt(F(5), 0, R(12));
+            s.addq(R(10), R(10), 8);
+            s.addq(R(12), R(12), 8);
+            s.addq(R(13), R(13), 8);
+            s.addq(R(14), R(14), 8);
+            s.subq(R(8), R(8), 1);
+            s.bgt(R(8), cjloop);
+            s.addq(R(5), R(5), 1);
+            s.movi(R(15), static_cast<std::int64_t>(NY - 1));
+            s.cmplt(R(15), R(5), R(15));
+            s.bne(R(15), ciloop);
+        }
+        s.halt();
+    }
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        putT(mem, UBase, gridU());
+        putT(mem, VBase, gridV());
+        putT(mem, PBase, gridP());
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        auto u = gridU();
+        auto v2 = gridV();
+        auto p = gridP();
+        std::vector<double> un(NY * NX, 0.0), pn(NY * NX, 0.0);
+        for (unsigned t = 0; t < Steps; ++t)
+            refStep(u, v2, p, un, pn);
+        std::string err = checkArrayT(mem, UBase, u, "U", 1e-9);
+        if (!err.empty())
+            return err;
+        return checkArrayT(mem, PBase, p, "P", 1e-9);
+    };
+    return w;
+}
+
+} // namespace tarantula::workloads

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * The STREAMS microkernels (McCalpin) used in Table 4: Copy, Scale,
+ * Add and Triadd, plus the shared array layout with the paper's
+ * 65856-byte padding between arrays. Arrays are sized well past the
+ * 16 MB L2 so the kernels measure memory bandwidth.
+ *
+ * The vector versions use stride-1 (pump-mode) accesses and software
+ * prefetch; vector stores allocate lines without fetching, which is
+ * what generates the paper's 1/3-of-raw directory traffic together
+ * with the read stream and the writeback stream.
+ *
+ * The scalar versions follow the paper's description of the EV8 copy
+ * loop: a read, a wh64 on the destination line, and the stores.
+ */
+
+#include "workloads/workload.hh"
+
+#include <memory>
+
+#include "workloads/kernel_util.hh"
+
+namespace tarantula::workloads
+{
+
+using namespace tarantula::program;
+
+namespace
+{
+
+/** 3M doubles per array: 24 MB, 1.5x the L2, so the read stream
+ *  continuously evicts the write stream's dirty lines and the full
+ *  read + directory + writeback traffic pattern reaches steady
+ *  state within one sweep. */
+constexpr std::uint64_t N = 3u << 20;
+constexpr Addr ArrayPad = 65856;    ///< the paper's STREAMS padding
+constexpr Addr BaseA = 0x10000000;
+constexpr Addr BaseB = BaseA + N * 8 + ArrayPad;
+constexpr Addr BaseC = BaseB + N * 8 + ArrayPad;
+constexpr std::int64_t PrefetchDist = 16 * 1024;    ///< bytes ahead
+constexpr double ScaleFactor = 3.0;
+
+/** Deterministic input values without materializing giant vectors. */
+double
+valA(std::uint64_t i)
+{
+    return 1.0 + static_cast<double>(i % 1000) * 0.001;
+}
+
+double
+valB(std::uint64_t i)
+{
+    return 2.0 + static_cast<double>(i % 777) * 0.002;
+}
+
+double
+valC(std::uint64_t i)
+{
+    return 0.5 + static_cast<double>(i % 555) * 0.003;
+}
+
+void
+initArrays(exec::FunctionalMemory &mem)
+{
+    std::vector<double> buf(N);
+    for (std::uint64_t i = 0; i < N; ++i)
+        buf[i] = valA(i);
+    putT(mem, BaseA, buf);
+    for (std::uint64_t i = 0; i < N; ++i)
+        buf[i] = valB(i);
+    putT(mem, BaseB, buf);
+    for (std::uint64_t i = 0; i < N; ++i)
+        buf[i] = valC(i);
+    putT(mem, BaseC, buf);
+}
+
+/**
+ * Emit a vector streaming loop over N elements.
+ * @param body  Called once per 128-element chunk with the current
+ *              bases in r1 (src1), r2 (src2) and r3 (dst); must not
+ *              touch r1..r4.
+ */
+template <typename Body>
+void
+vecStreamLoop(Assembler &as, Addr src1, Addr src2, Addr dst,
+              Body &&body)
+{
+    Label loop = as.newLabel();
+    as.movi(R(1), static_cast<std::int64_t>(src1));
+    as.movi(R(2), static_cast<std::int64_t>(src2));
+    as.movi(R(3), static_cast<std::int64_t>(dst));
+    as.movi(R(4), static_cast<std::int64_t>(N));
+    as.setvl(128);
+    as.setvs(8);
+    as.bind(loop);
+    body();
+    as.addq(R(1), R(1), 1024);
+    as.addq(R(2), R(2), 1024);
+    as.addq(R(3), R(3), 1024);
+    as.subq(R(4), R(4), 128);
+    as.bgt(R(4), loop);
+    as.halt();
+}
+
+/** Emit a scalar streaming loop unrolled by one cache line. */
+template <typename Body>
+void
+scalarStreamLoop(Assembler &as, Addr src1, Addr src2, Addr dst,
+                 Body &&body)
+{
+    Label loop = as.newLabel();
+    as.movi(R(1), static_cast<std::int64_t>(src1));
+    as.movi(R(2), static_cast<std::int64_t>(src2));
+    as.movi(R(3), static_cast<std::int64_t>(dst));
+    as.movi(R(4), static_cast<std::int64_t>(N));
+    as.bind(loop);
+    as.wh64(R(3));
+    as.prefetch(PrefetchDist, R(1));
+    body();
+    as.addq(R(1), R(1), 64);
+    as.addq(R(2), R(2), 64);
+    as.addq(R(3), R(3), 64);
+    as.subq(R(4), R(4), 8);
+    as.bgt(R(4), loop);
+    as.halt();
+}
+
+} // anonymous namespace
+
+Workload
+streamsCopy()
+{
+    Workload w;
+    w.name = "copy";
+    w.description = "STREAMS Copy: c(i) = a(i)";
+    w.usesPrefetch = true;
+    w.usefulBytes = 2.0 * N * 8;
+
+    Assembler v;
+    vecStreamLoop(v, BaseA, BaseB, BaseC, [&] {
+        v.vprefetch(R(1), PrefetchDist);
+        v.vldt(V(0), R(1));
+        v.vstt(V(0), R(3));
+    });
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    scalarStreamLoop(s, BaseA, BaseB, BaseC, [&] {
+        for (unsigned k = 0; k < 8; ++k) {
+            s.ldt(F(1), k * 8, R(1));
+            s.stt(F(1), k * 8, R(3));
+        }
+    });
+    w.scalarProg = s.finalize();
+
+    w.init = initArrays;
+    w.check = [](exec::FunctionalMemory &mem) {
+        std::vector<double> expect(N);
+        for (std::uint64_t i = 0; i < N; ++i)
+            expect[i] = valA(i);
+        return checkArrayT(mem, BaseC, expect, "c");
+    };
+    return w;
+}
+
+Workload
+streamsScale()
+{
+    Workload w;
+    w.name = "scale";
+    w.description = "STREAMS Scale: b(i) = s * c(i)";
+    w.usesPrefetch = true;
+    w.usefulBytes = 2.0 * N * 8;
+
+    Assembler v;
+    v.fconst(F(1), ScaleFactor, R(9));
+    vecStreamLoop(v, BaseC, BaseA, BaseB, [&] {
+        v.vprefetch(R(1), PrefetchDist);
+        v.vldt(V(0), R(1));
+        v.vmult(V(1), V(0), F(1));
+        v.vstt(V(1), R(3));
+    });
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    s.fconst(F(9), ScaleFactor, R(9));
+    scalarStreamLoop(s, BaseC, BaseA, BaseB, [&] {
+        for (unsigned k = 0; k < 8; ++k) {
+            s.ldt(F(1), k * 8, R(1));
+            s.mult(F(2), F(1), F(9));
+            s.stt(F(2), k * 8, R(3));
+        }
+    });
+    w.scalarProg = s.finalize();
+
+    w.init = initArrays;
+    w.check = [](exec::FunctionalMemory &mem) {
+        std::vector<double> expect(N);
+        for (std::uint64_t i = 0; i < N; ++i)
+            expect[i] = ScaleFactor * valC(i);
+        return checkArrayT(mem, BaseB, expect, "b");
+    };
+    return w;
+}
+
+Workload
+streamsAdd()
+{
+    Workload w;
+    w.name = "add";
+    w.description = "STREAMS Add: c(i) = a(i) + b(i)";
+    w.usesPrefetch = true;
+    w.usefulBytes = 3.0 * N * 8;
+
+    Assembler v;
+    vecStreamLoop(v, BaseA, BaseB, BaseC, [&] {
+        v.vprefetch(R(1), PrefetchDist);
+        v.vprefetch(R(2), PrefetchDist);
+        v.vldt(V(0), R(1));
+        v.vldt(V(1), R(2));
+        v.vaddt(V(2), V(0), V(1));
+        v.vstt(V(2), R(3));
+    });
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    scalarStreamLoop(s, BaseA, BaseB, BaseC, [&] {
+        s.prefetch(PrefetchDist, R(2));
+        for (unsigned k = 0; k < 8; ++k) {
+            s.ldt(F(1), k * 8, R(1));
+            s.ldt(F(2), k * 8, R(2));
+            s.addt(F(3), F(1), F(2));
+            s.stt(F(3), k * 8, R(3));
+        }
+    });
+    w.scalarProg = s.finalize();
+
+    w.init = initArrays;
+    w.check = [](exec::FunctionalMemory &mem) {
+        std::vector<double> expect(N);
+        for (std::uint64_t i = 0; i < N; ++i)
+            expect[i] = valA(i) + valB(i);
+        return checkArrayT(mem, BaseC, expect, "c");
+    };
+    return w;
+}
+
+Workload
+streamsTriadd()
+{
+    Workload w;
+    w.name = "triadd";
+    w.description = "STREAMS Triadd: a(i) = b(i) + s * c(i)";
+    w.usesPrefetch = true;
+    w.usefulBytes = 3.0 * N * 8;
+
+    Assembler v;
+    v.fconst(F(1), ScaleFactor, R(9));
+    vecStreamLoop(v, BaseB, BaseC, BaseA, [&] {
+        v.vprefetch(R(1), PrefetchDist);
+        v.vprefetch(R(2), PrefetchDist);
+        v.vldt(V(0), R(2));             // c
+        v.vldt(V(1), R(1));             // b
+        v.vmult(V(2), V(0), F(1));
+        v.vaddt(V(3), V(1), V(2));
+        v.vstt(V(3), R(3));
+    });
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    s.fconst(F(9), ScaleFactor, R(9));
+    scalarStreamLoop(s, BaseB, BaseC, BaseA, [&] {
+        s.prefetch(PrefetchDist, R(2));
+        for (unsigned k = 0; k < 8; ++k) {
+            s.ldt(F(1), k * 8, R(2));   // c
+            s.ldt(F(2), k * 8, R(1));   // b
+            s.mult(F(3), F(1), F(9));
+            s.addt(F(4), F(2), F(3));
+            s.stt(F(4), k * 8, R(3));
+        }
+    });
+    w.scalarProg = s.finalize();
+
+    w.init = initArrays;
+    w.check = [](exec::FunctionalMemory &mem) {
+        std::vector<double> expect(N);
+        for (std::uint64_t i = 0; i < N; ++i)
+            expect[i] = valB(i) + ScaleFactor * valC(i);
+        return checkArrayT(mem, BaseA, expect, "a");
+    };
+    return w;
+}
+
+} // namespace tarantula::workloads

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The benchmark suite of the paper's Table 2.
+ *
+ * Following the paper's methodology ("no vectorizing compiler ... the
+ * hot routines were coded in vector assembly by hand"), every
+ * workload exists in two versions written against our ISA: a
+ * hand-vectorized program for Tarantula and a scalar program for
+ * EV8/EV8+. Both compute the same result, checked against a C++
+ * reference, and the workload unit tests run both through the
+ * functional interpreter (with and without tail poisoning) before any
+ * timing is trusted.
+ *
+ * Problem sizes are scaled down from the paper's reference inputs so
+ * a software cycle simulator finishes in seconds; EXPERIMENTS.md
+ * documents each substitution. Access-pattern character (unit
+ * strides, odd strides, gathers/scatters, masks, short vectors) is
+ * preserved, which is what the evaluation's phenomena depend on.
+ */
+
+#ifndef TARANTULA_WORKLOADS_WORKLOAD_HH
+#define TARANTULA_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/memory.hh"
+#include "program/program.hh"
+
+namespace tarantula::workloads
+{
+
+/** An address range to pre-load into the L2 before timing. */
+struct WarmRange
+{
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** One benchmark: two programs, an input builder and a checker. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    program::Program vectorProg;    ///< hand-vectorized (Tarantula)
+    program::Program scalarProg;    ///< scalar (EV8 / EV8+)
+
+    /** Write the input data set into a fresh memory image. */
+    std::function<void(exec::FunctionalMemory &)> init;
+
+    /**
+     * Verify the outputs after a run.
+     * @return Empty string on success; a diagnostic otherwise.
+     */
+    std::function<std::string(exec::FunctionalMemory &)> check;
+
+    /** Useful bytes moved (STREAMS accounting; microkernels only). */
+    double usefulBytes = 0.0;
+
+    /** Lines to pre-load into the L2 (e.g. RndCopy's table). */
+    std::vector<WarmRange> warmRanges;
+
+    /** Table 2 columns. */
+    bool usesPrefetch = false;
+    bool usesDrainm = false;
+};
+
+// ---- Table 4 microkernels (memory-system behaviour) ------------------
+Workload streamsCopy();
+Workload streamsScale();
+Workload streamsAdd();
+Workload streamsTriadd();
+Workload rndCopy();
+Workload rndMemScale();
+
+// ---- SpecFP2000-derived kernels --------------------------------------
+/** Shallow-water stencil; @p tiled selects the cache-tiled variant. */
+Workload swim(bool tiled = true);
+Workload art();
+Workload sixtrack();
+
+// ---- Algebra -----------------------------------------------------------
+Workload dgemm();
+Workload dtrmm();
+Workload sparseMxv();
+Workload fft();
+Workload lu();
+Workload linpack100();
+Workload linpackTpp();
+
+// ---- Bioinformatics / integer -----------------------------------------
+Workload moldyn();
+Workload ccradix();
+/** The untuned radix variant (Figure 6's second radix sort). */
+Workload radixNaive();
+
+/** The Figure 6/7/8/9 benchmark suite, in the paper's order. */
+std::vector<Workload> figureSuite();
+
+/** The Table 4 microkernel set. */
+std::vector<Workload> microkernelSuite();
+
+/** Look a workload up by name (fatal if unknown). */
+Workload byName(const std::string &name);
+
+} // namespace tarantula::workloads
+
+#endif // TARANTULA_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the Assembler DSL and Program finalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "program/assembler.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using namespace tarantula::program;
+using isa::DataType;
+using isa::Opcode;
+using isa::VecMode;
+
+TEST(Assembler, ForwardLabelResolves)
+{
+    Assembler a;
+    Label skip = a.newLabel();
+    a.br(skip);
+    a.nop();
+    a.bind(skip);
+    a.halt();
+    Program p = a.finalize();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p[0].op, Opcode::Br);
+    EXPECT_EQ(p[0].target, 2);
+}
+
+TEST(Assembler, BackwardLabelResolves)
+{
+    Assembler a;
+    Label loop = a.newLabel();
+    a.bind(loop);
+    a.nop();
+    a.bne(R(1), loop);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p[1].target, 0);
+}
+
+TEST(Assembler, UnboundLabelIsFatal)
+{
+    Assembler a;
+    Label l = a.newLabel();
+    a.br(l);
+    a.halt();
+    EXPECT_THROW(a.finalize(), FatalError);
+}
+
+TEST(Assembler, ImmediateOverloadsSetImmValid)
+{
+    Assembler a;
+    a.addq(R(1), R(2), std::int64_t(42));
+    a.addq(R(1), R(2), R(3));
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_TRUE(p[0].immValid);
+    EXPECT_EQ(p[0].imm, 42);
+    EXPECT_FALSE(p[1].immValid);
+}
+
+TEST(Assembler, VectorOverloadsSelectMode)
+{
+    Assembler a;
+    a.vaddt(V(1), V(2), V(3));          // VV
+    a.vaddt(V(1), V(2), F(3));          // VS
+    a.vmult(V(1), V(2), 2.5);           // VS immediate
+    a.vaddq(V(1), V(2), R(3));          // VS integer
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p[0].mode, VecMode::VV);
+    EXPECT_EQ(p[0].dt, DataType::T);
+    EXPECT_EQ(p[1].mode, VecMode::VS);
+    EXPECT_EQ(p[2].mode, VecMode::VS);
+    EXPECT_TRUE(p[2].immValid);
+    EXPECT_DOUBLE_EQ(p[2].fimm, 2.5);
+    EXPECT_EQ(p[3].dt, DataType::Q);
+}
+
+TEST(Assembler, UnderMaskFlag)
+{
+    Assembler a;
+    a.vaddt(V(1), V(2), V(3), /*m=*/true);
+    a.vldt(V(1), R(2), 0, /*m=*/true);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_TRUE(p[0].underMask);
+    EXPECT_TRUE(p[1].underMask);
+}
+
+TEST(Assembler, ScatterEncoding)
+{
+    Assembler a;
+    a.vscatq(V(1), V(2), R(3));     // data v1, index v2, base r3
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p[0].op, Opcode::Vscat);
+    EXPECT_EQ(p[0].ra, 1);
+    EXPECT_EQ(p[0].rd, 2);
+    EXPECT_EQ(p[0].rb, 3);
+}
+
+TEST(Assembler, VprefetchTargetsV31)
+{
+    Assembler a;
+    a.vprefetch(R(1), 64);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p[0].op, Opcode::Vld);
+    EXPECT_EQ(p[0].rd, 31);
+}
+
+TEST(Assembler, MoviFconstPseudos)
+{
+    Assembler a;
+    a.movi(R(1), -12345);
+    a.fconst(F(2), 3.25, R(9));
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p[0].op, Opcode::Lda);
+    EXPECT_EQ(p[0].imm, -12345);
+    // fconst = movi + itoft
+    EXPECT_EQ(p[1].op, Opcode::Lda);
+    EXPECT_EQ(p[2].op, Opcode::Itoft);
+}
+
+TEST(Assembler, DisasmListingHasOneLinePerInst)
+{
+    Assembler a;
+    a.setvl(128);
+    a.vldt(V(0), R(1));
+    a.halt();
+    Program p = a.finalize();
+    const std::string listing = p.disasm();
+    EXPECT_EQ(std::count(listing.begin(), listing.end(), '\n'), 3);
+    EXPECT_NE(listing.find("setvl"), std::string::npos);
+    EXPECT_NE(listing.find("vldt"), std::string::npos);
+}
+
+} // anonymous namespace

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the base library: bitfields, RNG, statistics, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/statistics.hh"
+
+namespace
+{
+
+using namespace tarantula;
+
+TEST(Bitfield, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xdeadbeefULL, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xffULL, 7, 0), 0xffu);
+    EXPECT_EQ(bits(0xffULL, 3, 0), 0xfu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_EQ(bits(0x3c0ULL, 9, 6), 0xfu);
+}
+
+TEST(Bitfield, BankBitsOfAddress)
+{
+    // Bank = bits <9:6>: line address modulo 16.
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(bits(i * 64, 9, 6), i % 16) << "line " << i;
+}
+
+TEST(Bitfield, SingleBit)
+{
+    EXPECT_TRUE(bit(0x8, 3));
+    EXPECT_FALSE(bit(0x8, 2));
+    EXPECT_TRUE(bit(1ULL << 63, 63));
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffff, 15, 8, 0), 0xffu);
+    EXPECT_EQ(insertBits(0, 63, 0, ~0ULL), ~0ULL);
+}
+
+TEST(Bitfield, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(24));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+}
+
+TEST(Bitfield, CountTrailingZeros)
+{
+    EXPECT_EQ(countTrailingZeros(0), 64u);
+    EXPECT_EQ(countTrailingZeros(1), 0u);
+    EXPECT_EQ(countTrailingZeros(8), 3u);
+    EXPECT_EQ(countTrailingZeros(96), 5u);  // 96 = 3 * 2^5
+}
+
+TEST(Bitfield, Rounding)
+{
+    EXPECT_EQ(roundUp(100, 64), 128u);
+    EXPECT_EQ(roundUp(128, 64), 128u);
+    EXPECT_EQ(roundDown(100, 64), 64u);
+    EXPECT_EQ(roundDown(128, 64), 128u);
+}
+
+TEST(Random, Deterministic)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    bool differs = false;
+    for (int i = 0; i < 10; ++i)
+        differs |= a.next() != b.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, RealIsUnitInterval)
+{
+    Random r(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of U[0,1) should be near 0.5.
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(panic("test %d", 1), PanicError);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("test %s", "abc"), FatalError);
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_NO_THROW(tarantula_assert(1 + 1 == 2));
+    EXPECT_THROW(tarantula_assert(1 + 1 == 3), PanicError);
+}
+
+TEST(Stats, ScalarCountsAndReports)
+{
+    stats::StatGroup root("root");
+    stats::Scalar s(root, "counter", "a test counter");
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 6u);
+
+    std::ostringstream os;
+    root.report(os);
+    EXPECT_NE(os.str().find("root.counter 6"), std::string::npos);
+
+    root.resetStats();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, AverageTracksMoments)
+{
+    stats::StatGroup root("root");
+    stats::Average a(root, "avg", "test");
+    a.sample(1.0);
+    a.sample(3.0);
+    a.sample(5.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    stats::StatGroup root("root");
+    stats::Histogram h(root, "h", "test", 0.0, 10.0, 10);
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(-1.0);     // underflow
+    h.sample(100.0);    // overflow
+    EXPECT_EQ(h.totalSamples(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+}
+
+TEST(Stats, FormulaComputesOnDemand)
+{
+    stats::StatGroup root("root");
+    stats::Scalar a(root, "a", "numerator");
+    stats::Scalar b(root, "b", "denominator");
+    stats::Formula f(root, "ratio", "a/b", [&] {
+        return b.value() ? double(a.value()) / b.value() : 0.0;
+    });
+    a += 10;
+    b += 4;
+    EXPECT_DOUBLE_EQ(f.value(), 2.5);
+}
+
+TEST(Stats, NestedGroupsReportWithPrefix)
+{
+    stats::StatGroup root("machine");
+    stats::StatGroup child("cache", &root);
+    stats::Scalar s(child, "hits", "cache hits");
+    s += 3;
+    std::ostringstream os;
+    root.report(os);
+    EXPECT_NE(os.str().find("machine.cache.hits 3"), std::string::npos);
+}
+
+} // anonymous namespace

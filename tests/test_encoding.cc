@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Round-trip tests for the binary program encoding: every opcode with
+ * randomized operand fields must survive encode/decode bit-exactly,
+ * every workload program must round-trip as a whole, a reloaded
+ * program must execute identically, and malformed streams must be
+ * rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "program/assembler.hh"
+#include "program/encoding.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using namespace tarantula::program;
+using isa::Inst;
+using isa::Opcode;
+
+bool
+sameInst(const Inst &a, const Inst &b)
+{
+    return a.op == b.op && a.mode == b.mode && a.dt == b.dt &&
+           a.underMask == b.underMask && a.rd == b.rd &&
+           a.ra == b.ra && a.rb == b.rb && a.immValid == b.immValid &&
+           a.imm == b.imm && a.fimm == b.fimm && a.target == b.target;
+}
+
+TEST(Encoding, EveryOpcodeRoundTripsWithRandomFields)
+{
+    Random rng(0xe1c0de);
+    for (unsigned opc = 0;
+         opc < static_cast<unsigned>(Opcode::NumOpcodes); ++opc) {
+        for (unsigned trial = 0; trial < 20; ++trial) {
+            Inst in;
+            in.op = static_cast<Opcode>(opc);
+            in.mode = static_cast<isa::VecMode>(rng.below(3));
+            in.dt = static_cast<isa::DataType>(rng.below(2));
+            in.underMask = rng.below(2);
+            in.rd = static_cast<isa::RegIndex>(rng.below(32));
+            in.ra = static_cast<isa::RegIndex>(rng.below(32));
+            in.rb = static_cast<isa::RegIndex>(rng.below(32));
+            in.immValid = rng.below(2);
+            in.imm = static_cast<std::int64_t>(rng.next());
+            in.fimm = rng.real(-1e6, 1e6);
+            if (in.op == Opcode::Br)
+                in.target = static_cast<std::int32_t>(rng.below(1000));
+
+            std::vector<std::uint32_t> words;
+            encode(in, words);
+            std::size_t pos = 0;
+            const Inst out = decode(words, pos);
+            EXPECT_EQ(pos, words.size());
+            EXPECT_TRUE(sameInst(in, out))
+                << "opcode " << opc << ": " << in.disasm() << " vs "
+                << out.disasm();
+        }
+    }
+}
+
+TEST(Encoding, CompactForCommonInstructions)
+{
+    // A plain register-register add is exactly one word.
+    Inst in;
+    in.op = Opcode::Addq;
+    in.rd = 1;
+    in.ra = 2;
+    in.rb = 3;
+    std::vector<std::uint32_t> words;
+    EXPECT_EQ(encode(in, words), 1u);
+}
+
+TEST(Encoding, AllWorkloadProgramsRoundTrip)
+{
+    for (const auto &w : workloads::figureSuite()) {
+        for (const Program *p : {&w.vectorProg, &w.scalarProg}) {
+            const auto words = encodeProgram(*p);
+            const Program back = decodeProgram(words);
+            ASSERT_EQ(back.size(), p->size()) << w.name;
+            for (std::size_t i = 0; i < p->size(); ++i) {
+                ASSERT_TRUE(sameInst((*p)[i], back[i]))
+                    << w.name << " inst " << i;
+            }
+        }
+    }
+}
+
+TEST(Encoding, SaveLoadExecutesIdentically)
+{
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 0x10000);
+    a.movi(R(2), 50);
+    a.setvl(128);
+    a.setvs(8);
+    a.bind(loop);
+    a.viota(V(1));
+    a.vmulq(V(2), V(1), R(2));
+    a.vstq(V(2), R(1));
+    a.addq(R(1), R(1), 1024);
+    a.subq(R(2), R(2), 1);
+    a.bgt(R(2), loop);
+    a.halt();
+    Program orig = a.finalize();
+
+    const std::string path = "/tmp/tarantula_prog_test.bin";
+    saveProgram(orig, path);
+    Program loaded = loadProgram(path);
+    std::remove(path.c_str());
+
+    exec::FunctionalMemory m1, m2;
+    exec::Interpreter i1(orig, m1), i2(loaded, m2);
+    EXPECT_EQ(i1.run(), i2.run());
+    for (Addr addr = 0x10000; addr < 0x10000 + 50 * 1024;
+         addr += 8) {
+        ASSERT_EQ(m1.readQ(addr), m2.readQ(addr));
+    }
+}
+
+TEST(Encoding, RejectsBadMagic)
+{
+    std::vector<std::uint32_t> words{0xdeadbeef, 0};
+    EXPECT_THROW(decodeProgram(words), FatalError);
+}
+
+TEST(Encoding, RejectsTruncatedStream)
+{
+    Inst in;
+    in.op = Opcode::Ldq;
+    in.imm = 123456789;
+    std::vector<std::uint32_t> words{ProgramMagic, 1};
+    encode(in, words);
+    words.pop_back();       // chop the immediate
+    EXPECT_THROW(decodeProgram(words), PanicError);
+}
+
+TEST(Encoding, RejectsTrailingGarbage)
+{
+    Assembler a;
+    a.halt();
+    auto words = encodeProgram(a.finalize());
+    words.push_back(0);
+    EXPECT_THROW(decodeProgram(words), FatalError);
+}
+
+TEST(Encoding, RejectsBadOpcode)
+{
+    std::vector<std::uint32_t> words{0xffffffffu};
+    std::size_t pos = 0;
+    EXPECT_THROW(decode(words, pos), PanicError);
+}
+
+} // anonymous namespace

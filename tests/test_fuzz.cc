@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Randomized differential tests: generate random-but-valid programs
+ * (scalar and vector, including hostile strides, gathers, scatters
+ * and masks), run them through the full Tarantula timing stack, and
+ * require that
+ *
+ *   1. the run completes (no deadlock, no internal panic -- this
+ *      exercises every assert in the MAF/slicer/core bookkeeping),
+ *   2. the architectural memory state equals a pure functional run
+ *      of the same program (the timing layer must never perturb
+ *      results),
+ *   3. the cycle count is bit-reproducible across runs.
+ *
+ * The same battery runs across machine variants (T, T4, pump off,
+ * CR-box-forced) so the ablation knobs get fuzz coverage too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "program/assembler.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using namespace tarantula::program;
+
+constexpr Addr Region = 0x100000;
+constexpr Addr RegionBytes = 1 << 20;       // 1 MB playground
+constexpr Addr GatherMask = 0xfff8;         // 64 KB, 8-byte aligned
+
+/** Generate a random, self-contained, always-terminating program. */
+Program
+generate(std::uint64_t seed, bool with_vector)
+{
+    Random rng(seed);
+    Assembler a;
+
+    // r20 = region base; r21 = gather base; registers r1..r8 are data.
+    a.movi(R(20), static_cast<std::int64_t>(Region));
+    a.movi(R(21), static_cast<std::int64_t>(Region + 512 * 1024));
+    for (unsigned r = 1; r <= 8; ++r)
+        a.movi(R(r), static_cast<std::int64_t>(rng.below(1 << 20)));
+    a.fconst(F(1), rng.real(0.5, 2.0), R(19));
+    if (with_vector) {
+        a.setvl(128);
+        a.setvs(8);
+    }
+
+    // A bounded outer loop wraps a random instruction soup.
+    Label loop = a.newLabel();
+    a.movi(R(18), static_cast<std::int64_t>(2 + rng.below(3)));
+    a.bind(loop);
+
+    const unsigned body = 12 + static_cast<unsigned>(rng.below(20));
+    for (unsigned n = 0; n < body; ++n) {
+        const auto rd = R(1 + static_cast<unsigned>(rng.below(8)));
+        const auto ra = R(1 + static_cast<unsigned>(rng.below(8)));
+        const auto rb = R(1 + static_cast<unsigned>(rng.below(8)));
+        const auto vd = V(static_cast<unsigned>(rng.below(8)));
+        const auto va = V(static_cast<unsigned>(rng.below(8)));
+        const auto vb = V(static_cast<unsigned>(rng.below(8)));
+        const std::int64_t off = static_cast<std::int64_t>(
+            rng.below(4096) * 8);
+
+        switch (rng.below(with_vector ? 14 : 7)) {
+          case 0:
+            a.addq(rd, ra, rb);
+            break;
+          case 1:
+            a.mulq(rd, ra,
+                   static_cast<std::int64_t>(rng.below(1000)));
+            break;
+          case 2:
+            a.xor_(rd, ra, rb);
+            break;
+          case 3:
+            a.srl(rd, ra, static_cast<std::int64_t>(rng.below(32)));
+            break;
+          case 4:       // scalar store then load (aligned, in region)
+            a.stq(ra, off, R(20));
+            a.ldq(rd, off, R(20));
+            break;
+          case 5:
+            a.stt(F(1), off, R(20));
+            a.ldt(F(2), off, R(20));
+            a.addt(F(1), F(1), F(2));
+            break;
+          case 6: {     // short conditional skip
+            Label skip = a.newLabel();
+            a.and_(R(17), ra, std::int64_t(1));
+            a.beq(R(17), skip);
+            a.addq(rd, rd, std::int64_t(3));
+            a.bind(skip);
+            break;
+          }
+          case 7: {     // random vector length
+            a.setvl(static_cast<std::int64_t>(1 + rng.below(128)));
+            break;
+          }
+          case 8: {     // strided load incl. hostile strides
+            static const std::int64_t strides[] = {8,     16,   24,
+                                                   -8,    256,  1024,
+                                                   8 * 33, 520, 64};
+            const std::int64_t vs =
+                strides[rng.below(sizeof(strides) /
+                                  sizeof(strides[0]))];
+            a.setvs(vs);
+            // Keep 128 * |vs| within the region, centered.
+            a.movi(R(16),
+                   static_cast<std::int64_t>(Region +
+                                             RegionBytes / 2));
+            a.vldq(vd, R(16));
+            a.setvs(8);
+            break;
+          }
+          case 9:       // stride-1 store
+            a.viota(vd);
+            a.vstq(vd, R(20), off);
+            break;
+          case 10: {    // gather via masked-in-region offsets
+            a.viota(vd);
+            a.vmulq(vd, vd,
+                    static_cast<std::int64_t>(rng.below(5000)));
+            a.vandq(vd, vd, static_cast<std::int64_t>(GatherMask));
+            a.vgathq(vb, vd, R(21));
+            break;
+          }
+          case 11: {    // scatter to lane-distinct addresses
+            a.viota(vd);
+            a.vsllq(vd, vd, 3);
+            a.vscatq(va, vd, R(21));
+            break;
+          }
+          case 12:      // masked arithmetic
+            a.vandq(V(9), va, std::int64_t(1));
+            a.setvm(V(9));
+            a.vaddq(vd, va, std::int64_t(17), /*m=*/true);
+            break;
+          case 13:      // vector FP
+            a.vaddt(vd, va, vb);
+            break;
+        }
+    }
+
+    a.subq(R(18), R(18), 1);
+    a.bgt(R(18), loop);
+    a.halt();
+    return a.finalize();
+}
+
+void
+seedMemory(exec::FunctionalMemory &mem, std::uint64_t seed)
+{
+    Random rng(seed ^ 0xfeed);
+    for (Addr a = Region; a < Region + RegionBytes; a += 512)
+        mem.writeQ(a, rng.next());
+}
+
+/** Dump the playground region for comparison. */
+std::vector<std::uint64_t>
+snapshot(exec::FunctionalMemory &mem)
+{
+    std::vector<std::uint64_t> v(RegionBytes / 8);
+    mem.read(Region, v.data(), RegionBytes);
+    return v;
+}
+
+struct FuzzCase
+{
+    const char *machine;
+    std::uint64_t seed;
+};
+
+proc::MachineConfig
+configFor(const std::string &name)
+{
+    if (name == "T")
+        return proc::tarantulaConfig();
+    if (name == "T4")
+        return proc::tarantula4Config();
+    if (name == "nopump") {
+        auto cfg = proc::tarantulaConfig();
+        cfg.vbox.slicer.pumpEnabled = false;
+        return cfg;
+    }
+    auto cfg = proc::tarantulaConfig();     // "crbox"
+    cfg.vbox.slicer.forceCrBox = true;
+    return cfg;
+}
+
+class Fuzz : public ::testing::TestWithParam<FuzzCase>
+{
+};
+
+TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
+{
+    const FuzzCase fc = GetParam();
+    Program prog = generate(fc.seed, /*with_vector=*/true);
+
+    // Reference: pure functional execution.
+    exec::FunctionalMemory ref_mem;
+    seedMemory(ref_mem, fc.seed);
+    exec::Interpreter ref(prog, ref_mem);
+    ref.run(1ULL << 24);
+    const auto expect = snapshot(ref_mem);
+
+    Cycle cycles[2];
+    for (int run = 0; run < 2; ++run) {
+        exec::FunctionalMemory mem;
+        seedMemory(mem, fc.seed);
+        proc::Processor cpu(configFor(fc.machine), prog, mem);
+        const auto r = cpu.run(1ULL << 26);
+        cycles[run] = r.cycles;
+        ASSERT_EQ(snapshot(mem), expect)
+            << "machine " << fc.machine << " seed " << fc.seed;
+    }
+    EXPECT_EQ(cycles[0], cycles[1]) << "nondeterministic timing";
+}
+
+std::vector<FuzzCase>
+cases()
+{
+    std::vector<FuzzCase> v;
+    for (const char *m : {"T", "T4", "nopump", "crbox"}) {
+        for (std::uint64_t s = 1; s <= 10; ++s)
+            v.push_back({m, s});
+    }
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, Fuzz, ::testing::ValuesIn(cases()),
+    [](const ::testing::TestParamInfo<FuzzCase> &info) {
+        return std::string(info.param.machine) + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
+TEST(Fuzz, ScalarProgramsOnEv8)
+{
+    for (std::uint64_t seed = 100; seed < 112; ++seed) {
+        Program prog = generate(seed, /*with_vector=*/false);
+        exec::FunctionalMemory ref_mem;
+        seedMemory(ref_mem, seed);
+        exec::Interpreter ref(prog, ref_mem);
+        ref.run(1ULL << 24);
+
+        exec::FunctionalMemory mem;
+        seedMemory(mem, seed);
+        proc::Processor cpu(proc::ev8Config(), prog, mem);
+        cpu.run(1ULL << 26);
+        ASSERT_EQ(snapshot(mem), snapshot(ref_mem)) << "seed " << seed;
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the functional interpreter: scalar semantics, control
+ * flow, memory access, and the DynInst records it emits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/logging.hh"
+
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "program/assembler.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using namespace tarantula::program;
+using exec::DynInst;
+using exec::FunctionalMemory;
+using exec::Interpreter;
+
+/** Run a program to completion and return the interpreter. */
+struct Harness
+{
+    FunctionalMemory mem;
+    Program prog;
+    std::unique_ptr<Interpreter> interp;
+
+    explicit Harness(Assembler &a) : prog(a.finalize())
+    {
+        interp = std::make_unique<Interpreter>(prog, mem);
+    }
+
+    void run() { interp->run(); }
+    std::uint64_t intReg(unsigned r)
+    {
+        return interp->state().readInt(static_cast<isa::RegIndex>(r));
+    }
+    double fpReg(unsigned r)
+    {
+        return interp->state().readFp(static_cast<isa::RegIndex>(r));
+    }
+};
+
+TEST(Interp, IntArithmetic)
+{
+    Assembler a;
+    a.movi(R(1), 10);
+    a.movi(R(2), 3);
+    a.addq(R(3), R(1), R(2));
+    a.subq(R(4), R(1), R(2));
+    a.mulq(R(5), R(1), R(2));
+    a.and_(R(6), R(1), R(2));
+    a.or_(R(7), R(1), R(2));
+    a.xor_(R(8), R(1), R(2));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_EQ(h.intReg(3), 13u);
+    EXPECT_EQ(h.intReg(4), 7u);
+    EXPECT_EQ(h.intReg(5), 30u);
+    EXPECT_EQ(h.intReg(6), 2u);
+    EXPECT_EQ(h.intReg(7), 11u);
+    EXPECT_EQ(h.intReg(8), 9u);
+}
+
+TEST(Interp, ShiftsAndCompares)
+{
+    Assembler a;
+    a.movi(R(1), -8);
+    a.sll(R(2), R(1), 2);
+    a.srl(R(3), R(1), 60);
+    a.sra(R(4), R(1), 2);
+    a.movi(R(5), 5);
+    a.cmplt(R(6), R(1), R(5));      // -8 < 5 signed
+    a.cmpult(R(7), R(1), R(5));     // huge unsigned < 5 is false
+    a.cmpeq(R(8), R(5), std::int64_t(5));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_EQ(static_cast<std::int64_t>(h.intReg(2)), -32);
+    EXPECT_EQ(h.intReg(3), 0xfu);
+    EXPECT_EQ(static_cast<std::int64_t>(h.intReg(4)), -2);
+    EXPECT_EQ(h.intReg(6), 1u);
+    EXPECT_EQ(h.intReg(7), 0u);
+    EXPECT_EQ(h.intReg(8), 1u);
+}
+
+TEST(Interp, R31ReadsZeroWritesDiscarded)
+{
+    Assembler a;
+    a.movi(R(31), 99);
+    a.addq(R(1), R(31), std::int64_t(5));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_EQ(h.intReg(31), 0u);
+    EXPECT_EQ(h.intReg(1), 5u);
+}
+
+TEST(Interp, FpArithmetic)
+{
+    Assembler a;
+    a.fconst(F(1), 6.0, R(9));
+    a.fconst(F(2), 1.5, R(9));
+    a.addt(F(3), F(1), F(2));
+    a.subt(F(4), F(1), F(2));
+    a.mult(F(5), F(1), F(2));
+    a.divt(F(6), F(1), F(2));
+    a.fconst(F(7), 16.0, R(9));
+    a.sqrtt(F(8), F(7));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_DOUBLE_EQ(h.fpReg(3), 7.5);
+    EXPECT_DOUBLE_EQ(h.fpReg(4), 4.5);
+    EXPECT_DOUBLE_EQ(h.fpReg(5), 9.0);
+    EXPECT_DOUBLE_EQ(h.fpReg(6), 4.0);
+    EXPECT_DOUBLE_EQ(h.fpReg(8), 4.0);
+}
+
+TEST(Interp, FpComparesWriteAlphaTrue)
+{
+    Assembler a;
+    a.fconst(F(1), 1.0, R(9));
+    a.fconst(F(2), 2.0, R(9));
+    a.cmptlt(F(3), F(1), F(2));
+    a.cmpteq(F(4), F(1), F(2));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_DOUBLE_EQ(h.fpReg(3), 2.0);      // Alpha true = 2.0
+    EXPECT_DOUBLE_EQ(h.fpReg(4), 0.0);
+}
+
+TEST(Interp, Conversions)
+{
+    Assembler a;
+    a.movi(R(1), -7);
+    a.itoft(F(1), R(1));
+    a.cvtqt(F(2), F(1));
+    a.fconst(F(3), 9.75, R(9));
+    a.cvttq(F(4), F(3));
+    a.ftoit(R(2), F(4));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_DOUBLE_EQ(h.fpReg(2), -7.0);
+    EXPECT_EQ(static_cast<std::int64_t>(h.intReg(2)), 9);
+}
+
+TEST(Interp, LoadsAndStores)
+{
+    Assembler a;
+    a.movi(R(1), 0x1000);
+    a.movi(R(2), 1234);
+    a.stq(R(2), 8, R(1));
+    a.ldq(R(3), 8, R(1));
+    a.fconst(F(1), 2.5, R(9));
+    a.stt(F(1), 16, R(1));
+    a.ldt(F(2), 16, R(1));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_EQ(h.intReg(3), 1234u);
+    EXPECT_DOUBLE_EQ(h.fpReg(2), 2.5);
+    EXPECT_EQ(h.mem.readQ(0x1008), 1234u);
+}
+
+TEST(Interp, UnalignedAccessPanics)
+{
+    Assembler a;
+    a.movi(R(1), 0x1001);
+    a.ldq(R(2), 0, R(1));
+    a.halt();
+    Harness h(a);
+    EXPECT_THROW(h.run(), PanicError);
+}
+
+TEST(Interp, BranchesAndLoop)
+{
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 5);
+    a.movi(R(2), 0);
+    a.bind(loop);
+    a.addq(R(2), R(2), std::int64_t(10));
+    a.subq(R(1), R(1), std::int64_t(1));
+    a.bgt(R(1), loop);
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_EQ(h.intReg(2), 50u);
+}
+
+TEST(Interp, DynInstRecordsBranchOutcome)
+{
+    Assembler a;
+    Label skip = a.newLabel();
+    a.movi(R(1), 0);
+    a.beq(R(1), skip);      // taken
+    a.nop();
+    a.bind(skip);
+    a.halt();
+    Harness h(a);
+    DynInst d;
+    h.interp->step(d);      // movi
+    h.interp->step(d);      // beq
+    EXPECT_TRUE(d.taken);
+    EXPECT_EQ(d.nextPc, 3u);
+    h.interp->step(d);      // halt
+    EXPECT_TRUE(h.interp->halted());
+}
+
+TEST(Interp, DynInstRecordsScalarEffAddr)
+{
+    Assembler a;
+    a.movi(R(1), 0x2000);
+    a.ldq(R(2), 24, R(1));
+    a.halt();
+    Harness h(a);
+    DynInst d;
+    h.interp->step(d);
+    h.interp->step(d);
+    EXPECT_EQ(d.effAddr, 0x2018u);
+    EXPECT_EQ(d.memops(), 1u);
+    EXPECT_EQ(d.ops(), 1u);
+}
+
+TEST(Interp, StepAfterHaltPanics)
+{
+    Assembler a;
+    a.halt();
+    Harness h(a);
+    DynInst d;
+    h.interp->step(d);
+    EXPECT_TRUE(h.interp->halted());
+    EXPECT_THROW(h.interp->step(d), PanicError);
+}
+
+TEST(Interp, RunawayProgramHitsStepBound)
+{
+    Assembler a;
+    Label loop = a.newLabel();
+    a.bind(loop);
+    a.br(loop);
+    a.halt();
+    Harness h(a);
+    EXPECT_THROW(h.interp->run(1000), FatalError);
+}
+
+TEST(Interp, HaltCountsAreConsistent)
+{
+    Assembler a;
+    a.nop();
+    a.nop();
+    a.halt();
+    Harness h(a);
+    EXPECT_EQ(h.interp->run(), 3u);
+    EXPECT_EQ(h.interp->numInsts(), 3u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: classification, register collection,
+ * the paper's five-way vector grouping, and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace
+{
+
+using namespace tarantula::isa;
+
+TEST(RegId, ZeroRegisters)
+{
+    EXPECT_TRUE(intReg(31).isZero());
+    EXPECT_TRUE(fpReg(31).isZero());
+    EXPECT_TRUE(vecReg(31).isZero());
+    EXPECT_FALSE(intReg(0).isZero());
+    EXPECT_FALSE(ctrlReg(CtrlVl).isZero());
+    EXPECT_TRUE(RegId{}.isZero());      // invalid slot
+}
+
+TEST(RegId, FlatNumbersAreUnique)
+{
+    EXPECT_EQ(intReg(0).flat(), 0u);
+    EXPECT_EQ(fpReg(0).flat(), 32u);
+    EXPECT_EQ(vecReg(0).flat(), 64u);
+    EXPECT_EQ(ctrlReg(CtrlVl).flat(), 96u);
+    EXPECT_EQ(ctrlReg(CtrlVm).flat(), 98u);
+    EXPECT_LT(ctrlReg(CtrlVm).flat(), NumFlatRegs);
+}
+
+TEST(Opcodes, InstClassMapping)
+{
+    EXPECT_EQ(instClass(Opcode::Addq), InstClass::IntAlu);
+    EXPECT_EQ(instClass(Opcode::Addt), InstClass::FpAlu);
+    EXPECT_EQ(instClass(Opcode::Ldq), InstClass::Load);
+    EXPECT_EQ(instClass(Opcode::Stt), InstClass::Store);
+    EXPECT_EQ(instClass(Opcode::Bne), InstClass::Branch);
+    EXPECT_EQ(instClass(Opcode::DrainM), InstClass::Misc);
+    EXPECT_EQ(instClass(Opcode::Vadd), InstClass::VecOperate);
+    EXPECT_EQ(instClass(Opcode::Vld), InstClass::VecLoad);
+    EXPECT_EQ(instClass(Opcode::Vgath), InstClass::VecLoad);
+    EXPECT_EQ(instClass(Opcode::Vst), InstClass::VecStore);
+    EXPECT_EQ(instClass(Opcode::Vscat), InstClass::VecStore);
+    EXPECT_EQ(instClass(Opcode::Setvl), InstClass::VecControl);
+}
+
+TEST(Opcodes, PaperVectorGroups)
+{
+    // The paper's five groups: VV, VS, SM, RM, VC.
+    EXPECT_EQ(vecGroup(Opcode::Vadd, VecMode::VV), VecGroup::VV);
+    EXPECT_EQ(vecGroup(Opcode::Vadd, VecMode::VS), VecGroup::VS);
+    EXPECT_EQ(vecGroup(Opcode::Vld, VecMode::None), VecGroup::SM);
+    EXPECT_EQ(vecGroup(Opcode::Vst, VecMode::None), VecGroup::SM);
+    EXPECT_EQ(vecGroup(Opcode::Vgath, VecMode::None), VecGroup::RM);
+    EXPECT_EQ(vecGroup(Opcode::Vscat, VecMode::None), VecGroup::RM);
+    EXPECT_EQ(vecGroup(Opcode::Setvm, VecMode::None), VecGroup::VC);
+    EXPECT_EQ(vecGroup(Opcode::Addq, VecMode::None),
+              VecGroup::NotVector);
+}
+
+TEST(Opcodes, IsVector)
+{
+    EXPECT_TRUE(isVector(Opcode::Vadd));
+    EXPECT_TRUE(isVector(Opcode::Setvl));
+    EXPECT_FALSE(isVector(Opcode::Addq));
+    EXPECT_FALSE(isVector(Opcode::DrainM));
+}
+
+TEST(Opcodes, EveryOpcodeHasANameAndClass)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_STRNE(opcodeName(op), "<bad>") << "opcode " << i;
+        EXPECT_NO_THROW(instClass(op)) << "opcode " << i;
+    }
+}
+
+// ---- register collection ------------------------------------------------
+
+Inst
+makeInst(Opcode op)
+{
+    Inst i;
+    i.op = op;
+    return i;
+}
+
+TEST(SrcRegs, IntOperate)
+{
+    Inst i = makeInst(Opcode::Addq);
+    i.rd = 1;
+    i.ra = 2;
+    i.rb = 3;
+    RegId srcs[6];
+    const unsigned n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 2u);
+    EXPECT_EQ(srcs[0], intReg(2));
+    EXPECT_EQ(srcs[1], intReg(3));
+
+    RegId dsts[2];
+    ASSERT_EQ(i.dstRegs(dsts), 1u);
+    EXPECT_EQ(dsts[0], intReg(1));
+}
+
+TEST(SrcRegs, ZeroRegistersSkipped)
+{
+    Inst i = makeInst(Opcode::Addq);
+    i.rd = 31;      // writes discarded
+    i.ra = 31;
+    i.rb = 31;
+    RegId srcs[6];
+    EXPECT_EQ(i.srcRegs(srcs), 0u);
+    RegId dsts[2];
+    EXPECT_EQ(i.dstRegs(dsts), 0u);
+}
+
+TEST(SrcRegs, ImmediateFormDropsRb)
+{
+    Inst i = makeInst(Opcode::Addq);
+    i.rd = 1;
+    i.ra = 2;
+    i.immValid = true;
+    i.imm = 7;
+    RegId srcs[6];
+    const unsigned n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 1u);
+    EXPECT_EQ(srcs[0], intReg(2));
+}
+
+TEST(SrcRegs, StoreReadsValueAndBase)
+{
+    Inst i = makeInst(Opcode::Stt);
+    i.ra = 4;       // value (FP)
+    i.rb = 5;       // base (int)
+    RegId srcs[6];
+    const unsigned n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 2u);
+    EXPECT_EQ(srcs[0], fpReg(4));
+    EXPECT_EQ(srcs[1], intReg(5));
+    RegId dsts[2];
+    EXPECT_EQ(i.dstRegs(dsts), 0u);
+}
+
+TEST(SrcRegs, VectorOperateReadsVlAndSources)
+{
+    Inst i = makeInst(Opcode::Vadd);
+    i.mode = VecMode::VV;
+    i.rd = 1;
+    i.ra = 2;
+    i.rb = 3;
+    RegId srcs[6];
+    const unsigned n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(srcs[0], ctrlReg(CtrlVl));
+    EXPECT_EQ(srcs[1], vecReg(2));
+    EXPECT_EQ(srcs[2], vecReg(3));
+}
+
+TEST(SrcRegs, UnderMaskAddsVm)
+{
+    Inst i = makeInst(Opcode::Vadd);
+    i.mode = VecMode::VV;
+    i.underMask = true;
+    i.rd = 1;
+    i.ra = 2;
+    i.rb = 3;
+    RegId srcs[6];
+    const unsigned n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 4u);
+    EXPECT_EQ(srcs[1], ctrlReg(CtrlVm));
+}
+
+TEST(SrcRegs, VsFormReadsScalarRegisterPerType)
+{
+    Inst i = makeInst(Opcode::Vmul);
+    i.mode = VecMode::VS;
+    i.dt = DataType::T;
+    i.rd = 1;
+    i.ra = 2;
+    i.rb = 3;
+    RegId srcs[6];
+    unsigned n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(srcs[2], fpReg(3));
+
+    i.dt = DataType::Q;
+    n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(srcs[2], intReg(3));
+}
+
+TEST(SrcRegs, StridedLoadReadsVlVsBase)
+{
+    Inst i = makeInst(Opcode::Vld);
+    i.rd = 1;
+    i.rb = 2;
+    RegId srcs[6];
+    const unsigned n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(srcs[0], ctrlReg(CtrlVl));
+    EXPECT_EQ(srcs[1], intReg(2));
+    EXPECT_EQ(srcs[2], ctrlReg(CtrlVs));
+    RegId dsts[2];
+    ASSERT_EQ(i.dstRegs(dsts), 1u);
+    EXPECT_EQ(dsts[0], vecReg(1));
+}
+
+TEST(SrcRegs, GatherReadsIndexVectorNotVs)
+{
+    Inst i = makeInst(Opcode::Vgath);
+    i.rd = 1;
+    i.ra = 2;       // index vector
+    i.rb = 3;       // base
+    RegId srcs[6];
+    const unsigned n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(srcs[0], ctrlReg(CtrlVl));
+    EXPECT_EQ(srcs[1], intReg(3));
+    EXPECT_EQ(srcs[2], vecReg(2));
+}
+
+TEST(SrcRegs, ScatterReadsDataIndexBase)
+{
+    Inst i = makeInst(Opcode::Vscat);
+    i.ra = 1;       // data
+    i.rd = 2;       // index vector (travels in the rd slot)
+    i.rb = 3;       // base
+    RegId srcs[6];
+    const unsigned n = i.srcRegs(srcs);
+    ASSERT_EQ(n, 4u);
+    RegId dsts[2];
+    EXPECT_EQ(i.dstRegs(dsts), 0u);
+}
+
+TEST(SrcRegs, SetvmWritesVm)
+{
+    Inst i = makeInst(Opcode::Setvm);
+    i.ra = 4;
+    RegId dsts[2];
+    ASSERT_EQ(i.dstRegs(dsts), 1u);
+    EXPECT_EQ(dsts[0], ctrlReg(CtrlVm));
+}
+
+TEST(SrcRegs, VinsertIsReadModifyWrite)
+{
+    Inst i = makeInst(Opcode::Vinsert);
+    i.rd = 5;
+    i.ra = 2;
+    i.immValid = true;
+    i.imm = 0;
+    RegId srcs[6];
+    const unsigned n = i.srcRegs(srcs);
+    bool reads_dest = false;
+    for (unsigned k = 0; k < n; ++k)
+        reads_dest |= srcs[k] == vecReg(5);
+    EXPECT_TRUE(reads_dest);
+}
+
+TEST(Disasm, ProducesReadableText)
+{
+    Inst i = makeInst(Opcode::Vadd);
+    i.mode = VecMode::VV;
+    i.dt = DataType::T;
+    i.rd = 1;
+    i.ra = 2;
+    i.rb = 3;
+    EXPECT_EQ(i.disasm(), "vaddt.vv v1, v2, v3");
+
+    i.underMask = true;
+    EXPECT_EQ(i.disasm(), "vaddt.vv.m v1, v2, v3");
+}
+
+TEST(Disasm, MemoryForms)
+{
+    Inst i = makeInst(Opcode::Ldq);
+    i.rd = 1;
+    i.rb = 2;
+    i.imm = 16;
+    EXPECT_EQ(i.disasm(), "ldq r1, 16(r2)");
+}
+
+} // anonymous namespace

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Full-surface coverage of the Assembler API: every emitter method is
+ * exercised at least once, the resulting program executes through the
+ * functional interpreter, and the semantics of the less-travelled
+ * operations (min/max, compares of both types, shifts, merges,
+ * conversions) are pinned down. Catches encoding slips in operand
+ * slots that the main workloads never touch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "program/assembler.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using namespace tarantula::program;
+
+struct Harness
+{
+    exec::FunctionalMemory mem;
+    Program prog;
+    std::unique_ptr<exec::Interpreter> interp;
+
+    explicit Harness(Assembler &a) : prog(a.finalize())
+    {
+        interp = std::make_unique<exec::Interpreter>(prog, mem);
+        interp->setPoisonTail(true);    // hostile mode everywhere
+    }
+
+    void run() { interp->run(); }
+    std::uint64_t
+    ir(unsigned r)
+    {
+        return interp->state().readInt(static_cast<isa::RegIndex>(r));
+    }
+    double
+    fr(unsigned r)
+    {
+        return interp->state().readFp(static_cast<isa::RegIndex>(r));
+    }
+    Quadword
+    ve(unsigned v, unsigned e)
+    {
+        return interp->state().readVecElem(
+            static_cast<isa::RegIndex>(v), e);
+    }
+    double
+    vt(unsigned v, unsigned e)
+    {
+        return std::bit_cast<double>(ve(v, e));
+    }
+};
+
+TEST(IsaCoverage, IntMinMaxCompares)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));
+    a.vaddq(V(2), V(1), std::int64_t(-64)); // i - 64
+    a.vminq(V(3), V(1), V(2));
+    a.vmaxq(V(4), V(1), V(2));
+    a.vcmpleq(V(5), V(1), std::int64_t(10));
+    a.vcmpeqq(V(6), V(1), V(1));
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i) {
+        const auto lo = static_cast<std::int64_t>(i) - 64;
+        EXPECT_EQ(static_cast<std::int64_t>(h.ve(3, i)),
+                  std::min<std::int64_t>(i, lo));
+        EXPECT_EQ(static_cast<std::int64_t>(h.ve(4, i)),
+                  std::max<std::int64_t>(i, lo));
+        EXPECT_EQ(h.ve(5, i), i <= 10 ? 1u : 0u);
+        EXPECT_EQ(h.ve(6, i), 1u);
+    }
+}
+
+TEST(IsaCoverage, FpMinMaxComparesAndSqrt)
+{
+    Assembler a;
+    a.movi(R(1), 0x10000);
+    a.setvl(128);
+    a.setvs(8);
+    a.vldt(V(1), R(1));
+    a.vmult(V(2), V(1), -1.0);
+    a.vmint(V(3), V(1), V(2));
+    a.vmaxt(V(4), V(1), V(2));
+    a.vcmplet(V(5), V(1), 0.5);
+    a.vcmpltt(V(6), V(1), V(2));
+    a.vcmpeqt(V(7), V(1), 0.25);
+    a.vcmpnet(V(8), V(1), 0.25);
+    a.vsqrtt(V(9), V(1));
+    a.vsubt(V(10), V(1), V(2));
+    a.vdivt(V(11), V(1), V(10));
+    a.halt();
+    Harness h(a);
+    for (unsigned i = 0; i < 128; ++i)
+        h.mem.writeT(0x10000 + i * 8, 0.25 + 0.01 * i);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i) {
+        const double x = 0.25 + 0.01 * i;
+        EXPECT_DOUBLE_EQ(h.vt(3, i), -x);
+        EXPECT_DOUBLE_EQ(h.vt(4, i), x);
+        EXPECT_EQ(h.ve(5, i), x <= 0.5 ? 1u : 0u);
+        EXPECT_EQ(h.ve(6, i), 0u);      // x < -x never (x > 0)
+        EXPECT_EQ(h.ve(7, i), i == 0 ? 1u : 0u);
+        EXPECT_EQ(h.ve(8, i), i == 0 ? 0u : 1u);
+        EXPECT_DOUBLE_EQ(h.vt(9, i), std::sqrt(x));
+        EXPECT_DOUBLE_EQ(h.vt(10, i), 2 * x);
+        EXPECT_DOUBLE_EQ(h.vt(11, i), 0.5);
+    }
+}
+
+TEST(IsaCoverage, VsRegisterForms)
+{
+    Assembler a;
+    a.movi(R(1), 7);
+    a.fconst(F(1), 3.0, R(9));
+    a.setvl(128);
+    a.viota(V(1));
+    a.vaddq(V(2), V(1), R(1));
+    a.vsubq(V(3), V(1), R(1));
+    a.vmulq(V(4), V(1), R(1));
+    a.vcmpltq(V(5), V(1), R(1));
+    a.vaddt(V(6), V(31), F(1));     // 0 + 3.0 per element
+    a.vsubt(V(7), V(6), F(1));
+    a.vmult(V(8), V(6), F(1));
+    a.vdivt(V(9), V(6), F(1));
+    a.vfmact(V(10), V(6), F(1));    // acc += 3*3 (acc poisoned? no:
+                                    // v10 never written -> zeros)
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i) {
+        EXPECT_EQ(h.ve(2, i), i + 7);
+        EXPECT_EQ(static_cast<std::int64_t>(h.ve(3, i)),
+                  static_cast<std::int64_t>(i) - 7);
+        EXPECT_EQ(h.ve(4, i), 7u * i);
+        EXPECT_EQ(h.ve(5, i), i < 7 ? 1u : 0u);
+        EXPECT_DOUBLE_EQ(h.vt(6, i), 3.0);
+        EXPECT_DOUBLE_EQ(h.vt(7, i), 0.0);
+        EXPECT_DOUBLE_EQ(h.vt(8, i), 9.0);
+        EXPECT_DOUBLE_EQ(h.vt(9, i), 1.0);
+        EXPECT_DOUBLE_EQ(h.vt(10, i), 9.0);
+    }
+}
+
+TEST(IsaCoverage, VectorFmacVvForm)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));
+    a.vxorq(V(2), V(2), V(2));
+    // Convert iota to double via memory round trip is overkill; use
+    // integer 1-bit trick: accumulate 2.0*1.0 twice.
+    a.fconst(F(1), 2.0, R(9));
+    a.vaddt(V(3), V(31), F(1));     // all 2.0
+    a.vaddt(V(4), V(31), F(1));
+    a.vxorq(V(5), V(5), V(5));      // acc = 0.0
+    a.vfmact(V(5), V(3), V(4));     // += 4
+    a.vfmact(V(5), V(3), V(4));     // += 4
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i)
+        EXPECT_DOUBLE_EQ(h.vt(5, i), 8.0);
+}
+
+TEST(IsaCoverage, ScalarOddsAndEnds)
+{
+    Assembler a;
+    a.movi(R(1), -5);
+    a.movi(R(2), 5);
+    a.cmple(R(3), R(1), R(2));
+    a.cmplt(R(4), R(2), R(1));
+    a.cmpult(R(5), R(1), R(2));     // unsigned: huge < 5 false
+    a.mov(R(6), R(2));
+    a.lda(R(7), 100, R(2));
+    a.fconst(F(1), -2.0, R(9));
+    a.fmov(F(2), F(1));
+    a.cmptle(F(3), F(1), F(1));
+    a.fconst(F(4), 4.0, R(9));
+    a.sqrtt(F(5), F(4));
+    a.cvttq(F(6), F(4));
+    a.cvtqt(F(7), F(6));
+    a.ftoit(R(8), F(6));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_EQ(h.ir(3), 1u);
+    EXPECT_EQ(h.ir(4), 0u);
+    EXPECT_EQ(h.ir(5), 0u);
+    EXPECT_EQ(h.ir(6), 5u);
+    EXPECT_EQ(h.ir(7), 105u);
+    EXPECT_DOUBLE_EQ(h.fr(2), -2.0);
+    EXPECT_DOUBLE_EQ(h.fr(3), 2.0);
+    EXPECT_DOUBLE_EQ(h.fr(5), 2.0);
+    EXPECT_DOUBLE_EQ(h.fr(7), 4.0);
+    EXPECT_EQ(h.ir(8), 4u);
+}
+
+TEST(IsaCoverage, MaskedGatherScatterAndMerge)
+{
+    Assembler a;
+    a.movi(R(1), 0x20000);
+    a.setvl(128);
+    a.setvs(8);
+    a.viota(V(1));
+    a.vsllq(V(2), V(1), 3);         // byte offsets i*8
+    a.vandq(V(3), V(1), std::int64_t(1));
+    a.setvm(V(3));
+    a.vgathq(V(4), V(2), R(1), /*m=*/true);
+    a.vmerget(V(5), V(4), V(31));   // masked lanes from gather, else 0
+    a.vscatq(V(1), V(2), R(1), /*m=*/true);
+    a.halt();
+    Harness h(a);
+    for (unsigned i = 0; i < 128; ++i)
+        h.mem.writeQ(0x20000 + i * 8, 1000 + i);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i) {
+        if (i & 1) {
+            EXPECT_EQ(h.ve(5, i), 1000 + i);        // merged in
+            EXPECT_EQ(h.mem.readQ(0x20000 + i * 8), i);  // scattered
+        } else {
+            EXPECT_EQ(h.ve(5, i), 0u);              // merged from v31
+            EXPECT_EQ(h.mem.readQ(0x20000 + i * 8), 1000 + i);
+        }
+    }
+}
+
+TEST(IsaCoverage, StoreFormsAndPrefetchSemantics)
+{
+    Assembler a;
+    a.movi(R(1), 0x30000);
+    a.setvl(16);
+    a.setvs(8);
+    a.viota(V(1));
+    a.vstq(V(1), R(1), 128);        // displaced vector store
+    a.prefetch(0, R(1));            // no architectural effect
+    a.wh64(R(1), 512);              // no architectural effect
+    a.vprefetch(R(1), 0);           // dest v31: discarded
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(h.mem.readQ(0x30080 + i * 8), i);
+}
+
+} // anonymous namespace

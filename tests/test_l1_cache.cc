@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the L1 data-cache tag model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/logging.hh"
+#include "cache/l1_cache.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using cache::L1Cache;
+using cache::L1Config;
+
+struct Harness
+{
+    stats::StatGroup root{"test"};
+    L1Config cfg;
+    std::unique_ptr<L1Cache> l1;
+
+    explicit Harness(L1Config c = {}) : cfg(c)
+    {
+        l1 = std::make_unique<L1Cache>(cfg, root);
+    }
+};
+
+TEST(L1Cache, MissThenHitAfterFill)
+{
+    Harness h;
+    EXPECT_FALSE(h.l1->lookup(0x1000));
+    h.l1->fill(0x1000);
+    EXPECT_TRUE(h.l1->lookup(0x1000));
+    EXPECT_EQ(h.l1->numHits(), 1u);
+    EXPECT_EQ(h.l1->numMisses(), 1u);
+}
+
+TEST(L1Cache, DifferentLinesInSameSetCoexistUpToAssoc)
+{
+    L1Config cfg;
+    cfg.sizeBytes = 8 << 10;    // 64 sets at 2-way
+    Harness h(cfg);
+    const unsigned num_sets =
+        static_cast<unsigned>(cfg.sizeBytes / (64 * cfg.assoc));
+    const Addr stride = Addr(num_sets) * 64;    // same set
+    h.l1->fill(0);
+    h.l1->fill(stride);
+    EXPECT_TRUE(h.l1->probe(0));
+    EXPECT_TRUE(h.l1->probe(stride));
+    // Third line evicts the LRU (line 0 -- untouched since fill).
+    h.l1->fill(2 * stride);
+    EXPECT_TRUE(h.l1->probe(2 * stride));
+    EXPECT_FALSE(h.l1->probe(0));
+    EXPECT_TRUE(h.l1->probe(stride));
+}
+
+TEST(L1Cache, LruUpdatedByLookup)
+{
+    L1Config cfg;
+    cfg.sizeBytes = 8 << 10;
+    Harness h(cfg);
+    const Addr stride = Addr(cfg.sizeBytes / (64 * cfg.assoc)) * 64;
+    h.l1->fill(0);
+    h.l1->fill(stride);
+    h.l1->lookup(0);            // make line 0 the MRU
+    h.l1->fill(2 * stride);     // evicts `stride`
+    EXPECT_TRUE(h.l1->probe(0));
+    EXPECT_FALSE(h.l1->probe(stride));
+}
+
+TEST(L1Cache, InvalidateRemovesLine)
+{
+    Harness h;
+    h.l1->fill(0x2000);
+    EXPECT_TRUE(h.l1->probe(0x2000));
+    h.l1->invalidate(0x2000);
+    EXPECT_FALSE(h.l1->probe(0x2000));
+    EXPECT_EQ(h.l1->numInvalidates(), 1u);
+}
+
+TEST(L1Cache, InvalidateMissIsIgnored)
+{
+    Harness h;
+    h.l1->invalidate(0x3000);
+    EXPECT_EQ(h.l1->numInvalidates(), 0u);
+}
+
+TEST(L1Cache, DoubleFillIsIdempotent)
+{
+    Harness h;
+    h.l1->fill(0x1000);
+    h.l1->fill(0x1000);
+    EXPECT_TRUE(h.l1->probe(0x1000));
+}
+
+TEST(L1Cache, SubLineAddressesShareALine)
+{
+    Harness h;
+    h.l1->fill(0x1000);
+    EXPECT_TRUE(h.l1->lookup(0x1008));
+    EXPECT_TRUE(h.l1->lookup(0x103f));
+    EXPECT_FALSE(h.l1->probe(0x1040));
+}
+
+TEST(L1Cache, BadConfigIsFatal)
+{
+    stats::StatGroup root("t");
+    L1Config cfg;
+    cfg.sizeBytes = 1000;   // not a power of two
+    EXPECT_THROW(L1Cache(cfg, root), FatalError);
+}
+
+} // anonymous namespace

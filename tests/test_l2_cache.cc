@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Unit tests for the banked L2: slice pipeline, MAF sleep/wake/retry,
+ * panic mode, the PUMP, wh64-style no-fetch allocation, the P-bit
+ * scalar-vector coherency protocol, and eviction behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "cache/l2_cache.hh"
+#include "mem/zbox.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using cache::L2Cache;
+using cache::L2Config;
+using mem::Slice;
+using mem::SliceResp;
+
+struct Harness
+{
+    stats::StatGroup root{"test"};
+    std::unique_ptr<mem::Zbox> zbox;
+    std::unique_ptr<L2Cache> l2;
+    std::vector<Addr> invalidated;
+    std::uint64_t nextId = 1;
+
+    explicit Harness(L2Config cfg = {}, mem::ZboxConfig zcfg = {})
+    {
+        zbox = std::make_unique<mem::Zbox>(zcfg, root);
+        l2 = std::make_unique<L2Cache>(cfg, *zbox, root);
+        l2->setL1InvalidateHook(
+            [this](Addr a) { invalidated.push_back(a); });
+    }
+
+    void
+    cycle()
+    {
+        zbox->cycle();
+        l2->cycle();
+    }
+
+    /** Build a conflict-free slice over consecutive lines. */
+    Slice
+    makeSlice(Addr base, unsigned n, bool write, bool pump = false)
+    {
+        Slice s;
+        s.id = nextId++;
+        s.instTag = 42;
+        s.isWrite = write;
+        s.pump = pump;
+        for (unsigned i = 0; i < n; ++i) {
+            s.elems[i].valid = true;
+            s.elems[i].elem = static_cast<std::uint16_t>(i);
+            s.elems[i].addr = pump ? base + i * CacheLineBytes
+                                   : base + i * CacheLineBytes + 8 * i;
+        }
+        return s;
+    }
+
+    /** Cycle until a slice response appears (or fail). */
+    SliceResp
+    waitSliceResp(unsigned max_cycles = 100000)
+    {
+        for (unsigned i = 0; i < max_cycles; ++i) {
+            cycle();
+            if (auto r = l2->dequeueSliceResp())
+                return *r;
+        }
+        ADD_FAILURE() << "no slice response";
+        return {};
+    }
+
+    bool
+    offerUntilAccepted(const Slice &s, unsigned max_cycles = 10000)
+    {
+        for (unsigned i = 0; i < max_cycles; ++i) {
+            cycle();
+            if (l2->acceptSlice(s))
+                return true;
+        }
+        return false;
+    }
+};
+
+TEST(L2Cache, WarmSliceHitsAndCompletes)
+{
+    Harness h;
+    Slice s = h.makeSlice(0, 16, false);
+    for (const auto &e : s.elems)
+        h.l2->warmLine(e.addr);
+    ASSERT_TRUE(h.offerUntilAccepted(s));
+    SliceResp r = h.waitSliceResp();
+    EXPECT_EQ(r.sliceId, s.id);
+    EXPECT_EQ(r.dataQw, 16u);
+    EXPECT_FALSE(r.isWrite);
+    EXPECT_EQ(h.l2->sliceAccesses(), 1u);
+    EXPECT_TRUE(h.l2->idle());
+}
+
+TEST(L2Cache, ColdSliceSleepsInMafThenWakes)
+{
+    Harness h;
+    Slice s = h.makeSlice(0, 16, false);
+    ASSERT_TRUE(h.offerUntilAccepted(s));
+    EXPECT_FALSE(h.l2->idle());     // asleep in the MAF
+    SliceResp r = h.waitSliceResp();
+    EXPECT_EQ(r.sliceId, s.id);
+    EXPECT_GE(h.l2->sliceReplays(), 1u);    // woke and replayed
+    // All 16 lines now resident.
+    for (const auto &e : s.elems)
+        EXPECT_TRUE(h.l2->probe(e.addr));
+}
+
+TEST(L2Cache, OneSlicePerCycle)
+{
+    Harness h;
+    Slice a = h.makeSlice(0, 16, false);
+    Slice b = h.makeSlice(0x10000, 16, false);
+    for (const auto &e : a.elems)
+        h.l2->warmLine(e.addr);
+    for (const auto &e : b.elems)
+        h.l2->warmLine(e.addr);
+    h.cycle();
+    EXPECT_TRUE(h.l2->acceptSlice(a));
+    EXPECT_FALSE(h.l2->acceptSlice(b));     // pipe slot taken
+    h.cycle();
+    EXPECT_TRUE(h.l2->acceptSlice(b));
+}
+
+TEST(L2Cache, PumpSliceMovesWholeLines)
+{
+    Harness h;
+    Slice s = h.makeSlice(0, 16, false, /*pump=*/true);
+    for (const auto &e : s.elems)
+        h.l2->warmLine(e.addr);
+    ASSERT_TRUE(h.offerUntilAccepted(s));
+    SliceResp r = h.waitSliceResp();
+    EXPECT_EQ(r.dataQw, 16u * QwPerLine);   // 128 quadwords
+}
+
+TEST(L2Cache, PumpReadsStreamFourCyclesApart)
+{
+    Harness h;
+    Slice a = h.makeSlice(0, 16, false, true);
+    Slice b = h.makeSlice(0x10000, 16, false, true);
+    for (const auto &e : a.elems)
+        h.l2->warmLine(e.addr);
+    for (const auto &e : b.elems)
+        h.l2->warmLine(e.addr);
+    ASSERT_TRUE(h.offerUntilAccepted(a));
+    ASSERT_TRUE(h.offerUntilAccepted(b));
+    SliceResp r1 = h.waitSliceResp();
+    SliceResp r2 = h.waitSliceResp();
+    // The read bus streams 32 qw/cycle: 4 busy cycles per pump slice.
+    EXPECT_GE(r2.readyAt, r1.readyAt + 4);
+}
+
+TEST(L2Cache, PumpWriteMissAllocatesWithoutFetch)
+{
+    Harness h;
+    Slice s = h.makeSlice(0, 16, true, /*pump=*/true);
+    ASSERT_TRUE(h.offerUntilAccepted(s));
+    SliceResp r = h.waitSliceResp(200);     // no memory wait
+    EXPECT_TRUE(r.isWrite);
+    // Lines were installed dirty; the Zbox saw only directory ops.
+    while (!h.zbox->idle())
+        h.cycle();
+    EXPECT_EQ(h.zbox->dataBytes(), 0u);
+    EXPECT_EQ(h.zbox->rawBytes(), 16u * CacheLineBytes);
+    for (const auto &e : s.elems)
+        EXPECT_TRUE(h.l2->probe(e.addr));
+}
+
+TEST(L2Cache, NonPumpWriteMissFetchesExclusive)
+{
+    Harness h;
+    Slice s = h.makeSlice(0, 4, true, /*pump=*/false);
+    ASSERT_TRUE(h.offerUntilAccepted(s));
+    h.waitSliceResp();
+    while (!h.zbox->idle())
+        h.cycle();
+    // Partial-line writes fetch their lines (write-allocate) and pay
+    // the exclusive-ownership directory transition.
+    EXPECT_EQ(h.zbox->dataBytes(), 4u * CacheLineBytes);
+    EXPECT_EQ(h.zbox->rawBytes(), 8u * CacheLineBytes);
+}
+
+TEST(L2Cache, ScalarMissFillRespondsAndSetsPBit)
+{
+    Harness h;
+    h.cycle();
+    ASSERT_TRUE(h.l2->scalarRequest(0x1000, false, 5));
+    for (unsigned i = 0; i < 10000; ++i) {
+        h.cycle();
+        if (auto r = h.l2->dequeueScalarResp()) {
+            EXPECT_EQ(r->tag, 5u);
+            EXPECT_TRUE(h.l2->probePBit(0x1000));
+            return;
+        }
+    }
+    FAIL() << "scalar response never arrived";
+}
+
+TEST(L2Cache, VectorTouchOfPBitLineInvalidatesL1)
+{
+    Harness h;
+    h.l2->warmLine(0x0);
+    h.cycle();
+    ASSERT_TRUE(h.l2->scalarRequest(0x0, false, 1));    // sets P-bit
+    for (unsigned i = 0; i < 100; ++i) {
+        h.cycle();
+        if (h.l2->dequeueScalarResp())
+            break;
+    }
+    ASSERT_TRUE(h.l2->probePBit(0x0));
+
+    Slice s = h.makeSlice(0, 1, false);
+    ASSERT_TRUE(h.offerUntilAccepted(s));
+    h.waitSliceResp();
+    ASSERT_EQ(h.invalidated.size(), 1u);
+    EXPECT_EQ(h.invalidated[0], 0u);
+    EXPECT_FALSE(h.l2->probePBit(0x0));     // P-bit cleared
+    EXPECT_EQ(h.l2->l1Invalidates(), 1u);
+}
+
+TEST(L2Cache, EvictingPBitLineInvalidatesL1)
+{
+    L2Config cfg;
+    cfg.sizeBytes = 64 << 10;   // tiny: 128 sets at 8-way
+    Harness h(cfg);
+    h.cycle();
+    ASSERT_TRUE(h.l2->scalarRequest(0x0, false, 1));
+    for (unsigned i = 0; i < 100; ++i) {
+        h.cycle();
+        if (h.l2->dequeueScalarResp())
+            break;
+    }
+    ASSERT_TRUE(h.l2->probePBit(0x0));
+
+    // Fill the set until line 0 is evicted.
+    const Addr set_stride = cfg.sizeBytes / 8;  // same set, next tag
+    for (unsigned w = 1; w <= 8; ++w)
+        h.l2->warmLine(Addr(w) * set_stride);
+    EXPECT_FALSE(h.l2->probe(0x0));
+    ASSERT_FALSE(h.invalidated.empty());
+    EXPECT_EQ(h.invalidated[0], 0u);
+}
+
+TEST(L2Cache, DirtyEvictionWritesBack)
+{
+    L2Config cfg;
+    cfg.sizeBytes = 64 << 10;
+    Harness h(cfg);
+    // Dirty a line via a pump write.
+    Slice s = h.makeSlice(0, 1, true, true);
+    ASSERT_TRUE(h.offerUntilAccepted(s));
+    h.waitSliceResp();
+
+    const Addr set_stride = cfg.sizeBytes / 8;
+    for (unsigned w = 1; w <= 8; ++w)
+        h.l2->warmLine(Addr(w) * set_stride);
+    while (!h.zbox->idle())
+        h.cycle();
+    std::ostringstream os;
+    h.root.report(os);
+    EXPECT_NE(os.str().find("writebacks 1"), std::string::npos)
+        << os.str();
+}
+
+TEST(L2Cache, MafFullRejectsSlices)
+{
+    L2Config cfg;
+    cfg.mafEntries = 2;
+    Harness h(cfg);
+    // Two cold slices occupy both MAF entries.
+    Slice a = h.makeSlice(0x100000, 16, false);
+    Slice b = h.makeSlice(0x200000, 16, false);
+    Slice c = h.makeSlice(0x300000, 16, false);
+    h.cycle();
+    EXPECT_TRUE(h.l2->acceptSlice(a));
+    h.cycle();
+    EXPECT_TRUE(h.l2->acceptSlice(b));
+    h.cycle();
+    EXPECT_FALSE(h.l2->acceptSlice(c));     // MAF full
+}
+
+TEST(L2Cache, ReplayBeyondThresholdEntersPanicMode)
+{
+    L2Config cfg;
+    cfg.retryThreshold = 0;     // first replay panics
+    Harness h(cfg);
+    Slice s = h.makeSlice(0, 16, false);
+    ASSERT_TRUE(h.offerUntilAccepted(s));
+    h.waitSliceResp();
+    EXPECT_GE(h.l2->panicEntries(), 1u);
+    // Panic cleared once the slice was serviced: new work accepted.
+    Slice t = h.makeSlice(0x40000, 16, false);
+    EXPECT_TRUE(h.offerUntilAccepted(t));
+    h.waitSliceResp();
+}
+
+TEST(L2Cache, WarmAndProbe)
+{
+    Harness h;
+    EXPECT_FALSE(h.l2->probe(0x1234));
+    h.l2->warmLine(0x1234);
+    EXPECT_TRUE(h.l2->probe(0x1234));
+    EXPECT_TRUE(h.l2->probe(0x1200));   // same line
+    EXPECT_FALSE(h.l2->probePBit(0x1234));
+}
+
+TEST(L2Cache, ScalarResponsesRouteByRequester)
+{
+    // CMP configurations share one L2 between cores; each core must
+    // only ever see its own completions.
+    Harness h;
+    h.cycle();
+    ASSERT_TRUE(h.l2->scalarRequest(0x1000, false, 11, false, 0));
+    h.cycle();
+    ASSERT_TRUE(h.l2->scalarRequest(0x2000, false, 22, false, 1));
+    unsigned got0 = 0, got1 = 0;
+    for (unsigned i = 0; i < 20000 && (got0 + got1) < 2; ++i) {
+        h.cycle();
+        if (auto r = h.l2->dequeueScalarResp(0)) {
+            EXPECT_EQ(r->tag, 11u);
+            ++got0;
+        }
+        if (auto r = h.l2->dequeueScalarResp(1)) {
+            EXPECT_EQ(r->tag, 22u);
+            ++got1;
+        }
+    }
+    EXPECT_EQ(got0, 1u);
+    EXPECT_EQ(got1, 1u);
+}
+
+TEST(L2Cache, BadConfigIsFatal)
+{
+    stats::StatGroup root("t");
+    mem::ZboxConfig zcfg;
+    mem::Zbox zbox(zcfg, root);
+    L2Config cfg;
+    cfg.sizeBytes = 100;
+    EXPECT_THROW(L2Cache(cfg, zbox, root), FatalError);
+}
+
+} // anonymous namespace

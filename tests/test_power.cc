@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the Table 1 power/area estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace
+{
+
+using namespace tarantula::power;
+
+TEST(Power, CmpTotalsNearPaper)
+{
+    ChipEstimate e = cmpEv8Estimate();
+    // Paper Table 1: 128.0 W total, 250 mm^2, 20 peak Gflops, 0.16
+    // Gflops/W. The estimator reconstructs the spreadsheet, so land
+    // within ~15%.
+    EXPECT_NEAR(e.totalWatts(), 128.0, 20.0);
+    EXPECT_NEAR(e.dieAreaMm2(), 250.0, 40.0);
+    EXPECT_DOUBLE_EQ(e.peakGflops(), 20.0);
+    EXPECT_NEAR(e.gflopsPerWatt(), 0.16, 0.04);
+}
+
+TEST(Power, TarantulaTotalsNearPaper)
+{
+    ChipEstimate e = tarantulaEstimate();
+    // Paper: 143.7 W, 286 mm^2, 80 Gflops, 0.55 Gflops/W.
+    EXPECT_NEAR(e.totalWatts(), 143.7, 20.0);
+    EXPECT_NEAR(e.dieAreaMm2(), 286.0, 45.0);
+    EXPECT_DOUBLE_EQ(e.peakGflops(), 80.0);
+    EXPECT_NEAR(e.gflopsPerWatt(), 0.55, 0.12);
+}
+
+TEST(Power, EfficiencyRatioIsAboutThreePointFour)
+{
+    // "Tarantula is 3.4X better in terms of Gflops/Watt than a CMP
+    // solution based on replicating two EV8 cores."
+    const double ratio = tarantulaEstimate().gflopsPerWatt() /
+                         cmpEv8Estimate().gflopsPerWatt();
+    EXPECT_NEAR(ratio, 3.4, 0.6);
+}
+
+TEST(Power, LeakageSurchargeIsTwentyPercent)
+{
+    ChipEstimate e = tarantulaEstimate();
+    EXPECT_DOUBLE_EQ(e.totalWatts(), e.dynamicWatts() * 1.2);
+}
+
+TEST(Power, ComponentAccessors)
+{
+    ChipEstimate e = tarantulaEstimate();
+    EXPECT_GT(e.wattsOf("Vbox"), 0.0);
+    EXPECT_GT(e.areaPercent("L2 cache"), 30.0);
+    EXPECT_LT(e.areaPercent("L2 cache"), 55.0);
+    EXPECT_EQ(e.wattsOf("nonexistent"), 0.0);
+    EXPECT_EQ(e.areaPercent("nonexistent"), 0.0);
+    // IO drivers burn power but occupy the pad ring, not core area.
+    EXPECT_EQ(e.areaPercent("IO Drivers"), 0.0);
+    EXPECT_NEAR(e.wattsOf("IO Drivers"), 26.5, 1e-9);
+}
+
+TEST(Power, CmpHasTwoCoresWorthOfCoreArea)
+{
+    ChipEstimate cmp = cmpEv8Estimate();
+    ChipEstimate t = tarantulaEstimate();
+    const double cmp_core =
+        cmp.dieAreaMm2() * cmp.areaPercent("Core") / 100.0;
+    const double t_core =
+        t.dieAreaMm2() * t.areaPercent("Core") / 100.0;
+    EXPECT_NEAR(cmp_core, 2.0 * t_core, 1e-9);
+}
+
+TEST(Power, FmacDoublesPeakCheaply)
+{
+    // Section 5: FMAC roughly doubles Gflops/W for little extra power.
+    ChipEstimate base = tarantulaEstimate();
+    ChipEstimate fmac = tarantulaFmacEstimate();
+    EXPECT_DOUBLE_EQ(fmac.peakGflops(), 2.0 * base.peakGflops());
+    EXPECT_LT(fmac.totalWatts(), base.totalWatts() * 1.1);
+    EXPECT_GT(fmac.gflopsPerWatt(), 1.8 * base.gflopsPerWatt());
+}
+
+} // anonymous namespace

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Integration tests at the whole-processor level: the Table 3
+ * machines, end-to-end kernels on each, the headline bandwidth and
+ * speedup shapes, and frequency-scaling behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "program/assembler.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using namespace tarantula::program;
+
+/** Vectorized copy of n quadwords (stride-1). */
+Program
+vectorCopy(Addr src, Addr dst, unsigned n, unsigned passes = 1)
+{
+    Assembler a;
+    Label rep = a.newLabel();
+    a.movi(R(5), passes);
+    a.bind(rep);
+    Label loop = a.newLabel();
+    a.movi(R(1), static_cast<std::int64_t>(src));
+    a.movi(R(2), static_cast<std::int64_t>(dst));
+    a.movi(R(3), n);
+    a.setvl(128);
+    a.setvs(8);
+    a.bind(loop);
+    a.vldq(V(0), R(1));
+    a.vstq(V(0), R(2));
+    a.addq(R(1), R(1), 1024);
+    a.addq(R(2), R(2), 1024);
+    a.subq(R(3), R(3), 128);
+    a.bgt(R(3), loop);
+    a.subq(R(5), R(5), 1);
+    a.bgt(R(5), rep);
+    a.halt();
+    return a.finalize();
+}
+
+TEST(MachineConfigs, Table3Parameters)
+{
+    auto ev8 = proc::ev8Config();
+    auto ev8p = proc::ev8PlusConfig();
+    auto t = proc::tarantulaConfig();
+    auto t4 = proc::tarantula4Config();
+
+    EXPECT_FALSE(ev8.hasVbox);
+    EXPECT_FALSE(ev8p.hasVbox);
+    EXPECT_TRUE(t.hasVbox);
+
+    EXPECT_EQ(ev8.l2.sizeBytes, 4ULL << 20);
+    EXPECT_EQ(ev8p.l2.sizeBytes, 16ULL << 20);
+    EXPECT_EQ(t.l2.sizeBytes, 16ULL << 20);
+
+    EXPECT_EQ(ev8.zbox.numPorts, 2u);
+    EXPECT_EQ(ev8p.zbox.numPorts, 8u);
+    EXPECT_EQ(t.zbox.numPorts, 8u);
+
+    EXPECT_DOUBLE_EQ(t.freqGhz, 2.13);
+    EXPECT_DOUBLE_EQ(t4.freqGhz, 4.8);
+    EXPECT_DOUBLE_EQ(t4.zbox.cpuPerMemClock, 4.0);
+}
+
+TEST(Processor, WarmCopySustains64QwPerCycle)
+{
+    // The headline stride-1 number: 32 read + 32 write qw/cycle.
+    const unsigned n = 64 * 1024;
+    exec::FunctionalMemory m2, m3;
+    Program p2 = vectorCopy(0x100000, 0x900000, n, 2);
+    Program p3 = vectorCopy(0x100000, 0x900000, n, 3);
+    proc::Processor pr2(proc::tarantulaConfig(), p2, m2);
+    proc::Processor pr3(proc::tarantulaConfig(), p3, m3);
+    const auto r2 = pr2.run(100'000'000);
+    const auto r3 = pr3.run(100'000'000);
+    const double warm_cycles =
+        static_cast<double>(r3.cycles - r2.cycles);
+    const double qw_per_cycle = 2.0 * n / warm_cycles;
+    EXPECT_GT(qw_per_cycle, 55.0);
+    EXPECT_LE(qw_per_cycle, 64.5);
+}
+
+TEST(Processor, PeakVectorFlopsApproach32)
+{
+    // Two independent mul/add chains, no memory: the two issue ports
+    // keep all 32 FP lanes busy.
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(3), 2000);
+    a.setvl(128);
+    a.bind(loop);
+    a.vmult(V(1), V(2), V(3));
+    a.vaddt(V(4), V(5), V(6));
+    a.vmult(V(7), V(8), V(9));
+    a.vaddt(V(10), V(11), V(12));
+    a.subq(R(3), R(3), 1);
+    a.bgt(R(3), loop);
+    a.halt();
+    exec::FunctionalMemory mem;
+    Program p = a.finalize();
+    proc::Processor pr(proc::tarantulaConfig(), p, mem);
+    const auto r = pr.run(10'000'000);
+    EXPECT_GT(r.fpc(), 28.0);
+    EXPECT_LE(r.fpc(), 32.1);
+}
+
+TEST(Processor, PeakOpcCanExceed100)
+{
+    // The paper: 104 operations/cycle peak = 96 vector (32 arith +
+    // 32 load + 32 store) + 8 scalar. Drive all three vector pipes.
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 0x100000);
+    a.movi(R(2), 0x900000);
+    a.movi(R(3), 4000);
+    a.setvl(128);
+    a.setvs(8);
+    a.bind(loop);
+    a.vldq(V(0), R(1));
+    a.vstq(V(1), R(2));
+    a.vmult(V(2), V(3), V(4));
+    a.vaddt(V(5), V(6), V(7));
+    a.addq(R(4), R(4), 1);
+    a.addq(R(5), R(5), 1);
+    a.addq(R(6), R(6), 1);
+    a.subq(R(3), R(3), 1);
+    a.bgt(R(3), loop);
+    a.halt();
+    exec::FunctionalMemory mem;
+    Program p = a.finalize();
+    proc::Processor pr(proc::tarantulaConfig(), p, mem);
+    const auto r = pr.run(100'000'000);
+    // Reads and writes reuse a small footprint: everything is warm
+    // after the first pass. Sustained OPC must clear 60 at least.
+    EXPECT_GT(r.opc(), 60.0);
+    EXPECT_LE(r.opc(), 104.0);
+}
+
+TEST(Processor, ScalarCodeRunsOnAllMachines)
+{
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 0x100000);
+    a.movi(R(2), 1000);
+    a.bind(loop);
+    a.ldq(R(3), 0, R(1));
+    a.addq(R(3), R(3), 1);
+    a.stq(R(3), 0, R(1));
+    a.addq(R(1), R(1), 8);
+    a.subq(R(2), R(2), 1);
+    a.bgt(R(2), loop);
+    a.halt();
+    Program p = a.finalize();
+
+    for (auto cfg : {proc::ev8Config(), proc::ev8PlusConfig(),
+                     proc::tarantulaConfig()}) {
+        exec::FunctionalMemory mem;
+        proc::Processor pr(cfg, p, mem);
+        const auto r = pr.run(10'000'000);
+        EXPECT_GT(r.cycles, 0u) << cfg.name;
+        EXPECT_EQ(mem.readQ(0x100000), 1u) << cfg.name;
+    }
+}
+
+TEST(Processor, VectorCodeOnEv8Panics)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));
+    a.halt();
+    Program p = a.finalize();
+    exec::FunctionalMemory mem;
+    proc::Processor pr(proc::ev8Config(), p, mem);
+    EXPECT_THROW(pr.run(1000000), PanicError);
+}
+
+TEST(Processor, HigherFrequencyRaisesMemoryLatencyInCycles)
+{
+    // A pointer-chasing (dependent) load chain over a cold footprint:
+    // T4 burns more *cycles* than T on the same program because each
+    // memory access costs more CPU cycles at the higher clock.
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 0x100000);
+    a.movi(R(2), 2000);
+    a.bind(loop);
+    a.ldq(R(3), 0, R(1));       // always zero
+    a.addq(R(1), R(1), R(3));
+    a.addq(R(1), R(1), 4096);   // next page-ish line
+    a.subq(R(2), R(2), 1);
+    a.bgt(R(2), loop);
+    a.halt();
+    Program p = a.finalize();
+
+    exec::FunctionalMemory m1, m2;
+    proc::Processor prT(proc::tarantulaConfig(), p, m1);
+    proc::Processor prT4(proc::tarantula4Config(), p, m2);
+    const auto rT = prT.run(100'000'000);
+    const auto rT4 = prT4.run(100'000'000);
+    EXPECT_GT(rT4.cycles, rT.cycles);
+    // But in wall-clock seconds T4 is no slower than ~equal.
+    EXPECT_LT(rT4.seconds(), rT.seconds() * 1.15);
+}
+
+TEST(Processor, RunResultDerivedMetrics)
+{
+    proc::RunResult r;
+    r.cycles = 1000;
+    r.ops = 5000;
+    r.flops = 2000;
+    r.memops = 1500;
+    r.freqGhz = 2.0;
+    r.rawBytes = 4000;
+    EXPECT_DOUBLE_EQ(r.opc(), 5.0);
+    EXPECT_DOUBLE_EQ(r.fpc(), 2.0);
+    EXPECT_DOUBLE_EQ(r.mpc(), 1.5);
+    EXPECT_DOUBLE_EQ(r.otherPc(), 1.5);
+    EXPECT_DOUBLE_EQ(r.seconds(), 1000 / 2.0e9);
+    EXPECT_NEAR(r.rawBandwidthMBs(), 4000 / (1000 / 2.0e9) / 1e6,
+                1e-6);
+}
+
+TEST(Processor, DeadlockDetectorFires)
+{
+    // An infinite loop with no retirement progress is impossible to
+    // construct from well-formed programs (they always retire), so
+    // check the cycle bound instead.
+    Assembler a;
+    Label loop = a.newLabel();
+    a.bind(loop);
+    a.addq(R(1), R(1), 1);
+    a.br(loop);
+    a.halt();
+    Program p = a.finalize();
+    exec::FunctionalMemory mem;
+    proc::Processor pr(proc::tarantulaConfig(), p, mem);
+    EXPECT_THROW(pr.run(10000), FatalError);
+}
+
+} // anonymous namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the TLB models: 512 MB pages, LRU replacement, the
+ * per-lane vector TLB array, both PALcode refill policies, and the
+ * paper's forward-progress associativity requirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/statistics.hh"
+#include "tlb/tlb.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using tlb::RefillPolicy;
+using tlb::Tlb;
+using tlb::TlbConfig;
+using tlb::VectorTlb;
+
+TEST(Tlb, MissInsertHit)
+{
+    Tlb t(TlbConfig{});
+    EXPECT_FALSE(t.lookup(0x1000));
+    t.insert(0x1000);
+    EXPECT_TRUE(t.lookup(0x1000));
+}
+
+TEST(Tlb, PageGranularityIs512MB)
+{
+    Tlb t(TlbConfig{});
+    t.insert(0);
+    // Anywhere in the same 512 MB page hits.
+    EXPECT_TRUE(t.lookup((1ULL << 29) - 8));
+    EXPECT_FALSE(t.lookup(1ULL << 29));
+}
+
+TEST(Tlb, CapacityEvictsLru)
+{
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.assoc = 4;
+    Tlb t(cfg);
+    for (unsigned i = 0; i < 4; ++i)
+        t.insert(Addr(i) << 29);
+    EXPECT_TRUE(t.lookup(0));               // touch page 0
+    t.insert(Addr(4) << 29);                // evicts page 1 (LRU)
+    EXPECT_TRUE(t.lookup(0));
+    EXPECT_FALSE(t.lookup(Addr(1) << 29));
+    EXPECT_TRUE(t.lookup(Addr(4) << 29));
+}
+
+TEST(Tlb, FlushEmptiesEverything)
+{
+    Tlb t(TlbConfig{});
+    t.insert(0);
+    t.flush();
+    EXPECT_FALSE(t.lookup(0));
+}
+
+TEST(Tlb, BadConfigIsFatal)
+{
+    TlbConfig cfg;
+    cfg.entries = 10;
+    cfg.assoc = 4;      // not a divisor
+    EXPECT_THROW(Tlb t(cfg), FatalError);
+}
+
+TEST(Tlb, SetAssociativeConflicts)
+{
+    // Direct-mapped: pages that alias the same index evict each other
+    // (the paper's argument against a direct-mapped vector TLB).
+    TlbConfig dm;
+    dm.entries = 32;
+    dm.assoc = 1;
+    Tlb t(dm);
+    const unsigned sets = dm.entries;
+    t.insert(Addr(0) << 29);
+    t.insert((Addr(sets)) << 29);   // same index, different page
+    EXPECT_FALSE(t.lookup(0));      // evicted
+}
+
+struct VHarness
+{
+    stats::StatGroup root{"test"};
+    std::unique_ptr<VectorTlb> vtlb;
+
+    explicit VHarness(TlbConfig cfg = {},
+                      RefillPolicy p = RefillPolicy::MissedLanesOnly)
+    {
+        vtlb = std::make_unique<VectorTlb>(cfg, p, root);
+    }
+};
+
+TEST(VectorTlb, PerLaneTranslation)
+{
+    VHarness h;
+    // Element e translates on lane e%16; a hit on lane 0 does not
+    // warm lane 1.
+    EXPECT_FALSE(h.vtlb->lookup(0, 0x1000));
+    Addr a = 0x1000;
+    unsigned e = 0;
+    h.vtlb->refill(&a, &e, 1, &a, &e, 1);
+    EXPECT_TRUE(h.vtlb->lookup(0, 0x1000));     // lane 0
+    EXPECT_TRUE(h.vtlb->lookup(16, 0x1000));    // also lane 0
+    EXPECT_FALSE(h.vtlb->lookup(1, 0x1000));    // lane 1 still cold
+}
+
+TEST(VectorTlb, MissedLanesOnlyRefillsJustThose)
+{
+    VHarness h(TlbConfig{}, RefillPolicy::MissedLanesOnly);
+    std::vector<Addr> addrs;
+    std::vector<unsigned> elems;
+    for (unsigned e = 0; e < 32; ++e) {
+        addrs.push_back(0x2000);
+        elems.push_back(e);
+    }
+    // Only element 3 missed (say).
+    Addr miss_a = 0x2000;
+    unsigned miss_e = 3;
+    h.vtlb->refill(&miss_a, &miss_e, 1, addrs.data(), elems.data(),
+                   32);
+    EXPECT_TRUE(h.vtlb->lookup(3, 0x2000));
+    EXPECT_FALSE(h.vtlb->lookup(4, 0x2000));
+}
+
+TEST(VectorTlb, AllLanesPolicyPreloadsEveryLane)
+{
+    VHarness h(TlbConfig{}, RefillPolicy::AllLanes);
+    std::vector<Addr> addrs;
+    std::vector<unsigned> elems;
+    for (unsigned e = 0; e < 32; ++e) {
+        addrs.push_back(0x2000);
+        elems.push_back(e);
+    }
+    Addr miss_a = 0x2000;
+    unsigned miss_e = 3;
+    h.vtlb->refill(&miss_a, &miss_e, 1, addrs.data(), elems.data(),
+                   32);
+    for (unsigned lane = 0; lane < 16; ++lane)
+        EXPECT_TRUE(h.vtlb->lookup(lane, 0x2000)) << lane;
+}
+
+TEST(VectorTlb, RefillCostScalesWithEntries)
+{
+    VHarness h;
+    Addr a1 = 0x1000;
+    unsigned e1 = 0;
+    const Cycle one = h.vtlb->refill(&a1, &e1, 1, &a1, &e1, 1);
+
+    std::vector<Addr> addrs;
+    std::vector<unsigned> elems;
+    for (unsigned e = 0; e < 16; ++e) {
+        addrs.push_back((Addr(e) + 10) << 29);
+        elems.push_back(e);
+    }
+    const Cycle many = h.vtlb->refill(addrs.data(), elems.data(), 16,
+                                      addrs.data(), elems.data(), 16);
+    EXPECT_GT(many, one);
+}
+
+TEST(VectorTlb, ForwardProgressWithEightWayAssociativity)
+{
+    // The paper: a stride can reference 128 pages that all map to the
+    // same TLB index, so each per-lane TLB must be >= 8-way for an
+    // instruction's (up to 8 per lane) translations to coexist.
+    TlbConfig cfg;
+    cfg.entries = 32;
+    cfg.assoc = 8;
+    VHarness h(cfg);
+
+    // 8 pages per lane, all aliasing one set index in a 4-set TLB.
+    std::vector<Addr> addrs;
+    std::vector<unsigned> elems;
+    const unsigned sets = cfg.entries / cfg.assoc;
+    for (unsigned k = 0; k < 8; ++k) {
+        addrs.push_back((Addr(k) * sets) << 29);
+        elems.push_back(0);     // all on lane 0
+    }
+    h.vtlb->refill(addrs.data(), elems.data(), 8, addrs.data(),
+                   elems.data(), 8);
+    // All eight must be simultaneously resident: forward progress.
+    for (unsigned k = 0; k < 8; ++k)
+        EXPECT_TRUE(h.vtlb->lookup(0, addrs[k])) << k;
+}
+
+TEST(VectorTlb, DirectMappedWouldLivelock)
+{
+    // The same scenario with a direct-mapped TLB loses entries: the
+    // offending instruction could never finish translating.
+    TlbConfig cfg;
+    cfg.entries = 32;
+    cfg.assoc = 1;
+    VHarness h(cfg);
+    std::vector<Addr> addrs;
+    std::vector<unsigned> elems;
+    for (unsigned k = 0; k < 8; ++k) {
+        addrs.push_back((Addr(k) * 32) << 29);
+        elems.push_back(0);
+    }
+    h.vtlb->refill(addrs.data(), elems.data(), 8, addrs.data(),
+                   elems.data(), 8);
+    unsigned resident = 0;
+    for (unsigned k = 0; k < 8; ++k)
+        resident += h.vtlb->lookup(0, addrs[k]);
+    EXPECT_LT(resident, 8u);
+}
+
+TEST(VectorTlb, StatsCountMissesAndTraps)
+{
+    VHarness h;
+    h.vtlb->lookup(0, 0x5000);
+    EXPECT_EQ(h.vtlb->numMisses(), 1u);
+    Addr a = 0x5000;
+    unsigned e = 0;
+    h.vtlb->refill(&a, &e, 1, &a, &e, 1);
+    EXPECT_EQ(h.vtlb->numRefills(), 1u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Unit tests for the Tarantula vector instruction semantics: all five
+ * groups (VV, VS, SM, RM, VC), vl/vs/vm behaviour, masking, v31, the
+ * UNPREDICTABLE tail, and the paper's mask-computation idiom.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "program/assembler.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using namespace tarantula::program;
+using exec::DynInst;
+using exec::FunctionalMemory;
+using exec::Interpreter;
+
+struct Harness
+{
+    FunctionalMemory mem;
+    Program prog;
+    std::unique_ptr<Interpreter> interp;
+
+    explicit Harness(Assembler &a, bool poison = false)
+        : prog(a.finalize())
+    {
+        interp = std::make_unique<Interpreter>(prog, mem);
+        interp->setPoisonTail(poison);
+    }
+
+    void run() { interp->run(); }
+    std::uint64_t intReg_(unsigned r)
+    {
+        return interp->state().readInt(static_cast<isa::RegIndex>(r));
+    }
+    Quadword vec(unsigned v, unsigned e)
+    {
+        return interp->state().readVecElem(
+            static_cast<isa::RegIndex>(v), e);
+    }
+    double vecT(unsigned v, unsigned e)
+    {
+        return std::bit_cast<double>(vec(v, e));
+    }
+};
+
+/** Store a double array into functional memory. */
+void
+putArrayT(FunctionalMemory &mem, Addr base, const std::vector<double> &v)
+{
+    mem.write(base, v.data(), v.size() * sizeof(double));
+}
+
+TEST(VecSemantics, StridedLoadUnitStride)
+{
+    Assembler a;
+    a.movi(R(1), 0x10000);
+    a.setvl(128);
+    a.setvs(8);
+    a.vldt(V(1), R(1));
+    a.halt();
+    Harness h(a);
+    std::vector<double> data(128);
+    for (unsigned i = 0; i < 128; ++i)
+        data[i] = i + 0.25;
+    putArrayT(h.mem, 0x10000, data);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i)
+        EXPECT_DOUBLE_EQ(h.vecT(1, i), i + 0.25) << "elem " << i;
+}
+
+TEST(VecSemantics, StridedLoadNonUnit)
+{
+    Assembler a;
+    a.movi(R(1), 0x10000);
+    a.setvl(16);
+    a.setvs(24);    // 3 quadwords
+    a.vldq(V(1), R(1));
+    a.halt();
+    Harness h(a);
+    for (unsigned i = 0; i < 64; ++i)
+        h.mem.writeQ(0x10000 + i * 8, 1000 + i);
+    h.run();
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(h.vec(1, i), 1000 + 3 * i);
+}
+
+TEST(VecSemantics, NegativeStride)
+{
+    Assembler a;
+    a.movi(R(1), 0x10000 + 127 * 8);
+    a.setvl(128);
+    a.setvs(-8);
+    a.vldq(V(1), R(1));
+    a.halt();
+    Harness h(a);
+    for (unsigned i = 0; i < 128; ++i)
+        h.mem.writeQ(0x10000 + i * 8, i);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i)
+        EXPECT_EQ(h.vec(1, i), 127 - i);
+}
+
+TEST(VecSemantics, StridedStore)
+{
+    Assembler a;
+    a.movi(R(1), 0x10000);
+    a.setvl(32);
+    a.setvs(16);
+    a.viota(V(1));
+    a.vstq(V(1), R(1), 8);
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(h.mem.readQ(0x10008 + i * 16), i);
+}
+
+TEST(VecSemantics, GatherAndScatter)
+{
+    Assembler a;
+    a.movi(R(1), 0x10000);      // table base
+    a.movi(R(2), 0x20000);      // output base
+    a.setvl(64);
+    a.setvs(8);
+    a.viota(V(1));
+    a.vmulq(V(2), V(1), std::int64_t(16));  // byte offsets: every other qw
+    a.vgathq(V(3), V(2), R(1));
+    a.vscatq(V(3), V(2), R(2));
+    a.halt();
+    Harness h(a);
+    for (unsigned i = 0; i < 128; ++i)
+        h.mem.writeQ(0x10000 + i * 8, 7000 + i);
+    h.run();
+    for (unsigned i = 0; i < 64; ++i) {
+        EXPECT_EQ(h.vec(3, i), 7000 + 2 * i);
+        EXPECT_EQ(h.mem.readQ(0x20000 + i * 16), 7000 + 2 * i);
+    }
+}
+
+TEST(VecSemantics, VvAndVsArithmeticT)
+{
+    Assembler a;
+    a.movi(R(1), 0x10000);
+    a.setvl(128);
+    a.setvs(8);
+    a.vldt(V(1), R(1));
+    a.vaddt(V(2), V(1), V(1));          // VV: 2x
+    a.fconst(F(1), 10.0, R(9));
+    a.vmult(V(3), V(2), F(1));          // VS: 20x
+    a.vmult(V(4), V(1), 0.5);           // VS imm: x/2
+    a.halt();
+    Harness h(a);
+    std::vector<double> data(128);
+    for (unsigned i = 0; i < 128; ++i)
+        data[i] = i + 1.0;
+    putArrayT(h.mem, 0x10000, data);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i) {
+        EXPECT_DOUBLE_EQ(h.vecT(2, i), 2.0 * (i + 1));
+        EXPECT_DOUBLE_EQ(h.vecT(3, i), 20.0 * (i + 1));
+        EXPECT_DOUBLE_EQ(h.vecT(4, i), 0.5 * (i + 1));
+    }
+}
+
+TEST(VecSemantics, IntegerVectorOps)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));
+    a.vsllq(V(2), V(1), 3);
+    a.vsrlq(V(3), V(2), 3);
+    a.vandq(V(4), V(1), std::int64_t(1));
+    a.vaddq(V(5), V(1), std::int64_t(100));
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i) {
+        EXPECT_EQ(h.vec(2, i), Quadword(i) << 3);
+        EXPECT_EQ(h.vec(3, i), i);
+        EXPECT_EQ(h.vec(4, i), i & 1);
+        EXPECT_EQ(h.vec(5, i), i + 100);
+    }
+}
+
+TEST(VecSemantics, V31ReadsZeroWritesDiscarded)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(31));                     // discarded
+    a.vaddq(V(1), V(31), std::int64_t(7));
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i)
+        EXPECT_EQ(h.vec(1, i), 7u);
+}
+
+TEST(VecSemantics, PaperMaskIdiom)
+{
+    // The paper's example: A(i) != 0 && B(i) > 2 computed entirely in
+    // vector registers, then setvm + masked ops.
+    Assembler a;
+    a.movi(R(1), 0x10000);      // A
+    a.movi(R(2), 0x20000);      // B
+    a.setvl(128);
+    a.setvs(8);
+    a.vldq(V(0), R(1));
+    a.vldq(V(1), R(2));
+    a.vcmpneq(V(6), V(0), std::int64_t(0));
+    a.vcmpltq(V(7), V(1), std::int64_t(3));     // B < 3
+    a.vxorq(V(8), V(7), V(7));                  // zero
+    a.vcmpeqq(V(7), V(7), std::int64_t(0));     // !(B<3) == B>2
+    a.vandq(V(8), V(6), V(7));
+    a.setvm(V(8));
+    // Masked add: C = A + 1000 where mask.
+    a.vaddq(V(9), V(0), std::int64_t(1000), /*m=*/true);
+    a.halt();
+    Harness h(a);
+    for (unsigned i = 0; i < 128; ++i) {
+        h.mem.writeQ(0x10000 + i * 8, i % 3);       // A: 0,1,2,...
+        h.mem.writeQ(0x20000 + i * 8, i % 5);       // B: 0..4
+    }
+    h.run();
+    for (unsigned i = 0; i < 128; ++i) {
+        const bool expect_mask = (i % 3 != 0) && (i % 5 > 2);
+        EXPECT_EQ(h.interp->state().vmBit(i), expect_mask) << i;
+        if (expect_mask) {
+            EXPECT_EQ(h.vec(9, i), (i % 3) + 1000);
+        }
+    }
+}
+
+TEST(VecSemantics, MaskedElementsPreserveDestination)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));
+    a.vaddq(V(2), V(1), std::int64_t(5000));    // V2 = i + 5000
+    a.vandq(V(3), V(1), std::int64_t(1));       // odd mask
+    a.setvm(V(3));
+    a.vaddq(V(2), V(1), std::int64_t(9000), /*m=*/true);
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i) {
+        if (i & 1)
+            EXPECT_EQ(h.vec(2, i), i + 9000);
+        else
+            EXPECT_EQ(h.vec(2, i), i + 5000);   // preserved
+    }
+}
+
+TEST(VecSemantics, MaskedStoreSkipsElements)
+{
+    Assembler a;
+    a.movi(R(1), 0x30000);
+    a.setvl(64);
+    a.setvs(8);
+    a.viota(V(1));
+    a.vandq(V(2), V(1), std::int64_t(1));
+    a.setvm(V(2));
+    a.vstq(V(1), R(1), 0, /*m=*/true);
+    a.halt();
+    Harness h(a);
+    for (unsigned i = 0; i < 64; ++i)
+        h.mem.writeQ(0x30000 + i * 8, 0xffff);
+    h.run();
+    for (unsigned i = 0; i < 64; ++i) {
+        if (i & 1)
+            EXPECT_EQ(h.mem.readQ(0x30000 + i * 8), i);
+        else
+            EXPECT_EQ(h.mem.readQ(0x30000 + i * 8), 0xffffu);
+    }
+}
+
+TEST(VecSemantics, VmergeSelectsByMask)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));
+    a.vaddq(V(2), V(1), std::int64_t(1000));
+    a.vandq(V(3), V(1), std::int64_t(1));
+    a.setvm(V(3));
+    a.vmergeq(V(4), V(1), V(2));
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 128; ++i)
+        EXPECT_EQ(h.vec(4, i), (i & 1) ? i : i + 1000);
+}
+
+TEST(VecSemantics, VlLimitsElements)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));                  // fill all 128
+    a.setvl(10);
+    a.vaddq(V(1), V(1), std::int64_t(100));     // only 0..9
+    a.halt();
+    Harness h(a);
+    h.run();
+    for (unsigned i = 0; i < 10; ++i)
+        EXPECT_EQ(h.vec(1, i), i + 100);
+    for (unsigned i = 10; i < 128; ++i)
+        EXPECT_EQ(h.vec(1, i), i);      // untouched (tail preserved)
+}
+
+TEST(VecSemantics, SetvlClampsTo128)
+{
+    Assembler a;
+    a.movi(R(1), 500);
+    a.setvl(R(1));
+    a.viota(V(1));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_EQ(h.interp->state().vl(), 128u);
+}
+
+TEST(VecSemantics, PoisonTailMarksUnpredictable)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));
+    a.setvl(5);
+    a.vaddq(V(1), V(1), std::int64_t(1));
+    a.halt();
+    Harness h(a, /*poison=*/true);
+    h.run();
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(h.vec(1, i), i + 1);
+    for (unsigned i = 5; i < 128; ++i)
+        EXPECT_EQ(h.vec(1, i), Interpreter::TailPoison);
+}
+
+TEST(VecSemantics, ReductionIdiom)
+{
+    // Sum of 0..127 via the slide-down log tree.
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));
+    for (unsigned k = 64; k >= 1; k /= 2) {
+        a.vslidedown(V(2), V(1), k);
+        a.vaddq(V(1), V(1), V(2));
+    }
+    a.vextractq(R(1), V(1), std::int64_t(0));
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_EQ(h.intReg_(1), 127u * 128 / 2);
+}
+
+TEST(VecSemantics, VextractVinsert)
+{
+    Assembler a;
+    a.setvl(128);
+    a.viota(V(1));
+    a.vextractq(R(1), V(1), std::int64_t(77));
+    a.movi(R(2), 4242);
+    a.vinsertq(V(1), R(2), 3);
+    a.halt();
+    Harness h(a);
+    h.run();
+    EXPECT_EQ(h.intReg_(1), 77u);
+    EXPECT_EQ(h.vec(1, 3), 4242u);
+    EXPECT_EQ(h.vec(1, 4), 4u);     // neighbours untouched
+}
+
+TEST(VecSemantics, DynInstVectorAddressesAndOps)
+{
+    Assembler a;
+    a.movi(R(1), 0x40000);
+    a.setvl(100);
+    a.setvs(8);
+    a.vldt(V(1), R(1));
+    a.vaddt(V(2), V(1), V(1));
+    a.halt();
+    Harness h(a);
+    DynInst d;
+    h.interp->step(d);  // movi (lda)
+    h.interp->step(d);  // setvl
+    h.interp->step(d);  // setvs
+    h.interp->step(d);  // vld
+    EXPECT_EQ(d.vaddrs.size(), 100u);
+    EXPECT_EQ(d.vaddrs[0].addr, 0x40000u);
+    EXPECT_EQ(d.vaddrs[99].addr, 0x40000u + 99 * 8);
+    EXPECT_EQ(d.memops(), 100u);
+    EXPECT_EQ(d.flops(), 0u);
+    h.interp->step(d);  // vaddt
+    EXPECT_EQ(d.flops(), 100u);
+    EXPECT_EQ(d.ops(), 100u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Functional correctness of every workload: the hand-vectorized and
+ * the scalar program must both reproduce the C++ reference, and the
+ * vector program must be insensitive to the UNPREDICTABLE tail (we
+ * run it twice, with tail poisoning on and off -- a kernel that
+ * relies on elements past vl fails the poisoned run).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "base/logging.hh"
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using workloads::Workload;
+
+constexpr std::uint64_t MaxSteps = 1ULL << 28;
+
+void
+runProgram(const program::Program &prog,
+           std::function<void(exec::FunctionalMemory &)> init,
+           std::function<std::string(exec::FunctionalMemory &)> check,
+           bool poison)
+{
+    exec::FunctionalMemory mem;
+    init(mem);
+    exec::Interpreter interp(prog, mem);
+    interp.setPoisonTail(poison);
+    interp.run(MaxSteps);
+    const std::string err = check(mem);
+    EXPECT_TRUE(err.empty()) << err;
+}
+
+class WorkloadFunctional
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadFunctional, VectorMatchesReference)
+{
+    Workload w = workloads::byName(GetParam());
+    runProgram(w.vectorProg, w.init, w.check, /*poison=*/false);
+}
+
+TEST_P(WorkloadFunctional, VectorSurvivesTailPoison)
+{
+    Workload w = workloads::byName(GetParam());
+    runProgram(w.vectorProg, w.init, w.check, /*poison=*/true);
+}
+
+TEST_P(WorkloadFunctional, ScalarMatchesReference)
+{
+    Workload w = workloads::byName(GetParam());
+    runProgram(w.scalarProg, w.init, w.check, /*poison=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadFunctional,
+    ::testing::Values("copy", "scale", "add", "triadd", "rndcopy",
+                      "rndmemscale", "swim", "swim_naive", "art",
+                      "sixtrack", "dgemm", "dtrmm", "sparsemxv", "fft",
+                      "lu", "linpack100", "linpackTPP", "moldyn",
+                      "ccradix", "radix"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(WorkloadRegistry, SuitesAreComplete)
+{
+    EXPECT_EQ(workloads::figureSuite().size(), 12u);
+    EXPECT_EQ(workloads::microkernelSuite().size(), 6u);
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(workloads::byName("nope"), FatalError);
+}
+
+TEST(WorkloadRegistry, MetadataPresent)
+{
+    for (const auto &w : workloads::figureSuite()) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_FALSE(w.description.empty());
+        EXPECT_FALSE(w.vectorProg.empty());
+        EXPECT_FALSE(w.scalarProg.empty());
+    }
+    for (const auto &w : workloads::microkernelSuite())
+        EXPECT_GT(w.usefulBytes, 0.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * End-to-end timing sanity for the benchmark suite: every workload
+ * must run to completion on all Table 3 machines with correct results
+ * and reproduce the paper's headline shapes (Tarantula beats EV8,
+ * EV8+ alone does not explain the win, vector codes sustain double-
+ * digit OPC, gather codes trail).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using workloads::Workload;
+
+proc::RunResult
+runOn(const proc::MachineConfig &cfg, const Workload &w)
+{
+    exec::FunctionalMemory mem;
+    w.init(mem);
+    const auto &prog = cfg.hasVbox ? w.vectorProg : w.scalarProg;
+    proc::Processor p(cfg, prog, mem);
+    for (const auto &r : w.warmRanges) {
+        for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
+            p.l2().warmLine(r.base + o);
+    }
+    auto res = p.run(8ULL << 30);
+    const std::string err = w.check(mem);
+    EXPECT_TRUE(err.empty()) << w.name << ": " << err;
+    return res;
+}
+
+class TimedWorkload : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TimedWorkload, TarantulaBeatsEv8)
+{
+    Workload w = workloads::byName(GetParam());
+    const auto rt = runOn(proc::tarantulaConfig(), w);
+    const auto re = runOn(proc::ev8Config(), w);
+    const double speedup =
+        static_cast<double>(re.cycles) / rt.cycles;
+    EXPECT_GT(speedup, 1.5) << w.name;
+    // Tarantula sustains at least a few operations per cycle on
+    // every suite benchmark.
+    EXPECT_GT(rt.opc(), 3.0) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, TimedWorkload,
+                         ::testing::Values("swim", "sixtrack", "dgemm",
+                                           "sparsemxv", "fft", "lu",
+                                           "moldyn", "ccradix"));
+
+TEST(TimingShapes, Ev8PlusAloneDoesNotExplainTheWin)
+{
+    // Figure 7's central claim: the improved memory system without
+    // vectors (EV8+) buys far less than Tarantula.
+    Workload w = workloads::byName("dgemm");
+    const auto re = runOn(proc::ev8Config(), w);
+    const auto rp = runOn(proc::ev8PlusConfig(), w);
+    const auto rt = runOn(proc::tarantulaConfig(), w);
+    const double plus_speedup =
+        static_cast<double>(re.cycles) / rp.cycles;
+    const double t_speedup =
+        static_cast<double>(re.cycles) / rt.cycles;
+    EXPECT_GT(t_speedup, 2.0 * plus_speedup);
+}
+
+TEST(TimingShapes, GatherCodesTrailDenseCodes)
+{
+    // Figure 6: sparse MxV and radix sort sustain the fewest ops per
+    // cycle; dense algebra the most.
+    const auto dense =
+        runOn(proc::tarantulaConfig(), workloads::byName("dgemm"));
+    const auto sparse = runOn(proc::tarantulaConfig(),
+                              workloads::byName("sparsemxv"));
+    EXPECT_GT(dense.opc(), sparse.opc());
+}
+
+TEST(TimingShapes, SeveralBenchmarksExceedTwentyOpc)
+{
+    unsigned over20 = 0;
+    for (const char *name : {"dgemm", "lu", "fft", "linpackTPP"}) {
+        const auto r =
+            runOn(proc::tarantulaConfig(), workloads::byName(name));
+        if (r.opc() > 20.0)
+            ++over20;
+    }
+    EXPECT_GE(over20, 3u);
+}
+
+TEST(TimingShapes, ShortVectorsHurtLinpack100)
+{
+    // linpack100 is "significantly slower than the TPP counterpart".
+    const auto tpp = runOn(proc::tarantulaConfig(),
+                           workloads::byName("linpackTPP"));
+    const auto l100 = runOn(proc::tarantulaConfig(),
+                            workloads::byName("linpack100"));
+    EXPECT_GT(tpp.opc(), l100.opc());
+}
+
+TEST(TimingShapes, NaiveSwimIsMuchSlower)
+{
+    // The paper: the non-tiled swim was almost 2x slower.
+    const auto tiled =
+        runOn(proc::tarantulaConfig(), workloads::byName("swim"));
+    const auto naive = runOn(proc::tarantulaConfig(),
+                             workloads::byName("swim_naive"));
+    EXPECT_GT(static_cast<double>(naive.cycles) / tiled.cycles, 1.4);
+}
+
+TEST(TimingShapes, MemoryBoundCodeScalesPoorlyWithFrequency)
+{
+    // Figure 8: sparse MxV barely reaches 1.6x at a 2.2x clock.
+    Workload w = workloads::byName("rndmemscale");
+    const auto t = runOn(proc::tarantulaConfig(), w);
+    const auto t4 = runOn(proc::tarantula4Config(), w);
+    const double scaling =
+        t.seconds() / t4.seconds();     // wall-clock speedup
+    EXPECT_LT(scaling, 1.9);
+    EXPECT_GT(scaling, 0.8);
+}
+
+TEST(TimingShapes, CacheResidentCodeScalesWell)
+{
+    Workload w = workloads::byName("dgemm");
+    const auto t = runOn(proc::tarantulaConfig(), w);
+    const auto t4 = runOn(proc::tarantula4Config(), w);
+    const double scaling = t.seconds() / t4.seconds();
+    EXPECT_GT(scaling, 1.6);    // near the 2.25x clock ratio
+}
+
+} // anonymous namespace

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Command-line simulation driver: run any workload from the suite on
+ * any Table 3 machine, verify the result, and print (or save) the
+ * full statistics tree.
+ *
+ *   tarantula_run [--machine EV8|EV8+|T|T4|T10] [--workload NAME]
+ *                 [--list] [--stats FILE] [--no-pump] [--force-crbox]
+ *                 [--max-cycles N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "base/logging.hh"
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "program/encoding.hh"
+#include "workloads/workload.hh"
+
+using namespace tarantula;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: tarantula_run [options]\n"
+        "  --machine M     EV8, EV8+, T (default), T4, T10\n"
+        "  --workload W    workload name (default dgemm); see --list\n"
+        "  --list          list available workloads and exit\n"
+        "  --stats FILE    write the full statistics tree to FILE\n"
+        "  --no-pump       disable the stride-1 PUMP (Figure 9)\n"
+        "  --save-program FILE  serialize the chosen program (binary)\n"
+        "  --force-crbox   route strided accesses through the CR box\n"
+        "  --max-cycles N  simulation safety bound\n");
+}
+
+proc::MachineConfig
+machineByName(const std::string &name)
+{
+    if (name == "EV8")
+        return proc::ev8Config();
+    if (name == "EV8+")
+        return proc::ev8PlusConfig();
+    if (name == "T")
+        return proc::tarantulaConfig();
+    if (name == "T4")
+        return proc::tarantula4Config();
+    if (name == "T10")
+        return proc::tarantula10Config();
+    fatal("unknown machine '%s' (EV8, EV8+, T, T4, T10)",
+          name.c_str());
+}
+
+void
+listWorkloads()
+{
+    std::printf("%-14s %s\n", "name", "description");
+    for (const auto &w : workloads::microkernelSuite())
+        std::printf("%-14s %s\n", w.name.c_str(),
+                    w.description.c_str());
+    for (const auto &w : workloads::figureSuite())
+        std::printf("%-14s %s\n", w.name.c_str(),
+                    w.description.c_str());
+    const auto naive = workloads::swim(false);
+    std::printf("%-14s %s\n", naive.name.c_str(),
+                naive.description.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string machine = "T";
+    std::string workload = "dgemm";
+    std::string stats_file;
+    std::string save_program;
+    bool no_pump = false;
+    bool force_crbox = false;
+    std::uint64_t max_cycles = 8ULL << 30;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--machine") {
+            machine = next();
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--stats") {
+            stats_file = next();
+        } else if (arg == "--save-program") {
+            save_program = next();
+        } else if (arg == "--no-pump") {
+            no_pump = true;
+        } else if (arg == "--force-crbox") {
+            force_crbox = true;
+        } else if (arg == "--max-cycles") {
+            max_cycles = std::stoull(next());
+        } else if (arg == "--list") {
+            listWorkloads();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    proc::MachineConfig cfg = machineByName(machine);
+    cfg.vbox.slicer.pumpEnabled = !no_pump;
+    cfg.vbox.slicer.forceCrBox = force_crbox;
+
+    workloads::Workload w = workloads::byName(workload);
+    exec::FunctionalMemory mem;
+    w.init(mem);
+
+    const auto &prog = cfg.hasVbox ? w.vectorProg : w.scalarProg;
+    if (!save_program.empty()) {
+        program::saveProgram(prog, save_program);
+        std::printf("program:    %zu instructions written to %s\n",
+                    prog.size(), save_program.c_str());
+    }
+    proc::Processor cpu(cfg, prog, mem);
+    for (const auto &r : w.warmRanges) {
+        for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
+            cpu.l2().warmLine(r.base + o);
+    }
+
+    const proc::RunResult r = cpu.run(max_cycles);
+    const std::string err = w.check(mem);
+
+    std::printf("workload:   %s (%s)\n", w.name.c_str(),
+                w.description.c_str());
+    std::printf("machine:    %s @ %.2f GHz (%s program)\n",
+                cfg.name.c_str(), cfg.freqGhz,
+                cfg.hasVbox ? "vector" : "scalar");
+    std::printf("result:     %s\n",
+                err.empty() ? "correct" : err.c_str());
+    std::printf("cycles:     %llu (%.3f ms wall-clock at this "
+                "frequency)\n",
+                static_cast<unsigned long long>(r.cycles),
+                r.seconds() * 1e3);
+    std::printf("insts:      %llu\n",
+                static_cast<unsigned long long>(r.insts));
+    std::printf("ops/cycle:  %.2f (flops %.2f, mem %.2f, other "
+                "%.2f)\n",
+                r.opc(), r.fpc(), r.mpc(), r.otherPc());
+    std::printf("mem raw:    %.1f MB (%.0f MB/s)\n",
+                r.rawBytes / 1e6, r.rawBandwidthMBs());
+    if (w.usefulBytes > 0)
+        std::printf("streams BW: %.0f MB/s\n",
+                    r.bandwidthMBs(w.usefulBytes));
+
+    if (!stats_file.empty()) {
+        std::ofstream out(stats_file);
+        if (!out)
+            fatal("cannot open '%s'", stats_file.c_str());
+        cpu.stats().report(out);
+        std::printf("stats:      written to %s\n", stats_file.c_str());
+    }
+    return err.empty() ? 0 : 1;
+}
