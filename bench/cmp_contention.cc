@@ -25,6 +25,7 @@
 #include "proc/machine_config.hh"
 #include "proc/processor.hh"
 #include "program/assembler.hh"
+#include "sim/sim_farm.hh"
 
 using namespace tarantula;
 using namespace tarantula::program;
@@ -174,28 +175,60 @@ main()
                 "fits the shared 16 MB L2\n");
     std::printf("with reuse across sweeps, two do not.\n\n");
 
-    const Cycle solo = runCmp(1);
-    const Cycle duo = runCmp(2);
+    // The three experiments are independent simulations, so they go
+    // through SimFarm as custom jobs and run concurrently. Each task
+    // builds its entire machine privately (shared-nothing).
+    sim::SimFarm farm;
+    auto cmpTask = [](unsigned n_cores) {
+        return [n_cores] {
+            sim::JobResult r;
+            r.job.machine = "CMP-EV8";
+            r.job.workload =
+                "cmp_sweep_x" + std::to_string(n_cores);
+            r.run.cycles = runCmp(n_cores);
+            r.status = sim::JobStatus::Ok;
+            return r;
+        };
+    };
+    const std::size_t i_solo = farm.submit("cmp_solo", cmpTask(1));
+    const std::size_t i_duo = farm.submit("cmp_duo", cmpTask(2));
+    const std::size_t i_t = farm.submit("tarantula_both", [] {
+        // One Tarantula chews through BOTH working sets, vectorized.
+        sim::JobResult r;
+        r.job.machine = "T";
+        r.job.workload = "cmp_sweep_both";
+        exec::FunctionalMemory mem;
+        const Addr x = 0x10000000;
+        const Addr y = x + 2 * ElemsPerCore * 8 + 4096;
+        fillRegion(mem, x, 2 * ElemsPerCore);
+        fillRegion(mem, y, 2 * ElemsPerCore);
+        Program vp = vectorKernel(x, y, 2 * ElemsPerCore);
+        proc::Processor t(proc::tarantulaConfig(), vp, mem);
+        r.run = t.run(4ULL << 30);
+        r.status = sim::JobStatus::Ok;
+        return r;
+    });
+
+    const sim::BatchResult batch = farm.run();
+    for (const auto &r : batch.jobs) {
+        if (!r.ok())
+            fatal("%s failed: %s", r.job.workload.c_str(),
+                  r.message.c_str());
+    }
+
+    const Cycle solo = batch.jobs[i_solo].run.cycles;
+    const Cycle duo = batch.jobs[i_duo].run.cycles;
+    const Cycle t_both = batch.jobs[i_t].run.cycles;
     std::printf("  1 EV8 core alone:      %10llu cycles\n",
                 static_cast<unsigned long long>(solo));
     std::printf("  2 EV8 cores sharing:   %10llu cycles "
                 "(per-core slowdown %.2fx)\n",
                 static_cast<unsigned long long>(duo),
                 static_cast<double>(duo) / solo);
-
-    // One Tarantula chews through BOTH working sets, vectorized.
-    exec::FunctionalMemory mem;
-    const Addr x = 0x10000000;
-    const Addr y = x + 2 * ElemsPerCore * 8 + 4096;
-    fillRegion(mem, x, 2 * ElemsPerCore);
-    fillRegion(mem, y, 2 * ElemsPerCore);
-    Program vp = vectorKernel(x, y, 2 * ElemsPerCore);
-    proc::Processor t(proc::tarantulaConfig(), vp, mem);
-    const auto rt = t.run(4ULL << 30);
     std::printf("  1 Tarantula, both sets:%10llu cycles (%.2fx "
                 "faster than the 2-core CMP\n"
                 "                          on the same total work)\n",
-                static_cast<unsigned long long>(rt.cycles),
-                static_cast<double>(duo) / rt.cycles);
+                static_cast<unsigned long long>(t_both),
+                static_cast<double>(duo) / t_both);
     return 0;
 }

@@ -2,12 +2,18 @@
  * @file
  * Reproduces Figure 7: the speedup of EV8+ (EV8 core with Tarantula's
  * memory system) and of Tarantula itself over the EV8 baseline.
+ *
+ * The 3-machine x 12-benchmark grid is submitted to SimFarm and runs
+ * on all host threads; results come back in submission order so the
+ * table prints exactly as the serial version did.
  */
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hh"
+#include "sim/sim_farm.hh"
 
 using namespace tarantula;
 using namespace tarantula::bench;
@@ -24,21 +30,36 @@ main()
                 "EV8 cyc", "EV8+ cyc", "T cyc", "EV8+ spd", "T spd");
     rule(68);
 
-    const auto ev8 = proc::ev8Config();
-    const auto ev8p = proc::ev8PlusConfig();
-    const auto t = proc::tarantulaConfig();
+    const char *machines[] = {"EV8", "EV8+", "T"};
+    const auto suite = workloads::figureSuite();
+
+    sim::SimFarm farm;
+    for (const auto &w : suite) {
+        for (const auto *m : machines) {
+            sim::Job job;
+            job.machine = m;
+            job.workload = w.name;
+            farm.submit(job);
+        }
+    }
+    const sim::BatchResult batch = farm.run();
+    for (const auto &r : batch.jobs) {
+        if (!r.ok())
+            fatal("%s on %s: %s", r.job.workload.c_str(),
+                  r.job.machine.c_str(), r.message.c_str());
+    }
 
     double geo_plus = 1.0, geo_t = 1.0;
     unsigned n = 0;
-    for (const auto &w : workloads::figureSuite()) {
-        const auto re = runOn(ev8, w);
-        const auto rp = runOn(ev8p, w);
-        const auto rt = runOn(t, w);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &re = batch.jobs[i * 3 + 0].run;
+        const auto &rp = batch.jobs[i * 3 + 1].run;
+        const auto &rt = batch.jobs[i * 3 + 2].run;
         const double s_plus =
             static_cast<double>(re.cycles) / rp.cycles;
         const double s_t = static_cast<double>(re.cycles) / rt.cycles;
         std::printf("%-12s %10llu %10llu %10llu %10.2f %10.2f\n",
-                    w.name.c_str(),
+                    suite[i].name.c_str(),
                     static_cast<unsigned long long>(re.cycles),
                     static_cast<unsigned long long>(rp.cycles),
                     static_cast<unsigned long long>(rt.cycles), s_plus,
@@ -53,5 +74,9 @@ main()
                     std::pow(geo_plus, 1.0 / n),
                     std::pow(geo_t, 1.0 / n));
     }
+    std::printf("simfarm: %u threads, wall %.1fs "
+                "(serial-equivalent %.1fs)\n",
+                batch.threads, batch.wallSeconds,
+                batch.serialSeconds);
     return 0;
 }

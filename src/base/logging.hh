@@ -34,6 +34,17 @@ struct FatalError : std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * Thrown when a simulation exceeds its configured cycle budget. A
+ * FatalError subtype so existing handlers keep working, but
+ * distinguishable so batch drivers can classify the job as timed out
+ * rather than failed.
+ */
+struct TimeoutError : FatalError
+{
+    using FatalError::FatalError;
+};
+
 namespace detail
 {
 

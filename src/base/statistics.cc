@@ -1,12 +1,35 @@
 #include "base/statistics.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 #include "base/logging.hh"
 
 namespace tarantula::stats
 {
+
+namespace
+{
+
+/**
+ * Print a double as a JSON number. JSON has no NaN/Infinity tokens, so
+ * non-finite values (a Formula dividing by a zero counter) become null.
+ */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // anonymous namespace
 
 StatBase::StatBase(StatGroup &parent, std::string name, std::string desc)
     : name_(std::move(name)), desc_(std::move(desc))
@@ -18,6 +41,12 @@ void
 Scalar::report(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Scalar::reportJson(std::ostream &os) const
+{
+    os << value_;
 }
 
 void
@@ -42,6 +71,18 @@ Average::report(std::ostream &os, const std::string &prefix) const
        << "\n";
     os << prefix << name() << "::min " << min_ << " # " << desc() << "\n";
     os << prefix << name() << "::max " << max_ << " # " << desc() << "\n";
+}
+
+void
+Average::reportJson(std::ostream &os) const
+{
+    os << "{\"count\":" << count_ << ",\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"min\":";
+    jsonNumber(os, min_);
+    os << ",\"max\":";
+    jsonNumber(os, max_);
+    os << "}";
 }
 
 void
@@ -95,6 +136,20 @@ Histogram::report(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Histogram::reportJson(std::ostream &os) const
+{
+    os << "{\"samples\":" << samples_ << ",\"lo\":";
+    jsonNumber(os, lo_);
+    os << ",\"hi\":";
+    jsonNumber(os, hi_);
+    os << ",\"underflow\":" << underflow_
+       << ",\"overflow\":" << overflow_ << ",\"counts\":[";
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        os << (i ? "," : "") << counts_[i];
+    os << "]}";
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
@@ -115,6 +170,12 @@ Formula::report(std::ostream &os, const std::string &prefix) const
        << " # " << desc() << "\n";
 }
 
+void
+Formula::reportJson(std::ostream &os) const
+{
+    jsonNumber(os, value());
+}
+
 StatGroup::StatGroup(std::string name, StatGroup *parent)
     : name_(std::move(name))
 {
@@ -122,15 +183,55 @@ StatGroup::StatGroup(std::string name, StatGroup *parent)
         parent->children_.push_back(this);
 }
 
+std::vector<StatBase *>
+StatGroup::sortedStats() const
+{
+    std::vector<StatBase *> sorted = stats_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const StatBase *a, const StatBase *b) {
+                         return a->name() < b->name();
+                     });
+    return sorted;
+}
+
+std::vector<StatGroup *>
+StatGroup::sortedChildren() const
+{
+    std::vector<StatGroup *> sorted = children_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const StatGroup *a, const StatGroup *b) {
+                         return a->name() < b->name();
+                     });
+    return sorted;
+}
+
 void
 StatGroup::report(std::ostream &os, const std::string &prefix) const
 {
     const std::string here =
         name_.empty() ? prefix : prefix + name_ + ".";
-    for (const auto *stat : stats_)
+    for (const auto *stat : sortedStats())
         stat->report(os, here);
-    for (const auto *child : children_)
+    for (const auto *child : sortedChildren())
         child->report(os, here);
+}
+
+void
+StatGroup::reportJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto *stat : sortedStats()) {
+        os << (first ? "" : ",") << "\"" << stat->name() << "\":";
+        stat->reportJson(os);
+        first = false;
+    }
+    for (const auto *child : sortedChildren()) {
+        os << (first ? "" : ",") << "\"" << child->name() << "\":";
+        child->reportJson(os);
+        first = false;
+    }
+    os << "}";
 }
 
 void

@@ -4,8 +4,15 @@
  *
  * Components own a StatGroup; individual statistics register themselves
  * with the group at construction so a whole component tree can be
- * reported or reset with one call. Everything is plain counters -- the
- * simulator is single-threaded.
+ * reported or reset with one call. Everything is plain counters: a
+ * statistics tree is only ever touched by the thread simulating its
+ * processor (SimFarm runs one whole machine per worker, shared
+ * nothing), so no synchronization is needed.
+ *
+ * Reports come in two formats -- the classic "name value # desc" text
+ * dump and a nested JSON object (reportJson) -- and both emit stats
+ * and child groups in sorted-name order so dumps are byte-for-byte
+ * diffable across runs.
  */
 
 #ifndef TARANTULA_BASE_STATISTICS_HH
@@ -37,6 +44,9 @@ class StatBase
     virtual void report(std::ostream &os, const std::string &prefix)
         const = 0;
 
+    /** Write the statistic's value as a JSON value (no name). */
+    virtual void reportJson(std::ostream &os) const = 0;
+
     /** Return the statistic to its initial state. */
     virtual void reset() = 0;
 
@@ -58,6 +68,7 @@ class Scalar : public StatBase
 
     void report(std::ostream &os, const std::string &prefix)
         const override;
+    void reportJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -77,6 +88,7 @@ class Average : public StatBase
 
     void report(std::ostream &os, const std::string &prefix)
         const override;
+    void reportJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -103,6 +115,7 @@ class Histogram : public StatBase
 
     void report(std::ostream &os, const std::string &prefix)
         const override;
+    void reportJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -125,6 +138,7 @@ class Formula : public StatBase
 
     void report(std::ostream &os, const std::string &prefix)
         const override;
+    void reportJson(std::ostream &os) const override;
     void reset() override {}
 
   private:
@@ -145,8 +159,18 @@ class StatGroup
 
     const std::string &name() const { return name_; }
 
-    /** Recursively write all statistics below this group. */
+    /**
+     * Recursively write all statistics below this group. Stats and
+     * child groups are visited in sorted-name order so dumps are
+     * byte-identical across runs regardless of registration order.
+     */
     void report(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Recursively write the statistics tree as a JSON object, child
+     * groups nested, in the same sorted-name order as report().
+     */
+    void reportJson(std::ostream &os) const;
 
     /** Recursively reset all statistics below this group. */
     void resetStats();
@@ -155,6 +179,9 @@ class StatGroup
     void addStat(StatBase *stat) { stats_.push_back(stat); }
 
   private:
+    std::vector<StatBase *> sortedStats() const;
+    std::vector<StatGroup *> sortedChildren() const;
+
     std::string name_;
     std::vector<StatBase *> stats_;
     std::vector<StatGroup *> children_;

@@ -1,5 +1,7 @@
 #include "proc/machine_config.hh"
 
+#include "base/logging.hh"
+
 namespace tarantula::proc
 {
 
@@ -78,6 +80,30 @@ tarantula10Config()
     m.zbox.cpuPerMemClock = 8.0;
     m.zbox.baseLatency = 160;
     return m;
+}
+
+MachineConfig
+machineByName(const std::string &name)
+{
+    if (name == "EV8")
+        return ev8Config();
+    if (name == "EV8+")
+        return ev8PlusConfig();
+    if (name == "T")
+        return tarantulaConfig();
+    if (name == "T4")
+        return tarantula4Config();
+    if (name == "T10")
+        return tarantula10Config();
+    fatal("unknown machine '%s' (EV8, EV8+, T, T4, T10)", name.c_str());
+}
+
+const std::vector<std::string> &
+machineNames()
+{
+    static const std::vector<std::string> names = {
+        "EV8", "EV8+", "T", "T4", "T10"};
+    return names;
 }
 
 } // namespace tarantula::proc

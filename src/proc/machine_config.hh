@@ -17,6 +17,7 @@
 #define TARANTULA_PROC_MACHINE_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 #include "cache/l2_cache.hh"
 #include "ev8/core.hh"
@@ -37,6 +38,15 @@ struct MachineConfig
     cache::L2Config l2;
     mem::ZboxConfig zbox;
 };
+
+/**
+ * Look a configuration up by its Table 3 name (EV8, EV8+, T, T4,
+ * T10); fatal() on an unknown name.
+ */
+MachineConfig machineByName(const std::string &name);
+
+/** All configuration names machineByName() accepts, in Table 3 order. */
+const std::vector<std::string> &machineNames();
 
 /** Table 3 column "EV8". */
 MachineConfig ev8Config();

@@ -41,9 +41,11 @@ Processor::run(std::uint64_t max_cycles)
     while (!(core_->done() && l2_->idle() && zbox_->idle() &&
              (!vbox_ || vbox_->idle()))) {
         if (now_ >= max_cycles) {
-            fatal("processor '%s': exceeded %llu cycles",
-                  cfg_.name.c_str(),
-                  static_cast<unsigned long long>(max_cycles));
+            const std::string msg =
+                "processor '" + cfg_.name + "': exceeded " +
+                std::to_string(max_cycles) + " cycles";
+            std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+            throw TimeoutError(msg);
         }
         step();
 

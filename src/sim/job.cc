@@ -1,0 +1,84 @@
+#include "sim/job.hh"
+
+#include <chrono>
+#include <exception>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "workloads/workload.hh"
+
+namespace tarantula::sim
+{
+
+const char *
+toString(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:       return "ok";
+      case JobStatus::TimedOut: return "timed_out";
+      case JobStatus::Failed:   return "failed";
+    }
+    return "unknown";
+}
+
+JobResult
+runJob(const Job &job)
+{
+    JobResult result;
+    result.job = job;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto stopClock = [&] {
+        result.hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start).count();
+    };
+
+    try {
+        proc::MachineConfig cfg = proc::machineByName(job.machine);
+        cfg.vbox.slicer.pumpEnabled = !job.noPump;
+        cfg.vbox.slicer.forceCrBox = job.forceCrBox;
+
+        const workloads::Workload w = workloads::byName(job.workload);
+
+        exec::FunctionalMemory mem;
+        w.init(mem);
+
+        const auto &prog = cfg.hasVbox ? w.vectorProg : w.scalarProg;
+        proc::Processor cpu(cfg, prog, mem);
+        for (const auto &r : w.warmRanges) {
+            for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
+                cpu.l2().warmLine(r.base + o);
+        }
+
+        result.run = cpu.run(job.maxCycles);
+
+        const std::string err = w.check(mem);
+        if (!err.empty()) {
+            result.status = JobStatus::Failed;
+            result.message = "wrong result: " + err;
+            stopClock();
+            return result;
+        }
+
+        std::ostringstream stats;
+        cpu.stats().reportJson(stats);
+        result.statsJson = stats.str();
+        result.status = JobStatus::Ok;
+    } catch (const TimeoutError &e) {
+        result.status = JobStatus::TimedOut;
+        result.message = e.what();
+    } catch (const std::exception &e) {
+        result.status = JobStatus::Failed;
+        result.message = e.what();
+    } catch (...) {
+        result.status = JobStatus::Failed;
+        result.message = "unknown exception";
+    }
+    stopClock();
+    return result;
+}
+
+} // namespace tarantula::sim

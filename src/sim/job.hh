@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The SimFarm job: one fully self-contained simulation point of the
+ * paper's machine x workload x knob grid.
+ *
+ * A Job names everything needed to reproduce one run -- the Table 3
+ * machine, the workload, the knob overrides the figure sweeps flip
+ * (--no-pump, --force-crbox), the cycle budget and a seed -- so a job
+ * is a pure value that can be shipped to any worker thread, logged,
+ * or serialized next to its result. runJob() executes one Job in
+ * isolation: it builds a private memory image, Processor and stats
+ * tree, so jobs share no mutable state whatsoever and can run
+ * concurrently without locks.
+ */
+
+#ifndef TARANTULA_SIM_JOB_HH
+#define TARANTULA_SIM_JOB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "proc/processor.hh"
+
+namespace tarantula::sim
+{
+
+/** Specification of one simulation run (a pure value). */
+struct Job
+{
+    std::string machine = "T";     ///< Table 3 machine name
+    std::string workload;          ///< registry name (workloads::byName)
+    bool noPump = false;           ///< disable the stride-1 PUMP
+    bool forceCrBox = false;       ///< route strides through the CR box
+    std::uint64_t maxCycles = 8ULL << 30; ///< simulated-cycle budget
+    std::uint64_t seed = 0;        ///< recorded in results; reserved for
+                                   ///< future randomized workloads
+};
+
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    Ok,       ///< ran to completion and the output check passed
+    TimedOut, ///< exceeded Job::maxCycles
+    Failed,   ///< wrong result, bad spec, or an exception during the run
+};
+
+/** Stable lower-case string form used in JSON records. */
+const char *toString(JobStatus status);
+
+/** Everything one job produced. */
+struct JobResult
+{
+    Job job;
+    JobStatus status = JobStatus::Failed;
+    std::string message;     ///< diagnostic when status != Ok
+    proc::RunResult run;     ///< metrics; valid only when status == Ok
+    std::string statsJson;   ///< full stats tree (JSON object); Ok only
+    double hostSeconds = 0.0; ///< host wall-clock spent on this job
+
+    bool ok() const { return status == JobStatus::Ok; }
+};
+
+/**
+ * Run one job start to finish on the calling thread.
+ *
+ * Never throws: a cycle-budget overrun becomes TimedOut, any other
+ * exception (unknown machine or workload name, wrong result, a
+ * simulator panic) becomes Failed with the diagnostic in message, so
+ * one bad point can never take down a batch.
+ */
+JobResult runJob(const Job &job);
+
+} // namespace tarantula::sim
+
+#endif // TARANTULA_SIM_JOB_HH

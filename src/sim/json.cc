@@ -1,0 +1,167 @@
+#include "sim/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tarantula::sim
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            os_ << ",";
+        hasElement_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << "{";
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    hasElement_.pop_back();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << "[";
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    hasElement_.pop_back();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            os_ << ",";
+        hasElement_.back() = true;
+    }
+    os_ << "\"" << jsonEscape(name) << "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    beforeValue();
+    os_ << "\"" << jsonEscape(s) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    os_ << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    os_ << "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &json)
+{
+    beforeValue();
+    os_ << json;
+    return *this;
+}
+
+} // namespace tarantula::sim

@@ -1,0 +1,106 @@
+#include "sim/result_sink.hh"
+
+#include "sim/json.hh"
+
+namespace tarantula::sim
+{
+
+namespace
+{
+
+void
+writeJobRecordBody(JsonWriter &w, const JobResult &result)
+{
+    w.beginObject();
+    w.key("schema").value(JobSchemaTag);
+    w.key("machine").value(result.job.machine);
+    w.key("workload").value(result.job.workload);
+
+    w.key("knobs").beginObject();
+    w.key("noPump").value(result.job.noPump);
+    w.key("forceCrBox").value(result.job.forceCrBox);
+    w.key("maxCycles").value(result.job.maxCycles);
+    w.key("seed").value(result.job.seed);
+    w.endObject();
+
+    w.key("status").value(toString(result.status));
+    if (!result.message.empty())
+        w.key("message").value(result.message);
+    w.key("hostSeconds").value(result.hostSeconds);
+
+    if (result.ok()) {
+        const auto &r = result.run;
+        w.key("metrics").beginObject();
+        w.key("cycles").value(std::uint64_t{r.cycles});
+        w.key("insts").value(r.insts);
+        w.key("ops").value(r.ops);
+        w.key("flops").value(r.flops);
+        w.key("memops").value(r.memops);
+        w.key("rawBytes").value(r.rawBytes);
+        w.key("dataBytes").value(r.dataBytes);
+        w.key("rowActivates").value(r.rowActivates);
+        w.key("rowPrecharges").value(r.rowPrecharges);
+        w.key("freqGhz").value(r.freqGhz);
+        w.key("opc").value(r.opc());
+        w.key("seconds").value(r.seconds());
+        w.endObject();
+
+        if (!result.statsJson.empty())
+            w.key("stats").raw(result.statsJson);
+    }
+    w.endObject();
+}
+
+} // anonymous namespace
+
+void
+writeJobRecord(std::ostream &os, const JobResult &result)
+{
+    JsonWriter w(os);
+    writeJobRecordBody(w, result);
+    os << "\n";
+}
+
+void
+writeBatchReport(std::ostream &os, const BatchResult &batch)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(BatchSchemaTag);
+
+    w.key("manifest").beginObject();
+    w.key("jobs").value(std::uint64_t{batch.jobs.size()});
+    w.key("threads").value(batch.threads);
+    w.key("wallSeconds").value(batch.wallSeconds);
+    w.key("serialSeconds").value(batch.serialSeconds);
+    w.key("speedupVsSerial").value(batch.speedupVsSerial());
+    w.key("ok").value(
+        std::uint64_t{batch.count(JobStatus::Ok)});
+    w.key("timedOut").value(
+        std::uint64_t{batch.count(JobStatus::TimedOut)});
+    w.key("failed").value(
+        std::uint64_t{batch.count(JobStatus::Failed)});
+    w.key("failures").beginArray();
+    for (const auto &r : batch.jobs) {
+        if (r.ok())
+            continue;
+        w.beginObject();
+        w.key("machine").value(r.job.machine);
+        w.key("workload").value(r.job.workload);
+        w.key("status").value(toString(r.status));
+        w.key("message").value(r.message);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("jobs").beginArray();
+    for (const auto &r : batch.jobs)
+        writeJobRecordBody(w, r);
+    w.endArray();
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace tarantula::sim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * JSON serialization of SimFarm results.
+ *
+ * One schema serves both entry points: `tarantula_run --json` emits a
+ * single `tarantula.job.v1` record and `tarantula_batch` emits a
+ * `tarantula.batch.v1` document holding one such record per job plus
+ * a manifest (wall-clock, speedup over serial, failure summary), so
+ * downstream tooling can plot a figure from either source without
+ * caring how the data was produced. The schema is documented in
+ * EXPERIMENTS.md ("Batch runs and the JSON schema").
+ */
+
+#ifndef TARANTULA_SIM_RESULT_SINK_HH
+#define TARANTULA_SIM_RESULT_SINK_HH
+
+#include <ostream>
+
+#include "sim/sim_farm.hh"
+
+namespace tarantula::sim
+{
+
+/** Schema tags embedded in every document. */
+inline constexpr const char *JobSchemaTag = "tarantula.job.v1";
+inline constexpr const char *BatchSchemaTag = "tarantula.batch.v1";
+
+/**
+ * Write one job's record as a JSON object: the job spec, status,
+ * metrics (when the run completed) and the full statistics tree.
+ */
+void writeJobRecord(std::ostream &os, const JobResult &result);
+
+/**
+ * Write a whole batch as one JSON document: a manifest with
+ * wall-clock, thread count, speedup-vs-serial and per-status counts
+ * (including a compact failure list), then one record per job in
+ * submission order.
+ */
+void writeBatchReport(std::ostream &os, const BatchResult &batch);
+
+} // namespace tarantula::sim
+
+#endif // TARANTULA_SIM_RESULT_SINK_HH

@@ -1,0 +1,117 @@
+#include "sim/sim_farm.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace tarantula::sim
+{
+
+std::size_t
+BatchResult::count(JobStatus status) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(jobs.begin(), jobs.end(),
+                      [status](const JobResult &r) {
+                          return r.status == status;
+                      }));
+}
+
+SimFarm::SimFarm(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::max(1u, std::thread::hardware_concurrency());
+    }
+}
+
+std::size_t
+SimFarm::submit(Job job)
+{
+    const std::size_t index = tasks_.size();
+    tasks_.push_back(
+        [job = std::move(job)]() { return runJob(job); });
+    return index;
+}
+
+std::size_t
+SimFarm::submit(std::string label, std::function<JobResult()> task)
+{
+    const std::size_t index = tasks_.size();
+    tasks_.push_back([label = std::move(label),
+                      task = std::move(task)]() {
+        JobResult result;
+        try {
+            result = task();
+        } catch (const TimeoutError &e) {
+            result.status = JobStatus::TimedOut;
+            result.message = e.what();
+        } catch (const std::exception &e) {
+            result.status = JobStatus::Failed;
+            result.message = e.what();
+        } catch (...) {
+            result.status = JobStatus::Failed;
+            result.message = "unknown exception";
+        }
+        if (result.job.workload.empty())
+            result.job.workload = label;
+        return result;
+    });
+    return index;
+}
+
+BatchResult
+SimFarm::run(const std::function<void(const JobResult &, std::size_t,
+                                      std::size_t)> &progress)
+{
+    BatchResult batch;
+    batch.jobs.resize(tasks_.size());
+    batch.threads = static_cast<unsigned>(std::min<std::size_t>(
+        threads_, std::max<std::size_t>(1, tasks_.size())));
+
+    const auto start = std::chrono::steady_clock::now();
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks_.size())
+                return;
+            batch.jobs[i] = tasks_[i]();
+            const std::size_t n =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(batch.jobs[i], n, tasks_.size());
+            }
+        }
+    };
+
+    if (batch.threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(batch.threads);
+        for (unsigned t = 0; t < batch.threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    batch.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start).count();
+    for (const auto &r : batch.jobs)
+        batch.serialSeconds += r.hostSeconds;
+
+    tasks_.clear();
+    return batch;
+}
+
+} // namespace tarantula::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SimFarm: a shared-nothing thread pool that turns the cycle-level
+ * simulator into a batch throughput engine.
+ *
+ * Reproducing a figure of the paper means sweeping a grid of machine
+ * x workload x knob points, and every point is an independent
+ * simulation: runJob() builds a private memory image, Processor and
+ * statistics tree per job, so N jobs can run on N host threads with
+ * no locks anywhere in the model. SimFarm schedules submitted jobs
+ * onto a fixed pool of workers (work-stealing from a single atomic
+ * cursor), isolates per-job failures (timeout / exception -> a status
+ * on that job's result, never batch death), and reports results in
+ * submission order together with the batch-level wall-clock and the
+ * speedup over running the same jobs serially.
+ */
+
+#ifndef TARANTULA_SIM_SIM_FARM_HH
+#define TARANTULA_SIM_SIM_FARM_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/job.hh"
+
+namespace tarantula::sim
+{
+
+/** What one SimFarm::run() produced. */
+struct BatchResult
+{
+    std::vector<JobResult> jobs;  ///< in submission order
+    unsigned threads = 1;         ///< worker threads actually used
+    double wallSeconds = 0.0;     ///< batch host wall-clock
+    /** Sum of per-job host seconds: the serial-execution estimate. */
+    double serialSeconds = 0.0;
+
+    /** Wall-clock speedup over running the same jobs back to back. */
+    double
+    speedupVsSerial() const
+    {
+        return wallSeconds > 0.0 ? serialSeconds / wallSeconds : 0.0;
+    }
+
+    std::size_t count(JobStatus status) const;
+    bool allOk() const { return count(JobStatus::Ok) == jobs.size(); }
+};
+
+/** Parallel batch scheduler over self-contained simulation jobs. */
+class SimFarm
+{
+  public:
+    /**
+     * @param threads  Worker-thread count; 0 means one worker per
+     *                 host hardware thread. Clamped to the number of
+     *                 submitted jobs at run() time.
+     */
+    explicit SimFarm(unsigned threads = 0);
+
+    /** Queue one grid point; returns its index into the results. */
+    std::size_t submit(Job job);
+
+    /**
+     * Queue an arbitrary task (e.g. a multi-core CMP experiment that
+     * is not a registry workload). The task must be self-contained;
+     * any exception it throws is captured as a Failed result. The
+     * label fills the result's workload field for reporting.
+     */
+    std::size_t submit(std::string label,
+                       std::function<JobResult()> task);
+
+    /**
+     * Run everything submitted so far and block until done.
+     * @param progress  Optional callback invoked (serialized) as each
+     *                  job finishes: (result, done_count, total).
+     */
+    BatchResult run(
+        const std::function<void(const JobResult &, std::size_t,
+                                 std::size_t)> &progress = {});
+
+    std::size_t pending() const { return tasks_.size(); }
+    unsigned threads() const { return threads_; }
+
+  private:
+    unsigned threads_;
+    std::vector<std::function<JobResult()>> tasks_;
+};
+
+} // namespace tarantula::sim
+
+#endif // TARANTULA_SIM_SIM_FARM_HH

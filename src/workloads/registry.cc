@@ -1,6 +1,10 @@
 /**
  * @file
  * The workload registry: suite composition and name lookup.
+ *
+ * A single factory table drives byName(), allWorkloads() and the
+ * suite builders, so a workload added to the table is automatically
+ * visible to --list, the batch sweeps and the registry tests.
  */
 
 #include "workloads/workload.hh"
@@ -9,6 +13,44 @@
 
 namespace tarantula::workloads
 {
+
+namespace
+{
+
+struct RegistryEntry
+{
+    const char *name;     ///< byName() key == Workload::name
+    Workload (*make)();
+};
+
+/**
+ * Table 4 microkernels first, then the figure suite in the paper's
+ * order, then the study-only variants.
+ */
+const RegistryEntry kRegistry[] = {
+    {"copy",        [] { return streamsCopy(); }},
+    {"scale",       [] { return streamsScale(); }},
+    {"add",         [] { return streamsAdd(); }},
+    {"triadd",      [] { return streamsTriadd(); }},
+    {"rndcopy",     [] { return rndCopy(); }},
+    {"rndmemscale", [] { return rndMemScale(); }},
+    {"swim",        [] { return swim(true); }},
+    {"art",         [] { return art(); }},
+    {"sixtrack",    [] { return sixtrack(); }},
+    {"dgemm",       [] { return dgemm(); }},
+    {"dtrmm",       [] { return dtrmm(); }},
+    {"sparsemxv",   [] { return sparseMxv(); }},
+    {"fft",         [] { return fft(); }},
+    {"lu",          [] { return lu(); }},
+    {"linpack100",  [] { return linpack100(); }},
+    {"linpackTPP",  [] { return linpackTpp(); }},
+    {"moldyn",      [] { return moldyn(); }},
+    {"ccradix",     [] { return ccradix(); }},
+    {"swim_naive",  [] { return swim(false); }},
+    {"radix",       [] { return radixNaive(); }},
+};
+
+} // anonymous namespace
 
 std::vector<Workload>
 figureSuite()
@@ -42,49 +84,22 @@ microkernelSuite()
     return suite;
 }
 
+std::vector<Workload>
+allWorkloads()
+{
+    std::vector<Workload> all;
+    for (const auto &entry : kRegistry)
+        all.push_back(entry.make());
+    return all;
+}
+
 Workload
 byName(const std::string &name)
 {
-    if (name == "swim")
-        return swim(true);
-    if (name == "swim_naive")
-        return swim(false);
-    if (name == "art")
-        return art();
-    if (name == "sixtrack")
-        return sixtrack();
-    if (name == "dgemm")
-        return dgemm();
-    if (name == "dtrmm")
-        return dtrmm();
-    if (name == "sparsemxv")
-        return sparseMxv();
-    if (name == "fft")
-        return fft();
-    if (name == "lu")
-        return lu();
-    if (name == "linpack100")
-        return linpack100();
-    if (name == "linpackTPP")
-        return linpackTpp();
-    if (name == "moldyn")
-        return moldyn();
-    if (name == "ccradix")
-        return ccradix();
-    if (name == "radix")
-        return radixNaive();
-    if (name == "copy")
-        return streamsCopy();
-    if (name == "scale")
-        return streamsScale();
-    if (name == "add")
-        return streamsAdd();
-    if (name == "triadd")
-        return streamsTriadd();
-    if (name == "rndcopy")
-        return rndCopy();
-    if (name == "rndmemscale")
-        return rndMemScale();
+    for (const auto &entry : kRegistry) {
+        if (name == entry.name)
+            return entry.make();
+    }
     fatal("unknown workload '%s'", name.c_str());
 }
 

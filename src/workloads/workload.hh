@@ -103,6 +103,14 @@ std::vector<Workload> figureSuite();
 /** The Table 4 microkernel set. */
 std::vector<Workload> microkernelSuite();
 
+/**
+ * Every registered workload exactly once: the Table 4 microkernels,
+ * the figure suite, and the extra study variants (swim_naive, the
+ * untuned radix). Each entry's name is its byName() key, so the
+ * returned set is the complete sweep domain for batch drivers.
+ */
+std::vector<Workload> allWorkloads();
+
 /** Look a workload up by name (fatal if unknown). */
 Workload byName(const std::string &name);
 

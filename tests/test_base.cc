@@ -191,4 +191,79 @@ TEST(Stats, NestedGroupsReportWithPrefix)
     EXPECT_NE(os.str().find("machine.cache.hits 3"), std::string::npos);
 }
 
+/**
+ * Regression: report() and reportJson() must order stats and child
+ * groups by name, not by registration order, so dumps from different
+ * builds/runs are diffable byte for byte.
+ */
+TEST(Stats, ReportOrderIsSortedRegardlessOfRegistration)
+{
+    stats::StatGroup root("root");
+    // Deliberately register in reverse-alphabetical order.
+    stats::StatGroup zebra("zebra", &root);
+    stats::StatGroup apple("apple", &root);
+    stats::Scalar beta(root, "beta", "second");
+    stats::Scalar alpha(root, "alpha", "first");
+    stats::Scalar zhits(zebra, "hits", "zebra hits");
+    stats::Scalar ahits(apple, "hits", "apple hits");
+    alpha += 1;
+    beta += 2;
+    ahits += 3;
+    zhits += 4;
+
+    std::ostringstream os;
+    root.report(os);
+    const std::string text = os.str();
+    const auto p_alpha = text.find("root.alpha 1");
+    const auto p_beta = text.find("root.beta 2");
+    const auto p_apple = text.find("root.apple.hits 3");
+    const auto p_zebra = text.find("root.zebra.hits 4");
+    ASSERT_NE(p_alpha, std::string::npos);
+    ASSERT_NE(p_beta, std::string::npos);
+    ASSERT_NE(p_apple, std::string::npos);
+    ASSERT_NE(p_zebra, std::string::npos);
+    // Stats first (sorted), then children (sorted).
+    EXPECT_LT(p_alpha, p_beta);
+    EXPECT_LT(p_beta, p_apple);
+    EXPECT_LT(p_apple, p_zebra);
+
+    std::ostringstream js;
+    root.reportJson(js);
+    EXPECT_EQ(js.str(),
+              "{\"alpha\":1,\"beta\":2,"
+              "\"apple\":{\"hits\":3},\"zebra\":{\"hits\":4}}");
+
+    // A second dump is byte-identical.
+    std::ostringstream os2, js2;
+    root.report(os2);
+    root.reportJson(js2);
+    EXPECT_EQ(os2.str(), text);
+    EXPECT_EQ(js2.str(), js.str());
+}
+
+TEST(Stats, JsonReportCoversEveryStatKind)
+{
+    stats::StatGroup root("root");
+    stats::Scalar s(root, "count", "scalar");
+    stats::Average a(root, "avg", "average");
+    stats::Histogram h(root, "hist", "histogram", 0.0, 4.0, 2);
+    stats::Formula bad(root, "ratio", "divides by zero",
+                       [] { return 1.0 / 0.0; });
+    s += 7;
+    a.sample(2.0);
+    a.sample(4.0);
+    h.sample(1.0);
+    h.sample(3.0);
+
+    std::ostringstream js;
+    root.reportJson(js);
+    const std::string text = js.str();
+    EXPECT_NE(text.find("\"count\":7"), std::string::npos);
+    EXPECT_NE(text.find("\"avg\":{\"count\":2,\"mean\":3"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"counts\":[1,1]"), std::string::npos);
+    // Non-finite formula values must degrade to null, not break JSON.
+    EXPECT_NE(text.find("\"ratio\":null"), std::string::npos);
+}
+
 } // anonymous namespace

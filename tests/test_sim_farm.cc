@@ -1,0 +1,449 @@
+/**
+ * @file
+ * SimFarm: the parallel batch engine must produce results
+ * bit-identical to serial single runs, isolate per-job timeouts and
+ * failures without aborting the batch, and export well-formed JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/job.hh"
+#include "sim/json.hh"
+#include "sim/result_sink.hh"
+#include "sim/sim_farm.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tarantula;
+
+// ---- A minimal JSON syntax checker (accepts any valid document) ------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    /** Throws std::runtime_error on malformed input. */
+    void
+    check()
+    {
+        skipWs();
+        value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters");
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error(
+            why + " at offset " + std::to_string(pos_));
+    }
+
+    char
+    peek() const
+    {
+        if (pos_ >= s_.size())
+            throw std::runtime_error("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    void
+    value()
+    {
+        switch (peek()) {
+          case '{': object(); break;
+          case '[': array(); break;
+          case '"': string(); break;
+          case 't': literal("true"); break;
+          case 'f': literal("false"); break;
+          case 'n': literal("null"); break;
+          default: number(); break;
+        }
+    }
+
+    void
+    object()
+    {
+        expect('{');
+        skipWs();
+        if (peek() == '}') { ++pos_; return; }
+        for (;;) {
+            skipWs();
+            string();
+            skipWs();
+            expect(':');
+            skipWs();
+            value();
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            expect('}');
+            return;
+        }
+    }
+
+    void
+    array()
+    {
+        expect('[');
+        skipWs();
+        if (peek() == ']') { ++pos_; return; }
+        for (;;) {
+            skipWs();
+            value();
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            expect(']');
+            return;
+        }
+    }
+
+    void
+    string()
+    {
+        expect('"');
+        while (peek() != '"') {
+            if (static_cast<unsigned char>(peek()) < 0x20)
+                fail("raw control character in string");
+            if (peek() == '\\') {
+                ++pos_;
+                const char e = peek();
+                if (e == 'u') {
+                    ++pos_;
+                    for (int i = 0; i < 4; ++i, ++pos_) {
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(peek())))
+                            fail("bad \\u escape");
+                    }
+                    continue;
+                }
+                if (std::string("\"\\/bfnrt").find(e) ==
+                    std::string::npos)
+                    fail("bad escape");
+            }
+            ++pos_;
+        }
+        ++pos_;
+    }
+
+    void
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+    }
+
+    void
+    literal(const std::string &word)
+    {
+        if (s_.compare(pos_, word.size(), word) != 0)
+            fail("bad literal");
+        pos_ += word.size();
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+void
+expectValidJson(const std::string &text)
+{
+    EXPECT_NO_THROW(JsonChecker(text).check()) << text.substr(0, 400);
+}
+
+std::size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+// ---- The batch engine itself -----------------------------------------
+
+const char *const kMachines[] = {"EV8", "T", "T4"};
+const char *const kWorkloads[] = {"sparsemxv", "fft", "lu"};
+
+/**
+ * The acceptance property of the whole subsystem: a 3-machine x
+ * 3-workload batch on 4 threads succeeds on every point and every
+ * point is bit-identical to running the same job serially.
+ */
+TEST(SimFarm, ParallelBatchMatchesSerialBitExactly)
+{
+    std::vector<sim::Job> grid;
+    for (const auto *m : kMachines) {
+        for (const auto *w : kWorkloads) {
+            sim::Job job;
+            job.machine = m;
+            job.workload = w;
+            grid.push_back(job);
+        }
+    }
+
+    // Serial reference: one job at a time on the calling thread.
+    std::vector<sim::JobResult> serial;
+    for (const auto &job : grid)
+        serial.push_back(sim::runJob(job));
+
+    sim::SimFarm farm(4);
+    for (const auto &job : grid)
+        farm.submit(job);
+    const sim::BatchResult batch = farm.run();
+
+    ASSERT_EQ(batch.jobs.size(), grid.size());
+    EXPECT_TRUE(batch.allOk());
+    EXPECT_EQ(batch.count(sim::JobStatus::Ok), grid.size());
+    EXPECT_GT(batch.wallSeconds, 0.0);
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto &s = serial[i];
+        const auto &p = batch.jobs[i];
+        SCOPED_TRACE(grid[i].machine + "/" + grid[i].workload);
+        ASSERT_EQ(p.status, sim::JobStatus::Ok) << p.message;
+        ASSERT_EQ(s.status, sim::JobStatus::Ok) << s.message;
+        EXPECT_EQ(p.job.machine, grid[i].machine);
+        EXPECT_EQ(p.job.workload, grid[i].workload);
+        EXPECT_EQ(p.run.cycles, s.run.cycles);
+        EXPECT_EQ(p.run.insts, s.run.insts);
+        EXPECT_EQ(p.run.ops, s.run.ops);
+        EXPECT_EQ(p.run.flops, s.run.flops);
+        EXPECT_EQ(p.run.memops, s.run.memops);
+        EXPECT_EQ(p.run.rawBytes, s.run.rawBytes);
+        EXPECT_EQ(p.run.dataBytes, s.run.dataBytes);
+        EXPECT_EQ(p.run.rowActivates, s.run.rowActivates);
+        EXPECT_EQ(p.run.rowPrecharges, s.run.rowPrecharges);
+        // The strongest form of "bit-identical": the entire
+        // statistics tree serializes to the same bytes.
+        EXPECT_EQ(p.statsJson, s.statsJson);
+    }
+}
+
+/**
+ * An injected always-timeout job must be reported as TimedOut while
+ * the rest of the batch completes normally.
+ */
+TEST(SimFarm, TimeoutIsIsolatedFromTheBatch)
+{
+    sim::SimFarm farm(4);
+
+    sim::Job ok_job;
+    ok_job.machine = "T";
+    ok_job.workload = "fft";
+    const std::size_t i_ok = farm.submit(ok_job);
+
+    sim::Job doomed = ok_job;
+    doomed.maxCycles = 1000;    // fft needs far more than 1000 cycles
+    const std::size_t i_doomed = farm.submit(doomed);
+
+    const sim::BatchResult batch = farm.run();
+    ASSERT_EQ(batch.jobs.size(), 2u);
+
+    EXPECT_EQ(batch.jobs[i_ok].status, sim::JobStatus::Ok)
+        << batch.jobs[i_ok].message;
+    EXPECT_EQ(batch.jobs[i_doomed].status, sim::JobStatus::TimedOut);
+    EXPECT_NE(batch.jobs[i_doomed].message.find("exceeded"),
+              std::string::npos);
+    EXPECT_FALSE(batch.allOk());
+    EXPECT_EQ(batch.count(sim::JobStatus::Ok), 1u);
+    EXPECT_EQ(batch.count(sim::JobStatus::TimedOut), 1u);
+}
+
+/** A bad spec or a throwing custom task is Failed, never batch death. */
+TEST(SimFarm, FailuresAreCapturedPerJob)
+{
+    sim::SimFarm farm(2);
+
+    sim::Job bogus;
+    bogus.machine = "T";
+    bogus.workload = "no_such_workload";
+    const std::size_t i_bogus = farm.submit(bogus);
+
+    const std::size_t i_throw = farm.submit(
+        "exploding_task", []() -> sim::JobResult {
+            throw std::runtime_error("boom");
+        });
+
+    const sim::BatchResult batch = farm.run();
+    ASSERT_EQ(batch.jobs.size(), 2u);
+    EXPECT_EQ(batch.jobs[i_bogus].status, sim::JobStatus::Failed);
+    EXPECT_NE(batch.jobs[i_bogus].message.find("no_such_workload"),
+              std::string::npos);
+    EXPECT_EQ(batch.jobs[i_throw].status, sim::JobStatus::Failed);
+    EXPECT_EQ(batch.jobs[i_throw].message, "boom");
+    EXPECT_EQ(batch.jobs[i_throw].job.workload, "exploding_task");
+    EXPECT_EQ(batch.count(sim::JobStatus::Failed), 2u);
+}
+
+/** Results come back in submission order and the progress callback
+ *  sees every completion exactly once. */
+TEST(SimFarm, ResultsKeepSubmissionOrder)
+{
+    sim::SimFarm farm(4);
+    constexpr int N = 16;
+    for (int i = 0; i < N; ++i) {
+        farm.submit("task" + std::to_string(i), [i] {
+            sim::JobResult r;
+            r.status = sim::JobStatus::Ok;
+            r.message = "task" + std::to_string(i);
+            return r;
+        });
+    }
+    std::size_t calls = 0;
+    const sim::BatchResult batch = farm.run(
+        [&](const sim::JobResult &, std::size_t, std::size_t total) {
+            ++calls;
+            EXPECT_EQ(total, static_cast<std::size_t>(N));
+        });
+    EXPECT_EQ(calls, static_cast<std::size_t>(N));
+    ASSERT_EQ(batch.jobs.size(), static_cast<std::size_t>(N));
+    for (int i = 0; i < N; ++i)
+        EXPECT_EQ(batch.jobs[i].message, "task" + std::to_string(i));
+}
+
+// ---- JSON export ------------------------------------------------------
+
+/** Build a plausible BatchResult without running any simulations. */
+sim::BatchResult
+syntheticBatch()
+{
+    sim::BatchResult batch;
+    batch.threads = 4;
+    batch.wallSeconds = 1.5;
+    batch.serialSeconds = 5.0;
+
+    sim::JobResult ok;
+    ok.job.machine = "T";
+    ok.job.workload = "dgemm";
+    ok.status = sim::JobStatus::Ok;
+    ok.run.machine = "T";
+    ok.run.cycles = 12345;
+    ok.run.insts = 678;
+    ok.run.freqGhz = 2.13;
+    ok.statsJson = "{\"core\":{\"retired\":678}}";
+    ok.hostSeconds = 2.0;
+    batch.jobs.push_back(ok);
+
+    sim::JobResult timed_out;
+    timed_out.job.machine = "EV8";
+    timed_out.job.workload = "fft";
+    timed_out.status = sim::JobStatus::TimedOut;
+    timed_out.message = "processor 'EV8': exceeded 1000 cycles";
+    batch.jobs.push_back(timed_out);
+
+    sim::JobResult failed;
+    failed.job.machine = "T4";
+    failed.job.workload = "weird \"name\"\nwith\tescapes\x01";
+    failed.status = sim::JobStatus::Failed;
+    failed.message = "wrong result: c[0] = 1 \\ expected 2";
+    batch.jobs.push_back(failed);
+    return batch;
+}
+
+TEST(ResultSink, BatchReportIsValidJsonWithOneRecordPerJob)
+{
+    const sim::BatchResult batch = syntheticBatch();
+    std::ostringstream os;
+    sim::writeBatchReport(os, batch);
+    const std::string text = os.str();
+
+    expectValidJson(text);
+    EXPECT_EQ(countOccurrences(text, "\"schema\":\"tarantula.job.v1\""),
+              batch.jobs.size());
+    EXPECT_EQ(countOccurrences(text,
+                               "\"schema\":\"tarantula.batch.v1\""),
+              1u);
+    EXPECT_NE(text.find("\"speedupVsSerial\":"), std::string::npos);
+    EXPECT_NE(text.find("\"timedOut\":1"), std::string::npos);
+    EXPECT_NE(text.find("\"failed\":1"), std::string::npos);
+    // The failure summary names both non-ok jobs.
+    EXPECT_NE(text.find("exceeded 1000 cycles"), std::string::npos);
+    EXPECT_NE(text.find("wrong result"), std::string::npos);
+}
+
+TEST(ResultSink, SingleRecordIsValidJsonAndEscapes)
+{
+    const sim::BatchResult batch = syntheticBatch();
+    for (const auto &r : batch.jobs) {
+        std::ostringstream os;
+        sim::writeJobRecord(os, r);
+        expectValidJson(os.str());
+    }
+}
+
+TEST(ResultSink, MetricsOnlyOnSuccessfulJobs)
+{
+    const sim::BatchResult batch = syntheticBatch();
+    std::ostringstream ok_os, bad_os;
+    sim::writeJobRecord(ok_os, batch.jobs[0]);
+    sim::writeJobRecord(bad_os, batch.jobs[1]);
+    EXPECT_NE(ok_os.str().find("\"metrics\":"), std::string::npos);
+    EXPECT_NE(ok_os.str().find("\"stats\":"), std::string::npos);
+    EXPECT_EQ(bad_os.str().find("\"metrics\":"), std::string::npos);
+    EXPECT_EQ(bad_os.str().find("\"stats\":"), std::string::npos);
+}
+
+TEST(Json, EscapeCoversControlAndQuoteCharacters)
+{
+    EXPECT_EQ(sim::jsonEscape("plain"), "plain");
+    EXPECT_EQ(sim::jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(sim::jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(sim::jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(sim::jsonEscape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(Json, WriterTracksNestingAndCommas)
+{
+    std::ostringstream os;
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.key("a").value(std::uint64_t{1});
+    w.key("b").beginArray();
+    w.value("x").value(true).null().value(2.5);
+    w.endArray();
+    w.key("c").beginObject().endObject();
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"a\":1,\"b\":[\"x\",true,null,2.5],\"c\":{}}");
+    expectValidJson(os.str());
+}
+
+} // anonymous namespace

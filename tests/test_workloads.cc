@@ -12,6 +12,7 @@
 #include <cctype>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "base/logging.hh"
@@ -85,6 +86,27 @@ TEST(WorkloadRegistry, SuitesAreComplete)
 {
     EXPECT_EQ(workloads::figureSuite().size(), 12u);
     EXPECT_EQ(workloads::microkernelSuite().size(), 6u);
+}
+
+TEST(WorkloadRegistry, AllWorkloadsRoundTripsThroughByName)
+{
+    const auto all = workloads::allWorkloads();
+    // 6 microkernels + 12 figure benchmarks + swim_naive + radix.
+    EXPECT_EQ(all.size(), 20u);
+
+    std::set<std::string> names;
+    for (const auto &w : all) {
+        EXPECT_TRUE(names.insert(w.name).second)
+            << "duplicate registry name " << w.name;
+        // The registry key is the workload's own name.
+        EXPECT_EQ(workloads::byName(w.name).name, w.name);
+    }
+
+    // Both suites are subsets of the full registry.
+    for (const auto &w : workloads::figureSuite())
+        EXPECT_EQ(names.count(w.name), 1u) << w.name;
+    for (const auto &w : workloads::microkernelSuite())
+        EXPECT_EQ(names.count(w.name), 1u) << w.name;
 }
 
 TEST(WorkloadRegistry, UnknownNameIsFatal)

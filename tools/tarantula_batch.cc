@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Batch sweep driver: run a machine x workload x knob grid through
+ * SimFarm's worker pool and export every result as JSON.
+ *
+ *   tarantula_batch [--machines EV8,T,...|all] [--workloads all|micro|
+ *                   figure|NAME,NAME,...] [--jobs N] [--json FILE]
+ *                   [--no-pump] [--force-crbox] [--max-cycles N]
+ *                   [--quiet] [--list]
+ *
+ * One invocation reproduces the Figure 6/7 grids: e.g.
+ *   tarantula_batch --machines EV8,EV8+,T --workloads figure --jobs 8
+ * Progress goes to stderr; the JSON batch report goes to stdout or to
+ * the --json file, so the tool composes with shell pipelines.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "proc/machine_config.hh"
+#include "sim/result_sink.hh"
+#include "sim/sim_farm.hh"
+#include "workloads/workload.hh"
+
+using namespace tarantula;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: tarantula_batch [options]\n"
+        "  --machines LIST  comma-separated Table 3 names, or 'all'\n"
+        "                   (default T); EV8, EV8+, T, T4, T10\n"
+        "  --workloads LIST 'all', 'micro', 'figure', or a\n"
+        "                   comma-separated name list (default all)\n"
+        "  --jobs N         worker threads (default: host threads)\n"
+        "  --json FILE      write the batch report there instead of\n"
+        "                   stdout\n"
+        "  --no-pump        disable the stride-1 PUMP on every job\n"
+        "  --force-crbox    route strided accesses through the CR box\n"
+        "  --max-cycles N   per-job simulated-cycle budget\n"
+        "  --quiet          no per-job progress on stderr\n"
+        "  --list           list machines and workloads, then exit\n");
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+std::vector<std::string>
+workloadNames(const std::string &spec)
+{
+    std::vector<std::string> names;
+    if (spec == "all") {
+        for (const auto &w : workloads::allWorkloads())
+            names.push_back(w.name);
+    } else if (spec == "micro") {
+        for (const auto &w : workloads::microkernelSuite())
+            names.push_back(w.name);
+    } else if (spec == "figure") {
+        for (const auto &w : workloads::figureSuite())
+            names.push_back(w.name);
+    } else {
+        names = splitCsv(spec);
+    }
+    return names;
+}
+
+void
+listEverything()
+{
+    std::printf("machines:\n");
+    for (const auto &m : proc::machineNames())
+        std::printf("  %s\n", m.c_str());
+    std::printf("workloads:\n");
+    for (const auto &w : workloads::allWorkloads())
+        std::printf("  %-14s %s\n", w.name.c_str(),
+                    w.description.c_str());
+}
+
+std::uint64_t
+parseU64(const std::string &arg, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("invalid number '%s' for %s", value.c_str(),
+              arg.c_str());
+    }
+}
+
+int
+run(int argc, char **argv)
+{
+    std::string machines_spec = "T";
+    std::string workloads_spec = "all";
+    std::string json_file;
+    unsigned jobs = 0;
+    bool no_pump = false;
+    bool force_crbox = false;
+    bool quiet = false;
+    std::uint64_t max_cycles = 8ULL << 30;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--machines") {
+            machines_spec = next();
+        } else if (arg == "--workloads") {
+            workloads_spec = next();
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--json") {
+            json_file = next();
+        } else if (arg == "--no-pump") {
+            no_pump = true;
+        } else if (arg == "--force-crbox") {
+            force_crbox = true;
+        } else if (arg == "--max-cycles") {
+            max_cycles = parseU64(arg, next());
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list") {
+            listEverything();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    std::vector<std::string> machines;
+    if (machines_spec == "all")
+        machines = proc::machineNames();
+    else
+        machines = splitCsv(machines_spec);
+    const std::vector<std::string> names =
+        workloadNames(workloads_spec);
+    if (machines.empty() || names.empty())
+        fatal("empty sweep: no machines or no workloads selected");
+
+    // Validate the spec up front so a typo fails fast rather than as
+    // N failed jobs deep into the sweep.
+    for (const auto &m : machines)
+        proc::machineByName(m);
+    for (const auto &n : names)
+        workloads::byName(n);
+
+    sim::SimFarm farm(jobs);
+    for (const auto &m : machines) {
+        for (const auto &n : names) {
+            sim::Job job;
+            job.machine = m;
+            job.workload = n;
+            job.noPump = no_pump;
+            job.forceCrBox = force_crbox;
+            job.maxCycles = max_cycles;
+            farm.submit(job);
+        }
+    }
+
+    std::fprintf(stderr,
+                 "simfarm: %zu jobs (%zu machines x %zu workloads) "
+                 "on %u threads\n",
+                 farm.pending(), machines.size(), names.size(),
+                 farm.threads());
+
+    auto progress = [&](const sim::JobResult &r, std::size_t done,
+                        std::size_t total) {
+        if (quiet)
+            return;
+        std::fprintf(stderr, "[%3zu/%zu] %-9s %s/%s (%.2fs)\n", done,
+                     total, sim::toString(r.status),
+                     r.job.machine.c_str(), r.job.workload.c_str(),
+                     r.hostSeconds);
+    };
+    const sim::BatchResult batch = farm.run(progress);
+
+    std::fprintf(stderr,
+                 "simfarm: %zu ok, %zu timed out, %zu failed; "
+                 "wall %.2fs, serial-equivalent %.2fs, speedup "
+                 "%.2fx\n",
+                 batch.count(sim::JobStatus::Ok),
+                 batch.count(sim::JobStatus::TimedOut),
+                 batch.count(sim::JobStatus::Failed),
+                 batch.wallSeconds, batch.serialSeconds,
+                 batch.speedupVsSerial());
+
+    if (json_file.empty()) {
+        sim::writeBatchReport(std::cout, batch);
+    } else {
+        std::ofstream out(json_file);
+        if (!out)
+            fatal("cannot open '%s'", json_file.c_str());
+        sim::writeBatchReport(out, batch);
+        std::fprintf(stderr, "simfarm: report written to %s\n",
+                     json_file.c_str());
+    }
+    return batch.allOk() ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 2; // fatal() already printed the message
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -5,14 +5,20 @@
  * full statistics tree.
  *
  *   tarantula_run [--machine EV8|EV8+|T|T4|T10] [--workload NAME]
- *                 [--list] [--stats FILE] [--no-pump] [--force-crbox]
- *                 [--max-cycles N]
+ *                 [--list] [--stats FILE] [--json FILE] [--no-pump]
+ *                 [--force-crbox] [--max-cycles N]
+ *
+ * --json writes the same tarantula.job.v1 record SimFarm's
+ * tarantula_batch emits per job, so single runs and batch sweeps
+ * share one machine-readable schema.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "base/logging.hh"
@@ -20,6 +26,7 @@
 #include "proc/machine_config.hh"
 #include "proc/processor.hh"
 #include "program/encoding.hh"
+#include "sim/result_sink.hh"
 #include "workloads/workload.hh"
 
 using namespace tarantula;
@@ -36,52 +43,45 @@ usage()
         "  --workload W    workload name (default dgemm); see --list\n"
         "  --list          list available workloads and exit\n"
         "  --stats FILE    write the full statistics tree to FILE\n"
+        "  --json FILE     write a tarantula.job.v1 JSON record to "
+        "FILE\n"
         "  --no-pump       disable the stride-1 PUMP (Figure 9)\n"
         "  --save-program FILE  serialize the chosen program (binary)\n"
         "  --force-crbox   route strided accesses through the CR box\n"
         "  --max-cycles N  simulation safety bound\n");
 }
 
-proc::MachineConfig
-machineByName(const std::string &name)
-{
-    if (name == "EV8")
-        return proc::ev8Config();
-    if (name == "EV8+")
-        return proc::ev8PlusConfig();
-    if (name == "T")
-        return proc::tarantulaConfig();
-    if (name == "T4")
-        return proc::tarantula4Config();
-    if (name == "T10")
-        return proc::tarantula10Config();
-    fatal("unknown machine '%s' (EV8, EV8+, T, T4, T10)",
-          name.c_str());
-}
-
 void
 listWorkloads()
 {
     std::printf("%-14s %s\n", "name", "description");
-    for (const auto &w : workloads::microkernelSuite())
+    for (const auto &w : workloads::allWorkloads())
         std::printf("%-14s %s\n", w.name.c_str(),
                     w.description.c_str());
-    for (const auto &w : workloads::figureSuite())
-        std::printf("%-14s %s\n", w.name.c_str(),
-                    w.description.c_str());
-    const auto naive = workloads::swim(false);
-    std::printf("%-14s %s\n", naive.name.c_str(),
-                naive.description.c_str());
 }
 
-} // anonymous namespace
+std::uint64_t
+parseU64(const std::string &arg, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("invalid number '%s' for %s", value.c_str(),
+              arg.c_str());
+    }
+}
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string machine = "T";
     std::string workload = "dgemm";
     std::string stats_file;
+    std::string json_file;
     std::string save_program;
     bool no_pump = false;
     bool force_crbox = false;
@@ -100,6 +100,8 @@ main(int argc, char **argv)
             workload = next();
         } else if (arg == "--stats") {
             stats_file = next();
+        } else if (arg == "--json") {
+            json_file = next();
         } else if (arg == "--save-program") {
             save_program = next();
         } else if (arg == "--no-pump") {
@@ -107,7 +109,7 @@ main(int argc, char **argv)
         } else if (arg == "--force-crbox") {
             force_crbox = true;
         } else if (arg == "--max-cycles") {
-            max_cycles = std::stoull(next());
+            max_cycles = parseU64(arg, next());
         } else if (arg == "--list") {
             listWorkloads();
             return 0;
@@ -120,7 +122,7 @@ main(int argc, char **argv)
         }
     }
 
-    proc::MachineConfig cfg = machineByName(machine);
+    proc::MachineConfig cfg = proc::machineByName(machine);
     cfg.vbox.slicer.pumpEnabled = !no_pump;
     cfg.vbox.slicer.forceCrBox = force_crbox;
 
@@ -140,7 +142,11 @@ main(int argc, char **argv)
             cpu.l2().warmLine(r.base + o);
     }
 
+    const auto start = std::chrono::steady_clock::now();
     const proc::RunResult r = cpu.run(max_cycles);
+    const double host_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start).count();
     const std::string err = w.check(mem);
 
     std::printf("workload:   %s (%s)\n", w.name.c_str(),
@@ -172,5 +178,45 @@ main(int argc, char **argv)
         cpu.stats().report(out);
         std::printf("stats:      written to %s\n", stats_file.c_str());
     }
+
+    if (!json_file.empty()) {
+        sim::JobResult record;
+        record.job.machine = machine;
+        record.job.workload = workload;
+        record.job.noPump = no_pump;
+        record.job.forceCrBox = force_crbox;
+        record.job.maxCycles = max_cycles;
+        record.run = r;
+        record.hostSeconds = host_seconds;
+        if (err.empty()) {
+            record.status = sim::JobStatus::Ok;
+            std::ostringstream stats;
+            cpu.stats().reportJson(stats);
+            record.statsJson = stats.str();
+        } else {
+            record.status = sim::JobStatus::Failed;
+            record.message = "wrong result: " + err;
+        }
+        std::ofstream out(json_file);
+        if (!out)
+            fatal("cannot open '%s'", json_file.c_str());
+        sim::writeJobRecord(out, record);
+        std::printf("json:       written to %s\n", json_file.c_str());
+    }
     return err.empty() ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 2; // fatal() already printed the message
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
 }
