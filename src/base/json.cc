@@ -1,9 +1,9 @@
-#include "sim/json.hh"
+#include "base/json.hh"
 
 #include <cmath>
 #include <cstdio>
 
-namespace tarantula::sim
+namespace tarantula
 {
 
 std::string
@@ -164,4 +164,4 @@ JsonWriter::raw(const std::string &json)
     return *this;
 }
 
-} // namespace tarantula::sim
+} // namespace tarantula

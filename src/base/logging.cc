@@ -7,6 +7,23 @@ namespace tarantula
 namespace detail
 {
 
+thread_local std::uint64_t panicCycle = ~std::uint64_t{0};
+
+namespace
+{
+
+/** "cyc N: msg" when a simulation registered its clock, else "msg". */
+std::string
+withCycle(std::string msg)
+{
+    if (panicCycle == ~std::uint64_t{0})
+        return msg;
+    return "cyc " + std::to_string(panicCycle) + ": " +
+           std::move(msg);
+}
+
+} // anonymous namespace
+
 std::string
 vformat(const char *fmt, va_list ap)
 {
@@ -27,7 +44,7 @@ panicImpl(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    std::string msg = vformat(fmt, ap);
+    std::string msg = withCycle(vformat(fmt, ap));
     va_end(ap);
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
     throw PanicError(msg);

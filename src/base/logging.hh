@@ -14,8 +14,9 @@
 #ifndef TARANTULA_BASE_LOGGING_HH
 #define TARANTULA_BASE_LOGGING_HH
 
-#include <cstdio>
 #include <cstdarg>
+#include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -49,6 +50,36 @@ namespace detail
 {
 
 std::string vformat(const char *fmt, va_list ap);
+
+/**
+ * The simulated cycle prefixed onto panic()/fatal() messages, or ~0
+ * when no simulation is running. Thread-local: SimFarm runs one
+ * independent machine per worker thread.
+ */
+extern thread_local std::uint64_t panicCycle;
+
+} // namespace detail
+
+/**
+ * Register the current simulated cycle so every panic() carries a
+ * "cyc N" prefix. The Processor calls this once per step(); standalone
+ * component tests that never set it get the plain message.
+ */
+inline void
+setPanicCycle(std::uint64_t now)
+{
+    detail::panicCycle = now;
+}
+
+/** Drop the cycle prefix (end of a run). */
+inline void
+clearPanicCycle()
+{
+    detail::panicCycle = ~std::uint64_t{0};
+}
+
+namespace detail
+{
 
 [[noreturn]] void panicImpl(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

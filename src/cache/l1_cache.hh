@@ -14,6 +14,7 @@
 #define TARANTULA_CACHE_L1_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "base/bitfield.hh"
@@ -101,6 +102,19 @@ class L1Cache
         if (l) {
             l->valid = false;
             ++invalidates_;
+        }
+    }
+
+    /** Visit the line address of every valid line (checkers). */
+    void
+    forEachLine(const std::function<void(Addr)> &fn) const
+    {
+        for (std::size_t i = 0; i < lines_.size(); ++i) {
+            const Line &l = lines_[i];
+            if (!l.valid)
+                continue;
+            const auto set = static_cast<std::uint64_t>(i / cfg_.assoc);
+            fn((l.tag * numSets_ + set) * CacheLineBytes);
         }
     }
 

@@ -1,5 +1,8 @@
 #include "cache/l2_cache.hh"
 
+#include <cstdio>
+#include <string>
+
 #include "base/bitfield.hh"
 #include "base/logging.hh"
 
@@ -121,7 +124,7 @@ L2Cache::requestLine(Addr line_addr, bool exclusive)
 {
     if (pendingLines_.count(line_addr))
         return;     // already on its way; the fill wakes all waiters
-    pendingLines_.emplace(line_addr, 1);
+    pendingLines_.emplace(line_addr, now_);
     MemRequest req;
     req.lineAddr = line_addr;
     req.cmd = exclusive ? MemCmd::ReadExclusive : MemCmd::ReadShared;
@@ -146,9 +149,37 @@ L2Cache::acceptSlice(const Slice &slice)
 {
     if (acceptedThisCycle_ || panicMaf_ >= 0)
         return false;
+    // Fault injection: the arbiter starves the vector port.
+    if (faults_ &&
+        faults_->active(check::Fault::GrantDelay, now_)) {
+        rec("grant_delay", slice.id);
+        return false;
+    }
+    // Conflict-freedom is the slicer's contract: the up-to-16
+    // addresses of a slice hit distinct banks so all lookups proceed
+    // in parallel. A violation means the plan is corrupt.
+    if (checks_) {
+        std::uint16_t banks_seen = 0;
+        for (unsigned i = 0; i < NumLanes; ++i) {
+            if (!slice.elems[i].valid)
+                continue;
+            const std::uint16_t bit = static_cast<std::uint16_t>(
+                1u << mem::bankOf(slice.elems[i].addr));
+            if (banks_seen & bit) {
+                check::CheckerRegistry::fail(
+                    "l2.slice", now_,
+                    "slice " + std::to_string(slice.id) +
+                        " has two elements on bank " +
+                        std::to_string(
+                            mem::bankOf(slice.elems[i].addr)));
+            }
+            banks_seen |= bit;
+        }
+    }
     const int idx = allocMaf();
     if (idx < 0) {
         ++mafFullRejects_;
+        rec("maf_full", slice.id);
         return false;
     }
 
@@ -157,6 +188,7 @@ L2Cache::acceptSlice(const Slice &slice)
     e.valid = true;
     e.isScalar = false;
     e.slice = slice;
+    e.bornAt = now_;
 
     acceptedThisCycle_ = true;
     ++slices_;
@@ -170,6 +202,18 @@ bool
 L2Cache::processSlice(unsigned maf_idx)
 {
     MafEntry &e = maf_[maf_idx];
+    // Fault injection: NACK every lookup for the window. The slice
+    // bounces through the Retry Queue, its replay count climbs past
+    // the threshold, and panic mode must engage (livelock avoidance).
+    if (faults_ &&
+        faults_->active(check::Fault::ReplayStorm, now_)) {
+        rec("replay_storm_nack", e.slice.id, e.replays);
+        if (!e.inRetryQueue) {
+            e.inRetryQueue = true;
+            retryQueue_.push_back(maf_idx);
+        }
+        return false;
+    }
     const Slice &s = e.slice;
     unsigned extra = 0;     // invalidate penalties
     e.waiting = 0;
@@ -190,10 +234,17 @@ L2Cache::processSlice(unsigned maf_idx)
                 line->dirty = true;
             if (line->pBit) {
                 // The core may hold this line in its L1: synchronize.
-                ++invalidates_;
-                extra += cfg_.invalidatePenalty;
-                if (l1Invalidate_)
-                    l1Invalidate_(line_addr);
+                // Fault injection: lose the invalidate, leaving a
+                // stale L1 copy for coherency.pbit to catch.
+                if (faults_ && faults_->fire(
+                        check::Fault::SkipInvalidate, now_)) {
+                    rec("skip_invalidate", line_addr);
+                } else {
+                    ++invalidates_;
+                    extra += cfg_.invalidatePenalty;
+                    if (l1Invalidate_)
+                        l1Invalidate_(line_addr);
+                }
                 line->pBit = false;
             }
         } else if (no_fetch_alloc) {
@@ -211,6 +262,7 @@ L2Cache::processSlice(unsigned maf_idx)
 
     if (e.waiting != 0) {
         ++sliceMisses_;
+        rec("slice_sleep", s.id, e.waiting);
         return false;       // slice sleeps in the MAF
     }
 
@@ -281,6 +333,7 @@ L2Cache::scalarRequest(Addr line_addr, bool is_write, std::uint64_t tag,
     e = MafEntry{};
     e.valid = true;
     e.isScalar = true;
+    e.bornAt = now_;
     e.scalarLine = roundDown(line_addr, CacheLineBytes);
     e.scalarWrite = is_write;
     e.scalarNoFetch = no_fetch;
@@ -416,6 +469,7 @@ L2Cache::cycle()
             if (e.replays > cfg_.retryThreshold && panicMaf_ < 0) {
                 panicMaf_ = static_cast<int>(idx);
                 ++panics_;
+                rec("panic_mode_enter", idx, e.replays);
             }
             if (e.isScalar)
                 processScalar(idx);
@@ -437,6 +491,119 @@ L2Cache::idle() const
             return false;
     }
     return true;
+}
+
+void
+L2Cache::attachIntegrity(check::Integrity &kit)
+{
+    faults_ = kit.faults();
+    ring_ = kit.ring("l2");
+    checks_ = kit.checksEnabled();
+
+    const Cycle max_age = kit.config().maxTransactionAge;
+    kit.registry().add(
+        "l2.maf",
+        [this, max_age](Cycle now, std::vector<std::string> &v) {
+            // Every sleeping MAF entry must be young enough, and each
+            // of its waiting bits must map to a line the L2 actually
+            // has on request (credit conservation with pendingLines_:
+            // a dropped fill orphans both and ages out here).
+            for (std::size_t i = 0; i < maf_.size(); ++i) {
+                const MafEntry &e = maf_[i];
+                if (!e.valid)
+                    continue;
+                if (max_age && now >= e.bornAt &&
+                    now - e.bornAt > max_age) {
+                    v.push_back(
+                        "MAF entry " + std::to_string(i) +
+                        (e.isScalar ? " (scalar)" : " (slice)") +
+                        " sleeping " + std::to_string(now - e.bornAt) +
+                        " cycles, replays " +
+                        std::to_string(e.replays));
+                }
+                if (e.waiting == 0)
+                    continue;
+                if (e.isScalar) {
+                    if (!pendingLines_.count(e.scalarLine)) {
+                        v.push_back("scalar MAF entry " +
+                                    std::to_string(i) +
+                                    " waits on a line with no "
+                                    "pending fetch");
+                    }
+                    continue;
+                }
+                for (unsigned j = 0; j < NumLanes; ++j) {
+                    if (!(e.waiting & (1u << j)))
+                        continue;
+                    const Addr el_line = roundDown(
+                        e.slice.elems[j].addr, CacheLineBytes);
+                    if (!pendingLines_.count(el_line)) {
+                        v.push_back(
+                            "MAF entry " + std::to_string(i) +
+                            " lane " + std::to_string(j) +
+                            " waits on a line with no pending fetch");
+                    }
+                }
+            }
+            // The inverse: no requested line may wait forever for its
+            // fill, and every retry-queue index must name a valid,
+            // flagged entry.
+            for (const auto &[line, born] : pendingLines_) {
+                if (max_age && now >= born && now - born > max_age) {
+                    char buf[96];
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "line 0x%llx requested %llu cycles ago; "
+                        "fill never arrived",
+                        static_cast<unsigned long long>(line),
+                        static_cast<unsigned long long>(now - born));
+                    v.push_back(buf);
+                }
+            }
+            for (const unsigned idx : retryQueue_) {
+                if (idx >= maf_.size() || !maf_[idx].valid ||
+                    !maf_[idx].inRetryQueue) {
+                    v.push_back("retry queue holds stale MAF index " +
+                                std::to_string(idx));
+                }
+            }
+        });
+
+    kit.forensics().addProbe("l2", [this](JsonWriter &w) {
+        unsigned occupied = 0;
+        for (const auto &e : maf_) {
+            if (e.valid)
+                ++occupied;
+        }
+        w.key("mafOccupancy").value(occupied);
+        w.key("mafEntries")
+            .value(static_cast<std::uint64_t>(maf_.size()));
+        w.key("retryQueueDepth")
+            .value(static_cast<std::uint64_t>(retryQueue_.size()));
+        w.key("sliceRespsPending")
+            .value(static_cast<std::uint64_t>(sliceResps_.size()));
+        w.key("scalarRespsPending")
+            .value(static_cast<std::uint64_t>(scalarResps_.size()));
+        w.key("deferredReqs")
+            .value(static_cast<std::uint64_t>(deferredReqs_.size()));
+        w.key("panicMaf").value(panicMaf_);
+        w.key("replays").value(replays_.value());
+        w.key("panics").value(panics_.value());
+        // The in-flight transaction table (bounded dump).
+        w.key("pendingLines").beginArray();
+        std::size_t dumped = 0;
+        for (const auto &[line, born] : pendingLines_) {
+            if (dumped++ >= 16)
+                break;
+            w.beginObject();
+            w.key("line").value(std::uint64_t{line});
+            w.key("born").value(static_cast<std::uint64_t>(born));
+            w.endObject();
+        }
+        w.endArray();
+        w.key("pendingLinesTotal")
+            .value(static_cast<std::uint64_t>(pendingLines_.size()));
+    });
 }
 
 void

@@ -38,6 +38,7 @@
 
 #include "base/statistics.hh"
 #include "base/types.hh"
+#include "check/integrity.hh"
 #include "mem/mem_types.hh"
 #include "mem/slice.hh"
 #include "mem/zbox.hh"
@@ -115,6 +116,14 @@ class L2Cache
     /** True when nothing is pending anywhere in the cache. */
     bool idle() const;
 
+    /**
+     * Join the machine's integrity kit: registers the l2.maf checker
+     * (MAF/pending-line conservation and transaction age), the inline
+     * l2.slice conflict-freedom check, and a forensics probe; arms
+     * fault injection.
+     */
+    void attachIntegrity(check::Integrity &kit);
+
     /** Direct-install a line (warmup); no timing, no P-bit. */
     void warmLine(Addr line_addr);
 
@@ -155,6 +164,7 @@ class L2Cache
         std::uint16_t waiting = 0;  ///< bit per slice element
         unsigned replays = 0;
         bool inRetryQueue = false;
+        Cycle bornAt = 0;           ///< allocation cycle (age checker)
     };
 
     unsigned setOf(Addr line_addr) const;
@@ -178,11 +188,25 @@ class L2Cache
     std::deque<unsigned> retryQueue_;
     std::deque<mem::SliceResp> sliceResps_;
     std::deque<ScalarResp> scalarResps_;
-    /** Lines already requested from memory (dedup across MAF). */
-    std::unordered_map<Addr, unsigned> pendingLines_;
+    /**
+     * Lines already requested from memory (dedup across MAF), mapped
+     * to the cycle the request was first issued (age checker).
+     */
+    std::unordered_map<Addr, Cycle> pendingLines_;
     /** Zbox requests that bounced off a full port queue. */
     std::deque<mem::MemRequest> deferredReqs_;
     std::function<void(Addr)> l1Invalidate_;
+
+    void
+    rec(const char *what, std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        if (ring_)
+            ring_->record(now_, what, a, b);
+    }
+
+    check::FaultPlan *faults_ = nullptr;
+    check::EventRing *ring_ = nullptr;
+    bool checks_ = false;
 
     Cycle now_ = 0;
     bool acceptedThisCycle_ = false;

@@ -1,0 +1,51 @@
+#include "check/checker.hh"
+
+#include "base/logging.hh"
+
+namespace tarantula::check
+{
+
+void
+CheckerRegistry::add(std::string name, Fn fn)
+{
+    checkers_.push_back(Entry{std::move(name), std::move(fn)});
+}
+
+std::vector<std::string>
+CheckerRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(checkers_.size());
+    for (const auto &e : checkers_)
+        out.push_back(e.name);
+    return out;
+}
+
+void
+CheckerRegistry::runAll(Cycle now) const
+{
+    std::vector<std::string> violations;
+    for (const auto &e : checkers_) {
+        violations.clear();
+        e.fn(now, violations);
+        if (violations.empty())
+            continue;
+        std::string detail = violations.front();
+        if (violations.size() > 1) {
+            detail += " (+" +
+                      std::to_string(violations.size() - 1) +
+                      " more)";
+        }
+        fail(e.name.c_str(), now, detail);
+    }
+}
+
+void
+CheckerRegistry::fail(const char *checker, Cycle now,
+                      const std::string &detail)
+{
+    panic("integrity check '%s' failed @cyc %llu: %s", checker,
+          static_cast<unsigned long long>(now), detail.c_str());
+}
+
+} // namespace tarantula::check

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The invariant-checker registry.
+ *
+ * Components register named checker functions at construction; the
+ * Processor sweeps the registry every checkInterval cycles (and once
+ * after the run) when --check mode is on. A checker appends one string
+ * per violated invariant; the registry panics on the first violation
+ * with a uniform message shape
+ *
+ *   integrity check '<name>' failed @cyc <N>: <detail>
+ *
+ * so tests (and humans grepping batch logs) can match on the checker
+ * name. Inline checks that live on a component's fast path use the
+ * static fail() helper to produce the same shape.
+ */
+
+#ifndef TARANTULA_CHECK_CHECKER_HH
+#define TARANTULA_CHECK_CHECKER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace tarantula::check
+{
+
+/** Named invariant checkers swept periodically; see file comment. */
+class CheckerRegistry
+{
+  public:
+    /** Appends one message per violation; empty means clean. */
+    using Fn = std::function<void(Cycle now,
+                                  std::vector<std::string> &violations)>;
+
+    void add(std::string name, Fn fn);
+
+    std::size_t size() const { return checkers_.size(); }
+    std::vector<std::string> names() const;
+
+    /** Run every checker; panic()s on the first violation found. */
+    void runAll(Cycle now) const;
+
+    /** Report an inline violation with the uniform message shape. */
+    [[noreturn]] static void fail(const char *checker, Cycle now,
+                                  const std::string &detail);
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Fn fn;
+    };
+    std::vector<Entry> checkers_;
+};
+
+} // namespace tarantula::check
+
+#endif // TARANTULA_CHECK_CHECKER_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A fixed-capacity last-N-event ring buffer for crash forensics.
+ *
+ * Every component records a short trail of cheap POD events (a static
+ * string, the cycle, two payload words); on a panic or timeout the
+ * forensics report dumps the tail of each ring so a failed SimFarm job
+ * explains what the machine was doing when it died. Recording is a few
+ * stores -- cheap enough to leave on even in timing-sensitive runs.
+ */
+
+#ifndef TARANTULA_CHECK_EVENT_RING_HH
+#define TARANTULA_CHECK_EVENT_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace tarantula::check
+{
+
+/** One recorded event. @p what must point at a string literal. */
+struct Event
+{
+    Cycle cycle = 0;
+    const char *what = "";
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+/** Overwriting ring of the last N events; see file comment. */
+class EventRing
+{
+  public:
+    explicit EventRing(std::size_t capacity = 64)
+        : buf_(capacity ? capacity : 1)
+    {
+    }
+
+    void
+    record(Cycle cycle, const char *what, std::uint64_t a = 0,
+           std::uint64_t b = 0)
+    {
+        buf_[head_] = Event{cycle, what, a, b};
+        head_ = (head_ + 1) % buf_.size();
+        ++total_;
+    }
+
+    /** Events currently held (<= capacity). */
+    std::size_t
+    size() const
+    {
+        return total_ < buf_.size() ? static_cast<std::size_t>(total_)
+                                    : buf_.size();
+    }
+
+    /** Events ever recorded, including overwritten ones. */
+    std::uint64_t total() const { return total_; }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** The retained events, oldest first. */
+    std::vector<Event>
+    events() const
+    {
+        const std::size_t n = size();
+        std::vector<Event> out;
+        out.reserve(n);
+        std::size_t idx = (head_ + buf_.size() - n) % buf_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(buf_[idx]);
+            idx = (idx + 1) % buf_.size();
+        }
+        return out;
+    }
+
+  private:
+    std::vector<Event> buf_;
+    std::size_t head_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace tarantula::check
+
+#endif // TARANTULA_CHECK_EVENT_RING_HH

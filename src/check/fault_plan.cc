@@ -1,0 +1,102 @@
+#include "check/fault_plan.hh"
+
+#include <cstdio>
+
+#include "base/random.hh"
+
+namespace tarantula::check
+{
+
+const char *
+toString(Fault kind)
+{
+    switch (kind) {
+      case Fault::GrantDelay:        return "grant_delay";
+      case Fault::ReplayStorm:       return "replay_storm";
+      case Fault::TlbMissStorm:      return "tlb_miss_storm";
+      case Fault::BankConflictBurst: return "bank_conflict_burst";
+      case Fault::ZboxStall:         return "zbox_stall";
+      case Fault::DropFill:          return "drop_fill";
+      case Fault::SliceConflict:     return "slice_conflict";
+      case Fault::SkipInvalidate:    return "skip_invalidate";
+      case Fault::DrainSkip:         return "drain_skip";
+    }
+    return "unknown";
+}
+
+bool
+FaultPlan::active(Fault kind, Cycle now) const
+{
+    for (const auto &ev : events_) {
+        if (ev.kind == kind && ev.start <= now &&
+            now < ev.start + ev.duration) {
+            return true;
+        }
+    }
+    return false;
+}
+
+const FaultEvent *
+FaultPlan::fire(Fault kind, Cycle now)
+{
+    if (consumed_.size() < events_.size())
+        consumed_.resize(events_.size(), false);
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const FaultEvent &ev = events_[i];
+        if (consumed_[i] || ev.kind != kind)
+            continue;
+        if (ev.start <= now && now < ev.start + ev.duration) {
+            consumed_[i] = true;
+            return &events_[i];
+        }
+    }
+    return nullptr;
+}
+
+FaultPlan
+FaultPlan::random(std::uint64_t seed, Cycle horizon)
+{
+    // Only survivable kinds: a random plan stresses the degradation
+    // machinery, it must never plant a guaranteed checker violation.
+    static constexpr Fault survivable[] = {
+        Fault::GrantDelay,    Fault::ReplayStorm,
+        Fault::TlbMissStorm,  Fault::BankConflictBurst,
+        Fault::ZboxStall,
+    };
+
+    Random rng(seed);
+    FaultPlan plan;
+    if (horizon < 16)
+        horizon = 16;
+    const unsigned n = 2 + static_cast<unsigned>(rng.below(3));
+    for (unsigned i = 0; i < n; ++i) {
+        FaultEvent ev;
+        ev.kind = survivable[rng.below(std::size(survivable))];
+        ev.start = rng.below(horizon);
+        // Short windows: long enough to bite, short enough that the
+        // retry/panic machinery can always dig the machine back out.
+        ev.duration = 8 + rng.below(horizon / 8 + 1);
+        plan.add(ev);
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::summary() const
+{
+    std::string out;
+    for (const auto &ev : events_) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s@%llu+%llu(%llu)",
+                      toString(ev.kind),
+                      static_cast<unsigned long long>(ev.start),
+                      static_cast<unsigned long long>(ev.duration),
+                      static_cast<unsigned long long>(ev.arg));
+        if (!out.empty())
+            out += ", ";
+        out += buf;
+    }
+    return out.empty() ? "none" : out;
+}
+
+} // namespace tarantula::check

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * A FaultPlan is a pure value listing (fault kind, cycle window, arg)
+ * events. Components consult the plan at well-defined injection points
+ * and either degrade their behaviour (delay a grant, NACK a slice,
+ * miss in the TLB) or corrupt their state (drop a fill, break a slice
+ * plan, skip an invalidate). The first group proves the panic-mode and
+ * starvation machinery survives stress gracefully; the second group
+ * proves each invariant checker actually fires on the violation it
+ * guards. Plans are cycle-indexed and contain no randomness of their
+ * own, so a given (plan, program, machine) triple is bit-reproducible;
+ * random() derives a plan deterministically from a seed.
+ */
+
+#ifndef TARANTULA_CHECK_FAULT_PLAN_HH
+#define TARANTULA_CHECK_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace tarantula::check
+{
+
+/**
+ * Fault kinds, grouped by intent:
+ *
+ * Graceful-degradation faults (the machine must survive):
+ *  - GrantDelay: the L2 refuses every vector slice for the window
+ *    (models arbitration starvation; exercises Vbox backpressure).
+ *  - ReplayStorm: the L2 NACKs every slice lookup for the window,
+ *    driving MAF replays past the retry threshold into panic mode.
+ *  - TlbMissStorm: every vector TLB lookup misses for the window
+ *    (refill trap storms).
+ *  - BankConflictBurst: strided accesses are planned as if they were
+ *    gather/scatter, forcing them through the CR-box tournament.
+ *  - ZboxStall: the memory controller services nothing during the
+ *    window (a short stall is survivable; a long one must be caught
+ *    by the transaction-lifetime checker).
+ *
+ * Corruption faults (one-shot; the paired checker must fire):
+ *  - DropFill: the Zbox loses one read response in transit
+ *    (-> l2.maf: a MAF entry sleeps past the transaction-age bound).
+ *  - SliceConflict: the Vbox corrupts one slice plan; arg 0 aliases
+ *    two elements onto one bank (-> l2.slice), arg 1 drops an element
+ *    (-> vbox.plan element conservation).
+ *  - SkipInvalidate: the L2 skips one P-bit L1 invalidate
+ *    (-> coherency.pbit: a stale L1 line survives).
+ *  - DrainSkip: the core retires one DrainM with undrained stores
+ *    (-> coherency.drainm).
+ */
+enum class Fault : std::uint8_t
+{
+    GrantDelay,
+    ReplayStorm,
+    TlbMissStorm,
+    BankConflictBurst,
+    ZboxStall,
+    DropFill,
+    SliceConflict,
+    SkipInvalidate,
+    DrainSkip,
+};
+
+constexpr unsigned NumFaultKinds = 9;
+
+const char *toString(Fault kind);
+
+/** One injection: @p kind is active for [start, start + duration). */
+struct FaultEvent
+{
+    Fault kind = Fault::GrantDelay;
+    Cycle start = 0;
+    Cycle duration = 1;
+    std::uint64_t arg = 0;      ///< kind-specific parameter
+};
+
+/** An ordered list of fault events; see file comment. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    void add(const FaultEvent &ev) { events_.push_back(ev); }
+
+    void
+    add(Fault kind, Cycle start, Cycle duration = 1,
+        std::uint64_t arg = 0)
+    {
+        events_.push_back(FaultEvent{kind, start, duration, arg});
+    }
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** True while any event of @p kind covers cycle @p now. */
+    bool active(Fault kind, Cycle now) const;
+
+    /**
+     * Consume a one-shot: the first unconsumed event of @p kind whose
+     * window covers @p now, or nullptr. Used by corruption faults so a
+     * single injection produces exactly one violation.
+     */
+    const FaultEvent *fire(Fault kind, Cycle now);
+
+    /**
+     * Derive a survivable stress plan from a seed: a deterministic mix
+     * of GrantDelay / ReplayStorm / TlbMissStorm / BankConflictBurst /
+     * ZboxStall windows inside [0, horizon). Never emits corruption
+     * faults, so the run must still complete with correct results.
+     */
+    static FaultPlan random(std::uint64_t seed, Cycle horizon);
+
+    /** Compact human-readable form: "kind@start+dur(arg), ...". */
+    std::string summary() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+    std::vector<bool> consumed_;    ///< lazily sized by fire()
+};
+
+} // namespace tarantula::check
+
+#endif // TARANTULA_CHECK_FAULT_PLAN_HH

@@ -1,0 +1,75 @@
+#include "check/forensics.hh"
+
+#include <algorithm>
+
+namespace tarantula::check
+{
+
+EventRing &
+Forensics::ring(const std::string &component)
+{
+    auto it = rings_.find(component);
+    if (it == rings_.end()) {
+        it = rings_.emplace(component, EventRing(ringEntries_)).first;
+    }
+    return it->second;
+}
+
+void
+Forensics::addProbe(const std::string &component, Probe probe)
+{
+    probes_.emplace_back(component, std::move(probe));
+}
+
+void
+Forensics::writeReport(std::ostream &os, const std::string &reason,
+                       Cycle now) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(ForensicsSchemaTag);
+    w.key("reason").value(reason);
+    w.key("cycle").value(static_cast<std::uint64_t>(now));
+
+    w.key("components").beginObject();
+    for (const auto &[name, probe] : probes_) {
+        w.key(name).beginObject();
+        probe(w);
+        w.endObject();
+    }
+    w.endObject();
+
+    // Merge every ring's retained tail into one cycle-ordered trail.
+    struct Tagged
+    {
+        const std::string *component;
+        Event ev;
+    };
+    std::vector<Tagged> merged;
+    std::uint64_t dropped = 0;
+    for (const auto &[name, ring] : rings_) {
+        for (const Event &ev : ring.events())
+            merged.push_back(Tagged{&name, ev});
+        dropped += ring.total() - ring.size();
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Tagged &a, const Tagged &b) {
+                         return a.ev.cycle < b.ev.cycle;
+                     });
+
+    w.key("events").beginArray();
+    for (const auto &t : merged) {
+        w.beginObject();
+        w.key("cycle").value(static_cast<std::uint64_t>(t.ev.cycle));
+        w.key("component").value(*t.component);
+        w.key("what").value(t.ev.what);
+        w.key("a").value(t.ev.a);
+        w.key("b").value(t.ev.b);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("eventsDropped").value(dropped);
+    w.endObject();
+}
+
+} // namespace tarantula::check

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Crash forensics: the tarantula.forensics.v1 report.
+ *
+ * Components contribute two things: an EventRing (their last-N-event
+ * trail) and a probe callback that snapshots live state -- queue
+ * occupancies, in-flight transaction tables, last retired PC -- as
+ * JSON fields. writeReport() assembles both into one structured
+ * object emitted on any panic()/TimeoutError and attached to the
+ * tarantula.job.v1 record, so a dead SimFarm job is diagnosable from
+ * its JSON alone.
+ */
+
+#ifndef TARANTULA_CHECK_FORENSICS_HH
+#define TARANTULA_CHECK_FORENSICS_HH
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/json.hh"
+#include "check/event_ring.hh"
+
+namespace tarantula::check
+{
+
+/** Schema tag stamped into every report. */
+inline constexpr const char *ForensicsSchemaTag =
+    "tarantula.forensics.v1";
+
+/** Per-machine forensics state; see file comment. */
+class Forensics
+{
+  public:
+    explicit Forensics(std::size_t ring_entries = 64)
+        : ringEntries_(ring_entries)
+    {
+    }
+
+    /** The named component's event ring (created on first use). */
+    EventRing &ring(const std::string &component);
+
+    /**
+     * A probe writes key/value fields into the component's state
+     * object; it must not open or close containers it does not
+     * balance.
+     */
+    using Probe = std::function<void(JsonWriter &w)>;
+
+    void addProbe(const std::string &component, Probe probe);
+
+    /**
+     * Emit the tarantula.forensics.v1 object (no trailing newline, so
+     * it can be spliced into an enclosing record as a raw value).
+     */
+    void writeReport(std::ostream &os, const std::string &reason,
+                     Cycle now) const;
+
+  private:
+    std::size_t ringEntries_;
+    /** std::map: iteration order (and thus output) is deterministic. */
+    std::map<std::string, EventRing> rings_;
+    std::vector<std::pair<std::string, Probe>> probes_;
+};
+
+} // namespace tarantula::check
+
+#endif // TARANTULA_CHECK_FORENSICS_HH

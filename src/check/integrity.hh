@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The per-machine integrity kit: one bundle of checker registry,
+ * fault plan and forensics state shared by every component of one
+ * simulated Processor.
+ *
+ * The Processor owns an Integrity built from MachineConfig::integrity
+ * and hands each component a pointer via attachIntegrity(); the
+ * component registers its checkers and forensics probe there and keeps
+ * raw pointers to its ring and the fault plan for the fast path. A
+ * null/absent kit (or one with everything off) costs a pointer test
+ * per injection point.
+ */
+
+#ifndef TARANTULA_CHECK_INTEGRITY_HH
+#define TARANTULA_CHECK_INTEGRITY_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "check/checker.hh"
+#include "check/fault_plan.hh"
+#include "check/forensics.hh"
+
+namespace tarantula::check
+{
+
+/** Integrity knobs carried inside MachineConfig (a pure value). */
+struct IntegrityConfig
+{
+    /** Run the invariant checkers (--check mode). */
+    bool checks = false;
+    /** Record event rings / allow forensics reports. */
+    bool forensics = true;
+    /** Cycles between periodic checker sweeps. */
+    unsigned checkInterval = 64;
+    /** No L2/Zbox transaction may outlive this many cycles. */
+    Cycle maxTransactionAge = 100'000;
+    /** Per-component event-ring capacity. */
+    std::size_t ringEntries = 64;
+    /** Faults to inject (empty = none). */
+    FaultPlan faults;
+};
+
+/** The runtime kit; see file comment. */
+class Integrity
+{
+  public:
+    explicit Integrity(const IntegrityConfig &cfg)
+        : cfg_(cfg), faults_(cfg.faults), forensics_(cfg.ringEntries)
+    {
+    }
+
+    const IntegrityConfig &config() const { return cfg_; }
+    bool checksEnabled() const { return cfg_.checks; }
+
+    CheckerRegistry &registry() { return registry_; }
+
+    /** The mutable fault plan, or nullptr when no faults are set. */
+    FaultPlan *
+    faults()
+    {
+        return faults_.empty() ? nullptr : &faults_;
+    }
+
+    Forensics &forensics() { return forensics_; }
+
+    /** A component's event ring, or nullptr when forensics is off. */
+    EventRing *
+    ring(const std::string &component)
+    {
+        return cfg_.forensics ? &forensics_.ring(component) : nullptr;
+    }
+
+  private:
+    IntegrityConfig cfg_;
+    CheckerRegistry registry_;
+    FaultPlan faults_;          ///< private copy; fire() consumes here
+    Forensics forensics_;
+};
+
+} // namespace tarantula::check
+
+#endif // TARANTULA_CHECK_INTEGRITY_HH

@@ -1,6 +1,8 @@
 #include "ev8/core.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "base/bitfield.hh"
 #include "base/logging.hh"
@@ -269,7 +271,9 @@ Core::issueOne(std::uint64_t seq)
 
     if (in.isVec()) {
         if (!vbox_)
-            panic("vector instruction on a core without a Vbox");
+            panic("core: vector instruction at pc %llu on a core "
+                  "without a Vbox",
+                  static_cast<unsigned long long>(e.di.pc));
         if (in.cls() == InstClass::VecLoad ||
             in.cls() == InstClass::VecStore) {
             if (!vbox_->issueMem(e.di, now_, seq))
@@ -387,8 +391,16 @@ Core::completeStage()
             --outstandingStores_;
             continue;
         }
-        l1_.fill(resp->lineAddr);
         auto it = l1Maf_.find(resp->lineAddr);
+        // A fill whose line the L2 invalidated in transit must not
+        // install: the L2 no longer tracks a processor-held copy, so
+        // installing would leave a stale L1 line (coherency.pbit).
+        // The waiting loads still complete -- the data was read while
+        // the line was resident.
+        const bool poisoned = it != l1Maf_.end() &&
+                              it->second.invalidated;
+        if (!poisoned)
+            l1_.fill(resp->lineAddr);
         if (it != l1Maf_.end()) {
             for (std::uint64_t seq : it->second.waiters)
                 markDone(seq, now_ + 1);
@@ -408,7 +420,7 @@ Core::markDone(std::uint64_t seq, Cycle done_at)
 {
     RobEntry *e = entry(seq);
     if (!e)
-        panic("markDone: instruction %llu already retired",
+        panic("core: markDone: instruction %llu already retired",
               static_cast<unsigned long long>(seq));
     tarantula_assert(e->stage != Stage::Done);
     e->stage = Stage::Done;
@@ -459,9 +471,32 @@ Core::retireStage()
             if (!pushWb_(roundDown(e.di.effAddr, CacheLineBytes), true))
                 break;
         } else if (in.op == Opcode::DrainM) {
-            if (!writeBuffer_.empty() || outstandingStores_ > 0) {
+            // Fault injection: the barrier "forgets" to wait for the
+            // write-buffer purge. The inline check below must refuse
+            // to let the broken barrier retire.
+            const bool skip_wait =
+                faults_ &&
+                faults_->fire(check::Fault::DrainSkip, now_);
+            if (skip_wait) {
+                rec("drain_skip",
+                    static_cast<std::uint64_t>(writeBuffer_.size()),
+                    outstandingStores_);
+            } else if (!writeBuffer_.empty() ||
+                       outstandingStores_ > 0) {
                 ++drainmStalls_;
                 break;      // purge still in progress
+            }
+            // The DrainM contract: nothing the barrier was ordered
+            // against may still be in flight when it retires.
+            if (checks_ &&
+                (!writeBuffer_.empty() || outstandingStores_ > 0)) {
+                check::CheckerRegistry::fail(
+                    "coherency.drainm", now_,
+                    "DrainM retiring with " +
+                        std::to_string(writeBuffer_.size()) +
+                        " write-buffer lines and " +
+                        std::to_string(outstandingStores_) +
+                        " store acks outstanding");
             }
             // Purge complete: retire and take the replay trap.
             fetchBlockedOnDrain_ = false;
@@ -471,6 +506,7 @@ Core::retireStage()
             trulyHalted_ = true;
         }
 
+        lastRetiredPc_ = e.di.pc;
         ++retired_;
         ops_ += e.di.ops();
         flops_ += e.di.flops();
@@ -533,6 +569,74 @@ Core::drainWriteBuffer()
         wbLines_.erase(wb.line);
         ++drained;
     }
+}
+
+// ---- coherency and integrity ------------------------------------------
+
+void
+Core::l1Invalidate(Addr line_addr)
+{
+    l1_.invalidate(line_addr);
+    auto it = l1Maf_.find(line_addr);
+    if (it != l1Maf_.end())
+        it->second.invalidated = true;
+    rec("l1_invalidate", line_addr);
+}
+
+void
+Core::attachIntegrity(check::Integrity &kit)
+{
+    faults_ = kit.faults();
+    ring_ = kit.ring("core");
+    checks_ = kit.checksEnabled();
+
+    kit.registry().add(
+        "coherency.pbit",
+        [this](Cycle, std::vector<std::string> &v) {
+            // The P-bit protocol's promise: the L2 knows about every
+            // line the processor holds. A valid L1 line must be
+            // resident in the L2 with its P-bit set; a lost
+            // invalidate breaks one or both.
+            l1_.forEachLine([&](Addr line) {
+                char buf[80];
+                if (!l2_.probe(line)) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "L1 holds line 0x%llx absent from "
+                                  "the L2",
+                                  static_cast<unsigned long long>(
+                                      line));
+                    v.push_back(buf);
+                } else if (!l2_.probePBit(line)) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "L1 holds line 0x%llx whose L2 "
+                                  "P-bit is clear",
+                                  static_cast<unsigned long long>(
+                                      line));
+                    v.push_back(buf);
+                }
+            });
+        });
+
+    kit.forensics().addProbe("core", [this](JsonWriter &w) {
+        w.key("cycle").value(static_cast<std::uint64_t>(now_));
+        w.key("lastRetiredPc").value(lastRetiredPc_);
+        w.key("retired").value(retired_.value());
+        w.key("robOccupancy")
+            .value(static_cast<std::uint64_t>(rob_.size()));
+        w.key("fetchBufferDepth")
+            .value(static_cast<std::uint64_t>(fetchBuffer_.size()));
+        w.key("writeBufferDepth")
+            .value(static_cast<std::uint64_t>(writeBuffer_.size()));
+        w.key("outstandingStores").value(outstandingStores_);
+        w.key("l1MafOccupancy")
+            .value(static_cast<std::uint64_t>(l1Maf_.size()));
+        w.key("completionEventsPending")
+            .value(static_cast<std::uint64_t>(
+                completionEvents_.size()));
+        w.key("waitingRedirect").value(waitingRedirect_);
+        w.key("fetchBlockedOnDrain").value(fetchBlockedOnDrain_);
+        w.key("trulyHalted").value(trulyHalted_);
+    });
 }
 
 // ---- queries ---------------------------------------------------------

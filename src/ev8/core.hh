@@ -32,6 +32,7 @@
 #include "base/types.hh"
 #include "cache/l1_cache.hh"
 #include "cache/l2_cache.hh"
+#include "check/integrity.hh"
 #include "ev8/branch_predictor.hh"
 #include "exec/interp.hh"
 #include "vbox/vbox.hh"
@@ -87,8 +88,21 @@ class Core
     /** True once the program halted and every buffer drained. */
     bool done() const;
 
-    /** P-bit protocol entry point: the L2 invalidating an L1 line. */
-    void l1Invalidate(Addr line_addr) { l1_.invalidate(line_addr); }
+    /**
+     * P-bit protocol entry point: the L2 invalidating an L1 line.
+     * Also poisons any in-flight L1 fill for the line so a response
+     * already in transit cannot re-install a copy the L2 no longer
+     * tracks as processor-held.
+     */
+    void l1Invalidate(Addr line_addr);
+
+    /**
+     * Join the machine's integrity kit: registers the coherency.pbit
+     * checker (every valid L1 line is present in the L2 with its
+     * P-bit set) and a forensics probe; arms fault injection. The
+     * coherency.drainm check runs inline at DrainM retirement.
+     */
+    void attachIntegrity(check::Integrity &kit);
 
     /**
      * Scalar-store -> vector-load staleness check: true if a store to
@@ -186,6 +200,8 @@ class Core
     struct L1MafEntry
     {
         std::vector<std::uint64_t> waiters;
+        /** L2 invalidated the line while its fill was in flight. */
+        bool invalidated = false;
     };
     std::unordered_map<Addr, L1MafEntry> l1Maf_;
 
@@ -200,6 +216,18 @@ class Core
     unsigned outstandingStores_ = 0;    ///< L2 write acks pending
     /** Lines with stores dispatched but not yet drained to the L2. */
     std::unordered_map<Addr, unsigned> pendingStoreLines_;
+
+    void
+    rec(const char *what, std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        if (ring_)
+            ring_->record(now_, what, a, b);
+    }
+
+    check::FaultPlan *faults_ = nullptr;
+    check::EventRing *ring_ = nullptr;
+    bool checks_ = false;
+    std::uint64_t lastRetiredPc_ = 0;
 
     cache::L1Cache l1_;
     BranchPredictor bpred_;

@@ -19,16 +19,16 @@ Interpreter::Interpreter(const program::Program &prog,
     : prog_(prog), mem_(mem)
 {
     if (prog.empty())
-        fatal("interpreter: empty program");
+        fatal("interp: empty program");
 }
 
 void
 Interpreter::step(DynInst &out)
 {
     if (halted_)
-        panic("interpreter: step() after halt");
+        panic("interp: step() after halt");
     if (pc_ >= prog_.size())
-        panic("interpreter: pc %u ran off the end of the program", pc_);
+        panic("interp: pc %u ran off the end of the program", pc_);
 
     const Inst &in = prog_[pc_];
     out = DynInst{};
@@ -94,7 +94,7 @@ Interpreter::run(std::uint64_t max_steps)
     std::uint64_t n = 0;
     while (!halted_) {
         if (n >= max_steps)
-            fatal("interpreter: exceeded %llu steps; runaway program?",
+            fatal("interp: exceeded %llu steps; runaway program?",
                   static_cast<unsigned long long>(max_steps));
         step(scratch);
         ++n;
@@ -140,7 +140,7 @@ Interpreter::execScalarInt(const Inst &in)
         r = a + static_cast<std::uint64_t>(in.imm);
         break;
       default:
-        panic("execScalarInt: bad opcode %s", isa::opcodeName(in.op));
+        panic("interp: execScalarInt: bad opcode %s", isa::opcodeName(in.op));
     }
     state_.writeInt(in.rd, r);
 }
@@ -180,7 +180,7 @@ Interpreter::execScalarFp(const Inst &in)
         return;
       case Opcode::Fmov: r = b; break;
       default:
-        panic("execScalarFp: bad opcode %s", isa::opcodeName(in.op));
+        panic("interp: execScalarFp: bad opcode %s", isa::opcodeName(in.op));
     }
     state_.writeFp(in.rd, r);
 }
@@ -193,7 +193,7 @@ Interpreter::execScalarMem(const Inst &in, DynInst &out)
     const Addr ea =
         state_.readInt(in.rb) + static_cast<std::uint64_t>(in.imm);
     if (ea & 7)
-        panic("unaligned scalar access 0x%llx at pc %u",
+        panic("interp: unaligned scalar access 0x%llx at pc %u",
               static_cast<unsigned long long>(ea), pc_);
     out.effAddr = ea;
 
@@ -211,7 +211,7 @@ Interpreter::execScalarMem(const Inst &in, DynInst &out)
         mem_.writeT(ea, state_.readFp(in.ra));
         break;
       default:
-        panic("execScalarMem: bad opcode %s", isa::opcodeName(in.op));
+        panic("interp: execScalarMem: bad opcode %s", isa::opcodeName(in.op));
     }
 }
 
@@ -235,7 +235,7 @@ Interpreter::execBranch(const Inst &in)
       case Opcode::Fbeq: return state_.readFp(in.ra) == 0.0;
       case Opcode::Fbne: return state_.readFp(in.ra) != 0.0;
       default:
-        panic("execBranch: bad opcode %s", isa::opcodeName(in.op));
+        panic("interp: execBranch: bad opcode %s", isa::opcodeName(in.op));
     }
 }
 
@@ -349,7 +349,7 @@ Interpreter::execVecOperate(const Inst &in)
             r = state_.vmBit(e) ? aq : bq;
             break;
           default:
-            panic("execVecOperate: bad opcode %s",
+            panic("interp: execVecOperate: bad opcode %s",
                   isa::opcodeName(in.op));
         }
         state_.writeVecElem(in.rd, e, r);
@@ -389,10 +389,10 @@ Interpreter::execVecMem(const Inst &in, DynInst &out)
             ea = base + state_.readVecElem(in.rd, e);
             break;
           default:
-            panic("execVecMem: bad opcode %s", isa::opcodeName(in.op));
+            panic("interp: execVecMem: bad opcode %s", isa::opcodeName(in.op));
         }
         if (ea & 7)
-            panic("unaligned vector element access 0x%llx at pc %u",
+            panic("interp: unaligned vector element access 0x%llx at pc %u",
                   static_cast<unsigned long long>(ea), pc_);
         out.vaddrs.push_back({static_cast<std::uint16_t>(e), ea});
 
@@ -462,7 +462,7 @@ Interpreter::execVecControl(const Inst &in)
             in.immValid ? static_cast<std::uint64_t>(in.imm)
                         : state_.readInt(in.rb));
         if (idx >= MaxVectorLength)
-            panic("vextract: element index %u out of range", idx);
+            panic("interp: vextract: element index %u out of range", idx);
         const Quadword v = state_.readVecElem(in.ra, idx);
         if (in.dt == DataType::T)
             state_.writeFpBits(in.rd, v);
@@ -475,14 +475,14 @@ Interpreter::execVecControl(const Inst &in)
             in.immValid ? static_cast<std::uint64_t>(in.imm)
                         : state_.readInt(in.rb));
         if (idx >= MaxVectorLength)
-            panic("vinsert: element index %u out of range", idx);
+            panic("interp: vinsert: element index %u out of range", idx);
         const Quadword v = in.dt == DataType::T
             ? state_.readFpBits(in.ra) : state_.readInt(in.ra);
         state_.writeVecElem(in.rd, idx, v);
         break;
       }
       default:
-        panic("execVecControl: bad opcode %s", isa::opcodeName(in.op));
+        panic("interp: execVecControl: bad opcode %s", isa::opcodeName(in.op));
     }
 }
 

@@ -145,7 +145,7 @@ Inst::srcRegs(RegId out[6]) const
                 push(out, n, intReg(rb));
             break;
           default:
-            panic("srcRegs: unhandled VC opcode");
+            panic("isa: srcRegs: unhandled VC opcode");
         }
         break;
     }
@@ -196,7 +196,7 @@ Inst::dstRegs(RegId out[2]) const
             push(out, n, dt == DataType::T ? fpReg(rd) : intReg(rd));
             break;
           default:
-            panic("dstRegs: unhandled VC opcode");
+            panic("isa: dstRegs: unhandled VC opcode");
         }
         break;
     }

@@ -105,7 +105,7 @@ instClass(Opcode op)
         return InstClass::VecControl;
 
       default:
-        panic("instClass: unknown opcode %d", static_cast<int>(op));
+        panic("isa: instClass: unknown opcode %d", static_cast<int>(op));
     }
 }
 

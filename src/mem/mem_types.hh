@@ -39,6 +39,7 @@ struct MemRequest
     Addr lineAddr = 0;          ///< line-aligned physical address
     MemCmd cmd = MemCmd::ReadShared;
     std::uint64_t tag = 0;      ///< opaque requester cookie
+    Cycle born = 0;             ///< enqueue cycle (lifetime checker)
 };
 
 /** A completion notification from the memory controller. */

@@ -1,5 +1,7 @@
 #include "mem/zbox.hh"
 
+#include <cstdio>
+
 #include "base/bitfield.hh"
 #include "base/logging.hh"
 
@@ -43,9 +45,11 @@ Zbox::enqueue(const MemRequest &req)
     Port &port = ports_[portOf(req.lineAddr)];
     if (port.queue.size() >= cfg_.portQueueDepth) {
         ++queueFullRejects_;
+        rec("enqueue_reject", req.lineAddr);
         return false;
     }
     port.queue.push_back(req);
+    port.queue.back().born = now_;
     ++inFlight_;
     return true;
 }
@@ -115,6 +119,17 @@ Zbox::service(Port &port, const MemRequest &req)
             ++reads_;
     }
 
+    // Fault injection: lose one read response in transit. The DRAM
+    // access already happened (occupancy and byte accounting stand);
+    // the data never reaches the L2, whose MAF-age checker must catch
+    // the orphaned sleeper.
+    if (has_data && !is_write && faults_ &&
+        faults_->fire(check::Fault::DropFill, now_)) {
+        rec("drop_fill", req.lineAddr);
+        --inFlight_;
+        return;
+    }
+
     MemResponse resp;
     resp.lineAddr = req.lineAddr;
     resp.cmd = req.cmd;
@@ -128,6 +143,10 @@ void
 Zbox::cycle()
 {
     ++now_;
+    // Fault injection: the controller freezes for the window. Queued
+    // requests age in place; a long enough stall trips zbox.lifetime.
+    if (faults_ && faults_->active(check::Fault::ZboxStall, now_))
+        return;
     for (auto &port : ports_) {
         // A port starts the next queued request once its data pins are
         // free. Servicing computes occupancy analytically, so multiple
@@ -161,6 +180,69 @@ bool
 Zbox::idle() const
 {
     return inFlight_ == 0;
+}
+
+void
+Zbox::attachIntegrity(check::Integrity &kit)
+{
+    faults_ = kit.faults();
+    ring_ = kit.ring("zbox");
+
+    const Cycle max_age = kit.config().maxTransactionAge;
+    kit.registry().add(
+        "zbox.lifetime",
+        [this, max_age](Cycle now, std::vector<std::string> &v) {
+            // No queued request may outlive the transaction-age bound,
+            // and the in-flight count must equal what the queues and
+            // the response buffer actually hold (credit conservation).
+            std::size_t held = responses_.size();
+            for (std::size_t p = 0; p < ports_.size(); ++p) {
+                for (const auto &req : ports_[p].queue) {
+                    ++held;
+                    if (max_age && now >= req.born &&
+                        now - req.born > max_age) {
+                        char buf[112];
+                        std::snprintf(
+                            buf, sizeof(buf),
+                            "request for line 0x%llx queued %llu "
+                            "cycles on port %zu",
+                            static_cast<unsigned long long>(
+                                req.lineAddr),
+                            static_cast<unsigned long long>(
+                                now - req.born),
+                            p);
+                        v.push_back(buf);
+                    }
+                }
+            }
+            if (inFlight_ != held) {
+                v.push_back("inFlight=" + std::to_string(inFlight_) +
+                            " but queues+responses hold " +
+                            std::to_string(held));
+            }
+        });
+
+    kit.forensics().addProbe("zbox", [this](JsonWriter &w) {
+        w.key("inFlight").value(inFlight_);
+        w.key("responsesPending")
+            .value(static_cast<std::uint64_t>(responses_.size()));
+        w.key("ports").beginArray();
+        for (const auto &port : ports_) {
+            w.beginObject();
+            w.key("queued")
+                .value(static_cast<std::uint64_t>(port.queue.size()));
+            w.key("freeAt").value(port.freeAt);
+            if (!port.queue.empty()) {
+                w.key("oldestLine")
+                    .value(std::uint64_t{port.queue.front().lineAddr});
+                w.key("oldestBorn")
+                    .value(static_cast<std::uint64_t>(
+                        port.queue.front().born));
+            }
+            w.endObject();
+        }
+        w.endArray();
+    });
 }
 
 } // namespace tarantula::mem

@@ -29,6 +29,7 @@
 
 #include "base/statistics.hh"
 #include "base/types.hh"
+#include "check/integrity.hh"
 #include "mem/mem_types.hh"
 
 namespace tarantula::mem
@@ -71,6 +72,12 @@ class Zbox
     /** True when no request is queued or in flight. */
     bool idle() const;
 
+    /**
+     * Join the machine's integrity kit: registers the zbox.lifetime
+     * checker and a forensics probe, and arms fault injection.
+     */
+    void attachIntegrity(check::Integrity &kit);
+
     Cycle now() const { return now_; }
 
     // ---- accounting for Table 4 ------------------------------------
@@ -101,11 +108,21 @@ class Zbox
     unsigned portOf(Addr lineAddr) const;
     void service(Port &port, const MemRequest &req);
 
+    void
+    rec(const char *what, std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        if (ring_)
+            ring_->record(now_, what, a, b);
+    }
+
     ZboxConfig cfg_;
     Cycle now_ = 0;
     std::vector<Port> ports_;
     std::deque<MemResponse> responses_;
     unsigned inFlight_ = 0;
+
+    check::FaultPlan *faults_ = nullptr;
+    check::EventRing *ring_ = nullptr;
 
     stats::StatGroup statGroup_;
     stats::Scalar reads_;

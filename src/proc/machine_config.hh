@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/l2_cache.hh"
+#include "check/integrity.hh"
 #include "ev8/core.hh"
 #include "mem/zbox.hh"
 #include "vbox/vbox.hh"
@@ -33,6 +34,13 @@ struct MachineConfig
     std::string name = "tarantula";
     double freqGhz = 2.13;
     bool hasVbox = true;
+    /**
+     * Deadlock watchdog: panic when no instruction retires for this
+     * many cycles (a wedged model is a simulator bug). 0 disables.
+     */
+    std::uint64_t deadlockCycles = 1'000'000;
+    /** Integrity subsystem: checkers, fault plan, forensics. */
+    check::IntegrityConfig integrity;
     ev8::CoreConfig core;
     vbox::VboxConfig vbox;
     cache::L2Config l2;

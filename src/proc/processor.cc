@@ -1,5 +1,7 @@
 #include "proc/processor.hh"
 
+#include <ostream>
+
 #include "base/logging.hh"
 
 namespace tarantula::proc
@@ -10,6 +12,7 @@ Processor::Processor(const MachineConfig &cfg,
                      exec::FunctionalMemory &mem)
     : cfg_(cfg), statRoot_(cfg.name)
 {
+    integrity_ = std::make_unique<check::Integrity>(cfg.integrity);
     zbox_ = std::make_unique<mem::Zbox>(cfg.zbox, statRoot_);
     l2_ = std::make_unique<cache::L2Cache>(cfg.l2, *zbox_, statRoot_);
     if (cfg.hasVbox)
@@ -19,17 +22,44 @@ Processor::Processor(const MachineConfig &cfg,
                                         vbox_.get(), statRoot_);
     l2_->setL1InvalidateHook(
         [this](Addr line) { core_->l1Invalidate(line); });
+
+    // Attach order fixes checker registration order, and with it the
+    // order violations are reported in: memory-side first, core last.
+    zbox_->attachIntegrity(*integrity_);
+    l2_->attachIntegrity(*integrity_);
+    if (vbox_)
+        vbox_->attachIntegrity(*integrity_);
+    core_->attachIntegrity(*integrity_);
+
+    integrity_->forensics().addProbe("proc", [this](JsonWriter &w) {
+        w.key("machine").value(cfg_.name);
+        w.key("hasVbox").value(static_cast<bool>(vbox_));
+        w.key("cycle").value(static_cast<std::uint64_t>(now_));
+    });
 }
 
 void
 Processor::step()
 {
     ++now_;
+    setPanicCycle(now_);
     zbox_->cycle();
     l2_->cycle();
     if (vbox_)
         vbox_->cycle();
     core_->cycle();
+    if (integrity_->checksEnabled()) {
+        const unsigned interval = cfg_.integrity.checkInterval;
+        if (interval == 0 || now_ % interval == 0)
+            integrity_->registry().runAll(now_);
+    }
+}
+
+void
+Processor::writeForensics(std::ostream &os,
+                          const std::string &reason) const
+{
+    integrity_->forensics().writeReport(os, reason, now_);
 }
 
 RunResult
@@ -54,13 +84,21 @@ Processor::run(std::uint64_t max_cycles)
         if (core_->numRetired() != last_retired) {
             last_retired = core_->numRetired();
             last_progress = now_;
-        } else if (now_ - last_progress > 1'000'000) {
-            panic("processor '%s': no retirement in 1M cycles "
+        } else if (cfg_.deadlockCycles &&
+                   now_ - last_progress > cfg_.deadlockCycles) {
+            panic("processor '%s': no retirement in %llu cycles "
                   "(pc=%u retired=%llu)",
-                  cfg_.name.c_str(), interp_->pc(),
+                  cfg_.name.c_str(),
+                  static_cast<unsigned long long>(cfg_.deadlockCycles),
+                  interp_->pc(),
                   static_cast<unsigned long long>(last_retired));
         }
     }
+
+    // A final sweep catches violations only visible in the end state
+    // (e.g. a transaction that never completed but stopped aging).
+    if (integrity_->checksEnabled())
+        integrity_->registry().runAll(now_);
 
     RunResult r;
     r.machine = cfg_.name;

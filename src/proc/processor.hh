@@ -8,11 +8,13 @@
 #ifndef TARANTULA_PROC_PROCESSOR_HH
 #define TARANTULA_PROC_PROCESSOR_HH
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
 #include "base/statistics.hh"
 #include "cache/l2_cache.hh"
+#include "check/integrity.hh"
 #include "ev8/core.hh"
 #include "exec/interp.hh"
 #include "exec/memory.hh"
@@ -97,12 +99,22 @@ class Processor
     vbox::Vbox *vbox() { return vbox_.get(); }
     exec::Interpreter &interp() { return *interp_; }
     stats::StatGroup &stats() { return statRoot_; }
+    check::Integrity &integrity() { return *integrity_; }
+
+    /**
+     * Emit a tarantula.forensics.v1 crash report: per-component state
+     * probes plus the merged last-N-event rings. Callable at any
+     * point; callers invoke it when run() throws.
+     */
+    void writeForensics(std::ostream &os,
+                        const std::string &reason) const;
 
     const MachineConfig &config() const { return cfg_; }
 
   private:
     MachineConfig cfg_;
     stats::StatGroup statRoot_;
+    std::unique_ptr<check::Integrity> integrity_;
     std::unique_ptr<mem::Zbox> zbox_;
     std::unique_ptr<cache::L2Cache> l2_;
     std::unique_ptr<vbox::Vbox> vbox_;

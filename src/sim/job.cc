@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <exception>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -36,26 +38,41 @@ runJob(const Job &job)
                 std::chrono::steady_clock::now() - start).count();
     };
 
+    // The workload, memory image and processor outlive the try block
+    // so a crash handler can still walk the machine: a dead job's
+    // record carries the forensics report of the moment it died.
+    std::optional<workloads::Workload> w;
+    exec::FunctionalMemory mem;
+    std::unique_ptr<proc::Processor> cpu;
+    auto captureForensics = [&](const std::string &reason) {
+        if (!cpu)
+            return;
+        std::ostringstream os;
+        cpu->writeForensics(os, reason);
+        result.forensicsJson = os.str();
+    };
+
     try {
         proc::MachineConfig cfg = proc::machineByName(job.machine);
         cfg.vbox.slicer.pumpEnabled = !job.noPump;
         cfg.vbox.slicer.forceCrBox = job.forceCrBox;
+        cfg.integrity.checks = job.check;
+        if (job.deadlockCycles)
+            cfg.deadlockCycles = job.deadlockCycles;
 
-        const workloads::Workload w = workloads::byName(job.workload);
+        w.emplace(workloads::byName(job.workload));
+        w->init(mem);
 
-        exec::FunctionalMemory mem;
-        w.init(mem);
-
-        const auto &prog = cfg.hasVbox ? w.vectorProg : w.scalarProg;
-        proc::Processor cpu(cfg, prog, mem);
-        for (const auto &r : w.warmRanges) {
+        const auto &prog = cfg.hasVbox ? w->vectorProg : w->scalarProg;
+        cpu = std::make_unique<proc::Processor>(cfg, prog, mem);
+        for (const auto &r : w->warmRanges) {
             for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
-                cpu.l2().warmLine(r.base + o);
+                cpu->l2().warmLine(r.base + o);
         }
 
-        result.run = cpu.run(job.maxCycles);
+        result.run = cpu->run(job.maxCycles);
 
-        const std::string err = w.check(mem);
+        const std::string err = w->check(mem);
         if (!err.empty()) {
             result.status = JobStatus::Failed;
             result.message = "wrong result: " + err;
@@ -64,18 +81,21 @@ runJob(const Job &job)
         }
 
         std::ostringstream stats;
-        cpu.stats().reportJson(stats);
+        cpu->stats().reportJson(stats);
         result.statsJson = stats.str();
         result.status = JobStatus::Ok;
     } catch (const TimeoutError &e) {
         result.status = JobStatus::TimedOut;
         result.message = e.what();
+        captureForensics(e.what());
     } catch (const std::exception &e) {
         result.status = JobStatus::Failed;
         result.message = e.what();
+        captureForensics(e.what());
     } catch (...) {
         result.status = JobStatus::Failed;
         result.message = "unknown exception";
+        captureForensics("unknown exception");
     }
     stopClock();
     return result;

@@ -31,6 +31,9 @@ struct Job
     std::string workload;          ///< registry name (workloads::byName)
     bool noPump = false;           ///< disable the stride-1 PUMP
     bool forceCrBox = false;       ///< route strides through the CR box
+    bool check = false;            ///< run the integrity checkers
+    /** Deadlock-watchdog override; 0 keeps the machine default. */
+    std::uint64_t deadlockCycles = 0;
     std::uint64_t maxCycles = 8ULL << 30; ///< simulated-cycle budget
     std::uint64_t seed = 0;        ///< recorded in results; reserved for
                                    ///< future randomized workloads
@@ -55,6 +58,11 @@ struct JobResult
     std::string message;     ///< diagnostic when status != Ok
     proc::RunResult run;     ///< metrics; valid only when status == Ok
     std::string statsJson;   ///< full stats tree (JSON object); Ok only
+    /**
+     * tarantula.forensics.v1 report (JSON object) captured when the
+     * run died by panic or timeout; empty on clean completion.
+     */
+    std::string forensicsJson;
     double hostSeconds = 0.0; ///< host wall-clock spent on this job
 
     bool ok() const { return status == JobStatus::Ok; }

@@ -1,72 +1,21 @@
 /**
  * @file
- * A minimal streaming JSON writer.
- *
- * SimFarm's result records must be machine-readable without adding a
- * third-party dependency, so this is the smallest emitter that can be
- * correct: it tracks the container stack and comma state, escapes
- * strings per RFC 8259, and formats doubles round-trippably. There is
- * deliberately no parser here -- the simulator only produces JSON.
+ * Compatibility forwarder: the JSON writer moved to base/json.hh so
+ * the check/ forensics layer can emit reports without depending on the
+ * sim library. Existing sim-side users keep their tarantula::sim
+ * spellings.
  */
 
 #ifndef TARANTULA_SIM_JSON_HH
 #define TARANTULA_SIM_JSON_HH
 
-#include <cstdint>
-#include <ostream>
-#include <string>
-#include <vector>
+#include "base/json.hh"
 
 namespace tarantula::sim
 {
 
-/** Escape a string for inclusion in a JSON string literal. */
-std::string jsonEscape(const std::string &s);
-
-/**
- * Streaming JSON emitter with nesting and comma bookkeeping.
- *
- *   JsonWriter w(os);
- *   w.beginObject();
- *   w.key("cycles").value(std::uint64_t{42});
- *   w.key("jobs").beginArray(); ... w.endArray();
- *   w.endObject();
- */
-class JsonWriter
-{
-  public:
-    explicit JsonWriter(std::ostream &os) : os_(os) {}
-
-    JsonWriter &beginObject();
-    JsonWriter &endObject();
-    JsonWriter &beginArray();
-    JsonWriter &endArray();
-
-    /** Emit an object key; must be followed by exactly one value. */
-    JsonWriter &key(const std::string &name);
-
-    JsonWriter &value(const std::string &s);
-    JsonWriter &value(const char *s);
-    JsonWriter &value(bool b);
-    JsonWriter &value(std::uint64_t v);
-    JsonWriter &value(std::int64_t v);
-    JsonWriter &value(unsigned v) { return value(std::uint64_t{v}); }
-    JsonWriter &value(int v) { return value(std::int64_t{v}); }
-    /** Doubles print with %.17g; non-finite values become null. */
-    JsonWriter &value(double v);
-    JsonWriter &null();
-
-    /** Splice a pre-serialized JSON value (e.g. a stats tree). */
-    JsonWriter &raw(const std::string &json);
-
-  private:
-    void beforeValue();
-
-    std::ostream &os_;
-    /** One entry per open container: true once it holds an element. */
-    std::vector<bool> hasElement_;
-    bool pendingKey_ = false;
-};
+using tarantula::JsonWriter;
+using tarantula::jsonEscape;
 
 } // namespace tarantula::sim
 

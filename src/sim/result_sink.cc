@@ -19,6 +19,8 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result)
     w.key("knobs").beginObject();
     w.key("noPump").value(result.job.noPump);
     w.key("forceCrBox").value(result.job.forceCrBox);
+    w.key("check").value(result.job.check);
+    w.key("deadlockCycles").value(result.job.deadlockCycles);
     w.key("maxCycles").value(result.job.maxCycles);
     w.key("seed").value(result.job.seed);
     w.endObject();
@@ -27,6 +29,8 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result)
     if (!result.message.empty())
         w.key("message").value(result.message);
     w.key("hostSeconds").value(result.hostSeconds);
+    if (!result.forensicsJson.empty())
+        w.key("forensics").raw(result.forensicsJson);
 
     if (result.ok()) {
         const auto &r = result.run;

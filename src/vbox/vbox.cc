@@ -102,13 +102,36 @@ void
 Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
 {
     const isa::Inst &in = *di.inst;
-    const bool is_strided =
+    bool is_strided =
         in.op == Opcode::Vld || in.op == Opcode::Vst;
     const bool is_prefetch =
         in.cls() == InstClass::VecLoad && in.rd == isa::ZeroReg;
 
+    // Fault injection: plan strided accesses as if they were
+    // gather/scatter, forcing them through the CR-box tournament.
+    if (is_strided && faults_ &&
+        faults_->active(check::Fault::BankConflictBurst, now_)) {
+        rec("bank_conflict_burst", mi.robTag);
+        is_strided = false;
+    }
+
     mi.plan = slicer_.plan(di.vaddrs, mi.isWrite, is_strided, di.vs,
                            mi.robTag);
+
+    // Fault injection: corrupt the finished plan (arg 0 aliases two
+    // elements onto one bank for the L2's inline check to catch;
+    // arg 1 drops an element for the conservation check here).
+    if (faults_ && !di.vaddrs.empty()) {
+        if (const check::FaultEvent *ev =
+                faults_->fire(check::Fault::SliceConflict, now_)) {
+            corruptPlan(mi.plan, ev->arg);
+            rec("corrupt_plan", mi.robTag, ev->arg);
+        }
+    }
+    if (checks_)
+        checkPlan(mi.plan, di.vaddrs);
+    rec("plan", mi.robTag,
+        static_cast<std::uint64_t>(mi.plan.slices.size()));
 
     // Per-lane TLB translation during address generation. Prefetches
     // ignore TLB misses entirely (paper section 2).
@@ -120,10 +143,17 @@ Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
         std::vector<unsigned> all_elems;
         all_addrs.reserve(di.vaddrs.size());
         all_elems.reserve(di.vaddrs.size());
+        // Fault injection: every lookup misses for the window,
+        // provoking refill-trap storms the pipeline must absorb.
+        const bool tlb_storm =
+            faults_ &&
+            faults_->active(check::Fault::TlbMissStorm, now_);
+        if (tlb_storm)
+            rec("tlb_miss_storm", mi.robTag);
         for (const auto &ea : di.vaddrs) {
             all_addrs.push_back(ea.addr);
             all_elems.push_back(ea.elem);
-            if (!vtlb_.lookup(ea.elem, ea.addr)) {
+            if (!vtlb_.lookup(ea.elem, ea.addr) || tlb_storm) {
                 miss_addrs.push_back(ea.addr);
                 miss_elems.push_back(ea.elem);
             }
@@ -167,7 +197,10 @@ Vbox::cycle()
             }
         }
         if (!matched)
-            panic("vbox: slice response for unknown instruction");
+            panic("vbox: slice response for unknown instruction "
+                  "(tag %llu, slice %llu)",
+                  static_cast<unsigned long long>(resp->instTag),
+                  static_cast<unsigned long long>(resp->sliceId));
     }
 
     // Offer at most one slice per cycle to the L2, oldest first.
@@ -230,6 +263,165 @@ bool
 Vbox::idle() const
 {
     return memQueue_.empty() && completions_.empty();
+}
+
+void
+Vbox::corruptPlan(SlicePlan &plan, std::uint64_t mode)
+{
+    if (mode == 0) {
+        // Alias the second valid element of a slice onto the first
+        // one's bank (adding 1024 keeps address bits <9:6>): the L2's
+        // inline l2.slice check must reject the slice.
+        for (auto &s : plan.slices) {
+            mem::SliceElem *first = nullptr;
+            for (auto &el : s.elems) {
+                if (!el.valid)
+                    continue;
+                if (!first) {
+                    first = &el;
+                    continue;
+                }
+                el.addr = first->addr + 1024;
+                return;
+            }
+        }
+        return;
+    }
+    // mode 1: silently lose the last element of the last slice; the
+    // vbox.plan conservation check must notice the shortfall.
+    for (auto it = plan.slices.rbegin(); it != plan.slices.rend();
+         ++it) {
+        for (auto el = it->elems.rbegin(); el != it->elems.rend();
+             ++el) {
+            if (el->valid) {
+                el->valid = false;
+                return;
+            }
+        }
+    }
+}
+
+void
+Vbox::checkPlan(const SlicePlan &plan,
+                const std::vector<exec::VecElemAddr> &addrs) const
+{
+    if (addrs.empty())
+        return;
+    unsigned covered = 0;
+    for (const auto &s : plan.slices) {
+        const unsigned n = s.numValid();
+        if (n == 0) {
+            check::CheckerRegistry::fail(
+                "vbox.plan", now_,
+                "plan contains an empty slice");
+        }
+        covered += n;
+    }
+    if (plan.scheme == AddrScheme::Pump) {
+        // Pump slices carry whole-line addresses: the plan must cover
+        // each distinct line exactly once, in at most two slices.
+        if (plan.slices.size() > 2) {
+            check::CheckerRegistry::fail(
+                "vbox.plan", now_,
+                "pump plan needs " +
+                    std::to_string(plan.slices.size()) +
+                    " slices (max 2)");
+        }
+        std::vector<Addr> lines;
+        lines.reserve(addrs.size());
+        for (const auto &ea : addrs)
+            lines.push_back(roundDown(ea.addr, CacheLineBytes));
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()),
+                    lines.end());
+        if (covered != lines.size()) {
+            check::CheckerRegistry::fail(
+                "vbox.plan", now_,
+                "pump plan covers " + std::to_string(covered) +
+                    " lines, instruction touches " +
+                    std::to_string(lines.size()));
+        }
+        return;
+    }
+    const std::size_t bound =
+        plan.scheme == AddrScheme::Reorder
+            ? MaxVectorLength / NumLanes
+            : addrs.size();
+    if (plan.slices.size() > bound) {
+        check::CheckerRegistry::fail(
+            "vbox.plan", now_,
+            "plan needs " + std::to_string(plan.slices.size()) +
+                " slices (bound " + std::to_string(bound) + ")");
+    }
+    if (covered != addrs.size()) {
+        check::CheckerRegistry::fail(
+            "vbox.plan", now_,
+            "plan covers " + std::to_string(covered) +
+                " elements, instruction has " +
+                std::to_string(addrs.size()));
+    }
+}
+
+void
+Vbox::attachIntegrity(check::Integrity &kit)
+{
+    faults_ = kit.faults();
+    ring_ = kit.ring("vbox");
+    checks_ = kit.checksEnabled();
+
+    kit.registry().add(
+        "vbox.plan",
+        [this](Cycle, std::vector<std::string> &v) {
+            // Queue bounds: every in-flight memory instruction's
+            // cursor and outstanding count must stay inside its plan.
+            if (memQueue_.size() > cfg_.memQueueEntries) {
+                v.push_back("memQueue holds " +
+                            std::to_string(memQueue_.size()) +
+                            " entries (cap " +
+                            std::to_string(cfg_.memQueueEntries) +
+                            ")");
+            }
+            for (const auto &mi : memQueue_) {
+                if (mi.nextSlice > mi.plan.slices.size() ||
+                    mi.outstanding > mi.nextSlice) {
+                    v.push_back(
+                        "inst " + std::to_string(mi.robTag) +
+                        ": nextSlice " +
+                        std::to_string(mi.nextSlice) +
+                        ", outstanding " +
+                        std::to_string(mi.outstanding) + " of " +
+                        std::to_string(mi.plan.slices.size()) +
+                        " slices");
+                }
+            }
+        });
+
+    kit.forensics().addProbe("vbox", [this](JsonWriter &w) {
+        w.key("memQueueDepth")
+            .value(static_cast<std::uint64_t>(memQueue_.size()));
+        w.key("completionsPending")
+            .value(static_cast<std::uint64_t>(completions_.size()));
+        w.key("addrGenFreeAt")
+            .value(static_cast<std::uint64_t>(addrGenFreeAt_));
+        w.key("memInsts").beginArray();
+        std::size_t dumped = 0;
+        for (const auto &mi : memQueue_) {
+            if (dumped++ >= 16)
+                break;
+            w.beginObject();
+            w.key("robTag").value(mi.robTag);
+            w.key("slices")
+                .value(static_cast<std::uint64_t>(
+                    mi.plan.slices.size()));
+            w.key("nextSlice")
+                .value(static_cast<std::uint64_t>(mi.nextSlice));
+            w.key("outstanding").value(mi.outstanding);
+            w.key("addrGenReady")
+                .value(static_cast<std::uint64_t>(mi.addrGenReady));
+            w.endObject();
+        }
+        w.endArray();
+    });
 }
 
 } // namespace tarantula::vbox

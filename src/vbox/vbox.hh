@@ -30,6 +30,7 @@
 #include "base/statistics.hh"
 #include "base/types.hh"
 #include "cache/l2_cache.hh"
+#include "check/integrity.hh"
 #include "exec/dyn_inst.hh"
 #include "tlb/tlb.hh"
 #include "vbox/slicer.hh"
@@ -89,6 +90,13 @@ class Vbox
     /** True when no memory instruction is in flight. */
     bool idle() const;
 
+    /**
+     * Join the machine's integrity kit: registers the vbox.plan
+     * checker (slice-plan bounds and element conservation) and a
+     * forensics probe; arms fault injection.
+     */
+    void attachIntegrity(check::Integrity &kit);
+
     /** Statistics for benches. */
     std::uint64_t slicesIssued() const { return slicesIssued_.value(); }
     std::uint64_t addrGenBusy() const { return addrGenBusy_.value(); }
@@ -111,6 +119,22 @@ class Vbox
 
     void startAddrGen(MemInst &mi, const exec::DynInst &di,
                       Cycle src_ready);
+    /** Damage a plan per the SliceConflict fault's arg. */
+    static void corruptPlan(SlicePlan &plan, std::uint64_t mode);
+    /** Validate a plan's bounds and element conservation. */
+    void checkPlan(const SlicePlan &plan,
+                   const std::vector<exec::VecElemAddr> &addrs) const;
+
+    void
+    rec(const char *what, std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        if (ring_)
+            ring_->record(now_, what, a, b);
+    }
+
+    check::FaultPlan *faults_ = nullptr;
+    check::EventRing *ring_ = nullptr;
+    bool checks_ = false;
 
     VboxConfig cfg_;
     cache::L2Cache &l2_;

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * A minimal JSON syntax checker shared by tests that validate the
+ * simulator's machine-readable outputs (SimFarm job records, batch
+ * reports, crash-forensics reports). Accepts any syntactically valid
+ * document; there is deliberately no DOM -- tests that care about
+ * content match on substrings.
+ */
+
+#ifndef TARANTULA_TESTS_JSON_CHECKER_HH
+#define TARANTULA_TESTS_JSON_CHECKER_HH
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace test_support
+{
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    /** Throws std::runtime_error on malformed input. */
+    void
+    check()
+    {
+        skipWs();
+        value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters");
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error(
+            why + " at offset " + std::to_string(pos_));
+    }
+
+    char
+    peek() const
+    {
+        if (pos_ >= s_.size())
+            throw std::runtime_error("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    void
+    value()
+    {
+        switch (peek()) {
+          case '{': object(); break;
+          case '[': array(); break;
+          case '"': string(); break;
+          case 't': literal("true"); break;
+          case 'f': literal("false"); break;
+          case 'n': literal("null"); break;
+          default: number(); break;
+        }
+    }
+
+    void
+    object()
+    {
+        expect('{');
+        skipWs();
+        if (peek() == '}') { ++pos_; return; }
+        for (;;) {
+            skipWs();
+            string();
+            skipWs();
+            expect(':');
+            skipWs();
+            value();
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            expect('}');
+            return;
+        }
+    }
+
+    void
+    array()
+    {
+        expect('[');
+        skipWs();
+        if (peek() == ']') { ++pos_; return; }
+        for (;;) {
+            skipWs();
+            value();
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            expect(']');
+            return;
+        }
+    }
+
+    void
+    string()
+    {
+        expect('"');
+        while (peek() != '"') {
+            if (static_cast<unsigned char>(peek()) < 0x20)
+                fail("raw control character in string");
+            if (peek() == '\\') {
+                ++pos_;
+                const char e = peek();
+                if (e == 'u') {
+                    ++pos_;
+                    for (int i = 0; i < 4; ++i, ++pos_) {
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(peek())))
+                            fail("bad \\u escape");
+                    }
+                    continue;
+                }
+                if (std::string("\"\\/bfnrt").find(e) ==
+                    std::string::npos)
+                    fail("bad escape");
+            }
+            ++pos_;
+        }
+        ++pos_;
+    }
+
+    void
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+    }
+
+    void
+    literal(const std::string &word)
+    {
+        if (s_.compare(pos_, word.size(), word) != 0)
+            fail("bad literal");
+        pos_ += word.size();
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+inline void
+expectValidJson(const std::string &text)
+{
+    EXPECT_NO_THROW(JsonChecker(text).check()) << text.substr(0, 400);
+}
+
+inline std::size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+} // namespace test_support
+
+#endif // TARANTULA_TESTS_JSON_CHECKER_HH

@@ -1,0 +1,500 @@
+/**
+ * @file
+ * The integrity subsystem: event rings, fault plans, the checker
+ * registry, crash forensics, and -- the heart of the PR -- one paired
+ * fault-injection test per shipped invariant checker. Each corruption
+ * fault must make exactly its paired checker fire, and every checker
+ * must stay silent on clean runs with --check on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "check/checker.hh"
+#include "check/event_ring.hh"
+#include "check/fault_plan.hh"
+#include "check/forensics.hh"
+#include "exec/memory.hh"
+#include "json_checker.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "program/assembler.hh"
+#include "sim/job.hh"
+#include "sim/result_sink.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using namespace tarantula::program;
+using test_support::countOccurrences;
+using test_support::expectValidJson;
+
+// ---- EventRing --------------------------------------------------------
+
+TEST(EventRing, KeepsTheLastNEventsOldestFirst)
+{
+    check::EventRing ring(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        ring.record(i, "ev", i, 2 * i);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.total(), 10u);
+    const auto evs = ring.events();
+    ASSERT_EQ(evs.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(evs[i].cycle, 6 + i);
+        EXPECT_EQ(evs[i].a, 6 + i);
+        EXPECT_EQ(evs[i].b, 2 * (6 + i));
+        EXPECT_STREQ(evs[i].what, "ev");
+    }
+}
+
+TEST(EventRing, PartialFillAndZeroCapacity)
+{
+    check::EventRing ring(8);
+    ring.record(1, "a");
+    ring.record(2, "b");
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.events()[0].cycle, 1u);
+    EXPECT_EQ(ring.events()[1].cycle, 2u);
+
+    check::EventRing tiny(0);       // degenerate capacity clamps to 1
+    tiny.record(7, "x");
+    tiny.record(8, "y");
+    EXPECT_EQ(tiny.capacity(), 1u);
+    EXPECT_EQ(tiny.size(), 1u);
+    EXPECT_STREQ(tiny.events()[0].what, "y");
+}
+
+// ---- FaultPlan --------------------------------------------------------
+
+TEST(FaultPlan, ActiveCoversTheHalfOpenWindow)
+{
+    check::FaultPlan plan;
+    plan.add(check::Fault::GrantDelay, 100, 10);
+    EXPECT_FALSE(plan.active(check::Fault::GrantDelay, 99));
+    EXPECT_TRUE(plan.active(check::Fault::GrantDelay, 100));
+    EXPECT_TRUE(plan.active(check::Fault::GrantDelay, 109));
+    EXPECT_FALSE(plan.active(check::Fault::GrantDelay, 110));
+    EXPECT_FALSE(plan.active(check::Fault::ZboxStall, 105));
+}
+
+TEST(FaultPlan, FireConsumesEachEventExactlyOnce)
+{
+    check::FaultPlan plan;
+    plan.add(check::Fault::DropFill, 10, 100, 42);
+    EXPECT_EQ(plan.fire(check::Fault::DropFill, 5), nullptr);
+    const check::FaultEvent *ev =
+        plan.fire(check::Fault::DropFill, 20);
+    ASSERT_NE(ev, nullptr);
+    EXPECT_EQ(ev->arg, 42u);
+    // Same window, second call: the one-shot is spent.
+    EXPECT_EQ(plan.fire(check::Fault::DropFill, 21), nullptr);
+    // active() is unaffected by consumption.
+    EXPECT_TRUE(plan.active(check::Fault::DropFill, 21));
+}
+
+TEST(FaultPlan, SummaryNamesEveryEvent)
+{
+    check::FaultPlan plan;
+    EXPECT_EQ(plan.summary(), "none");
+    plan.add(check::Fault::ReplayStorm, 5, 20);
+    plan.add(check::Fault::SkipInvalidate, 99, 1, 3);
+    EXPECT_EQ(plan.summary(),
+              "replay_storm@5+20(0), skip_invalidate@99+1(3)");
+}
+
+TEST(FaultPlan, RandomIsDeterministicAndSurvivableOnly)
+{
+    const auto a = check::FaultPlan::random(1234, 50'000);
+    const auto b = check::FaultPlan::random(1234, 50'000);
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_GE(a.size(), 2u);
+    EXPECT_LE(a.size(), 4u);
+    for (const auto &ev : a.events()) {
+        // Never a corruption fault: random plans stress the
+        // degradation machinery, they must not plant violations.
+        EXPECT_TRUE(ev.kind == check::Fault::GrantDelay ||
+                    ev.kind == check::Fault::ReplayStorm ||
+                    ev.kind == check::Fault::TlbMissStorm ||
+                    ev.kind == check::Fault::BankConflictBurst ||
+                    ev.kind == check::Fault::ZboxStall)
+            << check::toString(ev.kind);
+        EXPECT_LT(ev.start, 50'000u);
+    }
+    // Different seeds diverge (overwhelmingly likely by construction).
+    const auto c = check::FaultPlan::random(1235, 50'000);
+    EXPECT_NE(a.summary(), c.summary());
+}
+
+// ---- CheckerRegistry --------------------------------------------------
+
+TEST(CheckerRegistry, RunAllPanicsWithTheUniformMessageShape)
+{
+    check::CheckerRegistry reg;
+    reg.add("test.clean",
+            [](Cycle, std::vector<std::string> &) {});
+    reg.add("test.dirty",
+            [](Cycle, std::vector<std::string> &v) {
+                v.push_back("first thing broke");
+                v.push_back("second thing broke");
+            });
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.names(),
+              (std::vector<std::string>{"test.clean", "test.dirty"}));
+    try {
+        reg.runAll(42);
+        FAIL() << "runAll did not panic";
+    } catch (const PanicError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("integrity check 'test.dirty' failed "
+                           "@cyc 42: first thing broke"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("(+1 more)"), std::string::npos) << msg;
+    }
+}
+
+TEST(CheckerRegistry, InlineFailUsesTheSameShape)
+{
+    try {
+        check::CheckerRegistry::fail("l2.slice", 7, "bank clash");
+        FAIL() << "fail() returned";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("integrity check 'l2.slice' failed "
+                            "@cyc 7: bank clash"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ---- Forensics (unit level) -------------------------------------------
+
+TEST(Forensics, ReportIsValidJsonWithRingsAndProbes)
+{
+    check::Forensics f(3);
+    f.ring("alpha").record(1, "boot");
+    for (std::uint64_t i = 0; i < 5; ++i)
+        f.ring("beta").record(10 + i, "tick", i);
+    f.addProbe("alpha", [](JsonWriter &w) {
+        w.key("depth").value(std::uint64_t{9});
+    });
+
+    std::ostringstream os;
+    f.writeReport(os, "test \"reason\"", 123);
+    const std::string text = os.str();
+    expectValidJson(text);
+    EXPECT_NE(text.find("\"schema\":\"tarantula.forensics.v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"cycle\":123"), std::string::npos);
+    EXPECT_NE(text.find("test \\\"reason\\\""), std::string::npos);
+    EXPECT_NE(text.find("\"depth\":9"), std::string::npos);
+    // beta recorded 5 events into a 3-deep ring: 2 dropped.
+    EXPECT_NE(text.find("\"eventsDropped\":2"), std::string::npos);
+    // No trailing newline: the report splices into job records raw.
+    ASSERT_FALSE(text.empty());
+    EXPECT_NE(text.back(), '\n');
+}
+
+// ---- Paired fault-injection battery -----------------------------------
+//
+// One directed program per checker; the fault plan plants exactly the
+// violation the checker guards; the run must die with a PanicError
+// whose message names that checker.
+
+Program
+vectorLoadProgram()
+{
+    Assembler a;
+    a.movi(R(1), 0x100000);
+    a.setvl(128);
+    a.setvs(8);
+    a.vldq(V(1), R(1));
+    a.halt();
+    return a.finalize();
+}
+
+Program
+scalarTouchThenVectorProgram()
+{
+    // The coherency pattern: a scalar load pulls a line into the L1
+    // (P-bit set in the L2), then a vector read touches it.
+    Assembler a;
+    a.movi(R(1), 0x100000);
+    a.ldq(R(2), 0, R(1));
+    Label spin = a.newLabel();
+    a.movi(R(3), 300);
+    a.bind(spin);
+    a.subq(R(3), R(3), 1);
+    a.bgt(R(3), spin);
+    a.setvl(128);
+    a.setvs(8);
+    a.vldq(V(1), R(1));
+    a.halt();
+    return a.finalize();
+}
+
+Program
+storesThenDrainmProgram()
+{
+    Assembler a;
+    a.movi(R(1), 0x100000);
+    a.movi(R(2), 1);
+    for (unsigned i = 0; i < 8; ++i)
+        a.stq(R(2), i * 512, R(1));
+    a.drainm();
+    a.halt();
+    return a.finalize();
+}
+
+/** Checked Tarantula config carrying the given fault plan. */
+proc::MachineConfig
+checkedConfig(const check::FaultPlan &plan,
+              Cycle max_transaction_age = 100'000)
+{
+    auto cfg = proc::tarantulaConfig();
+    cfg.integrity.checks = true;
+    cfg.integrity.faults = plan;
+    cfg.integrity.maxTransactionAge = max_transaction_age;
+    return cfg;
+}
+
+/** Run to completion or first panic; returns the panic message. */
+std::string
+runExpectingPanic(const proc::MachineConfig &cfg, const Program &prog)
+{
+    exec::FunctionalMemory mem;
+    proc::Processor cpu(cfg, prog, mem);
+    try {
+        cpu.run(10'000'000);
+    } catch (const PanicError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+void
+expectCheckerFired(const std::string &msg, const char *checker)
+{
+    ASSERT_FALSE(msg.empty()) << "run completed; '" << checker
+                              << "' never fired";
+    EXPECT_NE(msg.find("integrity check"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::string("'") + checker + "'"),
+              std::string::npos)
+        << msg;
+}
+
+TEST(PairedFaults, DropFillTripsL2MafAgeChecker)
+{
+    check::FaultPlan plan;
+    plan.add(check::Fault::DropFill, 0, 10'000'000);
+    // A dropped fill orphans its MAF sleeper forever; a tight age
+    // bound catches it long before the deadlock watchdog would.
+    const auto msg = runExpectingPanic(
+        checkedConfig(plan, /*max_transaction_age=*/2000),
+        vectorLoadProgram());
+    expectCheckerFired(msg, "l2.maf");
+}
+
+TEST(PairedFaults, SliceBankAliasTripsL2SliceChecker)
+{
+    check::FaultPlan plan;
+    plan.add(check::Fault::SliceConflict, 0, 10'000'000, /*arg=*/0);
+    const auto msg =
+        runExpectingPanic(checkedConfig(plan), vectorLoadProgram());
+    expectCheckerFired(msg, "l2.slice");
+}
+
+TEST(PairedFaults, DroppedElementTripsVboxPlanChecker)
+{
+    check::FaultPlan plan;
+    plan.add(check::Fault::SliceConflict, 0, 10'000'000, /*arg=*/1);
+    const auto msg =
+        runExpectingPanic(checkedConfig(plan), vectorLoadProgram());
+    expectCheckerFired(msg, "vbox.plan");
+}
+
+TEST(PairedFaults, LongZboxStallTripsLifetimeChecker)
+{
+    check::FaultPlan plan;
+    plan.add(check::Fault::ZboxStall, 0, 1'000'000);
+    const auto msg = runExpectingPanic(
+        checkedConfig(plan, /*max_transaction_age=*/3000),
+        vectorLoadProgram());
+    expectCheckerFired(msg, "zbox.lifetime");
+}
+
+TEST(PairedFaults, SkippedInvalidateTripsPBitChecker)
+{
+    check::FaultPlan plan;
+    plan.add(check::Fault::SkipInvalidate, 0, 10'000'000);
+    const auto msg = runExpectingPanic(
+        checkedConfig(plan), scalarTouchThenVectorProgram());
+    expectCheckerFired(msg, "coherency.pbit");
+}
+
+TEST(PairedFaults, SkippedDrainTripsDrainMChecker)
+{
+    check::FaultPlan plan;
+    plan.add(check::Fault::DrainSkip, 0, 10'000'000);
+    const auto msg = runExpectingPanic(
+        checkedConfig(plan), storesThenDrainmProgram());
+    expectCheckerFired(msg, "coherency.drainm");
+}
+
+// ---- Silence on clean runs --------------------------------------------
+
+TEST(CheckMode, CheckersStaySilentOnCleanDirectedRuns)
+{
+    const Program progs[] = {vectorLoadProgram(),
+                             scalarTouchThenVectorProgram(),
+                             storesThenDrainmProgram()};
+    for (const auto &prog : progs) {
+        exec::FunctionalMemory mem;
+        proc::Processor cpu(checkedConfig(check::FaultPlan{}), prog,
+                            mem);
+        EXPECT_NO_THROW(cpu.run(10'000'000));
+    }
+}
+
+TEST(CheckMode, CheckedWorkloadRunMatchesUncheckedCycleForCycle)
+{
+    // --check must be behaviour-preserving: same cycle count, same
+    // result, no checker noise on a real workload.
+    sim::Job plain;
+    plain.machine = "T";
+    plain.workload = "fft";
+    sim::Job checked = plain;
+    checked.check = true;
+
+    const auto r_plain = sim::runJob(plain);
+    const auto r_checked = sim::runJob(checked);
+    ASSERT_EQ(r_plain.status, sim::JobStatus::Ok) << r_plain.message;
+    ASSERT_EQ(r_checked.status, sim::JobStatus::Ok)
+        << r_checked.message;
+    EXPECT_EQ(r_checked.run.cycles, r_plain.run.cycles);
+    EXPECT_EQ(r_checked.statsJson, r_plain.statsJson);
+}
+
+// ---- Crash forensics end to end ---------------------------------------
+
+TEST(ForensicsEndToEnd, TimeoutReportCoversEveryComponent)
+{
+    // A run that cannot finish in its budget: the forensics report
+    // must snapshot every attached component.
+    Assembler a;
+    Label spin = a.newLabel();
+    a.movi(R(1), 1);
+    a.bind(spin);
+    a.addq(R(2), R(2), R(1));
+    a.br(spin);
+    Program prog = a.finalize();
+
+    exec::FunctionalMemory mem;
+    proc::Processor cpu(proc::tarantulaConfig(), prog, mem);
+    std::string reason;
+    try {
+        cpu.run(5000);
+        FAIL() << "spin loop finished?";
+    } catch (const TimeoutError &e) {
+        reason = e.what();
+    }
+    std::ostringstream os;
+    cpu.writeForensics(os, reason);
+    const std::string text = os.str();
+    expectValidJson(text);
+    EXPECT_NE(text.find("\"schema\":\"tarantula.forensics.v1\""),
+              std::string::npos);
+    for (const char *comp : {"\"core\":", "\"l2\":", "\"zbox\":",
+                             "\"vbox\":", "\"proc\":"})
+        EXPECT_NE(text.find(comp), std::string::npos) << comp;
+    EXPECT_NE(text.find("\"lastRetiredPc\":"), std::string::npos);
+    EXPECT_NE(text.find("exceeded 5000 cycles"), std::string::npos);
+}
+
+TEST(ForensicsEndToEnd, KilledJobRecordCarriesTheReport)
+{
+    // The acceptance criterion: a killed SimFarm job's JSON record
+    // contains a parseable tarantula.forensics.v1 report.
+    sim::Job doomed;
+    doomed.machine = "T";
+    doomed.workload = "fft";
+    doomed.maxCycles = 1000;
+    const sim::JobResult r = sim::runJob(doomed);
+    ASSERT_EQ(r.status, sim::JobStatus::TimedOut) << r.message;
+    ASSERT_FALSE(r.forensicsJson.empty());
+    expectValidJson(r.forensicsJson);
+    EXPECT_NE(r.forensicsJson.find(check::ForensicsSchemaTag),
+              std::string::npos);
+
+    std::ostringstream os;
+    sim::writeJobRecord(os, r);
+    const std::string record = os.str();
+    expectValidJson(record);
+    EXPECT_EQ(countOccurrences(record, "\"forensics\":"), 1u);
+    EXPECT_EQ(countOccurrences(
+                  record, "\"schema\":\"tarantula.forensics.v1\""),
+              1u);
+}
+
+TEST(ForensicsEndToEnd, PanicMessagesCarryTheCyclePrefix)
+{
+    // Any panic raised mid-simulation is stamped with the cycle, so
+    // batch logs line up with the forensics timeline.
+    check::FaultPlan plan;
+    plan.add(check::Fault::SliceConflict, 0, 10'000'000, /*arg=*/1);
+    const auto msg =
+        runExpectingPanic(checkedConfig(plan), vectorLoadProgram());
+    ASSERT_FALSE(msg.empty());
+    EXPECT_EQ(msg.rfind("cyc ", 0), 0u) << msg;
+}
+
+// ---- The deadlock watchdog knob ---------------------------------------
+
+TEST(Watchdog, DeadlockCyclesBoundsRetirementSilence)
+{
+    // Checks off: a dropped fill silently wedges the machine, and the
+    // watchdog -- not an integrity checker -- must kill the run.
+    check::FaultPlan plan;
+    plan.add(check::Fault::DropFill, 0, 10'000'000);
+    auto cfg = proc::tarantulaConfig();
+    cfg.integrity.faults = plan;
+    cfg.deadlockCycles = 20'000;
+
+    const Program prog = vectorLoadProgram();
+    exec::FunctionalMemory mem;
+    proc::Processor cpu(cfg, prog, mem);
+    try {
+        cpu.run(10'000'000);
+        FAIL() << "wedged machine ran to completion";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("no retirement in 20000 cycles"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Watchdog, ZeroDisablesTheWatchdog)
+{
+    // Same wedge with the watchdog off: the run must only die on its
+    // explicit cycle budget (TimeoutError, not PanicError).
+    check::FaultPlan plan;
+    plan.add(check::Fault::DropFill, 0, 10'000'000);
+    auto cfg = proc::tarantulaConfig();
+    cfg.integrity.faults = plan;
+    cfg.deadlockCycles = 0;
+
+    const Program prog = vectorLoadProgram();
+    exec::FunctionalMemory mem;
+    proc::Processor cpu(cfg, prog, mem);
+    EXPECT_THROW(cpu.run(50'000), TimeoutError);
+}
+
+} // anonymous namespace

@@ -21,7 +21,9 @@
 #include <memory>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/random.hh"
+#include "check/fault_plan.hh"
 #include "exec/interp.hh"
 #include "exec/memory.hh"
 #include "proc/machine_config.hh"
@@ -244,6 +246,125 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(info.param.machine) + "_seed" +
                std::to_string(info.param.seed);
     });
+
+// ---- Fault-injection battery ------------------------------------------
+//
+// Survivable faults (grant starvation, replay storms, TLB miss storms,
+// bank-conflict bursts, short Zbox stalls) stress the panic-mode and
+// starvation machinery. Under any seeded plan the run must either
+// complete with untouched architectural results or die *detected* --
+// an integrity-check panic, never a silent wrong answer -- and the
+// cycle count must stay bit-reproducible for a fixed seed.
+
+struct FaultFuzzCase
+{
+    std::uint64_t seed;
+};
+
+class FaultFuzz : public ::testing::TestWithParam<FaultFuzzCase>
+{
+};
+
+TEST_P(FaultFuzz, SurvivedOrDetectedAndBitReproducible)
+{
+    const std::uint64_t seed = GetParam().seed;
+    Program prog = generate(seed, /*with_vector=*/true);
+
+    exec::FunctionalMemory ref_mem;
+    seedMemory(ref_mem, seed);
+    exec::Interpreter ref(prog, ref_mem);
+    ref.run(1ULL << 24);
+    const auto expect = snapshot(ref_mem);
+
+    auto cfg = proc::tarantulaConfig();
+    cfg.integrity.checks = true;
+    cfg.integrity.faults =
+        check::FaultPlan::random(seed, /*horizon=*/200'000);
+    // Keep the watchdog tighter than the test timeout so a genuine
+    // wedge fails loudly instead of hanging the battery.
+    cfg.deadlockCycles = 500'000;
+
+    Cycle cycles[2] = {0, 0};
+    bool detected[2] = {false, false};
+    for (int run = 0; run < 2; ++run) {
+        exec::FunctionalMemory mem;
+        seedMemory(mem, seed);
+        proc::Processor cpu(cfg, prog, mem);
+        try {
+            const auto r = cpu.run(1ULL << 26);
+            cycles[run] = r.cycles;
+            ASSERT_EQ(snapshot(mem), expect)
+                << "seed " << seed << " plan "
+                << cfg.integrity.faults.summary();
+        } catch (const PanicError &e) {
+            // Detected degradation is acceptable; a random plan must
+            // never corrupt state, so any panic is a named integrity
+            // failure (or the watchdog), not a silent wrong result.
+            detected[run] = true;
+            const std::string msg = e.what();
+            EXPECT_TRUE(msg.find("integrity check") !=
+                            std::string::npos ||
+                        msg.find("no retirement") !=
+                            std::string::npos)
+                << msg;
+        }
+    }
+    EXPECT_EQ(detected[0], detected[1])
+        << "nondeterministic outcome, seed " << seed;
+    EXPECT_EQ(cycles[0], cycles[1])
+        << "nondeterministic timing under faults, seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, FaultFuzz,
+    ::testing::Values(FaultFuzzCase{1}, FaultFuzzCase{2},
+                      FaultFuzzCase{3}, FaultFuzzCase{4},
+                      FaultFuzzCase{5}, FaultFuzzCase{6}),
+    [](const ::testing::TestParamInfo<FaultFuzzCase> &info) {
+        return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(FaultFuzz, EveryFaultClassIsSurvivedOrDetected)
+{
+    // One directed window per survivable fault kind, on one program:
+    // each class alone must leave results intact or die detected.
+    static constexpr check::Fault kinds[] = {
+        check::Fault::GrantDelay,       check::Fault::ReplayStorm,
+        check::Fault::TlbMissStorm,     check::Fault::BankConflictBurst,
+        check::Fault::ZboxStall,
+    };
+    const std::uint64_t seed = 11;
+    Program prog = generate(seed, /*with_vector=*/true);
+
+    exec::FunctionalMemory ref_mem;
+    seedMemory(ref_mem, seed);
+    exec::Interpreter ref(prog, ref_mem);
+    ref.run(1ULL << 24);
+    const auto expect = snapshot(ref_mem);
+
+    for (const auto kind : kinds) {
+        SCOPED_TRACE(check::toString(kind));
+        auto cfg = proc::tarantulaConfig();
+        cfg.integrity.checks = true;
+        cfg.integrity.faults.add(kind, 100, 5000);
+        cfg.deadlockCycles = 500'000;
+
+        exec::FunctionalMemory mem;
+        seedMemory(mem, seed);
+        proc::Processor cpu(cfg, prog, mem);
+        try {
+            cpu.run(1ULL << 26);
+            EXPECT_EQ(snapshot(mem), expect);
+        } catch (const PanicError &e) {
+            const std::string msg = e.what();
+            EXPECT_TRUE(msg.find("integrity check") !=
+                            std::string::npos ||
+                        msg.find("no retirement") !=
+                            std::string::npos)
+                << msg;
+        }
+    }
+}
 
 TEST(Fuzz, ScalarProgramsOnEv8)
 {

@@ -47,6 +47,9 @@ usage()
         "  --no-pump        disable the stride-1 PUMP on every job\n"
         "  --force-crbox    route strided accesses through the CR box\n"
         "  --max-cycles N   per-job simulated-cycle budget\n"
+        "  --check          run the integrity checkers on every job\n"
+        "  --deadlock-cycles N  per-job no-retirement watchdog\n"
+        "                   (0 keeps the machine default of 1M)\n"
         "  --quiet          no per-job progress on stderr\n"
         "  --list           list machines and workloads, then exit\n");
 }
@@ -119,7 +122,9 @@ run(int argc, char **argv)
     unsigned jobs = 0;
     bool no_pump = false;
     bool force_crbox = false;
+    bool check = false;
     bool quiet = false;
+    std::uint64_t deadlock_cycles = 0;
     std::uint64_t max_cycles = 8ULL << 30;
 
     for (int i = 1; i < argc; ++i) {
@@ -143,6 +148,10 @@ run(int argc, char **argv)
             force_crbox = true;
         } else if (arg == "--max-cycles") {
             max_cycles = parseU64(arg, next());
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--deadlock-cycles") {
+            deadlock_cycles = parseU64(arg, next());
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -182,6 +191,8 @@ run(int argc, char **argv)
             job.workload = n;
             job.noPump = no_pump;
             job.forceCrBox = force_crbox;
+            job.check = check;
+            job.deadlockCycles = deadlock_cycles;
             job.maxCycles = max_cycles;
             farm.submit(job);
         }

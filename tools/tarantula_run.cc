@@ -48,7 +48,10 @@ usage()
         "  --no-pump       disable the stride-1 PUMP (Figure 9)\n"
         "  --save-program FILE  serialize the chosen program (binary)\n"
         "  --force-crbox   route strided accesses through the CR box\n"
-        "  --max-cycles N  simulation safety bound\n");
+        "  --max-cycles N  simulation safety bound\n"
+        "  --check         run the integrity checkers every interval\n"
+        "  --deadlock-cycles N  no-retirement watchdog (0 disables;\n"
+        "                  default 1M)\n");
 }
 
 void
@@ -85,6 +88,9 @@ run(int argc, char **argv)
     std::string save_program;
     bool no_pump = false;
     bool force_crbox = false;
+    bool check = false;
+    bool deadlock_set = false;
+    std::uint64_t deadlock_cycles = 0;
     std::uint64_t max_cycles = 8ULL << 30;
 
     for (int i = 1; i < argc; ++i) {
@@ -110,6 +116,11 @@ run(int argc, char **argv)
             force_crbox = true;
         } else if (arg == "--max-cycles") {
             max_cycles = parseU64(arg, next());
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--deadlock-cycles") {
+            deadlock_cycles = parseU64(arg, next());
+            deadlock_set = true;
         } else if (arg == "--list") {
             listWorkloads();
             return 0;
@@ -125,6 +136,9 @@ run(int argc, char **argv)
     proc::MachineConfig cfg = proc::machineByName(machine);
     cfg.vbox.slicer.pumpEnabled = !no_pump;
     cfg.vbox.slicer.forceCrBox = force_crbox;
+    cfg.integrity.checks = check;
+    if (deadlock_set)
+        cfg.deadlockCycles = deadlock_cycles;
 
     workloads::Workload w = workloads::byName(workload);
     exec::FunctionalMemory mem;
@@ -143,10 +157,49 @@ run(int argc, char **argv)
     }
 
     const auto start = std::chrono::steady_clock::now();
-    const proc::RunResult r = cpu.run(max_cycles);
-    const double host_seconds =
-        std::chrono::duration<double>(
+    auto hostSeconds = [&] {
+        return std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start).count();
+    };
+
+    sim::JobResult record;
+    record.job.machine = machine;
+    record.job.workload = workload;
+    record.job.noPump = no_pump;
+    record.job.forceCrBox = force_crbox;
+    record.job.check = check;
+    record.job.deadlockCycles = deadlock_set ? deadlock_cycles : 0;
+    record.job.maxCycles = max_cycles;
+    auto writeJson = [&] {
+        if (json_file.empty())
+            return;
+        record.hostSeconds = hostSeconds();
+        std::ofstream out(json_file);
+        if (!out)
+            fatal("cannot open '%s'", json_file.c_str());
+        sim::writeJobRecord(out, record);
+        std::printf("json:       written to %s\n", json_file.c_str());
+    };
+
+    proc::RunResult r;
+    try {
+        r = cpu.run(max_cycles);
+    } catch (const std::exception &e) {
+        // The machine died -- a panic, an integrity-check failure or
+        // the cycle budget. Attach the forensics report so the crash
+        // is machine-readable, then bail with a distinct exit code.
+        std::fprintf(stderr, "run died: %s\n", e.what());
+        record.status = dynamic_cast<const TimeoutError *>(&e)
+                            ? sim::JobStatus::TimedOut
+                            : sim::JobStatus::Failed;
+        record.message = e.what();
+        std::ostringstream forensics;
+        cpu.writeForensics(forensics, e.what());
+        record.forensicsJson = forensics.str();
+        writeJson();
+        return 3;
+    }
+    const double host_seconds = hostSeconds();
     const std::string err = w.check(mem);
 
     std::printf("workload:   %s (%s)\n", w.name.c_str(),
@@ -179,30 +232,18 @@ run(int argc, char **argv)
         std::printf("stats:      written to %s\n", stats_file.c_str());
     }
 
-    if (!json_file.empty()) {
-        sim::JobResult record;
-        record.job.machine = machine;
-        record.job.workload = workload;
-        record.job.noPump = no_pump;
-        record.job.forceCrBox = force_crbox;
-        record.job.maxCycles = max_cycles;
-        record.run = r;
-        record.hostSeconds = host_seconds;
-        if (err.empty()) {
-            record.status = sim::JobStatus::Ok;
-            std::ostringstream stats;
-            cpu.stats().reportJson(stats);
-            record.statsJson = stats.str();
-        } else {
-            record.status = sim::JobStatus::Failed;
-            record.message = "wrong result: " + err;
-        }
-        std::ofstream out(json_file);
-        if (!out)
-            fatal("cannot open '%s'", json_file.c_str());
-        sim::writeJobRecord(out, record);
-        std::printf("json:       written to %s\n", json_file.c_str());
+    record.run = r;
+    record.hostSeconds = host_seconds;
+    if (err.empty()) {
+        record.status = sim::JobStatus::Ok;
+        std::ostringstream stats;
+        cpu.stats().reportJson(stats);
+        record.statsJson = stats.str();
+    } else {
+        record.status = sim::JobStatus::Failed;
+        record.message = "wrong result: " + err;
     }
+    writeJson();
     return err.empty() ? 0 : 1;
 }
 
