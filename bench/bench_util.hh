@@ -9,6 +9,8 @@
 #define TARANTULA_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "base/logging.hh"
@@ -39,6 +41,23 @@ runOn(const proc::MachineConfig &cfg, const workloads::Workload &w,
         fatal("%s on %s: wrong result: %s", w.name.c_str(),
               cfg.name.c_str(), err.c_str());
     return res;
+}
+
+/**
+ * Reduced-size smoke mode for CI: TARANTULA_BENCH_SMOKE=1 in the
+ * environment or --smoke on the command line. Figure drivers shrink
+ * their sweep so the whole bench suite builds *and runs* on every
+ * change instead of bitrotting unbuilt.
+ */
+inline bool
+smokeMode(int argc = 0, char **argv = nullptr)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            return true;
+    }
+    const char *env = std::getenv("TARANTULA_BENCH_SMOKE");
+    return env && *env && *env != '0';
 }
 
 /** Print a horizontal rule sized for an n-column table. */

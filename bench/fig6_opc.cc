@@ -6,6 +6,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hh"
 
@@ -13,10 +14,11 @@ using namespace tarantula;
 using namespace tarantula::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bool smoke = smokeMode(argc, argv);
     std::printf("Figure 6: operations per cycle sustained on "
-                "Tarantula\n");
+                "Tarantula%s\n", smoke ? " (smoke subset)" : "");
     std::printf("Paper shape: most benchmarks > 10 OPC, several > 20; "
                 "gather/scatter codes\n");
     std::printf("(sparse MxV, radix sort) lowest; linpack100 well "
@@ -26,7 +28,18 @@ main()
     rule(76);
 
     const auto cfg = proc::tarantulaConfig();
-    for (const auto &w : workloads::figureSuite()) {
+    auto suite = workloads::figureSuite();
+    if (smoke) {
+        std::vector<workloads::Workload> subset;
+        for (const auto &w : suite) {
+            if (w.name == "swim" || w.name == "sparsemxv" ||
+                w.name == "dgemm") {
+                subset.push_back(w);
+            }
+        }
+        suite = subset;
+    }
+    for (const auto &w : suite) {
         const auto r = runOn(cfg, w);
         std::printf("%-12s %8.2f %8.2f %8.2f %8.2f   ",
                     w.name.c_str(), r.opc(), r.fpc(), r.mpc(),

@@ -19,9 +19,11 @@ using namespace tarantula;
 using namespace tarantula::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Figure 7: speedup of EV8+ and Tarantula over EV8\n");
+    const bool smoke = smokeMode(argc, argv);
+    std::printf("Figure 7: speedup of EV8+ and Tarantula over EV8%s\n",
+                smoke ? " (smoke subset)" : "");
     std::printf("Paper shape: Tarantula typically >= 5x (peak flop "
                 "ratio is 8x); several\n");
     std::printf("benchmarks exceed 8x; EV8+ alone explains only a "
@@ -31,7 +33,19 @@ main()
     rule(68);
 
     const char *machines[] = {"EV8", "EV8+", "T"};
-    const auto suite = workloads::figureSuite();
+    auto suite = workloads::figureSuite();
+    if (smoke) {
+        // Three benchmarks spanning the speedup range: a stride-1
+        // streamer, a gather/scatter code, and a dense-compute kernel.
+        std::vector<workloads::Workload> subset;
+        for (const auto &w : suite) {
+            if (w.name == "swim" || w.name == "sparsemxv" ||
+                w.name == "dgemm") {
+                subset.push_back(w);
+            }
+        }
+        suite = subset;
+    }
 
     sim::SimFarm farm;
     for (const auto &w : suite) {

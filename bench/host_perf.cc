@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Host-performance microbenchmark for the quiescence fast-forward
+ * engine (DESIGN.md §8): run the same programs with fast-forward off
+ * (strict cycle stepping) and on, verify the simulated timing is
+ * bit-identical, and report simulated cycles per host second for both
+ * modes plus the speedup.
+ *
+ * The headline case is a pointer-chasing dependent-load chain over a
+ * cold footprint: the machine spends almost every cycle waiting on
+ * memory, which is exactly the phase the engine can skip. Bandwidth-
+ * and compute-bound workloads from the registry are included to show
+ * the engine never pays more than the horizon bookkeeping there.
+ *
+ * Smoke mode (TARANTULA_BENCH_SMOKE=1 or --smoke) shrinks the chase
+ * so CI can run the binary in seconds.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.hh"
+#include "program/assembler.hh"
+
+using namespace tarantula;
+using namespace tarantula::bench;
+using program::Assembler;
+using program::Label;
+using program::Program;
+using program::R;
+
+namespace
+{
+
+/** Dependent-load chain: every iteration misses all caches. */
+Program
+chaseProgram(std::uint64_t iters)
+{
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 0x100000);
+    a.movi(R(2), static_cast<std::int64_t>(iters));
+    a.bind(loop);
+    a.ldq(R(3), 0, R(1));       // loads zero: the chain is in timing
+    a.addq(R(1), R(1), R(3));
+    a.addq(R(1), R(1), 4096);   // a fresh line (and DRAM row) each time
+    a.subq(R(2), R(2), 1);
+    a.bgt(R(2), loop);
+    a.halt();
+    return a.finalize();
+}
+
+proc::RunResult
+runProgram(const proc::MachineConfig &cfg, const Program &prog)
+{
+    exec::FunctionalMemory mem;
+    proc::Processor p(cfg, prog, mem);
+    return p.run(8ULL << 30);
+}
+
+void
+report(const char *name, const proc::RunResult &stepped,
+       const proc::RunResult &ff)
+{
+    if (stepped.cycles != ff.cycles)
+        fatal("%s: fast-forward diverged: %llu vs %llu cycles", name,
+              static_cast<unsigned long long>(stepped.cycles),
+              static_cast<unsigned long long>(ff.cycles));
+    const double speedup =
+        stepped.hostMillis > 0.0 && ff.hostMillis > 0.0
+            ? stepped.hostMillis / ff.hostMillis
+            : 0.0;
+    std::printf("%-12s %11llu %9.2f %9.2f %7.2fx %6.1f%%\n", name,
+                static_cast<unsigned long long>(ff.cycles),
+                stepped.simCyclesPerHostSec() / 1e6,
+                ff.simCyclesPerHostSec() / 1e6, speedup,
+                100.0 * static_cast<double>(ff.ffSkippedCycles) /
+                    static_cast<double>(ff.cycles ? ff.cycles : 1));
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = smokeMode(argc, argv);
+
+    std::printf("Host performance: quiescence fast-forward engine%s\n",
+                smoke ? " (smoke)" : "");
+    std::printf("Simulated timing is bit-identical in both modes "
+                "(verified per row).\n\n");
+    std::printf("%-12s %11s %9s %9s %8s %7s\n", "program", "cycles",
+                "step Mc/s", "ff Mc/s", "speedup", "skipped");
+    rule(62);
+
+    // The memory-latency-bound headline: a dependent-load chain.
+    {
+        const Program prog = chaseProgram(smoke ? 2'000 : 20'000);
+        for (const char *machine : {"EV8", "T"}) {
+            proc::MachineConfig cfg = proc::machineByName(machine);
+            cfg.fastForward = false;
+            const auto stepped = runProgram(cfg, prog);
+            cfg.fastForward = true;
+            const auto ff = runProgram(cfg, prog);
+            char label[32];
+            std::snprintf(label, sizeof(label), "chase/%s", machine);
+            report(label, stepped, ff);
+        }
+    }
+
+    // Registry workloads for context: latency-bound (sparsemxv),
+    // bandwidth-bound (rndcopy), compute-bound (dgemm).
+    for (const char *name : {"sparsemxv", "rndcopy", "dgemm"}) {
+        const workloads::Workload w = workloads::byName(name);
+        proc::MachineConfig cfg = proc::machineByName("T");
+        cfg.fastForward = false;
+        const auto stepped = runOn(cfg, w);
+        cfg.fastForward = true;
+        const auto ff = runOn(cfg, w);
+        report(name, stepped, ff);
+    }
+    return 0;
+}

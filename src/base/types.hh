@@ -32,6 +32,12 @@ constexpr unsigned NumVectorRegs = 32;
 /** Bytes per cache line in both the L1 and the L2 (Table 3). */
 constexpr unsigned CacheLineBytes = 64;
 
+/**
+ * "No event pending": the horizon returned by nextEventCycle() when a
+ * component can be fast-forwarded indefinitely (see DESIGN.md §8).
+ */
+constexpr Cycle CycleNever = ~Cycle{0};
+
 /** Elements (quadwords) per cache line. */
 constexpr unsigned QwPerLine = CacheLineBytes / sizeof(Quadword);
 

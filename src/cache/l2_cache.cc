@@ -1,5 +1,6 @@
 #include "cache/l2_cache.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -477,6 +478,21 @@ L2Cache::cycle()
                 processSlice(idx);
         }
     }
+}
+
+Cycle
+L2Cache::nextEventCycle() const
+{
+    // Retry-queue replays and deferred Zbox enqueues run (and count
+    // stats) every cycle they are pending: no skipping over them.
+    if (!retryQueue_.empty() || !deferredReqs_.empty())
+        return now_ + 1;
+    Cycle next = CycleNever;
+    for (const auto &resp : sliceResps_)
+        next = std::min(next, std::max(resp.readyAt, now_ + 1));
+    for (const auto &resp : scalarResps_)
+        next = std::min(next, std::max(resp.readyAt, now_ + 1));
+    return next;
 }
 
 bool

@@ -113,6 +113,19 @@ class L2Cache
     /** Advance one cycle: drain fills, run retry/new slice, scalars. */
     void cycle();
 
+    /**
+     * Quiescence contract (DESIGN.md §8): the earliest future cycle at
+     * which this cache could do or hand out work on its own. Replays
+     * and deferred Zbox requests act every cycle, so they pin the
+     * horizon at now+1; otherwise the cache sleeps until a buffered
+     * response matures. Fills from memory wake MAF sleepers, but those
+     * are the Zbox's events and appear in *its* horizon.
+     */
+    Cycle nextEventCycle() const;
+
+    /** Skip @p delta provably event-free cycles (clock only). */
+    void fastForward(Cycle delta) { now_ += delta; }
+
     /** True when nothing is pending anywhere in the cache. */
     bool idle() const;
 

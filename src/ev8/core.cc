@@ -43,6 +43,9 @@ Core::Core(const CoreConfig &cfg, exec::Interpreter &interp,
 {
     for (unsigned i = 0; i < isa::NumFlatRegs; ++i)
         writerValid_[i] = false;
+    // An interpreter that is born halted (empty program) has no Halt
+    // instruction to retire; the core is finished from cycle zero.
+    trulyHalted_ = interp_.halted();
 }
 
 Core::RobEntry *
@@ -56,6 +59,12 @@ Core::entry(std::uint64_t seq)
     return &rob_[idx];
 }
 
+const Core::RobEntry *
+Core::entry(std::uint64_t seq) const
+{
+    return const_cast<Core *>(this)->entry(seq);
+}
+
 void
 Core::cycle()
 {
@@ -66,6 +75,78 @@ Core::cycle()
     drainWriteBuffer();
     dispatchStage();
     fetchStage();
+}
+
+Cycle
+Core::nextEventCycle() const
+{
+    Cycle next = CycleNever;
+
+    // Fetch pulls instructions any cycle it is eligible; while waiting
+    // out a redirect penalty, the resume cycle is the next event.
+    if (!interp_.halted() && !waitingRedirect_ &&
+        !fetchBlockedOnDrain_ &&
+        fetchBuffer_.size() < 2 * cfg_.fetchWidth) {
+        if (now_ >= fetchResumeAt_)
+            return now_ + 1;
+        next = std::min(next, fetchResumeAt_);
+    }
+
+    // Dispatch moves fetched instructions whenever the ROB has room.
+    if (!fetchBuffer_.empty() && rob_.size() < cfg_.robSize)
+        return now_ + 1;
+
+    // The write buffer retries the L2 every cycle it holds a line.
+    if (!writeBuffer_.empty())
+        return now_ + 1;
+
+    // Scheduled FU / Vbox completions.
+    if (!completionEvents_.empty()) {
+        next = std::min(
+            next, std::max(completionEvents_.begin()->first, now_ + 1));
+    }
+
+    // In-order retirement of a finished ROB head. A head whose time
+    // has already come retries every cycle (a blocked store retire or
+    // DrainM barrier counts a stall each attempt), so no skipping.
+    if (!rob_.empty() && rob_.front().stage == Stage::Done)
+        next = std::min(next, std::max(rob_.front().doneAt, now_ + 1));
+
+    // Issue queues: an already-ready instruction retries structural
+    // hazards every cycle (with L2-visible side effects); one not yet
+    // past its frontend depth is a future event.
+    for (const auto *queue : {&intQueue_, &fpQueue_, &loadQueue_,
+                              &storeQueue_, &vecQueue_}) {
+        for (const std::uint64_t seq : *queue) {
+            const RobEntry *e = entry(seq);
+            if (!e || e->readyAt <= now_)
+                return now_ + 1;
+            next = std::min(next, e->readyAt);
+        }
+    }
+    return next;
+}
+
+void
+Core::fastForward(Cycle delta)
+{
+    // Replay the bookkeeping of `delta` provably event-free cycles at
+    // once. All pipeline state is frozen (no stage can act, by the
+    // nextEventCycle() contract), so the only thing stepping would
+    // have changed is the stall accounting below — mirroring exactly
+    // the conditions and order of fetchStage() and dispatchStage().
+    if (!(interp_.halted() && fetchDrained_())) {
+        if (waitingRedirect_ || fetchBlockedOnDrain_) {
+            fetchStallCycles_ += delta;
+        } else if (fetchResumeAt_ > now_ + 1) {
+            // Skipped cycles c in [now+1, now+delta] with c < resume.
+            fetchStallCycles_ +=
+                std::min(delta, fetchResumeAt_ - (now_ + 1));
+        }
+    }
+    if (!fetchBuffer_.empty() && rob_.size() >= cfg_.robSize)
+        robFullStalls_ += delta;
+    now_ += delta;
 }
 
 // ---- fetch -----------------------------------------------------------

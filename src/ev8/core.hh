@@ -85,6 +85,26 @@ class Core
     /** Advance one cycle through all pipeline stages. */
     void cycle();
 
+    /**
+     * Quiescence contract (DESIGN.md §8): the earliest future cycle at
+     * which any pipeline stage could act. Stages that retry every
+     * cycle with visible side effects (ready-but-unissued instructions
+     * hitting structural hazards, write-buffer drains, dispatch, an
+     * eligible fetch) pin the horizon at now+1; otherwise it is the
+     * earliest scheduled completion, retirement, issue-ready time, or
+     * fetch-redirect resume. L2 fills wake this core through the L2's
+     * own horizon. May under-estimate, never over.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Skip @p delta provably event-free cycles. The only visible
+     * effect of an event-free cycle is a stall counter, so this adds
+     * exactly what stepping would have: fetch stalls for redirect /
+     * drain / resume waits, and ROB-full dispatch stalls.
+     */
+    void fastForward(Cycle delta);
+
     /** True once the program halted and every buffer drained. */
     bool done() const;
 
@@ -146,6 +166,7 @@ class Core
     };
 
     RobEntry *entry(std::uint64_t seq);
+    const RobEntry *entry(std::uint64_t seq) const;
     void fetchStage();
     bool fetchDrained_() const;
     void dispatchStage();

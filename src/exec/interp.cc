@@ -18,8 +18,10 @@ Interpreter::Interpreter(const program::Program &prog,
                          FunctionalMemory &mem)
     : prog_(prog), mem_(mem)
 {
-    if (prog.empty())
-        fatal("interp: empty program");
+    // An empty program is born halted: there is nothing to fetch, so
+    // a machine built around it reports a zero-cycle run rather than
+    // rejecting construction (tests/test_processor.cc pins this).
+    halted_ = prog.empty();
 }
 
 void

@@ -1,5 +1,7 @@
 #include "mem/zbox.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "base/bitfield.hh"
@@ -158,6 +160,25 @@ Zbox::cycle()
             service(port, req);
         }
     }
+}
+
+Cycle
+Zbox::nextEventCycle() const
+{
+    Cycle next = CycleNever;
+    for (const auto &port : ports_) {
+        if (port.queue.empty())
+            continue;
+        // The head request launches once the port's pins go free. A
+        // ZboxStall fault window can push the launch later than this;
+        // that only makes the estimate conservative (the engine lands
+        // on a stalled cycle and single-steps through the window).
+        const auto free_at = static_cast<Cycle>(std::ceil(port.freeAt));
+        next = std::min(next, std::max(free_at, now_ + 1));
+    }
+    for (const auto &resp : responses_)
+        next = std::min(next, std::max(resp.readyAt, now_ + 1));
+    return next;
 }
 
 std::optional<MemResponse>

@@ -66,6 +66,18 @@ class Zbox
     /** Advance one CPU cycle; pops queues onto free ports. */
     void cycle();
 
+    /**
+     * Quiescence contract (DESIGN.md §8): the earliest future cycle at
+     * which cycle() or dequeueResponse() could do any work — a queued
+     * request's port going free, or a response becoming ready for the
+     * L2 to pull. CycleNever when nothing is queued or in flight. May
+     * under-estimate (the engine just steps again), never over.
+     */
+    Cycle nextEventCycle() const;
+
+    /** Skip @p delta provably event-free cycles (clock only). */
+    void fastForward(Cycle delta) { now_ += delta; }
+
     /** Retrieve the next completed response, if any is ready. */
     std::optional<MemResponse> dequeueResponse();
 

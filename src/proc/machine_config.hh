@@ -39,6 +39,14 @@ struct MachineConfig
      * many cycles (a wedged model is a simulator bug). 0 disables.
      */
     std::uint64_t deadlockCycles = 1'000'000;
+    /**
+     * Quiescence fast-forward (DESIGN.md §8): let Processor::run()
+     * jump over provably event-free cycles instead of stepping them.
+     * Timing and statistics are bit-identical either way (enforced by
+     * tests/test_golden.cc and the fuzz equivalence battery); disable
+     * to cross-check or to debug with a strictly stepped machine.
+     */
+    bool fastForward = true;
     /** Integrity subsystem: checkers, fault plan, forensics. */
     check::IntegrityConfig integrity;
     ev8::CoreConfig core;

@@ -1,5 +1,7 @@
 #include "proc/processor.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <ostream>
 
 #include "base/logging.hh"
@@ -62,14 +64,64 @@ Processor::writeForensics(std::ostream &os,
     integrity_->forensics().writeReport(os, reason, now_);
 }
 
+bool
+Processor::machineIdle_() const
+{
+    return core_->done() && l2_->idle() && zbox_->idle() &&
+           (!vbox_ || vbox_->idle());
+}
+
+Cycle
+Processor::quiescentUntil_(std::uint64_t max_cycles,
+                           Cycle last_progress) const
+{
+    // Minimum of the component horizons. Short-circuit: once any
+    // component wants the very next cycle there is nothing to clamp.
+    Cycle target = core_->nextEventCycle();
+    if (target > now_ + 1)
+        target = std::min(target, l2_->nextEventCycle());
+    if (target > now_ + 1)
+        target = std::min(target, zbox_->nextEventCycle());
+    if (target > now_ + 1 && vbox_)
+        target = std::min(target, vbox_->nextEventCycle());
+    if (target <= now_ + 1)
+        return now_ + 1;
+
+    // Integrity sweeps run on every checkInterval boundary with the
+    // true cycle number (age-based checkers must fire at the exact
+    // cycle they would when stepping); interval 0 checks every cycle.
+    if (integrity_->checksEnabled()) {
+        const unsigned interval = cfg_.integrity.checkInterval;
+        if (interval == 0)
+            return now_ + 1;
+        target = std::min(
+            target, (now_ / interval + 1) * static_cast<Cycle>(interval));
+    }
+
+    // The deadlock watchdog panics the first cycle the no-progress
+    // window is exceeded; land on exactly that cycle.
+    if (cfg_.deadlockCycles)
+        target = std::min(target,
+                          last_progress + cfg_.deadlockCycles + 1);
+
+    // The timeout check at the top of the loop must observe the bound.
+    target = std::min(target, static_cast<Cycle>(max_cycles));
+
+    return std::max(target, now_ + 1);
+}
+
 RunResult
 Processor::run(std::uint64_t max_cycles)
 {
-    std::uint64_t last_retired = 0;
-    Cycle last_progress = 0;
+    const auto host_start = std::chrono::steady_clock::now();
+    std::uint64_t last_retired = core_->numRetired();
+    Cycle last_progress = now_;
 
-    while (!(core_->done() && l2_->idle() && zbox_->idle() &&
-             (!vbox_ || vbox_->idle()))) {
+    // The engine evaluates the idle condition before the first step,
+    // so a machine that is born finished -- e.g. an empty program,
+    // whose interpreter starts out halted -- runs for zero cycles
+    // while still constructing and draining every component.
+    while (!machineIdle_()) {
         if (now_ >= max_cycles) {
             const std::string msg =
                 "processor '" + cfg_.name + "': exceeded " +
@@ -77,7 +129,29 @@ Processor::run(std::uint64_t max_cycles)
             std::fprintf(stderr, "fatal: %s\n", msg.c_str());
             throw TimeoutError(msg);
         }
+
+        if (cfg_.fastForward) {
+            const Cycle target =
+                quiescentUntil_(max_cycles, last_progress);
+            tarantula_assert(target > now_);
+            if (target > now_ + 1) {
+                // Jump to the cycle *before* the event and step into
+                // it normally, so the event cycle itself executes the
+                // full stage machinery.
+                const Cycle delta = target - now_ - 1;
+                zbox_->fastForward(delta);
+                l2_->fastForward(delta);
+                if (vbox_)
+                    vbox_->fastForward(delta);
+                core_->fastForward(delta);
+                now_ += delta;
+                ++ffJumps_;
+                ffSkipped_ += delta;
+            }
+        }
+        const Cycle before = now_;
         step();
+        tarantula_assert(now_ == before + 1);
 
         // Deadlock detector: the machine must retire something every
         // so often or the model has wedged (a simulator bug).
@@ -112,6 +186,12 @@ Processor::run(std::uint64_t max_cycles)
     r.rowActivates = zbox_->rowActivates();
     r.rowPrecharges = zbox_->rowPrecharges();
     r.freqGhz = cfg_.freqGhz;
+    r.ffJumps = ffJumps_;
+    r.ffSkippedCycles = ffSkipped_;
+    r.hostMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - host_start)
+            .count();
     return r;
 }
 

@@ -41,6 +41,23 @@ struct RunResult
     std::uint64_t rowPrecharges = 0;
     double freqGhz = 0.0;
 
+    // ---- host-performance observability -----------------------------
+    // Deliberately kept out of the statistics tree: the stats report
+    // must serialize to identical bytes run over run and with fast-
+    // forward on or off; host timing never can.
+    double hostMillis = 0.0;        ///< wall-clock time inside run()
+    std::uint64_t ffJumps = 0;      ///< fast-forward jumps taken
+    std::uint64_t ffSkippedCycles = 0;  ///< cycles covered by jumps
+
+    /** Simulation throughput: simulated cycles per host second. */
+    double
+    simCyclesPerHostSec() const
+    {
+        return hostMillis > 0.0
+                   ? static_cast<double>(cycles) / (hostMillis / 1e3)
+                   : 0.0;
+    }
+
     double opc() const { return cycles ? double(ops) / cycles : 0.0; }
     double fpc() const { return cycles ? double(flops) / cycles : 0.0; }
     double mpc() const { return cycles ? double(memops) / cycles : 0.0; }
@@ -85,8 +102,13 @@ class Processor
               exec::FunctionalMemory &mem);
 
     /**
-     * Run to completion.
-     * @param max_cycles  Safety bound; fatal() when exceeded.
+     * Run to completion on the quiescence-aware cycle engine: jumps
+     * `now_` to the minimum of the component nextEventCycle() horizons
+     * (clamped so integrity sweeps, the deadlock watchdog, and the
+     * timeout bound observe the exact cycles they would when stepping)
+     * unless `cfg.fastForward` is off, in which case every cycle is
+     * stepped. Results are bit-identical either way.
+     * @param max_cycles  Safety bound; throws TimeoutError beyond it.
      */
     RunResult run(std::uint64_t max_cycles = 1ULL << 32);
 
@@ -112,6 +134,16 @@ class Processor
     const MachineConfig &config() const { return cfg_; }
 
   private:
+    /** True when every component has drained: the run is over. */
+    bool machineIdle_() const;
+    /**
+     * First cycle > now_ at which anything observable can happen: the
+     * minimum component horizon clamped to the next integrity-sweep
+     * boundary, the watchdog deadline, and the timeout bound.
+     */
+    Cycle quiescentUntil_(std::uint64_t max_cycles,
+                          Cycle last_progress) const;
+
     MachineConfig cfg_;
     stats::StatGroup statRoot_;
     std::unique_ptr<check::Integrity> integrity_;
@@ -121,6 +153,9 @@ class Processor
     std::unique_ptr<exec::Interpreter> interp_;
     std::unique_ptr<ev8::Core> core_;
     Cycle now_ = 0;
+    // Fast-forward observability (not statistics; see RunResult).
+    std::uint64_t ffJumps_ = 0;
+    std::uint64_t ffSkipped_ = 0;
 };
 
 } // namespace tarantula::proc

@@ -57,6 +57,7 @@ runJob(const Job &job)
         cfg.vbox.slicer.pumpEnabled = !job.noPump;
         cfg.vbox.slicer.forceCrBox = job.forceCrBox;
         cfg.integrity.checks = job.check;
+        cfg.fastForward = job.fastForward;
         if (job.deadlockCycles)
             cfg.deadlockCycles = job.deadlockCycles;
 

@@ -32,6 +32,8 @@ struct Job
     bool noPump = false;           ///< disable the stride-1 PUMP
     bool forceCrBox = false;       ///< route strides through the CR box
     bool check = false;            ///< run the integrity checkers
+    /** Quiescence fast-forward engine (MachineConfig::fastForward). */
+    bool fastForward = true;
     /** Deadlock-watchdog override; 0 keeps the machine default. */
     std::uint64_t deadlockCycles = 0;
     std::uint64_t maxCycles = 8ULL << 30; ///< simulated-cycle budget

@@ -20,6 +20,7 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result)
     w.key("noPump").value(result.job.noPump);
     w.key("forceCrBox").value(result.job.forceCrBox);
     w.key("check").value(result.job.check);
+    w.key("fastForward").value(result.job.fastForward);
     w.key("deadlockCycles").value(result.job.deadlockCycles);
     w.key("maxCycles").value(result.job.maxCycles);
     w.key("seed").value(result.job.seed);
@@ -47,6 +48,12 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result)
         w.key("freqGhz").value(r.freqGhz);
         w.key("opc").value(r.opc());
         w.key("seconds").value(r.seconds());
+        // Host-performance observability (outside the stats tree so
+        // the stats bytes stay mode- and machine-load-independent).
+        w.key("hostMillis").value(r.hostMillis);
+        w.key("simCyclesPerHostSec").value(r.simCyclesPerHostSec());
+        w.key("ffJumps").value(r.ffJumps);
+        w.key("ffSkippedCycles").value(r.ffSkippedCycles);
         w.endObject();
 
         if (!result.statsJson.empty())

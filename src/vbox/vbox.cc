@@ -245,6 +245,30 @@ Vbox::cycle()
     }
 }
 
+Cycle
+Vbox::nextEventCycle() const
+{
+    Cycle next = CycleNever;
+    for (const auto &mi : memQueue_) {
+        const bool slices_left = mi.nextSlice < mi.plan.slices.size();
+        const bool completable =
+            !slices_left && mi.outstanding == 0;
+        if (slices_left || completable) {
+            // Offers a slice (or retires) every cycle once address
+            // generation is done; before that, the completion of
+            // address generation is the next event.
+            if (now_ >= mi.addrGenReady)
+                return now_ + 1;
+            next = std::min(next, mi.addrGenReady);
+        }
+        // slices all issued, some outstanding: wakes on an L2 slice
+        // response, which the L2's own horizon covers.
+    }
+    for (const auto &c : completions_)
+        next = std::min(next, std::max(c.doneAt, now_ + 1));
+    return next;
+}
+
 std::optional<VboxCompletion>
 Vbox::dequeueCompletion()
 {

@@ -87,6 +87,19 @@ class Vbox
     /** Advance one cycle: run address generation and slice issue. */
     void cycle();
 
+    /**
+     * Quiescence contract (DESIGN.md §8): the earliest future cycle at
+     * which this engine could act — a memory instruction with slices
+     * still to offer (every cycle once address generation finishes,
+     * since backpressure retries also count stats), address generation
+     * completing, or a buffered VCU completion maturing. Instructions
+     * whose slices all sit in the L2 wake on *its* events, not ours.
+     */
+    Cycle nextEventCycle() const;
+
+    /** Skip @p delta provably event-free cycles (clock only). */
+    void fastForward(Cycle delta) { now_ += delta; }
+
     /** True when no memory instruction is in flight. */
     bool idle() const;
 

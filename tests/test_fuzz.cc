@@ -10,7 +10,11 @@
  *   2. the architectural memory state equals a pure functional run
  *      of the same program (the timing layer must never perturb
  *      results),
- *   3. the cycle count is bit-reproducible across runs.
+ *   3. the cycle count is bit-reproducible across runs, and
+ *   4. the quiescence fast-forward engine (DESIGN.md §8) is invisible:
+ *      every seeded program runs twice, stepped and fast-forwarded,
+ *      and must produce the same cycle count and the same statistics
+ *      tree byte for byte.
  *
  * The same battery runs across machine variants (T, T4, pump off,
  * CR-box-forced) so the ablation knobs get fuzz coverage too.
@@ -19,6 +23,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "base/logging.hh"
@@ -216,17 +222,31 @@ TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
     ref.run(1ULL << 24);
     const auto expect = snapshot(ref_mem);
 
+    // Run 0 steps every cycle; run 1 uses the quiescence fast-forward
+    // engine. Identical cycles and stats prove the engine only skips
+    // host work, never simulated behaviour.
     Cycle cycles[2];
+    std::string stats[2];
     for (int run = 0; run < 2; ++run) {
         exec::FunctionalMemory mem;
         seedMemory(mem, fc.seed);
-        proc::Processor cpu(configFor(fc.machine), prog, mem);
+        auto cfg = configFor(fc.machine);
+        cfg.fastForward = (run == 1);
+        proc::Processor cpu(cfg, prog, mem);
         const auto r = cpu.run(1ULL << 26);
         cycles[run] = r.cycles;
+        std::ostringstream os;
+        cpu.stats().reportJson(os);
+        stats[run] = os.str();
         ASSERT_EQ(snapshot(mem), expect)
             << "machine " << fc.machine << " seed " << fc.seed;
     }
-    EXPECT_EQ(cycles[0], cycles[1]) << "nondeterministic timing";
+    EXPECT_EQ(cycles[0], cycles[1])
+        << "fast-forward changed timing, machine " << fc.machine
+        << " seed " << fc.seed;
+    EXPECT_EQ(stats[0], stats[1])
+        << "fast-forward changed stats, machine " << fc.machine
+        << " seed " << fc.seed;
 }
 
 std::vector<FuzzCase>
@@ -284,15 +304,24 @@ TEST_P(FaultFuzz, SurvivedOrDetectedAndBitReproducible)
     // wedge fails loudly instead of hanging the battery.
     cfg.deadlockCycles = 500'000;
 
+    // Run 0 steps every cycle; run 1 fast-forwards. Seeded fault
+    // plans must play back identically in both modes: same outcome
+    // (survived vs detected), same cycle count, and -- when both runs
+    // complete -- the same statistics tree byte for byte.
     Cycle cycles[2] = {0, 0};
     bool detected[2] = {false, false};
+    std::string stats[2];
     for (int run = 0; run < 2; ++run) {
         exec::FunctionalMemory mem;
         seedMemory(mem, seed);
+        cfg.fastForward = (run == 1);
         proc::Processor cpu(cfg, prog, mem);
         try {
             const auto r = cpu.run(1ULL << 26);
             cycles[run] = r.cycles;
+            std::ostringstream os;
+            cpu.stats().reportJson(os);
+            stats[run] = os.str();
             ASSERT_EQ(snapshot(mem), expect)
                 << "seed " << seed << " plan "
                 << cfg.integrity.faults.summary();
@@ -310,9 +339,14 @@ TEST_P(FaultFuzz, SurvivedOrDetectedAndBitReproducible)
         }
     }
     EXPECT_EQ(detected[0], detected[1])
-        << "nondeterministic outcome, seed " << seed;
+        << "fast-forward changed the outcome, seed " << seed;
     EXPECT_EQ(cycles[0], cycles[1])
-        << "nondeterministic timing under faults, seed " << seed;
+        << "fast-forward changed timing under faults, seed " << seed;
+    if (!detected[0] && !detected[1]) {
+        EXPECT_EQ(stats[0], stats[1])
+            << "fast-forward changed stats under faults, seed "
+            << seed;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

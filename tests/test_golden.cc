@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Golden-stats regression suite: the fence that makes the quiescence
+ * fast-forward engine (DESIGN.md §8) safe to land and keep.
+ *
+ * Every workload in the registry runs on the EV8 and Tarantula
+ * reference machines, twice -- fast-forward off (strict per-cycle
+ * stepping) and on -- and the suite asserts:
+ *
+ *  1. the two modes are bit-identical: same cycle count and the same
+ *     statistics tree byte for byte, and
+ *  2. {cycles, insts, ops, flops, memops} match the checked-in
+ *     tests/golden_stats.json table, so *any* timing change anywhere
+ *     in the simulator shows up as a red diff against a reviewed
+ *     number, not as a silent drift.
+ *
+ * Regenerating the table after an intentional timing change is one
+ * command (it runs with fast-forward OFF, so the table always records
+ * the strictly stepped engine's behaviour):
+ *
+ *     ./build/tests/test_golden --regen
+ *
+ * then review the diff of tests/golden_stats.json like any other
+ * source change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/job.hh"
+#include "sim/sim_farm.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tarantula;
+
+const char *const kMachines[] = {"EV8", "T"};
+constexpr const char *GoldenSchemaTag = "tarantula.golden.v1";
+
+/** The five metrics the golden table pins per (machine, workload). */
+struct GoldenEntry
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t memops = 0;
+};
+
+std::string
+goldenPath()
+{
+    return GOLDEN_STATS_PATH;
+}
+
+/** Read the whole golden file; empty string when absent. */
+std::string
+readGoldenText()
+{
+    std::ifstream in(goldenPath());
+    if (!in)
+        return {};
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/**
+ * Extract one entry from the golden text. The file is machine-written
+ * with a fixed key order (see regenerate()), so an exact-prefix scan
+ * is a complete parser for it.
+ */
+bool
+findEntry(const std::string &text, const std::string &machine,
+          const std::string &workload, GoldenEntry &out)
+{
+    const std::string prefix = "{\"machine\":\"" + machine +
+                               "\",\"workload\":\"" + workload + "\",";
+    const std::size_t at = text.find(prefix);
+    if (at == std::string::npos)
+        return false;
+    const std::size_t end = text.find('}', at);
+    if (end == std::string::npos)
+        return false;
+    const std::string entry = text.substr(at, end - at);
+
+    auto field = [&](const char *key, std::uint64_t &value) {
+        const std::string needle = std::string("\"") + key + "\":";
+        const std::size_t pos = entry.find(needle);
+        if (pos == std::string::npos)
+            return false;
+        value = std::strtoull(
+            entry.c_str() + pos + needle.size(), nullptr, 10);
+        return true;
+    };
+    return field("cycles", out.cycles) && field("insts", out.insts) &&
+           field("ops", out.ops) && field("flops", out.flops) &&
+           field("memops", out.memops);
+}
+
+sim::Job
+jobFor(const std::string &machine, const std::string &workload,
+       bool fast_forward)
+{
+    sim::Job job;
+    job.machine = machine;
+    job.workload = workload;
+    job.fastForward = fast_forward;
+    return job;
+}
+
+// ---- the regression tests ---------------------------------------------
+
+struct GoldenPoint
+{
+    std::string machine;
+    std::string workload;
+};
+
+std::vector<GoldenPoint>
+allPoints()
+{
+    std::vector<GoldenPoint> points;
+    for (const auto *m : kMachines) {
+        for (const auto &w : workloads::allWorkloads())
+            points.push_back({m, w.name});
+    }
+    return points;
+}
+
+class Golden : public ::testing::TestWithParam<GoldenPoint>
+{
+};
+
+/**
+ * One grid point: stepped and fast-forwarded runs are bit-identical
+ * to each other and match the reviewed golden numbers.
+ */
+TEST_P(Golden, FastForwardMatchesSteppedAndGoldenTable)
+{
+    const auto &p = GetParam();
+
+    const sim::JobResult stepped =
+        sim::runJob(jobFor(p.machine, p.workload, false));
+    const sim::JobResult ff =
+        sim::runJob(jobFor(p.machine, p.workload, true));
+    ASSERT_EQ(stepped.status, sim::JobStatus::Ok) << stepped.message;
+    ASSERT_EQ(ff.status, sim::JobStatus::Ok) << ff.message;
+
+    // The tentpole property: the engine may skip host work, never
+    // simulated behaviour. Identical cycles and an identical stats
+    // tree, byte for byte.
+    EXPECT_EQ(ff.run.cycles, stepped.run.cycles);
+    EXPECT_EQ(ff.run.insts, stepped.run.insts);
+    EXPECT_EQ(ff.statsJson, stepped.statsJson);
+
+    const std::string text = readGoldenText();
+    ASSERT_FALSE(text.empty())
+        << "missing " << goldenPath()
+        << "; regenerate with: ./build/tests/test_golden --regen";
+    ASSERT_NE(text.find(GoldenSchemaTag), std::string::npos);
+
+    GoldenEntry golden;
+    ASSERT_TRUE(findEntry(text, p.machine, p.workload, golden))
+        << "no golden entry for " << p.machine << "/" << p.workload
+        << "; regenerate with: ./build/tests/test_golden --regen";
+    EXPECT_EQ(stepped.run.cycles, golden.cycles);
+    EXPECT_EQ(stepped.run.insts, golden.insts);
+    EXPECT_EQ(stepped.run.ops, golden.ops);
+    EXPECT_EQ(stepped.run.flops, golden.flops);
+    EXPECT_EQ(stepped.run.memops, golden.memops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, Golden, ::testing::ValuesIn(allPoints()),
+    [](const ::testing::TestParamInfo<GoldenPoint> &info) {
+        std::string name =
+            info.param.machine + "_" + info.param.workload;
+        for (char &c : name) {
+            if (c == '+')
+                c = 'p';
+        }
+        return name;
+    });
+
+// ---- regeneration -----------------------------------------------------
+
+/**
+ * Rebuild the golden table by running the full grid (fast-forward
+ * OFF) on all host threads and writing one entry per line.
+ */
+int
+regenerate(const std::string &path)
+{
+    const auto points = allPoints();
+    sim::SimFarm farm;
+    for (const auto &p : points)
+        farm.submit(jobFor(p.machine, p.workload, false));
+    const sim::BatchResult batch = farm.run();
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!batch.jobs[i].ok()) {
+            std::fprintf(stderr, "regen: %s/%s failed: %s\n",
+                         points[i].machine.c_str(),
+                         points[i].workload.c_str(),
+                         batch.jobs[i].message.c_str());
+            return 1;
+        }
+    }
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "regen: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    out << "{\n\"schema\": \"" << GoldenSchemaTag << "\",\n"
+        << "\"regen\": \"./build/tests/test_golden --regen\",\n"
+        << "\"entries\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &r = batch.jobs[i].run;
+        out << "{\"machine\":\"" << points[i].machine
+            << "\",\"workload\":\"" << points[i].workload
+            << "\",\"cycles\":" << r.cycles << ",\"insts\":" << r.insts
+            << ",\"ops\":" << r.ops << ",\"flops\":" << r.flops
+            << ",\"memops\":" << r.memops << "}"
+            << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "]\n}\n";
+    std::printf("regen: wrote %zu entries to %s\n", points.size(),
+                path.c_str());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--regen") {
+            const std::string path = (i + 1 < argc)
+                                         ? argv[i + 1]
+                                         : goldenPath();
+            return regenerate(path);
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

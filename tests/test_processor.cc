@@ -229,6 +229,64 @@ TEST(Processor, RunResultDerivedMetrics)
                 1e-6);
 }
 
+TEST(Processor, EmptyProgramReportsZeroCycles)
+{
+    // An empty program is a degenerate but legal input: the machine
+    // is born quiescent. All components still get constructed (the
+    // ctor would throw otherwise) and run() reports zero work.
+    Assembler a;
+    Program p = a.finalize();
+    ASSERT_TRUE(p.empty());
+
+    for (auto cfg : {proc::ev8Config(), proc::tarantulaConfig()}) {
+        exec::FunctionalMemory mem;
+        proc::Processor pr(cfg, p, mem);
+        const auto r = pr.run(1000);
+        EXPECT_EQ(r.cycles, 0u) << cfg.name;
+        EXPECT_EQ(r.insts, 0u) << cfg.name;
+        EXPECT_EQ(r.ops, 0u) << cfg.name;
+        EXPECT_EQ(r.ffJumps, 0u) << cfg.name;
+    }
+}
+
+TEST(Processor, FastForwardSkipsCyclesOnLatencyBoundCode)
+{
+    // The pointer-chase chain from above is almost all memory wait:
+    // the quiescence engine must take jumps (observable in the run
+    // result) while producing bit-identical timing.
+    Assembler a;
+    Label loop = a.newLabel();
+    a.movi(R(1), 0x100000);
+    a.movi(R(2), 500);
+    a.bind(loop);
+    a.ldq(R(3), 0, R(1));
+    a.addq(R(1), R(1), R(3));
+    a.addq(R(1), R(1), 4096);
+    a.subq(R(2), R(2), 1);
+    a.bgt(R(2), loop);
+    a.halt();
+    Program p = a.finalize();
+
+    auto cfg = proc::tarantulaConfig();
+    cfg.fastForward = false;
+    exec::FunctionalMemory m1;
+    proc::Processor stepped(cfg, p, m1);
+    const auto rs = stepped.run(100'000'000);
+
+    cfg.fastForward = true;
+    exec::FunctionalMemory m2;
+    proc::Processor ff(cfg, p, m2);
+    const auto rf = ff.run(100'000'000);
+
+    EXPECT_EQ(rf.cycles, rs.cycles);
+    EXPECT_EQ(rf.insts, rs.insts);
+    EXPECT_EQ(rs.ffJumps, 0u);
+    EXPECT_EQ(rs.ffSkippedCycles, 0u);
+    EXPECT_GT(rf.ffJumps, 0u);
+    EXPECT_GT(rf.ffSkippedCycles, 0u);
+    EXPECT_LT(rf.ffSkippedCycles, rf.cycles);
+}
+
 TEST(Processor, DeadlockDetectorFires)
 {
     // An infinite loop with no retirement progress is impossible to

@@ -48,6 +48,8 @@ usage()
         "  --force-crbox    route strided accesses through the CR box\n"
         "  --max-cycles N   per-job simulated-cycle budget\n"
         "  --check          run the integrity checkers on every job\n"
+        "  --no-fast-forward  step every cycle on every job instead\n"
+        "                   of jumping over quiescent ones\n"
         "  --deadlock-cycles N  per-job no-retirement watchdog\n"
         "                   (0 keeps the machine default of 1M)\n"
         "  --quiet          no per-job progress on stderr\n"
@@ -123,6 +125,7 @@ run(int argc, char **argv)
     bool no_pump = false;
     bool force_crbox = false;
     bool check = false;
+    bool fast_forward = true;
     bool quiet = false;
     std::uint64_t deadlock_cycles = 0;
     std::uint64_t max_cycles = 8ULL << 30;
@@ -150,6 +153,8 @@ run(int argc, char **argv)
             max_cycles = parseU64(arg, next());
         } else if (arg == "--check") {
             check = true;
+        } else if (arg == "--no-fast-forward") {
+            fast_forward = false;
         } else if (arg == "--deadlock-cycles") {
             deadlock_cycles = parseU64(arg, next());
         } else if (arg == "--quiet") {
@@ -192,6 +197,7 @@ run(int argc, char **argv)
             job.noPump = no_pump;
             job.forceCrBox = force_crbox;
             job.check = check;
+            job.fastForward = fast_forward;
             job.deadlockCycles = deadlock_cycles;
             job.maxCycles = max_cycles;
             farm.submit(job);

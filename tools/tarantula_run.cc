@@ -50,6 +50,8 @@ usage()
         "  --force-crbox   route strided accesses through the CR box\n"
         "  --max-cycles N  simulation safety bound\n"
         "  --check         run the integrity checkers every interval\n"
+        "  --no-fast-forward  step every cycle instead of jumping over\n"
+        "                  quiescent ones (bit-identical, slower)\n"
         "  --deadlock-cycles N  no-retirement watchdog (0 disables;\n"
         "                  default 1M)\n");
 }
@@ -89,6 +91,7 @@ run(int argc, char **argv)
     bool no_pump = false;
     bool force_crbox = false;
     bool check = false;
+    bool fast_forward = true;
     bool deadlock_set = false;
     std::uint64_t deadlock_cycles = 0;
     std::uint64_t max_cycles = 8ULL << 30;
@@ -118,6 +121,8 @@ run(int argc, char **argv)
             max_cycles = parseU64(arg, next());
         } else if (arg == "--check") {
             check = true;
+        } else if (arg == "--no-fast-forward") {
+            fast_forward = false;
         } else if (arg == "--deadlock-cycles") {
             deadlock_cycles = parseU64(arg, next());
             deadlock_set = true;
@@ -137,6 +142,7 @@ run(int argc, char **argv)
     cfg.vbox.slicer.pumpEnabled = !no_pump;
     cfg.vbox.slicer.forceCrBox = force_crbox;
     cfg.integrity.checks = check;
+    cfg.fastForward = fast_forward;
     if (deadlock_set)
         cfg.deadlockCycles = deadlock_cycles;
 
@@ -168,6 +174,7 @@ run(int argc, char **argv)
     record.job.noPump = no_pump;
     record.job.forceCrBox = force_crbox;
     record.job.check = check;
+    record.job.fastForward = fast_forward;
     record.job.deadlockCycles = deadlock_set ? deadlock_cycles : 0;
     record.job.maxCycles = max_cycles;
     auto writeJson = [&] {
@@ -220,6 +227,11 @@ run(int argc, char **argv)
                 r.opc(), r.fpc(), r.mpc(), r.otherPc());
     std::printf("mem raw:    %.1f MB (%.0f MB/s)\n",
                 r.rawBytes / 1e6, r.rawBandwidthMBs());
+    std::printf("host:       %.1f ms, %.2f Mcycles/s simulated "
+                "(%llu jumps skipped %llu cycles)\n",
+                r.hostMillis, r.simCyclesPerHostSec() / 1e6,
+                static_cast<unsigned long long>(r.ffJumps),
+                static_cast<unsigned long long>(r.ffSkippedCycles));
     if (w.usefulBytes > 0)
         std::printf("streams BW: %.0f MB/s\n",
                     r.bandwidthMBs(w.usefulBytes));
