@@ -119,5 +119,38 @@ main(int argc, char **argv)
         const auto ff = runOn(cfg, w);
         report(name, stepped, ff);
     }
+
+    // Observability overhead (DESIGN.md §9): the same fast-forwarded
+    // run with event tracing and 1k-cycle sampling on. Simulated
+    // timing must stay bit-identical; the table shows what the host
+    // pays for collection (mostly event storage plus the sampler's
+    // jump clamp).
+    std::printf("\nTracing overhead (fast-forward on, --trace + "
+                "--sample-every 1000):\n");
+    std::printf("%-12s %11s %9s %9s %8s\n", "program", "cycles",
+                "bare Mc/s", "traced", "overhead");
+    rule(54);
+    for (const char *name : {"sparsemxv", "dgemm"}) {
+        const workloads::Workload w = workloads::byName(name);
+        proc::MachineConfig cfg = proc::machineByName("T");
+        cfg.fastForward = true;
+        const auto bare = runOn(cfg, w);
+        cfg.trace.events = true;
+        cfg.trace.sampleEvery = 1000;
+        const auto traced = runOn(cfg, w);
+        if (bare.cycles != traced.cycles)
+            fatal("%s: tracing perturbed timing: %llu vs %llu cycles",
+                  name, static_cast<unsigned long long>(bare.cycles),
+                  static_cast<unsigned long long>(traced.cycles));
+        const double overhead =
+            traced.hostMillis > 0.0 && bare.hostMillis > 0.0
+                ? traced.hostMillis / bare.hostMillis - 1.0
+                : 0.0;
+        std::printf("%-12s %11llu %9.2f %9.2f %7.1f%%\n", name,
+                    static_cast<unsigned long long>(traced.cycles),
+                    bare.simCyclesPerHostSec() / 1e6,
+                    traced.simCyclesPerHostSec() / 1e6,
+                    100.0 * overhead);
+    }
     return 0;
 }

@@ -235,6 +235,18 @@ StatGroup::reportJson(std::ostream &os) const
 }
 
 void
+StatGroup::forEachStat(
+    const std::function<void(const std::string &, const StatBase &)>
+        &fn,
+    const std::string &prefix) const
+{
+    for (const auto *stat : sortedStats())
+        fn(prefix + stat->name(), *stat);
+    for (const auto *child : sortedChildren())
+        child->forEachStat(fn, prefix + child->name() + ".");
+}
+
+void
 StatGroup::resetStats()
 {
     for (auto *stat : stats_)

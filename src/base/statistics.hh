@@ -172,6 +172,21 @@ class StatGroup
      */
     void reportJson(std::ostream &os) const;
 
+    /**
+     * Visit every statistic below this group, recursing into child
+     * groups, in the same sorted-name order as report(). The visitor
+     * receives the statistic's dotted path relative to this group
+     * (e.g. "core.retired" when called on the machine root) and the
+     * statistic itself; the trace-layer Sampler uses this to select
+     * its snapshot set.
+     * @param fn      Called once per statistic.
+     * @param prefix  Prepended verbatim to every dotted path.
+     */
+    void forEachStat(
+        const std::function<void(const std::string &,
+                                 const StatBase &)> &fn,
+        const std::string &prefix = "") const;
+
     /** Recursively reset all statistics below this group. */
     void resetStats();
 

@@ -195,6 +195,7 @@ L2Cache::acceptSlice(const Slice &slice)
     ++slices_;
     if (slice.pump)
         ++pumpSlices_;
+    trc("slice", slice.id, slice.pump);
     processSlice(static_cast<unsigned>(idx));
     return true;
 }
@@ -328,6 +329,7 @@ L2Cache::scalarRequest(Addr line_addr, bool is_write, std::uint64_t tag,
     const int idx = allocMaf();
     if (idx < 0) {
         ++mafFullRejects_;
+        trc("maf_full_scalar", line_addr, tag);
         return false;
     }
     MafEntry &e = maf_[idx];
@@ -620,6 +622,12 @@ L2Cache::attachIntegrity(check::Integrity &kit)
         w.key("pendingLinesTotal")
             .value(static_cast<std::uint64_t>(pendingLines_.size()));
     });
+}
+
+void
+L2Cache::attachTrace(trace::TraceSink &sink)
+{
+    trace_ = &sink.channel("l2");
 }
 
 void

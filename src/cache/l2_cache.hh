@@ -42,6 +42,7 @@
 #include "mem/mem_types.hh"
 #include "mem/slice.hh"
 #include "mem/zbox.hh"
+#include "trace/trace.hh"
 
 namespace tarantula::cache
 {
@@ -137,6 +138,13 @@ class L2Cache
      */
     void attachIntegrity(check::Integrity &kit);
 
+    /**
+     * Join the observability trace (DESIGN.md §9): slice, MAF-sleep
+     * and conflict events flow to the sink's "l2" channel. Read-only:
+     * never affects timing or statistics.
+     */
+    void attachTrace(trace::TraceSink &sink);
+
     /** Direct-install a line (warmup); no timing, no P-bit. */
     void warmLine(Addr line_addr);
 
@@ -215,10 +223,21 @@ class L2Cache
     {
         if (ring_)
             ring_->record(now_, what, a, b);
+        if (trace_)
+            trace_->instant(now_, what, a, b);
+    }
+
+    /** Trace-only event: too frequent for the forensic ring. */
+    void
+    trc(const char *what, std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        if (trace_)
+            trace_->instant(now_, what, a, b);
     }
 
     check::FaultPlan *faults_ = nullptr;
     check::EventRing *ring_ = nullptr;
+    trace::TraceChannel *trace_ = nullptr;
     bool checks_ = false;
 
     Cycle now_ = 0;

@@ -194,6 +194,7 @@ Core::fetchStage()
                 e.mispredicted = true;
                 waitingRedirect_ = true;
                 redirectSeq_ = e.di.seq;
+                trc("branch_mispredict", e.di.pc, e.di.seq);
                 stop = true;
             } else if (e.di.taken) {
                 // Fetch continues into a second block; the group ends
@@ -368,6 +369,7 @@ Core::issueOne(std::uint64_t seq)
                     if (hasPendingStore(roundDown(ea.addr,
                                                   CacheLineBytes))) {
                         ++staleHazards_;
+                        trc("stale_hazard", e.di.pc, ea.addr);
                         break;
                     }
                 }
@@ -449,6 +451,7 @@ Core::issueLoad(RobEntry &e)
         return false;   // L2 MAF full or panicking
     l1Maf_[line].waiters.push_back(e.di.seq);
     e.stage = Stage::Issued;
+    trc("l1_miss", line, e.di.pc);
     return true;
 }
 
@@ -539,6 +542,7 @@ Core::wakeup(RobEntry &producer)
 void
 Core::retireStage()
 {
+    unsigned retired_now = 0;
     for (unsigned n = 0; n < cfg_.retireWidth && !rob_.empty(); ++n) {
         RobEntry &e = rob_.front();
         if (e.stage != Stage::Done || e.doneAt > now_)
@@ -565,6 +569,9 @@ Core::retireStage()
             } else if (!writeBuffer_.empty() ||
                        outstandingStores_ > 0) {
                 ++drainmStalls_;
+                trc("drainm_stall",
+                    static_cast<std::uint64_t>(writeBuffer_.size()),
+                    outstandingStores_);
                 break;      // purge still in progress
             }
             // The DrainM contract: nothing the barrier was ordered
@@ -589,6 +596,7 @@ Core::retireStage()
 
         lastRetiredPc_ = e.di.pc;
         ++retired_;
+        ++retired_now;
         ops_ += e.di.ops();
         flops_ += e.di.flops();
         memops_ += e.di.memops();
@@ -598,6 +606,8 @@ Core::retireStage()
         rob_.pop_front();
         ++robBaseSeq_;
     }
+    if (retired_now > 0)
+        trc("retire", retired_now, lastRetiredPc_);
 }
 
 bool
@@ -629,6 +639,7 @@ Core::pushWb_(Addr line, bool wh64)
     }
     if (writeBuffer_.size() >= cfg_.writeBufferEntries) {
         ++wbFullStalls_;
+        trc("wb_full", line);
         return false;
     }
     writeBuffer_.push_back({line, wh64});
@@ -718,6 +729,12 @@ Core::attachIntegrity(check::Integrity &kit)
         w.key("fetchBlockedOnDrain").value(fetchBlockedOnDrain_);
         w.key("trulyHalted").value(trulyHalted_);
     });
+}
+
+void
+Core::attachTrace(trace::TraceSink &sink)
+{
+    trace_ = &sink.channel("core");
 }
 
 // ---- queries ---------------------------------------------------------

@@ -35,6 +35,7 @@
 #include "check/integrity.hh"
 #include "ev8/branch_predictor.hh"
 #include "exec/interp.hh"
+#include "trace/trace.hh"
 #include "vbox/vbox.hh"
 
 namespace tarantula::ev8
@@ -123,6 +124,13 @@ class Core
      * coherency.drainm check runs inline at DrainM retirement.
      */
     void attachIntegrity(check::Integrity &kit);
+
+    /**
+     * Join the observability trace (DESIGN.md §9): retire, branch-
+     * mispredict, LSQ and write-buffer events flow to the sink's
+     * "core" channel. Read-only: never affects timing or statistics.
+     */
+    void attachTrace(trace::TraceSink &sink);
 
     /**
      * Scalar-store -> vector-load staleness check: true if a store to
@@ -243,10 +251,21 @@ class Core
     {
         if (ring_)
             ring_->record(now_, what, a, b);
+        if (trace_)
+            trace_->instant(now_, what, a, b);
+    }
+
+    /** Trace-only event: too frequent for the forensic ring. */
+    void
+    trc(const char *what, std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        if (trace_)
+            trace_->instant(now_, what, a, b);
     }
 
     check::FaultPlan *faults_ = nullptr;
     check::EventRing *ring_ = nullptr;
+    trace::TraceChannel *trace_ = nullptr;
     bool checks_ = false;
     std::uint64_t lastRetiredPc_ = 0;
 

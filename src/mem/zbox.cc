@@ -84,6 +84,7 @@ Zbox::service(Port &port, const MemRequest &req)
         if (!b.open) {
             mem_clocks += cfg_.activateMemClocks;
             ++activates_;
+            trc("row_activate", req.lineAddr, global_row);
             b.open = true;
             b.row = global_row;
         } else if (b.row != global_row) {
@@ -91,6 +92,7 @@ Zbox::service(Port &port, const MemRequest &req)
                           cfg_.activateMemClocks;
             ++precharges_;
             ++activates_;
+            trc("row_precharge_activate", req.lineAddr, global_row);
             b.row = global_row;
         }
         mem_clocks += cfg_.lineXferMemClocks;
@@ -107,6 +109,7 @@ Zbox::service(Port &port, const MemRequest &req)
     if (has_data && is_write != port.lastWasWrite) {
         mem_clocks += cfg_.turnaroundMemClocks;
         ++turnarounds_;
+        trc("bus_turnaround", is_write);
         port.lastWasWrite = is_write;
     }
 
@@ -264,6 +267,12 @@ Zbox::attachIntegrity(check::Integrity &kit)
         }
         w.endArray();
     });
+}
+
+void
+Zbox::attachTrace(trace::TraceSink &sink)
+{
+    trace_ = &sink.channel("zbox");
 }
 
 } // namespace tarantula::mem

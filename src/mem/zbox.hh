@@ -31,6 +31,7 @@
 #include "base/types.hh"
 #include "check/integrity.hh"
 #include "mem/mem_types.hh"
+#include "trace/trace.hh"
 
 namespace tarantula::mem
 {
@@ -90,6 +91,13 @@ class Zbox
      */
     void attachIntegrity(check::Integrity &kit);
 
+    /**
+     * Join the observability trace (DESIGN.md §9): DRAM bank events
+     * (activates, precharges, turnarounds) flow to the sink's "zbox"
+     * channel. Read-only: never affects timing or statistics.
+     */
+    void attachTrace(trace::TraceSink &sink);
+
     Cycle now() const { return now_; }
 
     // ---- accounting for Table 4 ------------------------------------
@@ -125,6 +133,16 @@ class Zbox
     {
         if (ring_)
             ring_->record(now_, what, a, b);
+        if (trace_)
+            trace_->instant(now_, what, a, b);
+    }
+
+    /** Trace-only event: too frequent for the forensic ring. */
+    void
+    trc(const char *what, std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        if (trace_)
+            trace_->instant(now_, what, a, b);
     }
 
     ZboxConfig cfg_;
@@ -135,6 +153,7 @@ class Zbox
 
     check::FaultPlan *faults_ = nullptr;
     check::EventRing *ring_ = nullptr;
+    trace::TraceChannel *trace_ = nullptr;
 
     stats::StatGroup statGroup_;
     stats::Scalar reads_;

@@ -23,6 +23,7 @@
 #include "check/integrity.hh"
 #include "ev8/core.hh"
 #include "mem/zbox.hh"
+#include "trace/trace.hh"
 #include "vbox/vbox.hh"
 
 namespace tarantula::proc
@@ -49,6 +50,13 @@ struct MachineConfig
     bool fastForward = true;
     /** Integrity subsystem: checkers, fault plan, forensics. */
     check::IntegrityConfig integrity;
+    /**
+     * Observability layer (DESIGN.md §9): per-component event tracing
+     * and interval stats sampling. Both are opt-in, read-only, and --
+     * like the integrity sweeps -- clamp the fast-forward horizon so
+     * traced runs stay bit-identical to untraced ones.
+     */
+    trace::TraceConfig trace;
     ev8::CoreConfig core;
     vbox::VboxConfig vbox;
     cache::L2Config l2;

@@ -33,6 +33,20 @@ Processor::Processor(const MachineConfig &cfg,
         vbox_->attachIntegrity(*integrity_);
     core_->attachIntegrity(*integrity_);
 
+    if (cfg.trace.events) {
+        trace_ = std::make_unique<trace::TraceSink>(cfg.trace.maxEvents);
+        zbox_->attachTrace(*trace_);
+        l2_->attachTrace(*trace_);
+        if (vbox_)
+            vbox_->attachTrace(*trace_);
+        core_->attachTrace(*trace_);
+        procTrace_ = &trace_->channel("proc");
+    }
+    if (cfg.trace.sampleEvery) {
+        sampler_ = std::make_unique<trace::Sampler>(
+            cfg.trace.sampleEvery, statRoot_, cfg.trace.sampleStats);
+    }
+
     integrity_->forensics().addProbe("proc", [this](JsonWriter &w) {
         w.key("machine").value(cfg_.name);
         w.key("hasVbox").value(static_cast<bool>(vbox_));
@@ -55,6 +69,8 @@ Processor::step()
         if (interval == 0 || now_ % interval == 0)
             integrity_->registry().runAll(now_);
     }
+    if (sampler_ && sampler_->due(now_))
+        sampler_->sample(now_);
 }
 
 void
@@ -98,6 +114,13 @@ Processor::quiescentUntil_(std::uint64_t max_cycles,
             target, (now_ / interval + 1) * static_cast<Cycle>(interval));
     }
 
+    // The interval sampler snapshots the stats tree on every
+    // sampleEvery boundary; like the integrity sweeps, it must observe
+    // the exact cycles it would when stepping or the timeseries (and
+    // with it the bit-identical contract) breaks.
+    if (sampler_)
+        target = std::min(target, sampler_->nextBoundary(now_));
+
     // The deadlock watchdog panics the first cycle the no-progress
     // window is exceeded; land on exactly that cycle.
     if (cfg_.deadlockCycles)
@@ -137,16 +160,24 @@ Processor::run(std::uint64_t max_cycles)
             if (target > now_ + 1) {
                 // Jump to the cycle *before* the event and step into
                 // it normally, so the event cycle itself executes the
-                // full stage machinery.
+                // full stage machinery. Advance the clock (and the
+                // panic stamp) before the component jumps: a panic
+                // fired from inside fastForward() must report the
+                // landing cycle, not the pre-jump one.
                 const Cycle delta = target - now_ - 1;
+                now_ += delta;
+                setPanicCycle(now_);
                 zbox_->fastForward(delta);
                 l2_->fastForward(delta);
                 if (vbox_)
                     vbox_->fastForward(delta);
                 core_->fastForward(delta);
-                now_ += delta;
                 ++ffJumps_;
                 ffSkipped_ += delta;
+                if (procTrace_) {
+                    procTrace_->complete(now_ - delta + 1, delta,
+                                         "ff_jump", delta);
+                }
             }
         }
         const Cycle before = now_;
@@ -173,6 +204,9 @@ Processor::run(std::uint64_t max_cycles)
     // (e.g. a transaction that never completed but stopped aging).
     if (integrity_->checksEnabled())
         integrity_->registry().runAll(now_);
+    // And a final partial sample so the timeseries covers the tail.
+    if (sampler_)
+        sampler_->finishRun(now_);
 
     RunResult r;
     r.machine = cfg_.name;

@@ -21,6 +21,8 @@
 #include "mem/zbox.hh"
 #include "proc/machine_config.hh"
 #include "program/program.hh"
+#include "trace/sampler.hh"
+#include "trace/trace.hh"
 #include "vbox/vbox.hh"
 
 namespace tarantula::proc
@@ -131,6 +133,21 @@ class Processor
     void writeForensics(std::ostream &os,
                         const std::string &reason) const;
 
+    /**
+     * The observability event sink (DESIGN.md §9), or nullptr when
+     * `cfg.trace.events` is off. Callers serialize it with
+     * trace::TraceSink::writeChromeTrace() after (or instead of — the
+     * sink is valid mid-run, e.g. in crash handlers) run().
+     */
+    trace::TraceSink *traceSink() { return trace_.get(); }
+
+    /**
+     * The interval stats sampler (DESIGN.md §9), or nullptr when
+     * `cfg.trace.sampleEvery` is zero. run() finalizes it; callers
+     * serialize with trace::Sampler::writeJson().
+     */
+    const trace::Sampler *sampler() const { return sampler_.get(); }
+
     const MachineConfig &config() const { return cfg_; }
 
   private:
@@ -147,6 +164,10 @@ class Processor
     MachineConfig cfg_;
     stats::StatGroup statRoot_;
     std::unique_ptr<check::Integrity> integrity_;
+    std::unique_ptr<trace::TraceSink> trace_;
+    std::unique_ptr<trace::Sampler> sampler_;
+    /** "proc" trace channel: fast-forward jump spans. */
+    trace::TraceChannel *procTrace_ = nullptr;
     std::unique_ptr<mem::Zbox> zbox_;
     std::unique_ptr<cache::L2Cache> l2_;
     std::unique_ptr<vbox::Vbox> vbox_;

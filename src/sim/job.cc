@@ -51,6 +51,13 @@ runJob(const Job &job)
         cpu->writeForensics(os, reason);
         result.forensicsJson = os.str();
     };
+    auto captureTrace = [&] {
+        if (!cpu || !cpu->traceSink())
+            return;
+        std::ostringstream os;
+        cpu->traceSink()->writeChromeTrace(os);
+        result.traceJson = os.str();
+    };
 
     try {
         proc::MachineConfig cfg = proc::machineByName(job.machine);
@@ -60,6 +67,9 @@ runJob(const Job &job)
         cfg.fastForward = job.fastForward;
         if (job.deadlockCycles)
             cfg.deadlockCycles = job.deadlockCycles;
+        cfg.trace.events = job.trace;
+        cfg.trace.sampleEvery = job.sampleEvery;
+        cfg.trace.sampleStats = job.sampleStats;
 
         w.emplace(workloads::byName(job.workload));
         w->init(mem);
@@ -72,6 +82,12 @@ runJob(const Job &job)
         }
 
         result.run = cpu->run(job.maxCycles);
+        captureTrace();
+        if (const trace::Sampler *s = cpu->sampler()) {
+            std::ostringstream os;
+            s->writeJson(os);
+            result.timeseriesJson = os.str();
+        }
 
         const std::string err = w->check(mem);
         if (!err.empty()) {
@@ -89,14 +105,17 @@ runJob(const Job &job)
         result.status = JobStatus::TimedOut;
         result.message = e.what();
         captureForensics(e.what());
+        captureTrace();
     } catch (const std::exception &e) {
         result.status = JobStatus::Failed;
         result.message = e.what();
         captureForensics(e.what());
+        captureTrace();
     } catch (...) {
         result.status = JobStatus::Failed;
         result.message = "unknown exception";
         captureForensics("unknown exception");
+        captureTrace();
     }
     stopClock();
     return result;

@@ -39,6 +39,10 @@ struct Job
     std::uint64_t maxCycles = 8ULL << 30; ///< simulated-cycle budget
     std::uint64_t seed = 0;        ///< recorded in results; reserved for
                                    ///< future randomized workloads
+    // ---- observability (DESIGN.md §9); read-only, never perturbs ----
+    bool trace = false;            ///< collect Chrome trace events
+    std::uint64_t sampleEvery = 0; ///< stats snapshot interval; 0 = off
+    std::string sampleStats;       ///< CSV of stat-name prefixes ("" = all)
 };
 
 /** Terminal state of one job. */
@@ -65,6 +69,19 @@ struct JobResult
      * run died by panic or timeout; empty on clean completion.
      */
     std::string forensicsJson;
+    /**
+     * tarantula.timeseries.v1 record (JSON object) when
+     * Job::sampleEvery was set and the run completed; embedded in the
+     * job record by the result sink.
+     */
+    std::string timeseriesJson;
+    /**
+     * tarantula.trace.v1 / Chrome trace-event JSON when Job::trace was
+     * set; captured even for crashed runs (the events up to the
+     * crash). NOT embedded in job records — traces are large, so
+     * drivers write them to their own files.
+     */
+    std::string traceJson;
     double hostSeconds = 0.0; ///< host wall-clock spent on this job
 
     bool ok() const { return status == JobStatus::Ok; }

@@ -24,6 +24,9 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result)
     w.key("deadlockCycles").value(result.job.deadlockCycles);
     w.key("maxCycles").value(result.job.maxCycles);
     w.key("seed").value(result.job.seed);
+    w.key("trace").value(result.job.trace);
+    w.key("sampleEvery").value(result.job.sampleEvery);
+    w.key("sampleStats").value(result.job.sampleStats);
     w.endObject();
 
     w.key("status").value(toString(result.status));
@@ -58,6 +61,10 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result)
 
         if (!result.statsJson.empty())
             w.key("stats").raw(result.statsJson);
+        // The trace (traceJson) is deliberately NOT embedded: traces
+        // run to megabytes, so drivers write them to their own files.
+        if (!result.timeseriesJson.empty())
+            w.key("timeseries").raw(result.timeseriesJson);
     }
     w.endObject();
 }

@@ -1,0 +1,271 @@
+#include "trace/json_reader.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tarantula::trace
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw JsonParseError("json: " + why + " at byte " +
+                             std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return objectValue();
+          case '[': return arrayValue();
+          case '"': return stringValue();
+          case 't':
+          case 'f': return boolValue();
+          case 'n': return nullValue();
+          default:  return numberValue();
+        }
+    }
+
+    JsonValue
+    objectValue()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            JsonValue key = stringValue();
+            skipWs();
+            expect(':');
+            v.object.emplace_back(std::move(key.str), value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    stringValue()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (true) {
+            const char c = peek();
+            ++pos_;
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.str.push_back(c);
+                continue;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case '"':  v.str.push_back('"'); break;
+              case '\\': v.str.push_back('\\'); break;
+              case '/':  v.str.push_back('/'); break;
+              case 'b':  v.str.push_back('\b'); break;
+              case 'f':  v.str.push_back('\f'); break;
+              case 'n':  v.str.push_back('\n'); break;
+              case 'r':  v.str.push_back('\r'); break;
+              case 't':  v.str.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the BMP code point (the writer never
+                // emits surrogate pairs; a lone surrogate passes
+                // through as its raw encoding).
+                if (code < 0x80) {
+                    v.str.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    v.str.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    v.str.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    v.str.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    v.str.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    v.str.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    JsonValue
+    boolValue()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (consumeWord("true"))
+            v.boolean = true;
+        else if (consumeWord("false"))
+            v.boolean = false;
+        else
+            fail("bad literal");
+        return v;
+    }
+
+    JsonValue
+    nullValue()
+    {
+        if (!consumeWord("null"))
+            fail("bad literal");
+        return JsonValue{};
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("malformed number '" + token + "'");
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // anonymous namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace tarantula::trace

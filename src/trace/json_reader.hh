@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A minimal JSON reader for the observability layer's consumers.
+ *
+ * base/json.hh is deliberately writer-only: the simulator proper only
+ * produces JSON. The trace layer is different -- tarantula_trace and
+ * the trace tests consume the files the sink wrote -- so this is the
+ * smallest DOM parser that can round-trip them: recursive descent
+ * over RFC 8259 with numbers as double, no streaming, and a clear
+ * exception on malformed input. It is a tool-side convenience, not a
+ * general-purpose library; nothing on the simulation path links it.
+ */
+
+#ifndef TARANTULA_TRACE_JSON_READER_HH
+#define TARANTULA_TRACE_JSON_READER_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tarantula::trace
+{
+
+/** Thrown by parseJson() with a byte offset and reason. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One parsed JSON value; a small, copyable DOM node. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Key/value pairs in document order (duplicates preserved). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** First member named @p key, or nullptr (objects only). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** The number as an unsigned integer (0 for non-numbers). */
+    std::uint64_t
+    asU64() const
+    {
+        return isNumber() ? static_cast<std::uint64_t>(number) : 0;
+    }
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @throws JsonParseError on malformed input or trailing garbage.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace tarantula::trace
+
+#endif // TARANTULA_TRACE_JSON_READER_HH

@@ -1,0 +1,105 @@
+#include "trace/sampler.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/statistics.hh"
+
+namespace tarantula::trace
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+Sampler::Sampler(std::uint64_t every, const stats::StatGroup &root,
+                 const std::string &filter)
+    : every_(every)
+{
+    tarantula_assert(every_ > 0);
+    const std::vector<std::string> prefixes = splitCsv(filter);
+    root.forEachStat([&](const std::string &name,
+                         const stats::StatBase &stat) {
+        const auto *scalar =
+            dynamic_cast<const stats::Scalar *>(&stat);
+        if (!scalar)
+            return;     // only plain counters sample meaningfully
+        if (!prefixes.empty()) {
+            bool match = false;
+            for (const auto &p : prefixes) {
+                if (name.compare(0, p.size(), p) == 0) {
+                    match = true;
+                    break;
+                }
+            }
+            if (!match)
+                return;
+        }
+        names_.push_back(name);
+        stats_.push_back(scalar);
+    });
+}
+
+void
+Sampler::sample(Cycle now)
+{
+    cycles_.push_back(now);
+    for (const stats::Scalar *s : stats_)
+        values_.push_back(s->value());
+}
+
+void
+Sampler::finishRun(Cycle end)
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    // Boundaries were sampled as they were stepped; only an
+    // off-boundary end needs the closing partial row. A zero-cycle
+    // run has no row at all: ceil(0 / every) == 0.
+    if (end % every_ != 0)
+        sample(end);
+}
+
+void
+Sampler::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("tarantula.timeseries.v1");
+    w.key("sampleEvery").value(every_);
+    w.key("stats").beginArray();
+    for (const auto &name : names_)
+        w.value(name);
+    w.endArray();
+    w.key("samples").beginArray();
+    for (std::size_t row = 0; row < cycles_.size(); ++row) {
+        w.beginObject();
+        w.key("cycle").value(static_cast<std::uint64_t>(cycles_[row]));
+        w.key("values").beginArray();
+        for (std::size_t i = 0; i < names_.size(); ++i)
+            w.value(values_[row * names_.size() + i]);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace tarantula::trace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The interval sampler: periodic snapshots of the statistics tree
+ * (DESIGN.md §9).
+ *
+ * Every sampleEvery cycles the sampler records the current value of a
+ * configurable subset of the scalar statistics, producing one
+ * tarantula.timeseries.v1 record per run so cumulative counters (and
+ * from their deltas: ops/cycle, L2 bandwidth, Vbox occupancy) can be
+ * plotted over simulated time.
+ *
+ * The contract mirrors the integrity sweeps' (DESIGN.md §8): the
+ * fast-forward engine clamps every jump to the next sample boundary
+ * (nextBoundary()), so samples are taken at exactly the cycles --
+ * with exactly the values -- a strictly stepped run would produce. A
+ * run of C cycles yields exactly ceil(C / sampleEvery) samples: one
+ * per boundary reached, plus one final partial sample when the run
+ * ends off-boundary.
+ */
+
+#ifndef TARANTULA_TRACE_SAMPLER_HH
+#define TARANTULA_TRACE_SAMPLER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace tarantula::stats
+{
+class Scalar;
+class StatGroup;
+} // namespace tarantula::stats
+
+namespace tarantula::trace
+{
+
+/** Snapshots scalar statistics on a fixed cycle interval. */
+class Sampler
+{
+  public:
+    /**
+     * @param every   Sampling interval in cycles (must be non-zero).
+     * @param root    Statistics tree to sample; must outlive the
+     *                sampler and be fully populated (all components
+     *                constructed) at this point.
+     * @param filter  Comma-separated dotted-name prefixes relative to
+     *                @p root (e.g. "core,l2.slice"); empty selects
+     *                every scalar statistic.
+     */
+    Sampler(std::uint64_t every, const stats::StatGroup &root,
+            const std::string &filter);
+
+    /** The sampling interval in cycles. */
+    std::uint64_t every() const { return every_; }
+
+    /** True when cycle @p now is a sample boundary. */
+    bool due(Cycle now) const { return now % every_ == 0; }
+
+    /**
+     * First sample boundary strictly after @p now; the fast-forward
+     * engine clamps jump targets to this (never an over-estimate).
+     */
+    Cycle
+    nextBoundary(Cycle now) const
+    {
+        return (now / every_ + 1) * every_;
+    }
+
+    /** Record one snapshot row at cycle @p now. */
+    void sample(Cycle now);
+
+    /**
+     * Close the capture at end cycle @p end: records the final
+     * partial sample when the run ended off-boundary, completing the
+     * exactly-ceil(end / every) row count.
+     */
+    void finishRun(Cycle end);
+
+    std::size_t numStats() const { return names_.size(); }
+    std::size_t numSamples() const { return cycles_.size(); }
+    const std::vector<std::string> &statNames() const { return names_; }
+
+    /** Write the capture as one tarantula.timeseries.v1 JSON object. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::uint64_t every_;
+    bool finished_ = false;
+    std::vector<std::string> names_;
+    std::vector<const stats::Scalar *> stats_;
+    std::vector<Cycle> cycles_;          ///< one entry per row
+    std::vector<std::uint64_t> values_;  ///< row-major rows x stats
+};
+
+} // namespace tarantula::trace
+
+#endif // TARANTULA_TRACE_SAMPLER_HH

@@ -1,0 +1,152 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "base/json.hh"
+
+namespace tarantula::trace
+{
+
+void
+TraceChannel::push(const TraceEvent &e)
+{
+    if (sink_->total_ >= sink_->maxEvents_) {
+        ++sink_->dropped_;
+        return;
+    }
+    ++sink_->total_;
+    events_.push_back(e);
+}
+
+void
+TraceChannel::instant(Cycle ts, const char *name, std::uint64_t a,
+                      std::uint64_t b)
+{
+    push({ts, 0, name, Phase::Instant, a, b});
+}
+
+void
+TraceChannel::counter(Cycle ts, const char *name, std::uint64_t value)
+{
+    push({ts, 0, name, Phase::Counter, value, 0});
+}
+
+void
+TraceChannel::complete(Cycle start, Cycle dur, const char *name,
+                       std::uint64_t a, std::uint64_t b)
+{
+    push({start, dur, name, Phase::Complete, a, b});
+}
+
+TraceChannel &
+TraceSink::channel(const std::string &name)
+{
+    auto it = channels_.find(name);
+    if (it == channels_.end()) {
+        it = channels_
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(name),
+                          std::forward_as_tuple(*this, name))
+                 .first;
+    }
+    return it->second;
+}
+
+std::vector<const TraceChannel *>
+TraceSink::channels() const
+{
+    std::vector<const TraceChannel *> out;
+    out.reserve(channels_.size());
+    for (const auto &[name, chan] : channels_)
+        out.push_back(&chan);
+    return out;     // std::map iterates in sorted-name order
+}
+
+namespace
+{
+
+void
+writeMetadata(JsonWriter &w, const char *what, unsigned tid,
+              const std::string &name)
+{
+    w.beginObject();
+    w.key("name").value(what);
+    w.key("ph").value("M");
+    w.key("pid").value(1u);
+    w.key("tid").value(tid);
+    w.key("args").beginObject();
+    w.key("name").value(name);
+    w.endObject();
+    w.endObject();
+}
+
+} // anonymous namespace
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    // Extra top-level keys are ignored by Chrome/Perfetto; they make
+    // the file self-describing for tarantula_trace.
+    w.key("schema").value("tarantula.trace.v1");
+    w.key("droppedEvents").value(std::uint64_t{dropped_});
+    w.key("traceEvents").beginArray();
+    writeMetadata(w, "process_name", 0, "tarantula");
+
+    unsigned tid = 0;
+    for (const auto &[name, chan] : channels_) {
+        ++tid;
+        writeMetadata(w, "thread_name", tid, name);
+
+        // Spans are emitted at completion time, so a channel's raw
+        // order is not cycle order; a stable sort by start cycle makes
+        // every track cycle-monotonic without perturbing same-cycle
+        // emission order.
+        std::vector<const TraceEvent *> events;
+        events.reserve(chan.events_.size());
+        for (const TraceEvent &e : chan.events_)
+            events.push_back(&e);
+        std::stable_sort(events.begin(), events.end(),
+                         [](const TraceEvent *x, const TraceEvent *y) {
+                             return x->ts < y->ts;
+                         });
+
+        for (const TraceEvent *e : events) {
+            w.beginObject();
+            if (e->phase == Phase::Counter) {
+                // Counter tracks are keyed per name in the viewers;
+                // prefix with the channel so components never merge.
+                w.key("name").value(name + "." + e->name);
+                w.key("ph").value("C");
+            } else {
+                w.key("name").value(e->name);
+                w.key("ph").value(
+                    e->phase == Phase::Complete ? "X" : "i");
+            }
+            w.key("pid").value(1u);
+            w.key("tid").value(tid);
+            w.key("ts").value(static_cast<std::uint64_t>(e->ts));
+            if (e->phase == Phase::Complete)
+                w.key("dur").value(static_cast<std::uint64_t>(e->dur));
+            if (e->phase == Phase::Instant)
+                w.key("s").value("t");
+            w.key("args").beginObject();
+            if (e->phase == Phase::Counter) {
+                w.key("value").value(e->a);
+            } else {
+                w.key("a").value(e->a);
+                w.key("b").value(e->b);
+            }
+            w.endObject();
+            w.endObject();
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace tarantula::trace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The observability trace: cycle-stamped event capture (DESIGN.md §9).
+ *
+ * Components emit structured events -- "this slice went to sleep",
+ * "this row buffer missed", "this vector load completed" -- into a
+ * per-component TraceChannel owned by a TraceSink. The sink exports
+ * the whole capture as Chrome trace-event JSON, loadable directly in
+ * Perfetto or chrome://tracing with one track per component (the
+ * convention is 1 cycle = 1 microsecond of trace time).
+ *
+ * Tracing is strictly read-only observation: emitting an event never
+ * touches timing, statistics or any other architectural state, so a
+ * traced run is bit-identical in cycles and stats to an untraced one
+ * (tests/test_trace.cc locks this). When no sink is attached the
+ * emission helpers compile down to a null-pointer test.
+ */
+
+#ifndef TARANTULA_TRACE_TRACE_HH
+#define TARANTULA_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace tarantula::trace
+{
+
+/** Observability knobs; carried inside proc::MachineConfig. */
+struct TraceConfig
+{
+    /** Collect per-component trace events (--trace). */
+    bool events = false;
+    /** Stats-sampling interval in cycles; 0 disables (--sample-every). */
+    std::uint64_t sampleEvery = 0;
+    /**
+     * Comma-separated dotted-name prefixes selecting which scalar
+     * statistics the sampler snapshots (e.g. "core,l2.slice"); empty
+     * samples every scalar in the tree (--sample-stats).
+     */
+    std::string sampleStats;
+    /**
+     * Global event cap across all channels. Capture stops (and the
+     * drop count climbs) once reached, bounding trace memory on long
+     * runs; the cap never affects simulated behaviour.
+     */
+    std::size_t maxEvents = std::size_t{4} << 20;
+};
+
+/** How an event renders in the Chrome trace-event output. */
+enum class Phase : std::uint8_t
+{
+    Instant,    ///< a point event ("ph":"i")
+    Counter,    ///< a sampled value ("ph":"C")
+    Complete,   ///< a [start, start+dur) span ("ph":"X")
+};
+
+/** One captured event. @p name must outlive the sink (string literal). */
+struct TraceEvent
+{
+    Cycle ts = 0;               ///< start cycle
+    Cycle dur = 0;              ///< span length (Complete only)
+    const char *name = nullptr; ///< event label (static string)
+    Phase phase = Phase::Instant;
+    std::uint64_t a = 0;        ///< event-specific payload
+    std::uint64_t b = 0;        ///< event-specific payload
+};
+
+class TraceSink;
+
+/**
+ * One component's event stream; one Perfetto track. Obtained from
+ * TraceSink::channel() and then held by raw pointer: channel addresses
+ * are stable for the sink's lifetime.
+ */
+class TraceChannel
+{
+  public:
+    /** Use TraceSink::channel(); this is public only for the map. */
+    TraceChannel(TraceSink &sink, std::string name)
+        : sink_(&sink), name_(std::move(name))
+    {}
+
+    /** A point event at cycle @p ts with payload (@p a, @p b). */
+    void instant(Cycle ts, const char *name, std::uint64_t a = 0,
+                 std::uint64_t b = 0);
+
+    /** A sampled counter value at cycle @p ts. */
+    void counter(Cycle ts, const char *name, std::uint64_t value);
+
+    /**
+     * A completed span: @p dur cycles starting at cycle @p start,
+     * with payload (@p a, @p b). Spans may be emitted out of cycle
+     * order (e.g. on completion); the writer sorts each track.
+     */
+    void complete(Cycle start, Cycle dur, const char *name,
+                  std::uint64_t a = 0, std::uint64_t b = 0);
+
+    const std::string &name() const { return name_; }
+    std::size_t numEvents() const { return events_.size(); }
+
+  private:
+    friend class TraceSink;
+
+    void push(const TraceEvent &e);
+
+    TraceSink *sink_;
+    std::string name_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * Owns every channel of one machine's capture and serializes the lot
+ * as Chrome trace-event JSON.
+ */
+class TraceSink
+{
+  public:
+    explicit TraceSink(std::size_t max_events = TraceConfig{}.maxEvents)
+        : maxEvents_(max_events)
+    {}
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /**
+     * The channel named @p name, created on first use. The returned
+     * reference stays valid for the sink's lifetime.
+     */
+    TraceChannel &channel(const std::string &name);
+
+    /**
+     * Write the capture as a Chrome trace-event JSON object: one
+     * process, one named thread (track) per channel in sorted-name
+     * order, events sorted by start cycle within each track, ts in
+     * microseconds at 1 cycle = 1 us.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Channels in sorted-name order (the track order of the output). */
+    std::vector<const TraceChannel *> channels() const;
+
+    std::size_t numEvents() const { return total_; }
+    std::size_t numDropped() const { return dropped_; }
+
+  private:
+    friend class TraceChannel;
+
+    std::map<std::string, TraceChannel> channels_;
+    std::size_t maxEvents_;
+    std::size_t total_ = 0;
+    std::size_t dropped_ = 0;
+};
+
+} // namespace tarantula::trace
+
+#endif // TARANTULA_TRACE_TRACE_HH

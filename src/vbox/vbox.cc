@@ -76,6 +76,7 @@ Vbox::issueArith(const DynInst &di, Cycle src_ready)
     const Cycle start = std::max(ready, port);
     port = start + occ;
     portBusyCycles_ += occ;
+    trc("vissue_arith", vl, occ);
     return start + occ - 1 + latency;
 }
 
@@ -88,6 +89,7 @@ Vbox::issueMem(const DynInst &di, Cycle src_ready,
 
     const isa::Inst &in = *di.inst;
     ++memIssued_;
+    trc("vissue_mem", rob_tag, di.vl);
 
     MemInst mi;
     mi.robTag = rob_tag;
@@ -215,6 +217,7 @@ Vbox::cycle()
             ++slicesIssued_;
         } else {
             ++sliceBackpressure_;
+            trc("slice_backpressure", mi.robTag, mi.nextSlice);
         }
         break;
     }
@@ -237,6 +240,12 @@ Vbox::cycle()
                 : std::max(data_done + cfg_.chainLatency, now_);
             memLatency_.sample(
                 static_cast<double>(c.doneAt - mi.issuedAt));
+            if (trace_) {
+                trace_->complete(
+                    mi.issuedAt, c.doneAt - mi.issuedAt,
+                    mi.isWrite ? "vstore" : "vload", mi.robTag,
+                    static_cast<std::uint64_t>(mi.plan.slices.size()));
+            }
             completions_.push_back(c);
             it = memQueue_.erase(it);
         } else {
@@ -446,6 +455,12 @@ Vbox::attachIntegrity(check::Integrity &kit)
         }
         w.endArray();
     });
+}
+
+void
+Vbox::attachTrace(trace::TraceSink &sink)
+{
+    trace_ = &sink.channel("vbox");
 }
 
 } // namespace tarantula::vbox

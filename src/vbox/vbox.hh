@@ -33,6 +33,7 @@
 #include "check/integrity.hh"
 #include "exec/dyn_inst.hh"
 #include "tlb/tlb.hh"
+#include "trace/trace.hh"
 #include "vbox/slicer.hh"
 
 namespace tarantula::vbox
@@ -110,6 +111,13 @@ class Vbox
      */
     void attachIntegrity(check::Integrity &kit);
 
+    /**
+     * Join the observability trace (DESIGN.md §9): issue, lane-
+     * occupancy and per-instruction memory spans flow to the sink's
+     * "vbox" channel. Read-only: never affects timing or statistics.
+     */
+    void attachTrace(trace::TraceSink &sink);
+
     /** Statistics for benches. */
     std::uint64_t slicesIssued() const { return slicesIssued_.value(); }
     std::uint64_t addrGenBusy() const { return addrGenBusy_.value(); }
@@ -143,10 +151,21 @@ class Vbox
     {
         if (ring_)
             ring_->record(now_, what, a, b);
+        if (trace_)
+            trace_->instant(now_, what, a, b);
+    }
+
+    /** Trace-only event: too frequent for the forensic ring. */
+    void
+    trc(const char *what, std::uint64_t a = 0, std::uint64_t b = 0)
+    {
+        if (trace_)
+            trace_->instant(now_, what, a, b);
     }
 
     check::FaultPlan *faults_ = nullptr;
     check::EventRing *ring_ = nullptr;
+    trace::TraceChannel *trace_ = nullptr;
     bool checks_ = false;
 
     VboxConfig cfg_;

@@ -223,15 +223,21 @@ TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
     const auto expect = snapshot(ref_mem);
 
     // Run 0 steps every cycle; run 1 uses the quiescence fast-forward
-    // engine. Identical cycles and stats prove the engine only skips
-    // host work, never simulated behaviour.
-    Cycle cycles[2];
-    std::string stats[2];
-    for (int run = 0; run < 2; ++run) {
+    // engine; run 2 fast-forwards with the observability layer on
+    // (event tracing plus a deliberately odd sampling interval).
+    // Identical cycles and stats prove the engine only skips host
+    // work and that observing a run never perturbs it (DESIGN.md §9).
+    Cycle cycles[3];
+    std::string stats[3];
+    for (int run = 0; run < 3; ++run) {
         exec::FunctionalMemory mem;
         seedMemory(mem, fc.seed);
         auto cfg = configFor(fc.machine);
-        cfg.fastForward = (run == 1);
+        cfg.fastForward = (run >= 1);
+        if (run == 2) {
+            cfg.trace.events = true;
+            cfg.trace.sampleEvery = 97;
+        }
         proc::Processor cpu(cfg, prog, mem);
         const auto r = cpu.run(1ULL << 26);
         cycles[run] = r.cycles;
@@ -246,6 +252,12 @@ TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
         << " seed " << fc.seed;
     EXPECT_EQ(stats[0], stats[1])
         << "fast-forward changed stats, machine " << fc.machine
+        << " seed " << fc.seed;
+    EXPECT_EQ(cycles[0], cycles[2])
+        << "tracing changed timing, machine " << fc.machine
+        << " seed " << fc.seed;
+    EXPECT_EQ(stats[0], stats[2])
+        << "tracing changed stats, machine " << fc.machine
         << " seed " << fc.seed;
 }
 

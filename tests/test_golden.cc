@@ -14,6 +14,11 @@
  *     in the simulator shows up as a red diff against a reviewed
  *     number, not as a silent drift.
  *
+ * A third run per grid point repeats the fast-forwarded run with the
+ * observability layer on (event tracing and interval sampling,
+ * DESIGN.md §9) and must also be bit-identical: observing a run never
+ * perturbs it.
+ *
  * Regenerating the table after an intentional timing change is one
  * command (it runs with fast-forward OFF, so the table always records
  * the strictly stepped engine's behaviour):
@@ -21,7 +26,8 @@
  *     ./build/tests/test_golden --regen
  *
  * then review the diff of tests/golden_stats.json like any other
- * source change.
+ * source change. The full workflow -- when to regenerate, what to
+ * look for in the diff -- is documented in tests/README.md.
  */
 
 #include <gtest/gtest.h>
@@ -152,8 +158,14 @@ TEST_P(Golden, FastForwardMatchesSteppedAndGoldenTable)
         sim::runJob(jobFor(p.machine, p.workload, false));
     const sim::JobResult ff =
         sim::runJob(jobFor(p.machine, p.workload, true));
+    sim::Job observed_job = jobFor(p.machine, p.workload, true);
+    observed_job.trace = true;
+    observed_job.sampleEvery = 1000;
+    const sim::JobResult observed = sim::runJob(observed_job);
     ASSERT_EQ(stepped.status, sim::JobStatus::Ok) << stepped.message;
     ASSERT_EQ(ff.status, sim::JobStatus::Ok) << ff.message;
+    ASSERT_EQ(observed.status, sim::JobStatus::Ok)
+        << observed.message;
 
     // The tentpole property: the engine may skip host work, never
     // simulated behaviour. Identical cycles and an identical stats
@@ -161,6 +173,13 @@ TEST_P(Golden, FastForwardMatchesSteppedAndGoldenTable)
     EXPECT_EQ(ff.run.cycles, stepped.run.cycles);
     EXPECT_EQ(ff.run.insts, stepped.run.insts);
     EXPECT_EQ(ff.statsJson, stepped.statsJson);
+
+    // And its observability corollary (DESIGN.md §9): tracing and
+    // sampling are read-only, so the observed run matches too.
+    EXPECT_EQ(observed.run.cycles, stepped.run.cycles);
+    EXPECT_EQ(observed.statsJson, stepped.statsJson);
+    EXPECT_FALSE(observed.traceJson.empty());
+    EXPECT_FALSE(observed.timeseriesJson.empty());
 
     const std::string text = readGoldenText();
     ASSERT_FALSE(text.empty())

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the observability layer (DESIGN.md §9): the TraceSink's
+ * Chrome trace-event export, the interval Sampler's exactly-
+ * ceil(cycles/N) snapshot contract, the tool-side JSON reader, and
+ * the tentpole invariant that observing a run never perturbs it --
+ * traced and sampled runs must be bit-identical (cycles and the full
+ * statistics tree) to bare runs, stepped or fast-forwarded, and
+ * panics must stamp the same (clamped) cycle in every engine mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/statistics.hh"
+#include "check/fault_plan.hh"
+#include "exec/memory.hh"
+#include "json_checker.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "program/assembler.hh"
+#include "sim/job.hh"
+#include "trace/json_reader.hh"
+#include "trace/sampler.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace tarantula;
+
+// ---- TraceSink unit ---------------------------------------------------
+
+TEST(TraceSink, ChannelsAreStableAndSorted)
+{
+    trace::TraceSink sink(1024);
+    trace::TraceChannel &zbox = sink.channel("zbox");
+    trace::TraceChannel &core = sink.channel("core");
+    EXPECT_EQ(&sink.channel("zbox"), &zbox);
+    EXPECT_EQ(&sink.channel("core"), &core);
+
+    core.instant(5, "e");
+    zbox.counter(7, "occupancy", 3);
+    EXPECT_EQ(sink.numEvents(), 2u);
+
+    const auto chans = sink.channels();
+    ASSERT_EQ(chans.size(), 2u);
+    EXPECT_EQ(chans[0]->name(), "core");    // sorted by name
+    EXPECT_EQ(chans[1]->name(), "zbox");
+}
+
+TEST(TraceSink, EventCapDropsButNeverGrows)
+{
+    trace::TraceSink sink(/*max_events=*/10);
+    trace::TraceChannel &c = sink.channel("core");
+    for (Cycle t = 0; t < 25; ++t)
+        c.instant(t, "e", t);
+    EXPECT_EQ(sink.numEvents(), 10u);
+    EXPECT_EQ(sink.numDropped(), 15u);
+
+    // The export still works and says what it dropped.
+    std::ostringstream os;
+    sink.writeChromeTrace(os);
+    const trace::JsonValue doc = trace::parseJson(os.str());
+    EXPECT_EQ(doc.find("droppedEvents")->asU64(), 15u);
+}
+
+TEST(TraceSink, ChromeTraceShapeAndTrackMonotonicity)
+{
+    trace::TraceSink sink(1024);
+    trace::TraceChannel &core = sink.channel("core");
+    trace::TraceChannel &vbox = sink.channel("vbox");
+    core.instant(10, "retire", 4, 0x1000);
+    core.instant(12, "retire", 2, 0x1010);
+    // Spans emit at completion time: out of start order on purpose.
+    vbox.complete(50, 20, "vload", 7, 3);
+    vbox.complete(30, 5, "vstore", 6, 1);
+    vbox.counter(40, "occ", 9);
+
+    std::ostringstream os;
+    sink.writeChromeTrace(os);
+    const std::string text = os.str();
+
+    test_support::JsonChecker(text).check();
+    const trace::JsonValue doc = trace::parseJson(text);
+    EXPECT_EQ(doc.find("schema")->str, "tarantula.trace.v1");
+    const trace::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::map<std::uint64_t, std::uint64_t> last_ts;
+    std::map<std::uint64_t, std::string> track_names;
+    bool saw_counter_prefix = false;
+    for (const trace::JsonValue &e : events->array) {
+        const std::string ph = e.find("ph")->str;
+        const std::uint64_t tid = e.find("tid")->asU64();
+        if (ph == "M") {
+            if (e.find("name")->str == "thread_name") {
+                track_names[tid] =
+                    e.find("args")->find("name")->str;
+            }
+            continue;
+        }
+        if (ph == "C" &&
+            e.find("name")->str.rfind("vbox.", 0) == 0) {
+            saw_counter_prefix = true;
+        }
+        if (ph == "i")
+            EXPECT_EQ(e.find("s")->str, "t");
+        const std::uint64_t ts = e.find("ts")->asU64();
+        auto it = last_ts.find(tid);
+        if (it != last_ts.end())
+            EXPECT_GE(ts, it->second) << "track " << tid;
+        last_ts[tid] = ts;
+    }
+    EXPECT_EQ(track_names.size(), 2u);
+    EXPECT_TRUE(saw_counter_prefix);
+}
+
+// ---- JSON reader unit -------------------------------------------------
+
+TEST(JsonReader, ParsesTheUsualShapes)
+{
+    const trace::JsonValue v = trace::parseJson(
+        R"({"a": [1, 2.5, -3], "b": {"c": "x\ny A"},)"
+        R"( "t": true, "n": null})");
+    ASSERT_TRUE(v.isObject());
+    const trace::JsonValue *a = v.find("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_EQ(a->array[0].asU64(), 1u);
+    EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+    EXPECT_DOUBLE_EQ(a->array[2].number, -3.0);
+    EXPECT_EQ(v.find("b")->find("c")->str, "x\ny A");
+    EXPECT_TRUE(v.find("t")->boolean);
+    EXPECT_TRUE(v.find("n")->isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReader, RejectsMalformedInput)
+{
+    EXPECT_THROW(trace::parseJson(""), trace::JsonParseError);
+    EXPECT_THROW(trace::parseJson("{"), trace::JsonParseError);
+    EXPECT_THROW(trace::parseJson("{} x"), trace::JsonParseError);
+    EXPECT_THROW(trace::parseJson("[1,]"), trace::JsonParseError);
+    EXPECT_THROW(trace::parseJson("'single'"), trace::JsonParseError);
+    EXPECT_THROW(trace::parseJson("{\"a\" 1}"), trace::JsonParseError);
+}
+
+// ---- Sampler unit -----------------------------------------------------
+
+TEST(Sampler, FilterSelectsByDottedPrefixAndJsonIsValid)
+{
+    stats::StatGroup root("m");
+    stats::Scalar a(root, "retired", "");
+    stats::StatGroup sub("l2", &root);
+    stats::Scalar b(sub, "slices", "");
+    stats::Scalar c(sub, "hits", "");
+
+    trace::Sampler all(10, root, "");
+    EXPECT_EQ(all.numStats(), 3u);
+
+    // Root-level stats are visited before child groups.
+    trace::Sampler filtered(10, root, "l2.sl,retired");
+    ASSERT_EQ(filtered.numStats(), 2u);
+    EXPECT_EQ(filtered.statNames()[0], "retired");
+    EXPECT_EQ(filtered.statNames()[1], "l2.slices");
+
+    ++a;
+    b += 5;
+    filtered.sample(10);
+    ++a;
+    filtered.finishRun(17);     // off-boundary: one partial sample
+    EXPECT_EQ(filtered.numSamples(), 2u);
+
+    std::ostringstream os;
+    filtered.writeJson(os);
+    test_support::JsonChecker(os.str()).check();
+    const trace::JsonValue doc = trace::parseJson(os.str());
+    EXPECT_EQ(doc.find("schema")->str, "tarantula.timeseries.v1");
+    EXPECT_EQ(doc.find("sampleEvery")->asU64(), 10u);
+    const trace::JsonValue *samples = doc.find("samples");
+    ASSERT_EQ(samples->array.size(), 2u);
+    EXPECT_EQ(samples->array[0].find("cycle")->asU64(), 10u);
+    EXPECT_EQ(samples->array[1].find("cycle")->asU64(), 17u);
+    // Row 0: retired=1, l2.slices=5; row 1: 2, 5.
+    EXPECT_EQ(samples->array[1].find("values")->array[0].asU64(), 2u);
+    EXPECT_EQ(samples->array[1].find("values")->array[1].asU64(), 5u);
+}
+
+TEST(Sampler, FinishOnBoundaryAddsNoPartialSample)
+{
+    stats::StatGroup root("m");
+    stats::Scalar a(root, "x", "");
+    trace::Sampler s(10, root, "");
+    s.sample(10);
+    s.sample(20);
+    s.finishRun(20);            // exactly on-boundary: no extra row
+    s.finishRun(25);            // idempotent: already finished
+    EXPECT_EQ(s.numSamples(), 2u);
+}
+
+// ---- whole-machine invariants ----------------------------------------
+
+sim::Job
+jobFor(const std::string &machine, const std::string &workload)
+{
+    sim::Job job;
+    job.machine = machine;
+    job.workload = workload;
+    return job;
+}
+
+TEST(TraceIntegration, ObservedRunIsBitIdenticalToSteppedAndFF)
+{
+    const sim::JobResult stepped = [&] {
+        sim::Job j = jobFor("T", "copy");
+        j.fastForward = false;
+        return sim::runJob(j);
+    }();
+    const sim::JobResult observed = [&] {
+        sim::Job j = jobFor("T", "copy");
+        j.trace = true;
+        j.sampleEvery = 1000;
+        return sim::runJob(j);
+    }();
+    ASSERT_TRUE(stepped.ok()) << stepped.message;
+    ASSERT_TRUE(observed.ok()) << observed.message;
+    EXPECT_EQ(observed.run.cycles, stepped.run.cycles);
+    EXPECT_EQ(observed.statsJson, stepped.statsJson);
+}
+
+TEST(TraceIntegration, TraceValidatesAndHasAtLeastFourTracks)
+{
+    sim::Job j = jobFor("T", "copy");
+    j.trace = true;
+    const sim::JobResult r = sim::runJob(j);
+    ASSERT_TRUE(r.ok()) << r.message;
+    ASSERT_FALSE(r.traceJson.empty());
+
+    test_support::JsonChecker(r.traceJson).check();
+    const trace::JsonValue doc = trace::parseJson(r.traceJson);
+    const trace::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    std::vector<std::string> tracks;
+    std::map<std::uint64_t, std::uint64_t> last_ts;
+    for (const trace::JsonValue &e : events->array) {
+        if (e.find("ph")->str == "M") {
+            if (e.find("name")->str == "thread_name")
+                tracks.push_back(e.find("args")->find("name")->str);
+            continue;
+        }
+        // Every track must be cycle-monotonic.
+        const std::uint64_t tid = e.find("tid")->asU64();
+        const std::uint64_t ts = e.find("ts")->asU64();
+        auto it = last_ts.find(tid);
+        if (it != last_ts.end())
+            ASSERT_GE(ts, it->second) << "track " << tid;
+        last_ts[tid] = ts;
+    }
+    EXPECT_GE(tracks.size(), 4u);   // core, l2, vbox, zbox (+ proc)
+}
+
+TEST(TraceIntegration, SamplerEmitsExactlyCeilSamples)
+{
+    for (const std::uint64_t every : {std::uint64_t{1000},
+                                      std::uint64_t{7}}) {
+        sim::Job j = jobFor("T", "copy");
+        j.sampleEvery = every;
+        const sim::JobResult r = sim::runJob(j);
+        ASSERT_TRUE(r.ok()) << r.message;
+
+        const trace::JsonValue ts = trace::parseJson(r.timeseriesJson);
+        const std::uint64_t cycles = r.run.cycles;
+        const std::uint64_t want = (cycles + every - 1) / every;
+        EXPECT_EQ(ts.find("samples")->array.size(), want)
+            << "every=" << every << " cycles=" << cycles;
+        // The last row is stamped with the final cycle.
+        EXPECT_EQ(ts.find("samples")->array.back().find("cycle")
+                      ->asU64(),
+                  cycles);
+    }
+}
+
+TEST(TraceIntegration, TimeseriesIdenticalSteppedVsFastForwarded)
+{
+    std::string series[2];
+    for (int run = 0; run < 2; ++run) {
+        sim::Job j = jobFor("T", "copy");
+        j.fastForward = (run == 1);
+        j.sampleEvery = 777;    // deliberately off any natural period
+        const sim::JobResult r = sim::runJob(j);
+        ASSERT_TRUE(r.ok()) << r.message;
+        series[run] = r.timeseriesJson;
+    }
+    EXPECT_EQ(series[0], series[1]);
+}
+
+// ---- panic cycle stamping across engine modes -------------------------
+
+/** A scalar load walk over fresh lines; a dropped fill wedges it. */
+program::Program
+loadWalkProgram()
+{
+    program::Assembler a;
+    a.movi(program::R(20), 0x100000);
+    a.movi(program::R(18), 4096);
+    program::Label loop = a.newLabel();
+    a.bind(loop);
+    a.ldq(program::R(1), 0, program::R(20));
+    a.addq(program::R(20), program::R(20), std::int64_t(64));
+    a.subq(program::R(18), program::R(18), std::int64_t(1));
+    a.bgt(program::R(18), loop);
+    a.halt();
+    return a.finalize();
+}
+
+TEST(TraceIntegration, PanicStampsTheSameCycleInEveryEngineMode)
+{
+    // A DropFill orphans one load forever; with the checkers off the
+    // only tripwire is the no-retirement watchdog, whose panic must
+    // stamp the exact same "cyc N:" in stepped, fast-forwarded and
+    // traced runs (the fast-forward clamp must land on the watchdog
+    // deadline, and the panic stamp must be taken *after* the jump).
+    std::string messages[3];
+    for (int run = 0; run < 3; ++run) {
+        const program::Program prog = loadWalkProgram();
+        exec::FunctionalMemory mem;
+        auto cfg = proc::ev8Config();
+        cfg.integrity.checks = false;
+        cfg.integrity.faults.add(check::Fault::DropFill, 500,
+                                 1'000'000);
+        cfg.deadlockCycles = 50'000;
+        cfg.fastForward = (run >= 1);
+        if (run == 2) {
+            cfg.trace.events = true;
+            cfg.trace.sampleEvery = 997;
+        }
+        proc::Processor cpu(cfg, prog, mem);
+        try {
+            cpu.run(1ULL << 24);
+            FAIL() << "run " << run << " should have wedged";
+        } catch (const PanicError &e) {
+            messages[run] = e.what();
+        }
+    }
+    EXPECT_EQ(messages[0].rfind("cyc ", 0), 0u) << messages[0];
+    EXPECT_NE(messages[0].find("no retirement"), std::string::npos)
+        << messages[0];
+    EXPECT_EQ(messages[0], messages[1]);
+    EXPECT_EQ(messages[0], messages[2]);
+}
+
+} // anonymous namespace

@@ -6,7 +6,8 @@
  *   tarantula_batch [--machines EV8,T,...|all] [--workloads all|micro|
  *                   figure|NAME,NAME,...] [--jobs N] [--json FILE]
  *                   [--no-pump] [--force-crbox] [--max-cycles N]
- *                   [--quiet] [--list]
+ *                   [--trace-dir DIR] [--sample-every N]
+ *                   [--sample-stats PREFIXES] [--quiet] [--list]
  *
  * One invocation reproduces the Figure 6/7 grids: e.g.
  *   tarantula_batch --machines EV8,EV8+,T --workloads figure --jobs 8
@@ -15,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -52,6 +54,12 @@ usage()
         "                   of jumping over quiescent ones\n"
         "  --deadlock-cycles N  per-job no-retirement watchdog\n"
         "                   (0 keeps the machine default of 1M)\n"
+        "  --trace-dir DIR  write a Chrome trace-event JSON per job\n"
+        "                   into DIR (<machine>_<workload>.trace.json)\n"
+        "  --sample-every N snapshot each job's stats every N cycles\n"
+        "                   into its record's timeseries\n"
+        "  --sample-stats P comma-separated stat-name prefixes to\n"
+        "                   sample (default: every scalar stat)\n"
         "  --quiet          no per-job progress on stderr\n"
         "  --list           list machines and workloads, then exit\n");
 }
@@ -129,6 +137,9 @@ run(int argc, char **argv)
     bool quiet = false;
     std::uint64_t deadlock_cycles = 0;
     std::uint64_t max_cycles = 8ULL << 30;
+    std::string trace_dir;
+    std::uint64_t sample_every = 0;
+    std::string sample_stats;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -157,6 +168,12 @@ run(int argc, char **argv)
             fast_forward = false;
         } else if (arg == "--deadlock-cycles") {
             deadlock_cycles = parseU64(arg, next());
+        } else if (arg == "--trace-dir") {
+            trace_dir = next();
+        } else if (arg == "--sample-every") {
+            sample_every = parseU64(arg, next());
+        } else if (arg == "--sample-stats") {
+            sample_stats = next();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -188,6 +205,14 @@ run(int argc, char **argv)
     for (const auto &n : names)
         workloads::byName(n);
 
+    if (!trace_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(trace_dir, ec);
+        if (ec)
+            fatal("cannot create '%s': %s", trace_dir.c_str(),
+                  ec.message().c_str());
+    }
+
     sim::SimFarm farm(jobs);
     for (const auto &m : machines) {
         for (const auto &n : names) {
@@ -200,6 +225,9 @@ run(int argc, char **argv)
             job.fastForward = fast_forward;
             job.deadlockCycles = deadlock_cycles;
             job.maxCycles = max_cycles;
+            job.trace = !trace_dir.empty();
+            job.sampleEvery = sample_every;
+            job.sampleStats = sample_stats;
             farm.submit(job);
         }
     }
@@ -220,6 +248,29 @@ run(int argc, char **argv)
                      r.hostSeconds);
     };
     const sim::BatchResult batch = farm.run(progress);
+
+    if (!trace_dir.empty()) {
+        std::size_t written = 0;
+        for (const auto &r : batch.jobs) {
+            if (r.traceJson.empty())
+                continue;
+            std::string stem = r.job.machine + "_" + r.job.workload;
+            for (char &c : stem) {
+                if (c == '+')
+                    c = 'p';    // EV8+ -> EV8p: filesystem-safe
+            }
+            const std::filesystem::path path =
+                std::filesystem::path(trace_dir) /
+                (stem + ".trace.json");
+            std::ofstream out(path);
+            if (!out)
+                fatal("cannot open '%s'", path.c_str());
+            out << r.traceJson;
+            ++written;
+        }
+        std::fprintf(stderr, "simfarm: %zu traces written to %s\n",
+                     written, trace_dir.c_str());
+    }
 
     std::fprintf(stderr,
                  "simfarm: %zu ok, %zu timed out, %zu failed; "

@@ -6,7 +6,8 @@
  *
  *   tarantula_run [--machine EV8|EV8+|T|T4|T10] [--workload NAME]
  *                 [--list] [--stats FILE] [--json FILE] [--no-pump]
- *                 [--force-crbox] [--max-cycles N]
+ *                 [--force-crbox] [--max-cycles N] [--trace FILE]
+ *                 [--sample-every N] [--sample-stats PREFIXES]
  *
  * --json writes the same tarantula.job.v1 record SimFarm's
  * tarantula_batch emits per job, so single runs and batch sweeps
@@ -53,7 +54,13 @@ usage()
         "  --no-fast-forward  step every cycle instead of jumping over\n"
         "                  quiescent ones (bit-identical, slower)\n"
         "  --deadlock-cycles N  no-retirement watchdog (0 disables;\n"
-        "                  default 1M)\n");
+        "                  default 1M)\n"
+        "  --trace FILE    write a Chrome trace-event JSON (load it in\n"
+        "                  Perfetto / chrome://tracing; docs/TRACING.md)\n"
+        "  --sample-every N  snapshot the stats tree every N cycles\n"
+        "                  into the job record's timeseries\n"
+        "  --sample-stats P  comma-separated stat-name prefixes to\n"
+        "                  sample (default: every scalar stat)\n");
 }
 
 void
@@ -95,6 +102,9 @@ run(int argc, char **argv)
     bool deadlock_set = false;
     std::uint64_t deadlock_cycles = 0;
     std::uint64_t max_cycles = 8ULL << 30;
+    std::string trace_file;
+    std::uint64_t sample_every = 0;
+    std::string sample_stats;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -126,6 +136,12 @@ run(int argc, char **argv)
         } else if (arg == "--deadlock-cycles") {
             deadlock_cycles = parseU64(arg, next());
             deadlock_set = true;
+        } else if (arg == "--trace") {
+            trace_file = next();
+        } else if (arg == "--sample-every") {
+            sample_every = parseU64(arg, next());
+        } else if (arg == "--sample-stats") {
+            sample_stats = next();
         } else if (arg == "--list") {
             listWorkloads();
             return 0;
@@ -145,6 +161,9 @@ run(int argc, char **argv)
     cfg.fastForward = fast_forward;
     if (deadlock_set)
         cfg.deadlockCycles = deadlock_cycles;
+    cfg.trace.events = !trace_file.empty();
+    cfg.trace.sampleEvery = sample_every;
+    cfg.trace.sampleStats = sample_stats;
 
     workloads::Workload w = workloads::byName(workload);
     exec::FunctionalMemory mem;
@@ -177,6 +196,31 @@ run(int argc, char **argv)
     record.job.fastForward = fast_forward;
     record.job.deadlockCycles = deadlock_set ? deadlock_cycles : 0;
     record.job.maxCycles = max_cycles;
+    record.job.trace = !trace_file.empty();
+    record.job.sampleEvery = sample_every;
+    record.job.sampleStats = sample_stats;
+    auto writeTrace = [&] {
+        if (trace_file.empty())
+            return;
+        std::ofstream out(trace_file);
+        if (!out)
+            fatal("cannot open '%s'", trace_file.c_str());
+        cpu.traceSink()->writeChromeTrace(out);
+        std::printf("trace:      %llu events on %zu tracks written to "
+                    "%s\n",
+                    static_cast<unsigned long long>(
+                        cpu.traceSink()->numEvents()),
+                    cpu.traceSink()->channels().size(),
+                    trace_file.c_str());
+        if (cpu.traceSink()->numDropped()) {
+            std::printf("trace:      %llu events dropped at the "
+                        "%llu-event cap\n",
+                        static_cast<unsigned long long>(
+                            cpu.traceSink()->numDropped()),
+                        static_cast<unsigned long long>(
+                            cfg.trace.maxEvents));
+        }
+    };
     auto writeJson = [&] {
         if (json_file.empty())
             return;
@@ -203,6 +247,7 @@ run(int argc, char **argv)
         std::ostringstream forensics;
         cpu.writeForensics(forensics, e.what());
         record.forensicsJson = forensics.str();
+        writeTrace();    // the events up to the crash still narrate it
         writeJson();
         return 3;
     }
@@ -242,6 +287,17 @@ run(int argc, char **argv)
             fatal("cannot open '%s'", stats_file.c_str());
         cpu.stats().report(out);
         std::printf("stats:      written to %s\n", stats_file.c_str());
+    }
+
+    writeTrace();
+    if (const trace::Sampler *s = cpu.sampler()) {
+        std::ostringstream os;
+        s->writeJson(os);
+        record.timeseriesJson = os.str();
+        std::printf("timeseries: %zu samples of %zu stats every %llu "
+                    "cycles\n",
+                    s->numSamples(), s->numStats(),
+                    static_cast<unsigned long long>(s->every()));
     }
 
     record.run = r;

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Trace summarizer: digest a Chrome trace-event JSON written by
+ * `tarantula_run --trace` (or `tarantula_batch --trace-dir`) into the
+ * two questions a first look always asks -- where did the cycles go,
+ * and what stalled the most?
+ *
+ *   tarantula_trace FILE [--top N]
+ *
+ * Per component track it reports the event count and a busy%% (the
+ * fraction of the track's active span covered by at least one event,
+ * counting "X" spans by duration); across tracks it ranks event names
+ * by total weight (span events weigh their duration, instants weigh
+ * one cycle) -- the top of that table is the machine's dominant stall
+ * or traffic source. See docs/TRACING.md for the full workflow.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "trace/json_reader.hh"
+
+using namespace tarantula;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: tarantula_trace FILE [--top N]\n"
+        "  FILE     Chrome trace-event JSON from tarantula_run "
+        "--trace\n"
+        "  --top N  rows in the event-name ranking (default 10)\n");
+}
+
+/** Accumulated view of one tid (= one component track). */
+struct Track
+{
+    std::string name;           ///< from the thread_name metadata
+    std::uint64_t events = 0;
+    Cycle firstTs = ~Cycle{0};
+    Cycle lastEnd = 0;
+    /**
+     * Merged-interval cursor for the busy-cycle union. Events arrive
+     * ts-sorted per track (the sink sorts on export), so one pass
+     * suffices: extend the open interval or close it and open a new
+     * one.
+     */
+    Cycle openStart = 0;
+    Cycle openEnd = 0;          ///< exclusive; 0 = no open interval
+    std::uint64_t busyCycles = 0;
+
+    void
+    add(Cycle ts, Cycle dur)
+    {
+        ++events;
+        firstTs = std::min(firstTs, ts);
+        const Cycle end = ts + std::max<Cycle>(dur, 1);
+        lastEnd = std::max(lastEnd, end);
+        if (openEnd == 0) {
+            openStart = ts;
+            openEnd = end;
+        } else if (ts <= openEnd) {
+            openEnd = std::max(openEnd, end);
+        } else {
+            busyCycles += openEnd - openStart;
+            openStart = ts;
+            openEnd = end;
+        }
+    }
+
+    std::uint64_t
+    totalBusy() const
+    {
+        return busyCycles + (openEnd ? openEnd - openStart : 0);
+    }
+
+    Cycle
+    span() const
+    {
+        return lastEnd > firstTs ? lastEnd - firstTs : 0;
+    }
+};
+
+/** Per event name: how often, and how many cycles it accounts for. */
+struct NameWeight
+{
+    std::uint64_t count = 0;
+    std::uint64_t weight = 0;   ///< instants 1 cycle, spans dur
+};
+
+int
+run(int argc, char **argv)
+{
+    std::string file;
+    std::size_t top = 10;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top") {
+            if (i + 1 >= argc)
+                fatal("missing value for --top");
+            top = static_cast<std::size_t>(std::stoull(argv[++i]));
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        } else if (file.empty()) {
+            file = arg;
+        } else {
+            usage();
+            fatal("more than one trace file given");
+        }
+    }
+    if (file.empty()) {
+        usage();
+        fatal("no trace file given");
+    }
+
+    std::ifstream in(file);
+    if (!in)
+        fatal("cannot open '%s'", file.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    const trace::JsonValue doc = trace::parseJson(buf.str());
+    if (!doc.isObject())
+        fatal("'%s': top-level JSON value is not an object",
+              file.c_str());
+    const trace::JsonValue *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        fatal("'%s': no traceEvents array; not a Chrome trace",
+              file.c_str());
+
+    std::map<std::uint64_t, Track> tracks;
+    std::map<std::string, NameWeight> names;
+    for (const trace::JsonValue &e : events->array) {
+        if (!e.isObject())
+            continue;
+        const trace::JsonValue *ph = e.find("ph");
+        const trace::JsonValue *name = e.find("name");
+        const trace::JsonValue *tid = e.find("tid");
+        if (!ph || !ph->isString() || !name || !name->isString() ||
+            !tid) {
+            continue;
+        }
+        if (ph->str == "M") {
+            if (name->str == "thread_name") {
+                const trace::JsonValue *args = e.find("args");
+                const trace::JsonValue *tn =
+                    args ? args->find("name") : nullptr;
+                if (tn && tn->isString())
+                    tracks[tid->asU64()].name = tn->str;
+            }
+            continue;
+        }
+        const trace::JsonValue *ts = e.find("ts");
+        if (!ts)
+            continue;
+        const trace::JsonValue *dur = e.find("dur");
+        const Cycle d = dur ? dur->asU64() : 0;
+        tracks[tid->asU64()].add(ts->asU64(), d);
+        NameWeight &nw = names[name->str];
+        ++nw.count;
+        nw.weight += std::max<std::uint64_t>(d, 1);
+    }
+
+    const trace::JsonValue *dropped = doc.find("droppedEvents");
+    std::uint64_t total_events = 0;
+    for (const auto &[tid, t] : tracks)
+        total_events += t.events;
+
+    std::printf("%s: %llu events on %zu tracks",
+                file.c_str(),
+                static_cast<unsigned long long>(total_events),
+                tracks.size());
+    if (dropped && dropped->asU64())
+        std::printf(" (%llu dropped at the event cap)",
+                    static_cast<unsigned long long>(dropped->asU64()));
+    std::printf("\n\n");
+
+    std::printf("%-10s %12s %14s %14s %7s\n", "track", "events",
+                "first..last", "busy cycles", "busy%");
+    for (const auto &[tid, t] : tracks) {
+        if (t.events == 0)
+            continue;       // metadata-only tid
+        const double pct =
+            t.span() ? 100.0 * static_cast<double>(t.totalBusy()) /
+                           static_cast<double>(t.span())
+                     : 0.0;
+        char range[32];
+        std::snprintf(range, sizeof(range), "%llu..%llu",
+                      static_cast<unsigned long long>(t.firstTs),
+                      static_cast<unsigned long long>(t.lastEnd));
+        std::printf("%-10s %12llu %14s %14llu %6.1f%%\n",
+                    t.name.empty() ? "?" : t.name.c_str(),
+                    static_cast<unsigned long long>(t.events), range,
+                    static_cast<unsigned long long>(t.totalBusy()),
+                    pct);
+    }
+
+    std::vector<std::pair<std::string, NameWeight>> ranked(
+        names.begin(), names.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &x, const auto &y) {
+                  return x.second.weight > y.second.weight;
+              });
+
+    std::printf("\ntop event names by cycle weight:\n");
+    std::printf("%-24s %12s %14s\n", "name", "count", "cycle weight");
+    for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+        std::printf("%-24s %12llu %14llu\n", ranked[i].first.c_str(),
+                    static_cast<unsigned long long>(
+                        ranked[i].second.count),
+                    static_cast<unsigned long long>(
+                        ranked[i].second.weight));
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 2; // fatal() already printed the message
+    } catch (const trace::JsonParseError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}
