@@ -1,6 +1,7 @@
 #include "base/statistics.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
@@ -50,6 +51,22 @@ Scalar::reportJson(std::ostream &os) const
 }
 
 void
+Scalar::serializeValue(std::vector<std::uint64_t> &words) const
+{
+    words.push_back(value_);
+}
+
+bool
+Scalar::deserializeValue(const std::uint64_t *&it,
+                         const std::uint64_t *end)
+{
+    if (it == end)
+        return false;
+    value_ = *it++;
+    return true;
+}
+
+void
 Average::sample(double v)
 {
     if (count_ == 0) {
@@ -90,6 +107,28 @@ Average::reset()
 {
     count_ = 0;
     sum_ = min_ = max_ = 0.0;
+}
+
+void
+Average::serializeValue(std::vector<std::uint64_t> &words) const
+{
+    words.push_back(count_);
+    words.push_back(std::bit_cast<std::uint64_t>(sum_));
+    words.push_back(std::bit_cast<std::uint64_t>(min_));
+    words.push_back(std::bit_cast<std::uint64_t>(max_));
+}
+
+bool
+Average::deserializeValue(const std::uint64_t *&it,
+                          const std::uint64_t *end)
+{
+    if (end - it < 4)
+        return false;
+    count_ = *it++;
+    sum_ = std::bit_cast<double>(*it++);
+    min_ = std::bit_cast<double>(*it++);
+    max_ = std::bit_cast<double>(*it++);
+    return true;
 }
 
 Histogram::Histogram(StatGroup &parent, std::string name, std::string desc,
@@ -154,6 +193,29 @@ Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     underflow_ = overflow_ = samples_ = 0;
+}
+
+void
+Histogram::serializeValue(std::vector<std::uint64_t> &words) const
+{
+    words.push_back(samples_);
+    words.push_back(underflow_);
+    words.push_back(overflow_);
+    words.insert(words.end(), counts_.begin(), counts_.end());
+}
+
+bool
+Histogram::deserializeValue(const std::uint64_t *&it,
+                            const std::uint64_t *end)
+{
+    if (static_cast<std::size_t>(end - it) < 3 + counts_.size())
+        return false;
+    samples_ = *it++;
+    underflow_ = *it++;
+    overflow_ = *it++;
+    for (auto &count : counts_)
+        count = *it++;
+    return true;
 }
 
 Formula::Formula(StatGroup &parent, std::string name, std::string desc,
@@ -253,6 +315,46 @@ StatGroup::resetStats()
         stat->reset();
     for (auto *child : children_)
         child->resetStats();
+}
+
+void
+StatGroup::serializeValues(std::vector<std::uint64_t> &words) const
+{
+    for (const auto *stat : sortedStats())
+        stat->serializeValue(words);
+    for (const auto *child : sortedChildren())
+        child->serializeValues(words);
+}
+
+namespace
+{
+
+bool
+deserializeInto(StatGroup &group, const std::uint64_t *&it,
+                const std::uint64_t *end)
+{
+    bool ok = true;
+    group.forEachStat(
+        [&](const std::string &, const stats::StatBase &stat) {
+            // forEachStat visits in the same order serializeValues
+            // wrote; the const_cast mirrors resetStats' mutability.
+            if (ok &&
+                !const_cast<StatBase &>(stat).deserializeValue(it, end))
+                ok = false;
+        });
+    return ok;
+}
+
+} // anonymous namespace
+
+bool
+StatGroup::deserializeValues(const std::vector<std::uint64_t> &words)
+{
+    const std::uint64_t *it = words.data();
+    const std::uint64_t *end = words.data() + words.size();
+    if (!deserializeInto(*this, it, end))
+        return false;
+    return it == end; // a longer stream means a different tree shape
 }
 
 } // namespace tarantula::stats

@@ -50,6 +50,24 @@ class StatBase
     /** Return the statistic to its initial state. */
     virtual void reset() = 0;
 
+    /**
+     * Append the statistic's raw state to @p words (doubles as bit
+     * patterns). Derived values (Formula) append nothing. The word
+     * stream is the snapshot layer's stats payload and the input to
+     * the stats digest; it must be deterministic for a given state.
+     */
+    virtual void serializeValue(std::vector<std::uint64_t> &words)
+        const = 0;
+
+    /**
+     * Restore the statistic from the word stream written by
+     * serializeValue, advancing @p it.
+     * @return false when the stream ends before the statistic's words
+     *         do (the caller turns that into a typed error).
+     */
+    virtual bool deserializeValue(const std::uint64_t *&it,
+                                  const std::uint64_t *end) = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -70,6 +88,10 @@ class Scalar : public StatBase
         const override;
     void reportJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
+    void serializeValue(std::vector<std::uint64_t> &words)
+        const override;
+    bool deserializeValue(const std::uint64_t *&it,
+                          const std::uint64_t *end) override;
 
   private:
     std::uint64_t value_ = 0;
@@ -90,6 +112,10 @@ class Average : public StatBase
         const override;
     void reportJson(std::ostream &os) const override;
     void reset() override;
+    void serializeValue(std::vector<std::uint64_t> &words)
+        const override;
+    bool deserializeValue(const std::uint64_t *&it,
+                          const std::uint64_t *end) override;
 
   private:
     std::uint64_t count_ = 0;
@@ -117,6 +143,10 @@ class Histogram : public StatBase
         const override;
     void reportJson(std::ostream &os) const override;
     void reset() override;
+    void serializeValue(std::vector<std::uint64_t> &words)
+        const override;
+    bool deserializeValue(const std::uint64_t *&it,
+                          const std::uint64_t *end) override;
 
   private:
     double lo_;
@@ -140,6 +170,13 @@ class Formula : public StatBase
         const override;
     void reportJson(std::ostream &os) const override;
     void reset() override {}
+    void serializeValue(std::vector<std::uint64_t> &) const override {}
+    bool
+    deserializeValue(const std::uint64_t *&,
+                     const std::uint64_t *) override
+    {
+        return true; // derived on demand; nothing stored
+    }
 
   private:
     std::function<double()> fn_;
@@ -189,6 +226,22 @@ class StatGroup
 
     /** Recursively reset all statistics below this group. */
     void resetStats();
+
+    /**
+     * Append the raw values of every statistic below this group to
+     * @p words, visiting stats and children in the same sorted-name
+     * order as report(). Together with deserializeValues this is the
+     * snapshot layer's whole-tree stats payload.
+     */
+    void serializeValues(std::vector<std::uint64_t> &words) const;
+
+    /**
+     * Restore every statistic below this group from @p words
+     * (written by serializeValues on an identically shaped tree).
+     * @return false when the stream is too short or too long for the
+     *         tree; the caller turns that into a typed error.
+     */
+    bool deserializeValues(const std::vector<std::uint64_t> &words);
 
     /** Called by StatBase's constructor. */
     void addStat(StatBase *stat) { stats_.push_back(stat); }

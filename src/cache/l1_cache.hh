@@ -21,6 +21,7 @@
 #include "base/logging.hh"
 #include "base/statistics.hh"
 #include "base/types.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::cache
 {
@@ -121,6 +122,32 @@ class L1Cache
     std::uint64_t numHits() const { return hits_.value(); }
     std::uint64_t numMisses() const { return misses_.value(); }
     std::uint64_t numInvalidates() const { return invalidates_.value(); }
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /** Stats are restored by the Processor's whole-tree pass. */
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.section("l1");
+        out.u64(useClock_);
+        for (const auto &l : lines_) {
+            out.b(l.valid);
+            out.u64(l.tag);
+            out.u64(l.lastUse);
+        }
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        in.section("l1");
+        useClock_ = in.u64();
+        for (auto &l : lines_) {
+            l.valid = in.b();
+            l.tag = in.u64();
+            l.lastUse = in.u64();
+        }
+    }
 
   private:
     struct Line

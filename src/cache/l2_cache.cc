@@ -651,4 +651,151 @@ L2Cache::probePBit(Addr line_addr) const
     return l && l->pBit;
 }
 
+void
+L2Cache::save(snap::Snapshotter &out) const
+{
+    out.section("l2");
+    out.u64(now_);
+    out.b(acceptedThisCycle_);
+    out.u64(readBusFreeAt_);
+    out.u64(writeBusFreeAt_);
+    out.i64(panicMaf_);
+    out.u64(useClock_);
+
+    out.u64(lines_.size());
+    for (const auto &l : lines_) {
+        out.b(l.valid);
+        out.b(l.dirty);
+        out.b(l.pBit);
+        out.u64(l.tag);
+        out.u64(l.lastUse);
+    }
+
+    out.u64(maf_.size());
+    for (const auto &e : maf_) {
+        out.b(e.valid);
+        out.b(e.isScalar);
+        e.slice.save(out);
+        out.u64(e.scalarTag);
+        out.u64(e.scalarLine);
+        out.b(e.scalarWrite);
+        out.b(e.scalarNoFetch);
+        out.u32(e.scalarRequester);
+        out.u16(e.waiting);
+        out.u32(e.replays);
+        out.b(e.inRetryQueue);
+        out.u64(e.bornAt);
+    }
+
+    out.u64(retryQueue_.size());
+    for (unsigned idx : retryQueue_)
+        out.u32(idx);
+
+    out.u64(sliceResps_.size());
+    for (const auto &r : sliceResps_) {
+        out.u64(r.sliceId);
+        out.u64(r.instTag);
+        out.b(r.isWrite);
+        out.u64(r.readyAt);
+        out.u32(r.dataQw);
+    }
+
+    out.u64(scalarResps_.size());
+    for (const auto &r : scalarResps_) {
+        out.u64(r.lineAddr);
+        out.u64(r.tag);
+        out.b(r.isWrite);
+        out.u64(r.readyAt);
+        out.u32(r.requester);
+    }
+
+    // pendingLines_ is only looked up and erased by key, never
+    // iterated on the simulation path; saved sorted so the payload is
+    // byte-identical regardless of hashing history.
+    std::vector<std::pair<Addr, Cycle>> pending(pendingLines_.begin(),
+                                                pendingLines_.end());
+    std::sort(pending.begin(), pending.end());
+    out.u64(pending.size());
+    for (const auto &[line, born] : pending) {
+        out.u64(line);
+        out.u64(born);
+    }
+
+    out.u64(deferredReqs_.size());
+    for (const auto &req : deferredReqs_)
+        req.save(out);
+}
+
+void
+L2Cache::restore(snap::Restorer &in)
+{
+    in.section("l2");
+    now_ = in.u64();
+    acceptedThisCycle_ = in.b();
+    readBusFreeAt_ = in.u64();
+    writeBusFreeAt_ = in.u64();
+    panicMaf_ = static_cast<int>(in.i64());
+    useClock_ = in.u64();
+
+    if (in.u64() != lines_.size())
+        throw snap::SnapshotError("snapshot: l2 line count mismatch");
+    for (auto &l : lines_) {
+        l.valid = in.b();
+        l.dirty = in.b();
+        l.pBit = in.b();
+        l.tag = in.u64();
+        l.lastUse = in.u64();
+    }
+
+    if (in.u64() != maf_.size())
+        throw snap::SnapshotError("snapshot: l2 MAF size mismatch");
+    for (auto &e : maf_) {
+        e.valid = in.b();
+        e.isScalar = in.b();
+        e.slice.restore(in);
+        e.scalarTag = in.u64();
+        e.scalarLine = in.u64();
+        e.scalarWrite = in.b();
+        e.scalarNoFetch = in.b();
+        e.scalarRequester = in.u32();
+        e.waiting = in.u16();
+        e.replays = in.u32();
+        e.inRetryQueue = in.b();
+        e.bornAt = in.u64();
+    }
+
+    retryQueue_.resize(in.u64());
+    for (auto &idx : retryQueue_)
+        idx = in.u32();
+
+    sliceResps_.resize(in.u64());
+    for (auto &r : sliceResps_) {
+        r.sliceId = in.u64();
+        r.instTag = in.u64();
+        r.isWrite = in.b();
+        r.readyAt = in.u64();
+        r.dataQw = in.u32();
+    }
+
+    scalarResps_.resize(in.u64());
+    for (auto &r : scalarResps_) {
+        r.lineAddr = in.u64();
+        r.tag = in.u64();
+        r.isWrite = in.b();
+        r.readyAt = in.u64();
+        r.requester = in.u32();
+    }
+
+    pendingLines_.clear();
+    const std::uint64_t numPending = in.u64();
+    for (std::uint64_t i = 0; i < numPending; ++i) {
+        const Addr line = in.u64();
+        pendingLines_[line] = in.u64();
+    }
+
+    deferredReqs_.resize(in.u64());
+    for (auto &req : deferredReqs_)
+        req.restore(in);
+}
+
 } // namespace tarantula::cache

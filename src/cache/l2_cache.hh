@@ -42,6 +42,7 @@
 #include "mem/mem_types.hh"
 #include "mem/slice.hh"
 #include "mem/zbox.hh"
+#include "snap/snapshot.hh"
 #include "trace/trace.hh"
 
 namespace tarantula::cache
@@ -161,6 +162,11 @@ class L2Cache
     std::uint64_t sliceReplays() const { return replays_.value(); }
     std::uint64_t panicEntries() const { return panics_.value(); }
     std::uint64_t l1Invalidates() const { return invalidates_.value(); }
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /** Stats are restored by the Processor's whole-tree pass. */
+    void save(snap::Snapshotter &out) const;
+    void restore(snap::Restorer &in);
 
   private:
     struct Line

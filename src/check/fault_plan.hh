@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::check
 {
@@ -118,6 +119,31 @@ class FaultPlan
 
     /** Compact human-readable form: "kind@start+dur(arg), ...". */
     std::string summary() const;
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /**
+     * The event list is config (hashed into the machine's config
+     * digest); only the consumed bits are dynamic state. They must be
+     * serialized so a one-shot corruption fault that fired before the
+     * checkpoint does not fire again after resume.
+     */
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.section("fault_plan");
+        out.u64(consumed_.size());
+        for (std::size_t i = 0; i < consumed_.size(); ++i)
+            out.b(consumed_[i]);
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        in.section("fault_plan");
+        consumed_.assign(in.u64(), false);
+        for (std::size_t i = 0; i < consumed_.size(); ++i)
+            consumed_[i] = in.b();
+    }
 
   private:
     std::vector<FaultEvent> events_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/statistics.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::ev8
 {
@@ -69,6 +70,32 @@ class BranchPredictor
 
     std::uint64_t numMispredicts() const { return mispredicts_.value(); }
     std::uint64_t numLookups() const { return lookups_.value(); }
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /** Stats are restored by the Processor's whole-tree pass. */
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.section("bpred");
+        out.u32(history_);
+        out.u64(table_.size());
+        for (auto counter : table_)
+            out.u8(counter);
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        in.section("bpred");
+        history_ = in.u32();
+        const std::uint64_t size = in.u64();
+        if (size != table_.size()) {
+            throw snap::SnapshotError(
+                "snapshot: branch predictor table size mismatch");
+        }
+        for (auto &counter : table_)
+            counter = in.u8();
+    }
 
   private:
     unsigned tableBits_;

@@ -755,4 +755,216 @@ Core::done() const
            (!vbox_ || vbox_->idle());
 }
 
+// ---- snapshot (DESIGN.md §10) ----------------------------------------
+
+namespace
+{
+
+void
+saveSeqQueue(snap::Snapshotter &out,
+             const std::deque<std::uint64_t> &queue)
+{
+    out.u64(queue.size());
+    for (std::uint64_t seq : queue)
+        out.u64(seq);
+}
+
+void
+restoreSeqQueue(snap::Restorer &in, std::deque<std::uint64_t> &queue)
+{
+    queue.resize(in.u64());
+    for (auto &seq : queue)
+        seq = in.u64();
+}
+
+} // anonymous namespace
+
+void
+Core::saveRobEntry(snap::Snapshotter &out, const RobEntry &e) const
+{
+    e.di.save(out);
+    out.u8(static_cast<std::uint8_t>(e.stage));
+    out.u32(e.pendingSrcs);
+    out.u64(e.readyAt);
+    out.u64(e.doneAt);
+    out.b(e.mispredicted);
+    out.b(e.sentToVbox);
+    out.u64(e.dependents.size());
+    for (std::uint64_t dep : e.dependents)
+        out.u64(dep);
+}
+
+void
+Core::restoreRobEntry(snap::Restorer &in, RobEntry &e) const
+{
+    e.di.restore(in, interp_.program());
+    e.stage = static_cast<Stage>(in.u8());
+    e.pendingSrcs = in.u32();
+    e.readyAt = in.u64();
+    e.doneAt = in.u64();
+    e.mispredicted = in.b();
+    e.sentToVbox = in.b();
+    e.dependents.resize(in.u64());
+    for (auto &dep : e.dependents)
+        dep = in.u64();
+}
+
+void
+Core::save(snap::Snapshotter &out) const
+{
+    out.section("core");
+    out.u64(now_);
+
+    // Fetch state.
+    out.u64(fetchBuffer_.size());
+    for (const auto &e : fetchBuffer_)
+        saveRobEntry(out, e);
+    out.u64(fetchResumeAt_);
+    out.u64(redirectSeq_);
+    out.b(waitingRedirect_);
+    out.b(fetchBlockedOnDrain_);
+    out.b(trulyHalted_);
+
+    // ROB.
+    out.u64(rob_.size());
+    for (const auto &e : rob_)
+        saveRobEntry(out, e);
+    out.u64(robBaseSeq_);
+
+    // Dataflow bookkeeping.
+    for (unsigned r = 0; r < isa::NumFlatRegs; ++r) {
+        out.u64(lastWriter_[r]);
+        out.b(writerValid_[r]);
+    }
+
+    // Issue queues and completion events.
+    saveSeqQueue(out, intQueue_);
+    saveSeqQueue(out, fpQueue_);
+    saveSeqQueue(out, loadQueue_);
+    saveSeqQueue(out, storeQueue_);
+    saveSeqQueue(out, vecQueue_);
+    out.u64(completionEvents_.size());
+    for (const auto &[cycle, seq] : completionEvents_) {
+        out.u64(cycle);
+        out.u64(seq);
+    }
+
+    // L1 MAF; sorted by line so the payload is byte-deterministic
+    // (the map is only probed/erased by key on the simulation path).
+    {
+        std::vector<Addr> lines;
+        lines.reserve(l1Maf_.size());
+        for (const auto &[line, entry] : l1Maf_)
+            lines.push_back(line);
+        std::sort(lines.begin(), lines.end());
+        out.u64(lines.size());
+        for (Addr line : lines) {
+            const L1MafEntry &e = l1Maf_.at(line);
+            out.u64(line);
+            out.b(e.invalidated);
+            out.u64(e.waiters.size());
+            for (std::uint64_t w : e.waiters)
+                out.u64(w);
+        }
+    }
+
+    // Write buffer and store tracking (wbLines_ / pendingStoreLines_
+    // likewise sorted for determinism).
+    out.u64(writeBuffer_.size());
+    for (const auto &wb : writeBuffer_) {
+        out.u64(wb.line);
+        out.b(wb.wh64);
+    }
+    auto saveAddrCounts =
+        [&out](const std::unordered_map<Addr, unsigned> &map) {
+            std::vector<std::pair<Addr, unsigned>> sorted(map.begin(),
+                                                          map.end());
+            std::sort(sorted.begin(), sorted.end());
+            out.u64(sorted.size());
+            for (const auto &[line, count] : sorted) {
+                out.u64(line);
+                out.u32(count);
+            }
+        };
+    saveAddrCounts(wbLines_);
+    out.u32(outstandingStores_);
+    saveAddrCounts(pendingStoreLines_);
+
+    out.u64(lastRetiredPc_);
+    l1_.save(out);
+    bpred_.save(out);
+}
+
+void
+Core::restore(snap::Restorer &in)
+{
+    in.section("core");
+    now_ = in.u64();
+
+    fetchBuffer_.resize(in.u64());
+    for (auto &e : fetchBuffer_)
+        restoreRobEntry(in, e);
+    fetchResumeAt_ = in.u64();
+    redirectSeq_ = in.u64();
+    waitingRedirect_ = in.b();
+    fetchBlockedOnDrain_ = in.b();
+    trulyHalted_ = in.b();
+
+    rob_.resize(in.u64());
+    for (auto &e : rob_)
+        restoreRobEntry(in, e);
+    robBaseSeq_ = in.u64();
+
+    for (unsigned r = 0; r < isa::NumFlatRegs; ++r) {
+        lastWriter_[r] = in.u64();
+        writerValid_[r] = in.b();
+    }
+
+    restoreSeqQueue(in, intQueue_);
+    restoreSeqQueue(in, fpQueue_);
+    restoreSeqQueue(in, loadQueue_);
+    restoreSeqQueue(in, storeQueue_);
+    restoreSeqQueue(in, vecQueue_);
+    completionEvents_.clear();
+    const std::uint64_t numEvents = in.u64();
+    for (std::uint64_t i = 0; i < numEvents; ++i) {
+        const Cycle cycle = in.u64();
+        const std::uint64_t seq = in.u64();
+        completionEvents_.emplace(cycle, seq);
+    }
+
+    l1Maf_.clear();
+    const std::uint64_t numMaf = in.u64();
+    for (std::uint64_t i = 0; i < numMaf; ++i) {
+        const Addr line = in.u64();
+        L1MafEntry &e = l1Maf_[line];
+        e.invalidated = in.b();
+        e.waiters.resize(in.u64());
+        for (auto &w : e.waiters)
+            w = in.u64();
+    }
+
+    writeBuffer_.resize(in.u64());
+    for (auto &wb : writeBuffer_) {
+        wb.line = in.u64();
+        wb.wh64 = in.b();
+    }
+    auto restoreAddrCounts =
+        [&in](std::unordered_map<Addr, unsigned> &map) {
+            map.clear();
+            const std::uint64_t count = in.u64();
+            for (std::uint64_t i = 0; i < count; ++i) {
+                const Addr line = in.u64();
+                map[line] = in.u32();
+            }
+        };
+    restoreAddrCounts(wbLines_);
+    outstandingStores_ = in.u32();
+    restoreAddrCounts(pendingStoreLines_);
+
+    lastRetiredPc_ = in.u64();
+    l1_.restore(in);
+    bpred_.restore(in);
+}
+
 } // namespace tarantula::ev8

@@ -35,6 +35,7 @@
 #include "check/integrity.hh"
 #include "ev8/branch_predictor.hh"
 #include "exec/interp.hh"
+#include "snap/snapshot.hh"
 #include "trace/trace.hh"
 #include "vbox/vbox.hh"
 
@@ -151,6 +152,11 @@ class Core
     cache::L1Cache &l1() { return l1_; }
     BranchPredictor &bpred() { return bpred_; }
 
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /** Stats are restored by the Processor's whole-tree pass. */
+    void save(snap::Snapshotter &out) const;
+    void restore(snap::Restorer &in);
+
   private:
     /** ROB entry state machine flags. */
     enum class Stage : std::uint8_t
@@ -175,6 +181,8 @@ class Core
 
     RobEntry *entry(std::uint64_t seq);
     const RobEntry *entry(std::uint64_t seq) const;
+    void saveRobEntry(snap::Snapshotter &out, const RobEntry &e) const;
+    void restoreRobEntry(snap::Restorer &in, RobEntry &e) const;
     void fetchStage();
     bool fetchDrained_() const;
     void dispatchStage();

@@ -14,6 +14,7 @@
 
 #include "base/types.hh"
 #include "isa/registers.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::exec
 {
@@ -131,6 +132,43 @@ class ArchState
     active(unsigned e, bool under_mask) const
     {
         return e < vl_ && (!under_mask || vm_.test(e));
+    }
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.section("arch_state");
+        for (auto r : intRegs_)
+            out.u64(r);
+        for (auto r : fpRegs_)
+            out.u64(r);
+        for (const auto &v : vecRegs_) {
+            for (auto q : v)
+                out.u64(q);
+        }
+        out.u32(vl_);
+        out.i64(vs_);
+        for (unsigned e = 0; e < MaxVectorLength; ++e)
+            out.b(vm_.test(e));
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        in.section("arch_state");
+        for (auto &r : intRegs_)
+            r = in.u64();
+        for (auto &r : fpRegs_)
+            r = in.u64();
+        for (auto &v : vecRegs_) {
+            for (auto &q : v)
+                q = in.u64();
+        }
+        vl_ = in.u32();
+        vs_ = in.i64();
+        for (unsigned e = 0; e < MaxVectorLength; ++e)
+            vm_.set(e, in.b());
     }
 
   private:

@@ -15,6 +15,8 @@
 
 #include "base/types.hh"
 #include "isa/instruction.hh"
+#include "program/program.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::exec
 {
@@ -91,6 +93,50 @@ struct DynInst
           default:
             return 0;
         }
+    }
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /** Everything but the inst pointer, which restore() re-resolves
+     *  from the (immutable) program by pc. */
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.u64(seq);
+        out.u32(pc);
+        out.u32(nextPc);
+        out.b(taken);
+        out.u64(effAddr);
+        out.u32(vl);
+        out.i64(vs);
+        out.u32(static_cast<std::uint32_t>(vaddrs.size()));
+        for (const auto &va : vaddrs) {
+            out.u16(va.elem);
+            out.u64(va.addr);
+        }
+    }
+
+    void
+    restore(snap::Restorer &in, const program::Program &prog)
+    {
+        seq = in.u64();
+        pc = in.u32();
+        nextPc = in.u32();
+        taken = in.b();
+        effAddr = in.u64();
+        vl = in.u32();
+        vs = in.i64();
+        vaddrs.resize(in.u32());
+        for (auto &va : vaddrs) {
+            va.elem = in.u16();
+            va.addr = in.u64();
+        }
+        if (pc >= prog.size()) {
+            throw snap::SnapshotError(
+                "snapshot: dynamic instruction pc " +
+                std::to_string(pc) + " outside program of " +
+                std::to_string(prog.size()) + " instructions");
+        }
+        inst = &prog[pc];
     }
 
     /** Total "operations" in the paper's OPC accounting. */

@@ -54,6 +54,37 @@ class Interpreter
     ArchState &state() { return state_; }
     const ArchState &state() const { return state_; }
 
+    /** The program being executed (used to re-resolve DynInst::inst
+     *  pointers when restoring a snapshot). */
+    const program::Program &program() const { return prog_; }
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /** Saves the interpreter, its register state and the functional
+     *  memory image it executes against. */
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.section("interp");
+        out.u32(pc_);
+        out.u64(seq_);
+        out.b(halted_);
+        out.b(poisonTail_);
+        state_.save(out);
+        mem_.save(out);
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        in.section("interp");
+        pc_ = in.u32();
+        seq_ = in.u64();
+        halted_ = in.b();
+        poisonTail_ = in.b();
+        state_.restore(in);
+        mem_.restore(in);
+    }
+
     /**
      * When set, elements at indices >= vl of a vector-operate or
      * vector-load destination are overwritten with a canary pattern,

@@ -12,12 +12,15 @@
 #ifndef TARANTULA_EXEC_MEMORY_HH
 #define TARANTULA_EXEC_MEMORY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "base/types.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::exec
 {
@@ -105,6 +108,39 @@ class FunctionalMemory
 
     /** Number of frames currently allocated (footprint metric). */
     std::size_t numFrames() const { return frames_.size(); }
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /** Frames are saved in ascending frame order so the payload is
+     *  byte-identical regardless of allocation history. */
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.section("memory");
+        std::vector<Addr> nums;
+        nums.reserve(frames_.size());
+        for (const auto &[num, frame] : frames_)
+            nums.push_back(num);
+        std::sort(nums.begin(), nums.end());
+        out.u64(nums.size());
+        for (Addr num : nums) {
+            out.u64(num);
+            out.bytes(frames_.at(num).get(), FrameSize);
+        }
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        in.section("memory");
+        frames_.clear();
+        const std::uint64_t count = in.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const Addr num = in.u64();
+            auto frame = std::make_unique<std::uint8_t[]>(FrameSize);
+            in.bytes(frame.get(), FrameSize);
+            frames_[num] = std::move(frame);
+        }
+    }
 
   private:
     static Addr frameNum(Addr addr) { return addr >> FrameBits; }

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "base/types.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::mem
 {
@@ -40,6 +41,24 @@ struct MemRequest
     MemCmd cmd = MemCmd::ReadShared;
     std::uint64_t tag = 0;      ///< opaque requester cookie
     Cycle born = 0;             ///< enqueue cycle (lifetime checker)
+
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.u64(lineAddr);
+        out.u8(static_cast<std::uint8_t>(cmd));
+        out.u64(tag);
+        out.u64(born);
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        lineAddr = in.u64();
+        cmd = static_cast<MemCmd>(in.u8());
+        tag = in.u64();
+        born = in.u64();
+    }
 };
 
 /** A completion notification from the memory controller. */
@@ -49,6 +68,24 @@ struct MemResponse
     MemCmd cmd = MemCmd::ReadShared;
     std::uint64_t tag = 0;
     Cycle readyAt = 0;          ///< CPU cycle the data is available
+
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.u64(lineAddr);
+        out.u8(static_cast<std::uint8_t>(cmd));
+        out.u64(tag);
+        out.u64(readyAt);
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        lineAddr = in.u64();
+        cmd = static_cast<MemCmd>(in.u8());
+        tag = in.u64();
+        readyAt = in.u64();
+    }
 };
 
 } // namespace tarantula::mem

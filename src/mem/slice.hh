@@ -22,6 +22,7 @@
 
 #include "base/bitfield.hh"
 #include "base/types.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::mem
 {
@@ -64,6 +65,34 @@ struct Slice
     dataQw() const
     {
         return pump ? numValid() * QwPerLine : numValid();
+    }
+
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.u64(id);
+        out.u64(instTag);
+        out.b(isWrite);
+        out.b(pump);
+        for (const auto &e : elems) {
+            out.b(e.valid);
+            out.u16(e.elem);
+            out.u64(e.addr);
+        }
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        id = in.u64();
+        instTag = in.u64();
+        isWrite = in.b();
+        pump = in.b();
+        for (auto &e : elems) {
+            e.valid = in.b();
+            e.elem = in.u16();
+            e.addr = in.u64();
+        }
     }
 };
 

@@ -275,4 +275,56 @@ Zbox::attachTrace(trace::TraceSink &sink)
     trace_ = &sink.channel("zbox");
 }
 
+void
+Zbox::save(snap::Snapshotter &out) const
+{
+    out.section("zbox");
+    out.u64(now_);
+    out.u32(inFlight_);
+    out.u64(ports_.size());
+    for (const auto &port : ports_) {
+        out.u64(port.queue.size());
+        for (const auto &req : port.queue)
+            req.save(out);
+        out.f64(port.freeAt);
+        out.b(port.lastWasWrite);
+        out.u64(port.banks.size());
+        for (const auto &bank : port.banks) {
+            out.b(bank.open);
+            out.u64(bank.row);
+        }
+    }
+    out.u64(responses_.size());
+    for (const auto &resp : responses_)
+        resp.save(out);
+}
+
+void
+Zbox::restore(snap::Restorer &in)
+{
+    in.section("zbox");
+    now_ = in.u64();
+    inFlight_ = in.u32();
+    if (in.u64() != ports_.size())
+        throw snap::SnapshotError("snapshot: zbox port count mismatch");
+    for (auto &port : ports_) {
+        port.queue.resize(in.u64());
+        for (auto &req : port.queue)
+            req.restore(in);
+        port.freeAt = in.f64();
+        port.lastWasWrite = in.b();
+        if (in.u64() != port.banks.size()) {
+            throw snap::SnapshotError(
+                "snapshot: zbox bank count mismatch");
+        }
+        for (auto &bank : port.banks) {
+            bank.open = in.b();
+            bank.row = in.u64();
+        }
+    }
+    responses_.resize(in.u64());
+    for (auto &resp : responses_)
+        resp.restore(in);
+}
+
 } // namespace tarantula::mem

@@ -31,6 +31,7 @@
 #include "base/types.hh"
 #include "check/integrity.hh"
 #include "mem/mem_types.hh"
+#include "snap/snapshot.hh"
 #include "trace/trace.hh"
 
 namespace tarantula::mem
@@ -109,6 +110,11 @@ class Zbox
     std::uint64_t rowPrecharges() const { return precharges_.value(); }
 
     const ZboxConfig &config() const { return cfg_; }
+
+    // ---- snapshot (DESIGN.md §10) ----------------------------------
+    /** Stats are restored by the Processor's whole-tree pass. */
+    void save(snap::Snapshotter &out) const;
+    void restore(snap::Restorer &in);
 
   private:
     struct Bank

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <ostream>
+#include <sstream>
 
 #include "base/logging.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::proc
 {
@@ -134,17 +136,15 @@ Processor::quiescentUntil_(std::uint64_t max_cycles,
 }
 
 RunResult
-Processor::run(std::uint64_t max_cycles)
+Processor::run(std::uint64_t max_cycles, std::optional<Cycle> stop_at)
 {
     const auto host_start = std::chrono::steady_clock::now();
-    std::uint64_t last_retired = core_->numRetired();
-    Cycle last_progress = now_;
 
     // The engine evaluates the idle condition before the first step,
     // so a machine that is born finished -- e.g. an empty program,
     // whose interpreter starts out halted -- runs for zero cycles
     // while still constructing and draining every component.
-    while (!machineIdle_()) {
+    while (!machineIdle_() && (!stop_at || now_ < *stop_at)) {
         if (now_ >= max_cycles) {
             const std::string msg =
                 "processor '" + cfg_.name + "': exceeded " +
@@ -154,8 +154,13 @@ Processor::run(std::uint64_t max_cycles)
         }
 
         if (cfg_.fastForward) {
-            const Cycle target =
-                quiescentUntil_(max_cycles, last_progress);
+            Cycle target =
+                quiescentUntil_(max_cycles, lastProgress_);
+            // A checkpoint stop is stepped into normally, exactly like
+            // an integrity-sweep boundary, so stopping never changes
+            // what any cycle computes.
+            if (stop_at)
+                target = std::min(target, *stop_at);
             tarantula_assert(target > now_);
             if (target > now_ + 1) {
                 // Jump to the cycle *before* the event and step into
@@ -186,27 +191,33 @@ Processor::run(std::uint64_t max_cycles)
 
         // Deadlock detector: the machine must retire something every
         // so often or the model has wedged (a simulator bug).
-        if (core_->numRetired() != last_retired) {
-            last_retired = core_->numRetired();
-            last_progress = now_;
+        if (core_->numRetired() != lastRetired_) {
+            lastRetired_ = core_->numRetired();
+            lastProgress_ = now_;
         } else if (cfg_.deadlockCycles &&
-                   now_ - last_progress > cfg_.deadlockCycles) {
+                   now_ - lastProgress_ > cfg_.deadlockCycles) {
             panic("processor '%s': no retirement in %llu cycles "
                   "(pc=%u retired=%llu)",
                   cfg_.name.c_str(),
                   static_cast<unsigned long long>(cfg_.deadlockCycles),
                   interp_->pc(),
-                  static_cast<unsigned long long>(last_retired));
+                  static_cast<unsigned long long>(lastRetired_));
         }
     }
 
-    // A final sweep catches violations only visible in the end state
-    // (e.g. a transaction that never completed but stopped aging).
-    if (integrity_->checksEnabled())
-        integrity_->registry().runAll(now_);
-    // And a final partial sample so the timeseries covers the tail.
-    if (sampler_)
-        sampler_->finishRun(now_);
+    // End-of-run finalization only when the machine truly drained; a
+    // checkpoint stop leaves the tail sweep and the final partial
+    // sample to the run (original or resumed) that reaches the end.
+    if (machineIdle_()) {
+        // A final sweep catches violations only visible in the end
+        // state (e.g. a transaction that never completed but stopped
+        // aging).
+        if (integrity_->checksEnabled())
+            integrity_->registry().runAll(now_);
+        // And a final partial sample so the timeseries covers the tail.
+        if (sampler_)
+            sampler_->finishRun(now_);
+    }
 
     RunResult r;
     r.machine = cfg_.name;
@@ -227,6 +238,262 @@ Processor::run(std::uint64_t max_cycles)
             std::chrono::steady_clock::now() - host_start)
             .count();
     return r;
+}
+
+// ---- snapshot/restore (DESIGN.md §10) --------------------------------
+
+std::uint64_t
+Processor::configDigest(const MachineConfig &cfg)
+{
+    // Canonical serialization of every knob that can change what the
+    // machine computes, hashed. Deliberately excluded: fastForward
+    // (both engines are bit-identical by contract, and resuming a
+    // stepped snapshot under the fast-forward engine is a supported
+    // cross-check) and the trace config (observability is read-only,
+    // so one warmed snapshot can fan across a tracing/sampling grid).
+    std::ostringstream os;
+    snap::Snapshotter out(os);
+    out.str(cfg.name);
+    out.f64(cfg.freqGhz);
+    out.b(cfg.hasVbox);
+    out.u64(cfg.deadlockCycles);
+
+    // Integrity: the fault plan rewrites machine behaviour, and the
+    // checker knobs decide which cycles panic; forensics/ringEntries
+    // are pure observability and stay out.
+    out.b(cfg.integrity.checks);
+    out.u32(cfg.integrity.checkInterval);
+    out.u64(cfg.integrity.maxTransactionAge);
+    out.u64(cfg.integrity.faults.size());
+    for (const auto &ev : cfg.integrity.faults.events()) {
+        out.u8(static_cast<std::uint8_t>(ev.kind));
+        out.u64(ev.start);
+        out.u64(ev.duration);
+        out.u64(ev.arg);
+    }
+
+    const auto &c = cfg.core;
+    out.u32(c.fetchWidth);
+    out.u32(c.frontendDepth);
+    out.u32(c.robSize);
+    out.u32(c.intIssueWidth);
+    out.u32(c.fpIssueWidth);
+    out.u32(c.loadPorts);
+    out.u32(c.storePorts);
+    out.u32(c.vecDispatchWidth);
+    out.u32(c.retireWidth);
+    out.u32(c.mispredictPenalty);
+    out.u32(c.bpTableBits);
+    out.u32(c.intLatency);
+    out.u32(c.mulLatency);
+    out.u32(c.fpLatency);
+    out.u32(c.divLatency);
+    out.u32(c.sqrtLatency);
+    out.u32(c.l1HitLatency);
+    out.u32(c.l1MafEntries);
+    out.u32(c.writeBufferEntries);
+    out.u64(c.l1.sizeBytes);
+    out.u32(c.l1.assoc);
+
+    const auto &v = cfg.vbox;
+    out.u32(v.dispatchBusWidth);
+    out.u32(v.vecFpLatency);
+    out.u32(v.vecIntLatency);
+    out.u32(v.vecDivLatency);
+    out.u32(v.scalarBusDelay);
+    out.u32(v.chainLatency);
+    out.u32(v.memQueueEntries);
+    out.b(v.slicer.pumpEnabled);
+    out.b(v.slicer.forceCrBox);
+    out.u32(v.slicer.crWindow);
+    out.u32(v.tlb.entries);
+    out.u32(v.tlb.assoc);
+    out.u32(v.tlb.pageBits);
+    out.u8(static_cast<std::uint8_t>(v.refill));
+
+    const auto &l = cfg.l2;
+    out.u64(l.sizeBytes);
+    out.u32(l.assoc);
+    out.u32(l.hitLatency);
+    out.u32(l.scalarHitLatency);
+    out.u32(l.mafEntries);
+    out.u32(l.retryThreshold);
+    out.u32(l.pumpStreamCycles);
+    out.u32(l.invalidatePenalty);
+
+    const auto &z = cfg.zbox;
+    out.u32(z.numPorts);
+    out.f64(z.cpuPerMemClock);
+    out.u32(z.lineXferMemClocks);
+    out.u32(z.dirMemClocks);
+    out.u32(z.activateMemClocks);
+    out.u32(z.prechargeMemClocks);
+    out.u32(z.turnaroundMemClocks);
+    out.u32(z.banksPerPort);
+    out.u32(z.rowBytes);
+    out.u32(z.portQueueDepth);
+    out.u64(z.baseLatency);
+
+    const std::string bytes = os.str();
+    return snap::fnv1a(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint64_t>
+Processor::statsWords_() const
+{
+    std::vector<std::uint64_t> words;
+    statRoot_.serializeValues(words);
+    return words;
+}
+
+std::uint64_t
+Processor::statsDigest() const
+{
+    const auto words = statsWords_();
+    return snap::fnv1a(words.data(),
+                       words.size() * sizeof(std::uint64_t));
+}
+
+void
+Processor::snapshot(const std::string &path,
+                    const std::string &workload) const
+{
+    std::ostringstream os;
+    snap::Snapshotter out(os);
+
+    out.section("proc");
+    out.u64(now_);
+    out.u64(lastRetired_);
+    out.u64(lastProgress_);
+    // Host observability, outside the bit-identical contract (a
+    // checkpoint stop clamps a jump a straight run would take whole);
+    // carried anyway so cumulative counts survive the resume.
+    out.u64(ffJumps_);
+    out.u64(ffSkipped_);
+
+    interp_->save(out);
+    zbox_->save(out);
+    l2_->save(out);
+    if (vbox_)
+        vbox_->save(out);
+    core_->save(out);
+
+    // The fault plan's presence is implied by the config digest, but
+    // an explicit flag keeps the payload self-describing.
+    const check::FaultPlan *faults = integrity_->faults();
+    out.b(faults != nullptr);
+    if (faults)
+        faults->save(out);
+
+    // The whole stats tree in one pass (components skip their own
+    // stats in save() precisely so nothing is written twice).
+    const auto words = statsWords_();
+    out.section("stats");
+    out.u64(words.size());
+    for (std::uint64_t w : words)
+        out.u64(w);
+
+    out.b(sampler_ != nullptr);
+    if (sampler_)
+        sampler_->save(out);
+
+    snap::SnapshotManifest m;
+    m.machine = cfg_.name;
+    m.configHash = configDigest(cfg_);
+    m.workload = workload;
+    m.cycle = now_;
+    m.statsDigest =
+        snap::fnv1a(words.data(), words.size() * sizeof(std::uint64_t));
+    snap::writeSnapshotFile(path, m, os.str());
+}
+
+void
+Processor::restoreFrom(const std::string &path)
+{
+    snap::SnapshotManifest m;
+    std::string payload;
+    snap::readSnapshotFile(path, m, payload);
+
+    const std::uint64_t expect = configDigest(cfg_);
+    if (m.configHash != expect) {
+        throw snap::SnapshotError(
+            "snapshot: machine config mismatch: '" + path +
+            "' was taken on machine '" + m.machine + "' (config hash " +
+            std::to_string(m.configHash) + "), but this processor is '" +
+            cfg_.name + "' (config hash " + std::to_string(expect) +
+            ")");
+    }
+
+    std::istringstream is(payload);
+    snap::Restorer in(is);
+
+    in.section("proc");
+    now_ = in.u64();
+    setPanicCycle(now_);
+    lastRetired_ = in.u64();
+    lastProgress_ = in.u64();
+    ffJumps_ = in.u64();
+    ffSkipped_ = in.u64();
+
+    interp_->restore(in);
+    zbox_->restore(in);
+    l2_->restore(in);
+    if (vbox_)
+        vbox_->restore(in);
+    core_->restore(in);
+
+    const bool hasFaults = in.b();
+    check::FaultPlan *faults = integrity_->faults();
+    if (hasFaults != (faults != nullptr)) {
+        // Unreachable when the config digest matched (the fault plan
+        // is hashed), but a self-describing payload checks anyway.
+        throw snap::SnapshotError(
+            "snapshot: fault plan presence mismatch (snapshot " +
+            std::string(hasFaults ? "has" : "lacks") +
+            " one, this machine " + (faults ? "has" : "lacks") +
+            " one)");
+    }
+    if (faults)
+        faults->restore(in);
+
+    in.section("stats");
+    std::vector<std::uint64_t> words(in.u64());
+    for (auto &w : words)
+        w = in.u64();
+    const std::uint64_t digest =
+        snap::fnv1a(words.data(), words.size() * sizeof(std::uint64_t));
+    if (digest != m.statsDigest) {
+        throw snap::SnapshotError(
+            "snapshot: stats digest mismatch (manifest says " +
+            std::to_string(m.statsDigest) + ", payload hashes to " +
+            std::to_string(digest) + ")");
+    }
+    if (!statRoot_.deserializeValues(words)) {
+        throw snap::SnapshotError(
+            "snapshot: stats tree shape mismatch ('" + path +
+            "' was written by a machine with a different statistics "
+            "tree)");
+    }
+
+    const bool hasSampler = in.b();
+    if (hasSampler && sampler_) {
+        sampler_->restore(in);
+    } else if (hasSampler) {
+        // Snapshot sampled, this run does not: skim past the rows.
+        // Resuming with sampling *enabled* from an unsampled snapshot
+        // is also allowed -- the timeseries then covers the resumed
+        // tail only -- so the sampler sits outside the config digest.
+        in.section("sampler");
+        in.u64();                   // every
+        in.b();                     // finished
+        in.u64();                   // numStats
+        const std::uint64_t rows = in.u64();
+        for (std::uint64_t i = 0; i < rows; ++i)
+            in.u64();
+        const std::uint64_t vals = in.u64();
+        for (std::uint64_t i = 0; i < vals; ++i)
+            in.u64();
+    }
 }
 
 } // namespace tarantula::proc

@@ -10,6 +10,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "base/statistics.hh"
@@ -21,6 +22,7 @@
 #include "mem/zbox.hh"
 #include "proc/machine_config.hh"
 #include "program/program.hh"
+#include "snap/snapshot_file.hh"
 #include "trace/sampler.hh"
 #include "trace/trace.hh"
 #include "vbox/vbox.hh"
@@ -111,11 +113,61 @@ class Processor
      * unless `cfg.fastForward` is off, in which case every cycle is
      * stepped. Results are bit-identical either way.
      * @param max_cycles  Safety bound; throws TimeoutError beyond it.
+     * @param stop_at     Optional checkpoint stop: return as soon as
+     *                    now() reaches this cycle (the machine is NOT
+     *                    idle then; call run() again, or snapshot()
+     *                    first). Fast-forward jumps clamp to it, so
+     *                    the stop cycle itself is stepped normally and
+     *                    stopping never perturbs timing.
      */
-    RunResult run(std::uint64_t max_cycles = 1ULL << 32);
+    RunResult run(std::uint64_t max_cycles = 1ULL << 32,
+                  std::optional<Cycle> stop_at = std::nullopt);
 
     /** Advance a single cycle (tests drive fine-grained scenarios). */
     void step();
+
+    /** Current cycle. */
+    Cycle now() const { return now_; }
+
+    /** True when every component has drained: the run is over. */
+    bool finished() const { return machineIdle_(); }
+
+    // ---- snapshot/restore (DESIGN.md §10) ----------------------------
+    /**
+     * Serialize the complete machine state -- architectural (registers,
+     * memory image, PC) and microarchitectural (every pipeline buffer,
+     * cache tag, TLB entry, DRAM bank row, the full stats tree) -- into
+     * a tarantula.snapshot.v1 file, written atomically.
+     *
+     * @param path      Destination file.
+     * @param workload  Workload name recorded in the manifest
+     *                  (informational; warm-start matching uses it).
+     */
+    void snapshot(const std::string &path,
+                  const std::string &workload = "") const;
+
+    /**
+     * Restore the machine from a snapshot file. The processor must be
+     * freshly constructed from the same MachineConfig the snapshot was
+     * taken under (enforced by config hash) with the same program and
+     * workload-initialized memory; the memory image is then replaced
+     * by the snapshot's.
+     *
+     * @throws snap::SnapshotError on any mismatched, truncated or
+     *         corrupt file -- never a panic.
+     */
+    void restoreFrom(const std::string &path);
+
+    /**
+     * FNV-1a digest over the timing-relevant machine configuration
+     * (everything except the fast-forward engine switch and the
+     * observability knobs, which are bit-identical by contract and so
+     * may differ between snapshot and resume).
+     */
+    static std::uint64_t configDigest(const MachineConfig &cfg);
+
+    /** Digest of the serialized stats tree (manifest cross-check). */
+    std::uint64_t statsDigest() const;
 
     cache::L2Cache &l2() { return *l2_; }
     mem::Zbox &zbox() { return *zbox_; }
@@ -160,6 +212,8 @@ class Processor
      */
     Cycle quiescentUntil_(std::uint64_t max_cycles,
                           Cycle last_progress) const;
+    /** The serialized stats-tree words (payload + digest source). */
+    std::vector<std::uint64_t> statsWords_() const;
 
     MachineConfig cfg_;
     stats::StatGroup statRoot_;
@@ -177,6 +231,11 @@ class Processor
     // Fast-forward observability (not statistics; see RunResult).
     std::uint64_t ffJumps_ = 0;
     std::uint64_t ffSkipped_ = 0;
+    // Deadlock-watchdog state. Members (serialized), not run() locals:
+    // a resumed run's watchdog must panic on exactly the cycle the
+    // straight run's would.
+    std::uint64_t lastRetired_ = 0;
+    Cycle lastProgress_ = 0;
 };
 
 } // namespace tarantula::proc

@@ -1,0 +1,152 @@
+#include "sim/batch_manifest.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "snap/snapshot.hh"
+#include "trace/json_reader.hh"
+
+namespace tarantula::sim
+{
+
+namespace fs = std::filesystem;
+
+BatchManifest::BatchManifest(const std::string &dir) : dir_(dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        fatal("batch manifest: cannot create '%s': %s", dir_.c_str(),
+              ec.message().c_str());
+    }
+}
+
+std::string
+BatchManifest::jobKey(const Job &job)
+{
+    // Canonical knob serialization, hashed. Everything that changes
+    // what the job computes or what its record contains belongs here:
+    // two jobs with the same key must be interchangeable.
+    std::ostringstream os;
+    snap::Snapshotter knobs(os);
+    knobs.b(job.noPump);
+    knobs.b(job.forceCrBox);
+    knobs.b(job.check);
+    knobs.b(job.fastForward);
+    knobs.u64(job.deadlockCycles);
+    knobs.u64(job.maxCycles);
+    knobs.u64(job.seed);
+    knobs.b(job.trace);
+    knobs.u64(job.sampleEvery);
+    knobs.str(job.sampleStats);
+    knobs.str(job.resumeFrom);
+    const std::string bytes = os.str();
+    const std::uint64_t hash = snap::fnv1a(bytes.data(), bytes.size());
+
+    std::string stem = job.machine + "_" + job.workload;
+    for (char &c : stem) {
+        if (c == '+')
+            c = 'p';            // EV8+ -> EV8p: filesystem-safe
+        else if (c == '/' || c == '\\' || c == ' ')
+            c = '_';
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return stem + "_" + hex;
+}
+
+std::string
+BatchManifest::path_(const Job &job) const
+{
+    return (fs::path(dir_) / (jobKey(job) + ".job.json")).string();
+}
+
+bool
+BatchManifest::has(const Job &job) const
+{
+    std::error_code ec;
+    return fs::is_regular_file(path_(job), ec);
+}
+
+bool
+BatchManifest::load(const Job &job, BatchRecord &rec) const
+{
+    std::ifstream in(path_(job), std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    // Stored with one trailing newline; the spliced form has none.
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == '\r'))
+        text.pop_back();
+    if (text.empty())
+        return false;
+
+    // Parse just enough to rebuild the batch-level summary (status
+    // counts and the failure list); the record itself is spliced into
+    // the report verbatim.
+    trace::JsonValue doc;
+    try {
+        doc = trace::parseJson(text);
+    } catch (const trace::JsonParseError &) {
+        return false;       // damaged entry: re-run the job
+    }
+    const trace::JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->str != JobSchemaTag)
+        return false;
+    const trace::JsonValue *status = doc.find("status");
+    if (!status || !status->isString())
+        return false;
+    if (status->str == "ok")
+        rec.status = JobStatus::Ok;
+    else if (status->str == "timed_out")
+        rec.status = JobStatus::TimedOut;
+    else if (status->str == "failed")
+        rec.status = JobStatus::Failed;
+    else
+        return false;
+
+    rec.recordJson = text;
+    rec.machine = job.machine;
+    rec.workload = job.workload;
+    rec.message.clear();
+    if (const trace::JsonValue *msg = doc.find("message");
+        msg && msg->isString())
+        rec.message = msg->str;
+    return true;
+}
+
+void
+BatchManifest::store(const Job &job, const BatchRecord &rec) const
+{
+    const std::string path = path_(job);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            fatal("batch manifest: cannot write '%s'", tmp.c_str());
+        }
+        out << rec.recordJson << "\n";
+        out.flush();
+        if (!out) {
+            fatal("batch manifest: short write to '%s'", tmp.c_str());
+        }
+    }
+    // Rename-into-place: a kill between jobs leaves complete records
+    // only, so the resume pass never trusts a torn file.
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fatal("batch manifest: cannot rename '%s' into place: %s",
+              tmp.c_str(), ec.message().c_str());
+    }
+}
+
+} // namespace tarantula::sim

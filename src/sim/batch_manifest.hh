@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The batch manifest: SimFarm's crash-resume store (DESIGN.md §10).
+ *
+ * A manifest is a directory holding one tarantula.job.v1 record per
+ * completed job, keyed by the job's identity (machine, workload and
+ * the full knob tuple, hashed). tarantula_batch --manifest DIR writes
+ * each record there as the job finishes (temp file + rename, so a kill
+ * mid-write never leaves a half record) and, on a rerun of the same
+ * sweep, loads the stored records instead of re-running their jobs.
+ * Stored records are spliced into the final batch document verbatim,
+ * and manifest mode forces deterministic records (host timing zeroed),
+ * so an interrupted-then-resumed batch produces a byte-identical
+ * report to an uninterrupted one.
+ */
+
+#ifndef TARANTULA_SIM_BATCH_MANIFEST_HH
+#define TARANTULA_SIM_BATCH_MANIFEST_HH
+
+#include <string>
+
+#include "sim/job.hh"
+#include "sim/result_sink.hh"
+
+namespace tarantula::sim
+{
+
+/** A directory of per-job result records; see file comment. */
+class BatchManifest
+{
+  public:
+    /** Opens (creating if needed) the manifest directory. */
+    explicit BatchManifest(const std::string &dir);
+
+    /**
+     * The job's identity under the manifest: a human-greppable
+     * "<machine>_<workload>_<knobhash>" stem ('+' becomes 'p', as in
+     * trace file names) where the 16-hex-digit hash covers every knob
+     * that changes what the job computes or records.
+     */
+    static std::string jobKey(const Job &job);
+
+    /** True when a completed record for @p job is stored. */
+    bool has(const Job &job) const;
+
+    /**
+     * Load @p job's stored record. Returns false when absent; an
+     * unreadable or unparsable file also returns false (the job is
+     * simply re-run -- a damaged manifest entry costs time, never
+     * correctness).
+     */
+    bool load(const Job &job, BatchRecord &rec) const;
+
+    /** Store a completed record atomically (temp file + rename). */
+    void store(const Job &job, const BatchRecord &rec) const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string path_(const Job &job) const;
+
+    std::string dir_;
+};
+
+} // namespace tarantula::sim
+
+#endif // TARANTULA_SIM_BATCH_MANIFEST_HH

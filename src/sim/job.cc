@@ -76,9 +76,17 @@ runJob(const Job &job)
 
         const auto &prog = cfg.hasVbox ? w->vectorProg : w->scalarProg;
         cpu = std::make_unique<proc::Processor>(cfg, prog, mem);
-        for (const auto &r : w->warmRanges) {
-            for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
-                cpu->l2().warmLine(r.base + o);
+        if (job.resumeFrom.empty()) {
+            for (const auto &r : w->warmRanges) {
+                for (std::uint64_t o = 0; o < r.bytes;
+                     o += CacheLineBytes)
+                    cpu->l2().warmLine(r.base + o);
+            }
+        } else {
+            // Warm start: the whole machine state -- including the L2
+            // content the warmRanges loop would have seeded, and the
+            // memory image w->init() wrote -- comes from the snapshot.
+            cpu->restoreFrom(job.resumeFrom);
         }
 
         result.run = cpu->run(job.maxCycles);

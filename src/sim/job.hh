@@ -43,6 +43,14 @@ struct Job
     bool trace = false;            ///< collect Chrome trace events
     std::uint64_t sampleEvery = 0; ///< stats snapshot interval; 0 = off
     std::string sampleStats;       ///< CSV of stat-name prefixes ("" = all)
+    /**
+     * Warm-start (DESIGN.md §10): restore the machine from this
+     * tarantula.snapshot.v1 file before running, instead of starting
+     * at cycle 0. Empty = cold start. The snapshot's config hash must
+     * match the job's machine; a mismatched or damaged file fails the
+     * job with the SnapshotError message, never the batch.
+     */
+    std::string resumeFrom;
 };
 
 /** Terminal state of one job. */

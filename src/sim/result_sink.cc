@@ -1,5 +1,7 @@
 #include "sim/result_sink.hh"
 
+#include <sstream>
+
 #include "sim/json.hh"
 
 namespace tarantula::sim
@@ -9,7 +11,8 @@ namespace
 {
 
 void
-writeJobRecordBody(JsonWriter &w, const JobResult &result)
+writeJobRecordBody(JsonWriter &w, const JobResult &result,
+                   bool deterministic)
 {
     w.beginObject();
     w.key("schema").value(JobSchemaTag);
@@ -27,12 +30,16 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result)
     w.key("trace").value(result.job.trace);
     w.key("sampleEvery").value(result.job.sampleEvery);
     w.key("sampleStats").value(result.job.sampleStats);
+    // Only when set, so cold-start records keep their exact old bytes.
+    if (!result.job.resumeFrom.empty())
+        w.key("resumeFrom").value(result.job.resumeFrom);
     w.endObject();
 
     w.key("status").value(toString(result.status));
     if (!result.message.empty())
         w.key("message").value(result.message);
-    w.key("hostSeconds").value(result.hostSeconds);
+    w.key("hostSeconds").value(deterministic ? 0.0
+                                             : result.hostSeconds);
     if (!result.forensicsJson.empty())
         w.key("forensics").raw(result.forensicsJson);
 
@@ -53,8 +60,9 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result)
         w.key("seconds").value(r.seconds());
         // Host-performance observability (outside the stats tree so
         // the stats bytes stay mode- and machine-load-independent).
-        w.key("hostMillis").value(r.hostMillis);
-        w.key("simCyclesPerHostSec").value(r.simCyclesPerHostSec());
+        w.key("hostMillis").value(deterministic ? 0.0 : r.hostMillis);
+        w.key("simCyclesPerHostSec")
+            .value(deterministic ? 0.0 : r.simCyclesPerHostSec());
         w.key("ffJumps").value(r.ffJumps);
         w.key("ffSkippedCycles").value(r.ffSkippedCycles);
         w.endObject();
@@ -69,52 +77,118 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result)
     w.endObject();
 }
 
+void
+writeBatchManifest(JsonWriter &w, std::size_t jobs, unsigned threads,
+                   double wall_seconds, double serial_seconds,
+                   std::size_t num_ok, std::size_t num_timed_out,
+                   std::size_t num_failed,
+                   const std::vector<BatchRecord> &failures)
+{
+    w.key("manifest").beginObject();
+    w.key("jobs").value(std::uint64_t{jobs});
+    w.key("threads").value(threads);
+    w.key("wallSeconds").value(wall_seconds);
+    w.key("serialSeconds").value(serial_seconds);
+    w.key("speedupVsSerial")
+        .value(wall_seconds > 0.0 ? serial_seconds / wall_seconds
+                                  : 0.0);
+    w.key("ok").value(std::uint64_t{num_ok});
+    w.key("timedOut").value(std::uint64_t{num_timed_out});
+    w.key("failed").value(std::uint64_t{num_failed});
+    w.key("failures").beginArray();
+    for (const auto &f : failures) {
+        w.beginObject();
+        w.key("machine").value(f.machine);
+        w.key("workload").value(f.workload);
+        w.key("status").value(toString(f.status));
+        w.key("message").value(f.message);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 } // anonymous namespace
 
 void
-writeJobRecord(std::ostream &os, const JobResult &result)
+writeJobRecord(std::ostream &os, const JobResult &result,
+               bool deterministic)
 {
     JsonWriter w(os);
-    writeJobRecordBody(w, result);
+    writeJobRecordBody(w, result, deterministic);
     os << "\n";
 }
 
+BatchRecord
+toBatchRecord(const JobResult &result, bool deterministic)
+{
+    BatchRecord rec;
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeJobRecordBody(w, result, deterministic);
+    rec.recordJson = os.str();
+    rec.machine = result.job.machine;
+    rec.workload = result.job.workload;
+    rec.status = result.status;
+    rec.message = result.message;
+    return rec;
+}
+
 void
-writeBatchReport(std::ostream &os, const BatchResult &batch)
+writeBatchReport(std::ostream &os, const BatchResult &batch,
+                 bool deterministic)
 {
     JsonWriter w(os);
     w.beginObject();
     w.key("schema").value(BatchSchemaTag);
 
-    w.key("manifest").beginObject();
-    w.key("jobs").value(std::uint64_t{batch.jobs.size()});
-    w.key("threads").value(batch.threads);
-    w.key("wallSeconds").value(batch.wallSeconds);
-    w.key("serialSeconds").value(batch.serialSeconds);
-    w.key("speedupVsSerial").value(batch.speedupVsSerial());
-    w.key("ok").value(
-        std::uint64_t{batch.count(JobStatus::Ok)});
-    w.key("timedOut").value(
-        std::uint64_t{batch.count(JobStatus::TimedOut)});
-    w.key("failed").value(
-        std::uint64_t{batch.count(JobStatus::Failed)});
-    w.key("failures").beginArray();
+    std::vector<BatchRecord> failures;
     for (const auto &r : batch.jobs) {
-        if (r.ok())
-            continue;
-        w.beginObject();
-        w.key("machine").value(r.job.machine);
-        w.key("workload").value(r.job.workload);
-        w.key("status").value(toString(r.status));
-        w.key("message").value(r.message);
-        w.endObject();
+        if (!r.ok())
+            failures.push_back(toBatchRecord(r, deterministic));
     }
-    w.endArray();
-    w.endObject();
+    writeBatchManifest(w, batch.jobs.size(), batch.threads,
+                       deterministic ? 0.0 : batch.wallSeconds,
+                       deterministic ? 0.0 : batch.serialSeconds,
+                       batch.count(JobStatus::Ok),
+                       batch.count(JobStatus::TimedOut),
+                       batch.count(JobStatus::Failed), failures);
 
     w.key("jobs").beginArray();
     for (const auto &r : batch.jobs)
-        writeJobRecordBody(w, r);
+        writeJobRecordBody(w, r, deterministic);
+    w.endArray();
+
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeBatchRecords(std::ostream &os,
+                  const std::vector<BatchRecord> &records,
+                  unsigned threads)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(BatchSchemaTag);
+
+    std::size_t num_ok = 0, num_timed_out = 0, num_failed = 0;
+    std::vector<BatchRecord> failures;
+    for (const auto &r : records) {
+        switch (r.status) {
+          case JobStatus::Ok:       ++num_ok; break;
+          case JobStatus::TimedOut: ++num_timed_out; break;
+          case JobStatus::Failed:   ++num_failed; break;
+        }
+        if (r.status != JobStatus::Ok)
+            failures.push_back(r);
+    }
+    writeBatchManifest(w, records.size(), threads, 0.0, 0.0, num_ok,
+                       num_timed_out, num_failed, failures);
+
+    w.key("jobs").beginArray();
+    for (const auto &r : records)
+        w.raw(r.recordJson);
     w.endArray();
 
     w.endObject();

@@ -15,6 +15,8 @@
 #define TARANTULA_SIM_RESULT_SINK_HH
 
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "sim/sim_farm.hh"
 
@@ -28,8 +30,29 @@ inline constexpr const char *BatchSchemaTag = "tarantula.batch.v1";
 /**
  * Write one job's record as a JSON object: the job spec, status,
  * metrics (when the run completed) and the full statistics tree.
+ *
+ * @param deterministic  Zero the host-performance fields (hostSeconds,
+ *        hostMillis, simCyclesPerHostSec -- keys kept, values 0) so
+ *        the record depends only on the simulation, byte for byte.
+ *        The batch-manifest resume machinery relies on this: a stored
+ *        record and a re-run of the same job must be identical.
  */
-void writeJobRecord(std::ostream &os, const JobResult &result);
+void writeJobRecord(std::ostream &os, const JobResult &result,
+                    bool deterministic = false);
+
+/** One job's contribution to a batch document. */
+struct BatchRecord
+{
+    /** The tarantula.job.v1 object, no trailing newline. */
+    std::string recordJson;
+    std::string machine;
+    std::string workload;
+    JobStatus status = JobStatus::Failed;
+    std::string message;
+};
+
+/** Extract a BatchRecord from a fresh result. */
+BatchRecord toBatchRecord(const JobResult &result, bool deterministic);
 
 /**
  * Write a whole batch as one JSON document: a manifest with
@@ -37,7 +60,20 @@ void writeJobRecord(std::ostream &os, const JobResult &result);
  * (including a compact failure list), then one record per job in
  * submission order.
  */
-void writeBatchReport(std::ostream &os, const BatchResult &batch);
+void writeBatchReport(std::ostream &os, const BatchResult &batch,
+                      bool deterministic = false);
+
+/**
+ * The same document assembled from pre-serialized records -- the
+ * batch-manifest resume path, where completed jobs' records are read
+ * back from disk verbatim and spliced next to freshly run ones. Always
+ * deterministic (wallSeconds/serialSeconds zeroed): the whole point is
+ * that an interrupted-then-resumed batch and an uninterrupted one
+ * produce byte-identical documents.
+ */
+void writeBatchRecords(std::ostream &os,
+                       const std::vector<BatchRecord> &records,
+                       unsigned threads);
 
 } // namespace tarantula::sim
 

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The snapshot byte codec: Snapshotter (writer) and Restorer (reader)
+ * plus the typed error every snapshot failure surfaces as.
+ *
+ * Every component implements the save/restore contract against these
+ * two classes (DESIGN.md §10):
+ *
+ *     void save(snap::Snapshotter &out) const;
+ *     void restore(snap::Restorer &in);
+ *
+ * The codec is deliberately dumb: little-endian fixed-width integers,
+ * doubles as bit patterns, strings as u32 length + bytes, and named
+ * section markers so a reader that drifts out of sync fails on the
+ * next marker with a message naming both sections instead of
+ * deserializing garbage. It is header-only and depends only on
+ * src/base so any component can include it without a link cycle; the
+ * file container (manifest, checksum, temp-file + rename) lives in
+ * snapshot_file.hh on top of it.
+ *
+ * Restore failures throw SnapshotError -- a FatalError, not a
+ * PanicError: a bad snapshot file is an input problem, never a
+ * simulator bug.
+ */
+
+#ifndef TARANTULA_SNAP_SNAPSHOT_HH
+#define TARANTULA_SNAP_SNAPSHOT_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace tarantula::snap
+{
+
+/** Any snapshot save/restore failure: bad file, wrong machine, ... */
+class SnapshotError : public FatalError
+{
+  public:
+    explicit SnapshotError(const std::string &what) : FatalError(what) {}
+};
+
+/** FNV-1a over a byte range; used for payload checksums and digests. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t len,
+      std::uint64_t hash = 0xcbf29ce484222325ULL)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/** Serializes component state into a byte stream. */
+class Snapshotter
+{
+  public:
+    explicit Snapshotter(std::ostream &os) : os_(os) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        os_.put(static_cast<char>(v));
+    }
+
+    void u16(std::uint16_t v) { writeLE(v, 2); }
+    void u32(std::uint32_t v) { writeLE(v, 4); }
+    void u64(std::uint64_t v) { writeLE(v, 8); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    void
+    bytes(const void *data, std::size_t len)
+    {
+        os_.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(len));
+    }
+
+    /**
+     * Open a named section. Markers cost a few bytes and buy
+     * structural errors: a reader that has drifted reports "expected
+     * section X, found Y" instead of silently misinterpreting state.
+     */
+    void
+    section(const std::string &name)
+    {
+        u32(SectionMagic);
+        str(name);
+    }
+
+  private:
+    static constexpr std::uint32_t SectionMagic = 0x534e4150; // "SNAP"
+
+    void
+    writeLE(std::uint64_t v, int n)
+    {
+        char buf[8];
+        for (int i = 0; i < n; ++i)
+            buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+        os_.write(buf, n);
+    }
+
+    std::ostream &os_;
+};
+
+/** Deserializes component state; every underrun is a SnapshotError. */
+class Restorer
+{
+  public:
+    explicit Restorer(std::istream &is) : is_(is) {}
+
+    std::uint8_t
+    u8()
+    {
+        return static_cast<std::uint8_t>(readLE(1));
+    }
+
+    std::uint16_t u16() { return static_cast<std::uint16_t>(readLE(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(readLE(4)); }
+    std::uint64_t u64() { return readLE(8); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64() { return std::bit_cast<double>(u64()); }
+    bool b() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        std::string s(len, '\0');
+        if (len != 0)
+            is_.read(s.data(), static_cast<std::streamsize>(len));
+        checkStream("string");
+        return s;
+    }
+
+    void
+    bytes(void *data, std::size_t len)
+    {
+        is_.read(static_cast<char *>(data),
+                 static_cast<std::streamsize>(len));
+        checkStream("bytes");
+    }
+
+    /** Consume a section marker; throws naming both sides on drift. */
+    void
+    section(const std::string &name)
+    {
+        const std::uint32_t magic = u32();
+        if (magic != SectionMagic) {
+            throw SnapshotError(
+                "snapshot: expected section '" + name +
+                "', found no section marker (corrupt or out-of-sync "
+                "payload)");
+        }
+        const std::string found = str();
+        if (found != name) {
+            throw SnapshotError("snapshot: expected section '" + name +
+                                "', found section '" + found + "'");
+        }
+    }
+
+  private:
+    static constexpr std::uint32_t SectionMagic = 0x534e4150; // "SNAP"
+
+    std::uint64_t
+    readLE(int n)
+    {
+        char buf[8] = {};
+        is_.read(buf, n);
+        checkStream("integer");
+        std::uint64_t v = 0;
+        for (int i = 0; i < n; ++i) {
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(buf[i]))
+                 << (8 * i);
+        }
+        return v;
+    }
+
+    void
+    checkStream(const char *what)
+    {
+        if (!is_) {
+            throw SnapshotError(
+                std::string("snapshot: payload ended while reading ") +
+                what + " (truncated file?)");
+        }
+    }
+
+    std::istream &is_;
+};
+
+} // namespace tarantula::snap
+
+#endif // TARANTULA_SNAP_SNAPSHOT_HH

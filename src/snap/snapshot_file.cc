@@ -1,0 +1,210 @@
+#include "snap/snapshot_file.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/json.hh"
+#include "trace/json_reader.hh"
+
+namespace tarantula::snap
+{
+
+namespace
+{
+
+constexpr char Magic[6] = {'T', 'S', 'N', 'A', 'P', '\n'};
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::uint64_t
+parseHex64(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+std::string
+manifestJson(const SnapshotManifest &m)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(SnapshotSchemaTag);
+    w.key("machine").value(m.machine);
+    // Hashes as hex strings: JSON numbers are doubles downstream and
+    // would silently round a 64-bit digest.
+    w.key("configHash").value(hex64(m.configHash));
+    w.key("workload").value(m.workload);
+    w.key("cycle").value(static_cast<std::uint64_t>(m.cycle));
+    w.key("statsDigest").value(hex64(m.statsDigest));
+    w.key("payloadBytes").value(m.payloadBytes);
+    w.endObject();
+    return os.str();
+}
+
+SnapshotManifest
+parseManifest(const std::string &text, const std::string &path)
+{
+    trace::JsonValue doc;
+    try {
+        doc = trace::parseJson(text);
+    } catch (const trace::JsonParseError &e) {
+        throw SnapshotError("snapshot '" + path +
+                            "': malformed manifest JSON: " + e.what());
+    }
+    const auto *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->str != SnapshotSchemaTag) {
+        throw SnapshotError("snapshot '" + path +
+                            "': manifest schema is not '" +
+                            SnapshotSchemaTag + "'");
+    }
+    SnapshotManifest m;
+    auto strField = [&](const char *key) -> std::string {
+        const auto *v = doc.find(key);
+        if (v == nullptr || !v->isString()) {
+            throw SnapshotError("snapshot '" + path +
+                                "': manifest missing string field '" +
+                                key + "'");
+        }
+        return v->str;
+    };
+    auto u64Field = [&](const char *key) -> std::uint64_t {
+        const auto *v = doc.find(key);
+        if (v == nullptr || !v->isNumber()) {
+            throw SnapshotError("snapshot '" + path +
+                                "': manifest missing numeric field '" +
+                                key + "'");
+        }
+        return v->asU64();
+    };
+    m.machine = strField("machine");
+    m.configHash = parseHex64(strField("configHash"));
+    m.workload = strField("workload");
+    m.cycle = u64Field("cycle");
+    m.statsDigest = parseHex64(strField("statsDigest"));
+    m.payloadBytes = u64Field("payloadBytes");
+    return m;
+}
+
+/** Read header + manifest; leaves the stream at the payload length. */
+SnapshotManifest
+readHeader(std::ifstream &in, const std::string &path)
+{
+    char magic[sizeof(Magic)] = {};
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, Magic, sizeof(Magic)) != 0) {
+        throw SnapshotError("snapshot '" + path +
+                            "': not a tarantula snapshot file "
+                            "(bad magic)");
+    }
+    Restorer r(in);
+    const std::uint32_t version = r.u32();
+    if (version != SnapshotVersion) {
+        throw SnapshotError(
+            "snapshot '" + path + "': unsupported format version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(SnapshotVersion) + ")");
+    }
+    const std::string manifestText = r.str();
+    return parseManifest(manifestText, path);
+}
+
+} // anonymous namespace
+
+void
+writeSnapshotFile(const std::string &path, SnapshotManifest manifest,
+                  const std::string &payload)
+{
+    manifest.payloadBytes = payload.size();
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw SnapshotError("snapshot '" + path +
+                                "': cannot open '" + tmp +
+                                "' for writing");
+        }
+        out.write(Magic, sizeof(Magic));
+        Snapshotter s(out);
+        s.u32(SnapshotVersion);
+        s.str(manifestJson(manifest));
+        s.u64(payload.size());
+        s.bytes(payload.data(), payload.size());
+        s.u64(fnv1a(payload.data(), payload.size()));
+        out.flush();
+        if (!out) {
+            throw SnapshotError("snapshot '" + path +
+                                "': write failed on '" + tmp + "'");
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        throw SnapshotError("snapshot '" + path + "': rename from '" +
+                            tmp + "' failed: " + ec.message());
+    }
+}
+
+void
+readSnapshotFile(const std::string &path, SnapshotManifest &manifest,
+                 std::string &payload)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw SnapshotError("snapshot '" + path +
+                            "': cannot open file for reading");
+    }
+    manifest = readHeader(in, path);
+
+    Restorer r(in);
+    const std::uint64_t payloadLen = r.u64();
+    if (payloadLen != manifest.payloadBytes) {
+        throw SnapshotError(
+            "snapshot '" + path + "': payload length " +
+            std::to_string(payloadLen) +
+            " disagrees with manifest payloadBytes " +
+            std::to_string(manifest.payloadBytes));
+    }
+    payload.resize(payloadLen);
+    if (payloadLen != 0) {
+        in.read(payload.data(),
+                static_cast<std::streamsize>(payloadLen));
+    }
+    if (!in) {
+        throw SnapshotError("snapshot '" + path +
+                            "': truncated payload (expected " +
+                            std::to_string(payloadLen) + " bytes)");
+    }
+    const std::uint64_t stored = r.u64();
+    const std::uint64_t actual = fnv1a(payload.data(), payload.size());
+    if (stored != actual) {
+        throw SnapshotError("snapshot '" + path +
+                            "': payload checksum mismatch (file is "
+                            "corrupt)");
+    }
+}
+
+SnapshotManifest
+readSnapshotManifest(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw SnapshotError("snapshot '" + path +
+                            "': cannot open file for reading");
+    }
+    return readHeader(in, path);
+}
+
+} // namespace tarantula::snap

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The tarantula.snapshot.v1 file container (DESIGN.md §10).
+ *
+ * Layout, in order:
+ *
+ *     "TSNAP\n"            6-byte magic
+ *     u32  version         format version (1)
+ *     u32  manifestLen     followed by that many bytes of JSON
+ *     u64  payloadLen      followed by that many bytes of payload
+ *     u64  checksum        FNV-1a over the payload bytes
+ *
+ * The manifest is small human-greppable JSON naming the machine, its
+ * config hash, the workload, the snapshot cycle and a digest of the
+ * serialized stats tree; readers check it *before* touching the
+ * payload so a mismatched or damaged file is refused with a typed
+ * SnapshotError, never deserialized into a half-wrong machine.
+ *
+ * Writes go to "<path>.tmp" and are renamed into place only after a
+ * successful flush, so a crash mid-write leaves either the old file
+ * or a stray .tmp -- never a truncated snapshot under the real name.
+ */
+
+#ifndef TARANTULA_SNAP_SNAPSHOT_FILE_HH
+#define TARANTULA_SNAP_SNAPSHOT_FILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "snap/snapshot.hh"
+
+namespace tarantula::snap
+{
+
+/** Schema tag embedded in every snapshot manifest. */
+inline constexpr const char *SnapshotSchemaTag = "tarantula.snapshot.v1";
+
+/** Current file-format version. */
+inline constexpr std::uint32_t SnapshotVersion = 1;
+
+/** The parsed manifest of a snapshot file. */
+struct SnapshotManifest
+{
+    /** Machine config name ("T", "EV8", ...). */
+    std::string machine;
+    /** FNV-1a over the timing-relevant MachineConfig fields. */
+    std::uint64_t configHash = 0;
+    /** Workload the run was started with (informational). */
+    std::string workload;
+    /** Cycle the machine state was captured at. */
+    Cycle cycle = 0;
+    /** FNV-1a over the serialized stats-tree words. */
+    std::uint64_t statsDigest = 0;
+    /** Payload size in bytes (cross-checked against the framing). */
+    std::uint64_t payloadBytes = 0;
+};
+
+/**
+ * Write a snapshot file atomically (temp file + rename).
+ *
+ * @param path      Destination file name.
+ * @param manifest  Manifest to embed (payloadBytes is filled in here).
+ * @param payload   The serialized machine state.
+ * @throws SnapshotError when the file cannot be written.
+ */
+void writeSnapshotFile(const std::string &path,
+                       SnapshotManifest manifest,
+                       const std::string &payload);
+
+/**
+ * Read and validate a snapshot file.
+ *
+ * Checks magic, version, framing lengths and the payload checksum, so
+ * truncation and corruption are caught here rather than as a
+ * mysterious mid-restore failure.
+ *
+ * @param path         File to read.
+ * @param manifest     Receives the parsed manifest.
+ * @param payload      Receives the payload bytes.
+ * @throws SnapshotError on any missing, malformed or damaged file.
+ */
+void readSnapshotFile(const std::string &path, SnapshotManifest &manifest,
+                      std::string &payload);
+
+/**
+ * Read only the manifest of a snapshot file (cheap: validates the
+ * header framing but does not load or checksum the payload). Used by
+ * tarantula_batch to decide which sweep jobs a warm snapshot applies
+ * to before any job runs.
+ */
+SnapshotManifest readSnapshotManifest(const std::string &path);
+
+} // namespace tarantula::snap
+
+#endif // TARANTULA_SNAP_SNAPSHOT_FILE_HH

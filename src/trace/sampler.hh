@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::stats
 {
@@ -85,6 +86,52 @@ class Sampler
 
     /** Write the capture as one tarantula.timeseries.v1 JSON object. */
     void writeJson(std::ostream &os) const;
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /**
+     * Saves the captured rows (the stat selection itself is config).
+     * Restoring into a sampler with a different interval or stat set
+     * is refused: the resumed timeseries would silently disagree with
+     * a straight run's.
+     */
+    void
+    save(snap::Snapshotter &out) const
+    {
+        out.section("sampler");
+        out.u64(every_);
+        out.b(finished_);
+        out.u64(names_.size());
+        out.u64(cycles_.size());
+        for (Cycle c : cycles_)
+            out.u64(c);
+        out.u64(values_.size());
+        for (std::uint64_t v : values_)
+            out.u64(v);
+    }
+
+    void
+    restore(snap::Restorer &in)
+    {
+        in.section("sampler");
+        const std::uint64_t every = in.u64();
+        const bool finished = in.b();
+        const std::uint64_t numStats = in.u64();
+        if (every != every_ || numStats != names_.size()) {
+            throw snap::SnapshotError(
+                "snapshot: sampler configuration mismatch (snapshot "
+                "interval " + std::to_string(every) + "/" +
+                std::to_string(numStats) + " stats vs configured " +
+                std::to_string(every_) + "/" +
+                std::to_string(names_.size()) + ")");
+        }
+        finished_ = finished;
+        cycles_.resize(in.u64());
+        for (auto &c : cycles_)
+            c = in.u64();
+        values_.resize(in.u64());
+        for (auto &v : values_)
+            v = in.u64();
+    }
 
   private:
     std::uint64_t every_;

@@ -35,6 +35,7 @@
 #include "base/types.hh"
 #include "exec/dyn_inst.hh"
 #include "mem/slice.hh"
+#include "snap/snapshot.hh"
 
 namespace tarantula::vbox
 {
@@ -102,6 +103,13 @@ class Slicer
     static bool selfConflicting(std::int64_t stride_bytes);
 
     const SlicerConfig &config() const { return cfg_; }
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /** Slice ids are allocated monotonically; the counter must resume
+     *  where it stopped so slice ids after restore match a straight
+     *  run (checkers and traces key on them). */
+    void save(snap::Snapshotter &out) const { out.u64(nextSliceId_); }
+    void restore(snap::Restorer &in) { nextSliceId_ = in.u64(); }
 
   private:
     SlicePlan planPump(const std::vector<exec::VecElemAddr> &addrs,

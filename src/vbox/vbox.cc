@@ -463,4 +463,75 @@ Vbox::attachTrace(trace::TraceSink &sink)
     trace_ = &sink.channel("vbox");
 }
 
+void
+Vbox::save(snap::Snapshotter &out) const
+{
+    out.section("vbox");
+    out.u64(now_);
+    out.u64(northFreeAt_);
+    out.u64(southFreeAt_);
+    out.u64(addrGenFreeAt_);
+    slicer_.save(out);
+    vtlb_.save(out);
+
+    out.u64(memQueue_.size());
+    for (const auto &mi : memQueue_) {
+        out.u64(mi.robTag);
+        out.u64(mi.issuedAt);
+        out.b(mi.isWrite);
+        out.u8(static_cast<std::uint8_t>(mi.plan.scheme));
+        out.u32(mi.plan.addrGenCycles);
+        out.u64(mi.plan.slices.size());
+        for (const auto &slice : mi.plan.slices)
+            slice.save(out);
+        out.u64(mi.nextSlice);
+        out.u32(mi.outstanding);
+        out.b(mi.addrGenDone);
+        out.u64(mi.addrGenReady);
+        out.u64(mi.lastData);
+    }
+
+    out.u64(completions_.size());
+    for (const auto &c : completions_) {
+        out.u64(c.robTag);
+        out.u64(c.doneAt);
+    }
+}
+
+void
+Vbox::restore(snap::Restorer &in)
+{
+    in.section("vbox");
+    now_ = in.u64();
+    northFreeAt_ = in.u64();
+    southFreeAt_ = in.u64();
+    addrGenFreeAt_ = in.u64();
+    slicer_.restore(in);
+    vtlb_.restore(in);
+
+    memQueue_.resize(in.u64());
+    for (auto &mi : memQueue_) {
+        mi.robTag = in.u64();
+        mi.issuedAt = in.u64();
+        mi.isWrite = in.b();
+        mi.plan.scheme = static_cast<AddrScheme>(in.u8());
+        mi.plan.addrGenCycles = in.u32();
+        mi.plan.slices.resize(in.u64());
+        for (auto &slice : mi.plan.slices)
+            slice.restore(in);
+        mi.nextSlice = in.u64();
+        mi.outstanding = in.u32();
+        mi.addrGenDone = in.b();
+        mi.addrGenReady = in.u64();
+        mi.lastData = in.u64();
+    }
+    bySliceInst_.clear();
+
+    completions_.resize(in.u64());
+    for (auto &c : completions_) {
+        c.robTag = in.u64();
+        c.doneAt = in.u64();
+    }
+}
+
 } // namespace tarantula::vbox

@@ -32,6 +32,7 @@
 #include "cache/l2_cache.hh"
 #include "check/integrity.hh"
 #include "exec/dyn_inst.hh"
+#include "snap/snapshot.hh"
 #include "tlb/tlb.hh"
 #include "trace/trace.hh"
 #include "vbox/slicer.hh"
@@ -123,6 +124,11 @@ class Vbox
     std::uint64_t addrGenBusy() const { return addrGenBusy_.value(); }
 
     const VboxConfig &config() const { return cfg_; }
+
+    // ---- snapshot (DESIGN.md §10) -------------------------------------
+    /** Stats are restored by the Processor's whole-tree pass. */
+    void save(snap::Snapshotter &out) const;
+    void restore(snap::Restorer &in);
 
   private:
     struct MemInst

@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -411,6 +412,182 @@ TEST(FaultFuzz, EveryFaultClassIsSurvivedOrDetected)
         }
     }
 }
+
+// ---- Snapshot/resume replay battery -----------------------------------
+//
+// The resume invariant (DESIGN.md §10) under fuzz pressure: every
+// seeded program snapshots at a seed-derived mid-run cycle, resumes
+// in a fresh machine over a fresh memory image, and must finish with
+// the same cycle count, the same statistics tree byte for byte and
+// the same architectural memory as the run that never stopped. The
+// engine alternates by seed so both cycle engines get replay coverage.
+
+std::string
+fuzzSnapPath(const char *stem, std::uint64_t seed)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("tarantula_fuzz_" + std::string(stem) + "_" +
+             std::to_string(seed) + ".tsnap"))
+        .string();
+}
+
+class SnapshotFuzz : public ::testing::TestWithParam<FuzzCase>
+{
+};
+
+TEST_P(SnapshotFuzz, ResumeReplaysIdentically)
+{
+    const FuzzCase fc = GetParam();
+    Program prog = generate(fc.seed, /*with_vector=*/true);
+    auto cfg = configFor(fc.machine);
+    cfg.fastForward = (fc.seed % 2 == 0);
+
+    // The reference: one uninterrupted run.
+    exec::FunctionalMemory ref_mem;
+    seedMemory(ref_mem, fc.seed);
+    proc::Processor ref(cfg, prog, ref_mem);
+    const auto r = ref.run(1ULL << 26);
+    std::ostringstream ref_os;
+    ref.stats().reportJson(ref_os);
+
+    // Snapshot at a seed-derived mid-run cycle...
+    ASSERT_GT(r.cycles, 2u);
+    const Cycle k = 1 + (fc.seed * 7919) % (r.cycles - 1);
+    const std::string path = fuzzSnapPath(fc.machine, fc.seed);
+    {
+        exec::FunctionalMemory mem;
+        seedMemory(mem, fc.seed);
+        proc::Processor cpu(cfg, prog, mem);
+        cpu.run(1ULL << 26, k);
+        cpu.snapshot(path);
+    }
+
+    // ...and resume in a fresh machine over a fresh memory image:
+    // everything must come back from the file.
+    exec::FunctionalMemory mem;
+    seedMemory(mem, fc.seed);
+    proc::Processor cpu(cfg, prog, mem);
+    cpu.restoreFrom(path);
+    EXPECT_EQ(cpu.now(), k);
+    const auto res = cpu.run(1ULL << 26);
+    std::ostringstream res_os;
+    cpu.stats().reportJson(res_os);
+    std::filesystem::remove(path);
+
+    EXPECT_EQ(res.cycles, r.cycles)
+        << "machine " << fc.machine << " seed " << fc.seed
+        << " snapshot cycle " << k;
+    EXPECT_EQ(res_os.str(), ref_os.str())
+        << "machine " << fc.machine << " seed " << fc.seed
+        << " snapshot cycle " << k;
+    EXPECT_EQ(snapshot(mem), snapshot(ref_mem))
+        << "machine " << fc.machine << " seed " << fc.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, SnapshotFuzz, ::testing::ValuesIn(cases()),
+    [](const ::testing::TestParamInfo<FuzzCase> &info) {
+        return std::string(info.param.machine) + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
+// The same invariant under fault injection: a snapshot carries the
+// FaultPlan's progress, so a resumed run must reach the same outcome
+// as the straight one -- survived with identical results, or detected
+// by the same named integrity failure.
+
+class FaultSnapshotFuzz : public ::testing::TestWithParam<FaultFuzzCase>
+{
+};
+
+TEST_P(FaultSnapshotFuzz, ResumeReplaysTheFaultPlan)
+{
+    const std::uint64_t seed = GetParam().seed;
+    Program prog = generate(seed, /*with_vector=*/true);
+
+    auto cfg = proc::tarantulaConfig();
+    cfg.integrity.checks = true;
+    cfg.integrity.faults =
+        check::FaultPlan::random(seed, /*horizon=*/200'000);
+    cfg.deadlockCycles = 500'000;
+    cfg.fastForward = (seed % 2 == 0);
+
+    // The straight run's outcome: survived (cycles + stats) or
+    // detected (panic message).
+    bool ref_detected = false;
+    Cycle ref_cycles = 0;
+    std::string ref_stats, ref_panic;
+    {
+        exec::FunctionalMemory mem;
+        seedMemory(mem, seed);
+        proc::Processor cpu(cfg, prog, mem);
+        try {
+            ref_cycles = cpu.run(1ULL << 26).cycles;
+            std::ostringstream os;
+            cpu.stats().reportJson(os);
+            ref_stats = os.str();
+        } catch (const PanicError &e) {
+            ref_detected = true;
+            ref_panic = e.what();
+        }
+    }
+
+    // Snapshot at a seed-derived cycle. If the plan kills the run
+    // before the capture point the replay degenerates to the plain
+    // FaultFuzz case, so only the panic needs to match.
+    const Cycle k = ref_detected
+                        ? 1 + (seed * 6151) % 150'000
+                        : ref_cycles / 2 + 1;
+    const std::string path = fuzzSnapPath("fault", seed);
+    bool captured = false;
+    {
+        exec::FunctionalMemory mem;
+        seedMemory(mem, seed);
+        proc::Processor cpu(cfg, prog, mem);
+        try {
+            cpu.run(1ULL << 26, k);
+            if (!cpu.finished()) {
+                cpu.snapshot(path);
+                captured = true;
+            }
+        } catch (const PanicError &e) {
+            ASSERT_TRUE(ref_detected) << e.what();
+            EXPECT_EQ(std::string(e.what()), ref_panic);
+        }
+    }
+    if (!captured)
+        return;
+
+    bool detected = false;
+    exec::FunctionalMemory mem;
+    seedMemory(mem, seed);
+    proc::Processor cpu(cfg, prog, mem);
+    cpu.restoreFrom(path);
+    std::filesystem::remove(path);
+    try {
+        const auto r = cpu.run(1ULL << 26);
+        std::ostringstream os;
+        cpu.stats().reportJson(os);
+        EXPECT_EQ(r.cycles, ref_cycles) << "seed " << seed;
+        EXPECT_EQ(os.str(), ref_stats) << "seed " << seed;
+    } catch (const PanicError &e) {
+        detected = true;
+        if (ref_detected) {
+            EXPECT_EQ(std::string(e.what()), ref_panic);
+        }
+    }
+    EXPECT_EQ(detected, ref_detected)
+        << "resume changed the outcome, seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, FaultSnapshotFuzz,
+    ::testing::Values(FaultFuzzCase{1}, FaultFuzzCase{2},
+                      FaultFuzzCase{3}, FaultFuzzCase{4},
+                      FaultFuzzCase{5}, FaultFuzzCase{6}),
+    [](const ::testing::TestParamInfo<FaultFuzzCase> &info) {
+        return "seed" + std::to_string(info.param.seed);
+    });
 
 TEST(Fuzz, ScalarProgramsOnEv8)
 {

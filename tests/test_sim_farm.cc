@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "json_checker.hh"
+#include "sim/batch_manifest.hh"
 #include "sim/job.hh"
 #include "sim/json.hh"
 #include "sim/result_sink.hh"
@@ -168,6 +171,158 @@ TEST(SimFarm, ResultsKeepSubmissionOrder)
     ASSERT_EQ(batch.jobs.size(), static_cast<std::size_t>(N));
     for (int i = 0; i < N; ++i)
         EXPECT_EQ(batch.jobs[i].message, "task" + std::to_string(i));
+}
+
+// ---- The batch manifest: crash-resume (DESIGN.md §10) -----------------
+
+namespace fs = std::filesystem;
+
+/** Scoped manifest directory under the system temp dir. */
+struct TempDir
+{
+    fs::path path;
+    explicit TempDir(const char *stem)
+        : path(fs::temp_directory_path() / stem)
+    {
+        fs::remove_all(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+std::vector<sim::Job>
+manifestGrid()
+{
+    std::vector<sim::Job> grid;
+    for (const char *m : {"EV8", "T"}) {
+        for (const char *w : {"copy", "scale"}) {
+            sim::Job job;
+            job.machine = m;
+            job.workload = w;
+            grid.push_back(job);
+        }
+    }
+    return grid;
+}
+
+/**
+ * The --manifest run loop from tarantula_batch: load stored records,
+ * run only the missing jobs, store each as it completes, and write
+ * the deterministic batch report over all records.
+ */
+std::string
+runBatch(const std::vector<sim::Job> &grid, sim::BatchManifest *manifest)
+{
+    std::vector<sim::BatchRecord> records(grid.size());
+    std::vector<std::size_t> submitted;
+    sim::SimFarm farm(2);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (manifest && manifest->load(grid[i], records[i]))
+            continue;
+        farm.submit(grid[i]);
+        submitted.push_back(i);
+    }
+    const sim::BatchResult batch = farm.run();
+    for (std::size_t k = 0; k < batch.jobs.size(); ++k) {
+        records[submitted[k]] =
+            sim::toBatchRecord(batch.jobs[k], /*deterministic=*/true);
+        if (manifest)
+            manifest->store(grid[submitted[k]], records[submitted[k]]);
+    }
+    std::ostringstream os;
+    sim::writeBatchRecords(os, records, farm.threads());
+    return os.str();
+}
+
+/**
+ * The acceptance property: a batch interrupted after N jobs and
+ * rerun against its manifest skips the completed jobs and still
+ * produces a report byte-identical to one uninterrupted run.
+ */
+TEST(BatchManifest, InterruptedBatchResumesByteIdentical)
+{
+    const auto grid = manifestGrid();
+
+    // The reference: one clean, manifest-less run.
+    const std::string reference = runBatch(grid, nullptr);
+    expectValidJson(reference);
+
+    // The "crashed" run: only the first two jobs completed and were
+    // stored before the interrupt.
+    TempDir dir("tarantula_manifest_resume_test");
+    sim::BatchManifest manifest(dir.path.string());
+    for (std::size_t i = 0; i < 2; ++i) {
+        const sim::JobResult r = sim::runJob(grid[i]);
+        ASSERT_EQ(r.status, sim::JobStatus::Ok) << r.message;
+        manifest.store(grid[i], sim::toBatchRecord(r, true));
+    }
+    EXPECT_TRUE(manifest.has(grid[0]));
+    EXPECT_TRUE(manifest.has(grid[1]));
+    EXPECT_FALSE(manifest.has(grid[2]));
+    EXPECT_FALSE(manifest.has(grid[3]));
+
+    // The rerun must load 2, run 2, and emit the same bytes.
+    const std::string resumed = runBatch(grid, &manifest);
+    EXPECT_EQ(resumed, reference);
+
+    // A second rerun runs nothing at all and is still identical.
+    EXPECT_TRUE(manifest.has(grid[2]));
+    EXPECT_TRUE(manifest.has(grid[3]));
+    const std::string third = runBatch(grid, &manifest);
+    EXPECT_EQ(third, reference);
+}
+
+TEST(BatchManifest, DamagedRecordIsRerunNotTrusted)
+{
+    const auto grid = manifestGrid();
+    TempDir dir("tarantula_manifest_damage_test");
+    sim::BatchManifest manifest(dir.path.string());
+
+    const sim::JobResult r = sim::runJob(grid[0]);
+    ASSERT_EQ(r.status, sim::JobStatus::Ok) << r.message;
+    manifest.store(grid[0], sim::toBatchRecord(r, true));
+    ASSERT_TRUE(manifest.has(grid[0]));
+
+    // Truncate the stored record mid-file: load() must refuse it so
+    // the rerun recomputes instead of splicing garbage into the
+    // report.
+    fs::path victim;
+    for (const auto &e : fs::directory_iterator(dir.path))
+        victim = e.path();
+    ASSERT_FALSE(victim.empty());
+    std::ofstream(victim, std::ios::trunc) << "{\"schema\":\"tarant";
+
+    sim::BatchRecord rec;
+    EXPECT_FALSE(manifest.load(grid[0], rec));
+}
+
+TEST(BatchManifest, JobKeySeparatesKnobsNotHostState)
+{
+    sim::Job a;
+    a.machine = "T";
+    a.workload = "copy";
+    sim::Job b = a;
+
+    // Identical jobs share a key (that's what makes resume work)...
+    EXPECT_EQ(sim::BatchManifest::jobKey(a),
+              sim::BatchManifest::jobKey(b));
+
+    // ...and every knob that changes results changes the key, so a
+    // stale record can never satisfy a different experiment.
+    b.maxCycles = 12345;
+    EXPECT_NE(sim::BatchManifest::jobKey(a),
+              sim::BatchManifest::jobKey(b));
+    b = a;
+    b.noPump = true;
+    EXPECT_NE(sim::BatchManifest::jobKey(a),
+              sim::BatchManifest::jobKey(b));
+    b = a;
+    b.resumeFrom = "warm.tsnap";
+    EXPECT_NE(sim::BatchManifest::jobKey(a),
+              sim::BatchManifest::jobKey(b));
+    b = a;
+    b.workload = "scale";
+    EXPECT_NE(sim::BatchManifest::jobKey(a),
+              sim::BatchManifest::jobKey(b));
 }
 
 // ---- JSON export ------------------------------------------------------

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Snapshot/restore battery (DESIGN.md §10).
+ *
+ * The resume invariant under test: snapshotting a run at cycle K and
+ * resuming it in a fresh process is bit-identical to never having
+ * stopped -- same final cycle, same program output, and the same
+ * statistics tree byte for byte. The grid covers four Table 3
+ * machines x two workloads x both cycle engines (fast-forward on and
+ * off), with K chosen mid-run from the straight run's length.
+ *
+ * The negative half pins the failure contract: version mismatch,
+ * config-hash mismatch, truncation, payload corruption, a stray
+ * mid-write temp file -- every one must surface as a typed
+ * snap::SnapshotError naming the problem, never a panic and never a
+ * silently wrong resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "snap/snapshot.hh"
+#include "snap/snapshot_file.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tarantula;
+
+// ---- harness ----------------------------------------------------------
+
+/** One freshly built machine: workload, memory image, processor. */
+struct Machine
+{
+    workloads::Workload w;
+    exec::FunctionalMemory mem;
+    proc::MachineConfig cfg;
+    std::unique_ptr<proc::Processor> cpu;
+
+    Machine(const std::string &machine, const std::string &workload,
+            bool fast_forward, std::uint64_t sample_every = 0)
+        : w(workloads::byName(workload)),
+          cfg(proc::machineByName(machine))
+    {
+        cfg.fastForward = fast_forward;
+        cfg.trace.sampleEvery = sample_every;
+        w.init(mem);
+        const auto &prog = cfg.hasVbox ? w.vectorProg : w.scalarProg;
+        cpu = std::make_unique<proc::Processor>(cfg, prog, mem);
+        for (const auto &r : w.warmRanges) {
+            for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
+                cpu->l2().warmLine(r.base + o);
+        }
+    }
+
+    std::string
+    statsJson() const
+    {
+        std::ostringstream os;
+        cpu->stats().reportJson(os);
+        return os.str();
+    }
+};
+
+std::string
+tempPath(const std::string &stem)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = std::string(info->test_suite_name()) + "_" +
+                       info->name() + "_" + stem;
+    for (char &c : name) {
+        if (c == '/' || c == '+')
+            c = '_';
+    }
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/** Remove-on-scope-exit so failed tests don't litter /tmp. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const std::string &stem) : path(tempPath(stem)) {}
+    ~TempFile()
+    {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        std::filesystem::remove(path + ".tmp", ec);
+    }
+};
+
+struct GridPoint
+{
+    std::string machine;
+    std::string workload;
+    bool fastForward;
+};
+
+std::vector<GridPoint>
+resumeGrid()
+{
+    // 4 machines x 2 workloads x 2 engines = 16 grid points. copy is
+    // bandwidth-bound (exercises Zbox/L2 state), dgemm compute-bound
+    // (deep Vbox/ROB state); together they touch every serialized
+    // structure.
+    std::vector<GridPoint> points;
+    for (const char *m : {"EV8", "EV8+", "T", "T4"}) {
+        for (const char *w : {"copy", "dgemm"}) {
+            points.push_back({m, w, true});
+            points.push_back({m, w, false});
+        }
+    }
+    return points;
+}
+
+class SnapshotResume : public ::testing::TestWithParam<GridPoint>
+{
+};
+
+// ---- the resume invariant ---------------------------------------------
+
+TEST_P(SnapshotResume, ResumeIsBitIdenticalToStraightRun)
+{
+    const auto &p = GetParam();
+
+    // The reference: one uninterrupted run.
+    Machine straight(p.machine, p.workload, p.fastForward);
+    const proc::RunResult ref = straight.cpu->run();
+    ASSERT_TRUE(straight.cpu->finished());
+    ASSERT_EQ(straight.w.check(straight.mem), "");
+
+    // Snapshot mid-run (a cycle the engine would not naturally stop
+    // at), in a second machine...
+    const Cycle k = ref.cycles / 2 + 1;
+    ASSERT_GT(k, 0u);
+    ASSERT_LT(k, ref.cycles);
+    TempFile snap_file("resume.tsnap");
+
+    Machine first(p.machine, p.workload, p.fastForward);
+    first.cpu->run(1ULL << 32, k);
+    ASSERT_FALSE(first.cpu->finished());
+    ASSERT_EQ(first.cpu->now(), k);
+    first.cpu->snapshot(snap_file.path, p.workload);
+
+    // ...and resume in a third, fresh one (fresh memory image too:
+    // everything must come from the file).
+    Machine resumed(p.machine, p.workload, p.fastForward);
+    resumed.cpu->restoreFrom(snap_file.path);
+    EXPECT_EQ(resumed.cpu->now(), k);
+    const proc::RunResult res = resumed.cpu->run();
+
+    // Bit-identical: cycles, retirement, program output, and the
+    // whole stats tree byte for byte.
+    EXPECT_EQ(res.cycles, ref.cycles);
+    EXPECT_EQ(res.insts, ref.insts);
+    EXPECT_EQ(res.ops, ref.ops);
+    EXPECT_EQ(resumed.w.check(resumed.mem), "");
+    EXPECT_EQ(resumed.statsJson(), straight.statsJson());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SnapshotResume, ::testing::ValuesIn(resumeGrid()),
+    [](const ::testing::TestParamInfo<GridPoint> &info) {
+        std::string name = info.param.machine + "_" +
+                           info.param.workload +
+                           (info.param.fastForward ? "_ff" : "_step");
+        for (char &c : name) {
+            if (c == '+')
+                c = 'p';
+        }
+        return name;
+    });
+
+// ---- stop-and-go and cross-engine resumes -----------------------------
+
+TEST(Snapshot, CheckpointStopDoesNotPerturbTheRun)
+{
+    // Running to a stop and continuing -- without any file I/O --
+    // must equal the straight run: the stop clamps a fast-forward
+    // jump but every cycle still computes the same thing.
+    Machine straight("T", "copy", true);
+    const proc::RunResult ref = straight.cpu->run();
+
+    Machine stopped("T", "copy", true);
+    for (Cycle stop : {ref.cycles / 4, ref.cycles / 2,
+                       3 * ref.cycles / 4})
+        stopped.cpu->run(1ULL << 32, stop);
+    const proc::RunResult res = stopped.cpu->run();
+
+    EXPECT_EQ(res.cycles, ref.cycles);
+    EXPECT_EQ(stopped.statsJson(), straight.statsJson());
+}
+
+TEST(Snapshot, ResumeUnderTheOtherEngineIsBitIdentical)
+{
+    // The config digest deliberately excludes fastForward: both
+    // engines are bit-identical, so a snapshot taken stepped may be
+    // resumed fast-forwarded (and vice versa) as a cross-check.
+    Machine straight("T", "copy", false);
+    const proc::RunResult ref = straight.cpu->run();
+    const Cycle k = ref.cycles / 2 + 1;
+
+    TempFile snap_file("cross.tsnap");
+    Machine stepped("T", "copy", false);
+    stepped.cpu->run(1ULL << 32, k);
+    stepped.cpu->snapshot(snap_file.path, "copy");
+
+    Machine ff("T", "copy", true);
+    ff.cpu->restoreFrom(snap_file.path);
+    const proc::RunResult res = ff.cpu->run();
+
+    EXPECT_EQ(res.cycles, ref.cycles);
+    EXPECT_EQ(ff.statsJson(), straight.statsJson());
+}
+
+TEST(Snapshot, SampledResumeKeepsTheFullTimeseries)
+{
+    // A sampler-on snapshot resumed sampler-on: the resumed run's
+    // timeseries must equal the straight run's -- rows before K come
+    // from the snapshot, rows after from the resumed engine.
+    constexpr std::uint64_t kEvery = 500;
+    Machine straight("T", "copy", true, kEvery);
+    const proc::RunResult ref = straight.cpu->run();
+    std::ostringstream ref_ts;
+    straight.cpu->sampler()->writeJson(ref_ts);
+
+    const Cycle k = ref.cycles / 2 + 1;
+    TempFile snap_file("sampled.tsnap");
+    Machine first("T", "copy", true, kEvery);
+    first.cpu->run(1ULL << 32, k);
+    first.cpu->snapshot(snap_file.path, "copy");
+
+    Machine resumed("T", "copy", true, kEvery);
+    resumed.cpu->restoreFrom(snap_file.path);
+    resumed.cpu->run();
+    std::ostringstream res_ts;
+    resumed.cpu->sampler()->writeJson(res_ts);
+
+    EXPECT_EQ(res_ts.str(), ref_ts.str());
+    EXPECT_EQ(resumed.statsJson(), straight.statsJson());
+}
+
+// ---- the manifest -----------------------------------------------------
+
+TEST(Snapshot, ManifestRecordsTheCapturePoint)
+{
+    TempFile snap_file("manifest.tsnap");
+    Machine m("T", "copy", true);
+    m.cpu->run(1ULL << 32, 2000);
+    m.cpu->snapshot(snap_file.path, "copy");
+
+    const snap::SnapshotManifest manifest =
+        snap::readSnapshotManifest(snap_file.path);
+    EXPECT_EQ(manifest.machine, "T");
+    EXPECT_EQ(manifest.workload, "copy");
+    EXPECT_EQ(manifest.cycle, 2000u);
+    EXPECT_EQ(manifest.configHash,
+              proc::Processor::configDigest(m.cfg));
+    EXPECT_EQ(manifest.statsDigest, m.cpu->statsDigest());
+    EXPECT_GT(manifest.payloadBytes, 0u);
+}
+
+TEST(Snapshot, ConfigDigestSeparatesMachinesButNotEngines)
+{
+    const auto t = proc::machineByName("T");
+    auto t_stepped = t;
+    t_stepped.fastForward = false;
+    auto t_traced = t;
+    t_traced.trace.events = true;
+    t_traced.trace.sampleEvery = 100;
+
+    const auto digest = proc::Processor::configDigest;
+    EXPECT_NE(digest(t), digest(proc::machineByName("EV8")));
+    EXPECT_NE(digest(t), digest(proc::machineByName("T4")));
+    // Engine mode and observability are outside the digest: both are
+    // bit-identical by contract, so snapshots fan across them.
+    EXPECT_EQ(digest(t), digest(t_stepped));
+    EXPECT_EQ(digest(t), digest(t_traced));
+
+    // A knob that changes timing is inside it.
+    auto t_nopump = t;
+    t_nopump.vbox.slicer.pumpEnabled = false;
+    EXPECT_NE(digest(t), digest(t_nopump));
+}
+
+// ---- negative paths: every bad file is a typed error ------------------
+
+/** A small valid snapshot to corrupt. */
+std::string
+makeSnapshot(const std::string &path)
+{
+    Machine m("T", "copy", true);
+    m.cpu->run(1ULL << 32, 1000);
+    m.cpu->snapshot(path, "copy");
+    return path;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Restore @p path into a fresh T/copy machine, returning the error. */
+std::string
+restoreError(const std::string &path)
+{
+    Machine m("T", "copy", true);
+    try {
+        m.cpu->restoreFrom(path);
+    } catch (const snap::SnapshotError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(SnapshotErrors, MissingFile)
+{
+    const std::string err = restoreError(tempPath("nonexistent"));
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+TEST(SnapshotErrors, NotASnapshotFile)
+{
+    TempFile f("junk.tsnap");
+    spit(f.path, "this is not a snapshot at all\n");
+    const std::string err = restoreError(f.path);
+    EXPECT_NE(err.find("not a tarantula snapshot"), std::string::npos)
+        << err;
+}
+
+TEST(SnapshotErrors, VersionMismatch)
+{
+    TempFile f("version.tsnap");
+    std::string bytes = slurp(makeSnapshot(f.path));
+    // The u32 version sits right after the 6-byte magic.
+    bytes[6] = 99;
+    spit(f.path, bytes);
+    const std::string err = restoreError(f.path);
+    EXPECT_NE(err.find("unsupported format version"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("99"), std::string::npos) << err;
+}
+
+TEST(SnapshotErrors, ConfigHashMismatch)
+{
+    TempFile f("wrongmachine.tsnap");
+    makeSnapshot(f.path);        // taken on T
+    Machine ev8("EV8", "copy", true);
+    try {
+        ev8.cpu->restoreFrom(f.path);
+        FAIL() << "restore on the wrong machine must throw";
+    } catch (const snap::SnapshotError &e) {
+        const std::string err = e.what();
+        EXPECT_NE(err.find("config mismatch"), std::string::npos)
+            << err;
+        // The message names both machines so the fix is obvious.
+        EXPECT_NE(err.find("'T'"), std::string::npos) << err;
+        EXPECT_NE(err.find("'EV8'"), std::string::npos) << err;
+    }
+}
+
+TEST(SnapshotErrors, TruncatedFile)
+{
+    TempFile f("truncated.tsnap");
+    const std::string bytes = slurp(makeSnapshot(f.path));
+    // Every truncation point must fail cleanly: inside the header,
+    // inside the manifest, inside the payload, inside the checksum.
+    for (const std::size_t keep :
+         {std::size_t{3}, std::size_t{10}, std::size_t{40},
+          bytes.size() / 2, bytes.size() - 4}) {
+        ASSERT_LT(keep, bytes.size());
+        spit(f.path, bytes.substr(0, keep));
+        const std::string err = restoreError(f.path);
+        EXPECT_FALSE(err.empty())
+            << "truncation to " << keep << " bytes was not caught";
+    }
+}
+
+TEST(SnapshotErrors, CorruptPayload)
+{
+    TempFile f("corrupt.tsnap");
+    std::string bytes = slurp(makeSnapshot(f.path));
+    // Flip one byte well inside the payload: the checksum must catch
+    // it before any component deserializes garbage.
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+    spit(f.path, bytes);
+    const std::string err = restoreError(f.path);
+    EXPECT_NE(err.find("checksum mismatch"), std::string::npos) << err;
+}
+
+TEST(SnapshotErrors, StrayTempFileFromACrashedWrite)
+{
+    // A writer killed mid-snapshot leaves "<path>.tmp", never a
+    // damaged "<path>": the half-written temp is not loadable, the
+    // real name never exists, and a rerun of the same snapshot
+    // replaces the stray temp and produces a loadable file.
+    TempFile f("midwrite.tsnap");
+    spit(f.path + ".tmp", std::string("TSNAP\n half-written"));
+    EXPECT_FALSE(std::filesystem::exists(f.path));
+    EXPECT_FALSE(restoreError(f.path + ".tmp").empty());
+
+    makeSnapshot(f.path);
+    EXPECT_FALSE(std::filesystem::exists(f.path + ".tmp"));
+    Machine m("T", "copy", true);
+    m.cpu->restoreFrom(f.path);      // must not throw
+    EXPECT_EQ(m.cpu->now(), 1000u);
+}
+
+TEST(SnapshotErrors, SamplerIntervalMismatch)
+{
+    // Resuming a sampled snapshot under a different interval would
+    // silently disagree with a straight run's timeseries; refuse.
+    TempFile f("sampler.tsnap");
+    Machine m("T", "copy", true, 500);
+    m.cpu->run(1ULL << 32, 2000);
+    m.cpu->snapshot(f.path, "copy");
+
+    Machine other("T", "copy", true, 250);
+    try {
+        other.cpu->restoreFrom(f.path);
+        FAIL() << "interval mismatch must throw";
+    } catch (const snap::SnapshotError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("sampler configuration mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // But dropping the sampler entirely is fine (observability sits
+    // outside the contract), and the machine still resumes exactly.
+    Machine plain("T", "copy", true);
+    plain.cpu->restoreFrom(f.path);
+    EXPECT_EQ(plain.cpu->now(), 2000u);
+}
+
+} // anonymous namespace

@@ -8,25 +8,36 @@
  *                   [--no-pump] [--force-crbox] [--max-cycles N]
  *                   [--trace-dir DIR] [--sample-every N]
  *                   [--sample-stats PREFIXES] [--quiet] [--list]
+ *                   [--manifest DIR] [--warm-from FILE]
  *
  * One invocation reproduces the Figure 6/7 grids: e.g.
  *   tarantula_batch --machines EV8,EV8+,T --workloads figure --jobs 8
  * Progress goes to stderr; the JSON batch report goes to stdout or to
  * the --json file, so the tool composes with shell pipelines.
+ *
+ * --manifest makes the batch crash-resumable: each completed job's
+ * record is stored in DIR as it finishes, a rerun of the same sweep
+ * skips stored jobs, and the final report is byte-identical to an
+ * uninterrupted run's (host-timing fields are zeroed in this mode).
+ * --warm-from fans one tarantula.snapshot.v1 checkpoint across every
+ * grid point matching its machine and workload (DESIGN.md §10).
  */
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "base/logging.hh"
 #include "proc/machine_config.hh"
+#include "sim/batch_manifest.hh"
 #include "sim/result_sink.hh"
 #include "sim/sim_farm.hh"
+#include "snap/snapshot_file.hh"
 #include "workloads/workload.hh"
 
 using namespace tarantula;
@@ -61,7 +72,12 @@ usage()
         "  --sample-stats P comma-separated stat-name prefixes to\n"
         "                   sample (default: every scalar stat)\n"
         "  --quiet          no per-job progress on stderr\n"
-        "  --list           list machines and workloads, then exit\n");
+        "  --list           list machines and workloads, then exit\n"
+        "  --manifest DIR   store each job's record in DIR and skip\n"
+        "                   jobs already completed there (crash\n"
+        "                   resume; implies deterministic records)\n"
+        "  --warm-from FILE warm-start every matching grid point from\n"
+        "                   this snapshot file\n");
 }
 
 std::vector<std::string>
@@ -140,13 +156,30 @@ run(int argc, char **argv)
     std::string trace_dir;
     std::uint64_t sample_every = 0;
     std::string sample_stats;
+    std::string manifest_dir;
+    std::string warm_from;
 
+    // Accept --opt=value alongside --opt value: split at the first
+    // '=' so both spellings hit the same parser below.
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        const std::string a = argv[i];
+        const std::size_t eq = a.find('=');
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-' &&
+            eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string arg = args[i];
         auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
+            if (i + 1 >= args.size())
                 fatal("missing value for %s", arg.c_str());
-            return argv[++i];
+            return args[++i];
         };
         if (arg == "--machines") {
             machines_spec = next();
@@ -174,6 +207,10 @@ run(int argc, char **argv)
             sample_every = parseU64(arg, next());
         } else if (arg == "--sample-stats") {
             sample_stats = next();
+        } else if (arg == "--manifest") {
+            manifest_dir = next();
+        } else if (arg == "--warm-from") {
+            warm_from = next();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -213,7 +250,7 @@ run(int argc, char **argv)
                   ec.message().c_str());
     }
 
-    sim::SimFarm farm(jobs);
+    std::vector<sim::Job> grid;
     for (const auto &m : machines) {
         for (const auto &n : names) {
             sim::Job job;
@@ -228,7 +265,65 @@ run(int argc, char **argv)
             job.trace = !trace_dir.empty();
             job.sampleEvery = sample_every;
             job.sampleStats = sample_stats;
-            farm.submit(job);
+            grid.push_back(job);
+        }
+    }
+
+    if (!warm_from.empty()) {
+        // One warmed checkpoint fans across every grid point it was
+        // taken for; the rest of the grid stays cold.
+        snap::SnapshotManifest snap_manifest;
+        try {
+            snap_manifest = snap::readSnapshotManifest(warm_from);
+        } catch (const snap::SnapshotError &e) {
+            std::fprintf(stderr, "warm-start failed: %s\n", e.what());
+            return 2;
+        }
+        std::size_t matched = 0;
+        for (auto &job : grid) {
+            if (job.machine == snap_manifest.machine &&
+                job.workload == snap_manifest.workload) {
+                job.resumeFrom = warm_from;
+                ++matched;
+            }
+        }
+        std::fprintf(stderr,
+                     "simfarm: warm-start %s (machine %s, workload "
+                     "%s, cycle %llu) matches %zu of %zu jobs\n",
+                     warm_from.c_str(), snap_manifest.machine.c_str(),
+                     snap_manifest.workload.c_str(),
+                     static_cast<unsigned long long>(
+                         snap_manifest.cycle),
+                     matched, grid.size());
+    }
+
+    // The manifest resume pass: jobs with a stored record are never
+    // re-run; their records splice into the report verbatim.
+    std::optional<sim::BatchManifest> manifest;
+    std::vector<sim::BatchRecord> records(grid.size());
+    std::vector<bool> stored(grid.size(), false);
+    if (!manifest_dir.empty()) {
+        manifest.emplace(manifest_dir);
+        std::size_t skipped = 0;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            if (manifest->load(grid[i], records[i])) {
+                stored[i] = true;
+                ++skipped;
+            }
+        }
+        std::fprintf(stderr,
+                     "simfarm: manifest %s holds %zu of %zu jobs; "
+                     "running %zu\n",
+                     manifest_dir.c_str(), skipped, grid.size(),
+                     grid.size() - skipped);
+    }
+
+    sim::SimFarm farm(jobs);
+    std::vector<std::size_t> submitted;     // farm index -> grid index
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!stored[i]) {
+            farm.submit(grid[i]);
+            submitted.push_back(i);
         }
     }
 
@@ -240,6 +335,10 @@ run(int argc, char **argv)
 
     auto progress = [&](const sim::JobResult &r, std::size_t done,
                         std::size_t total) {
+        // Record-as-you-go is the crash-resume guarantee: a batch
+        // killed here loses at most the jobs still in flight.
+        if (manifest)
+            manifest->store(r.job, sim::toBatchRecord(r, true));
         if (quiet)
             return;
         std::fprintf(stderr, "[%3zu/%zu] %-9s %s/%s (%.2fs)\n", done,
@@ -248,6 +347,9 @@ run(int argc, char **argv)
                      r.hostSeconds);
     };
     const sim::BatchResult batch = farm.run(progress);
+    for (std::size_t k = 0; k < submitted.size(); ++k)
+        records[submitted[k]] =
+            sim::toBatchRecord(batch.jobs[k], manifest.has_value());
 
     if (!trace_dir.empty()) {
         std::size_t written = 0;
@@ -282,17 +384,32 @@ run(int argc, char **argv)
                  batch.wallSeconds, batch.serialSeconds,
                  batch.speedupVsSerial());
 
+    // Manifest mode assembles the report from the stored + fresh
+    // records (deterministic: rerun-identical bytes); otherwise the
+    // classic path with live host timing.
+    auto writeReport = [&](std::ostream &os) {
+        if (manifest)
+            sim::writeBatchRecords(os, records, farm.threads());
+        else
+            sim::writeBatchReport(os, batch);
+    };
     if (json_file.empty()) {
-        sim::writeBatchReport(std::cout, batch);
+        writeReport(std::cout);
     } else {
         std::ofstream out(json_file);
         if (!out)
             fatal("cannot open '%s'", json_file.c_str());
-        sim::writeBatchReport(out, batch);
+        writeReport(out);
         std::fprintf(stderr, "simfarm: report written to %s\n",
                      json_file.c_str());
     }
-    return batch.allOk() ? 0 : 1;
+    bool all_ok = batch.allOk();
+    if (manifest) {
+        all_ok = true;
+        for (const auto &rec : records)
+            all_ok = all_ok && rec.status == sim::JobStatus::Ok;
+    }
+    return all_ok ? 0 : 1;
 }
 
 } // anonymous namespace

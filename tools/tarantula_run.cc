@@ -8,12 +8,20 @@
  *                 [--list] [--stats FILE] [--json FILE] [--no-pump]
  *                 [--force-crbox] [--max-cycles N] [--trace FILE]
  *                 [--sample-every N] [--sample-stats PREFIXES]
+ *                 [--ckpt-at CYCLE[,CYCLE...]] [--ckpt-out PREFIX]
+ *                 [--resume FILE]
  *
  * --json writes the same tarantula.job.v1 record SimFarm's
  * tarantula_batch emits per job, so single runs and batch sweeps
  * share one machine-readable schema.
+ *
+ * --ckpt-at runs to each listed cycle, writes a tarantula.snapshot.v1
+ * checkpoint there, and continues; --resume restores one and runs to
+ * completion. Snapshot + resume is bit-identical to a straight run
+ * (DESIGN.md §10). Every option also accepts the --opt=value form.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -21,8 +29,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
+#include "snap/snapshot.hh"
 #include "exec/memory.hh"
 #include "proc/machine_config.hh"
 #include "proc/processor.hh"
@@ -60,7 +70,12 @@ usage()
         "  --sample-every N  snapshot the stats tree every N cycles\n"
         "                  into the job record's timeseries\n"
         "  --sample-stats P  comma-separated stat-name prefixes to\n"
-        "                  sample (default: every scalar stat)\n");
+        "                  sample (default: every scalar stat)\n"
+        "  --ckpt-at LIST  comma-separated cycles; write a snapshot\n"
+        "                  at each and keep running\n"
+        "  --ckpt-out P    checkpoint path prefix (default\n"
+        "                  ckpt_<machine>_<workload>)\n"
+        "  --resume FILE   restore a snapshot and run to completion\n");
 }
 
 void
@@ -105,13 +120,31 @@ run(int argc, char **argv)
     std::string trace_file;
     std::uint64_t sample_every = 0;
     std::string sample_stats;
+    std::string ckpt_at_spec;
+    std::string ckpt_out;
+    std::string resume_file;
 
+    // Accept --opt=value alongside --opt value: split at the first
+    // '=' so both spellings hit the same parser below.
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        const std::string a = argv[i];
+        const std::size_t eq = a.find('=');
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-' &&
+            eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string arg = args[i];
         auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
+            if (i + 1 >= args.size())
                 fatal("missing value for %s", arg.c_str());
-            return argv[++i];
+            return args[++i];
         };
         if (arg == "--machine") {
             machine = next();
@@ -142,6 +175,12 @@ run(int argc, char **argv)
             sample_every = parseU64(arg, next());
         } else if (arg == "--sample-stats") {
             sample_stats = next();
+        } else if (arg == "--ckpt-at") {
+            ckpt_at_spec = next();
+        } else if (arg == "--ckpt-out") {
+            ckpt_out = next();
+        } else if (arg == "--resume") {
+            resume_file = next();
         } else if (arg == "--list") {
             listWorkloads();
             return 0;
@@ -152,6 +191,22 @@ run(int argc, char **argv)
             usage();
             fatal("unknown option '%s'", arg.c_str());
         }
+    }
+
+    // Checkpoint stops, sorted and deduplicated so out-of-order lists
+    // still snapshot each cycle exactly once.
+    std::vector<Cycle> ckpt_stops;
+    if (!ckpt_at_spec.empty()) {
+        std::stringstream ss(ckpt_at_spec);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            if (!item.empty())
+                ckpt_stops.push_back(parseU64("--ckpt-at", item));
+        }
+        std::sort(ckpt_stops.begin(), ckpt_stops.end());
+        ckpt_stops.erase(
+            std::unique(ckpt_stops.begin(), ckpt_stops.end()),
+            ckpt_stops.end());
     }
 
     proc::MachineConfig cfg = proc::machineByName(machine);
@@ -176,10 +231,37 @@ run(int argc, char **argv)
                     prog.size(), save_program.c_str());
     }
     proc::Processor cpu(cfg, prog, mem);
-    for (const auto &r : w.warmRanges) {
-        for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
-            cpu.l2().warmLine(r.base + o);
+    if (resume_file.empty()) {
+        for (const auto &r : w.warmRanges) {
+            for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
+                cpu.l2().warmLine(r.base + o);
+        }
+    } else {
+        // The snapshot carries everything -- warmed L2 lines included.
+        try {
+            cpu.restoreFrom(resume_file);
+        } catch (const snap::SnapshotError &e) {
+            std::fprintf(stderr, "resume failed: %s\n", e.what());
+            return 2;
+        }
+        std::printf("resume:     %s at cycle %llu\n",
+                    resume_file.c_str(),
+                    static_cast<unsigned long long>(cpu.now()));
     }
+
+    std::string ckpt_prefix = ckpt_out;
+    if (ckpt_prefix.empty()) {
+        ckpt_prefix = "ckpt_" + machine + "_" + workload;
+        for (char &c : ckpt_prefix) {
+            if (c == '+')
+                c = 'p';        // EV8+ -> EV8p: filesystem-safe
+        }
+    }
+    auto ckptPath = [&](Cycle stop) {
+        return ckpt_prefix + "_cycle" +
+               std::to_string(static_cast<unsigned long long>(stop)) +
+               ".tsnap";
+    };
 
     const auto start = std::chrono::steady_clock::now();
     auto hostSeconds = [&] {
@@ -199,6 +281,7 @@ run(int argc, char **argv)
     record.job.trace = !trace_file.empty();
     record.job.sampleEvery = sample_every;
     record.job.sampleStats = sample_stats;
+    record.job.resumeFrom = resume_file;
     auto writeTrace = [&] {
         if (trace_file.empty())
             return;
@@ -234,7 +317,22 @@ run(int argc, char **argv)
 
     proc::RunResult r;
     try {
-        r = cpu.run(max_cycles);
+        bool ran = false;
+        for (Cycle stop : ckpt_stops) {
+            if (stop <= cpu.now())
+                continue;       // resumed past it already
+            r = cpu.run(max_cycles, stop);
+            ran = true;
+            if (cpu.finished())
+                break;          // ran out of program before the stop
+            const std::string path = ckptPath(stop);
+            cpu.snapshot(path, workload);
+            std::printf("snapshot:   cycle %llu written to %s\n",
+                        static_cast<unsigned long long>(cpu.now()),
+                        path.c_str());
+        }
+        if (!cpu.finished() || !ran)
+            r = cpu.run(max_cycles);
     } catch (const std::exception &e) {
         // The machine died -- a panic, an integrity-check failure or
         // the cycle budget. Attach the forensics report so the crash
