@@ -5,16 +5,20 @@
  * will suffer from the same difficulty: processors will compete for
  * the L2 and contention will lead to poor performance."
  *
- * Two EV8 cores share one L2 and one memory controller (the CMP-EV8
- * of Table 1). Each runs the same blocked-streaming FP kernel over a
- * disjoint working set sized so one core's set fits the shared 16 MB
- * L2 but two do not. We report per-core slowdown versus running
- * alone, and contrast with one Tarantula running the vectorized
- * kernel over the combined data.
+ * Two parts. Part 1 is the original back-of-envelope version: bare
+ * EV8 cores hand-wired to one L2 running a synthetic streaming
+ * kernel, plus one Tarantula on the combined data. Part 2 is the
+ * real thing (DESIGN.md §11): a full sys::System CMP -- cores x
+ * workload sweep through the shared banked L2 with per-core bank
+ * arbitration -- reporting per-core OPC, each core's share of the L2
+ * pipe grants, cross-core bank conflicts and aggregate bandwidth.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/l2_cache.hh"
@@ -26,6 +30,8 @@
 #include "proc/processor.hh"
 #include "program/assembler.hh"
 #include "sim/sim_farm.hh"
+#include "system/system.hh"
+#include "workloads/workload.hh"
 
 using namespace tarantula;
 using namespace tarantula::program;
@@ -164,16 +170,86 @@ runCmp(unsigned n_cores)
     return now;
 }
 
+// ---- Part 2: the real CMP, a sys::System sweep ----------------------
+
+/** One (workload, cores) point of the System sweep. */
+struct CmpPoint
+{
+    std::string workload;
+    unsigned cores = 1;
+    Cycle cycles = 0;
+    double aggOpc = 0.0;
+    std::vector<double> coreOpc;    ///< per-core ops/cycle
+    std::vector<double> share;      ///< per-core share of L2 grants
+    std::uint64_t bankConflicts = 0;
+    double rawMBs = 0.0;            ///< aggregate Zbox raw bandwidth
+};
+
+CmpPoint
+runSystemPoint(const std::string &workload, unsigned n_cores)
+{
+    proc::MachineConfig cfg = proc::tarantulaConfig();
+    cfg.cmp.numCores = n_cores;
+
+    // Deques: the System holds pointers into both.
+    std::deque<workloads::Workload> ws;
+    std::deque<exec::FunctionalMemory> mems;
+    std::vector<const Program *> progs;
+    std::vector<exec::FunctionalMemory *> memPtrs;
+    for (unsigned i = 0; i < n_cores; ++i) {
+        ws.push_back(workloads::byName(workload));
+        mems.emplace_back();
+        ws.back().init(mems.back());
+        progs.push_back(&ws.back().vectorProg);
+        memPtrs.push_back(&mems.back());
+    }
+
+    sys::System cpu(cfg, progs, memPtrs);
+    for (unsigned i = 0; i < n_cores; ++i) {
+        const Addr bias = sys::System::addrBiasFor(cfg, i);
+        for (const auto &r : ws[i].warmRanges) {
+            for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
+                cpu.l2().warmLine((r.base + o) | bias);
+        }
+    }
+    const proc::RunResult r = cpu.run(4ULL << 30);
+
+    CmpPoint p;
+    p.workload = workload;
+    p.cores = n_cores;
+    p.cycles = r.cycles;
+    p.aggOpc = r.opc();
+    p.rawMBs = r.rawBandwidthMBs();
+    p.bankConflicts = cpu.l2().bankConflicts();
+    std::uint64_t total_grants = 0;
+    for (unsigned i = 0; i < n_cores; ++i)
+        total_grants += cpu.l2().grantsFor(i);
+    for (unsigned i = 0; i < n_cores; ++i) {
+        p.coreOpc.push_back(
+            r.cycles ? static_cast<double>(r.perCore[i].ops) /
+                           static_cast<double>(r.cycles)
+                     : 0.0);
+        p.share.push_back(
+            total_grants
+                ? static_cast<double>(cpu.l2().grantsFor(i)) /
+                      static_cast<double>(total_grants)
+                : 0.0);
+    }
+    return p;
+}
+
 } // anonymous namespace
 
 int
 main()
 {
     std::printf("CMP L2-contention experiment (the paper's "
-                "introduction claim)\n");
-    std::printf("Each core sweeps a 20 MB working set twice; one "
-                "fits the shared 16 MB L2\n");
-    std::printf("with reuse across sweeps, two do not.\n\n");
+                "introduction claim)\n\n");
+    std::printf("Part 1: the original approximation -- bare EV8 "
+                "cores hand-wired to one\n");
+    std::printf("L2. Each core sweeps a 20 MB working set twice; one "
+                "fits the shared\n");
+    std::printf("16 MB L2 with reuse across sweeps, two do not.\n\n");
 
     // The three experiments are independent simulations, so they go
     // through SimFarm as custom jobs and run concurrently. Each task
@@ -230,5 +306,65 @@ main()
                 "                          on the same total work)\n",
                 static_cast<unsigned long long>(t_both),
                 static_cast<double>(duo) / t_both);
+
+    std::printf("\nPart 2: the real CMP (DESIGN.md §11) -- full "
+                "Tarantula cores sharing the\n");
+    std::printf("banked L2 with per-core bank arbitration; every "
+                "core runs its own copy\n");
+    std::printf("of the workload on colored addresses.\n\n");
+
+    const std::vector<std::string> sweeps = {"copy", "dgemm"};
+    const std::vector<unsigned> counts = {1, 2, 4};
+    std::vector<CmpPoint> points(sweeps.size() * counts.size());
+    sim::SimFarm farm2;
+    for (std::size_t wi = 0; wi < sweeps.size(); ++wi) {
+        for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+            CmpPoint *slot = &points[wi * counts.size() + ci];
+            const std::string name = sweeps[wi];
+            const unsigned n = counts[ci];
+            farm2.submit(name + "_x" + std::to_string(n),
+                         [slot, name, n] {
+                             *slot = runSystemPoint(name, n);
+                             sim::JobResult r;
+                             r.job.machine = "T";
+                             r.job.workload = name;
+                             r.status = sim::JobStatus::Ok;
+                             return r;
+                         });
+        }
+    }
+    const sim::BatchResult batch2 = farm2.run();
+    for (const auto &r : batch2.jobs) {
+        if (!r.ok())
+            fatal("system sweep %s failed: %s",
+                  r.job.workload.c_str(), r.message.c_str());
+    }
+
+    std::printf("  %-8s %-5s %12s %9s %9s %14s %12s\n", "workload",
+                "cores", "cycles", "agg opc", "core opc",
+                "bank conflicts", "raw MB/s");
+    for (const auto &p : points) {
+        double min_opc = p.coreOpc.empty() ? 0.0 : p.coreOpc[0];
+        double max_opc = min_opc;
+        for (double o : p.coreOpc) {
+            min_opc = std::min(min_opc, o);
+            max_opc = std::max(max_opc, o);
+        }
+        std::printf("  %-8s %-5u %12llu %9.2f %4.2f-%-4.2f %14llu "
+                    "%12.0f\n",
+                    p.workload.c_str(), p.cores,
+                    static_cast<unsigned long long>(p.cycles),
+                    p.aggOpc, min_opc, max_opc,
+                    static_cast<unsigned long long>(p.bankConflicts),
+                    p.rawMBs);
+    }
+    // Fairness at a glance: the grant share each core won of the L2
+    // pipes on the biggest sweep (a fair arbiter gives ~1/N each).
+    const CmpPoint &big = points.back();
+    std::printf("\n  L2 grant share on %s x%u:", big.workload.c_str(),
+                big.cores);
+    for (std::size_t i = 0; i < big.share.size(); ++i)
+        std::printf(" core%zu %.1f%%", i, 100.0 * big.share[i]);
+    std::printf("\n");
     return 0;
 }

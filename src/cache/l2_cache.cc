@@ -17,7 +17,7 @@ using mem::Slice;
 using mem::SliceResp;
 
 L2Cache::L2Cache(const L2Config &cfg, mem::Zbox &zbox,
-                 stats::StatGroup &parent)
+                 stats::StatGroup &parent, unsigned num_requesters)
     : cfg_(cfg),
       zbox_(zbox),
       statGroup_("l2", &parent),
@@ -44,6 +44,64 @@ L2Cache::L2Cache(const L2Config &cfg, mem::Zbox &zbox,
         fatal("l2: bad set count %u", numSets_);
     lines_.resize(static_cast<std::size_t>(numSets_) * cfg.assoc);
     maf_.resize(cfg.mafEntries);
+
+    numRequesters_ = num_requesters == 0 ? 1 : num_requesters;
+    bankOwner_.fill(-1);
+    if (numRequesters_ > 1) {
+        bankConflicts_ = std::make_unique<stats::Scalar>(
+            statGroup_, "bank_conflicts",
+            "cross-core same-bank bounces (CMP arbiter)");
+        for (unsigned r = 0; r < numRequesters_; ++r) {
+            const std::string c = "core" + std::to_string(r);
+            grantsPerCore_.push_back(std::make_unique<stats::Scalar>(
+                statGroup_, "grants_" + c,
+                "requests granted a pipe slot to " + c));
+            attemptsPerCore_.push_back(
+                std::make_unique<stats::Scalar>(
+                    statGroup_, "attempts_" + c,
+                    "requests offered by " + c + " (granted or not)"));
+            bouncesPerCore_.push_back(
+                std::make_unique<stats::Scalar>(
+                    statGroup_, "bounces_" + c,
+                    "requests " + c + " lost to another core's bank"));
+        }
+    }
+}
+
+std::uint16_t
+L2Cache::banksOf_(const Slice &slice)
+{
+    std::uint16_t banks = 0;
+    for (unsigned i = 0; i < NumLanes; ++i) {
+        if (slice.elems[i].valid) {
+            banks |= static_cast<std::uint16_t>(
+                1u << mem::bankOf(slice.elems[i].addr));
+        }
+    }
+    return banks;
+}
+
+bool
+L2Cache::claimBanks_(std::uint16_t banks, unsigned requester)
+{
+    if (numRequesters_ <= 1)
+        return true;
+    for (unsigned b = 0; b < NumLanes; ++b) {
+        if (!(banks & (1u << b)))
+            continue;
+        if (bankOwner_[b] >= 0 &&
+            bankOwner_[b] != static_cast<int>(requester)) {
+            ++*bankConflicts_;
+            ++*bouncesPerCore_[requester];
+            trc("bank_conflict", b, requester);
+            return false;
+        }
+    }
+    for (unsigned b = 0; b < NumLanes; ++b) {
+        if (banks & (1u << b))
+            bankOwner_[b] = static_cast<int>(requester);
+    }
+    return true;
 }
 
 unsigned
@@ -146,8 +204,12 @@ L2Cache::allocMaf()
 // ---- vector side --------------------------------------------------------
 
 bool
-L2Cache::acceptSlice(const Slice &slice)
+L2Cache::acceptSlice(const Slice &slice, unsigned requester)
 {
+    if (numRequesters_ > 1) {
+        tarantula_assert(requester < numRequesters_);
+        ++*attemptsPerCore_[requester];
+    }
     if (acceptedThisCycle_ || panicMaf_ >= 0)
         return false;
     // Fault injection: the arbiter starves the vector port.
@@ -183,16 +245,24 @@ L2Cache::acceptSlice(const Slice &slice)
         rec("maf_full", slice.id);
         return false;
     }
+    // CMP bank arbiter: a slice whose banks another core already owns
+    // this cycle bounces (the Vbox retries next cycle, exactly like
+    // MAF backpressure).
+    if (!claimBanks_(banksOf_(slice), requester))
+        return false;
 
     MafEntry &e = maf_[idx];
     e = MafEntry{};
     e.valid = true;
     e.isScalar = false;
     e.slice = slice;
+    e.requester = requester;
     e.bornAt = now_;
 
     acceptedThisCycle_ = true;
     ++slices_;
+    if (numRequesters_ > 1)
+        ++*grantsPerCore_[requester];
     if (slice.pump)
         ++pumpSlices_;
     trc("slice", slice.id, slice.pump);
@@ -275,6 +345,7 @@ L2Cache::processSlice(unsigned maf_idx)
     resp.instTag = s.instTag;
     resp.isWrite = s.isWrite;
     resp.dataQw = s.dataQw();
+    resp.requester = e.requester;
 
     if (s.isWrite) {
         Cycle start = base > writeBusFreeAt_ ? base : writeBusFreeAt_;
@@ -306,10 +377,10 @@ L2Cache::processSlice(unsigned maf_idx)
 }
 
 std::optional<SliceResp>
-L2Cache::dequeueSliceResp()
+L2Cache::dequeueSliceResp(unsigned requester)
 {
     for (auto it = sliceResps_.begin(); it != sliceResps_.end(); ++it) {
-        if (it->readyAt <= now_) {
+        if (it->readyAt <= now_ && it->requester == requester) {
             SliceResp r = *it;
             sliceResps_.erase(it);
             return r;
@@ -324,12 +395,22 @@ bool
 L2Cache::scalarRequest(Addr line_addr, bool is_write, std::uint64_t tag,
                        bool no_fetch, unsigned requester)
 {
+    if (numRequesters_ > 1) {
+        tarantula_assert(requester < numRequesters_);
+        ++*attemptsPerCore_[requester];
+    }
     if (panicMaf_ >= 0)
         return false;       // MAF is NACKing all competing requests
     const int idx = allocMaf();
     if (idx < 0) {
         ++mafFullRejects_;
         trc("maf_full_scalar", line_addr, tag);
+        return false;
+    }
+    // CMP bank arbiter: one bank per scalar request.
+    if (!claimBanks_(static_cast<std::uint16_t>(
+                         1u << mem::bankOf(line_addr)),
+                     requester)) {
         return false;
     }
     MafEntry &e = maf_[idx];
@@ -340,9 +421,11 @@ L2Cache::scalarRequest(Addr line_addr, bool is_write, std::uint64_t tag,
     e.scalarLine = roundDown(line_addr, CacheLineBytes);
     e.scalarWrite = is_write;
     e.scalarNoFetch = no_fetch;
-    e.scalarRequester = requester;
+    e.requester = requester;
     e.scalarTag = tag;
     ++scalarReqs_;
+    if (numRequesters_ > 1)
+        ++*grantsPerCore_[requester];
     processScalar(static_cast<unsigned>(idx));
     return true;
 }
@@ -377,7 +460,7 @@ L2Cache::processScalar(unsigned maf_idx)
 
     ScalarResp resp;
     resp.lineAddr = e.scalarLine;
-    resp.requester = e.scalarRequester;
+    resp.requester = e.requester;
     resp.tag = e.scalarTag;
     resp.isWrite = e.scalarWrite;
     resp.readyAt = now_ + cfg_.scalarHitLatency;
@@ -447,6 +530,12 @@ L2Cache::cycle()
 {
     ++now_;
     acceptedThisCycle_ = false;
+    // New arbitration cycle: all 16 banks up for grabs again. This
+    // runs before any Vbox or core of the same machine cycle can
+    // offer a request (the System steps the L2 first), so the grant
+    // state never leaks across cycles.
+    if (numRequesters_ > 1)
+        bankOwner_.fill(-1);
 
     // Re-issue memory requests that bounced off a full Zbox queue.
     while (!deferredReqs_.empty()) {
@@ -467,6 +556,16 @@ L2Cache::cycle()
         e.inRetryQueue = false;
         if (e.valid) {
             acceptedThisCycle_ = true;
+            // Replays have absolute priority over new requests, so
+            // they claim their banks first (always free this early in
+            // the cycle).
+            if (numRequesters_ > 1) {
+                claimBanks_(e.isScalar
+                                ? static_cast<std::uint16_t>(
+                                      1u << mem::bankOf(e.scalarLine))
+                                : banksOf_(e.slice),
+                            e.requester);
+            }
             ++e.replays;
             ++replays_;
             if (e.replays > cfg_.retryThreshold && panicMaf_ < 0) {
@@ -680,7 +779,7 @@ L2Cache::save(snap::Snapshotter &out) const
         out.u64(e.scalarLine);
         out.b(e.scalarWrite);
         out.b(e.scalarNoFetch);
-        out.u32(e.scalarRequester);
+        out.u32(e.requester);
         out.u16(e.waiting);
         out.u32(e.replays);
         out.b(e.inRetryQueue);
@@ -698,6 +797,7 @@ L2Cache::save(snap::Snapshotter &out) const
         out.b(r.isWrite);
         out.u64(r.readyAt);
         out.u32(r.dataQw);
+        out.u32(r.requester);   // payload v2 (absent in v1 files)
     }
 
     out.u64(scalarResps_.size());
@@ -757,7 +857,7 @@ L2Cache::restore(snap::Restorer &in)
         e.scalarLine = in.u64();
         e.scalarWrite = in.b();
         e.scalarNoFetch = in.b();
-        e.scalarRequester = in.u32();
+        e.requester = in.u32();
         e.waiting = in.u16();
         e.replays = in.u32();
         e.inRetryQueue = in.b();
@@ -775,6 +875,9 @@ L2Cache::restore(snap::Restorer &in)
         r.isWrite = in.b();
         r.readyAt = in.u64();
         r.dataQw = in.u32();
+        // Version-1 files predate the CMP refactor: single-core, so
+        // every in-flight slice belonged to requester 0.
+        r.requester = in.version() >= 2 ? in.u32() : 0;
     }
 
     scalarResps_.resize(in.u64());

@@ -29,9 +29,11 @@
 #ifndef TARANTULA_CACHE_L2_CACHE_HH
 #define TARANTULA_CACHE_L2_CACHE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -75,19 +77,32 @@ struct ScalarResp
 class L2Cache
 {
   public:
+    /**
+     * @param num_requesters  Cores sharing this cache (DESIGN.md §11).
+     *        With more than one, the per-cycle bank arbiter engages
+     *        (requests from different cores contending for the same
+     *        bank in one cycle bounce) and the per-core grant/attempt
+     *        counters feeding the system.fairness checker exist. With
+     *        exactly one, behaviour -- and the statistics-tree shape
+     *        -- is bit-identical to the pre-CMP single-owner cache.
+     */
     L2Cache(const L2Config &cfg, mem::Zbox &zbox,
-            stats::StatGroup &parent);
+            stats::StatGroup &parent, unsigned num_requesters = 1);
 
     // ---- vector (Vbox) side -------------------------------------------
     /**
-     * Offer a slice to the pipeline. At most one slice is accepted per
-     * cycle; acceptance also fails while the MAF is full, panic mode
-     * is NACKing, or the required data bus is busy (pump streams).
+     * Offer a slice to the pipeline on behalf of core @p requester.
+     * At most one slice is accepted per cycle; acceptance also fails
+     * while the MAF is full, panic mode is NACKing, the required data
+     * bus is busy (pump streams), or -- in CMP configurations -- any
+     * of the slice's banks was already granted to another core this
+     * cycle.
      */
-    bool acceptSlice(const mem::Slice &slice);
+    bool acceptSlice(const mem::Slice &slice, unsigned requester = 0);
 
-    /** Next completed slice, if any. */
-    std::optional<mem::SliceResp> dequeueSliceResp();
+    /** Next completed slice for @p requester's Vbox, if any. */
+    std::optional<mem::SliceResp>
+    dequeueSliceResp(unsigned requester = 0);
 
     // ---- scalar (core/L1) side ------------------------------------------
     /**
@@ -163,6 +178,40 @@ class L2Cache
     std::uint64_t panicEntries() const { return panics_.value(); }
     std::uint64_t l1Invalidates() const { return invalidates_.value(); }
 
+    // ---- CMP arbitration observability (zero when single-owner) -----
+    /** Cores sharing this cache. */
+    unsigned numRequesters() const { return numRequesters_; }
+    /** Cross-core same-bank bounces this cache has issued. */
+    std::uint64_t
+    bankConflicts() const
+    {
+        return bankConflicts_ ? bankConflicts_->value() : 0;
+    }
+    /** Requests core @p r won a pipe slot for (fairness checker). */
+    std::uint64_t
+    grantsFor(unsigned r) const
+    {
+        return r < grantsPerCore_.size() ? grantsPerCore_[r]->value()
+                                         : 0;
+    }
+    /** Requests core @p r offered, granted or not (fairness checker). */
+    std::uint64_t
+    attemptsFor(unsigned r) const
+    {
+        return r < attemptsPerCore_.size()
+                   ? attemptsPerCore_[r]->value()
+                   : 0;
+    }
+    /** Offers core @p r lost to another core's bank claim (fairness
+     *  checker: grants vs bounces is the contested-offer record). */
+    std::uint64_t
+    bouncesFor(unsigned r) const
+    {
+        return r < bouncesPerCore_.size()
+                   ? bouncesPerCore_[r]->value()
+                   : 0;
+    }
+
     // ---- snapshot (DESIGN.md §10) -------------------------------------
     /** Stats are restored by the Processor's whole-tree pass. */
     void save(snap::Snapshotter &out) const;
@@ -187,12 +236,23 @@ class L2Cache
         Addr scalarLine = 0;
         bool scalarWrite = false;
         bool scalarNoFetch = false;
-        unsigned scalarRequester = 0;
+        /** Owning core, for scalar AND slice entries (CMP configs). */
+        unsigned requester = 0;
         std::uint16_t waiting = 0;  ///< bit per slice element
         unsigned replays = 0;
         bool inRetryQueue = false;
         Cycle bornAt = 0;           ///< allocation cycle (age checker)
     };
+
+    /**
+     * Per-cycle bank arbiter (CMP only): true when every bank in
+     * @p banks is free or already owned by @p requester this cycle.
+     * On success the banks are claimed; on failure the cross-core
+     * bounce is counted against @p requester.
+     */
+    bool claimBanks_(std::uint16_t banks, unsigned requester);
+    /** Bank mask of a slice's valid elements. */
+    static std::uint16_t banksOf_(const mem::Slice &slice);
 
     unsigned setOf(Addr line_addr) const;
     std::uint64_t tagOf(Addr line_addr) const;
@@ -253,6 +313,17 @@ class L2Cache
     int panicMaf_ = -1;             ///< MAF index being protected
     std::uint64_t useClock_ = 0;    ///< LRU timestamp source
 
+    // ---- CMP bank arbitration (DESIGN.md §11) -----------------------
+    unsigned numRequesters_ = 1;
+    /**
+     * Per-cycle grant state: owner core of each of the 16 banks this
+     * cycle, or -1. Reset at the top of cycle() before any request of
+     * the new cycle can read it (the machine steps the L2 before the
+     * Vboxes and cores), claimed by retry-queue replays first and then
+     * by the cores in their round-robin step order.
+     */
+    std::array<int, NumLanes> bankOwner_{};
+
     stats::StatGroup statGroup_;
     stats::Scalar slices_;
     stats::Scalar sliceHits_;
@@ -265,6 +336,17 @@ class L2Cache
     stats::Scalar invalidates_;
     stats::Scalar writebacks_;
     stats::Scalar mafFullRejects_;
+
+    /**
+     * CMP-only statistics, created only when numRequesters_ > 1 so the
+     * single-core statistics tree keeps its exact pre-CMP shape (the
+     * shape is part of the snapshot stats payload and the golden-stats
+     * bytes). Indexed by core id.
+     */
+    std::unique_ptr<stats::Scalar> bankConflicts_;
+    std::vector<std::unique_ptr<stats::Scalar>> grantsPerCore_;
+    std::vector<std::unique_ptr<stats::Scalar>> attemptsPerCore_;
+    std::vector<std::unique_ptr<stats::Scalar>> bouncesPerCore_;
 };
 
 } // namespace tarantula::cache

@@ -16,12 +16,15 @@ using isa::Opcode;
 
 Core::Core(const CoreConfig &cfg, exec::Interpreter &interp,
            cache::L2Cache &l2, vbox::Vbox *vbox,
-           stats::StatGroup &parent, unsigned core_id)
+           stats::StatGroup &parent, unsigned core_id,
+           const std::string &label, Addr addr_bias)
     : cfg_(cfg),
       interp_(interp),
       l2_(l2),
       vbox_(vbox),
       coreId_(core_id),
+      label_(label),
+      addrBias_(addr_bias),
       l1_(cfg.l1, parent),
       bpred_(cfg.bpTableBits, parent),
       statGroup_("core", &parent),
@@ -267,8 +270,7 @@ Core::dispatchStage()
 
         // Track unretired store lines for the staleness detector.
         if (e.di.inst->cls() == InstClass::Store)
-            ++pendingStoreLines_[roundDown(e.di.effAddr,
-                                           CacheLineBytes)];
+            ++pendingStoreLines_[lineOf_(e.di.effAddr)];
 
         if (e.pendingSrcs == 0) {
             e.stage = Stage::Ready;
@@ -364,10 +366,12 @@ Core::issueOne(std::uint64_t seq)
             // vector load overlapping a not-yet-drained scalar store
             // is the hazard the paper requires a DrainM for.
             if (in.cls() == InstClass::VecLoad &&
-                (!pendingStoreLines_.empty() || !wbLines_.empty())) {
+                (!pendingStoreLines_.empty() || !wbLines_.empty() ||
+                 peerStore_)) {
                 for (const auto &ea : e.di.vaddrs) {
-                    if (hasPendingStore(roundDown(ea.addr,
-                                                  CacheLineBytes))) {
+                    const Addr line = lineOf_(ea.addr);
+                    if (hasPendingStore(line) ||
+                        (peerStore_ && peerStore_(line))) {
                         ++staleHazards_;
                         trc("stale_hazard", e.di.pc, ea.addr);
                         break;
@@ -411,7 +415,7 @@ Core::issueOne(std::uint64_t seq)
         if (in.op == Opcode::Prefetch) {
             // Non-binding: start an L1 fill if the line is absent and
             // an L1 MAF entry is free; never stalls.
-            const Addr line = roundDown(e.di.effAddr, CacheLineBytes);
+            const Addr line = lineOf_(e.di.effAddr);
             if (!l1_.lookup(line) && !l1Maf_.count(line) &&
                 l1Maf_.size() < cfg_.l1MafEntries &&
                 l2_.scalarRequest(line, false, 0, false, coreId_)) {
@@ -433,7 +437,7 @@ Core::issueOne(std::uint64_t seq)
 bool
 Core::issueLoad(RobEntry &e)
 {
-    const Addr line = roundDown(e.di.effAddr, CacheLineBytes);
+    const Addr line = lineOf_(e.di.effAddr);
     if (l1_.lookup(line)) {
         e.stage = Stage::Issued;
         completionEvents_.emplace(now_ + cfg_.l1HitLatency, e.di.seq);
@@ -553,7 +557,7 @@ Core::retireStage()
             if (!retireStoreToWb_(e))
                 break;      // write buffer full
         } else if (in.op == Opcode::Wh64) {
-            if (!pushWb_(roundDown(e.di.effAddr, CacheLineBytes), true))
+            if (!pushWb_(lineOf_(e.di.effAddr), true))
                 break;
         } else if (in.op == Opcode::DrainM) {
             // Fault injection: the barrier "forgets" to wait for the
@@ -578,8 +582,11 @@ Core::retireStage()
             // against may still be in flight when it retires.
             if (checks_ &&
                 (!writeBuffer_.empty() || outstandingStores_ > 0)) {
+                const std::string chk =
+                    label_ == "core" ? "coherency.drainm"
+                                     : label_ + ".coherency.drainm";
                 check::CheckerRegistry::fail(
-                    "coherency.drainm", now_,
+                    chk.c_str(), now_,
                     "DrainM retiring with " +
                         std::to_string(writeBuffer_.size()) +
                         " write-buffer lines and " +
@@ -613,7 +620,7 @@ Core::retireStage()
 bool
 Core::retireStoreToWb_(RobEntry &e)
 {
-    const Addr line = roundDown(e.di.effAddr, CacheLineBytes);
+    const Addr line = lineOf_(e.di.effAddr);
     if (!pushWb_(line, false))
         return false;
     auto it = pendingStoreLines_.find(line);
@@ -679,11 +686,12 @@ void
 Core::attachIntegrity(check::Integrity &kit)
 {
     faults_ = kit.faults();
-    ring_ = kit.ring("core");
+    ring_ = kit.ring(label_);
     checks_ = kit.checksEnabled();
 
     kit.registry().add(
-        "coherency.pbit",
+        label_ == "core" ? "coherency.pbit"
+                         : label_ + ".coherency.pbit",
         [this](Cycle, std::vector<std::string> &v) {
             // The P-bit protocol's promise: the L2 knows about every
             // line the processor holds. A valid L1 line must be
@@ -709,7 +717,7 @@ Core::attachIntegrity(check::Integrity &kit)
             });
         });
 
-    kit.forensics().addProbe("core", [this](JsonWriter &w) {
+    kit.forensics().addProbe(label_, [this](JsonWriter &w) {
         w.key("cycle").value(static_cast<std::uint64_t>(now_));
         w.key("lastRetiredPc").value(lastRetiredPc_);
         w.key("retired").value(retired_.value());
@@ -734,7 +742,7 @@ Core::attachIntegrity(check::Integrity &kit)
 void
 Core::attachTrace(trace::TraceSink &sink)
 {
-    trace_ = &sink.channel("core");
+    trace_ = &sink.channel(label_);
 }
 
 // ---- queries ---------------------------------------------------------
@@ -812,7 +820,7 @@ Core::restoreRobEntry(snap::Restorer &in, RobEntry &e) const
 void
 Core::save(snap::Snapshotter &out) const
 {
-    out.section("core");
+    out.section(label_);
     out.u64(now_);
 
     // Fetch state.
@@ -898,7 +906,7 @@ Core::save(snap::Snapshotter &out) const
 void
 Core::restore(snap::Restorer &in)
 {
-    in.section("core");
+    in.section(label_);
     now_ = in.u64();
 
     fetchBuffer_.resize(in.u64());

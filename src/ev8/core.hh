@@ -23,7 +23,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -75,14 +77,32 @@ class Core
 {
   public:
     /**
-     * @param cfg    Configuration.
-     * @param interp Functional interpreter (committed-path oracle).
-     * @param l2     Second-level cache (scalar port).
-     * @param vbox   Vector engine, or nullptr for a vector-less EV8.
+     * @param cfg       Configuration.
+     * @param interp    Functional interpreter (committed-path oracle).
+     * @param l2        Second-level cache (scalar port).
+     * @param vbox      Vector engine, or nullptr for a vector-less EV8.
+     * @param core_id   Requester id on a shared L2 (CMP configs).
+     * @param label     Trace-channel / forensic-ring / checker prefix
+     *                  ("core" single-core, "core0".. in a CMP).
+     * @param addr_bias Line-aligned bias ORed into every scalar memory
+     *                  address (CMP address coloring; 0 = untouched).
      */
     Core(const CoreConfig &cfg, exec::Interpreter &interp,
          cache::L2Cache &l2, vbox::Vbox *vbox,
-         stats::StatGroup &parent, unsigned core_id = 0);
+         stats::StatGroup &parent, unsigned core_id = 0,
+         const std::string &label = "core", Addr addr_bias = 0);
+
+    /**
+     * Install the CMP cross-core staleness probe: returns true when
+     * any *other* core still holds an undrained store to the line.
+     * Vector loads consult it next to the local hasPendingStore()
+     * detector; unset (single-core) it costs nothing.
+     */
+    void
+    setPeerStoreProbe(std::function<bool(Addr)> probe)
+    {
+        peerStore_ = std::move(probe);
+    }
 
     /** Advance one cycle through all pipeline stages. */
     void cycle();
@@ -200,11 +220,22 @@ class Core
     bool retireStoreToWb_(RobEntry &e);
     bool pushWb_(Addr line, bool wh64);
 
+    /** Line address of @p addr with the CMP coloring bias applied. */
+    Addr
+    lineOf_(Addr addr) const
+    {
+        return roundDown(addr | addrBias_, CacheLineBytes);
+    }
+
     CoreConfig cfg_;
     exec::Interpreter &interp_;
     cache::L2Cache &l2_;
     vbox::Vbox *vbox_;
     unsigned coreId_ = 0;       ///< requester id on the shared L2
+    std::string label_;         ///< per-core observability name
+    Addr addrBias_ = 0;         ///< CMP address coloring (0 = off)
+    /** CMP cross-core pending-store probe; see setPeerStoreProbe(). */
+    std::function<bool(Addr)> peerStore_;
     Cycle now_ = 0;
 
     // Fetch state.

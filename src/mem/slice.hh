@@ -104,6 +104,7 @@ struct SliceResp
     bool isWrite = false;
     Cycle readyAt = 0;          ///< cycle the last quadword arrives
     unsigned dataQw = 0;
+    unsigned requester = 0;     ///< owning Vbox's core id (CMP configs)
 };
 
 } // namespace tarantula::mem

@@ -29,6 +29,34 @@
 namespace tarantula::proc
 {
 
+/**
+ * Chip-multiprocessor shape: how many cores share the L2/Zbox and how
+ * fairly the banked cache must serve them (DESIGN.md §11).
+ */
+struct CmpConfig
+{
+    /** Cores sharing the L2 (1 = the paper's single-core machine). */
+    unsigned numCores = 1;
+    /**
+     * OR a per-core bias (coreId << 32, above every cache index bit)
+     * into each core's memory addresses so concurrent cores touch
+     * disjoint working sets; core 0 is never biased, and a 1-core
+     * machine is bit-identical with either setting.
+     */
+    bool colorAddresses = true;
+    /**
+     * system.fairness checker: minimum share of its own CONTESTED L2
+     * offers (grants vs cross-core bank bounces) a core must win over
+     * one grant window before the checker calls starvation. Judged
+     * against the core's own contested offers, not the total grant
+     * pool, so asymmetric placements with lightly-loaded cores stay
+     * legal.
+     */
+    double fairnessFloor = 0.05;
+    /** Suppress the fairness verdict below this many total grants. */
+    std::uint64_t fairnessMinGrants = 256;
+};
+
 /** Everything needed to instantiate one simulated machine. */
 struct MachineConfig
 {
@@ -61,6 +89,8 @@ struct MachineConfig
     vbox::VboxConfig vbox;
     cache::L2Config l2;
     mem::ZboxConfig zbox;
+    /** CMP shape; the default is the paper's single-core machine. */
+    CmpConfig cmp;
 };
 
 /**

@@ -1,499 +1,26 @@
 #include "proc/processor.hh"
 
-#include <algorithm>
-#include <chrono>
-#include <ostream>
-#include <sstream>
-
-#include "base/logging.hh"
-#include "snap/snapshot.hh"
-
 namespace tarantula::proc
 {
+
+namespace
+{
+
+/** Pin the façade to 1 core whatever the caller's cmp knobs say. */
+MachineConfig
+singleCore(MachineConfig cfg)
+{
+    cfg.cmp.numCores = 1;
+    return cfg;
+}
+
+} // anonymous namespace
 
 Processor::Processor(const MachineConfig &cfg,
                      const program::Program &prog,
                      exec::FunctionalMemory &mem)
-    : cfg_(cfg), statRoot_(cfg.name)
+    : sys_(singleCore(cfg), {&prog}, {&mem})
 {
-    integrity_ = std::make_unique<check::Integrity>(cfg.integrity);
-    zbox_ = std::make_unique<mem::Zbox>(cfg.zbox, statRoot_);
-    l2_ = std::make_unique<cache::L2Cache>(cfg.l2, *zbox_, statRoot_);
-    if (cfg.hasVbox)
-        vbox_ = std::make_unique<vbox::Vbox>(cfg.vbox, *l2_, statRoot_);
-    interp_ = std::make_unique<exec::Interpreter>(prog, mem);
-    core_ = std::make_unique<ev8::Core>(cfg.core, *interp_, *l2_,
-                                        vbox_.get(), statRoot_);
-    l2_->setL1InvalidateHook(
-        [this](Addr line) { core_->l1Invalidate(line); });
-
-    // Attach order fixes checker registration order, and with it the
-    // order violations are reported in: memory-side first, core last.
-    zbox_->attachIntegrity(*integrity_);
-    l2_->attachIntegrity(*integrity_);
-    if (vbox_)
-        vbox_->attachIntegrity(*integrity_);
-    core_->attachIntegrity(*integrity_);
-
-    if (cfg.trace.events) {
-        trace_ = std::make_unique<trace::TraceSink>(cfg.trace.maxEvents);
-        zbox_->attachTrace(*trace_);
-        l2_->attachTrace(*trace_);
-        if (vbox_)
-            vbox_->attachTrace(*trace_);
-        core_->attachTrace(*trace_);
-        procTrace_ = &trace_->channel("proc");
-    }
-    if (cfg.trace.sampleEvery) {
-        sampler_ = std::make_unique<trace::Sampler>(
-            cfg.trace.sampleEvery, statRoot_, cfg.trace.sampleStats);
-    }
-
-    integrity_->forensics().addProbe("proc", [this](JsonWriter &w) {
-        w.key("machine").value(cfg_.name);
-        w.key("hasVbox").value(static_cast<bool>(vbox_));
-        w.key("cycle").value(static_cast<std::uint64_t>(now_));
-    });
-}
-
-void
-Processor::step()
-{
-    ++now_;
-    setPanicCycle(now_);
-    zbox_->cycle();
-    l2_->cycle();
-    if (vbox_)
-        vbox_->cycle();
-    core_->cycle();
-    if (integrity_->checksEnabled()) {
-        const unsigned interval = cfg_.integrity.checkInterval;
-        if (interval == 0 || now_ % interval == 0)
-            integrity_->registry().runAll(now_);
-    }
-    if (sampler_ && sampler_->due(now_))
-        sampler_->sample(now_);
-}
-
-void
-Processor::writeForensics(std::ostream &os,
-                          const std::string &reason) const
-{
-    integrity_->forensics().writeReport(os, reason, now_);
-}
-
-bool
-Processor::machineIdle_() const
-{
-    return core_->done() && l2_->idle() && zbox_->idle() &&
-           (!vbox_ || vbox_->idle());
-}
-
-Cycle
-Processor::quiescentUntil_(std::uint64_t max_cycles,
-                           Cycle last_progress) const
-{
-    // Minimum of the component horizons. Short-circuit: once any
-    // component wants the very next cycle there is nothing to clamp.
-    Cycle target = core_->nextEventCycle();
-    if (target > now_ + 1)
-        target = std::min(target, l2_->nextEventCycle());
-    if (target > now_ + 1)
-        target = std::min(target, zbox_->nextEventCycle());
-    if (target > now_ + 1 && vbox_)
-        target = std::min(target, vbox_->nextEventCycle());
-    if (target <= now_ + 1)
-        return now_ + 1;
-
-    // Integrity sweeps run on every checkInterval boundary with the
-    // true cycle number (age-based checkers must fire at the exact
-    // cycle they would when stepping); interval 0 checks every cycle.
-    if (integrity_->checksEnabled()) {
-        const unsigned interval = cfg_.integrity.checkInterval;
-        if (interval == 0)
-            return now_ + 1;
-        target = std::min(
-            target, (now_ / interval + 1) * static_cast<Cycle>(interval));
-    }
-
-    // The interval sampler snapshots the stats tree on every
-    // sampleEvery boundary; like the integrity sweeps, it must observe
-    // the exact cycles it would when stepping or the timeseries (and
-    // with it the bit-identical contract) breaks.
-    if (sampler_)
-        target = std::min(target, sampler_->nextBoundary(now_));
-
-    // The deadlock watchdog panics the first cycle the no-progress
-    // window is exceeded; land on exactly that cycle.
-    if (cfg_.deadlockCycles)
-        target = std::min(target,
-                          last_progress + cfg_.deadlockCycles + 1);
-
-    // The timeout check at the top of the loop must observe the bound.
-    target = std::min(target, static_cast<Cycle>(max_cycles));
-
-    return std::max(target, now_ + 1);
-}
-
-RunResult
-Processor::run(std::uint64_t max_cycles, std::optional<Cycle> stop_at)
-{
-    const auto host_start = std::chrono::steady_clock::now();
-
-    // The engine evaluates the idle condition before the first step,
-    // so a machine that is born finished -- e.g. an empty program,
-    // whose interpreter starts out halted -- runs for zero cycles
-    // while still constructing and draining every component.
-    while (!machineIdle_() && (!stop_at || now_ < *stop_at)) {
-        if (now_ >= max_cycles) {
-            const std::string msg =
-                "processor '" + cfg_.name + "': exceeded " +
-                std::to_string(max_cycles) + " cycles";
-            std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-            throw TimeoutError(msg);
-        }
-
-        if (cfg_.fastForward) {
-            Cycle target =
-                quiescentUntil_(max_cycles, lastProgress_);
-            // A checkpoint stop is stepped into normally, exactly like
-            // an integrity-sweep boundary, so stopping never changes
-            // what any cycle computes.
-            if (stop_at)
-                target = std::min(target, *stop_at);
-            tarantula_assert(target > now_);
-            if (target > now_ + 1) {
-                // Jump to the cycle *before* the event and step into
-                // it normally, so the event cycle itself executes the
-                // full stage machinery. Advance the clock (and the
-                // panic stamp) before the component jumps: a panic
-                // fired from inside fastForward() must report the
-                // landing cycle, not the pre-jump one.
-                const Cycle delta = target - now_ - 1;
-                now_ += delta;
-                setPanicCycle(now_);
-                zbox_->fastForward(delta);
-                l2_->fastForward(delta);
-                if (vbox_)
-                    vbox_->fastForward(delta);
-                core_->fastForward(delta);
-                ++ffJumps_;
-                ffSkipped_ += delta;
-                if (procTrace_) {
-                    procTrace_->complete(now_ - delta + 1, delta,
-                                         "ff_jump", delta);
-                }
-            }
-        }
-        const Cycle before = now_;
-        step();
-        tarantula_assert(now_ == before + 1);
-
-        // Deadlock detector: the machine must retire something every
-        // so often or the model has wedged (a simulator bug).
-        if (core_->numRetired() != lastRetired_) {
-            lastRetired_ = core_->numRetired();
-            lastProgress_ = now_;
-        } else if (cfg_.deadlockCycles &&
-                   now_ - lastProgress_ > cfg_.deadlockCycles) {
-            panic("processor '%s': no retirement in %llu cycles "
-                  "(pc=%u retired=%llu)",
-                  cfg_.name.c_str(),
-                  static_cast<unsigned long long>(cfg_.deadlockCycles),
-                  interp_->pc(),
-                  static_cast<unsigned long long>(lastRetired_));
-        }
-    }
-
-    // End-of-run finalization only when the machine truly drained; a
-    // checkpoint stop leaves the tail sweep and the final partial
-    // sample to the run (original or resumed) that reaches the end.
-    if (machineIdle_()) {
-        // A final sweep catches violations only visible in the end
-        // state (e.g. a transaction that never completed but stopped
-        // aging).
-        if (integrity_->checksEnabled())
-            integrity_->registry().runAll(now_);
-        // And a final partial sample so the timeseries covers the tail.
-        if (sampler_)
-            sampler_->finishRun(now_);
-    }
-
-    RunResult r;
-    r.machine = cfg_.name;
-    r.cycles = now_;
-    r.insts = core_->numRetired();
-    r.ops = core_->numOps();
-    r.flops = core_->numFlops();
-    r.memops = core_->numMemops();
-    r.rawBytes = zbox_->rawBytes();
-    r.dataBytes = zbox_->dataBytes();
-    r.rowActivates = zbox_->rowActivates();
-    r.rowPrecharges = zbox_->rowPrecharges();
-    r.freqGhz = cfg_.freqGhz;
-    r.ffJumps = ffJumps_;
-    r.ffSkippedCycles = ffSkipped_;
-    r.hostMillis =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - host_start)
-            .count();
-    return r;
-}
-
-// ---- snapshot/restore (DESIGN.md §10) --------------------------------
-
-std::uint64_t
-Processor::configDigest(const MachineConfig &cfg)
-{
-    // Canonical serialization of every knob that can change what the
-    // machine computes, hashed. Deliberately excluded: fastForward
-    // (both engines are bit-identical by contract, and resuming a
-    // stepped snapshot under the fast-forward engine is a supported
-    // cross-check) and the trace config (observability is read-only,
-    // so one warmed snapshot can fan across a tracing/sampling grid).
-    std::ostringstream os;
-    snap::Snapshotter out(os);
-    out.str(cfg.name);
-    out.f64(cfg.freqGhz);
-    out.b(cfg.hasVbox);
-    out.u64(cfg.deadlockCycles);
-
-    // Integrity: the fault plan rewrites machine behaviour, and the
-    // checker knobs decide which cycles panic; forensics/ringEntries
-    // are pure observability and stay out.
-    out.b(cfg.integrity.checks);
-    out.u32(cfg.integrity.checkInterval);
-    out.u64(cfg.integrity.maxTransactionAge);
-    out.u64(cfg.integrity.faults.size());
-    for (const auto &ev : cfg.integrity.faults.events()) {
-        out.u8(static_cast<std::uint8_t>(ev.kind));
-        out.u64(ev.start);
-        out.u64(ev.duration);
-        out.u64(ev.arg);
-    }
-
-    const auto &c = cfg.core;
-    out.u32(c.fetchWidth);
-    out.u32(c.frontendDepth);
-    out.u32(c.robSize);
-    out.u32(c.intIssueWidth);
-    out.u32(c.fpIssueWidth);
-    out.u32(c.loadPorts);
-    out.u32(c.storePorts);
-    out.u32(c.vecDispatchWidth);
-    out.u32(c.retireWidth);
-    out.u32(c.mispredictPenalty);
-    out.u32(c.bpTableBits);
-    out.u32(c.intLatency);
-    out.u32(c.mulLatency);
-    out.u32(c.fpLatency);
-    out.u32(c.divLatency);
-    out.u32(c.sqrtLatency);
-    out.u32(c.l1HitLatency);
-    out.u32(c.l1MafEntries);
-    out.u32(c.writeBufferEntries);
-    out.u64(c.l1.sizeBytes);
-    out.u32(c.l1.assoc);
-
-    const auto &v = cfg.vbox;
-    out.u32(v.dispatchBusWidth);
-    out.u32(v.vecFpLatency);
-    out.u32(v.vecIntLatency);
-    out.u32(v.vecDivLatency);
-    out.u32(v.scalarBusDelay);
-    out.u32(v.chainLatency);
-    out.u32(v.memQueueEntries);
-    out.b(v.slicer.pumpEnabled);
-    out.b(v.slicer.forceCrBox);
-    out.u32(v.slicer.crWindow);
-    out.u32(v.tlb.entries);
-    out.u32(v.tlb.assoc);
-    out.u32(v.tlb.pageBits);
-    out.u8(static_cast<std::uint8_t>(v.refill));
-
-    const auto &l = cfg.l2;
-    out.u64(l.sizeBytes);
-    out.u32(l.assoc);
-    out.u32(l.hitLatency);
-    out.u32(l.scalarHitLatency);
-    out.u32(l.mafEntries);
-    out.u32(l.retryThreshold);
-    out.u32(l.pumpStreamCycles);
-    out.u32(l.invalidatePenalty);
-
-    const auto &z = cfg.zbox;
-    out.u32(z.numPorts);
-    out.f64(z.cpuPerMemClock);
-    out.u32(z.lineXferMemClocks);
-    out.u32(z.dirMemClocks);
-    out.u32(z.activateMemClocks);
-    out.u32(z.prechargeMemClocks);
-    out.u32(z.turnaroundMemClocks);
-    out.u32(z.banksPerPort);
-    out.u32(z.rowBytes);
-    out.u32(z.portQueueDepth);
-    out.u64(z.baseLatency);
-
-    const std::string bytes = os.str();
-    return snap::fnv1a(bytes.data(), bytes.size());
-}
-
-std::vector<std::uint64_t>
-Processor::statsWords_() const
-{
-    std::vector<std::uint64_t> words;
-    statRoot_.serializeValues(words);
-    return words;
-}
-
-std::uint64_t
-Processor::statsDigest() const
-{
-    const auto words = statsWords_();
-    return snap::fnv1a(words.data(),
-                       words.size() * sizeof(std::uint64_t));
-}
-
-void
-Processor::snapshot(const std::string &path,
-                    const std::string &workload) const
-{
-    std::ostringstream os;
-    snap::Snapshotter out(os);
-
-    out.section("proc");
-    out.u64(now_);
-    out.u64(lastRetired_);
-    out.u64(lastProgress_);
-    // Host observability, outside the bit-identical contract (a
-    // checkpoint stop clamps a jump a straight run would take whole);
-    // carried anyway so cumulative counts survive the resume.
-    out.u64(ffJumps_);
-    out.u64(ffSkipped_);
-
-    interp_->save(out);
-    zbox_->save(out);
-    l2_->save(out);
-    if (vbox_)
-        vbox_->save(out);
-    core_->save(out);
-
-    // The fault plan's presence is implied by the config digest, but
-    // an explicit flag keeps the payload self-describing.
-    const check::FaultPlan *faults = integrity_->faults();
-    out.b(faults != nullptr);
-    if (faults)
-        faults->save(out);
-
-    // The whole stats tree in one pass (components skip their own
-    // stats in save() precisely so nothing is written twice).
-    const auto words = statsWords_();
-    out.section("stats");
-    out.u64(words.size());
-    for (std::uint64_t w : words)
-        out.u64(w);
-
-    out.b(sampler_ != nullptr);
-    if (sampler_)
-        sampler_->save(out);
-
-    snap::SnapshotManifest m;
-    m.machine = cfg_.name;
-    m.configHash = configDigest(cfg_);
-    m.workload = workload;
-    m.cycle = now_;
-    m.statsDigest =
-        snap::fnv1a(words.data(), words.size() * sizeof(std::uint64_t));
-    snap::writeSnapshotFile(path, m, os.str());
-}
-
-void
-Processor::restoreFrom(const std::string &path)
-{
-    snap::SnapshotManifest m;
-    std::string payload;
-    snap::readSnapshotFile(path, m, payload);
-
-    const std::uint64_t expect = configDigest(cfg_);
-    if (m.configHash != expect) {
-        throw snap::SnapshotError(
-            "snapshot: machine config mismatch: '" + path +
-            "' was taken on machine '" + m.machine + "' (config hash " +
-            std::to_string(m.configHash) + "), but this processor is '" +
-            cfg_.name + "' (config hash " + std::to_string(expect) +
-            ")");
-    }
-
-    std::istringstream is(payload);
-    snap::Restorer in(is);
-
-    in.section("proc");
-    now_ = in.u64();
-    setPanicCycle(now_);
-    lastRetired_ = in.u64();
-    lastProgress_ = in.u64();
-    ffJumps_ = in.u64();
-    ffSkipped_ = in.u64();
-
-    interp_->restore(in);
-    zbox_->restore(in);
-    l2_->restore(in);
-    if (vbox_)
-        vbox_->restore(in);
-    core_->restore(in);
-
-    const bool hasFaults = in.b();
-    check::FaultPlan *faults = integrity_->faults();
-    if (hasFaults != (faults != nullptr)) {
-        // Unreachable when the config digest matched (the fault plan
-        // is hashed), but a self-describing payload checks anyway.
-        throw snap::SnapshotError(
-            "snapshot: fault plan presence mismatch (snapshot " +
-            std::string(hasFaults ? "has" : "lacks") +
-            " one, this machine " + (faults ? "has" : "lacks") +
-            " one)");
-    }
-    if (faults)
-        faults->restore(in);
-
-    in.section("stats");
-    std::vector<std::uint64_t> words(in.u64());
-    for (auto &w : words)
-        w = in.u64();
-    const std::uint64_t digest =
-        snap::fnv1a(words.data(), words.size() * sizeof(std::uint64_t));
-    if (digest != m.statsDigest) {
-        throw snap::SnapshotError(
-            "snapshot: stats digest mismatch (manifest says " +
-            std::to_string(m.statsDigest) + ", payload hashes to " +
-            std::to_string(digest) + ")");
-    }
-    if (!statRoot_.deserializeValues(words)) {
-        throw snap::SnapshotError(
-            "snapshot: stats tree shape mismatch ('" + path +
-            "' was written by a machine with a different statistics "
-            "tree)");
-    }
-
-    const bool hasSampler = in.b();
-    if (hasSampler && sampler_) {
-        sampler_->restore(in);
-    } else if (hasSampler) {
-        // Snapshot sampled, this run does not: skim past the rows.
-        // Resuming with sampling *enabled* from an unsampled snapshot
-        // is also allowed -- the timeseries then covers the resumed
-        // tail only -- so the sampler sits outside the config digest.
-        in.section("sampler");
-        in.u64();                   // every
-        in.b();                     // finished
-        in.u64();                   // numStats
-        const std::uint64_t rows = in.u64();
-        for (std::uint64_t i = 0; i < rows; ++i)
-            in.u64();
-        const std::uint64_t vals = in.u64();
-        for (std::uint64_t i = 0; i < vals; ++i)
-            in.u64();
-    }
 }
 
 } // namespace tarantula::proc

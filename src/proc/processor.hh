@@ -1,104 +1,38 @@
 /**
  * @file
- * The top-level Processor: composes the Zbox, the banked L2, the
- * optional Vbox and the EV8 core around a functional interpreter, and
- * drives the whole machine cycle by cycle.
+ * The top-level Processor: the paper's single-core machine -- one EV8
+ * core, the optional Vbox, the banked L2 and the Zbox around a
+ * functional interpreter.
+ *
+ * Since the CMP rework (DESIGN.md §11) the cycle engine lives in
+ * sys::System; Processor is the thin 1-core façade over it, kept so
+ * every pre-CMP caller, golden file and snapshot keeps working
+ * unchanged. A 1-core System is bit-identical to the machine this
+ * class always modeled -- same step order, statistics tree, snapshot
+ * payload and observability names.
  */
 
 #ifndef TARANTULA_PROC_PROCESSOR_HH
 #define TARANTULA_PROC_PROCESSOR_HH
 
 #include <iosfwd>
-#include <memory>
 #include <optional>
 #include <string>
 
-#include "base/statistics.hh"
-#include "cache/l2_cache.hh"
-#include "check/integrity.hh"
-#include "ev8/core.hh"
-#include "exec/interp.hh"
-#include "exec/memory.hh"
-#include "mem/zbox.hh"
 #include "proc/machine_config.hh"
-#include "program/program.hh"
-#include "snap/snapshot_file.hh"
-#include "trace/sampler.hh"
-#include "trace/trace.hh"
-#include "vbox/vbox.hh"
+#include "system/system.hh"
 
 namespace tarantula::proc
 {
 
-/** Aggregate results of one simulation. */
-struct RunResult
-{
-    std::string machine;
-    Cycle cycles = 0;
-    std::uint64_t insts = 0;        ///< instructions retired
-    std::uint64_t ops = 0;          ///< operations (paper's OPC basis)
-    std::uint64_t flops = 0;
-    std::uint64_t memops = 0;
-    std::uint64_t rawBytes = 0;     ///< Zbox raw traffic
-    std::uint64_t dataBytes = 0;    ///< Zbox data-only traffic
-    std::uint64_t rowActivates = 0; ///< DRAM row activations
-    std::uint64_t rowPrecharges = 0;
-    double freqGhz = 0.0;
-
-    // ---- host-performance observability -----------------------------
-    // Deliberately kept out of the statistics tree: the stats report
-    // must serialize to identical bytes run over run and with fast-
-    // forward on or off; host timing never can.
-    double hostMillis = 0.0;        ///< wall-clock time inside run()
-    std::uint64_t ffJumps = 0;      ///< fast-forward jumps taken
-    std::uint64_t ffSkippedCycles = 0;  ///< cycles covered by jumps
-
-    /** Simulation throughput: simulated cycles per host second. */
-    double
-    simCyclesPerHostSec() const
-    {
-        return hostMillis > 0.0
-                   ? static_cast<double>(cycles) / (hostMillis / 1e3)
-                   : 0.0;
-    }
-
-    double opc() const { return cycles ? double(ops) / cycles : 0.0; }
-    double fpc() const { return cycles ? double(flops) / cycles : 0.0; }
-    double mpc() const { return cycles ? double(memops) / cycles : 0.0; }
-    double
-    otherPc() const
-    {
-        return cycles ? double(ops - flops - memops) / cycles : 0.0;
-    }
-    /** Wall-clock seconds at the configured frequency. */
-    double
-    seconds() const
-    {
-        return static_cast<double>(cycles) / (freqGhz * 1e9);
-    }
-    /**
-     * Sustained bandwidth for @p useful_bytes moved by the kernel, in
-     * MB/s (the STREAMS accounting).
-     */
-    double
-    bandwidthMBs(double useful_bytes) const
-    {
-        return useful_bytes / seconds() / 1e6;
-    }
-    /** Raw controller bandwidth in MB/s (Table 4's "Raw" column). */
-    double
-    rawBandwidthMBs() const
-    {
-        return static_cast<double>(rawBytes) / seconds() / 1e6;
-    }
-};
-
-/** One simulated machine running one program; see file comment. */
+/** One simulated single-core machine running one program. */
 class Processor
 {
   public:
     /**
-     * @param cfg   Machine description (Table 3 column).
+     * @param cfg   Machine description (Table 3 column). The CMP core
+     *              count is ignored: a Processor is always 1 core --
+     *              build a sys::System directly for more.
      * @param prog  Program to run (must outlive the processor).
      * @param mem   Architectural memory image (inputs pre-loaded).
      */
@@ -106,136 +40,80 @@ class Processor
               exec::FunctionalMemory &mem);
 
     /**
-     * Run to completion on the quiescence-aware cycle engine: jumps
-     * `now_` to the minimum of the component nextEventCycle() horizons
-     * (clamped so integrity sweeps, the deadlock watchdog, and the
-     * timeout bound observe the exact cycles they would when stepping)
-     * unless `cfg.fastForward` is off, in which case every cycle is
-     * stepped. Results are bit-identical either way.
+     * Run to completion on the quiescence-aware cycle engine; see
+     * sys::System::run() for the fast-forward and stop_at contract.
      * @param max_cycles  Safety bound; throws TimeoutError beyond it.
-     * @param stop_at     Optional checkpoint stop: return as soon as
-     *                    now() reaches this cycle (the machine is NOT
-     *                    idle then; call run() again, or snapshot()
-     *                    first). Fast-forward jumps clamp to it, so
-     *                    the stop cycle itself is stepped normally and
-     *                    stopping never perturbs timing.
+     * @param stop_at     Optional checkpoint stop.
      */
-    RunResult run(std::uint64_t max_cycles = 1ULL << 32,
-                  std::optional<Cycle> stop_at = std::nullopt);
+    RunResult
+    run(std::uint64_t max_cycles = 1ULL << 32,
+        std::optional<Cycle> stop_at = std::nullopt)
+    {
+        return sys_.run(max_cycles, stop_at);
+    }
 
     /** Advance a single cycle (tests drive fine-grained scenarios). */
-    void step();
+    void step() { sys_.step(); }
 
     /** Current cycle. */
-    Cycle now() const { return now_; }
+    Cycle now() const { return sys_.now(); }
 
     /** True when every component has drained: the run is over. */
-    bool finished() const { return machineIdle_(); }
+    bool finished() const { return sys_.finished(); }
 
     // ---- snapshot/restore (DESIGN.md §10) ----------------------------
-    /**
-     * Serialize the complete machine state -- architectural (registers,
-     * memory image, PC) and microarchitectural (every pipeline buffer,
-     * cache tag, TLB entry, DRAM bank row, the full stats tree) -- into
-     * a tarantula.snapshot.v1 file, written atomically.
-     *
-     * @param path      Destination file.
-     * @param workload  Workload name recorded in the manifest
-     *                  (informational; warm-start matching uses it).
-     */
-    void snapshot(const std::string &path,
-                  const std::string &workload = "") const;
+    /** See sys::System::snapshot(). */
+    void
+    snapshot(const std::string &path,
+             const std::string &workload = "") const
+    {
+        sys_.snapshot(path, workload);
+    }
 
-    /**
-     * Restore the machine from a snapshot file. The processor must be
-     * freshly constructed from the same MachineConfig the snapshot was
-     * taken under (enforced by config hash) with the same program and
-     * workload-initialized memory; the memory image is then replaced
-     * by the snapshot's.
-     *
-     * @throws snap::SnapshotError on any mismatched, truncated or
-     *         corrupt file -- never a panic.
-     */
-    void restoreFrom(const std::string &path);
+    /** See sys::System::restoreFrom(). */
+    void restoreFrom(const std::string &path)
+    {
+        sys_.restoreFrom(path);
+    }
 
-    /**
-     * FNV-1a digest over the timing-relevant machine configuration
-     * (everything except the fast-forward engine switch and the
-     * observability knobs, which are bit-identical by contract and so
-     * may differ between snapshot and resume).
-     */
-    static std::uint64_t configDigest(const MachineConfig &cfg);
+    /** See sys::System::configDigest(). */
+    static std::uint64_t
+    configDigest(const MachineConfig &cfg)
+    {
+        return sys::System::configDigest(cfg);
+    }
 
     /** Digest of the serialized stats tree (manifest cross-check). */
-    std::uint64_t statsDigest() const;
+    std::uint64_t statsDigest() const { return sys_.statsDigest(); }
 
-    cache::L2Cache &l2() { return *l2_; }
-    mem::Zbox &zbox() { return *zbox_; }
-    ev8::Core &core() { return *core_; }
-    vbox::Vbox *vbox() { return vbox_.get(); }
-    exec::Interpreter &interp() { return *interp_; }
-    stats::StatGroup &stats() { return statRoot_; }
-    check::Integrity &integrity() { return *integrity_; }
+    cache::L2Cache &l2() { return sys_.l2(); }
+    mem::Zbox &zbox() { return sys_.zbox(); }
+    ev8::Core &core() { return sys_.core(0); }
+    vbox::Vbox *vbox() { return sys_.vbox(0); }
+    exec::Interpreter &interp() { return sys_.interp(0); }
+    stats::StatGroup &stats() { return sys_.stats(); }
+    check::Integrity &integrity() { return sys_.integrity(); }
 
-    /**
-     * Emit a tarantula.forensics.v1 crash report: per-component state
-     * probes plus the merged last-N-event rings. Callable at any
-     * point; callers invoke it when run() throws.
-     */
-    void writeForensics(std::ostream &os,
-                        const std::string &reason) const;
+    /** The underlying 1-core System. */
+    sys::System &system() { return sys_; }
 
-    /**
-     * The observability event sink (DESIGN.md §9), or nullptr when
-     * `cfg.trace.events` is off. Callers serialize it with
-     * trace::TraceSink::writeChromeTrace() after (or instead of — the
-     * sink is valid mid-run, e.g. in crash handlers) run().
-     */
-    trace::TraceSink *traceSink() { return trace_.get(); }
+    /** See sys::System::writeForensics(). */
+    void
+    writeForensics(std::ostream &os, const std::string &reason) const
+    {
+        sys_.writeForensics(os, reason);
+    }
 
-    /**
-     * The interval stats sampler (DESIGN.md §9), or nullptr when
-     * `cfg.trace.sampleEvery` is zero. run() finalizes it; callers
-     * serialize with trace::Sampler::writeJson().
-     */
-    const trace::Sampler *sampler() const { return sampler_.get(); }
+    /** See sys::System::traceSink(). */
+    trace::TraceSink *traceSink() { return sys_.traceSink(); }
 
-    const MachineConfig &config() const { return cfg_; }
+    /** See sys::System::sampler(). */
+    const trace::Sampler *sampler() const { return sys_.sampler(); }
+
+    const MachineConfig &config() const { return sys_.config(); }
 
   private:
-    /** True when every component has drained: the run is over. */
-    bool machineIdle_() const;
-    /**
-     * First cycle > now_ at which anything observable can happen: the
-     * minimum component horizon clamped to the next integrity-sweep
-     * boundary, the watchdog deadline, and the timeout bound.
-     */
-    Cycle quiescentUntil_(std::uint64_t max_cycles,
-                          Cycle last_progress) const;
-    /** The serialized stats-tree words (payload + digest source). */
-    std::vector<std::uint64_t> statsWords_() const;
-
-    MachineConfig cfg_;
-    stats::StatGroup statRoot_;
-    std::unique_ptr<check::Integrity> integrity_;
-    std::unique_ptr<trace::TraceSink> trace_;
-    std::unique_ptr<trace::Sampler> sampler_;
-    /** "proc" trace channel: fast-forward jump spans. */
-    trace::TraceChannel *procTrace_ = nullptr;
-    std::unique_ptr<mem::Zbox> zbox_;
-    std::unique_ptr<cache::L2Cache> l2_;
-    std::unique_ptr<vbox::Vbox> vbox_;
-    std::unique_ptr<exec::Interpreter> interp_;
-    std::unique_ptr<ev8::Core> core_;
-    Cycle now_ = 0;
-    // Fast-forward observability (not statistics; see RunResult).
-    std::uint64_t ffJumps_ = 0;
-    std::uint64_t ffSkipped_ = 0;
-    // Deadlock-watchdog state. Members (serialized), not run() locals:
-    // a resumed run's watchdog must panic on exactly the cycle the
-    // straight run's would.
-    std::uint64_t lastRetired_ = 0;
-    Cycle lastProgress_ = 0;
+    sys::System sys_;
 };
 
 } // namespace tarantula::proc

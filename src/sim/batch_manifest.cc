@@ -32,6 +32,10 @@ BatchManifest::jobKey(const Job &job)
     // two jobs with the same key must be interchangeable.
     std::ostringstream os;
     snap::Snapshotter knobs(os);
+    // Only when != 1, so single-core sweeps keep their pre-CMP keys
+    // and old manifest directories still resume.
+    if (job.cores != 1)
+        knobs.u32(job.cores);
     knobs.b(job.noPump);
     knobs.b(job.forceCrBox);
     knobs.b(job.check);
@@ -47,9 +51,13 @@ BatchManifest::jobKey(const Job &job)
     const std::uint64_t hash = snap::fnv1a(bytes.data(), bytes.size());
 
     std::string stem = job.machine + "_" + job.workload;
+    if (job.cores != 1)
+        stem += "_c" + std::to_string(job.cores);
     for (char &c : stem) {
         if (c == '+')
             c = 'p';            // EV8+ -> EV8p: filesystem-safe
+        else if (c == ',')
+            c = '-';            // CMP placement lists, likewise
         else if (c == '/' || c == '\\' || c == ' ')
             c = '_';
     }

@@ -1,14 +1,17 @@
 #include "sim/job.hh"
 
 #include <chrono>
+#include <deque>
 #include <exception>
 #include <memory>
-#include <optional>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "base/logging.hh"
 #include "exec/memory.hh"
 #include "proc/machine_config.hh"
+#include "system/system.hh"
 #include "workloads/workload.hh"
 
 namespace tarantula::sim
@@ -38,12 +41,14 @@ runJob(const Job &job)
                 std::chrono::steady_clock::now() - start).count();
     };
 
-    // The workload, memory image and processor outlive the try block
+    // The workloads, memory images and machine outlive the try block
     // so a crash handler can still walk the machine: a dead job's
     // record carries the forensics report of the moment it died.
-    std::optional<workloads::Workload> w;
-    exec::FunctionalMemory mem;
-    std::unique_ptr<proc::Processor> cpu;
+    // Deques: the System holds pointers into both, and per-core
+    // emplacement must never relocate an earlier element.
+    std::deque<workloads::Workload> ws;
+    std::deque<exec::FunctionalMemory> mems;
+    std::unique_ptr<sys::System> cpu;
     auto captureForensics = [&](const std::string &reason) {
         if (!cpu)
             return;
@@ -70,22 +75,52 @@ runJob(const Job &job)
         cfg.trace.events = job.trace;
         cfg.trace.sampleEvery = job.sampleEvery;
         cfg.trace.sampleStats = job.sampleStats;
+        const unsigned cores = job.cores ? job.cores : 1;
+        cfg.cmp.numCores = cores;
 
-        w.emplace(workloads::byName(job.workload));
-        w->init(mem);
+        // CMP placement: "a,b" on 4 cores runs a on 0/2, b on 1/3.
+        std::vector<std::string> names;
+        {
+            std::string token;
+            std::istringstream list(job.workload);
+            while (std::getline(list, token, ','))
+                names.push_back(token);
+        }
+        if (names.empty())
+            throw std::runtime_error("job: empty workload name");
+        if (cores == 1 && names.size() > 1) {
+            throw std::runtime_error(
+                "job: workload placement list needs cores > 1");
+        }
 
-        const auto &prog = cfg.hasVbox ? w->vectorProg : w->scalarProg;
-        cpu = std::make_unique<proc::Processor>(cfg, prog, mem);
+        std::vector<const program::Program *> progs;
+        std::vector<exec::FunctionalMemory *> memPtrs;
+        for (unsigned i = 0; i < cores; ++i) {
+            ws.push_back(
+                workloads::byName(names[i % names.size()]));
+            mems.emplace_back();
+            ws.back().init(mems.back());
+            progs.push_back(cfg.hasVbox ? &ws.back().vectorProg
+                                        : &ws.back().scalarProg);
+            memPtrs.push_back(&mems.back());
+        }
+
+        cpu = std::make_unique<sys::System>(cfg, progs, memPtrs);
         if (job.resumeFrom.empty()) {
-            for (const auto &r : w->warmRanges) {
-                for (std::uint64_t o = 0; o < r.bytes;
-                     o += CacheLineBytes)
-                    cpu->l2().warmLine(r.base + o);
+            for (unsigned i = 0; i < cores; ++i) {
+                // Each core's warm lines carry its coloring bias,
+                // matching the addresses its traffic will present.
+                const Addr bias = sys::System::addrBiasFor(cfg, i);
+                for (const auto &r : ws[i].warmRanges) {
+                    for (std::uint64_t o = 0; o < r.bytes;
+                         o += CacheLineBytes)
+                        cpu->l2().warmLine((r.base + o) | bias);
+                }
             }
         } else {
             // Warm start: the whole machine state -- including the L2
             // content the warmRanges loop would have seeded, and the
-            // memory image w->init() wrote -- comes from the snapshot.
+            // memory images init() wrote -- comes from the snapshot.
             cpu->restoreFrom(job.resumeFrom);
         }
 
@@ -97,12 +132,18 @@ runJob(const Job &job)
             result.timeseriesJson = os.str();
         }
 
-        const std::string err = w->check(mem);
-        if (!err.empty()) {
-            result.status = JobStatus::Failed;
-            result.message = "wrong result: " + err;
-            stopClock();
-            return result;
+        for (unsigned i = 0; i < cores; ++i) {
+            const std::string err = ws[i].check(mems[i]);
+            if (!err.empty()) {
+                result.status = JobStatus::Failed;
+                result.message =
+                    cores == 1
+                        ? "wrong result: " + err
+                        : "wrong result on core" + std::to_string(i) +
+                              ": " + err;
+                stopClock();
+                return result;
+            }
         }
 
         std::ostringstream stats;

@@ -28,7 +28,19 @@ namespace tarantula::sim
 struct Job
 {
     std::string machine = "T";     ///< Table 3 machine name
-    std::string workload;          ///< registry name (workloads::byName)
+    /**
+     * Workload registry name (workloads::byName) -- or, on a CMP job,
+     * a comma-separated placement list assigning one workload per
+     * core; a shorter list replicates cyclically ("stream,dgemm" on 4
+     * cores runs stream on cores 0/2 and dgemm on cores 1/3).
+     */
+    std::string workload;
+    /**
+     * Cores sharing the banked L2 (tarantula.job.v1 "cores" knob);
+     * 1 = the paper's single-core machine, byte-identical to pre-CMP
+     * records.
+     */
+    unsigned cores = 1;
     bool noPump = false;           ///< disable the stride-1 PUMP
     bool forceCrBox = false;       ///< route strides through the CR box
     bool check = false;            ///< run the integrity checkers

@@ -20,6 +20,10 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result,
     w.key("workload").value(result.job.workload);
 
     w.key("knobs").beginObject();
+    // Only when != 1, so single-core records keep their exact old
+    // bytes (same pattern as resumeFrom below).
+    if (result.job.cores != 1)
+        w.key("cores").value(result.job.cores);
     w.key("noPump").value(result.job.noPump);
     w.key("forceCrBox").value(result.job.forceCrBox);
     w.key("check").value(result.job.check);
@@ -65,6 +69,19 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result,
             .value(deterministic ? 0.0 : r.simCyclesPerHostSec());
         w.key("ffJumps").value(r.ffJumps);
         w.key("ffSkippedCycles").value(r.ffSkippedCycles);
+        // Per-core slices only on CMP records (old bytes otherwise).
+        if (r.perCore.size() > 1) {
+            w.key("perCore").beginArray();
+            for (const auto &pc : r.perCore) {
+                w.beginObject();
+                w.key("insts").value(pc.insts);
+                w.key("ops").value(pc.ops);
+                w.key("flops").value(pc.flops);
+                w.key("memops").value(pc.memops);
+                w.endObject();
+            }
+            w.endArray();
+        }
         w.endObject();
 
         if (!result.statsJson.empty())

@@ -157,6 +157,15 @@ class Restorer
         checkStream("bytes");
     }
 
+    /**
+     * Payload format version of the file being read (set by the
+     * container reader from the header). Components whose layout
+     * changed between versions branch on this to keep a legacy-read
+     * path; writers always emit the current version.
+     */
+    unsigned version() const { return version_; }
+    void setVersion(unsigned v) { version_ = v; }
+
     /** Consume a section marker; throws naming both sides on drift. */
     void
     section(const std::string &name)
@@ -204,6 +213,7 @@ class Restorer
     }
 
     std::istream &is_;
+    unsigned version_ = 2;      ///< see version(); current by default
 };
 
 } // namespace tarantula::snap

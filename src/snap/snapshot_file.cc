@@ -48,6 +48,10 @@ manifestJson(const SnapshotManifest &m)
     w.key("cycle").value(static_cast<std::uint64_t>(m.cycle));
     w.key("statsDigest").value(hex64(m.statsDigest));
     w.key("payloadBytes").value(m.payloadBytes);
+    // Only multi-core machines record a core count: single-core
+    // manifests keep the exact version-1 key set.
+    if (m.cores > 1)
+        w.key("cores").value(static_cast<std::uint64_t>(m.cores));
     w.endObject();
     return os.str();
 }
@@ -94,6 +98,9 @@ parseManifest(const std::string &text, const std::string &path)
     m.cycle = u64Field("cycle");
     m.statsDigest = parseHex64(strField("statsDigest"));
     m.payloadBytes = u64Field("payloadBytes");
+    const auto *cores = doc.find("cores");
+    if (cores != nullptr && cores->isNumber())
+        m.cores = static_cast<std::uint32_t>(cores->asU64());
     return m;
 }
 
@@ -110,14 +117,17 @@ readHeader(std::ifstream &in, const std::string &path)
     }
     Restorer r(in);
     const std::uint32_t version = r.u32();
-    if (version != SnapshotVersion) {
+    if (version < SnapshotMinVersion || version > SnapshotVersion) {
         throw SnapshotError(
             "snapshot '" + path + "': unsupported format version " +
-            std::to_string(version) + " (this build reads version " +
+            std::to_string(version) + " (this build reads versions " +
+            std::to_string(SnapshotMinVersion) + ".." +
             std::to_string(SnapshotVersion) + ")");
     }
     const std::string manifestText = r.str();
-    return parseManifest(manifestText, path);
+    SnapshotManifest m = parseManifest(manifestText, path);
+    m.version = version;
+    return m;
 }
 
 } // anonymous namespace

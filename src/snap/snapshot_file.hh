@@ -36,12 +36,23 @@ namespace tarantula::snap
 /** Schema tag embedded in every snapshot manifest. */
 inline constexpr const char *SnapshotSchemaTag = "tarantula.snapshot.v1";
 
-/** Current file-format version. */
-inline constexpr std::uint32_t SnapshotVersion = 1;
+/**
+ * Current file-format version. Version 2 (the CMP `System` refactor,
+ * DESIGN.md §11) added per-requester fields to the L2 payload and the
+ * multi-core "system" top section; readers accept version 1 files
+ * (always single-core) through a legacy-read path keyed off
+ * Restorer::version().
+ */
+inline constexpr std::uint32_t SnapshotVersion = 2;
+
+/** Oldest file-format version this build can still read. */
+inline constexpr std::uint32_t SnapshotMinVersion = 1;
 
 /** The parsed manifest of a snapshot file. */
 struct SnapshotManifest
 {
+    /** File-format version the payload was written under. */
+    std::uint32_t version = SnapshotVersion;
     /** Machine config name ("T", "EV8", ...). */
     std::string machine;
     /** FNV-1a over the timing-relevant MachineConfig fields. */
@@ -54,6 +65,12 @@ struct SnapshotManifest
     std::uint64_t statsDigest = 0;
     /** Payload size in bytes (cross-checked against the framing). */
     std::uint64_t payloadBytes = 0;
+    /**
+     * Core count of the machine the snapshot was taken on. Written to
+     * the manifest only when greater than one, so single-core
+     * manifests keep their version-1 key set; absent means 1.
+     */
+    std::uint32_t cores = 1;
 };
 
 /**

@@ -1,0 +1,761 @@
+#include "system/system.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "snap/snapshot.hh"
+
+namespace tarantula::sys
+{
+
+using proc::MachineConfig;
+
+Addr
+System::addrBiasFor(const MachineConfig &cfg, unsigned core)
+{
+    // Above bit 31: clear of the L2 index/bank bits, the DRAM row
+    // bits and every working set the workloads lay out, so a biased
+    // address stream has the same intra-core structure as an unbiased
+    // one. Core 0 is never biased: a 1-core machine computes the
+    // exact addresses the legacy Processor did.
+    if (cfg.cmp.numCores <= 1 || !cfg.cmp.colorAddresses || core == 0)
+        return 0;
+    return static_cast<Addr>(core) << 32;
+}
+
+System::System(const MachineConfig &cfg,
+               const std::vector<const program::Program *> &progs,
+               const std::vector<exec::FunctionalMemory *> &mems)
+    : cfg_(cfg), statRoot_(cfg.name)
+{
+    const unsigned n = cfg.cmp.numCores ? cfg.cmp.numCores : 1;
+    if (n > NumLanes) {
+        fatal("system: %u cores requested; the banked L2 arbitrates "
+              "at most %u",
+              n, NumLanes);
+    }
+    if (progs.size() != n || mems.size() != n) {
+        fatal("system: %u cores but %zu programs / %zu memories",
+              n, progs.size(), mems.size());
+    }
+
+    integrity_ = std::make_unique<check::Integrity>(cfg.integrity);
+    zbox_ = std::make_unique<mem::Zbox>(cfg.zbox, statRoot_);
+    l2_ = std::make_unique<cache::L2Cache>(cfg.l2, *zbox_, statRoot_,
+                                           n);
+
+    cores_.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        CoreNode &node = cores_[i];
+        // A 1-core machine parents every component at the root so the
+        // statistics tree (whose shape is part of the snapshot payload
+        // and the golden-stats bytes) is the legacy Processor's; a CMP
+        // nests each core's private components under "coreN".
+        stats::StatGroup *parent = &statRoot_;
+        std::string core_label = "core";
+        std::string vbox_label = "vbox";
+        if (n > 1) {
+            node.group = std::make_unique<stats::StatGroup>(
+                "core" + std::to_string(i), &statRoot_);
+            parent = node.group.get();
+            core_label = "core" + std::to_string(i);
+            vbox_label = "vbox" + std::to_string(i);
+        }
+        const Addr bias = addrBiasFor(cfg, i);
+        if (cfg.hasVbox) {
+            node.vbox = std::make_unique<vbox::Vbox>(
+                cfg.vbox, *l2_, *parent, i, vbox_label, bias);
+        }
+        node.interp =
+            std::make_unique<exec::Interpreter>(*progs[i], *mems[i]);
+        node.core = std::make_unique<ev8::Core>(
+            cfg.core, *node.interp, *l2_, node.vbox.get(), *parent, i,
+            core_label, bias);
+    }
+
+    // P-bit protocol: the shared L2 invalidating a processor-held line
+    // broadcasts to every private L1 (only the holder has a copy to
+    // lose; the others no-op).
+    l2_->setL1InvalidateHook([this](Addr line) {
+        for (auto &node : cores_)
+            node.core->l1Invalidate(line);
+    });
+
+    // Cross-core DrainM staleness: a vector load must also see the
+    // *other* cores' undrained scalar stores (the CMP generalization
+    // of the paper's scalar-vector coherency hazard).
+    if (n > 1) {
+        for (unsigned i = 0; i < n; ++i) {
+            cores_[i].core->setPeerStoreProbe([this, i](Addr line) {
+                for (unsigned j = 0; j < cores_.size(); ++j) {
+                    if (j != i &&
+                        cores_[j].core->hasPendingStore(line))
+                        return true;
+                }
+                return false;
+            });
+        }
+    }
+
+    // Attach order fixes checker registration order, and with it the
+    // order violations are reported in: memory-side first, cores last,
+    // the system-level fairness checker after everything.
+    zbox_->attachIntegrity(*integrity_);
+    l2_->attachIntegrity(*integrity_);
+    for (auto &node : cores_) {
+        if (node.vbox)
+            node.vbox->attachIntegrity(*integrity_);
+        node.core->attachIntegrity(*integrity_);
+    }
+    registerFairness_();
+
+    if (cfg.trace.events) {
+        trace_ = std::make_unique<trace::TraceSink>(cfg.trace.maxEvents);
+        zbox_->attachTrace(*trace_);
+        l2_->attachTrace(*trace_);
+        for (auto &node : cores_) {
+            if (node.vbox)
+                node.vbox->attachTrace(*trace_);
+            node.core->attachTrace(*trace_);
+        }
+        procTrace_ = &trace_->channel("proc");
+    }
+    if (cfg.trace.sampleEvery) {
+        sampler_ = std::make_unique<trace::Sampler>(
+            cfg.trace.sampleEvery, statRoot_, cfg.trace.sampleStats);
+    }
+
+    integrity_->forensics().addProbe("proc", [this](JsonWriter &w) {
+        w.key("machine").value(cfg_.name);
+        w.key("hasVbox").value(cfg_.hasVbox);
+        w.key("cores")
+            .value(static_cast<std::uint64_t>(cores_.size()));
+        w.key("cycle").value(static_cast<std::uint64_t>(now_));
+    });
+}
+
+void
+System::registerFairness_()
+{
+    if (numCores() <= 1)
+        return;
+    fairPrevGrants_.assign(numCores(), 0);
+    fairPrevBounces_.assign(numCores(), 0);
+
+    // Starvation detector: over a window of integrity sweeps that
+    // accumulates at least fairnessMinGrants L2 pipe grants, every
+    // core must have won at least the configured floor share of its
+    // own CONTESTED offers (grants vs cross-core bounces). Judging a
+    // core against its own contested offers -- not against the total
+    // grant pool -- is what makes asymmetric placements legal: a
+    // lightly-loaded core naturally holds a tiny share of all grants
+    // without being starved, and MAF-full backpressure (which rejects
+    // offers without any other core involved) never counts against
+    // the arbiter. The window anchors only advance when a verdict is
+    // reached, so trickle traffic accumulates instead of resetting
+    // every sweep.
+    integrity_->registry().add(
+        "system.fairness",
+        [this](Cycle, std::vector<std::string> &v) {
+            const unsigned n = numCores();
+            std::vector<std::uint64_t> dg(n), db(n);
+            std::uint64_t total = 0;
+            for (unsigned i = 0; i < n; ++i) {
+                dg[i] = l2_->grantsFor(i) - fairPrevGrants_[i];
+                db[i] = l2_->bouncesFor(i) - fairPrevBounces_[i];
+                total += dg[i];
+            }
+            if (total < cfg_.cmp.fairnessMinGrants)
+                return;     // window still filling
+            for (unsigned i = 0; i < n; ++i) {
+                if (db[i] == 0)
+                    continue;   // never lost a bank; not starved
+                const std::uint64_t contested = dg[i] + db[i];
+                const double share = static_cast<double>(dg[i]) /
+                                     static_cast<double>(contested);
+                if (share < cfg_.cmp.fairnessFloor) {
+                    v.push_back(
+                        "core" + std::to_string(i) + " won " +
+                        std::to_string(dg[i]) + " of " +
+                        std::to_string(contested) +
+                        " contested L2 offers this window (share " +
+                        std::to_string(share) + " < floor " +
+                        std::to_string(cfg_.cmp.fairnessFloor) +
+                        "; " + std::to_string(db[i]) +
+                        " cross-core bounces)");
+                }
+            }
+            for (unsigned i = 0; i < n; ++i) {
+                fairPrevGrants_[i] = l2_->grantsFor(i);
+                fairPrevBounces_[i] = l2_->bouncesFor(i);
+            }
+        });
+}
+
+void
+System::step()
+{
+    ++now_;
+    setPanicCycle(now_);
+    zbox_->cycle();
+    l2_->cycle();
+    // Rotate the core step order by cycle number: with the L2's
+    // per-cycle bank claims persisting until its next cycle() resets
+    // them, whichever core steps first this cycle claims contended
+    // banks first -- a deterministic round-robin arbiter. A 1-core
+    // machine reduces to the legacy vbox-then-core order.
+    const unsigned n = numCores();
+    const unsigned start = static_cast<unsigned>(now_ % n);
+    for (unsigned k = 0; k < n; ++k) {
+        CoreNode &node = cores_[(start + k) % n];
+        if (node.vbox)
+            node.vbox->cycle();
+    }
+    for (unsigned k = 0; k < n; ++k)
+        cores_[(start + k) % n].core->cycle();
+    if (integrity_->checksEnabled()) {
+        const unsigned interval = cfg_.integrity.checkInterval;
+        if (interval == 0 || now_ % interval == 0)
+            integrity_->registry().runAll(now_);
+    }
+    if (sampler_ && sampler_->due(now_))
+        sampler_->sample(now_);
+}
+
+void
+System::writeForensics(std::ostream &os,
+                       const std::string &reason) const
+{
+    integrity_->forensics().writeReport(os, reason, now_);
+}
+
+bool
+System::machineIdle_() const
+{
+    if (!l2_->idle() || !zbox_->idle())
+        return false;
+    for (const auto &node : cores_) {
+        if (!node.core->done())
+            return false;
+        if (node.vbox && !node.vbox->idle())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+System::totalRetired_() const
+{
+    std::uint64_t total = 0;
+    for (const auto &node : cores_)
+        total += node.core->numRetired();
+    return total;
+}
+
+Cycle
+System::quiescentUntil_(std::uint64_t max_cycles,
+                        Cycle last_progress) const
+{
+    // Minimum of the component horizons. Short-circuit: once any
+    // component wants the very next cycle there is nothing to clamp.
+    Cycle target = CycleNever;
+    for (const auto &node : cores_) {
+        target = std::min(target, node.core->nextEventCycle());
+        if (target <= now_ + 1)
+            break;
+        if (node.vbox)
+            target = std::min(target, node.vbox->nextEventCycle());
+        if (target <= now_ + 1)
+            break;
+    }
+    if (target > now_ + 1)
+        target = std::min(target, l2_->nextEventCycle());
+    if (target > now_ + 1)
+        target = std::min(target, zbox_->nextEventCycle());
+    if (target <= now_ + 1)
+        return now_ + 1;
+
+    // Integrity sweeps run on every checkInterval boundary with the
+    // true cycle number (age-based checkers must fire at the exact
+    // cycle they would when stepping); interval 0 checks every cycle.
+    if (integrity_->checksEnabled()) {
+        const unsigned interval = cfg_.integrity.checkInterval;
+        if (interval == 0)
+            return now_ + 1;
+        target = std::min(
+            target, (now_ / interval + 1) * static_cast<Cycle>(interval));
+    }
+
+    // The interval sampler snapshots the stats tree on every
+    // sampleEvery boundary; like the integrity sweeps, it must observe
+    // the exact cycles it would when stepping or the timeseries (and
+    // with it the bit-identical contract) breaks.
+    if (sampler_)
+        target = std::min(target, sampler_->nextBoundary(now_));
+
+    // The deadlock watchdog panics the first cycle the no-progress
+    // window is exceeded; land on exactly that cycle.
+    if (cfg_.deadlockCycles)
+        target = std::min(target,
+                          last_progress + cfg_.deadlockCycles + 1);
+
+    // The timeout check at the top of the loop must observe the bound.
+    target = std::min(target, static_cast<Cycle>(max_cycles));
+
+    return std::max(target, now_ + 1);
+}
+
+RunResult
+System::run(std::uint64_t max_cycles, std::optional<Cycle> stop_at)
+{
+    const auto host_start = std::chrono::steady_clock::now();
+
+    // The engine evaluates the idle condition before the first step,
+    // so a machine that is born finished -- e.g. an empty program,
+    // whose interpreter starts out halted -- runs for zero cycles
+    // while still constructing and draining every component.
+    while (!machineIdle_() && (!stop_at || now_ < *stop_at)) {
+        if (now_ >= max_cycles) {
+            const std::string msg =
+                "processor '" + cfg_.name + "': exceeded " +
+                std::to_string(max_cycles) + " cycles";
+            std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+            throw TimeoutError(msg);
+        }
+
+        if (cfg_.fastForward) {
+            Cycle target =
+                quiescentUntil_(max_cycles, lastProgress_);
+            // A checkpoint stop is stepped into normally, exactly like
+            // an integrity-sweep boundary, so stopping never changes
+            // what any cycle computes.
+            if (stop_at)
+                target = std::min(target, *stop_at);
+            tarantula_assert(target > now_);
+            if (target > now_ + 1) {
+                // Jump to the cycle *before* the event and step into
+                // it normally, so the event cycle itself executes the
+                // full stage machinery. Advance the clock (and the
+                // panic stamp) before the component jumps: a panic
+                // fired from inside fastForward() must report the
+                // landing cycle, not the pre-jump one.
+                const Cycle delta = target - now_ - 1;
+                now_ += delta;
+                setPanicCycle(now_);
+                zbox_->fastForward(delta);
+                l2_->fastForward(delta);
+                for (auto &node : cores_) {
+                    if (node.vbox)
+                        node.vbox->fastForward(delta);
+                    node.core->fastForward(delta);
+                }
+                ++ffJumps_;
+                ffSkipped_ += delta;
+                if (procTrace_) {
+                    procTrace_->complete(now_ - delta + 1, delta,
+                                         "ff_jump", delta);
+                }
+            }
+        }
+        const Cycle before = now_;
+        step();
+        tarantula_assert(now_ == before + 1);
+
+        // Deadlock detector: the machine must retire something every
+        // so often or the model has wedged (a simulator bug).
+        if (totalRetired_() != lastRetired_) {
+            lastRetired_ = totalRetired_();
+            lastProgress_ = now_;
+        } else if (cfg_.deadlockCycles &&
+                   now_ - lastProgress_ > cfg_.deadlockCycles) {
+            panic("processor '%s': no retirement in %llu cycles "
+                  "(pc=%u retired=%llu)",
+                  cfg_.name.c_str(),
+                  static_cast<unsigned long long>(cfg_.deadlockCycles),
+                  cores_[0].interp->pc(),
+                  static_cast<unsigned long long>(lastRetired_));
+        }
+    }
+
+    // End-of-run finalization only when the machine truly drained; a
+    // checkpoint stop leaves the tail sweep and the final partial
+    // sample to the run (original or resumed) that reaches the end.
+    if (machineIdle_()) {
+        // A final sweep catches violations only visible in the end
+        // state (e.g. a transaction that never completed but stopped
+        // aging).
+        if (integrity_->checksEnabled())
+            integrity_->registry().runAll(now_);
+        // And a final partial sample so the timeseries covers the tail.
+        if (sampler_)
+            sampler_->finishRun(now_);
+    }
+
+    RunResult r;
+    r.machine = cfg_.name;
+    r.cycles = now_;
+    r.perCore.resize(cores_.size());
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const ev8::Core &c = *cores_[i].core;
+        CoreCounts &pc = r.perCore[i];
+        pc.insts = c.numRetired();
+        pc.ops = c.numOps();
+        pc.flops = c.numFlops();
+        pc.memops = c.numMemops();
+        r.insts += pc.insts;
+        r.ops += pc.ops;
+        r.flops += pc.flops;
+        r.memops += pc.memops;
+    }
+    r.rawBytes = zbox_->rawBytes();
+    r.dataBytes = zbox_->dataBytes();
+    r.rowActivates = zbox_->rowActivates();
+    r.rowPrecharges = zbox_->rowPrecharges();
+    r.freqGhz = cfg_.freqGhz;
+    r.ffJumps = ffJumps_;
+    r.ffSkippedCycles = ffSkipped_;
+    r.hostMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - host_start)
+            .count();
+    return r;
+}
+
+// ---- snapshot/restore (DESIGN.md §10) --------------------------------
+
+std::uint64_t
+System::configDigest(const MachineConfig &cfg)
+{
+    // Canonical serialization of every knob that can change what the
+    // machine computes, hashed. Deliberately excluded: fastForward
+    // (both engines are bit-identical by contract, and resuming a
+    // stepped snapshot under the fast-forward engine is a supported
+    // cross-check) and the trace config (observability is read-only,
+    // so one warmed snapshot can fan across a tracing/sampling grid).
+    std::ostringstream os;
+    snap::Snapshotter out(os);
+    out.str(cfg.name);
+    out.f64(cfg.freqGhz);
+    out.b(cfg.hasVbox);
+    out.u64(cfg.deadlockCycles);
+
+    // Integrity: the fault plan rewrites machine behaviour, and the
+    // checker knobs decide which cycles panic; forensics/ringEntries
+    // are pure observability and stay out.
+    out.b(cfg.integrity.checks);
+    out.u32(cfg.integrity.checkInterval);
+    out.u64(cfg.integrity.maxTransactionAge);
+    out.u64(cfg.integrity.faults.size());
+    for (const auto &ev : cfg.integrity.faults.events()) {
+        out.u8(static_cast<std::uint8_t>(ev.kind));
+        out.u64(ev.start);
+        out.u64(ev.duration);
+        out.u64(ev.arg);
+    }
+
+    const auto &c = cfg.core;
+    out.u32(c.fetchWidth);
+    out.u32(c.frontendDepth);
+    out.u32(c.robSize);
+    out.u32(c.intIssueWidth);
+    out.u32(c.fpIssueWidth);
+    out.u32(c.loadPorts);
+    out.u32(c.storePorts);
+    out.u32(c.vecDispatchWidth);
+    out.u32(c.retireWidth);
+    out.u32(c.mispredictPenalty);
+    out.u32(c.bpTableBits);
+    out.u32(c.intLatency);
+    out.u32(c.mulLatency);
+    out.u32(c.fpLatency);
+    out.u32(c.divLatency);
+    out.u32(c.sqrtLatency);
+    out.u32(c.l1HitLatency);
+    out.u32(c.l1MafEntries);
+    out.u32(c.writeBufferEntries);
+    out.u64(c.l1.sizeBytes);
+    out.u32(c.l1.assoc);
+
+    const auto &v = cfg.vbox;
+    out.u32(v.dispatchBusWidth);
+    out.u32(v.vecFpLatency);
+    out.u32(v.vecIntLatency);
+    out.u32(v.vecDivLatency);
+    out.u32(v.scalarBusDelay);
+    out.u32(v.chainLatency);
+    out.u32(v.memQueueEntries);
+    out.b(v.slicer.pumpEnabled);
+    out.b(v.slicer.forceCrBox);
+    out.u32(v.slicer.crWindow);
+    out.u32(v.tlb.entries);
+    out.u32(v.tlb.assoc);
+    out.u32(v.tlb.pageBits);
+    out.u8(static_cast<std::uint8_t>(v.refill));
+
+    const auto &l = cfg.l2;
+    out.u64(l.sizeBytes);
+    out.u32(l.assoc);
+    out.u32(l.hitLatency);
+    out.u32(l.scalarHitLatency);
+    out.u32(l.mafEntries);
+    out.u32(l.retryThreshold);
+    out.u32(l.pumpStreamCycles);
+    out.u32(l.invalidatePenalty);
+
+    const auto &z = cfg.zbox;
+    out.u32(z.numPorts);
+    out.f64(z.cpuPerMemClock);
+    out.u32(z.lineXferMemClocks);
+    out.u32(z.dirMemClocks);
+    out.u32(z.activateMemClocks);
+    out.u32(z.prechargeMemClocks);
+    out.u32(z.turnaroundMemClocks);
+    out.u32(z.banksPerPort);
+    out.u32(z.rowBytes);
+    out.u32(z.portQueueDepth);
+    out.u64(z.baseLatency);
+
+    // CMP shape: appended only for real CMPs, so a 1-core System's
+    // digest equals the digest the legacy Processor computed for the
+    // same machine -- every pre-CMP snapshot stays restorable.
+    if (cfg.cmp.numCores > 1) {
+        out.u32(cfg.cmp.numCores);
+        out.b(cfg.cmp.colorAddresses);
+        out.f64(cfg.cmp.fairnessFloor);
+        out.u64(cfg.cmp.fairnessMinGrants);
+    }
+
+    const std::string bytes = os.str();
+    return snap::fnv1a(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint64_t>
+System::statsWords_() const
+{
+    std::vector<std::uint64_t> words;
+    statRoot_.serializeValues(words);
+    return words;
+}
+
+std::uint64_t
+System::statsDigest() const
+{
+    const auto words = statsWords_();
+    return snap::fnv1a(words.data(),
+                       words.size() * sizeof(std::uint64_t));
+}
+
+void
+System::snapshot(const std::string &path,
+                 const std::string &workload) const
+{
+    std::ostringstream os;
+    snap::Snapshotter out(os);
+
+    if (numCores() == 1) {
+        // The legacy single-core payload, byte for byte (modulo the
+        // versioned codec changes shared components make themselves).
+        out.section("proc");
+        out.u64(now_);
+        out.u64(lastRetired_);
+        out.u64(lastProgress_);
+        // Host observability, outside the bit-identical contract (a
+        // checkpoint stop clamps a jump a straight run would take
+        // whole); carried anyway so cumulative counts survive resume.
+        out.u64(ffJumps_);
+        out.u64(ffSkipped_);
+
+        cores_[0].interp->save(out);
+        zbox_->save(out);
+        l2_->save(out);
+        if (cores_[0].vbox)
+            cores_[0].vbox->save(out);
+        cores_[0].core->save(out);
+    } else {
+        out.section("system");
+        out.u32(numCores());
+        out.u64(now_);
+        out.u64(lastRetired_);
+        out.u64(lastProgress_);
+        out.u64(ffJumps_);
+        out.u64(ffSkipped_);
+        for (std::uint64_t g : fairPrevGrants_)
+            out.u64(g);
+        for (std::uint64_t b : fairPrevBounces_)
+            out.u64(b);
+
+        for (const auto &node : cores_)
+            node.interp->save(out);
+        zbox_->save(out);
+        l2_->save(out);
+        for (const auto &node : cores_) {
+            if (node.vbox)
+                node.vbox->save(out);
+        }
+        for (const auto &node : cores_)
+            node.core->save(out);
+    }
+
+    // The fault plan's presence is implied by the config digest, but
+    // an explicit flag keeps the payload self-describing.
+    const check::FaultPlan *faults = integrity_->faults();
+    out.b(faults != nullptr);
+    if (faults)
+        faults->save(out);
+
+    // The whole stats tree in one pass (components skip their own
+    // stats in save() precisely so nothing is written twice).
+    const auto words = statsWords_();
+    out.section("stats");
+    out.u64(words.size());
+    for (std::uint64_t w : words)
+        out.u64(w);
+
+    out.b(sampler_ != nullptr);
+    if (sampler_)
+        sampler_->save(out);
+
+    snap::SnapshotManifest m;
+    m.machine = cfg_.name;
+    m.configHash = configDigest(cfg_);
+    m.workload = workload;
+    m.cycle = now_;
+    m.cores = numCores();
+    m.statsDigest =
+        snap::fnv1a(words.data(), words.size() * sizeof(std::uint64_t));
+    snap::writeSnapshotFile(path, m, os.str());
+}
+
+void
+System::restoreFrom(const std::string &path)
+{
+    snap::SnapshotManifest m;
+    std::string payload;
+    snap::readSnapshotFile(path, m, payload);
+
+    const std::uint64_t expect = configDigest(cfg_);
+    if (m.configHash != expect) {
+        throw snap::SnapshotError(
+            "snapshot: machine config mismatch: '" + path +
+            "' was taken on machine '" + m.machine + "' (config hash " +
+            std::to_string(m.configHash) + "), but this processor is '" +
+            cfg_.name + "' (config hash " + std::to_string(expect) +
+            ")");
+    }
+    if (m.cores != numCores()) {
+        throw snap::SnapshotError(
+            "snapshot: core count mismatch: '" + path + "' holds a " +
+            std::to_string(m.cores) + "-core machine, this system has " +
+            std::to_string(numCores()) + " cores");
+    }
+
+    std::istringstream is(payload);
+    snap::Restorer in(is);
+    // Drive the versioned component codecs (e.g. the L2's slice-
+    // response requester field, absent from v1 files).
+    in.setVersion(m.version);
+
+    if (numCores() == 1) {
+        in.section("proc");
+        now_ = in.u64();
+        setPanicCycle(now_);
+        lastRetired_ = in.u64();
+        lastProgress_ = in.u64();
+        ffJumps_ = in.u64();
+        ffSkipped_ = in.u64();
+
+        cores_[0].interp->restore(in);
+        zbox_->restore(in);
+        l2_->restore(in);
+        if (cores_[0].vbox)
+            cores_[0].vbox->restore(in);
+        cores_[0].core->restore(in);
+    } else {
+        in.section("system");
+        const unsigned n = in.u32();
+        if (n != numCores()) {
+            throw snap::SnapshotError(
+                "snapshot: payload says " + std::to_string(n) +
+                " cores, manifest said " + std::to_string(m.cores));
+        }
+        now_ = in.u64();
+        setPanicCycle(now_);
+        lastRetired_ = in.u64();
+        lastProgress_ = in.u64();
+        ffJumps_ = in.u64();
+        ffSkipped_ = in.u64();
+        for (auto &g : fairPrevGrants_)
+            g = in.u64();
+        for (auto &b : fairPrevBounces_)
+            b = in.u64();
+
+        for (auto &node : cores_)
+            node.interp->restore(in);
+        zbox_->restore(in);
+        l2_->restore(in);
+        for (auto &node : cores_) {
+            if (node.vbox)
+                node.vbox->restore(in);
+        }
+        for (auto &node : cores_)
+            node.core->restore(in);
+    }
+
+    const bool hasFaults = in.b();
+    check::FaultPlan *faults = integrity_->faults();
+    if (hasFaults != (faults != nullptr)) {
+        // Unreachable when the config digest matched (the fault plan
+        // is hashed), but a self-describing payload checks anyway.
+        throw snap::SnapshotError(
+            "snapshot: fault plan presence mismatch (snapshot " +
+            std::string(hasFaults ? "has" : "lacks") +
+            " one, this machine " + (faults ? "has" : "lacks") +
+            " one)");
+    }
+    if (faults)
+        faults->restore(in);
+
+    in.section("stats");
+    std::vector<std::uint64_t> words(in.u64());
+    for (auto &w : words)
+        w = in.u64();
+    const std::uint64_t digest =
+        snap::fnv1a(words.data(), words.size() * sizeof(std::uint64_t));
+    if (digest != m.statsDigest) {
+        throw snap::SnapshotError(
+            "snapshot: stats digest mismatch (manifest says " +
+            std::to_string(m.statsDigest) + ", payload hashes to " +
+            std::to_string(digest) + ")");
+    }
+    if (!statRoot_.deserializeValues(words)) {
+        throw snap::SnapshotError(
+            "snapshot: stats tree shape mismatch ('" + path +
+            "' was written by a machine with a different statistics "
+            "tree)");
+    }
+
+    const bool hasSampler = in.b();
+    if (hasSampler && sampler_) {
+        sampler_->restore(in);
+    } else if (hasSampler) {
+        // Snapshot sampled, this run does not: skim past the rows.
+        // Resuming with sampling *enabled* from an unsampled snapshot
+        // is also allowed -- the timeseries then covers the resumed
+        // tail only -- so the sampler sits outside the config digest.
+        in.section("sampler");
+        in.u64();                   // every
+        in.b();                     // finished
+        in.u64();                   // numStats
+        const std::uint64_t rows = in.u64();
+        for (std::uint64_t i = 0; i < rows; ++i)
+            in.u64();
+        const std::uint64_t vals = in.u64();
+        for (std::uint64_t i = 0; i < vals; ++i)
+            in.u64();
+    }
+}
+
+} // namespace tarantula::sys

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * The top-level System: a chip multiprocessor of 1..16 Tarantula
+ * cores -- each an EV8 core, a functional interpreter, an optional
+ * Vbox and private L1/TLB state -- sharing one banked L2, one slicer
+ * datapath per Vbox, and one Zbox/DRAM backend (DESIGN.md §11).
+ *
+ * A 1-core System IS the paper's machine: the step order, statistics
+ * tree, snapshot payload and observability names all collapse to the
+ * legacy single-core Processor's, byte for byte. With more cores the
+ * L2 arbitrates its sixteen banks among the requesters each cycle
+ * (round-robin by rotating core step order), per-core statistics nest
+ * under `core0.` / `core1.` subtrees while the shared L2/Zbox stay at
+ * the root, and the `system.fairness` checker watches for starved
+ * cores.
+ *
+ * The whole machine stays deterministic: N-core runs are bit-identical
+ * run over run, the quiescence fast-forward engine clamps to the
+ * minimum horizon across every component, and stepped vs fast-
+ * forwarded runs produce byte-identical statistics.
+ */
+
+#ifndef TARANTULA_SYSTEM_SYSTEM_HH
+#define TARANTULA_SYSTEM_SYSTEM_HH
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/statistics.hh"
+#include "cache/l2_cache.hh"
+#include "check/integrity.hh"
+#include "ev8/core.hh"
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "mem/zbox.hh"
+#include "proc/machine_config.hh"
+#include "program/program.hh"
+#include "snap/snapshot_file.hh"
+#include "trace/sampler.hh"
+#include "trace/trace.hh"
+#include "vbox/vbox.hh"
+
+namespace tarantula::sys
+{
+
+/** Per-core retirement counters inside a RunResult. */
+struct CoreCounts
+{
+    std::uint64_t insts = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t memops = 0;
+};
+
+/** Aggregate results of one simulation. */
+struct RunResult
+{
+    std::string machine;
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;        ///< instructions retired (all cores)
+    std::uint64_t ops = 0;          ///< operations (paper's OPC basis)
+    std::uint64_t flops = 0;
+    std::uint64_t memops = 0;
+    std::uint64_t rawBytes = 0;     ///< Zbox raw traffic
+    std::uint64_t dataBytes = 0;    ///< Zbox data-only traffic
+    std::uint64_t rowActivates = 0; ///< DRAM row activations
+    std::uint64_t rowPrecharges = 0;
+    double freqGhz = 0.0;
+    /** Per-core slices of the retirement counters (size = numCores). */
+    std::vector<CoreCounts> perCore;
+
+    // ---- host-performance observability -----------------------------
+    // Deliberately kept out of the statistics tree: the stats report
+    // must serialize to identical bytes run over run and with fast-
+    // forward on or off; host timing never can.
+    double hostMillis = 0.0;        ///< wall-clock time inside run()
+    std::uint64_t ffJumps = 0;      ///< fast-forward jumps taken
+    std::uint64_t ffSkippedCycles = 0;  ///< cycles covered by jumps
+
+    /** Simulation throughput: simulated cycles per host second. */
+    double
+    simCyclesPerHostSec() const
+    {
+        return hostMillis > 0.0
+                   ? static_cast<double>(cycles) / (hostMillis / 1e3)
+                   : 0.0;
+    }
+
+    double opc() const { return cycles ? double(ops) / cycles : 0.0; }
+    double fpc() const { return cycles ? double(flops) / cycles : 0.0; }
+    double mpc() const { return cycles ? double(memops) / cycles : 0.0; }
+    double
+    otherPc() const
+    {
+        return cycles ? double(ops - flops - memops) / cycles : 0.0;
+    }
+    /** Wall-clock seconds at the configured frequency. */
+    double
+    seconds() const
+    {
+        return static_cast<double>(cycles) / (freqGhz * 1e9);
+    }
+    /**
+     * Sustained bandwidth for @p useful_bytes moved by the kernel, in
+     * MB/s (the STREAMS accounting).
+     */
+    double
+    bandwidthMBs(double useful_bytes) const
+    {
+        return useful_bytes / seconds() / 1e6;
+    }
+    /** Raw controller bandwidth in MB/s (Table 4's "Raw" column). */
+    double
+    rawBandwidthMBs() const
+    {
+        return static_cast<double>(rawBytes) / seconds() / 1e6;
+    }
+};
+
+/** A CMP of 1..16 cores around one shared L2; see file comment. */
+class System
+{
+  public:
+    /**
+     * @param cfg    Machine description; cfg.cmp.numCores cores.
+     * @param progs  One program per core (must outlive the System).
+     * @param mems   One architectural memory image per core, inputs
+     *               pre-loaded (cores never share functional memory:
+     *               the timing model shares the L2/Zbox, the committed-
+     *               path oracles stay private).
+     */
+    System(const proc::MachineConfig &cfg,
+           const std::vector<const program::Program *> &progs,
+           const std::vector<exec::FunctionalMemory *> &mems);
+
+    /**
+     * Run every core to completion on the quiescence-aware cycle
+     * engine: jumps `now_` to the minimum of all component
+     * nextEventCycle() horizons (clamped so integrity sweeps, the
+     * deadlock watchdog, the sampler and the timeout bound observe the
+     * exact cycles they would when stepping) unless `cfg.fastForward`
+     * is off, in which case every cycle is stepped. Results are
+     * bit-identical either way.
+     * @param max_cycles  Safety bound; throws TimeoutError beyond it.
+     * @param stop_at     Optional checkpoint stop: return as soon as
+     *                    now() reaches this cycle (the machine is NOT
+     *                    idle then; call run() again, or snapshot()
+     *                    first). Fast-forward jumps clamp to it, so
+     *                    the stop cycle itself is stepped normally and
+     *                    stopping never perturbs timing.
+     */
+    RunResult run(std::uint64_t max_cycles = 1ULL << 32,
+                  std::optional<Cycle> stop_at = std::nullopt);
+
+    /** Advance a single cycle (tests drive fine-grained scenarios). */
+    void step();
+
+    /** Current cycle. */
+    Cycle now() const { return now_; }
+
+    /** True when every component has drained: the run is over. */
+    bool finished() const { return machineIdle_(); }
+
+    /** Cores in this machine. */
+    unsigned
+    numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    /**
+     * The address-coloring bias core @p core's memory traffic carries
+     * (0 for core 0, for a single-core machine, or when coloring is
+     * off). Callers warming the shared L2 on a core's behalf must
+     * apply it themselves.
+     */
+    static Addr addrBiasFor(const proc::MachineConfig &cfg,
+                            unsigned core);
+
+    // ---- snapshot/restore (DESIGN.md §10) ----------------------------
+    /**
+     * Serialize the complete machine state -- architectural (each
+     * core's registers, memory image, PC) and microarchitectural
+     * (every pipeline buffer, cache tag, TLB entry, DRAM bank row, the
+     * full stats tree) -- into a tarantula.snapshot.v2 file, written
+     * atomically. A 1-core System writes the exact payload the legacy
+     * single-core Processor did; more cores write a "system" section
+     * followed by the per-core component states.
+     */
+    void snapshot(const std::string &path,
+                  const std::string &workload = "") const;
+
+    /**
+     * Restore the machine from a snapshot file (v1 legacy single-core
+     * files included). The System must be freshly constructed from
+     * the same MachineConfig the snapshot was taken under (enforced by
+     * config hash) with the same programs and workload-initialized
+     * memories; the memory images are then replaced by the snapshot's.
+     *
+     * @throws snap::SnapshotError on any mismatched, truncated or
+     *         corrupt file -- never a panic.
+     */
+    void restoreFrom(const std::string &path);
+
+    /**
+     * FNV-1a digest over the timing-relevant machine configuration
+     * (everything except the fast-forward engine switch and the
+     * observability knobs, which are bit-identical by contract and so
+     * may differ between snapshot and resume). The CMP knobs join the
+     * digest only when numCores > 1, so single-core digests equal the
+     * legacy Processor's.
+     */
+    static std::uint64_t configDigest(const proc::MachineConfig &cfg);
+
+    /** Digest of the serialized stats tree (manifest cross-check). */
+    std::uint64_t statsDigest() const;
+
+    cache::L2Cache &l2() { return *l2_; }
+    mem::Zbox &zbox() { return *zbox_; }
+    ev8::Core &core(unsigned i = 0) { return *cores_.at(i).core; }
+    vbox::Vbox *vbox(unsigned i = 0) { return cores_.at(i).vbox.get(); }
+    exec::Interpreter &interp(unsigned i = 0)
+    {
+        return *cores_.at(i).interp;
+    }
+    stats::StatGroup &stats() { return statRoot_; }
+    check::Integrity &integrity() { return *integrity_; }
+
+    /**
+     * Emit a tarantula.forensics.v1 crash report: per-component state
+     * probes plus the merged last-N-event rings. Callable at any
+     * point; callers invoke it when run() throws.
+     */
+    void writeForensics(std::ostream &os,
+                        const std::string &reason) const;
+
+    /**
+     * The observability event sink (DESIGN.md §9), or nullptr when
+     * `cfg.trace.events` is off. Callers serialize it with
+     * trace::TraceSink::writeChromeTrace() after (or instead of — the
+     * sink is valid mid-run, e.g. in crash handlers) run().
+     */
+    trace::TraceSink *traceSink() { return trace_.get(); }
+
+    /**
+     * The interval stats sampler (DESIGN.md §9), or nullptr when
+     * `cfg.trace.sampleEvery` is zero. run() finalizes it; callers
+     * serialize with trace::Sampler::writeJson().
+     */
+    const trace::Sampler *sampler() const { return sampler_.get(); }
+
+    const proc::MachineConfig &config() const { return cfg_; }
+
+  private:
+    /** One core's private slice of the machine. */
+    struct CoreNode
+    {
+        /** Per-core stats subtree ("coreN"); null on a 1-core machine
+         *  where components parent directly at the root for byte
+         *  compatibility with the legacy Processor tree. */
+        std::unique_ptr<stats::StatGroup> group;
+        std::unique_ptr<exec::Interpreter> interp;
+        std::unique_ptr<vbox::Vbox> vbox;
+        std::unique_ptr<ev8::Core> core;
+    };
+
+    /** True when every component has drained: the run is over. */
+    bool machineIdle_() const;
+    /** Sum of instructions retired across every core. */
+    std::uint64_t totalRetired_() const;
+    /**
+     * First cycle > now_ at which anything observable can happen: the
+     * minimum component horizon clamped to the next integrity-sweep
+     * boundary, the sampler boundary, the watchdog deadline, and the
+     * timeout bound.
+     */
+    Cycle quiescentUntil_(std::uint64_t max_cycles,
+                          Cycle last_progress) const;
+    /** The serialized stats-tree words (payload + digest source). */
+    std::vector<std::uint64_t> statsWords_() const;
+    /** Register the system.fairness starvation checker (CMP only). */
+    void registerFairness_();
+
+    proc::MachineConfig cfg_;
+    stats::StatGroup statRoot_;
+    std::unique_ptr<check::Integrity> integrity_;
+    std::unique_ptr<trace::TraceSink> trace_;
+    std::unique_ptr<trace::Sampler> sampler_;
+    /** "proc" trace channel: fast-forward jump spans. */
+    trace::TraceChannel *procTrace_ = nullptr;
+    std::unique_ptr<mem::Zbox> zbox_;
+    std::unique_ptr<cache::L2Cache> l2_;
+    std::vector<CoreNode> cores_;
+    Cycle now_ = 0;
+    // Fast-forward observability (not statistics; see RunResult).
+    std::uint64_t ffJumps_ = 0;
+    std::uint64_t ffSkipped_ = 0;
+    // Deadlock-watchdog state. Members (serialized), not run() locals:
+    // a resumed run's watchdog must panic on exactly the cycle the
+    // straight run's would.
+    std::uint64_t lastRetired_ = 0;
+    Cycle lastProgress_ = 0;
+    // system.fairness window anchors: the grant/bounce totals at the
+    // close of the last window that reached fairnessMinGrants.
+    std::vector<std::uint64_t> fairPrevGrants_;
+    std::vector<std::uint64_t> fairPrevBounces_;
+};
+
+} // namespace tarantula::sys
+
+namespace tarantula::proc
+{
+/** Legacy spelling: results predate the CMP System. */
+using RunResult = sys::RunResult;
+} // namespace tarantula::proc
+
+#endif // TARANTULA_SYSTEM_SYSTEM_HH

@@ -12,10 +12,14 @@ using isa::InstClass;
 using isa::Opcode;
 
 Vbox::Vbox(const VboxConfig &cfg, cache::L2Cache &l2,
-           stats::StatGroup &parent)
+           stats::StatGroup &parent, unsigned requester,
+           const std::string &label, Addr addr_bias)
     : cfg_(cfg),
       l2_(l2),
       slicer_(cfg.slicer),
+      requester_(requester),
+      label_(label),
+      addrBias_(addr_bias),
       statGroup_("vbox", &parent),
       vtlb_(cfg.tlb, cfg.refill, statGroup_),
       arithIssued_(statGroup_, "arith_issued",
@@ -117,7 +121,20 @@ Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
         is_strided = false;
     }
 
-    mi.plan = slicer_.plan(di.vaddrs, mi.isWrite, is_strided, di.vs,
+    // CMP address coloring: bias every element address so concurrent
+    // cores touch disjoint line ranges. The bias sits above all cache
+    // index bits, so bank/set/slice structure within a core is
+    // unchanged and a single-core run (bias 0) is bit-identical.
+    std::vector<exec::VecElemAddr> biased;
+    const std::vector<exec::VecElemAddr> *vaddrs = &di.vaddrs;
+    if (addrBias_ != 0 && !di.vaddrs.empty()) {
+        biased = di.vaddrs;
+        for (auto &ea : biased)
+            ea.addr |= addrBias_;
+        vaddrs = &biased;
+    }
+
+    mi.plan = slicer_.plan(*vaddrs, mi.isWrite, is_strided, di.vs,
                            mi.robTag);
 
     // Fault injection: corrupt the finished plan (arg 0 aliases two
@@ -131,20 +148,20 @@ Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
         }
     }
     if (checks_)
-        checkPlan(mi.plan, di.vaddrs);
+        checkPlan(mi.plan, *vaddrs);
     rec("plan", mi.robTag,
         static_cast<std::uint64_t>(mi.plan.slices.size()));
 
     // Per-lane TLB translation during address generation. Prefetches
     // ignore TLB misses entirely (paper section 2).
     Cycle tlb_stall = 0;
-    if (!di.vaddrs.empty()) {
+    if (!vaddrs->empty()) {
         std::vector<Addr> miss_addrs;
         std::vector<unsigned> miss_elems;
         std::vector<Addr> all_addrs;
         std::vector<unsigned> all_elems;
-        all_addrs.reserve(di.vaddrs.size());
-        all_elems.reserve(di.vaddrs.size());
+        all_addrs.reserve(vaddrs->size());
+        all_elems.reserve(vaddrs->size());
         // Fault injection: every lookup misses for the window,
         // provoking refill-trap storms the pipeline must absorb.
         const bool tlb_storm =
@@ -152,7 +169,7 @@ Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
             faults_->active(check::Fault::TlbMissStorm, now_);
         if (tlb_storm)
             rec("tlb_miss_storm", mi.robTag);
-        for (const auto &ea : di.vaddrs) {
+        for (const auto &ea : *vaddrs) {
             all_addrs.push_back(ea.addr);
             all_elems.push_back(ea.elem);
             if (!vtlb_.lookup(ea.elem, ea.addr) || tlb_storm) {
@@ -186,8 +203,9 @@ Vbox::cycle()
 {
     ++now_;
 
-    // Absorb slice completions from the L2.
-    while (auto resp = l2_.dequeueSliceResp()) {
+    // Absorb slice completions from the L2 (only this core's: on a
+    // shared CMP cache the dequeue filters by requester id).
+    while (auto resp = l2_.dequeueSliceResp(requester_)) {
         bool matched = false;
         for (auto &mi : memQueue_) {
             if (mi.robTag == resp->instTag) {
@@ -211,7 +229,7 @@ Vbox::cycle()
             continue;
         if (mi.nextSlice >= mi.plan.slices.size())
             continue;
-        if (l2_.acceptSlice(mi.plan.slices[mi.nextSlice])) {
+        if (l2_.acceptSlice(mi.plan.slices[mi.nextSlice], requester_)) {
             ++mi.nextSlice;
             ++mi.outstanding;
             ++slicesIssued_;
@@ -340,12 +358,13 @@ Vbox::checkPlan(const SlicePlan &plan,
 {
     if (addrs.empty())
         return;
+    const std::string chk = label_ + ".plan";
     unsigned covered = 0;
     for (const auto &s : plan.slices) {
         const unsigned n = s.numValid();
         if (n == 0) {
             check::CheckerRegistry::fail(
-                "vbox.plan", now_,
+                chk.c_str(), now_,
                 "plan contains an empty slice");
         }
         covered += n;
@@ -355,7 +374,7 @@ Vbox::checkPlan(const SlicePlan &plan,
         // each distinct line exactly once, in at most two slices.
         if (plan.slices.size() > 2) {
             check::CheckerRegistry::fail(
-                "vbox.plan", now_,
+                chk.c_str(), now_,
                 "pump plan needs " +
                     std::to_string(plan.slices.size()) +
                     " slices (max 2)");
@@ -369,7 +388,7 @@ Vbox::checkPlan(const SlicePlan &plan,
                     lines.end());
         if (covered != lines.size()) {
             check::CheckerRegistry::fail(
-                "vbox.plan", now_,
+                chk.c_str(), now_,
                 "pump plan covers " + std::to_string(covered) +
                     " lines, instruction touches " +
                     std::to_string(lines.size()));
@@ -382,13 +401,13 @@ Vbox::checkPlan(const SlicePlan &plan,
             : addrs.size();
     if (plan.slices.size() > bound) {
         check::CheckerRegistry::fail(
-            "vbox.plan", now_,
+            chk.c_str(), now_,
             "plan needs " + std::to_string(plan.slices.size()) +
                 " slices (bound " + std::to_string(bound) + ")");
     }
     if (covered != addrs.size()) {
         check::CheckerRegistry::fail(
-            "vbox.plan", now_,
+            chk.c_str(), now_,
             "plan covers " + std::to_string(covered) +
                 " elements, instruction has " +
                 std::to_string(addrs.size()));
@@ -399,11 +418,11 @@ void
 Vbox::attachIntegrity(check::Integrity &kit)
 {
     faults_ = kit.faults();
-    ring_ = kit.ring("vbox");
+    ring_ = kit.ring(label_.c_str());
     checks_ = kit.checksEnabled();
 
     kit.registry().add(
-        "vbox.plan",
+        label_ + ".plan",
         [this](Cycle, std::vector<std::string> &v) {
             // Queue bounds: every in-flight memory instruction's
             // cursor and outstanding count must stay inside its plan.
@@ -429,7 +448,7 @@ Vbox::attachIntegrity(check::Integrity &kit)
             }
         });
 
-    kit.forensics().addProbe("vbox", [this](JsonWriter &w) {
+    kit.forensics().addProbe(label_, [this](JsonWriter &w) {
         w.key("memQueueDepth")
             .value(static_cast<std::uint64_t>(memQueue_.size()));
         w.key("completionsPending")
@@ -460,13 +479,13 @@ Vbox::attachIntegrity(check::Integrity &kit)
 void
 Vbox::attachTrace(trace::TraceSink &sink)
 {
-    trace_ = &sink.channel("vbox");
+    trace_ = &sink.channel(label_);
 }
 
 void
 Vbox::save(snap::Snapshotter &out) const
 {
-    out.section("vbox");
+    out.section(label_.c_str());
     out.u64(now_);
     out.u64(northFreeAt_);
     out.u64(southFreeAt_);
@@ -501,7 +520,7 @@ Vbox::save(snap::Snapshotter &out) const
 void
 Vbox::restore(snap::Restorer &in)
 {
-    in.section("vbox");
+    in.section(label_.c_str());
     now_ = in.u64();
     northFreeAt_ = in.u64();
     southFreeAt_ = in.u64();

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "base/statistics.hh"
@@ -66,8 +67,20 @@ struct VboxCompletion
 class Vbox
 {
   public:
+    /**
+     * @param requester  Core id on a shared L2 (CMP configurations);
+     *                   slices are offered and completions dequeued
+     *                   under this id so concurrent Vboxes never see
+     *                   each other's responses.
+     * @param label      Trace-channel / forensic-ring / checker name
+     *                   ("vbox" single-core, "vbox0".. in a CMP).
+     * @param addr_bias  Line-aligned bias ORed into every element
+     *                   address before slicing (CMP address coloring;
+     *                   0 leaves addresses untouched).
+     */
     Vbox(const VboxConfig &cfg, cache::L2Cache &l2,
-         stats::StatGroup &parent);
+         stats::StatGroup &parent, unsigned requester = 0,
+         const std::string &label = "vbox", Addr addr_bias = 0);
 
     /**
      * Issue a vector arithmetic or control instruction whose sources
@@ -177,6 +190,9 @@ class Vbox
     VboxConfig cfg_;
     cache::L2Cache &l2_;
     Slicer slicer_;
+    unsigned requester_ = 0;    ///< core id on the shared L2
+    std::string label_;         ///< per-core observability name
+    Addr addrBias_ = 0;         ///< CMP address coloring (0 = off)
     Cycle now_ = 0;
 
     Cycle northFreeAt_ = 0;

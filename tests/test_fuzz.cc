@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <filesystem>
 #include <memory>
 #include <sstream>
@@ -36,6 +37,7 @@
 #include "proc/machine_config.hh"
 #include "proc/processor.hh"
 #include "program/assembler.hh"
+#include "system/system.hh"
 
 namespace
 {
@@ -587,6 +589,87 @@ INSTANTIATE_TEST_SUITE_P(
                       FaultFuzzCase{5}, FaultFuzzCase{6}),
     [](const ::testing::TestParamInfo<FaultFuzzCase> &info) {
         return "seed" + std::to_string(info.param.seed);
+    });
+
+// ---- CMP battery (DESIGN.md §11) --------------------------------------
+//
+// Random programs on a multi-core System: every core runs its own
+// seeded program over its own memory image while all of them fight
+// for the shared banked L2. The timing layer -- arbitration, address
+// coloring, cross-core coherency -- must never perturb any core's
+// architectural results, and the fast-forward engine must stay
+// invisible on the whole machine.
+
+struct CmpFuzzCase
+{
+    unsigned cores;
+    std::uint64_t seed;
+};
+
+class CmpFuzz : public ::testing::TestWithParam<CmpFuzzCase>
+{
+};
+
+TEST_P(CmpFuzz, PerCoreResultsIntactAndFastForwardInvisible)
+{
+    const CmpFuzzCase fc = GetParam();
+
+    // Per-core programs and functional references (distinct seeds so
+    // the cores do genuinely different work).
+    std::vector<Program> progs;
+    std::vector<std::vector<std::uint64_t>> expect;
+    for (unsigned i = 0; i < fc.cores; ++i) {
+        const std::uint64_t s = fc.seed * 16 + i;
+        progs.push_back(generate(s, /*with_vector=*/true));
+        exec::FunctionalMemory ref_mem;
+        seedMemory(ref_mem, s);
+        exec::Interpreter ref(progs.back(), ref_mem);
+        ref.run(1ULL << 24);
+        expect.push_back(snapshot(ref_mem));
+    }
+
+    Cycle cycles[2] = {0, 0};
+    std::string stats[2];
+    for (int run = 0; run < 2; ++run) {
+        auto cfg = proc::tarantulaConfig();
+        cfg.cmp.numCores = fc.cores;
+        cfg.fastForward = (run == 1);
+        std::deque<exec::FunctionalMemory> mems;
+        std::vector<const Program *> prog_ptrs;
+        std::vector<exec::FunctionalMemory *> mem_ptrs;
+        for (unsigned i = 0; i < fc.cores; ++i) {
+            mems.emplace_back();
+            seedMemory(mems.back(), fc.seed * 16 + i);
+            prog_ptrs.push_back(&progs[i]);
+            mem_ptrs.push_back(&mems.back());
+        }
+        sys::System cpu(cfg, prog_ptrs, mem_ptrs);
+        const auto r = cpu.run(1ULL << 26);
+        cycles[run] = r.cycles;
+        std::ostringstream os;
+        cpu.stats().reportJson(os);
+        stats[run] = os.str();
+        for (unsigned i = 0; i < fc.cores; ++i) {
+            ASSERT_EQ(snapshot(mems[i]), expect[i])
+                << "core " << i << " seed " << fc.seed;
+        }
+    }
+    EXPECT_EQ(cycles[0], cycles[1])
+        << "fast-forward changed CMP timing, cores " << fc.cores
+        << " seed " << fc.seed;
+    EXPECT_EQ(stats[0], stats[1])
+        << "fast-forward changed CMP stats, cores " << fc.cores
+        << " seed " << fc.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, CmpFuzz,
+    ::testing::Values(CmpFuzzCase{2, 1}, CmpFuzzCase{2, 2},
+                      CmpFuzzCase{2, 3}, CmpFuzzCase{4, 1},
+                      CmpFuzzCase{4, 2}, CmpFuzzCase{4, 3}),
+    [](const ::testing::TestParamInfo<CmpFuzzCase> &info) {
+        return "x" + std::to_string(info.param.cores) + "_seed" +
+               std::to_string(info.param.seed);
     });
 
 TEST(Fuzz, ScalarProgramsOnEv8)

@@ -82,14 +82,21 @@ readGoldenText()
 /**
  * Extract one entry from the golden text. The file is machine-written
  * with a fixed key order (see regenerate()), so an exact-prefix scan
- * is a complete parser for it.
+ * is a complete parser for it. The single-core prefix runs through
+ * "cycles": so it can never match a CMP row (which carries "cores":N
+ * between workload and cycles).
  */
 bool
 findEntry(const std::string &text, const std::string &machine,
-          const std::string &workload, GoldenEntry &out)
+          const std::string &workload, unsigned cores,
+          GoldenEntry &out)
 {
-    const std::string prefix = "{\"machine\":\"" + machine +
-                               "\",\"workload\":\"" + workload + "\",";
+    std::string prefix = "{\"machine\":\"" + machine +
+                         "\",\"workload\":\"" + workload + "\",";
+    if (cores == 1)
+        prefix += "\"cycles\":";
+    else
+        prefix += "\"cores\":" + std::to_string(cores) + ",";
     const std::size_t at = text.find(prefix);
     if (at == std::string::npos)
         return false;
@@ -114,12 +121,13 @@ findEntry(const std::string &text, const std::string &machine,
 
 sim::Job
 jobFor(const std::string &machine, const std::string &workload,
-       bool fast_forward)
+       bool fast_forward, unsigned cores = 1)
 {
     sim::Job job;
     job.machine = machine;
     job.workload = workload;
     job.fastForward = fast_forward;
+    job.cores = cores;
     return job;
 }
 
@@ -129,6 +137,7 @@ struct GoldenPoint
 {
     std::string machine;
     std::string workload;
+    unsigned cores = 1;
 };
 
 std::vector<GoldenPoint>
@@ -137,7 +146,13 @@ allPoints()
     std::vector<GoldenPoint> points;
     for (const auto *m : kMachines) {
         for (const auto &w : workloads::allWorkloads())
-            points.push_back({m, w.name});
+            points.push_back({m, w.name, 1});
+    }
+    // The CMP grid (DESIGN.md §11): the shared-L2 contention numbers
+    // are as much a reviewed timing contract as the single-core ones.
+    for (unsigned cores : {2u, 4u}) {
+        for (const char *w : {"dgemm", "rndcopy"})
+            points.push_back({"T", w, cores});
     }
     return points;
 }
@@ -155,10 +170,11 @@ TEST_P(Golden, FastForwardMatchesSteppedAndGoldenTable)
     const auto &p = GetParam();
 
     const sim::JobResult stepped =
-        sim::runJob(jobFor(p.machine, p.workload, false));
+        sim::runJob(jobFor(p.machine, p.workload, false, p.cores));
     const sim::JobResult ff =
-        sim::runJob(jobFor(p.machine, p.workload, true));
-    sim::Job observed_job = jobFor(p.machine, p.workload, true);
+        sim::runJob(jobFor(p.machine, p.workload, true, p.cores));
+    sim::Job observed_job =
+        jobFor(p.machine, p.workload, true, p.cores);
     observed_job.trace = true;
     observed_job.sampleEvery = 1000;
     const sim::JobResult observed = sim::runJob(observed_job);
@@ -188,8 +204,10 @@ TEST_P(Golden, FastForwardMatchesSteppedAndGoldenTable)
     ASSERT_NE(text.find(GoldenSchemaTag), std::string::npos);
 
     GoldenEntry golden;
-    ASSERT_TRUE(findEntry(text, p.machine, p.workload, golden))
+    ASSERT_TRUE(findEntry(text, p.machine, p.workload, p.cores,
+                          golden))
         << "no golden entry for " << p.machine << "/" << p.workload
+        << " x" << p.cores
         << "; regenerate with: ./build/tests/test_golden --regen";
     EXPECT_EQ(stepped.run.cycles, golden.cycles);
     EXPECT_EQ(stepped.run.insts, golden.insts);
@@ -203,6 +221,8 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<GoldenPoint> &info) {
         std::string name =
             info.param.machine + "_" + info.param.workload;
+        if (info.param.cores != 1)
+            name += "_x" + std::to_string(info.param.cores);
         for (char &c : name) {
             if (c == '+')
                 c = 'p';
@@ -222,7 +242,7 @@ regenerate(const std::string &path)
     const auto points = allPoints();
     sim::SimFarm farm;
     for (const auto &p : points)
-        farm.submit(jobFor(p.machine, p.workload, false));
+        farm.submit(jobFor(p.machine, p.workload, false, p.cores));
     const sim::BatchResult batch = farm.run();
 
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -246,8 +266,10 @@ regenerate(const std::string &path)
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto &r = batch.jobs[i].run;
         out << "{\"machine\":\"" << points[i].machine
-            << "\",\"workload\":\"" << points[i].workload
-            << "\",\"cycles\":" << r.cycles << ",\"insts\":" << r.insts
+            << "\",\"workload\":\"" << points[i].workload << "\",";
+        if (points[i].cores != 1)
+            out << "\"cores\":" << points[i].cores << ",";
+        out << "\"cycles\":" << r.cycles << ",\"insts\":" << r.insts
             << ",\"ops\":" << r.ops << ",\"flops\":" << r.flops
             << ",\"memops\":" << r.memops << "}"
             << (i + 1 < points.size() ? "," : "") << "\n";

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The CMP System battery (DESIGN.md §11).
+ *
+ * Pins the contracts the top-level System makes:
+ *
+ *  1. a 1-core System IS the paper's machine -- its metrics match the
+ *     reviewed golden-stats table entry for the same point,
+ *  2. multi-core runs are deterministic: run twice, bit-identical
+ *     cycles and statistics bytes,
+ *  3. the quiescence fast-forward engine holds on a CMP: stepped and
+ *     fast-forwarded 2-core runs match byte for byte,
+ *  4. the system.fairness starvation checker fires (an impossible
+ *     fairness floor turns ordinary arbitration into a violation),
+ *  5. a 4-core snapshot/resume run is bit-identical to a straight
+ *     run (DESIGN.md §10 extends to the whole CMP).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "sim/job.hh"
+#include "system/system.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tarantula;
+
+sim::Job
+cmpJob(const std::string &workload, unsigned cores,
+       bool fast_forward = true)
+{
+    sim::Job job;
+    job.machine = "T";
+    job.workload = workload;
+    job.cores = cores;
+    job.fastForward = fast_forward;
+    return job;
+}
+
+/** A System plus the per-core workload state it points into. */
+struct Machine
+{
+    // Deques: the System holds pointers into both.
+    std::deque<workloads::Workload> ws;
+    std::deque<exec::FunctionalMemory> mems;
+    std::unique_ptr<sys::System> cpu;
+
+    Machine(const proc::MachineConfig &cfg,
+            const std::string &workload)
+    {
+        std::vector<const program::Program *> progs;
+        std::vector<exec::FunctionalMemory *> mem_ptrs;
+        for (unsigned i = 0; i < cfg.cmp.numCores; ++i) {
+            ws.push_back(workloads::byName(workload));
+            mems.emplace_back();
+            ws.back().init(mems.back());
+            progs.push_back(&ws.back().vectorProg);
+            mem_ptrs.push_back(&mems.back());
+        }
+        cpu = std::make_unique<sys::System>(cfg, progs, mem_ptrs);
+    }
+
+    void
+    warm()
+    {
+        for (unsigned i = 0; i < cpu->numCores(); ++i) {
+            const Addr bias =
+                sys::System::addrBiasFor(cpu->config(), i);
+            for (const auto &r : ws[i].warmRanges) {
+                for (std::uint64_t o = 0; o < r.bytes;
+                     o += CacheLineBytes)
+                    cpu->l2().warmLine((r.base + o) | bias);
+            }
+        }
+    }
+
+    std::string
+    statsJson()
+    {
+        std::ostringstream os;
+        cpu->stats().reportJson(os);
+        return os.str();
+    }
+};
+
+// ---- 1. a 1-core System is the paper's machine ------------------------
+
+TEST(SystemSingleCore, MatchesGoldenStatsEntry)
+{
+    // The golden table was recorded by the legacy single-core
+    // Processor; the 1-core System must reproduce its numbers exactly.
+    std::ifstream in(GOLDEN_STATS_PATH);
+    ASSERT_TRUE(in) << "missing " << GOLDEN_STATS_PATH;
+    std::ostringstream text_os;
+    text_os << in.rdbuf();
+    const std::string text = text_os.str();
+
+    const std::string prefix =
+        "{\"machine\":\"T\",\"workload\":\"dgemm\",\"cycles\":";
+    const std::size_t at = text.find(prefix);
+    ASSERT_NE(at, std::string::npos);
+    const std::string entry =
+        text.substr(at, text.find('}', at) - at);
+    auto field = [&](const char *key) {
+        const std::string needle = std::string("\"") + key + "\":";
+        const std::size_t pos = entry.find(needle);
+        EXPECT_NE(pos, std::string::npos) << key;
+        return std::strtoull(entry.c_str() + pos + needle.size(),
+                             nullptr, 10);
+    };
+
+    const sim::JobResult r = sim::runJob(cmpJob("dgemm", 1));
+    ASSERT_EQ(r.status, sim::JobStatus::Ok) << r.message;
+    EXPECT_EQ(r.run.cycles, field("cycles"));
+    EXPECT_EQ(r.run.insts, field("insts"));
+    EXPECT_EQ(r.run.ops, field("ops"));
+    EXPECT_EQ(r.run.flops, field("flops"));
+    EXPECT_EQ(r.run.memops, field("memops"));
+    EXPECT_EQ(r.run.perCore.size(), 1u);
+}
+
+// ---- 2. multi-core determinism ----------------------------------------
+
+class SystemDeterminism : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SystemDeterminism, RunTwiceBitIdentical)
+{
+    const unsigned cores = GetParam();
+    const sim::JobResult a = sim::runJob(cmpJob("rndcopy", cores));
+    const sim::JobResult b = sim::runJob(cmpJob("rndcopy", cores));
+    ASSERT_EQ(a.status, sim::JobStatus::Ok) << a.message;
+    ASSERT_EQ(b.status, sim::JobStatus::Ok) << b.message;
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.statsJson, b.statsJson);
+    ASSERT_EQ(a.run.perCore.size(), cores);
+    for (unsigned i = 0; i < cores; ++i)
+        EXPECT_GT(a.run.perCore[i].insts, 0u) << "core" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, SystemDeterminism,
+                         ::testing::Values(2u, 4u));
+
+// ---- 3. fast-forward identity on a CMP --------------------------------
+
+TEST(SystemFastForward, SteppedAndJumpedBitIdentical)
+{
+    const sim::JobResult stepped =
+        sim::runJob(cmpJob("dgemm", 2, false));
+    const sim::JobResult ff = sim::runJob(cmpJob("dgemm", 2, true));
+    ASSERT_EQ(stepped.status, sim::JobStatus::Ok) << stepped.message;
+    ASSERT_EQ(ff.status, sim::JobStatus::Ok) << ff.message;
+    EXPECT_EQ(ff.run.cycles, stepped.run.cycles);
+    EXPECT_EQ(ff.run.insts, stepped.run.insts);
+    EXPECT_EQ(ff.statsJson, stepped.statsJson);
+}
+
+// ---- 4. the starvation checker fires ----------------------------------
+
+TEST(SystemFairness, CheckerFiresOnStarvation)
+{
+    // An impossible floor (every core must win 100% of its contested
+    // offers) makes ordinary two-core bank arbitration read as
+    // starvation in the first grant window that sees a cross-core
+    // bounce: the checker's plumbing -- window deltas, contested-offer
+    // accounting, the integrity sweep -- is what's under test, not the
+    // arbiter's (real) fairness. dgemm is the workload because its
+    // two cores genuinely collide on banks (copy-style streams never
+    // bounce).
+    proc::MachineConfig cfg = proc::tarantulaConfig();
+    cfg.cmp.numCores = 2;
+    cfg.cmp.fairnessFloor = 1.0;
+    cfg.integrity.checks = true;
+    Machine m(cfg, "dgemm");
+    m.warm();
+    EXPECT_THROW(m.cpu->run(1ULL << 24), PanicError);
+}
+
+TEST(SystemFairness, RealArbitrationPassesDefaultFloor)
+{
+    // And with the reviewed default floor the same run is clean: the
+    // round-robin bank arbiter really does let every core win well
+    // above 5% of its contested offers.
+    proc::MachineConfig cfg = proc::tarantulaConfig();
+    cfg.cmp.numCores = 2;
+    cfg.integrity.checks = true;
+    Machine m(cfg, "dgemm");
+    m.warm();
+    EXPECT_NO_THROW(m.cpu->run(1ULL << 24));
+}
+
+// ---- 5. 4-core snapshot/resume ----------------------------------------
+
+TEST(SystemSnapshot, FourCoreSplitRunBitIdentical)
+{
+    const proc::MachineConfig base = [] {
+        proc::MachineConfig cfg = proc::tarantulaConfig();
+        cfg.cmp.numCores = 4;
+        return cfg;
+    }();
+    const std::string path =
+        ::testing::TempDir() + "/system_cmp4.tsnap";
+
+    // The straight run.
+    Machine straight(base, "rndcopy");
+    straight.warm();
+    const proc::RunResult whole = straight.cpu->run(1ULL << 24);
+
+    // The split run: snapshot mid-flight, restore into a fresh
+    // machine, finish there.
+    Machine first(base, "rndcopy");
+    first.warm();
+    const Cycle stop = whole.cycles / 2;
+    first.cpu->run(1ULL << 24, stop);
+    ASSERT_FALSE(first.cpu->finished());
+    first.cpu->snapshot(path, "rndcopy");
+
+    Machine second(base, "rndcopy");
+    second.warm();
+    second.cpu->restoreFrom(path);
+    EXPECT_EQ(second.cpu->now(), stop);
+    const proc::RunResult rest = second.cpu->run(1ULL << 24);
+
+    EXPECT_EQ(rest.cycles, whole.cycles);
+    EXPECT_EQ(second.statsJson(), straight.statsJson());
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_TRUE(second.ws[i].check(second.mems[i]).empty())
+            << "core" << i;
+    }
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace

@@ -4,11 +4,19 @@
  * SimFarm's worker pool and export every result as JSON.
  *
  *   tarantula_batch [--machines EV8,T,...|all] [--workloads all|micro|
- *                   figure|NAME,NAME,...] [--jobs N] [--json FILE]
- *                   [--no-pump] [--force-crbox] [--max-cycles N]
- *                   [--trace-dir DIR] [--sample-every N]
- *                   [--sample-stats PREFIXES] [--quiet] [--list]
- *                   [--manifest DIR] [--warm-from FILE]
+ *                   figure|NAME,NAME,...] [--cores LIST] [--jobs N]
+ *                   [--json FILE] [--no-pump] [--force-crbox]
+ *                   [--max-cycles N] [--trace-dir DIR]
+ *                   [--sample-every N] [--sample-stats PREFIXES]
+ *                   [--quiet] [--list] [--manifest DIR]
+ *                   [--warm-from FILE]
+ *
+ * --cores adds a CMP dimension to the grid (machine x workload x
+ * cores). A workload entry may itself be a '+'-joined per-core
+ * placement list -- "copy+dgemm" runs copy on even cores and dgemm on
+ * odd ones (DESIGN.md §11). Placement entries are skipped at the
+ * grid's 1-core points (they have no single-core meaning) and are a
+ * spec error when no --cores entry exceeds 1.
  *
  * One invocation reproduces the Figure 6/7 grids: e.g.
  *   tarantula_batch --machines EV8,EV8+,T --workloads figure --jobs 8
@@ -53,7 +61,12 @@ usage()
         "  --machines LIST  comma-separated Table 3 names, or 'all'\n"
         "                   (default T); EV8, EV8+, T, T4, T10\n"
         "  --workloads LIST 'all', 'micro', 'figure', or a\n"
-        "                   comma-separated name list (default all)\n"
+        "                   comma-separated name list (default all);\n"
+        "                   an entry may be a '+'-joined per-core\n"
+        "                   placement list (skipped at 1 core;\n"
+        "                   needs some --cores entry > 1)\n"
+        "  --cores LIST     comma-separated core counts; each adds a\n"
+        "                   CMP grid dimension (default 1)\n"
         "  --jobs N         worker threads (default: host threads)\n"
         "  --json FILE      write the batch report there instead of\n"
         "                   stdout\n"
@@ -144,6 +157,7 @@ run(int argc, char **argv)
 {
     std::string machines_spec = "T";
     std::string workloads_spec = "all";
+    std::string cores_spec = "1";
     std::string json_file;
     unsigned jobs = 0;
     bool no_pump = false;
@@ -185,6 +199,8 @@ run(int argc, char **argv)
             machines_spec = next();
         } else if (arg == "--workloads") {
             workloads_spec = next();
+        } else if (arg == "--cores") {
+            cores_spec = next();
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(parseU64(arg, next()));
         } else if (arg == "--json") {
@@ -235,12 +251,41 @@ run(int argc, char **argv)
     if (machines.empty() || names.empty())
         fatal("empty sweep: no machines or no workloads selected");
 
+    std::vector<unsigned> core_counts;
+    for (const auto &c : splitCsv(cores_spec)) {
+        const unsigned n =
+            static_cast<unsigned>(parseU64("--cores", c));
+        if (n == 0)
+            fatal("--cores entries need at least 1");
+        core_counts.push_back(n);
+    }
+    if (core_counts.empty())
+        fatal("empty --cores list");
+
     // Validate the spec up front so a typo fails fast rather than as
-    // N failed jobs deep into the sweep.
+    // N failed jobs deep into the sweep. A '+'-joined entry is a
+    // per-core placement list: validate each member name.
     for (const auto &m : machines)
         proc::machineByName(m);
-    for (const auto &n : names)
-        workloads::byName(n);
+    for (const auto &n : names) {
+        std::stringstream ss(n);
+        std::string member;
+        bool placement = n.find('+') != std::string::npos;
+        while (std::getline(ss, member, '+'))
+            workloads::byName(member);
+        if (placement) {
+            // A placement needs >= 2 cores; in a mixed grid the 1-core
+            // points are simply skipped below, but a placement that
+            // could NEVER run is a spec error.
+            bool runnable = false;
+            for (unsigned c : core_counts)
+                runnable |= c > 1;
+            if (!runnable) {
+                fatal("placement list '%s' needs --cores > 1",
+                      n.c_str());
+            }
+        }
+    }
 
     if (!trace_dir.empty()) {
         std::error_code ec;
@@ -251,11 +296,22 @@ run(int argc, char **argv)
     }
 
     std::vector<sim::Job> grid;
+    for (unsigned c : core_counts) {
     for (const auto &m : machines) {
         for (const auto &n : names) {
+            // Placement lists have no 1-core meaning: skip the point.
+            if (c == 1 && n.find('+') != std::string::npos)
+                continue;
             sim::Job job;
             job.machine = m;
+            // The Job carries placement lists comma-separated; the
+            // CLI uses '+' so the list survives splitCsv above.
             job.workload = n;
+            for (char &ch : job.workload) {
+                if (ch == '+')
+                    ch = ',';
+            }
+            job.cores = c;
             job.noPump = no_pump;
             job.forceCrBox = force_crbox;
             job.check = check;
@@ -267,6 +323,7 @@ run(int argc, char **argv)
             job.sampleStats = sample_stats;
             grid.push_back(job);
         }
+    }
     }
 
     if (!warm_from.empty()) {
@@ -282,7 +339,8 @@ run(int argc, char **argv)
         std::size_t matched = 0;
         for (auto &job : grid) {
             if (job.machine == snap_manifest.machine &&
-                job.workload == snap_manifest.workload) {
+                job.workload == snap_manifest.workload &&
+                job.cores == snap_manifest.cores) {
                 job.resumeFrom = warm_from;
                 ++matched;
             }
@@ -327,11 +385,19 @@ run(int argc, char **argv)
         }
     }
 
-    std::fprintf(stderr,
-                 "simfarm: %zu jobs (%zu machines x %zu workloads) "
-                 "on %u threads\n",
-                 farm.pending(), machines.size(), names.size(),
-                 farm.threads());
+    if (core_counts.size() == 1 && core_counts[0] == 1) {
+        std::fprintf(stderr,
+                     "simfarm: %zu jobs (%zu machines x %zu "
+                     "workloads) on %u threads\n",
+                     farm.pending(), machines.size(), names.size(),
+                     farm.threads());
+    } else {
+        std::fprintf(stderr,
+                     "simfarm: %zu jobs (%zu machines x %zu "
+                     "workloads x %zu core counts) on %u threads\n",
+                     farm.pending(), machines.size(), names.size(),
+                     core_counts.size(), farm.threads());
+    }
 
     auto progress = [&](const sim::JobResult &r, std::size_t done,
                         std::size_t total) {
@@ -357,9 +423,13 @@ run(int argc, char **argv)
             if (r.traceJson.empty())
                 continue;
             std::string stem = r.job.machine + "_" + r.job.workload;
+            if (r.job.cores != 1)
+                stem += "_c" + std::to_string(r.job.cores);
             for (char &c : stem) {
                 if (c == '+')
                     c = 'p';    // EV8+ -> EV8p: filesystem-safe
+                else if (c == ',')
+                    c = '-';    // CMP placement lists, likewise
             }
             const std::filesystem::path path =
                 std::filesystem::path(trace_dir) /

@@ -5,11 +5,17 @@
  * full statistics tree.
  *
  *   tarantula_run [--machine EV8|EV8+|T|T4|T10] [--workload NAME]
- *                 [--list] [--stats FILE] [--json FILE] [--no-pump]
- *                 [--force-crbox] [--max-cycles N] [--trace FILE]
- *                 [--sample-every N] [--sample-stats PREFIXES]
+ *                 [--cores N] [--list] [--stats FILE] [--json FILE]
+ *                 [--no-pump] [--force-crbox] [--max-cycles N]
+ *                 [--trace FILE] [--sample-every N]
+ *                 [--sample-stats PREFIXES]
  *                 [--ckpt-at CYCLE[,CYCLE...]] [--ckpt-out PREFIX]
  *                 [--resume FILE]
+ *
+ * --cores builds an N-core CMP around the shared banked L2
+ * (DESIGN.md §11); --workload then accepts a comma-separated
+ * placement list assigning one workload per core (shorter lists
+ * replicate cyclically).
  *
  * --json writes the same tarantula.job.v1 record SimFarm's
  * tarantula_batch emits per job, so single runs and batch sweeps
@@ -31,13 +37,15 @@
 #include <string>
 #include <vector>
 
+#include <deque>
+
 #include "base/logging.hh"
 #include "snap/snapshot.hh"
 #include "exec/memory.hh"
 #include "proc/machine_config.hh"
-#include "proc/processor.hh"
 #include "program/encoding.hh"
 #include "sim/result_sink.hh"
+#include "system/system.hh"
 #include "workloads/workload.hh"
 
 using namespace tarantula;
@@ -51,7 +59,11 @@ usage()
     std::printf(
         "usage: tarantula_run [options]\n"
         "  --machine M     EV8, EV8+, T (default), T4, T10\n"
-        "  --workload W    workload name (default dgemm); see --list\n"
+        "  --workload W    workload name (default dgemm); see --list.\n"
+        "                  With --cores, a comma-separated per-core\n"
+        "                  placement list (replicated cyclically)\n"
+        "  --cores N       CMP: N cores sharing the banked L2\n"
+        "                  (default 1, the paper's machine)\n"
         "  --list          list available workloads and exit\n"
         "  --stats FILE    write the full statistics tree to FILE\n"
         "  --json FILE     write a tarantula.job.v1 JSON record to "
@@ -107,6 +119,7 @@ run(int argc, char **argv)
 {
     std::string machine = "T";
     std::string workload = "dgemm";
+    unsigned cores = 1;
     std::string stats_file;
     std::string json_file;
     std::string save_program;
@@ -150,6 +163,10 @@ run(int argc, char **argv)
             machine = next();
         } else if (arg == "--workload") {
             workload = next();
+        } else if (arg == "--cores") {
+            cores = static_cast<unsigned>(parseU64(arg, next()));
+            if (cores == 0)
+                fatal("--cores needs at least 1");
         } else if (arg == "--stats") {
             stats_file = next();
         } else if (arg == "--json") {
@@ -220,21 +237,53 @@ run(int argc, char **argv)
     cfg.trace.sampleEvery = sample_every;
     cfg.trace.sampleStats = sample_stats;
 
-    workloads::Workload w = workloads::byName(workload);
-    exec::FunctionalMemory mem;
-    w.init(mem);
+    cfg.cmp.numCores = cores;
 
-    const auto &prog = cfg.hasVbox ? w.vectorProg : w.scalarProg;
-    if (!save_program.empty()) {
-        program::saveProgram(prog, save_program);
-        std::printf("program:    %zu instructions written to %s\n",
-                    prog.size(), save_program.c_str());
+    // CMP placement: "a,b" on 4 cores runs a on 0/2, b on 1/3.
+    std::vector<std::string> names;
+    {
+        std::stringstream list(workload);
+        std::string item;
+        while (std::getline(list, item, ','))
+            names.push_back(item);
     }
-    proc::Processor cpu(cfg, prog, mem);
+    if (names.empty())
+        fatal("empty --workload");
+    if (cores == 1 && names.size() > 1)
+        fatal("--workload placement list needs --cores > 1");
+
+    // Deques: the System holds pointers into both, so emplacing one
+    // core's state must never relocate an earlier core's.
+    std::deque<workloads::Workload> ws;
+    std::deque<exec::FunctionalMemory> mems;
+    std::vector<const program::Program *> progs;
+    std::vector<exec::FunctionalMemory *> memPtrs;
+    for (unsigned i = 0; i < cores; ++i) {
+        ws.push_back(workloads::byName(names[i % names.size()]));
+        mems.emplace_back();
+        ws.back().init(mems.back());
+        progs.push_back(cfg.hasVbox ? &ws.back().vectorProg
+                                    : &ws.back().scalarProg);
+        memPtrs.push_back(&mems.back());
+    }
+    workloads::Workload &w = ws[0];
+
+    if (!save_program.empty()) {
+        program::saveProgram(*progs[0], save_program);
+        std::printf("program:    %zu instructions written to %s\n",
+                    progs[0]->size(), save_program.c_str());
+    }
+    sys::System cpu(cfg, progs, memPtrs);
     if (resume_file.empty()) {
-        for (const auto &r : w.warmRanges) {
-            for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
-                cpu.l2().warmLine(r.base + o);
+        for (unsigned i = 0; i < cores; ++i) {
+            // Each core's warm lines carry its coloring bias, matching
+            // the addresses its traffic will present.
+            const Addr bias = sys::System::addrBiasFor(cfg, i);
+            for (const auto &r : ws[i].warmRanges) {
+                for (std::uint64_t o = 0; o < r.bytes;
+                     o += CacheLineBytes)
+                    cpu.l2().warmLine((r.base + o) | bias);
+            }
         }
     } else {
         // The snapshot carries everything -- warmed L2 lines included.
@@ -255,6 +304,8 @@ run(int argc, char **argv)
         for (char &c : ckpt_prefix) {
             if (c == '+')
                 c = 'p';        // EV8+ -> EV8p: filesystem-safe
+            else if (c == ',')
+                c = '-';        // CMP placement lists, likewise
         }
     }
     auto ckptPath = [&](Cycle stop) {
@@ -272,6 +323,7 @@ run(int argc, char **argv)
     sim::JobResult record;
     record.job.machine = machine;
     record.job.workload = workload;
+    record.job.cores = cores;
     record.job.noPump = no_pump;
     record.job.forceCrBox = force_crbox;
     record.job.check = check;
@@ -350,10 +402,23 @@ run(int argc, char **argv)
         return 3;
     }
     const double host_seconds = hostSeconds();
-    const std::string err = w.check(mem);
+    std::string err;
+    for (unsigned i = 0; i < cores && err.empty(); ++i) {
+        const std::string e = ws[i].check(mems[i]);
+        if (!e.empty()) {
+            err = cores == 1
+                      ? e
+                      : "core" + std::to_string(i) + ": " + e;
+        }
+    }
 
-    std::printf("workload:   %s (%s)\n", w.name.c_str(),
-                w.description.c_str());
+    if (cores == 1) {
+        std::printf("workload:   %s (%s)\n", w.name.c_str(),
+                    w.description.c_str());
+    } else {
+        std::printf("workload:   %s on %u cores\n", workload.c_str(),
+                    cores);
+    }
     std::printf("machine:    %s @ %.2f GHz (%s program)\n",
                 cfg.name.c_str(), cfg.freqGhz,
                 cfg.hasVbox ? "vector" : "scalar");
@@ -368,6 +433,17 @@ run(int argc, char **argv)
     std::printf("ops/cycle:  %.2f (flops %.2f, mem %.2f, other "
                 "%.2f)\n",
                 r.opc(), r.fpc(), r.mpc(), r.otherPc());
+    if (cores > 1 && r.cycles > 0) {
+        for (unsigned i = 0; i < r.perCore.size(); ++i) {
+            const auto &pc = r.perCore[i];
+            std::printf("  core%u:    %-10s %llu insts, %.2f "
+                        "ops/cycle\n",
+                        i, ws[i].name.c_str(),
+                        static_cast<unsigned long long>(pc.insts),
+                        static_cast<double>(pc.ops) /
+                            static_cast<double>(r.cycles));
+        }
+    }
     std::printf("mem raw:    %.1f MB (%.0f MB/s)\n",
                 r.rawBytes / 1e6, r.rawBandwidthMBs());
     std::printf("host:       %.1f ms, %.2f Mcycles/s simulated "
