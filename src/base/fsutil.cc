@@ -1,0 +1,112 @@
+#include "base/fsutil.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace tarantula
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &step)
+{
+    throw FsError("publish '" + path + "': " + step + ": " +
+                  std::strerror(errno));
+}
+
+/** write(2) the whole buffer, retrying short writes and EINTR. */
+void
+writeAll(int fd, const char *data, std::size_t size,
+         const std::string &path)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fail(path, "write");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+} // anonymous namespace
+
+void
+syncDirOf(const std::string &path)
+{
+    fs::path dir = fs::path(path).parent_path();
+    if (dir.empty())
+        dir = ".";
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);            // best effort; see header
+    ::close(fd);
+}
+
+void
+atomicPublish(const std::string &path, const std::string &bytes)
+{
+    // Unique per writer: pid separates processes, the counter separates
+    // threads (and successive publishes) within one.
+    static std::atomic<std::uint64_t> seq{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+
+    const int fd =
+        ::open(tmp.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        fail(path, "open temp '" + tmp + "'");
+    try {
+        writeAll(fd, bytes.data(), bytes.size(), path);
+        if (::fsync(fd) != 0)
+            fail(path, "fsync temp '" + tmp + "'");
+    } catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        fail(path, "close temp '" + tmp + "'");
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fail(path, "rename '" + tmp + "' into place");
+    }
+    // The rename is on disk only once the directory entry is: without
+    // this a host crash can forget the publish (old content returns),
+    // though it can never surface a torn file.
+    syncDirOf(path);
+}
+
+std::size_t
+sweepStrayTemps(const std::string &dir)
+{
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(".tmp.") == std::string::npos)
+            continue;
+        std::error_code rm;
+        if (fs::remove(entry.path(), rm))
+            ++removed;
+    }
+    return removed;
+}
+
+} // namespace tarantula

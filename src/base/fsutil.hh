@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Crash-durable filesystem publication.
+ *
+ * Every persistent artifact in the platform -- batch-manifest records,
+ * snapshot files, farm leases and quarantine reports -- is published
+ * with the same discipline: write the full content to a uniquely named
+ * temp file in the destination directory, flush and fsync it, rename
+ * it over the real name, then fsync the directory so the rename itself
+ * is on disk. A reader therefore only ever sees either the old file or
+ * the complete new one; a host crash (not just a process kill) can
+ * never surface a truncated record under the real name, and two
+ * processes racing to publish the same path cannot interleave their
+ * bytes because each writes its own temp file.
+ */
+
+#ifndef TARANTULA_BASE_FSUTIL_HH
+#define TARANTULA_BASE_FSUTIL_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace tarantula
+{
+
+/** Thrown by the publication helpers on any I/O failure. */
+class FsError : public std::runtime_error
+{
+  public:
+    explicit FsError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Atomically and durably publish @p bytes at @p path; see the file
+ * comment for the temp-write + fsync + rename + dir-fsync discipline.
+ * The temp name embeds the writer's pid and a process-wide counter, so
+ * concurrent writers (threads or processes) never share a temp file; a
+ * writer killed mid-publish leaves only a stray "<path>.tmp.*" that no
+ * reader matches.
+ *
+ * @throws FsError naming the path and the failing step.
+ */
+void atomicPublish(const std::string &path, const std::string &bytes);
+
+/**
+ * fsync the directory containing @p path, making a completed rename
+ * into that directory durable. Failures are swallowed: by the time
+ * this is called the data is safely renamed, and some filesystems
+ * refuse directory fsync.
+ */
+void syncDirOf(const std::string &path);
+
+/**
+ * Best-effort removal of stale "*.tmp.*" droppings in @p dir left by
+ * killed writers. Only files whose name contains ".tmp." are touched.
+ * Returns the number removed.
+ */
+std::size_t sweepStrayTemps(const std::string &dir);
+
+} // namespace tarantula
+
+#endif // TARANTULA_BASE_FSUTIL_HH

@@ -1,6 +1,8 @@
 #include "check/fault_plan.hh"
 
 #include <cstdio>
+#include <sstream>
+#include <stdexcept>
 
 #include "base/random.hh"
 
@@ -76,6 +78,84 @@ FaultPlan::random(std::uint64_t seed, Cycle horizon)
         // Short windows: long enough to bite, short enough that the
         // retry/panic machinery can always dig the machine back out.
         ev.duration = 8 + rng.below(horizon / 8 + 1);
+        plan.add(ev);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    auto bad = [&](const std::string &term, const std::string &why) {
+        throw std::invalid_argument("fault spec term '" + term +
+                                    "': " + why);
+    };
+    auto number = [&](const std::string &term,
+                      const std::string &text) -> std::uint64_t {
+        std::size_t pos = 0;
+        std::uint64_t v = 0;
+        try {
+            v = std::stoull(text, &pos);
+        } catch (const std::exception &) {
+            pos = 0;
+        }
+        if (pos == 0 || pos != text.size())
+            bad(term, "expected a number, got '" + text + "'");
+        return v;
+    };
+
+    FaultPlan plan;
+    std::string term;
+    std::istringstream terms(spec);
+    while (std::getline(terms, term, ',')) {
+        if (term.empty())
+            continue;
+        const std::size_t at = term.find('@');
+        if (at == std::string::npos)
+            bad(term, "missing '@<start>'");
+        const std::string kind = term.substr(0, at);
+        std::string rest = term.substr(at + 1);
+
+        if (kind == "random")
+            bad(term, "spell the stress mix 'random:<seed>@<horizon>'");
+        if (kind.size() > 7 && kind.rfind("random:", 0) == 0) {
+            // "random:<seed>@<horizon>" -- the '@' split above leaves
+            // the seed riding in the kind half.
+            const std::uint64_t seed = number(term, kind.substr(7));
+            const std::uint64_t horizon = number(term, rest);
+            for (const auto &ev :
+                 random(seed, static_cast<Cycle>(horizon)).events())
+                plan.add(ev);
+            continue;
+        }
+
+        FaultEvent ev;
+        bool known = false;
+        for (unsigned k = 0; k < NumFaultKinds; ++k) {
+            if (kind == toString(static_cast<Fault>(k))) {
+                ev.kind = static_cast<Fault>(k);
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            bad(term, "unknown fault kind '" + kind + "'");
+
+        std::string arg_text;
+        if (const std::size_t colon = rest.find(':');
+            colon != std::string::npos) {
+            arg_text = rest.substr(colon + 1);
+            rest = rest.substr(0, colon);
+        }
+        std::string dur_text;
+        if (const std::size_t plus = rest.find('+');
+            plus != std::string::npos) {
+            dur_text = rest.substr(plus + 1);
+            rest = rest.substr(0, plus);
+        }
+        ev.start = number(term, rest);
+        ev.duration = dur_text.empty() ? 1 : number(term, dur_text);
+        ev.arg = arg_text.empty() ? 0 : number(term, arg_text);
         plan.add(ev);
     }
     return plan;

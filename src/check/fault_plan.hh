@@ -120,6 +120,23 @@ class FaultPlan
     /** Compact human-readable form: "kind@start+dur(arg), ...". */
     std::string summary() const;
 
+    /**
+     * Parse a plan from its compact spec string -- the reverse of
+     * summary() minus the whitespace, shell- and JSON-friendly so a
+     * plan can ride in a Job knob or a CLI flag:
+     *
+     *     "drop_fill@3000,replay_storm@500+200:1"
+     *       one event per comma-separated term:
+     *       <kind>@<start>[+<duration>][:<arg>]
+     *     "random:7@20000"
+     *       the random(seed 7, horizon 20000) survivable stress mix
+     *
+     * Kind names are the toString() spellings. An empty spec is the
+     * empty plan.
+     * @throws std::invalid_argument naming the bad term.
+     */
+    static FaultPlan parse(const std::string &spec);
+
     // ---- snapshot (DESIGN.md §10) -------------------------------------
     /**
      * The event list is config (hashed into the machine's config

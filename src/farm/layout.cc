@@ -1,0 +1,80 @@
+#include "farm/layout.hh"
+
+#include <filesystem>
+
+#include "base/fsutil.hh"
+
+namespace tarantula::farm
+{
+
+namespace fs = std::filesystem;
+
+std::string
+Layout::sub(const char *name) const
+{
+    return (fs::path(dir_) / name).string();
+}
+
+std::string
+Layout::leasePath(const std::string &key) const
+{
+    return (fs::path(leasesDir()) / (key + ".lease")).string();
+}
+
+std::string
+Layout::parkPath(const std::string &key) const
+{
+    return (fs::path(parkedDir()) / (key + ".tsnap")).string();
+}
+
+std::string
+Layout::quarantinePath(const std::string &key) const
+{
+    return (fs::path(quarantineDir()) / (key + ".json")).string();
+}
+
+std::string
+Layout::failurePath(const std::string &key, unsigned n) const
+{
+    return (fs::path(failedDir()) /
+            (key + ".a" + std::to_string(n) + ".json")).string();
+}
+
+std::string
+Layout::crashPath(const std::string &key, unsigned n) const
+{
+    return (fs::path(crashesDir()) /
+            (key + ".c" + std::to_string(n))).string();
+}
+
+void
+Layout::ensure() const
+{
+    for (const std::string &d :
+         {dir_, leasesDir(), failedDir(), crashesDir(), parkedDir(),
+          quarantineDir()}) {
+        std::error_code ec;
+        fs::create_directories(d, ec);
+        if (ec)
+            throw FsError("cannot create '" + d + "': " +
+                          ec.message());
+    }
+}
+
+std::size_t
+Layout::countPrefixed(const std::string &dir,
+                      const std::string &prefix)
+{
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return 0;
+    std::size_t n = 0;
+    for (const auto &entry : it) {
+        if (entry.path().filename().string().rfind(prefix, 0) == 0)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace tarantula::farm

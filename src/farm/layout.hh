@@ -1,0 +1,72 @@
+/**
+ * @file
+ * On-disk layout of a farm directory (DESIGN.md §12).
+ *
+ * A farm directory is a BatchManifest directory plus coordination
+ * state, and that containment is deliberate: the completed-job records
+ * (`<key>.job.json`) live at the top level, so a farm directory can be
+ * handed to `tarantula_batch --manifest DIR` verbatim -- the serial
+ * driver resumes, extends or re-reports the same sweep, and the
+ * byte-identity contract between the two drivers is checkable with
+ * cmp(1). Everything else lives in subdirectories:
+ *
+ *   sweep.json        the pinned tarantula.sweep.v1 job list
+ *   leases/           <key>.lease        -- at most one active claim
+ *   failed/           <key>.a<N>.json    -- one full record per failed
+ *                                           attempt (the durable
+ *                                           attempt counter)
+ *   crashes/          <key>.c<N>         -- one marker per reclaimed
+ *                                           stale lease
+ *   parked/           <key>.tsnap        -- preempted mid-run state
+ *   quarantine/       <key>.json         -- poison-job report
+ */
+
+#ifndef TARANTULA_FARM_LAYOUT_HH
+#define TARANTULA_FARM_LAYOUT_HH
+
+#include <string>
+
+namespace tarantula::farm
+{
+
+/** Path helpers over one farm directory (a pure value). */
+class Layout
+{
+  public:
+    explicit Layout(std::string dir) : dir_(std::move(dir)) {}
+
+    const std::string &dir() const { return dir_; }
+    std::string leasesDir() const { return sub("leases"); }
+    std::string failedDir() const { return sub("failed"); }
+    std::string crashesDir() const { return sub("crashes"); }
+    std::string parkedDir() const { return sub("parked"); }
+    std::string quarantineDir() const { return sub("quarantine"); }
+
+    std::string leasePath(const std::string &key) const;
+    std::string parkPath(const std::string &key) const;
+    std::string quarantinePath(const std::string &key) const;
+    /** The failure record of attempt @p n (1-based). */
+    std::string failurePath(const std::string &key, unsigned n) const;
+    /** The crash marker of reclaim @p n (1-based). */
+    std::string crashPath(const std::string &key, unsigned n) const;
+
+    /** Create every subdirectory. @throws FsError on failure. */
+    void ensure() const;
+
+    /**
+     * Count entries of @p dir whose names start with @p prefix --
+     * the durable attempt counters. Keys end in a fixed-width hash,
+     * so `<key>.` prefixes never collide across jobs. A missing
+     * directory counts zero.
+     */
+    static std::size_t countPrefixed(const std::string &dir,
+                                     const std::string &prefix);
+
+  private:
+    std::string sub(const char *name) const;
+    std::string dir_;
+};
+
+} // namespace tarantula::farm
+
+#endif // TARANTULA_FARM_LAYOUT_HH

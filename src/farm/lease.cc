@@ -1,0 +1,104 @@
+#include "farm/lease.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "base/fsutil.hh"
+
+namespace tarantula::farm
+{
+
+namespace fs = std::filesystem;
+
+bool
+claimLease(const std::string &path, const std::string &owner)
+{
+    // O_EXCL is the whole protocol: exactly one creator succeeds.
+    // No fsync -- a lease is ephemeral liveness state; if the host
+    // crashes the worker is dead anyway and the (possibly lost or
+    // empty) lease is reclaimed by timeout.
+    const int fd = ::open(path.c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return false;
+        throw FsError("lease claim '" + path + "': " +
+                      std::strerror(errno));
+    }
+    std::ostringstream stamp;
+    stamp << "owner=" << owner << "\npid=" << ::getpid() << "\n";
+    const std::string text = stamp.str();
+    // Best effort: the stamp is for dashboards and crash markers.
+    ssize_t unused = ::write(fd, text.data(), text.size());
+    (void)unused;
+    ::close(fd);
+    return true;
+}
+
+bool
+renewLease(const std::string &path)
+{
+    // Touch both timestamps to now; ENOENT means the lease was
+    // reclaimed out from under us.
+    return ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0) == 0;
+}
+
+void
+releaseLease(const std::string &path)
+{
+    std::error_code ec;
+    fs::remove(path, ec);
+}
+
+double
+leaseAgeSeconds(const std::string &path)
+{
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return -1.0;
+    const auto now = fs::file_time_type::clock::now();
+    return std::chrono::duration<double>(now - mtime).count();
+}
+
+bool
+reclaimStaleLease(const std::string &path, double timeoutSeconds,
+                  std::string &deadOwner)
+{
+    const double age = leaseAgeSeconds(path);
+    if (age < timeoutSeconds)
+        return false;           // fresh, or already gone (age < 0)
+
+    // Contender-unique graveyard name: rename is atomic, and a given
+    // source inode is renamed away exactly once, so one contender
+    // wins and the rest see ENOENT.
+    static std::atomic<unsigned> seq{0};
+    std::ostringstream grave;
+    grave << path << ".dead." << ::getpid() << "."
+          << seq.fetch_add(1, std::memory_order_relaxed);
+    if (::rename(path.c_str(), grave.str().c_str()) != 0)
+        return false;           // lost the race (or lease released)
+
+    deadOwner.clear();
+    {
+        std::ifstream in(grave.str(), std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        deadOwner = buf.str();
+    }
+    std::error_code ec;
+    fs::remove(grave.str(), ec);
+    return true;
+}
+
+} // namespace tarantula::farm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Atomic lease files: mutual exclusion over a shared directory with
+ * nothing but POSIX file semantics (DESIGN.md §12).
+ *
+ * A job is claimed by creating `leases/<key>.lease` with
+ * O_CREAT|O_EXCL -- the one filesystem operation that is atomic and
+ * exclusive on every POSIX filesystem, including NFS v3+. The holder
+ * proves liveness by renewing the file's mtime (a heartbeat); a lease
+ * whose mtime is older than the timeout is presumed orphaned by a
+ * crashed or SIGKILLed worker and may be reclaimed. Reclamation must
+ * itself be raced safely: every contender rename(2)s the lease to a
+ * contender-unique graveyard name, the single winner (rename of a
+ * given source succeeds once) records a crash marker, and the key is
+ * claimable again.
+ *
+ * Liveness, not correctness, depends on the timeout: a too-short
+ * timeout steals a lease from a live-but-slow worker, and the result
+ * is two workers running the same deterministic job -- both publish
+ * byte-identical records through the manifest's atomic rename, and
+ * the duplicate work is wasted, not wrong.
+ */
+
+#ifndef TARANTULA_FARM_LEASE_HH
+#define TARANTULA_FARM_LEASE_HH
+
+#include <string>
+
+namespace tarantula::farm
+{
+
+/**
+ * Try to claim @p path exclusively, stamping @p owner (plus the pid)
+ * into it for the dashboard and crash forensics.
+ * @return true on the claim; false when the lease already exists.
+ * @throws FsError on any other filesystem failure.
+ */
+bool claimLease(const std::string &path, const std::string &owner);
+
+/**
+ * Renew the heartbeat: bump the lease's mtime to now.
+ * @return false when the lease no longer exists -- it was presumed
+ *         stale and reclaimed, so the caller has lost exclusivity
+ *         (its finished record is still safe to publish: records are
+ *         deterministic and the store is an atomic rename).
+ */
+bool renewLease(const std::string &path);
+
+/** Drop the lease (idempotent; a missing file is fine). */
+void releaseLease(const std::string &path);
+
+/**
+ * Seconds since the lease's last heartbeat, or a negative value when
+ * the lease does not exist.
+ */
+double leaseAgeSeconds(const std::string &path);
+
+/**
+ * Race to reclaim a stale lease: when @p path 's heartbeat is older
+ * than @p timeoutSeconds, rename it to a caller-unique graveyard name
+ * and remove it. Exactly one of any number of concurrent contenders
+ * wins.
+ * @return true on the win, with the dead lease's owner stamp in
+ *         @p deadOwner; false when the lease is fresh, already gone,
+ *         or another contender won.
+ */
+bool reclaimStaleLease(const std::string &path, double timeoutSeconds,
+                       std::string &deadOwner);
+
+} // namespace tarantula::farm
+
+#endif // TARANTULA_FARM_LEASE_HH

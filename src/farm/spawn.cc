@@ -1,0 +1,119 @@
+#include "farm/spawn.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "base/fsutil.hh"
+
+namespace tarantula::farm
+{
+
+namespace fs = std::filesystem;
+
+std::string
+selfExeDir()
+{
+    std::error_code ec;
+    const fs::path exe = fs::read_symlink("/proc/self/exe", ec);
+    if (ec)
+        return ".";
+    return exe.parent_path().string();
+}
+
+pid_t
+spawnWorker(const WorkerCommand &command)
+{
+    std::vector<std::string> argv;
+    argv.push_back(command.binPath);
+    argv.push_back("--dir");
+    argv.push_back(command.dir);
+    if (!command.name.empty()) {
+        argv.push_back("--name");
+        argv.push_back(command.name);
+    }
+    auto num = [&](const char *flag, auto value) {
+        if (value <= 0)
+            return;
+        std::ostringstream os;
+        os << value;
+        argv.push_back(flag);
+        argv.push_back(os.str());
+    };
+    num("--slice-cycles", command.sliceCycles);
+    // 0 meaningfully disables checkpointing, so the default sentinel
+    // is negative rather than zero.
+    if (command.checkpointSeconds >= 0.0) {
+        std::ostringstream os;
+        os << command.checkpointSeconds;
+        argv.push_back("--checkpoint-every");
+        argv.push_back(os.str());
+    }
+    num("--lease-timeout", command.leaseTimeoutSeconds);
+    num("--max-failures", command.maxFailures);
+    num("--max-crashes", command.maxCrashes);
+    num("--backoff-base", command.backoffBaseSeconds);
+    num("--backoff-cap", command.backoffCapSeconds);
+    if (command.verbose)
+        argv.push_back("--verbose");
+
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (auto &a : argv)
+        cargv.push_back(a.data());
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        throw FsError(std::string("fork failed: ") +
+                      std::strerror(errno));
+    }
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        // Exec failure in the child: nothing sane to do but exit
+        // loudly; the orchestrator sees the status and reports it.
+        std::fprintf(stderr, "exec %s: %s\n", cargv[0],
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+std::vector<Reaped>
+reapExited(std::vector<pid_t> &pids)
+{
+    std::vector<Reaped> reaped;
+    for (auto it = pids.begin(); it != pids.end();) {
+        int status = 0;
+        const pid_t r = ::waitpid(*it, &status, WNOHANG);
+        if (r == *it) {
+            reaped.push_back({*it, status});
+            it = pids.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return reaped;
+}
+
+void
+killWorker(pid_t pid)
+{
+    if (pid > 0)
+        ::kill(pid, SIGKILL);
+}
+
+void
+drainWorker(pid_t pid)
+{
+    if (pid > 0)
+        ::kill(pid, SIGTERM);
+}
+
+} // namespace tarantula::farm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Worker-process management for the farm orchestrators: spawn
+ * tarantula_worker children, watch them exit, kill them for chaos
+ * testing (DESIGN.md §12).
+ *
+ * Shared by tarantula_farm and `tarantula_batch --workers`: both
+ * drive the sweep entirely through worker processes so that every
+ * execution path -- including the convenient one -- exercises the
+ * same lease protocol the kill-anywhere guarantee is proven against.
+ */
+
+#ifndef TARANTULA_FARM_SPAWN_HH
+#define TARANTULA_FARM_SPAWN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace tarantula::farm
+{
+
+/** Command line of one worker child (a pure value). */
+struct WorkerCommand
+{
+    std::string binPath;        ///< the tarantula_worker executable
+    std::string dir;            ///< the farm directory
+    std::string name;           ///< --name; "" lets the worker pick
+    std::uint64_t sliceCycles = 0;      ///< 0 = worker default
+    double checkpointSeconds = -1.0;    ///< <0 = worker default
+    double leaseTimeoutSeconds = 0.0;   ///< 0 = worker default
+    unsigned maxFailures = 0;           ///< 0 = worker default
+    unsigned maxCrashes = 0;            ///< 0 = worker default
+    double backoffBaseSeconds = 0.0;    ///< 0 = worker default
+    double backoffCapSeconds = 0.0;     ///< 0 = worker default
+    bool verbose = false;               ///< pass --verbose
+};
+
+/**
+ * The executable directory of the calling process -- workers are
+ * found next to their orchestrator. Falls back to "." when
+ * /proc/self/exe is unreadable.
+ */
+std::string selfExeDir();
+
+/**
+ * fork+exec one worker.
+ * @return the child pid.
+ * @throws FsError when the fork or exec setup fails.
+ */
+pid_t spawnWorker(const WorkerCommand &command);
+
+/**
+ * Reap any exited children among @p pids (non-blocking). Each reaped
+ * pid is removed from @p pids and reported with its wait status.
+ */
+struct Reaped
+{
+    pid_t pid;
+    int status;                 ///< raw waitpid status
+};
+std::vector<Reaped> reapExited(std::vector<pid_t> &pids);
+
+/** SIGKILL @p pid (chaos mode); no-op on a dead pid. */
+void killWorker(pid_t pid);
+
+/** SIGTERM @p pid (graceful drain); no-op on a dead pid. */
+void drainWorker(pid_t pid);
+
+} // namespace tarantula::farm
+
+#endif // TARANTULA_FARM_SPAWN_HH

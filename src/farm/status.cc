@@ -1,0 +1,168 @@
+#include "farm/status.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "farm/layout.hh"
+#include "farm/lease.hh"
+#include "sim/batch_manifest.hh"
+#include "sim/result_sink.hh"
+#include "sim/sweep.hh"
+#include "trace/json_reader.hh"
+
+namespace tarantula::farm
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::size_t
+countEntries(const std::string &dir)
+{
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return 0;
+    std::size_t n = 0;
+    for (const auto &entry : it) {
+        // In-flight atomicPublish temps (possibly orphaned by a
+        // SIGKILL) are not state.
+        if (entry.path().filename().string().find(".tmp.") ==
+            std::string::npos)
+            ++n;
+    }
+    return n;
+}
+
+double
+recordCycles(const std::string &recordJson)
+{
+    try {
+        const trace::JsonValue doc = trace::parseJson(recordJson);
+        if (const trace::JsonValue *m = doc.find("metrics")) {
+            if (const trace::JsonValue *c = m->find("cycles"))
+                return c->number;
+        }
+    } catch (const trace::JsonParseError &) {
+        // A torn record cannot exist (atomic publish); be lenient
+        // anyway -- the dashboard must never take down a sweep.
+    }
+    return 0.0;
+}
+
+} // anonymous namespace
+
+FarmStatus
+scanFarm(const std::string &dir)
+{
+    const std::vector<sim::Job> jobs = sim::loadSweep(dir);
+    const Layout layout(dir);
+    const sim::BatchManifest manifest(dir);
+
+    FarmStatus st;
+    st.total = jobs.size();
+    for (const auto &job : jobs) {
+        sim::BatchRecord rec;
+        if (!manifest.load(job, rec))
+            continue;
+        ++st.stored;
+        switch (rec.status) {
+          case sim::JobStatus::Ok:
+            ++st.ok;
+            st.okCycles.push_back(recordCycles(rec.recordJson));
+            break;
+          case sim::JobStatus::TimedOut: ++st.timedOut; break;
+          case sim::JobStatus::Failed:   ++st.failed; break;
+        }
+    }
+
+    st.quarantined = countEntries(layout.quarantineDir());
+    st.failedAttempts = countEntries(layout.failedDir());
+    st.crashReclaims = countEntries(layout.crashesDir());
+    st.parked = countEntries(layout.parkedDir());
+
+    std::error_code ec;
+    fs::directory_iterator it(layout.leasesDir(), ec);
+    if (!ec) {
+        for (const auto &entry : it) {
+            const std::string name = entry.path().filename().string();
+            if (name.size() < 6 ||
+                name.substr(name.size() - 6) != ".lease")
+                continue;
+            FarmStatus::Lease lease;
+            lease.key = name.substr(0, name.size() - 6);
+            lease.ageSeconds =
+                leaseAgeSeconds(entry.path().string());
+            st.leases.push_back(std::move(lease));
+        }
+        std::sort(st.leases.begin(), st.leases.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.key < b.key;
+                  });
+    }
+    return st;
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank =
+        std::ceil(p / 100.0 * static_cast<double>(values.size()));
+    const std::size_t idx = rank < 1.0
+        ? 0
+        : std::min(values.size() - 1,
+                   static_cast<std::size_t>(rank) - 1);
+    return values[idx];
+}
+
+void
+writeDashboard(std::ostream &os, const FarmStatus &st)
+{
+    const double pct = st.total
+        ? 100.0 * static_cast<double>(st.stored) /
+              static_cast<double>(st.total)
+        : 0.0;
+    os << "farm: " << st.stored << "/" << st.total << " done ("
+       << static_cast<int>(pct) << "%)  ok " << st.ok
+       << "  timedOut " << st.timedOut << "  failed " << st.failed
+       << "  quarantined " << st.quarantined << "\n";
+    os << "farm: attempts failed " << st.failedAttempts
+       << "  crash reclaims " << st.crashReclaims << "  parked "
+       << st.parked << "\n";
+    if (!st.okCycles.empty()) {
+        os << "farm: ok-job cycles p50 "
+           << static_cast<std::uint64_t>(percentile(st.okCycles, 50))
+           << "  p90 "
+           << static_cast<std::uint64_t>(percentile(st.okCycles, 90))
+           << "  max "
+           << static_cast<std::uint64_t>(percentile(st.okCycles, 100))
+           << "\n";
+    }
+    for (const auto &lease : st.leases) {
+        os << "farm:   running " << lease.key << " (heartbeat "
+           << lease.ageSeconds << "s ago)\n";
+    }
+}
+
+bool
+writeFarmReport(std::ostream &os, const std::string &dir,
+                unsigned threads)
+{
+    const std::vector<sim::Job> jobs = sim::loadSweep(dir);
+    const sim::BatchManifest manifest(dir);
+    std::vector<sim::BatchRecord> records(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!manifest.load(jobs[i], records[i]))
+            return false;
+    }
+    sim::writeBatchRecords(os, records, threads);
+    return true;
+}
+
+} // namespace tarantula::farm

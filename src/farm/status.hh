@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Read-only observability over a live farm directory: the sweep
+ * dashboard and the final-report assembly (DESIGN.md §12).
+ *
+ * Everything here works purely by scanning the shared directory --
+ * the same files the lease protocol already maintains -- so the
+ * orchestrator, a second curious orchestrator, and a human with `ls`
+ * all see the same truth, and a scan can never perturb the sweep.
+ */
+
+#ifndef TARANTULA_FARM_STATUS_HH
+#define TARANTULA_FARM_STATUS_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tarantula::farm
+{
+
+/** One snapshot of a farm directory's progress. */
+struct FarmStatus
+{
+    std::size_t total = 0;       ///< jobs in the pinned sweep
+    std::size_t stored = 0;      ///< jobs with a published record
+    std::size_t ok = 0;          ///< ... thereof status ok
+    std::size_t timedOut = 0;    ///< ... thereof timed out
+    std::size_t failed = 0;      ///< ... thereof failed
+    std::size_t quarantined = 0; ///< poison jobs parked in quarantine/
+    std::size_t failedAttempts = 0; ///< failure records farm-wide
+    std::size_t crashReclaims = 0;  ///< stale-lease reclaims farm-wide
+    std::size_t parked = 0;      ///< preempted snapshots awaiting adoption
+
+    /** Live leases (active claims), with heartbeat ages. */
+    struct Lease
+    {
+        std::string key;
+        double ageSeconds = 0.0;
+    };
+    std::vector<Lease> leases;
+
+    /** Simulated cycles of each ok job, for the percentile lines. */
+    std::vector<double> okCycles;
+
+    bool complete() const { return stored == total; }
+};
+
+/**
+ * Scan @p dir (sweep + records + coordination state).
+ * @throws std::invalid_argument when the directory has no loadable
+ *         sweep.json.
+ */
+FarmStatus scanFarm(const std::string &dir);
+
+/**
+ * Nearest-rank percentile of @p values (p in [0,100]); 0 when empty.
+ * Sorts a copy; callers pass small per-scan vectors.
+ */
+double percentile(std::vector<double> values, double p);
+
+/**
+ * Render one dashboard snapshot (progress bar, status counts, cycle
+ * percentiles, active leases, quarantine list) -- the orchestrator's
+ * periodic stderr refresh.
+ */
+void writeDashboard(std::ostream &os, const FarmStatus &status);
+
+/**
+ * Assemble the final tarantula.batch.v1 report from the stored
+ * records, in sweep order -- byte-identical to what a serial
+ * `tarantula_batch --manifest DIR --jobs threads` run of the same
+ * sweep writes.
+ * @return true when every record was present and the report was
+ *         written; false (nothing written) on an incomplete sweep.
+ */
+bool writeFarmReport(std::ostream &os, const std::string &dir,
+                     unsigned threads);
+
+} // namespace tarantula::farm
+
+#endif // TARANTULA_FARM_STATUS_HH

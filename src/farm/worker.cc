@@ -1,0 +1,256 @@
+#include "farm/worker.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "base/fsutil.hh"
+#include "base/json.hh"
+#include "farm/layout.hh"
+#include "farm/lease.hh"
+#include "sim/batch_manifest.hh"
+#include "sim/result_sink.hh"
+#include "sim/sweep.hh"
+
+namespace tarantula::farm
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+double
+backoffDelay(const WorkerOptions &options, std::size_t failures)
+{
+    // 1 failure -> base, 2 -> 2*base, ... capped.
+    const double d = options.backoffBaseSeconds *
+                     std::ldexp(1.0, static_cast<int>(failures) - 1);
+    return std::min(d, options.backoffCapSeconds);
+}
+
+void
+writeQuarantine(const Layout &layout, const std::string &key,
+                const sim::BatchRecord &rec, std::size_t failures,
+                std::size_t crashes, const std::string &reason)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("tarantula.quarantine.v1");
+    w.key("key").value(key);
+    w.key("machine").value(rec.machine);
+    w.key("workload").value(rec.workload);
+    w.key("reason").value(reason);
+    w.key("failedAttempts").value(std::uint64_t{failures});
+    w.key("leaseReclaims").value(std::uint64_t{crashes});
+    // The full tarantula.job.v1 record -- forensics report included --
+    // of the final attempt, so the quarantine file alone is enough to
+    // debug the poison job.
+    w.key("record").raw(rec.recordJson);
+    w.endObject();
+    os << "\n";
+    atomicPublish(layout.quarantinePath(key), os.str());
+}
+
+} // anonymous namespace
+
+WorkerExit
+runWorker(const WorkerOptions &options)
+{
+    Layout layout(options.dir);
+    layout.ensure();
+    const std::string name =
+        options.name.empty() ? "worker" + std::to_string(::getpid())
+                             : options.name;
+    auto logLine = [&](const std::string &line) {
+        if (options.log)
+            options.log(line);
+    };
+    auto stop = [&] {
+        return options.stopRequested && options.stopRequested();
+    };
+
+    const std::vector<sim::Job> jobs = sim::loadSweep(options.dir);
+    sim::BatchManifest manifest(options.dir);
+    std::vector<std::string> keys;
+    keys.reserve(jobs.size());
+    for (const auto &job : jobs)
+        keys.push_back(sim::BatchManifest::jobKey(job));
+    std::vector<char> done(jobs.size(), 0);
+
+    for (;;) {
+        bool progressed = false;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (done[i])
+                continue;
+            if (stop())
+                return WorkerExit::Drained;
+            const sim::Job &job = jobs[i];
+            const std::string &key = keys[i];
+            if (manifest.has(job)) {
+                done[i] = 1;
+                continue;
+            }
+
+            // Retry backoff: the newest failure record's age gates
+            // the next attempt -- durable and visible to every
+            // worker, so the whole farm honors one backoff clock.
+            const std::size_t failures =
+                Layout::countPrefixed(layout.failedDir(), key + ".a");
+            if (failures > 0) {
+                const double age = leaseAgeSeconds(
+                    layout.failurePath(
+                        key, static_cast<unsigned>(failures)));
+                if (age >= 0.0 &&
+                    age < backoffDelay(options, failures))
+                    continue;
+            }
+
+            const std::string lease = layout.leasePath(key);
+            if (!claimLease(lease, name)) {
+                // Held by someone. Dead someone? Reclaim and record
+                // the crash; the key becomes claimable again below.
+                std::string dead_owner;
+                if (!reclaimStaleLease(lease,
+                                       options.leaseTimeoutSeconds,
+                                       dead_owner))
+                    continue;   // healthy holder (or lost the race)
+                const std::size_t crashes =
+                    Layout::countPrefixed(layout.crashesDir(),
+                                          key + ".c") + 1;
+                atomicPublish(
+                    layout.crashPath(key,
+                                     static_cast<unsigned>(crashes)),
+                    "reclaimedBy=" + name + "\n" + dead_owner);
+                logLine("reclaimed stale lease " + key + " (crash " +
+                        std::to_string(crashes) + ")");
+                if (crashes >= options.maxCrashes) {
+                    // Crash-looping job: quarantine with a synthetic
+                    // record so the sweep still completes. The one
+                    // case whose record a serial run cannot
+                    // reproduce -- a serial run would just die.
+                    sim::JobResult res;
+                    res.job = job;
+                    res.status = sim::JobStatus::Failed;
+                    res.message =
+                        "quarantined: lease reclaimed " +
+                        std::to_string(crashes) +
+                        " times (job kills its workers)";
+                    const sim::BatchRecord rec =
+                        sim::toBatchRecord(res, true);
+                    writeQuarantine(layout, key, rec, failures,
+                                    crashes, res.message);
+                    manifest.store(job, rec);
+                    done[i] = 1;
+                    progressed = true;
+                    logLine("quarantined " + key + " after " +
+                            std::to_string(crashes) + " crashes");
+                    continue;
+                }
+                if (!claimLease(lease, name))
+                    continue;
+            }
+
+            // Lease held. Close the store-after-our-scan race before
+            // burning cycles.
+            if (manifest.has(job)) {
+                releaseLease(lease);
+                done[i] = 1;
+                continue;
+            }
+            logLine("claimed " + key +
+                    (failures ? " (attempt " +
+                                    std::to_string(failures + 1) + ")"
+                              : ""));
+
+            auto last_renew = std::chrono::steady_clock::now();
+            const double renew_every =
+                std::max(0.02, options.leaseTimeoutSeconds / 4.0);
+            sim::RunControl ctl;
+            ctl.sliceCycles = options.sliceCycles;
+            ctl.heartbeat = [&] {
+                const auto now = std::chrono::steady_clock::now();
+                if (std::chrono::duration<double>(now - last_renew)
+                        .count() >= renew_every) {
+                    renewLease(lease);
+                    last_renew = now;
+                }
+            };
+            ctl.preemptRequested = [&] { return stop(); };
+            ctl.parkPath = layout.parkPath(key);
+            ctl.checkpointSeconds = options.checkpointSeconds;
+            std::error_code ec;
+            if (fs::is_regular_file(ctl.parkPath, ec)) {
+                ctl.adoptFrom = ctl.parkPath;
+                logLine("adopting parked state for " + key);
+            }
+
+            sim::JobResult result;
+            const sim::RunOutcome outcome =
+                sim::runJobControlled(job, ctl, result);
+            if (outcome == sim::RunOutcome::Preempted) {
+                logLine("preempted " + key + "; state parked");
+                releaseLease(lease);
+                return WorkerExit::Drained;
+            }
+            progressed = true;
+
+            if (result.status == sim::JobStatus::Failed) {
+                const sim::BatchRecord rec =
+                    sim::toBatchRecord(result, true);
+                const std::size_t attempt = failures + 1;
+                atomicPublish(
+                    layout.failurePath(
+                        key, static_cast<unsigned>(attempt)),
+                    rec.recordJson + "\n");
+                if (attempt >= options.maxFailures) {
+                    const std::size_t crashes = Layout::countPrefixed(
+                        layout.crashesDir(), key + ".c");
+                    writeQuarantine(
+                        layout, key, rec, attempt, crashes,
+                        "failed " + std::to_string(attempt) +
+                            " attempts: " + result.message);
+                    // The record is the same deterministic bytes a
+                    // serial run would store, so quarantining never
+                    // forks the report.
+                    manifest.store(job, rec);
+                    done[i] = 1;
+                    logLine("quarantined " + key + " after " +
+                            std::to_string(attempt) + " failures");
+                } else {
+                    logLine("failed " + key + " (attempt " +
+                            std::to_string(attempt) + "): " +
+                            result.message);
+                }
+                releaseLease(lease);
+                continue;
+            }
+
+            // Ok and TimedOut are deterministic verdicts: terminal.
+            manifest.store(job, sim::toBatchRecord(result, true));
+            fs::remove(ctl.parkPath, ec);   // park consumed, if any
+            releaseLease(lease);
+            done[i] = 1;
+            logLine(std::string(sim::toString(result.status)) + " " +
+                    key);
+        }
+
+        if (std::all_of(done.begin(), done.end(),
+                        [](char d) { return d != 0; }))
+            return WorkerExit::SweepComplete;
+        if (stop())
+            return WorkerExit::Drained;
+        if (!progressed) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options.idlePollSeconds));
+        }
+    }
+}
+
+} // namespace tarantula::farm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The farm worker: claim, run, publish, repeat (DESIGN.md §12).
+ *
+ * runWorker() is the whole per-process control loop of a distributed
+ * sweep. It loads the pinned sweep, then scans for claimable jobs: a
+ * job is claimable when it has no stored record, is not quarantined,
+ * is not inside its retry backoff window, and its lease can be
+ * created (or a stale one reclaimed). A claimed job runs in slices
+ * through sim::runJobControlled -- renewing the lease heartbeat
+ * between slices, polling the drain flag -- and its deterministic
+ * record is published through the BatchManifest's atomic store.
+ *
+ * Failure policy (the retry / quarantine state machine):
+ *  - Ok and TimedOut are terminal: both are deterministic verdicts
+ *    (a re-run reproduces them bit for bit), so the record is stored
+ *    immediately -- exactly what a serial `tarantula_batch --manifest`
+ *    run would store.
+ *  - Failed writes a full attempt record (with forensics) to
+ *    `failed/<key>.a<N>.json` -- the file count IS the durable attempt
+ *    counter -- and the job retries after a capped exponential
+ *    backoff. After maxFailures attempts the job is quarantined: its
+ *    report lands in `quarantine/<key>.json` and its (deterministic,
+ *    serial-identical) failed record is stored so the sweep still
+ *    completes.
+ *  - A reclaimed stale lease writes a crash marker
+ *    (`crashes/<key>.c<N>`); after maxCrashes reclaims the job is
+ *    quarantined with a synthetic failed record. This is the one
+ *    divergence from a serial run's bytes -- a job that keeps killing
+ *    its workers has no serial record to agree with.
+ *
+ * Preemption (SIGTERM drain): between slices the worker parks the
+ *  machine state to `parked/<key>.tsnap`, releases the lease and
+ *  returns. Any worker that later claims the key adopts the park and
+ *  continues mid-run; the slice-stop contract keeps the eventual
+ *  record byte-identical to an uninterrupted run's.
+ */
+
+#ifndef TARANTULA_FARM_WORKER_HH
+#define TARANTULA_FARM_WORKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tarantula::farm
+{
+
+/** Tuning and hooks for one worker process (a pure value). */
+struct WorkerOptions
+{
+    std::string dir;            ///< the farm directory
+    std::string name;           ///< owner stamp; "" = "worker<pid>"
+    /** Slice length between heartbeat/drain polls. */
+    std::uint64_t sliceCycles = 1u << 22;
+    /**
+     * Park a self-checkpoint of the running job every this-many host
+     * seconds (RunControl::checkpointSeconds), bounding the progress
+     * a SIGKILL can destroy; 0 disables.
+     */
+    double checkpointSeconds = 5.0;
+    /** Heartbeat age after which a lease is presumed orphaned. */
+    double leaseTimeoutSeconds = 10.0;
+    unsigned maxFailures = 3;   ///< failed attempts before quarantine
+    unsigned maxCrashes = 3;    ///< lease reclaims before quarantine
+    double backoffBaseSeconds = 0.25;  ///< first retry delay
+    double backoffCapSeconds = 10.0;   ///< retry delay ceiling
+    /** Sleep between scans when nothing is claimable right now. */
+    double idlePollSeconds = 0.1;
+    /**
+     * Polled between slices and between jobs; returning true drains
+     * the worker: the in-flight job is parked, the lease released,
+     * and runWorker() returns Drained. May be null (never drains).
+     */
+    std::function<bool()> stopRequested;
+    /** Progress lines ("claimed T_fft_...", ...). May be null. */
+    std::function<void(const std::string &)> log;
+};
+
+/** Why runWorker() returned. */
+enum class WorkerExit
+{
+    SweepComplete,  ///< every job in the sweep has a stored record
+    Drained,        ///< stopRequested; unfinished work parked/released
+};
+
+/**
+ * Run the worker loop until the sweep completes or the drain flag is
+ * raised. @throws std::invalid_argument when the farm directory has
+ * no loadable sweep.json; FsError / FatalError on filesystem failure
+ * (the process dies, the lease goes stale, the sweep continues
+ * elsewhere -- crashing is this design's safe state).
+ */
+WorkerExit runWorker(const WorkerOptions &options);
+
+} // namespace tarantula::farm
+
+#endif // TARANTULA_FARM_WORKER_HH

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/fsutil.hh"
 #include "base/logging.hh"
 #include "snap/snapshot.hh"
 #include "trace/json_reader.hh"
@@ -39,6 +40,9 @@ BatchManifest::jobKey(const Job &job)
     knobs.b(job.noPump);
     knobs.b(job.forceCrBox);
     knobs.b(job.check);
+    // Only when set, so fault-free jobs keep their pre-fault keys.
+    if (!job.faults.empty())
+        knobs.str(job.faults);
     knobs.b(job.fastForward);
     knobs.u64(job.deadlockCycles);
     knobs.u64(job.maxCycles);
@@ -134,26 +138,15 @@ BatchManifest::load(const Job &job, BatchRecord &rec) const
 void
 BatchManifest::store(const Job &job, const BatchRecord &rec) const
 {
-    const std::string path = path_(job);
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            fatal("batch manifest: cannot write '%s'", tmp.c_str());
-        }
-        out << rec.recordJson << "\n";
-        out.flush();
-        if (!out) {
-            fatal("batch manifest: short write to '%s'", tmp.c_str());
-        }
-    }
-    // Rename-into-place: a kill between jobs leaves complete records
-    // only, so the resume pass never trusts a torn file.
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        fatal("batch manifest: cannot rename '%s' into place: %s",
-              tmp.c_str(), ec.message().c_str());
+    // Durable publish (unique temp + fsync + rename + dir fsync): a
+    // process kill OR a host crash leaves complete records only, so
+    // the resume pass never trusts a torn file, and two workers racing
+    // to store the same job key each write their own temp and the
+    // loser's rename simply replaces the winner's identical bytes.
+    try {
+        atomicPublish(path_(job), rec.recordJson + "\n");
+    } catch (const FsError &e) {
+        fatal("batch manifest: %s", e.what());
     }
 }
 

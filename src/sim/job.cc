@@ -4,12 +4,15 @@
 #include <deque>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "base/logging.hh"
+#include "check/fault_plan.hh"
 #include "exec/memory.hh"
+#include "snap/snapshot_file.hh"
 #include "proc/machine_config.hh"
 #include "system/system.hh"
 #include "workloads/workload.hh"
@@ -32,6 +35,15 @@ JobResult
 runJob(const Job &job)
 {
     JobResult result;
+    runJobControlled(job, RunControl{}, result);
+    return result;
+}
+
+RunOutcome
+runJobControlled(const Job &job, const RunControl &control,
+                 JobResult &result)
+{
+    result = JobResult{};
     result.job = job;
 
     const auto start = std::chrono::steady_clock::now();
@@ -69,6 +81,8 @@ runJob(const Job &job)
         cfg.vbox.slicer.pumpEnabled = !job.noPump;
         cfg.vbox.slicer.forceCrBox = job.forceCrBox;
         cfg.integrity.checks = job.check;
+        if (!job.faults.empty())
+            cfg.integrity.faults = check::FaultPlan::parse(job.faults);
         cfg.fastForward = job.fastForward;
         if (job.deadlockCycles)
             cfg.deadlockCycles = job.deadlockCycles;
@@ -106,7 +120,24 @@ runJob(const Job &job)
         }
 
         cpu = std::make_unique<sys::System>(cfg, progs, memPtrs);
-        if (job.resumeFrom.empty()) {
+
+        // An adopted park (another worker's preempted progress)
+        // outranks the job's own warm-start snapshot: it is strictly
+        // later state of the same run. A damaged or vanished park
+        // falls back to the normal start -- progress lost, never
+        // correctness.
+        bool adopted = false;
+        if (!control.adoptFrom.empty()) {
+            try {
+                cpu->restoreFrom(control.adoptFrom);
+                adopted = true;
+            } catch (const snap::SnapshotError &) {
+                adopted = false;
+            }
+        }
+        if (adopted) {
+            // Everything came from the park.
+        } else if (job.resumeFrom.empty()) {
             for (unsigned i = 0; i < cores; ++i) {
                 // Each core's warm lines carry its coloring bias,
                 // matching the addresses its traffic will present.
@@ -124,7 +155,47 @@ runJob(const Job &job)
             cpu->restoreFrom(job.resumeFrom);
         }
 
-        result.run = cpu->run(job.maxCycles);
+        // The slice loop: run to the next slice boundary, renew the
+        // heartbeat, poll for preemption, repeat. Slice stops use the
+        // same clamp as checkpoint stops, so a sliced run computes
+        // byte-identical statistics to an unsliced one.
+        auto last_park = std::chrono::steady_clock::now();
+        for (;;) {
+            std::optional<Cycle> stop;
+            if (control.sliceCycles)
+                stop = cpu->now() + control.sliceCycles;
+            result.run = cpu->run(job.maxCycles, stop);
+            if (cpu->finished())
+                break;
+            if (control.heartbeat)
+                control.heartbeat();
+            if (control.checkpointSeconds > 0.0 &&
+                !control.parkPath.empty()) {
+                // Periodic self-checkpoint: bound how much progress a
+                // SIGKILL can destroy. A failed park write costs
+                // nothing but the bound.
+                const auto now = std::chrono::steady_clock::now();
+                if (std::chrono::duration<double>(now - last_park)
+                        .count() >= control.checkpointSeconds) {
+                    try {
+                        cpu->snapshot(control.parkPath, job.workload);
+                    } catch (const snap::SnapshotError &) {
+                    }
+                    last_park = now;
+                }
+            }
+            if (control.preemptRequested && control.preemptRequested()) {
+                if (!control.parkPath.empty()) {
+                    try {
+                        cpu->snapshot(control.parkPath, job.workload);
+                    } catch (const snap::SnapshotError &) {
+                        // Park lost; the job restarts cold elsewhere.
+                    }
+                }
+                stopClock();
+                return RunOutcome::Preempted;
+            }
+        }
         captureTrace();
         if (const trace::Sampler *s = cpu->sampler()) {
             std::ostringstream os;
@@ -142,7 +213,7 @@ runJob(const Job &job)
                         : "wrong result on core" + std::to_string(i) +
                               ": " + err;
                 stopClock();
-                return result;
+                return RunOutcome::Finished;
             }
         }
 
@@ -167,7 +238,7 @@ runJob(const Job &job)
         captureTrace();
     }
     stopClock();
-    return result;
+    return RunOutcome::Finished;
 }
 
 } // namespace tarantula::sim

@@ -17,6 +17,7 @@
 #define TARANTULA_SIM_JOB_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "proc/processor.hh"
@@ -44,6 +45,14 @@ struct Job
     bool noPump = false;           ///< disable the stride-1 PUMP
     bool forceCrBox = false;       ///< route strides through the CR box
     bool check = false;            ///< run the integrity checkers
+    /**
+     * Fault-injection plan (check::FaultPlan::parse spec, e.g.
+     * "drop_fill@3000" or "random:7@20000"); empty = no faults. Part
+     * of the job's identity (hashed into the manifest key) and of the
+     * record's knobs, both only when set so fault-free jobs keep their
+     * pre-fault keys and record bytes.
+     */
+    std::string faults;
     /** Quiescence fast-forward engine (MachineConfig::fastForward). */
     bool fastForward = true;
     /** Deadlock-watchdog override; 0 keeps the machine default. */
@@ -116,6 +125,71 @@ struct JobResult
  * one bad point can never take down a batch.
  */
 JobResult runJob(const Job &job);
+
+/**
+ * Cooperative control over a running job (the distributed-farm
+ * runner, DESIGN.md §12). All hooks are optional; a default
+ * RunControl makes runJobControlled() behave exactly like runJob().
+ */
+struct RunControl
+{
+    /**
+     * Execute the simulation in slices of this many cycles, invoking
+     * the hooks between slices; 0 runs to completion in one call.
+     * Slicing clamps fast-forward jumps onto slice boundaries but --
+     * by the checkpoint-stop contract (DESIGN.md §10) -- never changes
+     * what any cycle computes, so a sliced run's statistics are
+     * byte-identical to an unsliced run's.
+     */
+    std::uint64_t sliceCycles = 0;
+    /** Called between slices (lease-heartbeat renewal). May be null. */
+    std::function<void()> heartbeat;
+    /**
+     * Polled between slices; returning true preempts the job: the
+     * machine is snapshotted to parkPath and the runner returns
+     * RunOutcome::Preempted. May be null (never preempted).
+     */
+    std::function<bool()> preemptRequested;
+    /** Where a preempted job's tarantula.snapshot.v2 is parked. */
+    std::string parkPath;
+    /**
+     * Periodic self-checkpointing: every this-many host seconds of
+     * running, park the machine to parkPath *while continuing to
+     * run* (durable atomic publish). A SIGKILLed worker then loses
+     * only the progress since the last park -- whoever reclaims the
+     * job adopts the park and resumes mid-run. 0 disables. Parks
+     * never change what any cycle computes (checkpoint-stop
+     * contract), so records stay byte-identical either way.
+     */
+    double checkpointSeconds = 0.0;
+    /**
+     * A parked snapshot to adopt: restore the machine from this file
+     * before running, continuing another worker's preempted progress.
+     * Unlike Job::resumeFrom this is farm plumbing, not part of the
+     * job's identity -- the finished record carries no trace of the
+     * adoption, which is what makes a preempted-and-resumed sweep's
+     * report byte-identical to an uninterrupted one. A missing or
+     * damaged park falls back to a cold start (the park cost progress,
+     * never correctness).
+     */
+    std::string adoptFrom;
+};
+
+/** How one controlled run ended. */
+enum class RunOutcome
+{
+    Finished,   ///< result holds the job's terminal record
+    Preempted,  ///< machine parked at parkPath; result is meaningless
+};
+
+/**
+ * runJob() with cooperative preemption; see RunControl. Never throws,
+ * like runJob(); a failure to write the park file still returns
+ * Preempted, just without a park -- the job restarts cold, costing
+ * progress but never correctness.
+ */
+RunOutcome runJobControlled(const Job &job, const RunControl &control,
+                            JobResult &result);
 
 } // namespace tarantula::sim
 

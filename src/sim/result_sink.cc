@@ -27,6 +27,9 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result,
     w.key("noPump").value(result.job.noPump);
     w.key("forceCrBox").value(result.job.forceCrBox);
     w.key("check").value(result.job.check);
+    // Only when set, so fault-free records keep their exact old bytes.
+    if (!result.job.faults.empty())
+        w.key("faults").value(result.job.faults);
     w.key("fastForward").value(result.job.fastForward);
     w.key("deadlockCycles").value(result.job.deadlockCycles);
     w.key("maxCycles").value(result.job.maxCycles);
@@ -67,8 +70,14 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result,
         w.key("hostMillis").value(deterministic ? 0.0 : r.hostMillis);
         w.key("simCyclesPerHostSec")
             .value(deterministic ? 0.0 : r.simCyclesPerHostSec());
-        w.key("ffJumps").value(r.ffJumps);
-        w.key("ffSkippedCycles").value(r.ffSkippedCycles);
+        // The jump counters depend on where the engine was stopped --
+        // checkpoint slices split jumps -- so a preempted-and-resumed
+        // farm job would disagree with a straight run. Deterministic
+        // records keep only simulation-defined bytes.
+        w.key("ffJumps").value(deterministic ? std::uint64_t{0}
+                                             : r.ffJumps);
+        w.key("ffSkippedCycles").value(
+            deterministic ? std::uint64_t{0} : r.ffSkippedCycles);
         // Per-core slices only on CMP records (old bytes otherwise).
         if (r.perCore.size() > 1) {
             w.key("perCore").beginArray();

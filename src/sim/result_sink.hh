@@ -31,11 +31,14 @@ inline constexpr const char *BatchSchemaTag = "tarantula.batch.v1";
  * Write one job's record as a JSON object: the job spec, status,
  * metrics (when the run completed) and the full statistics tree.
  *
- * @param deterministic  Zero the host-performance fields (hostSeconds,
- *        hostMillis, simCyclesPerHostSec -- keys kept, values 0) so
- *        the record depends only on the simulation, byte for byte.
- *        The batch-manifest resume machinery relies on this: a stored
- *        record and a re-run of the same job must be identical.
+ * @param deterministic  Zero the host-dependent fields (hostSeconds,
+ *        hostMillis, simCyclesPerHostSec, and the ffJumps /
+ *        ffSkippedCycles jump counters, which depend on where the
+ *        engine was sliced -- keys kept, values 0) so the record
+ *        depends only on the simulation, byte for byte. The
+ *        batch-manifest resume and farm preemption machinery rely on
+ *        this: a stored record, a re-run, and a preempted-then-resumed
+ *        run of the same job must all be identical.
  */
 void writeJobRecord(std::ostream &os, const JobResult &result,
                     bool deterministic = false);

@@ -31,6 +31,7 @@ std::size_t
 SimFarm::submit(Job job)
 {
     const std::size_t index = tasks_.size();
+    specs_.push_back(job);
     tasks_.push_back(
         [job = std::move(job)]() { return runJob(job); });
     return index;
@@ -40,6 +41,7 @@ std::size_t
 SimFarm::submit(std::string label, std::function<JobResult()> task)
 {
     const std::size_t index = tasks_.size();
+    specs_.emplace_back();
     tasks_.push_back([label = std::move(label),
                       task = std::move(task)]() {
         JobResult result;
@@ -83,6 +85,15 @@ SimFarm::run(const std::function<void(const JobResult &, std::size_t,
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= tasks_.size())
                 return;
+            if (stopRequested()) {
+                // Drain, don't dispatch: the skipped job gets a
+                // marker result and never reaches the progress
+                // callback, so a manifest sees only complete records.
+                batch.jobs[i].job = specs_[i];
+                batch.jobs[i].status = JobStatus::Failed;
+                batch.jobs[i].message = "interrupted before dispatch";
+                continue;
+            }
             batch.jobs[i] = tasks_[i]();
             const std::size_t n =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -111,6 +122,7 @@ SimFarm::run(const std::function<void(const JobResult &, std::size_t,
         batch.serialSeconds += r.hostSeconds;
 
     tasks_.clear();
+    specs_.clear();
     return batch;
 }
 

@@ -18,6 +18,7 @@
 #ifndef TARANTULA_SIM_SIM_FARM_HH
 #define TARANTULA_SIM_SIM_FARM_HH
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -80,12 +81,29 @@ class SimFarm
         const std::function<void(const JobResult &, std::size_t,
                                  std::size_t)> &progress = {});
 
+    /**
+     * Stop dispatching: jobs not yet started when this is called are
+     * skipped (their results read Failed / "interrupted before
+     * dispatch" and never reach the progress callback), while jobs
+     * already in flight run to completion and are recorded normally.
+     * Lock-free atomic store, safe to call from a signal handler --
+     * the graceful-shutdown path of tarantula_batch.
+     */
+    void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+    bool stopRequested() const
+    {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
     std::size_t pending() const { return tasks_.size(); }
     unsigned threads() const { return threads_; }
 
   private:
     unsigned threads_;
     std::vector<std::function<JobResult()>> tasks_;
+    /** Job specs parallel to tasks_ (empty spec for labeled tasks). */
+    std::vector<Job> specs_;
+    std::atomic<bool> stop_{false};
 };
 
 } // namespace tarantula::sim

@@ -1,0 +1,327 @@
+#include "sim/sweep.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/fsutil.hh"
+#include "check/fault_plan.hh"
+#include "proc/machine_config.hh"
+#include "sim/json.hh"
+#include "trace/json_reader.hh"
+#include "workloads/workload.hh"
+
+namespace tarantula::sim
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::vector<std::string>
+workloadNames(const std::string &spec)
+{
+    std::vector<std::string> names;
+    if (spec == "all") {
+        for (const auto &w : workloads::allWorkloads())
+            names.push_back(w.name);
+    } else if (spec == "micro") {
+        for (const auto &w : workloads::microkernelSuite())
+            names.push_back(w.name);
+    } else if (spec == "figure") {
+        for (const auto &w : workloads::figureSuite())
+            names.push_back(w.name);
+    } else {
+        names = splitCsv(spec);
+    }
+    return names;
+}
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::invalid_argument("sweep: " + what);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        bad("cannot read '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+const trace::JsonValue &
+member(const trace::JsonValue &obj, const char *key)
+{
+    const trace::JsonValue *v = obj.find(key);
+    if (!v)
+        bad(std::string("job entry missing '") + key + "'");
+    return *v;
+}
+
+std::string
+str(const trace::JsonValue &obj, const char *key)
+{
+    const trace::JsonValue &v = member(obj, key);
+    if (!v.isString())
+        bad(std::string("'") + key + "' is not a string");
+    return v.str;
+}
+
+std::uint64_t
+u64(const trace::JsonValue &obj, const char *key)
+{
+    const trace::JsonValue &v = member(obj, key);
+    if (!v.isNumber())
+        bad(std::string("'") + key + "' is not a number");
+    return v.asU64();
+}
+
+bool
+boolean(const trace::JsonValue &obj, const char *key)
+{
+    const trace::JsonValue &v = member(obj, key);
+    if (v.kind != trace::JsonValue::Kind::Bool)
+        bad(std::string("'") + key + "' is not a bool");
+    return v.boolean;
+}
+
+} // anonymous namespace
+
+std::vector<Job>
+buildSweep(const SweepOptions &options)
+{
+    std::vector<std::string> machines;
+    if (options.machines == "all")
+        machines = proc::machineNames();
+    else
+        machines = splitCsv(options.machines);
+    const std::vector<std::string> names =
+        workloadNames(options.workloads);
+    if (machines.empty() || names.empty())
+        bad("empty sweep: no machines or no workloads selected");
+
+    std::vector<unsigned> core_counts;
+    for (const auto &c : splitCsv(options.cores)) {
+        unsigned n = 0;
+        try {
+            std::size_t pos = 0;
+            n = static_cast<unsigned>(std::stoul(c, &pos));
+            if (pos != c.size())
+                throw std::invalid_argument(c);
+        } catch (const std::exception &) {
+            bad("invalid core count '" + c + "'");
+        }
+        if (n == 0)
+            bad("core counts need at least 1");
+        core_counts.push_back(n);
+    }
+    if (core_counts.empty())
+        bad("empty cores list");
+
+    // Validate everything up front so a typo fails fast rather than
+    // as N failed jobs deep into the sweep. Name lookups throw with
+    // the offending name; rethrow as invalid_argument for a uniform
+    // contract.
+    try {
+        for (const auto &m : machines)
+            proc::machineByName(m);
+        for (const auto &n : names) {
+            std::stringstream ss(n);
+            std::string piece;
+            while (std::getline(ss, piece, '+'))
+                workloads::byName(piece);
+        }
+        if (!options.faults.empty())
+            check::FaultPlan::parse(options.faults);
+    } catch (const std::invalid_argument &) {
+        throw;
+    } catch (const std::exception &e) {
+        bad(e.what());
+    }
+    for (const auto &n : names) {
+        if (n.find('+') == std::string::npos)
+            continue;
+        // A placement needs >= 2 cores; in a mixed grid the 1-core
+        // points are skipped below, but a placement that could NEVER
+        // run is a spec error.
+        bool runnable = false;
+        for (unsigned c : core_counts)
+            runnable |= c > 1;
+        if (!runnable)
+            bad("placement list '" + n + "' needs cores > 1");
+    }
+
+    std::vector<Job> grid;
+    for (unsigned c : core_counts) {
+    for (const auto &m : machines) {
+        for (const auto &n : names) {
+            // Placement lists have no 1-core meaning: skip the point.
+            if (c == 1 && n.find('+') != std::string::npos)
+                continue;
+            Job job;
+            job.machine = m;
+            // The Job carries placement lists comma-separated; specs
+            // use '+' so the list survives comma splitting.
+            job.workload = n;
+            for (char &ch : job.workload)
+                if (ch == '+')
+                    ch = ',';
+            job.cores = c;
+            job.noPump = options.noPump;
+            job.forceCrBox = options.forceCrBox;
+            job.check = options.check;
+            job.faults = options.faults;
+            job.fastForward = options.fastForward;
+            job.deadlockCycles = options.deadlockCycles;
+            job.maxCycles = options.maxCycles;
+            job.trace = options.trace;
+            job.sampleEvery = options.sampleEvery;
+            job.sampleStats = options.sampleStats;
+            grid.push_back(job);
+        }
+    }
+    }
+    return grid;
+}
+
+std::string
+sweepJson(const std::vector<Job> &jobs)
+{
+    // Unlike job records, the sweep file has no byte-compatibility
+    // history to preserve: every knob is written unconditionally so
+    // the document is self-describing.
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(SweepSchemaTag);
+    w.key("jobs").beginArray();
+    for (const auto &job : jobs) {
+        w.beginObject();
+        w.key("machine").value(job.machine);
+        w.key("workload").value(job.workload);
+        w.key("cores").value(job.cores);
+        w.key("noPump").value(job.noPump);
+        w.key("forceCrBox").value(job.forceCrBox);
+        w.key("check").value(job.check);
+        w.key("faults").value(job.faults);
+        w.key("fastForward").value(job.fastForward);
+        w.key("deadlockCycles").value(job.deadlockCycles);
+        w.key("maxCycles").value(job.maxCycles);
+        w.key("seed").value(job.seed);
+        w.key("trace").value(job.trace);
+        w.key("sampleEvery").value(job.sampleEvery);
+        w.key("sampleStats").value(job.sampleStats);
+        w.key("resumeFrom").value(job.resumeFrom);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+std::vector<Job>
+parseSweepJson(const std::string &text)
+{
+    trace::JsonValue doc;
+    try {
+        doc = trace::parseJson(text);
+    } catch (const trace::JsonParseError &e) {
+        bad(std::string("malformed sweep.json: ") + e.what());
+    }
+    const trace::JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() || schema->str != SweepSchemaTag)
+        bad("sweep.json has no tarantula.sweep.v1 schema tag");
+    const trace::JsonValue *list = doc.find("jobs");
+    if (!list || !list->isArray())
+        bad("sweep.json has no jobs array");
+
+    std::vector<Job> jobs;
+    for (const auto &entry : list->array) {
+        if (!entry.isObject())
+            bad("sweep.json job entry is not an object");
+        Job job;
+        job.machine = str(entry, "machine");
+        job.workload = str(entry, "workload");
+        job.cores = static_cast<unsigned>(u64(entry, "cores"));
+        job.noPump = boolean(entry, "noPump");
+        job.forceCrBox = boolean(entry, "forceCrBox");
+        job.check = boolean(entry, "check");
+        job.faults = str(entry, "faults");
+        job.fastForward = boolean(entry, "fastForward");
+        job.deadlockCycles = u64(entry, "deadlockCycles");
+        job.maxCycles = u64(entry, "maxCycles");
+        job.seed = u64(entry, "seed");
+        job.trace = boolean(entry, "trace");
+        job.sampleEvery = u64(entry, "sampleEvery");
+        job.sampleStats = str(entry, "sampleStats");
+        job.resumeFrom = str(entry, "resumeFrom");
+        jobs.push_back(std::move(job));
+    }
+    if (jobs.empty())
+        bad("sweep.json declares no jobs");
+    return jobs;
+}
+
+std::string
+sweepPath(const std::string &dir)
+{
+    return (fs::path(dir) / "sweep.json").string();
+}
+
+std::vector<Job>
+declareSweep(const std::string &dir, const std::vector<Job> &jobs)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        bad("cannot create '" + dir + "': " + ec.message());
+
+    const std::string path = sweepPath(dir);
+    const std::string fresh = sweepJson(jobs);
+    if (fs::is_regular_file(path, ec)) {
+        // A farm directory pins exactly one sweep for its lifetime;
+        // re-declaring the same one is idempotent (every orchestrator
+        // and worker restart does it), a different one is the caller
+        // mixing two sweeps in one directory.
+        const std::string existing = slurp(path);
+        if (existing != fresh) {
+            bad("'" + path + "' already declares a different sweep; "
+                "use a fresh directory per sweep");
+        }
+        return parseSweepJson(existing);
+    }
+    try {
+        atomicPublish(path, fresh);
+    } catch (const FsError &e) {
+        bad(e.what());
+    }
+    return jobs;
+}
+
+std::vector<Job>
+loadSweep(const std::string &dir)
+{
+    return parseSweepJson(slurp(sweepPath(dir)));
+}
+
+} // namespace tarantula::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The sweep: one canonical description of a machine x workload x
+ * cores x knob grid, shared by every driver that executes it.
+ *
+ * tarantula_batch builds its in-process grid here; the distributed
+ * farm (DESIGN.md §12) additionally persists the expanded job list as
+ * `sweep.json` (tarantula.sweep.v1) in the farm directory, so N
+ * independent tarantula_worker processes -- possibly on different
+ * hosts sharing the directory -- agree byte-for-byte on the job list,
+ * its order (which fixes the final report's record order), and every
+ * knob, without re-parsing CLI specs that could drift between
+ * invocations.
+ */
+
+#ifndef TARANTULA_SIM_SWEEP_HH
+#define TARANTULA_SIM_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/job.hh"
+
+namespace tarantula::sim
+{
+
+/** Schema tag of the persisted job list. */
+inline constexpr const char *SweepSchemaTag = "tarantula.sweep.v1";
+
+/** CLI-level sweep description (pure value; see buildSweep). */
+struct SweepOptions
+{
+    /** Comma-separated Table 3 names, or "all". */
+    std::string machines = "T";
+    /**
+     * "all", "micro", "figure", or a comma-separated name list; an
+     * entry may be a '+'-joined per-core placement list ("copy+dgemm"),
+     * skipped at 1-core grid points.
+     */
+    std::string workloads = "all";
+    /** Comma-separated core counts; each adds a grid dimension. */
+    std::string cores = "1";
+    // Per-job knobs, applied to every grid point.
+    bool noPump = false;
+    bool forceCrBox = false;
+    bool check = false;
+    bool fastForward = true;
+    std::uint64_t deadlockCycles = 0;
+    std::uint64_t maxCycles = 8ULL << 30;
+    std::string faults;         ///< FaultPlan::parse spec; "" = none
+    bool trace = false;
+    std::uint64_t sampleEvery = 0;
+    std::string sampleStats;
+};
+
+/**
+ * Expand a SweepOptions into the ordered job grid (cores-major, then
+ * machines, then workloads -- tarantula_batch's historical order).
+ * Validates everything up front -- machine names, workload names,
+ * placement rules, the fault spec -- so a typo fails fast rather than
+ * as N failed jobs deep into a sweep.
+ * @throws std::invalid_argument naming the bad spec element.
+ */
+std::vector<Job> buildSweep(const SweepOptions &options);
+
+/** Serialize a job list as a tarantula.sweep.v1 document. */
+std::string sweepJson(const std::vector<Job> &jobs);
+
+/**
+ * Parse a tarantula.sweep.v1 document back into its job list.
+ * @throws std::invalid_argument on malformed JSON or a bad field.
+ */
+std::vector<Job> parseSweepJson(const std::string &text);
+
+/**
+ * Publish @p jobs as `sweep.json` under @p dir (durably, via
+ * base/fsutil.hh), or -- when the file already exists -- verify that
+ * it describes the same sweep byte-for-byte, so two orchestrators
+ * pointed at one farm directory cannot silently mix grids.
+ * Returns the loaded/declared job list.
+ * @throws std::invalid_argument on a conflicting existing sweep.
+ */
+std::vector<Job> declareSweep(const std::string &dir,
+                              const std::vector<Job> &jobs);
+
+/**
+ * Load `sweep.json` from @p dir (the worker side).
+ * @throws std::invalid_argument when absent or malformed.
+ */
+std::vector<Job> loadSweep(const std::string &dir);
+
+/** The `sweep.json` path under @p dir. */
+std::string sweepPath(const std::string &dir);
+
+} // namespace tarantula::sim
+
+#endif // TARANTULA_SIM_SWEEP_HH

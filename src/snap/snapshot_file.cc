@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/fsutil.hh"
 #include "base/json.hh"
 #include "trace/json_reader.hh"
 
@@ -138,32 +139,22 @@ writeSnapshotFile(const std::string &path, SnapshotManifest manifest,
 {
     manifest.payloadBytes = payload.size();
 
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            throw SnapshotError("snapshot '" + path +
-                                "': cannot open '" + tmp +
-                                "' for writing");
-        }
-        out.write(Magic, sizeof(Magic));
-        Snapshotter s(out);
-        s.u32(SnapshotVersion);
-        s.str(manifestJson(manifest));
-        s.u64(payload.size());
-        s.bytes(payload.data(), payload.size());
-        s.u64(fnv1a(payload.data(), payload.size()));
-        out.flush();
-        if (!out) {
-            throw SnapshotError("snapshot '" + path +
-                                "': write failed on '" + tmp + "'");
-        }
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        throw SnapshotError("snapshot '" + path + "': rename from '" +
-                            tmp + "' failed: " + ec.message());
+    std::ostringstream os;
+    os.write(Magic, sizeof(Magic));
+    Snapshotter s(os);
+    s.u32(SnapshotVersion);
+    s.str(manifestJson(manifest));
+    s.u64(payload.size());
+    s.bytes(payload.data(), payload.size());
+    s.u64(fnv1a(payload.data(), payload.size()));
+
+    // Durable publish (unique temp + fsync + rename + dir fsync): a
+    // host crash can surface the old file or the complete new one,
+    // never a truncated snapshot under the real name.
+    try {
+        atomicPublish(path, os.str());
+    } catch (const FsError &e) {
+        throw SnapshotError("snapshot '" + path + "': " + e.what());
     }
 }
 

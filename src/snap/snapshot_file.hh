@@ -16,9 +16,10 @@
  * payload so a mismatched or damaged file is refused with a typed
  * SnapshotError, never deserialized into a half-wrong machine.
  *
- * Writes go to "<path>.tmp" and are renamed into place only after a
- * successful flush, so a crash mid-write leaves either the old file
- * or a stray .tmp -- never a truncated snapshot under the real name.
+ * Writes go to a uniquely named "<path>.tmp.*" and are renamed into
+ * place only after an fsync (base/fsutil.hh), so a process kill or a
+ * host crash mid-write leaves either the old file or a stray temp --
+ * never a truncated snapshot under the real name.
  */
 
 #ifndef TARANTULA_SNAP_SNAPSHOT_FILE_HH

@@ -1,0 +1,543 @@
+/**
+ * @file
+ * The distributed farm (DESIGN.md §12): the lease protocol's mutual
+ * exclusion and stale-reclaim race, the worker's retry / quarantine
+ * state machine, preemption park-and-adopt bit-identity, and the
+ * BatchManifest's behavior under concurrent writers -- everything
+ * provable without spawning real worker processes (test_farm_kill.cc
+ * holds the SIGKILL battery).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_checker.hh"
+#include "farm/layout.hh"
+#include "farm/lease.hh"
+#include "farm/status.hh"
+#include "farm/worker.hh"
+#include "sim/batch_manifest.hh"
+#include "sim/job.hh"
+#include "sim/result_sink.hh"
+#include "sim/sweep.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using test_support::expectValidJson;
+
+namespace fs = std::filesystem;
+
+/** Scoped farm directory under the system temp dir. */
+struct TempDir
+{
+    fs::path path;
+    explicit TempDir(const char *stem)
+        : path(fs::temp_directory_path() / stem)
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string str() const { return path.string(); }
+};
+
+void
+backdate(const std::string &path, int seconds)
+{
+    fs::last_write_time(
+        path, fs::file_time_type::clock::now() -
+                  std::chrono::seconds(seconds));
+}
+
+/** The serial-reference report: runJob each point, deterministic
+ *  records, same writer the farm report uses. */
+std::string
+serialReport(const std::vector<sim::Job> &jobs, unsigned threads)
+{
+    std::vector<sim::BatchRecord> records;
+    for (const auto &job : jobs)
+        records.push_back(sim::toBatchRecord(sim::runJob(job), true));
+    std::ostringstream os;
+    sim::writeBatchRecords(os, records, threads);
+    return os.str();
+}
+
+std::string
+farmReport(const std::string &dir, unsigned threads)
+{
+    std::ostringstream os;
+    EXPECT_TRUE(farm::writeFarmReport(os, dir, threads));
+    return os.str();
+}
+
+// ---- The lease protocol ----------------------------------------------
+
+TEST(Lease, ClaimIsExclusiveUntilReleased)
+{
+    TempDir dir("tarantula_lease_claim_test");
+    const std::string lease = (dir.path / "job.lease").string();
+
+    EXPECT_TRUE(farm::claimLease(lease, "w1"));
+    EXPECT_FALSE(farm::claimLease(lease, "w2"));
+    EXPECT_FALSE(farm::claimLease(lease, "w1"));   // not reentrant
+
+    farm::releaseLease(lease);
+    EXPECT_TRUE(farm::claimLease(lease, "w2"));
+    farm::releaseLease(lease);
+    farm::releaseLease(lease);                     // idempotent
+}
+
+TEST(Lease, HeartbeatRenewalAndAge)
+{
+    TempDir dir("tarantula_lease_age_test");
+    const std::string lease = (dir.path / "job.lease").string();
+
+    EXPECT_LT(farm::leaseAgeSeconds(lease), 0.0);  // missing
+    ASSERT_TRUE(farm::claimLease(lease, "w1"));
+    EXPECT_GE(farm::leaseAgeSeconds(lease), 0.0);
+    EXPECT_LT(farm::leaseAgeSeconds(lease), 5.0);  // fresh
+
+    backdate(lease, 60);
+    EXPECT_GT(farm::leaseAgeSeconds(lease), 30.0);
+    EXPECT_TRUE(farm::renewLease(lease));          // bumps to now
+    EXPECT_LT(farm::leaseAgeSeconds(lease), 5.0);
+
+    farm::releaseLease(lease);
+    EXPECT_FALSE(farm::renewLease(lease));  // reclaimed under us
+}
+
+TEST(Lease, FreshLeaseCannotBeReclaimed)
+{
+    TempDir dir("tarantula_lease_fresh_test");
+    const std::string lease = (dir.path / "job.lease").string();
+    ASSERT_TRUE(farm::claimLease(lease, "w1"));
+
+    std::string dead;
+    EXPECT_FALSE(farm::reclaimStaleLease(lease, 30.0, dead));
+    EXPECT_TRUE(fs::exists(lease));       // untouched
+}
+
+TEST(Lease, StaleReclaimHasExactlyOneWinner)
+{
+    TempDir dir("tarantula_lease_race_test");
+    const std::string lease = (dir.path / "job.lease").string();
+    ASSERT_TRUE(farm::claimLease(lease, "victim"));
+    backdate(lease, 60);
+
+    constexpr int N = 8;
+    std::atomic<int> wins{0};
+    std::string owner_stamps[N];
+    std::vector<std::thread> contenders;
+    for (int i = 0; i < N; ++i) {
+        contenders.emplace_back([&, i] {
+            std::string dead;
+            if (farm::reclaimStaleLease(lease, 1.0, dead)) {
+                wins.fetch_add(1);
+                owner_stamps[i] = dead;
+            }
+        });
+    }
+    for (auto &t : contenders)
+        t.join();
+
+    EXPECT_EQ(wins.load(), 1);
+    EXPECT_FALSE(fs::exists(lease));      // claimable again
+    for (const auto &stamp : owner_stamps) {
+        if (!stamp.empty()) {
+            EXPECT_NE(stamp.find("owner=victim"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(farm::claimLease(lease, "w2"));
+}
+
+// ---- The layout's durable counters -----------------------------------
+
+TEST(Layout, CountPrefixedIsTheDurableAttemptCounter)
+{
+    TempDir dir("tarantula_layout_count_test");
+    farm::Layout layout(dir.str());
+    layout.ensure();
+
+    EXPECT_EQ(farm::Layout::countPrefixed(layout.failedDir(), "k."), 0u);
+    std::ofstream(layout.failurePath("key", 1)) << "{}";
+    std::ofstream(layout.failurePath("key", 2)) << "{}";
+    std::ofstream(layout.failurePath("keyring", 1)) << "{}";
+    EXPECT_EQ(farm::Layout::countPrefixed(layout.failedDir(), "key.a"),
+              2u);
+    EXPECT_EQ(farm::Layout::countPrefixed(layout.failedDir(),
+                                          "keyring.a"),
+              1u);
+    EXPECT_EQ(farm::Layout::countPrefixed("/no/such/dir", "x"), 0u);
+}
+
+// ---- The worker loop: complete, retry, quarantine, preempt -----------
+
+sim::SweepOptions
+smallSweep(const char *workloads)
+{
+    sim::SweepOptions opt;
+    opt.machines = "T";
+    opt.workloads = workloads;
+    return opt;
+}
+
+farm::WorkerOptions
+workerOptions(const std::string &dir, const char *name)
+{
+    farm::WorkerOptions opt;
+    opt.dir = dir;
+    opt.name = name;
+    opt.checkpointSeconds = 0.0;   // these jobs finish in milliseconds
+    opt.backoffBaseSeconds = 0.01;
+    opt.backoffCapSeconds = 0.02;
+    opt.idlePollSeconds = 0.01;
+    return opt;
+}
+
+/**
+ * One worker drains a whole sweep and the assembled farm report is
+ * byte-identical to a serial run of the same grid.
+ */
+TEST(FarmWorker, CompletesSweepByteIdenticalToSerial)
+{
+    const auto jobs = sim::buildSweep(smallSweep("fft,lu"));
+    TempDir dir("tarantula_farm_complete_test");
+    sim::declareSweep(dir.str(), jobs);
+
+    const farm::WorkerExit why =
+        farm::runWorker(workerOptions(dir.str(), "w1"));
+    EXPECT_EQ(why, farm::WorkerExit::SweepComplete);
+
+    const std::string report = farmReport(dir.str(), 1);
+    expectValidJson(report);
+    EXPECT_EQ(report, serialReport(jobs, 1));
+
+    const farm::FarmStatus st = farm::scanFarm(dir.str());
+    EXPECT_TRUE(st.complete());
+    EXPECT_EQ(st.ok, jobs.size());
+    EXPECT_EQ(st.failedAttempts, 0u);
+    EXPECT_EQ(st.crashReclaims, 0u);
+    EXPECT_TRUE(st.leases.empty());
+}
+
+/**
+ * Two workers racing the same directory both finish, every job is
+ * stored exactly once, and the report still matches serial bytes.
+ */
+TEST(FarmWorker, ConcurrentWorkersShareOneSweep)
+{
+    const auto jobs = sim::buildSweep(smallSweep("fft,lu,sparsemxv"));
+    TempDir dir("tarantula_farm_two_workers_test");
+    sim::declareSweep(dir.str(), jobs);
+
+    farm::WorkerExit e1 = farm::WorkerExit::Drained;
+    farm::WorkerExit e2 = farm::WorkerExit::Drained;
+    std::thread t1([&] {
+        e1 = farm::runWorker(workerOptions(dir.str(), "w1"));
+    });
+    std::thread t2([&] {
+        e2 = farm::runWorker(workerOptions(dir.str(), "w2"));
+    });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(e1, farm::WorkerExit::SweepComplete);
+    EXPECT_EQ(e2, farm::WorkerExit::SweepComplete);
+
+    EXPECT_EQ(farmReport(dir.str(), 2), serialReport(jobs, 2));
+}
+
+/**
+ * The retry / quarantine state machine: a job that fails K times is
+ * quarantined with its durable attempt records and forensics file --
+ * and because the stored record is the same deterministic bytes a
+ * serial run produces, the final report never forks.
+ */
+TEST(FarmWorker, KFailuresQuarantineWithoutForkingTheReport)
+{
+    auto jobs = sim::buildSweep(smallSweep("fft"));
+    sim::Job poison;
+    poison.machine = "T";
+    poison.workload = "no_such_workload";
+    jobs.push_back(poison);
+
+    TempDir dir("tarantula_farm_quarantine_test");
+    sim::declareSweep(dir.str(), jobs);
+
+    farm::WorkerOptions opt = workerOptions(dir.str(), "w1");
+    opt.maxFailures = 2;
+    const farm::WorkerExit why = farm::runWorker(opt);
+    EXPECT_EQ(why, farm::WorkerExit::SweepComplete);
+
+    farm::Layout layout(dir.str());
+    const std::string key = sim::BatchManifest::jobKey(poison);
+    // The durable attempt counter: one full record per failed try.
+    EXPECT_EQ(farm::Layout::countPrefixed(layout.failedDir(),
+                                          key + ".a"),
+              2u);
+    // The quarantine report carries the whole story.
+    std::ifstream qf(layout.quarantinePath(key));
+    ASSERT_TRUE(qf.good());
+    std::stringstream qs;
+    qs << qf.rdbuf();
+    const std::string quarantine = qs.str();
+    expectValidJson(quarantine);
+    EXPECT_NE(quarantine.find("\"schema\":\"tarantula.quarantine.v1\""),
+              std::string::npos);
+    EXPECT_NE(quarantine.find("\"failedAttempts\":2"),
+              std::string::npos);
+    EXPECT_NE(quarantine.find("no_such_workload"), std::string::npos);
+    EXPECT_NE(quarantine.find("\"record\":"), std::string::npos);
+
+    const farm::FarmStatus st = farm::scanFarm(dir.str());
+    EXPECT_TRUE(st.complete());
+    EXPECT_EQ(st.quarantined, 1u);
+    EXPECT_EQ(st.failed, 1u);
+    EXPECT_EQ(st.ok, jobs.size() - 1);
+
+    // The acceptance property: quarantining is invisible in the
+    // report -- a serial run of the same grid emits identical bytes.
+    EXPECT_EQ(farmReport(dir.str(), 1), serialReport(jobs, 1));
+}
+
+/**
+ * A job whose workers keep dying (maxCrashes stale-lease reclaims) is
+ * quarantined with a synthetic record so the sweep still completes --
+ * the one case where the farm's report may diverge from serial, since
+ * a serial run of such a job would just die with it.
+ */
+TEST(FarmWorker, CrashLoopingJobIsQuarantined)
+{
+    const auto jobs = sim::buildSweep(smallSweep("fft"));
+    TempDir dir("tarantula_farm_crashloop_test");
+    sim::declareSweep(dir.str(), jobs);
+
+    farm::Layout layout(dir.str());
+    layout.ensure();
+    const std::string key = sim::BatchManifest::jobKey(jobs[0]);
+    // Two reclaims already on record, and a third worker's corpse
+    // holding a stale lease right now.
+    std::ofstream(layout.crashPath(key, 1)) << "reclaimedBy=w1\n";
+    std::ofstream(layout.crashPath(key, 2)) << "reclaimedBy=w2\n";
+    ASSERT_TRUE(farm::claimLease(layout.leasePath(key), "victim"));
+    backdate(layout.leasePath(key), 60);
+
+    farm::WorkerOptions opt = workerOptions(dir.str(), "w3");
+    opt.leaseTimeoutSeconds = 1.0;
+    opt.maxCrashes = 3;
+    EXPECT_EQ(farm::runWorker(opt), farm::WorkerExit::SweepComplete);
+
+    // The third reclaim tripped the quarantine without running the job.
+    EXPECT_EQ(farm::Layout::countPrefixed(layout.crashesDir(),
+                                          key + ".c"),
+              3u);
+    sim::BatchManifest manifest(dir.str());
+    sim::BatchRecord rec;
+    ASSERT_TRUE(manifest.load(jobs[0], rec));
+    EXPECT_EQ(rec.status, sim::JobStatus::Failed);
+    EXPECT_NE(rec.message.find("lease reclaimed 3 times"),
+              std::string::npos);
+    EXPECT_TRUE(fs::exists(layout.quarantinePath(key)));
+    EXPECT_TRUE(farm::scanFarm(dir.str()).complete());
+}
+
+/**
+ * Cooperative preemption: a drained worker parks its in-flight job
+ * mid-run, a second worker adopts the park and finishes, and the
+ * stored record is bit-identical to an uninterrupted serial run --
+ * the checkpoint-stop contract end to end.
+ */
+TEST(FarmWorker, PreemptedJobIsAdoptedBitIdentical)
+{
+    const auto jobs = sim::buildSweep(smallSweep("fft"));
+    TempDir dir("tarantula_farm_preempt_test");
+    sim::declareSweep(dir.str(), jobs);
+    farm::Layout layout(dir.str());
+    const std::string key = sim::BatchManifest::jobKey(jobs[0]);
+
+    // Drain after the second slice: poll #1 is the pre-claim check,
+    // polls #2 and #3 are the between-slice preemption checks, so the
+    // park lands at cycle 2 * sliceCycles -- mid-run (T/fft needs
+    // ~74k cycles).
+    farm::WorkerOptions opt = workerOptions(dir.str(), "w1");
+    opt.sliceCycles = 10000;
+    std::atomic<int> polls{0};
+    opt.stopRequested = [&] { return polls.fetch_add(1) + 1 >= 3; };
+    EXPECT_EQ(farm::runWorker(opt), farm::WorkerExit::Drained);
+
+    EXPECT_TRUE(fs::exists(layout.parkPath(key)));
+    EXPECT_FALSE(fs::exists(layout.leasePath(key)));  // released
+    EXPECT_FALSE(sim::BatchManifest(dir.str()).has(jobs[0]));
+    EXPECT_EQ(farm::scanFarm(dir.str()).parked, 1u);
+
+    // A second worker adopts the park and completes the sweep.
+    std::vector<std::string> log;
+    farm::WorkerOptions opt2 = workerOptions(dir.str(), "w2");
+    opt2.sliceCycles = 10000;
+    opt2.log = [&](const std::string &line) { log.push_back(line); };
+    EXPECT_EQ(farm::runWorker(opt2), farm::WorkerExit::SweepComplete);
+
+    bool adopted = false;
+    for (const auto &line : log)
+        adopted |= line.find("adopting parked state") !=
+                   std::string::npos;
+    EXPECT_TRUE(adopted);
+    EXPECT_FALSE(fs::exists(layout.parkPath(key)));  // consumed
+
+    // Bit-identity with an uninterrupted run of the same job.
+    sim::BatchRecord stored;
+    ASSERT_TRUE(sim::BatchManifest(dir.str()).load(jobs[0], stored));
+    const sim::BatchRecord fresh =
+        sim::toBatchRecord(sim::runJob(jobs[0]), true);
+    EXPECT_EQ(stored.recordJson, fresh.recordJson);
+    EXPECT_EQ(farmReport(dir.str(), 1), serialReport(jobs, 1));
+}
+
+// ---- The sweep declaration -------------------------------------------
+
+TEST(Sweep, DeclareIsIdempotentButRefusesConflicts)
+{
+    const auto jobs = sim::buildSweep(smallSweep("fft,lu"));
+    TempDir dir("tarantula_farm_declare_test");
+
+    const auto first = sim::declareSweep(dir.str(), jobs);
+    ASSERT_EQ(first.size(), jobs.size());
+    // Same sweep again: fine (a second orchestrator, a rerun).
+    const auto again = sim::declareSweep(dir.str(), jobs);
+    ASSERT_EQ(again.size(), jobs.size());
+    // The worker side agrees byte for byte.
+    EXPECT_EQ(sim::sweepJson(sim::loadSweep(dir.str())),
+              sim::sweepJson(jobs));
+
+    // A different grid on the same directory must be refused, not
+    // silently mixed.
+    const auto other = sim::buildSweep(smallSweep("sparsemxv"));
+    EXPECT_THROW(sim::declareSweep(dir.str(), other),
+                 std::invalid_argument);
+}
+
+// ---- The manifest under concurrency (satellite: DESIGN.md §10) -------
+
+TEST(BatchManifest, ConcurrentSameKeyStoresNeverTearTheRecord)
+{
+    sim::Job job;
+    job.machine = "T";
+    job.workload = "fft";
+    const sim::BatchRecord rec =
+        sim::toBatchRecord(sim::runJob(job), true);
+
+    TempDir dir("tarantula_manifest_race_test");
+    sim::BatchManifest manifest(dir.str());
+
+    // Half the threads hammer the same key; half read it back. Any
+    // successful load must yield the exact record bytes -- a torn or
+    // half-renamed file is the failure this test exists to catch.
+    std::atomic<bool> go{false};
+    std::atomic<int> bad_reads{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 4; ++w) {
+        threads.emplace_back([&] {
+            while (!go.load()) {}
+            for (int i = 0; i < 25; ++i)
+                manifest.store(job, rec);
+        });
+    }
+    for (int r = 0; r < 4; ++r) {
+        threads.emplace_back([&] {
+            while (!go.load()) {}
+            for (int i = 0; i < 200; ++i) {
+                sim::BatchRecord seen;
+                if (manifest.load(job, seen) &&
+                    seen.recordJson != rec.recordJson)
+                    bad_reads.fetch_add(1);
+            }
+        });
+    }
+    go.store(true);
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(bad_reads.load(), 0);
+    sim::BatchRecord final_rec;
+    ASSERT_TRUE(manifest.load(job, final_rec));
+    EXPECT_EQ(final_rec.recordJson, rec.recordJson);
+}
+
+TEST(BatchManifest, ConcurrentDistinctKeysAllLand)
+{
+    TempDir dir("tarantula_manifest_distinct_test");
+    sim::BatchManifest manifest(dir.str());
+
+    // Synthetic records are enough here: this test is about the
+    // store path, not the simulator.
+    auto fake = [](int i) {
+        sim::Job job;
+        job.machine = "T";
+        job.workload = "copy";
+        job.maxCycles = 1000 + static_cast<std::uint64_t>(i);
+        return job;
+    };
+    constexpr int N = 16;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < N; ++i) {
+        threads.emplace_back([&, i] {
+            sim::JobResult r;
+            r.job = fake(i);
+            r.status = sim::JobStatus::Failed;
+            r.message = "synthetic " + std::to_string(i);
+            manifest.store(r.job, sim::toBatchRecord(r, true));
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (int i = 0; i < N; ++i) {
+        sim::BatchRecord rec;
+        ASSERT_TRUE(manifest.load(fake(i), rec)) << i;
+        EXPECT_NE(rec.recordJson.find("synthetic " + std::to_string(i)),
+                  std::string::npos);
+    }
+}
+
+TEST(FarmStatus, StrayTempFilesFromAKillAreNotRecords)
+{
+    const auto jobs = sim::buildSweep(smallSweep("fft,lu"));
+    TempDir dir("tarantula_farm_stray_tmp_test");
+    sim::declareSweep(dir.str(), jobs);
+
+    sim::BatchManifest manifest(dir.str());
+    manifest.store(jobs[0],
+                   sim::toBatchRecord(sim::runJob(jobs[0]), true));
+
+    // A worker SIGKILLed mid-publish leaves `<record>.tmp.<pid>.<seq>`
+    // behind; it must count as nothing.
+    const std::string key1 = sim::BatchManifest::jobKey(jobs[1]);
+    std::ofstream(dir.path / (key1 + ".job.json.tmp.999.0"))
+        << "{\"schema\":\"tarant";
+    EXPECT_FALSE(manifest.has(jobs[1]));
+
+    const farm::FarmStatus st = farm::scanFarm(dir.str());
+    EXPECT_EQ(st.total, 2u);
+    EXPECT_EQ(st.stored, 1u);
+    EXPECT_FALSE(st.complete());
+}
+
+TEST(FarmStatus, PercentilesAreNearestRank)
+{
+    EXPECT_EQ(farm::percentile({}, 50), 0.0);
+    EXPECT_EQ(farm::percentile({7.0}, 50), 7.0);
+    EXPECT_EQ(farm::percentile({4.0, 1.0, 3.0, 2.0}, 50), 2.0);
+    EXPECT_EQ(farm::percentile({4.0, 1.0, 3.0, 2.0}, 90), 4.0);
+    EXPECT_EQ(farm::percentile({4.0, 1.0, 3.0, 2.0}, 100), 4.0);
+}
+
+} // anonymous namespace

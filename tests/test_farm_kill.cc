@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The kill-anywhere battery (DESIGN.md §12): real tarantula_worker
+ * processes, real SIGKILL at seeded random instants, and the
+ * acceptance property of the whole farm -- the sweep completes with a
+ * final report byte-identical to a serial run, no matter when a
+ * worker dies. Plus the graceful path: SIGTERM drains a worker, its
+ * in-flight job parks, and a successor resumes to the same bytes.
+ *
+ * The worker binary's path arrives via TARANTULA_WORKER_BIN
+ * (tests/CMakeLists.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "farm/spawn.hh"
+#include "farm/status.hh"
+#include "sim/job.hh"
+#include "sim/result_sink.hh"
+#include "sim/sweep.hh"
+
+namespace
+{
+
+using namespace tarantula;
+
+namespace fs = std::filesystem;
+
+struct TempDir
+{
+    fs::path path;
+    explicit TempDir(const std::string &stem)
+        : path(fs::temp_directory_path() / stem)
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string str() const { return path.string(); }
+};
+
+std::vector<sim::Job>
+smallGrid()
+{
+    sim::SweepOptions opt;
+    opt.machines = "T";
+    opt.workloads = "fft,lu";
+    return sim::buildSweep(opt);
+}
+
+std::string
+serialReport(const std::vector<sim::Job> &jobs, unsigned threads)
+{
+    std::vector<sim::BatchRecord> records;
+    for (const auto &job : jobs)
+        records.push_back(sim::toBatchRecord(sim::runJob(job), true));
+    std::ostringstream os;
+    sim::writeBatchRecords(os, records, threads);
+    return os.str();
+}
+
+farm::WorkerCommand
+workerCommand(const std::string &dir, const std::string &name)
+{
+    farm::WorkerCommand cmd;
+    cmd.binPath = TARANTULA_WORKER_BIN;
+    cmd.dir = dir;
+    cmd.name = name;
+    cmd.leaseTimeoutSeconds = 0.3;  // fast stale-reclaim for the test
+    cmd.backoffBaseSeconds = 0.05;
+    cmd.backoffCapSeconds = 0.1;
+    return cmd;
+}
+
+/**
+ * Reap until every pid has exited or the deadline passes; respawns a
+ * fresh worker if the whole fleet is gone with the sweep incomplete
+ * (it cannot normally happen -- a healthy worker only exits on
+ * SweepComplete -- but a test must not hang on the abnormal case).
+ */
+bool
+awaitSweep(const std::string &dir, std::vector<pid_t> &pids,
+           std::vector<farm::Reaped> &exited, int &respawns)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+        for (const auto &r : farm::reapExited(pids))
+            exited.push_back(r);
+        if (pids.empty()) {
+            if (farm::scanFarm(dir).complete())
+                return true;
+            if (respawns >= 4)
+                return false;
+            ++respawns;
+            pids.push_back(farm::spawnWorker(workerCommand(
+                dir, "respawn" + std::to_string(respawns))));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    for (pid_t pid : pids)
+        farm::killWorker(pid);
+    for (const auto &r : farm::reapExited(pids))
+        exited.push_back(r);
+    return false;
+}
+
+std::string
+farmReport(const std::string &dir, unsigned threads)
+{
+    std::ostringstream os;
+    EXPECT_TRUE(farm::writeFarmReport(os, dir, threads));
+    return os.str();
+}
+
+/**
+ * The acceptance battery: 20 seeded trials, each spawning two real
+ * workers and SIGKILLing one at a random instant -- before the claim,
+ * mid-run, mid-publish, after the sweep is already done; the seed
+ * decides. Every trial must end with a complete sweep whose report is
+ * byte-identical to the serial reference.
+ */
+TEST(FarmKill, SweepSurvivesSigkillAnywhere)
+{
+    const auto jobs = smallGrid();
+    const std::string reference = serialReport(jobs, 2);
+
+    for (int trial = 0; trial < 20; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        std::mt19937 rng(1000 + trial);
+        const int kill_after_ms =
+            static_cast<int>(rng() % 250);
+        const std::size_t victim = rng() % 2;
+
+        TempDir dir("tarantula_farm_kill_trial_" +
+                    std::to_string(trial));
+        sim::declareSweep(dir.str(), jobs);
+
+        std::vector<pid_t> pids;
+        pids.push_back(
+            farm::spawnWorker(workerCommand(dir.str(), "w1")));
+        pids.push_back(
+            farm::spawnWorker(workerCommand(dir.str(), "w2")));
+        const pid_t victim_pid = pids[victim];
+
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kill_after_ms));
+        farm::killWorker(victim_pid);
+
+        std::vector<farm::Reaped> exited;
+        int respawns = 0;
+        ASSERT_TRUE(awaitSweep(dir.str(), pids, exited, respawns))
+            << "sweep did not complete";
+        EXPECT_EQ(respawns, 0);
+
+        // The victim died by SIGKILL (or exited 0 first, when the
+        // kill landed after its clean finish); the survivor exited 0.
+        for (const auto &r : exited) {
+            if (r.pid == victim_pid) {
+                EXPECT_TRUE(
+                    (WIFSIGNALED(r.status) &&
+                     WTERMSIG(r.status) == SIGKILL) ||
+                    (WIFEXITED(r.status) &&
+                     WEXITSTATUS(r.status) == 0));
+            } else {
+                ASSERT_TRUE(WIFEXITED(r.status));
+                EXPECT_EQ(WEXITSTATUS(r.status), 0);
+            }
+        }
+
+        EXPECT_EQ(farmReport(dir.str(), 2), reference);
+    }
+}
+
+/**
+ * The graceful path with real processes: SIGTERM drains a worker
+ * (exit 3, or 0 when it had already finished); whatever it left
+ * behind -- a parked snapshot, unclaimed jobs -- a successor picks up,
+ * and the report still matches serial bytes.
+ */
+TEST(FarmKill, SigtermDrainsAndASuccessorResumes)
+{
+    const auto jobs = smallGrid();
+    const std::string reference = serialReport(jobs, 2);
+
+    TempDir dir("tarantula_farm_drain_test");
+    sim::declareSweep(dir.str(), jobs);
+
+    farm::WorkerCommand cmd = workerCommand(dir.str(), "w1");
+    cmd.sliceCycles = 10000;    // fine-grained drain polls
+    const pid_t first = farm::spawnWorker(cmd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    farm::drainWorker(first);
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(first, &status, 0), first);
+    ASSERT_TRUE(WIFEXITED(status));
+    const int code = WEXITSTATUS(status);
+    EXPECT_TRUE(code == 3 || code == 0) << "exit " << code;
+
+    if (!farm::scanFarm(dir.str()).complete()) {
+        std::vector<pid_t> pids;
+        pids.push_back(
+            farm::spawnWorker(workerCommand(dir.str(), "w2")));
+        std::vector<farm::Reaped> exited;
+        int respawns = 0;
+        ASSERT_TRUE(awaitSweep(dir.str(), pids, exited, respawns));
+    }
+    EXPECT_TRUE(farm::scanFarm(dir.str()).complete());
+    EXPECT_EQ(farm::scanFarm(dir.str()).parked, 0u);
+    EXPECT_EQ(farmReport(dir.str(), 2), reference);
+}
+
+} // anonymous namespace

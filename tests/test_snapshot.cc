@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "base/fsutil.hh"
 #include "exec/memory.hh"
 #include "proc/machine_config.hh"
 #include "proc/processor.hh"
@@ -416,20 +417,32 @@ TEST(SnapshotErrors, CorruptPayload)
 
 TEST(SnapshotErrors, StrayTempFileFromACrashedWrite)
 {
-    // A writer killed mid-snapshot leaves "<path>.tmp", never a
-    // damaged "<path>": the half-written temp is not loadable, the
-    // real name never exists, and a rerun of the same snapshot
-    // replaces the stray temp and produces a loadable file.
-    TempFile f("midwrite.tsnap");
-    spit(f.path + ".tmp", std::string("TSNAP\n half-written"));
-    EXPECT_FALSE(std::filesystem::exists(f.path));
-    EXPECT_FALSE(restoreError(f.path + ".tmp").empty());
+    // A writer killed mid-snapshot leaves a uniquely named
+    // "<path>.tmp.<pid>.<seq>", never a damaged "<path>": the
+    // half-written temp is not loadable, the real name never exists,
+    // and a rerun of the same snapshot still produces a loadable file
+    // under the real name (its own temp never collides with the
+    // stray). sweepStrayTemps() reclaims the dropping.
+    // A private directory: the sweep must only reclaim THIS test's
+    // droppings, so give it a directory of its own to sweep.
+    const std::string dir = tempPath("midwrite.dir");
+    std::filesystem::create_directories(dir);
+    const std::string path =
+        (std::filesystem::path(dir) / "mid.tsnap").string();
+    const std::string stray = path + ".tmp.9999.0";
+    spit(stray, std::string("TSNAP\n half-written"));
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_FALSE(restoreError(stray).empty());
 
-    makeSnapshot(f.path);
-    EXPECT_FALSE(std::filesystem::exists(f.path + ".tmp"));
+    makeSnapshot(path);
     Machine m("T", "copy", true);
-    m.cpu->restoreFrom(f.path);      // must not throw
+    m.cpu->restoreFrom(path);        // must not throw
     EXPECT_EQ(m.cpu->now(), 1000u);
+
+    EXPECT_EQ(tarantula::sweepStrayTemps(dir), std::size_t{1});
+    EXPECT_FALSE(std::filesystem::exists(stray));
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::filesystem::remove_all(dir);
 }
 
 TEST(SnapshotErrors, SamplerIntervalMismatch)

@@ -6,10 +6,10 @@
  *   tarantula_batch [--machines EV8,T,...|all] [--workloads all|micro|
  *                   figure|NAME,NAME,...] [--cores LIST] [--jobs N]
  *                   [--json FILE] [--no-pump] [--force-crbox]
- *                   [--max-cycles N] [--trace-dir DIR]
+ *                   [--max-cycles N] [--faults SPEC] [--trace-dir DIR]
  *                   [--sample-every N] [--sample-stats PREFIXES]
  *                   [--quiet] [--list] [--manifest DIR]
- *                   [--warm-from FILE]
+ *                   [--warm-from FILE] [--workers N]
  *
  * --cores adds a CMP dimension to the grid (machine x workload x
  * cores). A workload entry may itself be a '+'-joined per-core
@@ -29,22 +29,42 @@
  * uninterrupted run's (host-timing fields are zeroed in this mode).
  * --warm-from fans one tarantula.snapshot.v1 checkpoint across every
  * grid point matching its machine and workload (DESIGN.md §10).
+ *
+ * --workers N (requires --manifest) runs the sweep through N
+ * tarantula_worker processes over the manifest directory instead of
+ * in-process threads -- the distributed-farm execution path
+ * (DESIGN.md §12) behind the familiar CLI. The report is
+ * byte-identical to `--jobs N` with the same manifest.
+ *
+ * SIGINT/SIGTERM shut down gracefully: the first signal stops
+ * dispatching (in-flight jobs finish and their records store
+ * cleanly), the second force-exits.
  */
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "base/logging.hh"
+#include "farm/spawn.hh"
+#include "farm/status.hh"
 #include "proc/machine_config.hh"
 #include "sim/batch_manifest.hh"
 #include "sim/result_sink.hh"
 #include "sim/sim_farm.hh"
+#include "sim/sweep.hh"
 #include "snap/snapshot_file.hh"
 #include "workloads/workload.hh"
 
@@ -52,6 +72,22 @@ using namespace tarantula;
 
 namespace
 {
+
+// Graceful-shutdown plumbing: the first signal stops dispatching (the
+// running SimFarm skips jobs not yet started; worker children get
+// SIGTERM and park), the second force-exits.
+volatile std::sig_atomic_t g_signals = 0;
+sim::SimFarm *g_farm = nullptr;
+
+void
+onSignal(int)
+{
+    g_signals = g_signals + 1;  // no volatile ++ in C++20
+    if (g_signals >= 2)
+        ::_exit(130);
+    if (g_farm)
+        g_farm->requestStop();
+}
 
 void
 usage()
@@ -73,6 +109,9 @@ usage()
         "  --no-pump        disable the stride-1 PUMP on every job\n"
         "  --force-crbox    route strided accesses through the CR box\n"
         "  --max-cycles N   per-job simulated-cycle budget\n"
+        "  --faults SPEC    inject faults on every job (FaultPlan\n"
+        "                   spec, e.g. drop_fill@3000 or\n"
+        "                   random:7@20000); pair with --check\n"
         "  --check          run the integrity checkers on every job\n"
         "  --no-fast-forward  step every cycle on every job instead\n"
         "                   of jumping over quiescent ones\n"
@@ -90,39 +129,13 @@ usage()
         "                   jobs already completed there (crash\n"
         "                   resume; implies deterministic records)\n"
         "  --warm-from FILE warm-start every matching grid point from\n"
-        "                   this snapshot file\n");
-}
-
-std::vector<std::string>
-splitCsv(const std::string &csv)
-{
-    std::vector<std::string> out;
-    std::stringstream ss(csv);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-        if (!item.empty())
-            out.push_back(item);
-    }
-    return out;
-}
-
-std::vector<std::string>
-workloadNames(const std::string &spec)
-{
-    std::vector<std::string> names;
-    if (spec == "all") {
-        for (const auto &w : workloads::allWorkloads())
-            names.push_back(w.name);
-    } else if (spec == "micro") {
-        for (const auto &w : workloads::microkernelSuite())
-            names.push_back(w.name);
-    } else if (spec == "figure") {
-        for (const auto &w : workloads::figureSuite())
-            names.push_back(w.name);
-    } else {
-        names = splitCsv(spec);
-    }
-    return names;
+        "                   this snapshot file\n"
+        "  --workers N      run the sweep through N tarantula_worker\n"
+        "                   processes over the --manifest directory\n"
+        "                   (requires --manifest; report is\n"
+        "                   byte-identical to --jobs N)\n"
+        "  --worker-bin P   tarantula_worker executable (default:\n"
+        "                   next to this binary)\n");
 }
 
 void
@@ -155,23 +168,15 @@ parseU64(const std::string &arg, const std::string &value)
 int
 run(int argc, char **argv)
 {
-    std::string machines_spec = "T";
-    std::string workloads_spec = "all";
-    std::string cores_spec = "1";
+    sim::SweepOptions sweep;
     std::string json_file;
     unsigned jobs = 0;
-    bool no_pump = false;
-    bool force_crbox = false;
-    bool check = false;
-    bool fast_forward = true;
     bool quiet = false;
-    std::uint64_t deadlock_cycles = 0;
-    std::uint64_t max_cycles = 8ULL << 30;
     std::string trace_dir;
-    std::uint64_t sample_every = 0;
-    std::string sample_stats;
     std::string manifest_dir;
     std::string warm_from;
+    unsigned workers = 0;
+    std::string worker_bin;
 
     // Accept --opt=value alongside --opt value: split at the first
     // '=' so both spellings hit the same parser below.
@@ -196,37 +201,43 @@ run(int argc, char **argv)
             return args[++i];
         };
         if (arg == "--machines") {
-            machines_spec = next();
+            sweep.machines = next();
         } else if (arg == "--workloads") {
-            workloads_spec = next();
+            sweep.workloads = next();
         } else if (arg == "--cores") {
-            cores_spec = next();
+            sweep.cores = next();
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(parseU64(arg, next()));
         } else if (arg == "--json") {
             json_file = next();
         } else if (arg == "--no-pump") {
-            no_pump = true;
+            sweep.noPump = true;
         } else if (arg == "--force-crbox") {
-            force_crbox = true;
+            sweep.forceCrBox = true;
         } else if (arg == "--max-cycles") {
-            max_cycles = parseU64(arg, next());
+            sweep.maxCycles = parseU64(arg, next());
+        } else if (arg == "--faults") {
+            sweep.faults = next();
         } else if (arg == "--check") {
-            check = true;
+            sweep.check = true;
         } else if (arg == "--no-fast-forward") {
-            fast_forward = false;
+            sweep.fastForward = false;
         } else if (arg == "--deadlock-cycles") {
-            deadlock_cycles = parseU64(arg, next());
+            sweep.deadlockCycles = parseU64(arg, next());
         } else if (arg == "--trace-dir") {
             trace_dir = next();
         } else if (arg == "--sample-every") {
-            sample_every = parseU64(arg, next());
+            sweep.sampleEvery = parseU64(arg, next());
         } else if (arg == "--sample-stats") {
-            sample_stats = next();
+            sweep.sampleStats = next();
         } else if (arg == "--manifest") {
             manifest_dir = next();
         } else if (arg == "--warm-from") {
             warm_from = next();
+        } else if (arg == "--workers") {
+            workers = static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--worker-bin") {
+            worker_bin = next();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -241,52 +252,6 @@ run(int argc, char **argv)
         }
     }
 
-    std::vector<std::string> machines;
-    if (machines_spec == "all")
-        machines = proc::machineNames();
-    else
-        machines = splitCsv(machines_spec);
-    const std::vector<std::string> names =
-        workloadNames(workloads_spec);
-    if (machines.empty() || names.empty())
-        fatal("empty sweep: no machines or no workloads selected");
-
-    std::vector<unsigned> core_counts;
-    for (const auto &c : splitCsv(cores_spec)) {
-        const unsigned n =
-            static_cast<unsigned>(parseU64("--cores", c));
-        if (n == 0)
-            fatal("--cores entries need at least 1");
-        core_counts.push_back(n);
-    }
-    if (core_counts.empty())
-        fatal("empty --cores list");
-
-    // Validate the spec up front so a typo fails fast rather than as
-    // N failed jobs deep into the sweep. A '+'-joined entry is a
-    // per-core placement list: validate each member name.
-    for (const auto &m : machines)
-        proc::machineByName(m);
-    for (const auto &n : names) {
-        std::stringstream ss(n);
-        std::string member;
-        bool placement = n.find('+') != std::string::npos;
-        while (std::getline(ss, member, '+'))
-            workloads::byName(member);
-        if (placement) {
-            // A placement needs >= 2 cores; in a mixed grid the 1-core
-            // points are simply skipped below, but a placement that
-            // could NEVER run is a spec error.
-            bool runnable = false;
-            for (unsigned c : core_counts)
-                runnable |= c > 1;
-            if (!runnable) {
-                fatal("placement list '%s' needs --cores > 1",
-                      n.c_str());
-            }
-        }
-    }
-
     if (!trace_dir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(trace_dir, ec);
@@ -294,36 +259,23 @@ run(int argc, char **argv)
             fatal("cannot create '%s': %s", trace_dir.c_str(),
                   ec.message().c_str());
     }
+    sweep.trace = !trace_dir.empty();
 
+    // The shared sweep module does the spec validation and grid
+    // expansion -- the same code path tarantula_farm and
+    // tarantula_worker execute, so the three drivers cannot drift.
     std::vector<sim::Job> grid;
-    for (unsigned c : core_counts) {
-    for (const auto &m : machines) {
-        for (const auto &n : names) {
-            // Placement lists have no 1-core meaning: skip the point.
-            if (c == 1 && n.find('+') != std::string::npos)
-                continue;
-            sim::Job job;
-            job.machine = m;
-            // The Job carries placement lists comma-separated; the
-            // CLI uses '+' so the list survives splitCsv above.
-            job.workload = n;
-            for (char &ch : job.workload) {
-                if (ch == '+')
-                    ch = ',';
-            }
-            job.cores = c;
-            job.noPump = no_pump;
-            job.forceCrBox = force_crbox;
-            job.check = check;
-            job.fastForward = fast_forward;
-            job.deadlockCycles = deadlock_cycles;
-            job.maxCycles = max_cycles;
-            job.trace = !trace_dir.empty();
-            job.sampleEvery = sample_every;
-            job.sampleStats = sample_stats;
-            grid.push_back(job);
-        }
+    try {
+        grid = sim::buildSweep(sweep);
+    } catch (const std::invalid_argument &e) {
+        fatal("%s", e.what());
     }
+    std::set<std::string> machine_set, name_set;
+    std::set<unsigned> core_set;
+    for (const auto &job : grid) {
+        machine_set.insert(job.machine);
+        name_set.insert(job.workload);
+        core_set.insert(job.cores);
     }
 
     if (!warm_from.empty()) {
@@ -355,6 +307,90 @@ run(int argc, char **argv)
                      matched, grid.size());
     }
 
+    if (workers > 0) {
+        // Distributed execution: pin the sweep into the manifest
+        // directory and drive it entirely through tarantula_worker
+        // processes -- the same lease protocol tarantula_farm uses,
+        // behind this CLI. The report comes out byte-identical to an
+        // in-process `--jobs workers` run over the same manifest.
+        if (manifest_dir.empty())
+            fatal("--workers requires --manifest DIR");
+        if (!trace_dir.empty())
+            fatal("--workers cannot collect --trace-dir traces; "
+                  "records only");
+        std::vector<sim::Job> pinned;
+        try {
+            pinned = sim::declareSweep(manifest_dir, grid);
+        } catch (const std::invalid_argument &e) {
+            fatal("%s", e.what());
+        }
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGINT, onSignal);
+
+        farm::WorkerCommand cmd;
+        cmd.binPath = worker_bin.empty()
+            ? farm::selfExeDir() + "/tarantula_worker"
+            : worker_bin;
+        cmd.dir = manifest_dir;
+        unsigned next_name = 0;
+        std::vector<pid_t> pids;
+        auto spawnOne = [&] {
+            cmd.name = "w" + std::to_string(++next_name);
+            pids.push_back(farm::spawnWorker(cmd));
+        };
+        for (unsigned i = 0; i < workers; ++i)
+            spawnOne();
+        std::fprintf(stderr,
+                     "simfarm: %zu jobs through %u worker "
+                     "processes over %s\n",
+                     pinned.size(), workers, manifest_dir.c_str());
+
+        bool draining = false;
+        for (;;) {
+            farm::reapExited(pids);
+            if (g_signals && !draining) {
+                draining = true;
+                for (pid_t pid : pids)
+                    farm::drainWorker(pid);
+                std::fprintf(stderr,
+                             "simfarm: interrupted; draining "
+                             "workers (rerun to resume)\n");
+            }
+            if (draining) {
+                if (pids.empty())
+                    return 130;
+            } else if (farm::scanFarm(manifest_dir).complete()) {
+                break;
+            } else if (pids.empty()) {
+                // Workers died with work left: keep the sweep live.
+                spawnOne();
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+        while (!pids.empty()) {
+            farm::reapExited(pids);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+
+        std::ostringstream report;
+        if (!farm::writeFarmReport(report, manifest_dir, workers))
+            fatal("sweep complete but records missing");
+        if (json_file.empty()) {
+            std::cout << report.str();
+        } else {
+            std::ofstream out(json_file);
+            if (!out)
+                fatal("cannot open '%s'", json_file.c_str());
+            out << report.str();
+            std::fprintf(stderr, "simfarm: report written to %s\n",
+                         json_file.c_str());
+        }
+        const farm::FarmStatus st = farm::scanFarm(manifest_dir);
+        return st.ok == st.total ? 0 : 1;
+    }
+
     // The manifest resume pass: jobs with a stored record are never
     // re-run; their records splice into the report verbatim.
     std::optional<sim::BatchManifest> manifest;
@@ -377,6 +413,9 @@ run(int argc, char **argv)
     }
 
     sim::SimFarm farm(jobs);
+    g_farm = &farm;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
     std::vector<std::size_t> submitted;     // farm index -> grid index
     for (std::size_t i = 0; i < grid.size(); ++i) {
         if (!stored[i]) {
@@ -385,18 +424,19 @@ run(int argc, char **argv)
         }
     }
 
-    if (core_counts.size() == 1 && core_counts[0] == 1) {
+    if (core_set.size() == 1 && *core_set.begin() == 1) {
         std::fprintf(stderr,
                      "simfarm: %zu jobs (%zu machines x %zu "
                      "workloads) on %u threads\n",
-                     farm.pending(), machines.size(), names.size(),
-                     farm.threads());
+                     farm.pending(), machine_set.size(),
+                     name_set.size(), farm.threads());
     } else {
         std::fprintf(stderr,
                      "simfarm: %zu jobs (%zu machines x %zu "
                      "workloads x %zu core counts) on %u threads\n",
-                     farm.pending(), machines.size(), names.size(),
-                     core_counts.size(), farm.threads());
+                     farm.pending(), machine_set.size(),
+                     name_set.size(), core_set.size(),
+                     farm.threads());
     }
 
     auto progress = [&](const sim::JobResult &r, std::size_t done,
@@ -413,9 +453,21 @@ run(int argc, char **argv)
                      r.hostSeconds);
     };
     const sim::BatchResult batch = farm.run(progress);
+    g_farm = nullptr;
     for (std::size_t k = 0; k < submitted.size(); ++k)
         records[submitted[k]] =
             sim::toBatchRecord(batch.jobs[k], manifest.has_value());
+
+    if (g_signals && manifest) {
+        // In-flight jobs stored cleanly; undispatched ones have no
+        // record. A partial report would be misleading -- resume
+        // instead.
+        std::fprintf(stderr,
+                     "simfarm: interrupted; completed records are in "
+                     "%s; rerun the same command to resume\n",
+                     manifest_dir.c_str());
+        return 130;
+    }
 
     if (!trace_dir.empty()) {
         std::size_t written = 0;
@@ -473,6 +525,8 @@ run(int argc, char **argv)
         std::fprintf(stderr, "simfarm: report written to %s\n",
                      json_file.c_str());
     }
+    if (g_signals)
+        return 130;     // report written, but the sweep is partial
     bool all_ok = batch.allOk();
     if (manifest) {
         all_ok = true;

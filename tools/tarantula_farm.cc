@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Farm orchestrator: declare a sweep in a shared directory, spawn N
+ * tarantula_worker processes over it, watch them, and assemble the
+ * final report (DESIGN.md §12).
+ *
+ *   tarantula_farm --dir DIR [--workers N] [sweep spec options]
+ *                  [--json FILE] [--chaos] [--status] [--report]
+ *
+ * The sweep spec options mirror tarantula_batch (--machines,
+ * --workloads, --cores, --no-pump, --force-crbox, --check,
+ * --no-fast-forward, --deadlock-cycles, --max-cycles, --faults,
+ * --sample-every, --sample-stats); the expanded job list is pinned
+ * into DIR/sweep.json so every worker -- and every later restart of
+ * the orchestrator -- executes the identical grid.
+ *
+ * The orchestrator is itself crash-tolerant plumbing, not a
+ * coordinator: all coordination lives in the directory's lease files.
+ * Killing and restarting tarantula_farm resumes the sweep; pointing a
+ * plain `tarantula_batch --manifest DIR` at the directory finishes it
+ * serially with byte-identical output.
+ *
+ * --chaos is the self-test mode: a seeded RNG periodically SIGKILLs a
+ * random worker and spawns a replacement, proving the kill-anywhere
+ * guarantee live. --status prints one dashboard snapshot; --report
+ * assembles the report from an existing (complete) directory.
+ *
+ * Exit codes: 0 = sweep complete, every job ok; 1 = complete with
+ * failures/timeouts; 2 = usage or environment error; 130 = interrupted.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "farm/spawn.hh"
+#include "farm/status.hh"
+#include "sim/sweep.hh"
+
+using namespace tarantula;
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signals = 0;
+
+void
+onSignal(int)
+{
+    g_signals = g_signals + 1;  // no volatile ++ in C++20
+    if (g_signals >= 2)
+        ::_exit(130);
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: tarantula_farm --dir DIR [options]\n"
+        "  --dir DIR        shared farm directory (required)\n"
+        "  --workers N      worker processes to spawn (default 2)\n"
+        "  --json FILE      write the final batch report there\n"
+        "                   instead of stdout\n"
+        "sweep spec (pinned into DIR/sweep.json on first run):\n"
+        "  --machines LIST  comma-separated Table 3 names, or 'all'\n"
+        "                   (default T)\n"
+        "  --workloads LIST 'all', 'micro', 'figure', or a name list\n"
+        "                   (default all); entries may be '+'-joined\n"
+        "                   per-core placement lists\n"
+        "  --cores LIST     comma-separated core counts (default 1)\n"
+        "  --no-pump | --force-crbox | --check | --no-fast-forward\n"
+        "  --deadlock-cycles N | --max-cycles N | --faults SPEC\n"
+        "  --sample-every N | --sample-stats PREFIXES\n"
+        "worker tuning (forwarded to every spawned worker):\n"
+        "  --worker-bin PATH  tarantula_worker executable (default:\n"
+        "                   next to this binary)\n"
+        "  --slice-cycles N | --checkpoint-every S\n"
+        "  --lease-timeout S | --max-failures K\n"
+        "  --max-crashes K | --backoff-base S | --backoff-cap S\n"
+        "modes:\n"
+        "  --chaos          self-test: SIGKILL a random worker every\n"
+        "                   --chaos-interval seconds (default 0.5),\n"
+        "                   respawning replacements, until the sweep\n"
+        "                   completes\n"
+        "  --chaos-seed N   chaos RNG seed (default 1)\n"
+        "  --chaos-interval S\n"
+        "  --status         print one dashboard snapshot and exit\n"
+        "  --report         assemble the report from DIR and exit\n"
+        "  --refresh S      dashboard refresh period (default 2)\n"
+        "  --quiet          no dashboard on stderr\n"
+        "  --verbose        pass --verbose to workers\n");
+}
+
+std::uint64_t
+parseU64(const std::string &arg, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("invalid number '%s' for %s", value.c_str(),
+              arg.c_str());
+    }
+}
+
+double
+parseSeconds(const std::string &arg, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size() || v < 0.0)
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("invalid number '%s' for %s", value.c_str(),
+              arg.c_str());
+    }
+}
+
+int
+reportExitCode(const farm::FarmStatus &st)
+{
+    return st.ok == st.total ? 0 : 1;
+}
+
+int
+run(int argc, char **argv)
+{
+    std::string dir;
+    std::string json_file;
+    unsigned workers = 2;
+    sim::SweepOptions sweep;
+    farm::WorkerCommand worker_cmd;
+    bool chaos = false;
+    std::uint64_t chaos_seed = 1;
+    double chaos_interval = 0.5;
+    bool status_only = false;
+    bool report_only = false;
+    double refresh = 2.0;
+    bool quiet = false;
+
+    // Accept --opt=value alongside --opt value.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const std::size_t eq = a.find('=');
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-' &&
+            eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string arg = args[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                fatal("missing value for %s", arg.c_str());
+            return args[++i];
+        };
+        if (arg == "--dir") {
+            dir = next();
+        } else if (arg == "--workers") {
+            workers = static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--json") {
+            json_file = next();
+        } else if (arg == "--machines") {
+            sweep.machines = next();
+        } else if (arg == "--workloads") {
+            sweep.workloads = next();
+        } else if (arg == "--cores") {
+            sweep.cores = next();
+        } else if (arg == "--no-pump") {
+            sweep.noPump = true;
+        } else if (arg == "--force-crbox") {
+            sweep.forceCrBox = true;
+        } else if (arg == "--check") {
+            sweep.check = true;
+        } else if (arg == "--no-fast-forward") {
+            sweep.fastForward = false;
+        } else if (arg == "--deadlock-cycles") {
+            sweep.deadlockCycles = parseU64(arg, next());
+        } else if (arg == "--max-cycles") {
+            sweep.maxCycles = parseU64(arg, next());
+        } else if (arg == "--faults") {
+            sweep.faults = next();
+        } else if (arg == "--sample-every") {
+            sweep.sampleEvery = parseU64(arg, next());
+        } else if (arg == "--sample-stats") {
+            sweep.sampleStats = next();
+        } else if (arg == "--worker-bin") {
+            worker_cmd.binPath = next();
+        } else if (arg == "--slice-cycles") {
+            worker_cmd.sliceCycles = parseU64(arg, next());
+        } else if (arg == "--checkpoint-every") {
+            worker_cmd.checkpointSeconds = parseSeconds(arg, next());
+        } else if (arg == "--lease-timeout") {
+            worker_cmd.leaseTimeoutSeconds =
+                parseSeconds(arg, next());
+        } else if (arg == "--max-failures") {
+            worker_cmd.maxFailures =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--max-crashes") {
+            worker_cmd.maxCrashes =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--backoff-base") {
+            worker_cmd.backoffBaseSeconds =
+                parseSeconds(arg, next());
+        } else if (arg == "--backoff-cap") {
+            worker_cmd.backoffCapSeconds = parseSeconds(arg, next());
+        } else if (arg == "--chaos") {
+            chaos = true;
+        } else if (arg == "--chaos-seed") {
+            chaos_seed = parseU64(arg, next());
+        } else if (arg == "--chaos-interval") {
+            chaos_interval = parseSeconds(arg, next());
+        } else if (arg == "--status") {
+            status_only = true;
+        } else if (arg == "--report") {
+            report_only = true;
+        } else if (arg == "--refresh") {
+            refresh = parseSeconds(arg, next());
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--verbose") {
+            worker_cmd.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (dir.empty()) {
+        usage();
+        fatal("--dir is required");
+    }
+    if (workers == 0)
+        fatal("--workers needs at least 1");
+
+    if (status_only) {
+        const farm::FarmStatus st = farm::scanFarm(dir);
+        farm::writeDashboard(std::cerr, st);
+        return st.complete() ? reportExitCode(st) : 0;
+    }
+    if (report_only) {
+        std::ostringstream report;
+        if (!farm::writeFarmReport(report, dir, workers)) {
+            std::fprintf(stderr,
+                         "farm: sweep in %s is incomplete; no report\n",
+                         dir.c_str());
+            return 2;
+        }
+        if (json_file.empty()) {
+            std::cout << report.str();
+        } else {
+            std::ofstream out(json_file);
+            if (!out)
+                fatal("cannot open '%s'", json_file.c_str());
+            out << report.str();
+        }
+        return reportExitCode(farm::scanFarm(dir));
+    }
+
+    // Pin the sweep (idempotent across restarts; a conflicting sweep
+    // in the same directory is refused).
+    const std::vector<sim::Job> jobs =
+        sim::declareSweep(dir, sim::buildSweep(sweep));
+    std::fprintf(stderr, "farm: %zu jobs pinned in %s\n", jobs.size(),
+                 dir.c_str());
+
+    if (worker_cmd.binPath.empty()) {
+        worker_cmd.binPath =
+            farm::selfExeDir() + "/tarantula_worker";
+    }
+    worker_cmd.dir = dir;
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    unsigned next_worker = 0;
+    std::vector<pid_t> pids;
+    auto spawnOne = [&] {
+        farm::WorkerCommand cmd = worker_cmd;
+        cmd.name = "w" + std::to_string(++next_worker);
+        const pid_t pid = farm::spawnWorker(cmd);
+        pids.push_back(pid);
+        if (!quiet) {
+            std::fprintf(stderr, "farm: spawned %s (pid %d)\n",
+                         cmd.name.c_str(), pid);
+        }
+    };
+    for (unsigned i = 0; i < workers; ++i)
+        spawnOne();
+
+    std::mt19937_64 rng(chaos_seed);
+    auto now = [] { return std::chrono::steady_clock::now(); };
+    auto last_dash = now() - std::chrono::hours(1);
+    auto last_chaos = now();
+    bool draining = false;
+
+    for (;;) {
+        for (const auto &r : farm::reapExited(pids)) {
+            if (quiet)
+                continue;
+            if (WIFSIGNALED(r.status)) {
+                std::fprintf(stderr,
+                             "farm: worker pid %d killed by signal "
+                             "%d\n", r.pid, WTERMSIG(r.status));
+            } else {
+                std::fprintf(stderr,
+                             "farm: worker pid %d exited %d\n",
+                             r.pid, WEXITSTATUS(r.status));
+            }
+        }
+
+        if (g_signals && !draining) {
+            // Graceful shutdown: drain the workers (they park
+            // in-flight jobs), then exit without a report; the
+            // directory resumes later.
+            draining = true;
+            for (pid_t pid : pids)
+                farm::drainWorker(pid);
+            std::fprintf(stderr,
+                         "farm: interrupted; draining %zu workers\n",
+                         pids.size());
+        }
+        if (draining && pids.empty()) {
+            std::fprintf(stderr,
+                         "farm: drained; resume with the same "
+                         "command line\n");
+            return 130;
+        }
+
+        const farm::FarmStatus st = farm::scanFarm(dir);
+        if (st.complete() && !draining)
+            break;
+
+        if (!draining) {
+            if (chaos && !pids.empty() &&
+                std::chrono::duration<double>(now() - last_chaos)
+                        .count() >= chaos_interval) {
+                last_chaos = now();
+                const std::size_t victim = rng() % pids.size();
+                if (!quiet) {
+                    std::fprintf(stderr,
+                                 "farm: chaos SIGKILL pid %d\n",
+                                 pids[victim]);
+                }
+                farm::killWorker(pids[victim]);
+                // Keep the fleet at strength; degraded operation is
+                // tested by the window between kill and respawn.
+                spawnOne();
+            }
+            // Liveness: the fleet must never die out with work left.
+            if (pids.empty())
+                spawnOne();
+        }
+
+        if (!quiet &&
+            std::chrono::duration<double>(now() - last_dash)
+                    .count() >= refresh) {
+            last_dash = now();
+            farm::writeDashboard(std::cerr, st);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // Sweep complete: workers exit on their own; collect them.
+    while (!pids.empty()) {
+        farm::reapExited(pids);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    const farm::FarmStatus st = farm::scanFarm(dir);
+    if (!quiet)
+        farm::writeDashboard(std::cerr, st);
+
+    std::ostringstream report;
+    if (!farm::writeFarmReport(report, dir, workers))
+        fatal("farm: sweep complete but records missing");
+    if (json_file.empty()) {
+        std::cout << report.str();
+    } else {
+        std::ofstream out(json_file);
+        if (!out)
+            fatal("cannot open '%s'", json_file.c_str());
+        out << report.str();
+        std::fprintf(stderr, "farm: report written to %s\n",
+                     json_file.c_str());
+    }
+    return reportExitCode(st);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 2; // fatal() already printed the message
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * One farm worker process (DESIGN.md §12).
+ *
+ *   tarantula_worker --dir DIR [--name N] [--slice-cycles N]
+ *                    [--lease-timeout S] [--max-failures K]
+ *                    [--max-crashes K] [--backoff-base S]
+ *                    [--backoff-cap S] [--verbose]
+ *
+ * Claims jobs from DIR's pinned sweep via atomic lease files, runs
+ * them in heartbeat-renewing slices, and publishes deterministic
+ * records through the shared BatchManifest. Any number of workers may
+ * point at the same directory, from any number of processes or hosts
+ * sharing it; any of them may be SIGKILLed at any instant.
+ *
+ * SIGTERM or SIGINT drains cooperatively: the in-flight job is
+ * parked as a snapshot for another worker to adopt, the lease is
+ * released, and the process exits 3. A second signal force-exits
+ * (the lease then goes stale and is reclaimed -- the path a SIGKILL
+ * takes from the start).
+ *
+ * Exit codes: 0 = the whole sweep has stored records; 3 = drained by
+ * signal; 2 = bad usage or a broken farm directory.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "base/fsutil.hh"
+#include "base/logging.hh"
+#include "farm/worker.hh"
+
+using namespace tarantula;
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signals = 0;
+
+void
+onSignal(int)
+{
+    g_signals = g_signals + 1;  // no volatile ++ in C++20
+    if (g_signals >= 2)
+        ::_exit(130);
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: tarantula_worker --dir DIR [options]\n"
+        "  --dir DIR          the farm directory (required); must\n"
+        "                     hold a sweep.json (tarantula_farm or\n"
+        "                     tarantula_batch --workers writes one)\n"
+        "  --name N           owner stamp in leases (default\n"
+        "                     worker<pid>)\n"
+        "  --slice-cycles N   cycles per heartbeat/drain poll slice\n"
+        "                     (default 4194304)\n"
+        "  --checkpoint-every S  park a self-checkpoint of the\n"
+        "                     running job every S seconds so a kill\n"
+        "                     loses at most S seconds of progress\n"
+        "                     (default 5; 0 disables)\n"
+        "  --lease-timeout S  heartbeat age before a lease is\n"
+        "                     presumed orphaned (default 10)\n"
+        "  --max-failures K   failed attempts before quarantine\n"
+        "                     (default 3)\n"
+        "  --max-crashes K    lease reclaims before quarantine\n"
+        "                     (default 3)\n"
+        "  --backoff-base S   first retry delay (default 0.25)\n"
+        "  --backoff-cap S    retry delay ceiling (default 10)\n"
+        "  --verbose          per-job progress lines on stderr\n");
+}
+
+double
+parseSeconds(const std::string &arg, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size() || v < 0.0)
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("invalid number '%s' for %s", value.c_str(),
+              arg.c_str());
+    }
+}
+
+std::uint64_t
+parseU64(const std::string &arg, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("invalid number '%s' for %s", value.c_str(),
+              arg.c_str());
+    }
+}
+
+int
+run(int argc, char **argv)
+{
+    farm::WorkerOptions options;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--dir") {
+            options.dir = next();
+        } else if (arg == "--name") {
+            options.name = next();
+        } else if (arg == "--slice-cycles") {
+            options.sliceCycles = parseU64(arg, next());
+        } else if (arg == "--checkpoint-every") {
+            options.checkpointSeconds = parseSeconds(arg, next());
+        } else if (arg == "--lease-timeout") {
+            options.leaseTimeoutSeconds = parseSeconds(arg, next());
+        } else if (arg == "--max-failures") {
+            options.maxFailures =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--max-crashes") {
+            options.maxCrashes =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--backoff-base") {
+            options.backoffBaseSeconds = parseSeconds(arg, next());
+        } else if (arg == "--backoff-cap") {
+            options.backoffCapSeconds = parseSeconds(arg, next());
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (options.dir.empty()) {
+        usage();
+        fatal("--dir is required");
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    options.stopRequested = [] { return g_signals != 0; };
+    if (verbose) {
+        const std::string tag = options.name.empty()
+            ? "worker" + std::to_string(::getpid())
+            : options.name;
+        options.log = [tag](const std::string &line) {
+            std::fprintf(stderr, "%s: %s\n", tag.c_str(),
+                         line.c_str());
+        };
+    }
+
+    const farm::WorkerExit why = farm::runWorker(options);
+    if (why == farm::WorkerExit::Drained) {
+        std::fprintf(stderr, "worker: drained by signal\n");
+        return 3;
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 2; // fatal() already printed the message
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}
