@@ -1,0 +1,185 @@
+#include "fuzzgen/fuzzgen.hh"
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "program/assembler.hh"
+#include "snap/snapshot.hh"
+
+namespace tarantula::fuzzgen
+{
+
+using namespace tarantula::program;
+
+program::Program
+generate(std::uint64_t seed, bool with_vector, unsigned vl)
+{
+    Random rng(seed);
+    Assembler a;
+
+    // r20 = region base; r21 = gather base; registers r1..r8 are data.
+    a.movi(R(20), static_cast<std::int64_t>(Region));
+    a.movi(R(21), static_cast<std::int64_t>(Region + 512 * 1024));
+    for (unsigned r = 1; r <= 8; ++r)
+        a.movi(R(r), static_cast<std::int64_t>(rng.below(1 << 20)));
+    a.fconst(F(1), rng.real(0.5, 2.0), R(19));
+    if (with_vector) {
+        a.setvl(static_cast<std::int64_t>(vl));
+        a.setvs(8);
+    }
+
+    // A bounded outer loop wraps a random instruction soup.
+    Label loop = a.newLabel();
+    a.movi(R(18), static_cast<std::int64_t>(2 + rng.below(3)));
+    a.bind(loop);
+
+    const unsigned body = 12 + static_cast<unsigned>(rng.below(20));
+    for (unsigned n = 0; n < body; ++n) {
+        const auto rd = R(1 + static_cast<unsigned>(rng.below(8)));
+        const auto ra = R(1 + static_cast<unsigned>(rng.below(8)));
+        const auto rb = R(1 + static_cast<unsigned>(rng.below(8)));
+        const auto vd = V(static_cast<unsigned>(rng.below(8)));
+        const auto va = V(static_cast<unsigned>(rng.below(8)));
+        const auto vb = V(static_cast<unsigned>(rng.below(8)));
+        const std::int64_t off = static_cast<std::int64_t>(
+            rng.below(4096) * 8);
+
+        switch (rng.below(with_vector ? 14 : 7)) {
+          case 0:
+            a.addq(rd, ra, rb);
+            break;
+          case 1:
+            a.mulq(rd, ra,
+                   static_cast<std::int64_t>(rng.below(1000)));
+            break;
+          case 2:
+            a.xor_(rd, ra, rb);
+            break;
+          case 3:
+            a.srl(rd, ra, static_cast<std::int64_t>(rng.below(32)));
+            break;
+          case 4:       // scalar store then load (aligned, in region)
+            a.stq(ra, off, R(20));
+            a.ldq(rd, off, R(20));
+            break;
+          case 5:
+            a.stt(F(1), off, R(20));
+            a.ldt(F(2), off, R(20));
+            a.addt(F(1), F(1), F(2));
+            break;
+          case 6: {     // short conditional skip
+            Label skip = a.newLabel();
+            a.and_(R(17), ra, std::int64_t(1));
+            a.beq(R(17), skip);
+            a.addq(rd, rd, std::int64_t(3));
+            a.bind(skip);
+            break;
+          }
+          case 7: {     // random vector length within the vl knob
+            a.setvl(static_cast<std::int64_t>(1 + rng.below(vl)));
+            break;
+          }
+          case 8: {     // strided load incl. hostile strides
+            static const std::int64_t strides[] = {8,     16,   24,
+                                                   -8,    256,  1024,
+                                                   8 * 33, 520, 64};
+            const std::int64_t vs =
+                strides[rng.below(sizeof(strides) /
+                                  sizeof(strides[0]))];
+            a.setvs(vs);
+            // Keep 128 * |vs| within the region, centered.
+            a.movi(R(16),
+                   static_cast<std::int64_t>(Region +
+                                             RegionBytes / 2));
+            a.vldq(vd, R(16));
+            a.setvs(8);
+            break;
+          }
+          case 9:       // stride-1 store
+            a.viota(vd);
+            a.vstq(vd, R(20), off);
+            break;
+          case 10: {    // gather via masked-in-region offsets
+            a.viota(vd);
+            a.vmulq(vd, vd,
+                    static_cast<std::int64_t>(rng.below(5000)));
+            a.vandq(vd, vd, static_cast<std::int64_t>(GatherMask));
+            a.vgathq(vb, vd, R(21));
+            break;
+          }
+          case 11: {    // scatter to lane-distinct addresses
+            a.viota(vd);
+            a.vsllq(vd, vd, 3);
+            a.vscatq(va, vd, R(21));
+            break;
+          }
+          case 12:      // masked arithmetic
+            a.vandq(V(9), va, std::int64_t(1));
+            a.setvm(V(9));
+            a.vaddq(vd, va, std::int64_t(17), /*m=*/true);
+            break;
+          case 13:      // vector FP
+            a.vaddt(vd, va, vb);
+            break;
+        }
+    }
+
+    a.subq(R(18), R(18), 1);
+    a.bgt(R(18), loop);
+    a.halt();
+    return a.finalize();
+}
+
+void
+seedMemory(exec::FunctionalMemory &mem, std::uint64_t seed)
+{
+    Random rng(seed ^ 0xfeed);
+    for (Addr a = Region; a < Region + RegionBytes; a += 512)
+        mem.writeQ(a, rng.next());
+}
+
+std::vector<std::uint64_t>
+regionSnapshot(exec::FunctionalMemory &mem)
+{
+    std::vector<std::uint64_t> v(RegionBytes / 8);
+    mem.read(Region, v.data(), RegionBytes);
+    return v;
+}
+
+std::uint64_t
+programDigest(const program::Program &prog)
+{
+    const std::string text = prog.disasm();
+    return snap::fnv1a(text.data(), text.size());
+}
+
+std::vector<std::string>
+variantNames()
+{
+    return {"T", "T4", "nopump", "crbox"};
+}
+
+Variant
+variantByName(const std::string &name)
+{
+    if (name == "T" || name == "T4")
+        return {name, name, false, false};
+    if (name == "nopump")
+        return {name, "T", true, false};
+    if (name == "crbox")
+        return {name, "T", false, true};
+    // Any plain Table 3 machine (validates the name as a side effect).
+    proc::machineByName(name);
+    return {name, name, false, false};
+}
+
+proc::MachineConfig
+variantConfig(const std::string &name)
+{
+    const Variant v = variantByName(name);
+    proc::MachineConfig cfg = proc::machineByName(v.machine);
+    cfg.vbox.slicer.pumpEnabled = !v.noPump;
+    cfg.vbox.slicer.forceCrBox = v.forceCrBox;
+    return cfg;
+}
+
+} // namespace tarantula::fuzzgen

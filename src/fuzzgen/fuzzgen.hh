@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The seeded differential-fuzz program generator (DESIGN.md §13).
+ *
+ * Extracted from tests/test_fuzz.cc so the same generator serves the
+ * ctest batteries, the fuzz/<seed> workload family and the
+ * tarantula_fuzz campaign driver. The generator contract is strict:
+ * for a fixed (seed, with_vector, vl) triple the generated program is
+ * a pure value -- identical across hosts, builds and time -- and at
+ * vl = DefaultVl the RNG consumption is byte-identical to the
+ * pre-extraction test generator, so every historical seed reproduces
+ * its historical program (pinned by the digest test in test_fuzz).
+ *
+ * Generated programs are random-but-valid: self-contained,
+ * always-terminating, confined to a 1 MB playground region, and
+ * exercising scalar ALU/memory traffic plus (when with_vector) hostile
+ * strides, gathers, scatters, masks and random vector lengths.
+ */
+
+#ifndef TARANTULA_FUZZGEN_FUZZGEN_HH
+#define TARANTULA_FUZZGEN_FUZZGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "program/program.hh"
+
+namespace tarantula::fuzzgen
+{
+
+/** The 1 MB playground every generated program is confined to. */
+constexpr Addr Region = 0x100000;
+constexpr Addr RegionBytes = 1 << 20;
+/** Gather offsets are masked into 64 KB, 8-byte aligned. */
+constexpr Addr GatherMask = 0xfff8;
+/** The vl every historical seed was generated with. */
+constexpr unsigned DefaultVl = 128;
+
+/**
+ * Generate a random, self-contained, always-terminating program.
+ *
+ * @param vl  Maximum vector length the program establishes and that
+ *        its random setvl instructions stay within. The RNG stream is
+ *        vl-independent (one below(vl) call per random-setvl site), so
+ *        sweeping vl varies strip lengths, never program shape.
+ */
+program::Program generate(std::uint64_t seed, bool with_vector,
+                          unsigned vl = DefaultVl);
+
+/** Write the seeded input image for @p seed into the playground. */
+void seedMemory(exec::FunctionalMemory &mem, std::uint64_t seed);
+
+/** Dump the playground region for result comparison. */
+std::vector<std::uint64_t> regionSnapshot(exec::FunctionalMemory &mem);
+
+/**
+ * FNV-1a digest over the disassembly of @p prog -- the seed-stream
+ * regression pin: a generator change that alters any historical
+ * program changes its digest.
+ */
+std::uint64_t programDigest(const program::Program &prog);
+
+/**
+ * The fuzz battery's machine variants: the Table 3 vector machines
+ * plus the ablation knobs ("T", "T4", "nopump", "crbox"). Any plain
+ * Table 3 machine name (e.g. "EV8") is also accepted, mapping to that
+ * machine with no knob overrides.
+ */
+std::vector<std::string> variantNames();
+
+/** A variant decomposed into Job-level knobs. */
+struct Variant
+{
+    std::string name;
+    std::string machine;      ///< Table 3 machine name
+    bool noPump = false;
+    bool forceCrBox = false;
+};
+
+/** Resolve a variant name (fatal on an unknown name). */
+Variant variantByName(const std::string &name);
+
+/** The variant's MachineConfig (the test batteries' configFor). */
+proc::MachineConfig variantConfig(const std::string &name);
+
+} // namespace tarantula::fuzzgen
+
+#endif // TARANTULA_FUZZGEN_FUZZGEN_HH

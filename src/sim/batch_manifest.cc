@@ -51,12 +51,24 @@ BatchManifest::jobKey(const Job &job)
     knobs.u64(job.sampleEvery);
     knobs.str(job.sampleStats);
     knobs.str(job.resumeFrom);
+    // The PR-8 knobs, only when set, so pre-existing manifest
+    // directories keep resuming under their old keys.
+    if (job.vl)
+        knobs.u32(job.vl);
+    if (job.selfResumeAt)
+        knobs.u64(job.selfResumeAt);
     const std::string bytes = os.str();
     const std::uint64_t hash = snap::fnv1a(bytes.data(), bytes.size());
 
     std::string stem = job.machine + "_" + job.workload;
     if (job.cores != 1)
         stem += "_c" + std::to_string(job.cores);
+    // Readable stem components for the sweepable fuzz/VL knobs (the
+    // hash already separates the keys; this keeps ls navigable).
+    if (job.seed)
+        stem += "_s" + std::to_string(job.seed);
+    if (job.vl)
+        stem += "_v" + std::to_string(job.vl);
     for (char &c : stem) {
         if (c == '+')
             c = 'p';            // EV8+ -> EV8p: filesystem-safe

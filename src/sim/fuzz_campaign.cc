@@ -1,0 +1,439 @@
+#include "sim/fuzz_campaign.hh"
+
+#include <filesystem>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/fsutil.hh"
+#include "check/fault_plan.hh"
+#include "fuzzgen/fuzzgen.hh"
+#include "proc/machine_config.hh"
+#include "sim/batch_manifest.hh"
+#include "sim/json.hh"
+#include "trace/json_reader.hh"
+
+namespace tarantula::sim
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, sep))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::invalid_argument("campaign: " + what);
+}
+
+/**
+ * Extract the raw bytes of a top-level `"key":{...}` member of a JSON
+ * object -- string-aware and depth-aware, so a key that also occurs
+ * inside nested objects (forensics embed whole sub-reports) is never
+ * matched. Empty when absent.
+ */
+std::string
+topLevelObject(const std::string &text, const std::string &key)
+{
+    bool in_str = false, escaped = false;
+    int depth = 0;
+    std::string last_str;
+    std::size_t str_start = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_str) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"') {
+                in_str = false;
+                last_str = text.substr(str_start, i - str_start);
+            }
+        } else if (c == '"') {
+            in_str = true;
+            str_start = i + 1;
+        } else if (c == '{') {
+            ++depth;
+        } else if (c == '}') {
+            --depth;
+        } else if (c == ':' && depth == 1 && last_str == key &&
+                   i + 1 < text.size() && text[i + 1] == '{') {
+            const std::size_t open = i + 1;
+            int d = 0;
+            bool s = false, e = false;
+            for (std::size_t j = open; j < text.size(); ++j) {
+                const char cc = text[j];
+                if (s) {
+                    if (e)
+                        e = false;
+                    else if (cc == '\\')
+                        e = true;
+                    else if (cc == '"')
+                        s = false;
+                } else if (cc == '"') {
+                    s = true;
+                } else if (cc == '{') {
+                    ++d;
+                } else if (cc == '}') {
+                    if (--d == 0)
+                        return text.substr(open, j - open + 1);
+                }
+            }
+            return {};
+        }
+    }
+    return {};
+}
+
+/** The mode-comparable view of one job record. */
+struct ModeView
+{
+    Job job;
+    std::string record;      ///< full tarantula.job.v1 bytes
+    std::string status;
+    std::string message;
+    std::string metrics;     ///< raw `"metrics"` object bytes ("" if none)
+    std::string stats;       ///< raw `"stats"` object bytes ("" if none)
+};
+
+ModeView
+loadMode(const BatchManifest &manifest, const Job &job)
+{
+    BatchRecord rec;
+    if (!manifest.load(job, rec)) {
+        bad("missing or damaged record for job '" +
+            BatchManifest::jobKey(job) +
+            "'; run the campaign jobs first");
+    }
+    ModeView view;
+    view.job = job;
+    view.record = rec.recordJson;
+    trace::JsonValue doc;
+    try {
+        doc = trace::parseJson(rec.recordJson);
+    } catch (const trace::JsonParseError &e) {
+        bad(std::string("unparsable record: ") + e.what());
+    }
+    if (const trace::JsonValue *v = doc.find("status");
+        v && v->isString())
+        view.status = v->str;
+    if (const trace::JsonValue *v = doc.find("message");
+        v && v->isString())
+        view.message = v->str;
+    view.metrics = topLevelObject(rec.recordJson, "metrics");
+    view.stats = topLevelObject(rec.recordJson, "stats");
+    return view;
+}
+
+/** First field on which @p a and @p b disagree; empty when none. */
+std::string
+firstDifference(const ModeView &a, const ModeView &b)
+{
+    if (a.status != b.status)
+        return "status";
+    if (a.message != b.message)
+        return "message";
+    if (a.metrics != b.metrics)
+        return "metrics";
+    if (a.stats != b.stats)
+        return "stats";
+    return {};
+}
+
+} // anonymous namespace
+
+std::vector<CampaignPoint>
+campaignPoints(const CampaignOptions &opt)
+{
+    if (opt.seedHi < opt.seedLo)
+        bad("empty seed range");
+    const std::vector<std::string> variants =
+        split(opt.variants, ',');
+    if (variants.empty())
+        bad("empty variant list");
+
+    // The clean plan always sweeps first: a campaign that never runs
+    // fault-free points could not tell an engine bug from a fault.
+    std::vector<std::string> plans{""};
+    for (const auto &p : split(opt.faultPlans, ';'))
+        plans.push_back(p);
+
+    std::vector<unsigned> vls;
+    for (const auto &v : split(opt.vls, ',')) {
+        try {
+            std::size_t pos = 0;
+            vls.push_back(
+                static_cast<unsigned>(std::stoul(v, &pos)));
+            if (pos != v.size())
+                throw std::invalid_argument(v);
+        } catch (const std::exception &) {
+            bad("invalid vl '" + v + "'");
+        }
+    }
+    if (vls.empty())
+        bad("empty vl list");
+
+    // Fail fast on any bad spec element, with the campaign prefix.
+    try {
+        for (const auto &v : variants)
+            fuzzgen::variantByName(v);
+        for (const auto &p : plans)
+            if (!p.empty())
+                check::FaultPlan::parse(p);
+        for (unsigned vl : vls) {
+            if (vl > MaxVectorLength)
+                bad("vl exceeds the machine maximum");
+        }
+    } catch (const std::invalid_argument &e) {
+        throw;
+    } catch (const std::exception &e) {
+        bad(e.what());
+    }
+
+    std::vector<CampaignPoint> points;
+    for (const auto &variant : variants) {
+        for (std::uint64_t seed = opt.seedLo; seed <= opt.seedHi;
+             ++seed) {
+            for (unsigned vl : vls) {
+                for (const auto &plan : plans)
+                    points.push_back({variant, seed, vl, plan});
+            }
+        }
+    }
+    return points;
+}
+
+std::vector<Job>
+pointJobs(const CampaignPoint &point, const CampaignOptions &opt)
+{
+    const fuzzgen::Variant variant =
+        fuzzgen::variantByName(point.variant);
+    Job base;
+    base.machine = variant.machine;
+    base.noPump = variant.noPump;
+    base.forceCrBox = variant.forceCrBox;
+    // Scalar machines fuzz the scalar generator: both prog slots of
+    // the family hold the same program, so the machine's slot choice
+    // never mixes programs.
+    base.workload = proc::machineByName(variant.machine).hasVbox
+                        ? "fuzz"
+                        : "fuzzs";
+    base.seed = point.seed;
+    base.vl = point.vl;
+    base.maxCycles = opt.maxCycles;
+    if (!point.faults.empty()) {
+        base.faults = point.faults;
+        base.check = true;
+        base.deadlockCycles = opt.deadlockCycles;
+    }
+
+    Job stepped = base;
+    stepped.fastForward = false;
+    Job ff = base;
+    ff.fastForward = true;
+    Job resume = ff;
+    // A seed-derived snapshot cycle, co-prime-ish with typical event
+    // periods; points that finish earlier simply never snapshot.
+    resume.selfResumeAt = 1 + (point.seed * 7919) % 50000;
+    return {stepped, ff, resume};
+}
+
+std::vector<Job>
+buildCampaign(const CampaignOptions &opt)
+{
+    std::vector<Job> jobs;
+    for (const auto &point : campaignPoints(opt)) {
+        for (auto &job : pointJobs(point, opt))
+            jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+const char *
+campaignModeName(std::size_t index)
+{
+    switch (index) {
+      case 0:  return "stepped";
+      case 1:  return "fastforward";
+      case 2:  return "resume";
+      default: return "unknown";
+    }
+}
+
+std::size_t
+writeCampaignReport(std::ostream &os, const std::string &dir,
+                    const CampaignOptions &opt)
+{
+    const std::vector<CampaignPoint> points = campaignPoints(opt);
+    const BatchManifest manifest(dir);
+
+    struct Divergence
+    {
+        CampaignPoint point;
+        std::string kind;        ///< "mode_mismatch" | "failure"
+        std::string detail;
+        std::vector<ModeView> modes;
+        std::size_t culprit = 0; ///< mode index whose record diverges
+    };
+    std::vector<Divergence> divergences;
+    std::size_t num_ok = 0;
+
+    for (const auto &point : points) {
+        const std::vector<Job> jobs = pointJobs(point, opt);
+        std::vector<ModeView> modes;
+        for (const auto &job : jobs)
+            modes.push_back(loadMode(manifest, job));
+
+        std::string kind, detail;
+        std::size_t culprit = 0;
+        for (std::size_t m = 1; m < modes.size(); ++m) {
+            const std::string field =
+                firstDifference(modes[0], modes[m]);
+            if (field.empty())
+                continue;
+            kind = "mode_mismatch";
+            detail = std::string(campaignModeName(m)) +
+                     " disagrees with stepped on " + field;
+            culprit = m;
+            break;
+        }
+        if (kind.empty() && modes[0].status != "ok") {
+            // All three engines agree the point dies -- the shape a
+            // corruption fault produces when its checker fires.
+            kind = "failure";
+            detail = modes[0].status + ": " + modes[0].message;
+            culprit = 0;
+        }
+        if (kind.empty()) {
+            ++num_ok;
+            continue;
+        }
+        divergences.push_back(
+            {point, kind, detail, std::move(modes), culprit});
+    }
+
+    // Forensic attachments: the diverging job re-runs with tracing so
+    // the report can point at a Chrome trace of the exact run. The
+    // re-run is deterministic, so rerunning the report rewrites the
+    // same bytes.
+    std::vector<std::string> trace_paths(divergences.size());
+    if (!divergences.empty()) {
+        std::error_code ec;
+        fs::create_directories(fs::path(dir) / "forensic", ec);
+        if (ec)
+            bad("cannot create forensic dir: " + ec.message());
+    }
+    for (std::size_t i = 0; i < divergences.size(); ++i) {
+        Job traced = divergences[i].modes[divergences[i].culprit].job;
+        traced.trace = true;
+        const JobResult rerun = runJob(traced);
+        const std::string rel =
+            "forensic/" +
+            BatchManifest::jobKey(divergences[i].modes[
+                divergences[i].culprit].job) +
+            ".trace.json";
+        if (!rerun.traceJson.empty()) {
+            try {
+                atomicPublish((fs::path(dir) / rel).string(),
+                              rerun.traceJson + "\n");
+                trace_paths[i] = rel;
+            } catch (const FsError &) {
+                // A lost trace degrades the report, never the verdict.
+            }
+        }
+    }
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(CampaignSchemaTag);
+
+    w.key("campaign").beginObject();
+    w.key("seedLo").value(opt.seedLo);
+    w.key("seedHi").value(opt.seedHi);
+    w.key("variants").beginArray();
+    for (const auto &v : split(opt.variants, ','))
+        w.value(v);
+    w.endArray();
+    w.key("faultPlans").beginArray();
+    w.value(std::string());
+    for (const auto &p : split(opt.faultPlans, ';'))
+        w.value(p);
+    w.endArray();
+    w.key("vls").beginArray();
+    for (const auto &v : split(opt.vls, ','))
+        w.value(static_cast<std::uint64_t>(std::stoull(v)));
+    w.endArray();
+    w.key("maxCycles").value(opt.maxCycles);
+    w.key("deadlockCycles").value(opt.deadlockCycles);
+    w.key("points").value(std::uint64_t{points.size()});
+    w.key("jobsPerPoint").value(std::uint64_t{3});
+    w.key("jobs").value(std::uint64_t{points.size() * 3});
+    w.endObject();
+
+    w.key("summary").beginObject();
+    w.key("points").value(std::uint64_t{points.size()});
+    w.key("ok").value(std::uint64_t{num_ok});
+    w.key("divergences").value(std::uint64_t{divergences.size()});
+    std::size_t mismatches = 0, failures = 0;
+    for (const auto &d : divergences)
+        (d.kind == "mode_mismatch" ? mismatches : failures) += 1;
+    w.key("modeMismatches").value(std::uint64_t{mismatches});
+    w.key("failures").value(std::uint64_t{failures});
+    w.endObject();
+
+    w.key("divergences").beginArray();
+    for (std::size_t i = 0; i < divergences.size(); ++i) {
+        const Divergence &d = divergences[i];
+        w.beginObject();
+        w.key("variant").value(d.point.variant);
+        w.key("machine").value(d.modes[0].job.machine);
+        w.key("workload").value(d.modes[0].job.workload);
+        w.key("seed").value(d.point.seed);
+        w.key("vl").value(d.point.vl);
+        w.key("faults").value(d.point.faults);
+        w.key("kind").value(d.kind);
+        w.key("detail").value(d.detail);
+        w.key("divergingMode")
+            .value(std::string(campaignModeName(d.culprit)));
+        w.key("modes").beginArray();
+        for (std::size_t m = 0; m < d.modes.size(); ++m) {
+            w.beginObject();
+            w.key("mode").value(std::string(campaignModeName(m)));
+            w.key("jobKey").value(
+                BatchManifest::jobKey(d.modes[m].job));
+            w.key("status").value(d.modes[m].status);
+            if (!d.modes[m].message.empty())
+                w.key("message").value(d.modes[m].message);
+            w.endObject();
+        }
+        w.endArray();
+        const std::string forensics =
+            topLevelObject(d.modes[d.culprit].record, "forensics");
+        if (!forensics.empty())
+            w.key("forensics").raw(forensics);
+        if (!trace_paths[i].empty())
+            w.key("trace").value(trace_paths[i]);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    os << "\n";
+    return divergences.size();
+}
+
+} // namespace tarantula::sim

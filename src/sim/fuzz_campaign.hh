@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The differential-fuzz campaign: the test_fuzz invariants promoted
+ * to a sweepable, farm-schedulable subsystem (DESIGN.md §13).
+ *
+ * A campaign expands a seed range x variant grid x fault-plan set x
+ * VL set into points, and every point into THREE jobs running the
+ * same generated program on the same machine through the three
+ * engine modes:
+ *
+ *   stepped      fastForward off -- every cycle simulated
+ *   fastforward  the quiescence fast-forward engine
+ *   resume       fast-forwarded, plus a mid-run snapshot / teardown /
+ *                restore at a seed-derived cycle (Job::selfResumeAt)
+ *
+ * By the checkpoint-stop contract all three must agree on status,
+ * message, metrics and the full stats tree; any disagreement is a
+ * "mode_mismatch" divergence (an engine bug). A point whose modes
+ * agree on a non-ok status is a "failure" divergence -- the shape a
+ * corruption fault plan produces when its paired integrity checker
+ * fires. The report writer auto-attaches the diverging record's
+ * forensics and re-runs the diverging job with tracing to leave a
+ * Chrome trace next to the records.
+ *
+ * Jobs are ordinary sim::Jobs keyed into the ordinary BatchManifest,
+ * so a campaign runs on anything that runs sweeps: in-process SimFarm
+ * threads or the distributed worker farm, resumable either way.
+ */
+
+#ifndef TARANTULA_SIM_FUZZ_CAMPAIGN_HH
+#define TARANTULA_SIM_FUZZ_CAMPAIGN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/job.hh"
+
+namespace tarantula::sim
+{
+
+/** Schema tag of the campaign report document. */
+inline constexpr const char *CampaignSchemaTag =
+    "tarantula.fuzzcampaign.v1";
+
+/** CLI-level campaign description (pure value). */
+struct CampaignOptions
+{
+    std::uint64_t seedLo = 1;    ///< first generator seed (inclusive)
+    std::uint64_t seedHi = 8;    ///< last generator seed (inclusive)
+    /**
+     * Comma-separated fuzzgen variant names: "T", "T4", "nopump",
+     * "crbox", or any plain Table 3 machine (a scalar machine fuzzes
+     * the scalar generator via the "fuzzs" family).
+     */
+    std::string variants = "T,T4,nopump,crbox";
+    /**
+     * Semicolon-separated FaultPlan::parse specs; the clean (empty)
+     * plan is always swept first and need not be listed. Fault points
+     * run with the integrity checkers armed and the campaign's
+     * deadlock watchdog.
+     */
+    std::string faultPlans;
+    /** Comma-separated VL knob values; 0 = the full machine VL. */
+    std::string vls = "0";
+    std::uint64_t maxCycles = 1ULL << 26;
+    std::uint64_t deadlockCycles = 500000;
+};
+
+/** One (variant, seed, vl, fault-plan) grid point. */
+struct CampaignPoint
+{
+    std::string variant;
+    std::uint64_t seed = 0;
+    unsigned vl = 0;
+    std::string faults;
+};
+
+/**
+ * Expand the options into the ordered point grid: variants major,
+ * then seeds, then VLs, then fault plans (clean first).
+ * @throws std::invalid_argument on a bad variant/vl/fault spec.
+ */
+std::vector<CampaignPoint> campaignPoints(const CampaignOptions &opt);
+
+/** The three mode jobs of one point, stepped/fastforward/resume. */
+std::vector<Job> pointJobs(const CampaignPoint &point,
+                           const CampaignOptions &opt);
+
+/** The full ordered job list (three per point, point-major). */
+std::vector<Job> buildCampaign(const CampaignOptions &opt);
+
+/** Stable mode names, indexed like pointJobs() ("stepped", ...). */
+const char *campaignModeName(std::size_t index);
+
+/**
+ * Analyze the finished campaign and write the
+ * tarantula.fuzzcampaign.v1 report to @p os.
+ *
+ * Every job's record is loaded from the BatchManifest under @p dir
+ * (missing or damaged records throw -- run the jobs first). For each
+ * divergence the report embeds the diverging record's forensics and
+ * re-runs the diverging job with tracing enabled, leaving the trace
+ * at `<dir>/forensic/<jobkey>.trace.json` (referenced by relative
+ * path, never embedded). The report is deterministic: a serial rerun
+ * over the same records produces byte-identical output.
+ *
+ * @return The number of divergences (the tool's exit status source).
+ * @throws std::invalid_argument when a record is missing or damaged.
+ */
+std::size_t writeCampaignReport(std::ostream &os,
+                                const std::string &dir,
+                                const CampaignOptions &opt);
+
+} // namespace tarantula::sim
+
+#endif // TARANTULA_SIM_FUZZ_CAMPAIGN_HH

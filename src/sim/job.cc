@@ -1,13 +1,17 @@
 #include "sim/job.hh"
 
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <exception>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include <unistd.h>
 
 #include "base/logging.hh"
 #include "check/fault_plan.hh"
@@ -19,6 +23,24 @@
 
 namespace tarantula::sim
 {
+
+namespace
+{
+
+/** A collision-free temp path for the self-resume snapshot: unique
+ *  per process AND per concurrent SimFarm thread. */
+std::string
+selfResumePath()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    std::ostringstream os;
+    os << std::filesystem::temp_directory_path().string()
+       << "/tarantula_selfresume_" << ::getpid() << "_"
+       << counter.fetch_add(1) << ".snap";
+    return os.str();
+}
+
+} // anonymous namespace
 
 const char *
 toString(JobStatus status)
@@ -110,8 +132,11 @@ runJobControlled(const Job &job, const RunControl &control,
         std::vector<const program::Program *> progs;
         std::vector<exec::FunctionalMemory *> memPtrs;
         for (unsigned i = 0; i < cores; ++i) {
-            ws.push_back(
-                workloads::byName(names[i % names.size()]));
+            // CMP fuzz jobs give every core its own program stream.
+            const std::uint64_t core_seed =
+                cores == 1 ? job.seed : job.seed * 16 + i;
+            ws.push_back(workloads::byName(names[i % names.size()],
+                                           core_seed, job.vl));
             mems.emplace_back();
             ws.back().init(mems.back());
             progs.push_back(cfg.hasVbox ? &ws.back().vectorProg
@@ -153,6 +178,24 @@ runJobControlled(const Job &job, const RunControl &control,
             // content the warmRanges loop would have seeded, and the
             // memory images init() wrote -- comes from the snapshot.
             cpu->restoreFrom(job.resumeFrom);
+        }
+
+        // Differential self-resume: run to the requested cycle, park
+        // the machine to a temp snapshot, rebuild it from scratch and
+        // restore -- then continue normally. By the checkpoint-stop
+        // contract the remainder computes exactly what a straight run
+        // would, so any difference the campaign report sees is a
+        // save/restore bug.
+        if (job.selfResumeAt && cpu->now() < job.selfResumeAt) {
+            result.run = cpu->run(job.maxCycles, job.selfResumeAt);
+            if (!cpu->finished()) {
+                const std::string tmp = selfResumePath();
+                cpu->snapshot(tmp, job.workload);
+                cpu = std::make_unique<sys::System>(cfg, progs,
+                                                    memPtrs);
+                cpu->restoreFrom(tmp);
+                std::filesystem::remove(tmp);
+            }
         }
 
         // The slice loop: run to the next slice boundary, renew the

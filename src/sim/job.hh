@@ -58,8 +58,29 @@ struct Job
     /** Deadlock-watchdog override; 0 keeps the machine default. */
     std::uint64_t deadlockCycles = 0;
     std::uint64_t maxCycles = 8ULL << 30; ///< simulated-cycle budget
-    std::uint64_t seed = 0;        ///< recorded in results; reserved for
-                                   ///< future randomized workloads
+    /**
+     * Workload seed: parameterizes the generated fuzz families
+     * ("fuzz"/"fuzzs"; on a CMP job core i derives seed*16+i) and is
+     * recorded in every result. Always part of the job key.
+     */
+    std::uint64_t seed = 0;
+    /**
+     * Vector-length knob for the VL-agnostic kernels (the RiVEC set
+     * and the fuzz families); 0 = the kernel default (full machine
+     * VL). Part of the job identity only when non-zero, so classic
+     * jobs keep their pre-VL keys and record bytes.
+     */
+    unsigned vl = 0;
+    /**
+     * Differential self-resume (the fuzz campaign's third engine
+     * mode): run to this absolute cycle, snapshot, tear the machine
+     * down, rebuild it from the snapshot and continue -- exercising
+     * mid-run save/restore on an ordinary job. 0 = off. Part of the
+     * job identity only when non-zero. By the checkpoint-stop
+     * contract the results must be byte-identical to a straight run;
+     * the campaign report flags any divergence.
+     */
+    std::uint64_t selfResumeAt = 0;
     // ---- observability (DESIGN.md §9); read-only, never perturbs ----
     bool trace = false;            ///< collect Chrome trace events
     std::uint64_t sampleEvery = 0; ///< stats snapshot interval; 0 = off

@@ -24,6 +24,9 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result,
     // bytes (same pattern as resumeFrom below).
     if (result.job.cores != 1)
         w.key("cores").value(result.job.cores);
+    // Only when set, so pre-VL records keep their exact old bytes.
+    if (result.job.vl)
+        w.key("vl").value(result.job.vl);
     w.key("noPump").value(result.job.noPump);
     w.key("forceCrBox").value(result.job.forceCrBox);
     w.key("check").value(result.job.check);
@@ -40,6 +43,8 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result,
     // Only when set, so cold-start records keep their exact old bytes.
     if (!result.job.resumeFrom.empty())
         w.key("resumeFrom").value(result.job.resumeFrom);
+    if (result.job.selfResumeAt)
+        w.key("selfResumeAt").value(result.job.selfResumeAt);
     w.endObject();
 
     w.key("status").value(toString(result.status));

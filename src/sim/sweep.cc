@@ -45,6 +45,9 @@ workloadNames(const std::string &spec)
     } else if (spec == "figure") {
         for (const auto &w : workloads::figureSuite())
             names.push_back(w.name);
+    } else if (spec == "rivec") {
+        for (const auto &w : workloads::rivecSuite())
+            names.push_back(w.name);
     } else {
         names = splitCsv(spec);
     }
@@ -104,6 +107,38 @@ boolean(const trace::JsonValue &obj, const char *key)
     return v.boolean;
 }
 
+/** Optional numeric field (PR-8 knobs): absent means the default, so
+ *  old sweep.json files still parse and old farm dirs still resume. */
+std::uint64_t
+u64Opt(const trace::JsonValue &obj, const char *key)
+{
+    const trace::JsonValue *v = obj.find(key);
+    if (!v)
+        return 0;
+    if (!v->isNumber())
+        bad(std::string("'") + key + "' is not a number");
+    return v->asU64();
+}
+
+std::vector<std::uint64_t>
+u64List(const std::string &csv, const char *what)
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &item : splitCsv(csv)) {
+        try {
+            std::size_t pos = 0;
+            out.push_back(std::stoull(item, &pos));
+            if (pos != item.size())
+                throw std::invalid_argument(item);
+        } catch (const std::exception &) {
+            bad(std::string("invalid ") + what + " '" + item + "'");
+        }
+    }
+    if (out.empty())
+        bad(std::string("empty ") + what + " list");
+    return out;
+}
+
 } // anonymous namespace
 
 std::vector<Job>
@@ -137,18 +172,28 @@ buildSweep(const SweepOptions &options)
     if (core_counts.empty())
         bad("empty cores list");
 
+    const std::vector<std::uint64_t> seeds =
+        u64List(options.seeds, "seed");
+    std::vector<unsigned> vls;
+    for (std::uint64_t v : u64List(options.vls, "vl"))
+        vls.push_back(static_cast<unsigned>(v));
+
     // Validate everything up front so a typo fails fast rather than
     // as N failed jobs deep into the sweep. Name lookups throw with
     // the offending name; rethrow as invalid_argument for a uniform
-    // contract.
+    // contract. Workloads are resolved at every requested vl so a
+    // non-zero vl on a non-VL-agnostic kernel fails here, not mid-
+    // sweep.
     try {
         for (const auto &m : machines)
             proc::machineByName(m);
         for (const auto &n : names) {
             std::stringstream ss(n);
             std::string piece;
-            while (std::getline(ss, piece, '+'))
-                workloads::byName(piece);
+            while (std::getline(ss, piece, '+')) {
+                for (unsigned vl : vls)
+                    workloads::byName(piece, 0, vl);
+            }
         }
         if (!options.faults.empty())
             check::FaultPlan::parse(options.faults);
@@ -196,7 +241,13 @@ buildSweep(const SweepOptions &options)
             job.trace = options.trace;
             job.sampleEvery = options.sampleEvery;
             job.sampleStats = options.sampleStats;
-            grid.push_back(job);
+            for (std::uint64_t s : seeds) {
+            for (unsigned vl : vls) {
+                job.seed = s;
+                job.vl = vl;
+                grid.push_back(job);
+            }
+            }
         }
     }
     }
@@ -231,6 +282,14 @@ sweepJson(const std::vector<Job> &jobs)
         w.key("sampleEvery").value(job.sampleEvery);
         w.key("sampleStats").value(job.sampleStats);
         w.key("resumeFrom").value(job.resumeFrom);
+        // PR-8 knobs, written only when set: declareSweep()
+        // byte-compares against a directory's pinned sweep.json, so
+        // an unconditional new field would break the resume of every
+        // pre-existing farm directory.
+        if (job.vl)
+            w.key("vl").value(job.vl);
+        if (job.selfResumeAt)
+            w.key("selfResumeAt").value(job.selfResumeAt);
         w.endObject();
     }
     w.endArray();
@@ -275,6 +334,8 @@ parseSweepJson(const std::string &text)
         job.sampleEvery = u64(entry, "sampleEvery");
         job.sampleStats = str(entry, "sampleStats");
         job.resumeFrom = str(entry, "resumeFrom");
+        job.vl = static_cast<unsigned>(u64Opt(entry, "vl"));
+        job.selfResumeAt = u64Opt(entry, "selfResumeAt");
         jobs.push_back(std::move(job));
     }
     if (jobs.empty())

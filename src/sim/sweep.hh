@@ -40,6 +40,19 @@ struct SweepOptions
     std::string workloads = "all";
     /** Comma-separated core counts; each adds a grid dimension. */
     std::string cores = "1";
+    /**
+     * Comma-separated workload seeds; each adds a grid dimension.
+     * Seeds parameterize the generated fuzz families ("fuzz"/"fuzzs")
+     * and are inert elsewhere. "0" (the default) keeps the legacy
+     * single-point grid.
+     */
+    std::string seeds = "0";
+    /**
+     * Comma-separated vector lengths (innermost grid dimension); 0 =
+     * the kernel default. Non-zero entries are valid only for
+     * VL-agnostic workloads (the RiVEC set and the fuzz families).
+     */
+    std::string vls = "0";
     // Per-job knobs, applied to every grid point.
     bool noPump = false;
     bool forceCrBox = false;

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The generated fuzz families as registry workloads.
+ *
+ * "fuzz" wraps a seeded vector fuzz program and "fuzzs" a scalar one;
+ * in each family the SAME program fills both prog slots because a
+ * vector and a scalar generated program compute unrelated results.
+ * check() runs the program through the functional interpreter against
+ * a freshly seeded image and compares the fuzz region qword for
+ * qword, so any timing engine that retires the wrong value -- or a
+ * fault injector that corrupts state -- is caught at job level, not
+ * just in the dedicated fuzz test battery.
+ */
+
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+#include "exec/interp.hh"
+#include "fuzzgen/fuzzgen.hh"
+
+namespace tarantula::workloads
+{
+
+Workload
+fuzzWorkload(std::uint64_t seed, bool vector, unsigned vl)
+{
+    const unsigned eff_vl = vl ? vl : fuzzgen::DefaultVl;
+    Workload w;
+    w.name = vector ? "fuzz" : "fuzzs";
+    {
+        std::ostringstream os;
+        os << "generated " << (vector ? "vector" : "scalar")
+           << " fuzz program, seed " << seed;
+        w.description = os.str();
+    }
+    w.vlAgnostic = true;
+
+    const program::Program prog =
+        fuzzgen::generate(seed, vector, eff_vl);
+    w.vectorProg = prog;
+    w.scalarProg = prog;
+
+    w.init = [seed](exec::FunctionalMemory &mem) {
+        fuzzgen::seedMemory(mem, seed);
+    };
+    w.check = [seed, prog](exec::FunctionalMemory &mem) {
+        exec::FunctionalMemory ref_mem;
+        fuzzgen::seedMemory(ref_mem, seed);
+        exec::Interpreter ref(prog, ref_mem);
+        ref.run(1ULL << 24);
+        const auto expect = fuzzgen::regionSnapshot(ref_mem);
+        const auto got = fuzzgen::regionSnapshot(mem);
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+            if (got[i] != expect[i]) {
+                std::ostringstream os;
+                os << "region[qword " << i << "] (addr 0x" << std::hex
+                   << (fuzzgen::Region + 8 * i) << std::dec << "): got "
+                   << got[i] << ", expected " << expect[i];
+                return os.str();
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+} // namespace tarantula::workloads

@@ -40,6 +40,44 @@ emitVecZero(program::Assembler &as, program::VR v)
     as.vaddq(v, program::V(31), std::int64_t(0));
 }
 
+/**
+ * Emit a VL-agnostic strip-mined loop over @p n stride-1 elements of
+ * 8 bytes (vs = 8). Before each iteration the loop establishes
+ * vl = min(remaining, @p vl), calls @p body once, then advances every
+ * register in @p bases by the strip's bytes and loops until the array
+ * is consumed -- so @p n need not divide @p vl and the final strip
+ * exercises the short-vector tail.
+ *
+ * Reserved registers: r4 (remaining), r5 (the vl knob), r6 (current
+ * strip length -- the body may read it), r7 (strip bytes) and r17
+ * (scratch). The body must not clobber them.
+ */
+template <typename Body>
+inline void
+emitStripMineLoop(program::Assembler &as, unsigned vl, std::uint64_t n,
+                  std::initializer_list<program::IR> bases, Body &&body)
+{
+    using program::R;
+    program::Label loop = as.newLabel();
+    program::Label full = as.newLabel();
+    as.movi(R(4), static_cast<std::int64_t>(n));
+    as.movi(R(5), static_cast<std::int64_t>(vl));
+    as.setvs(8);
+    as.bind(loop);
+    as.mov(R(6), R(5));
+    as.cmplt(R(17), R(4), R(5));
+    as.beq(R(17), full);
+    as.mov(R(6), R(4));
+    as.bind(full);
+    as.setvl(R(6));
+    body();
+    as.sll(R(7), R(6), 3);
+    for (program::IR b : bases)
+        as.addq(b, b, R(7));
+    as.subq(R(4), R(4), R(6));
+    as.bgt(R(4), loop);
+}
+
 /** Write a double array into memory. */
 inline void
 putT(exec::FunctionalMemory &mem, Addr base,

@@ -10,6 +10,7 @@
 #include "workloads/workload.hh"
 
 #include "base/logging.hh"
+#include "base/types.hh"
 
 namespace tarantula::workloads
 {
@@ -20,34 +21,41 @@ namespace
 struct RegistryEntry
 {
     const char *name;     ///< byName() key == Workload::name
-    Workload (*make)();
+    Workload (*make)(unsigned vl);
 };
 
 /**
  * Table 4 microkernels first, then the figure suite in the paper's
- * order, then the study-only variants.
+ * order, then the study-only variants, then the RiVEC-style
+ * VL-agnostic set. Only the latter honour the vl argument; byName()
+ * rejects a non-zero vl for the others.
  */
 const RegistryEntry kRegistry[] = {
-    {"copy",        [] { return streamsCopy(); }},
-    {"scale",       [] { return streamsScale(); }},
-    {"add",         [] { return streamsAdd(); }},
-    {"triadd",      [] { return streamsTriadd(); }},
-    {"rndcopy",     [] { return rndCopy(); }},
-    {"rndmemscale", [] { return rndMemScale(); }},
-    {"swim",        [] { return swim(true); }},
-    {"art",         [] { return art(); }},
-    {"sixtrack",    [] { return sixtrack(); }},
-    {"dgemm",       [] { return dgemm(); }},
-    {"dtrmm",       [] { return dtrmm(); }},
-    {"sparsemxv",   [] { return sparseMxv(); }},
-    {"fft",         [] { return fft(); }},
-    {"lu",          [] { return lu(); }},
-    {"linpack100",  [] { return linpack100(); }},
-    {"linpackTPP",  [] { return linpackTpp(); }},
-    {"moldyn",      [] { return moldyn(); }},
-    {"ccradix",     [] { return ccradix(); }},
-    {"swim_naive",  [] { return swim(false); }},
-    {"radix",       [] { return radixNaive(); }},
+    {"copy",        [](unsigned) { return streamsCopy(); }},
+    {"scale",       [](unsigned) { return streamsScale(); }},
+    {"add",         [](unsigned) { return streamsAdd(); }},
+    {"triadd",      [](unsigned) { return streamsTriadd(); }},
+    {"rndcopy",     [](unsigned) { return rndCopy(); }},
+    {"rndmemscale", [](unsigned) { return rndMemScale(); }},
+    {"swim",        [](unsigned) { return swim(true); }},
+    {"art",         [](unsigned) { return art(); }},
+    {"sixtrack",    [](unsigned) { return sixtrack(); }},
+    {"dgemm",       [](unsigned) { return dgemm(); }},
+    {"dtrmm",       [](unsigned) { return dtrmm(); }},
+    {"sparsemxv",   [](unsigned) { return sparseMxv(); }},
+    {"fft",         [](unsigned) { return fft(); }},
+    {"lu",          [](unsigned) { return lu(); }},
+    {"linpack100",  [](unsigned) { return linpack100(); }},
+    {"linpackTPP",  [](unsigned) { return linpackTpp(); }},
+    {"moldyn",      [](unsigned) { return moldyn(); }},
+    {"ccradix",     [](unsigned) { return ccradix(); }},
+    {"swim_naive",  [](unsigned) { return swim(false); }},
+    {"radix",       [](unsigned) { return radixNaive(); }},
+    {"blackscholes", [](unsigned vl) { return blackscholes(vl); }},
+    {"pathfinder",  [](unsigned vl) { return pathfinder(vl); }},
+    {"pfilter",     [](unsigned vl) { return pfilter(vl); }},
+    {"daxpy",       [](unsigned vl) { return daxpy(vl); }},
+    {"daxpys",      [](unsigned vl) { return daxpys(vl); }},
 };
 
 } // anonymous namespace
@@ -85,20 +93,51 @@ microkernelSuite()
 }
 
 std::vector<Workload>
+rivecSuite()
+{
+    std::vector<Workload> suite;
+    suite.push_back(blackscholes());
+    suite.push_back(pathfinder());
+    suite.push_back(pfilter());
+    suite.push_back(daxpy());
+    suite.push_back(daxpys());
+    return suite;
+}
+
+std::vector<Workload>
 allWorkloads()
 {
     std::vector<Workload> all;
     for (const auto &entry : kRegistry)
-        all.push_back(entry.make());
+        all.push_back(entry.make(0));
     return all;
 }
 
 Workload
 byName(const std::string &name)
 {
+    return byName(name, 0, 0);
+}
+
+Workload
+byName(const std::string &name, std::uint64_t seed, unsigned vl)
+{
+    if (vl > MaxVectorLength)
+        fatal("vl %u exceeds the machine maximum %u", vl,
+              MaxVectorLength);
+    if (name == "fuzz")
+        return fuzzWorkload(seed, /*vector=*/true, vl);
+    if (name == "fuzzs")
+        return fuzzWorkload(seed, /*vector=*/false, vl);
     for (const auto &entry : kRegistry) {
-        if (name == entry.name)
-            return entry.make();
+        if (name != entry.name)
+            continue;
+        Workload w = entry.make(vl);
+        if (vl && !w.vlAgnostic)
+            fatal("workload '%s' is not VL-agnostic (--vls applies "
+                  "only to the RiVEC-style kernels and the fuzz "
+                  "families)", name.c_str());
+        return w;
     }
     fatal("unknown workload '%s'", name.c_str());
 }

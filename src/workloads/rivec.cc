@@ -1,0 +1,678 @@
+/**
+ * @file
+ * RiVEC-style kernels (Ramírez et al., PAPERS.md): blackscholes,
+ * pathfinder, a particle-filter resample step, and two axpy variants.
+ *
+ * Unlike the Table 2/4 suites, every kernel here is vector-length
+ * agnostic: the factories take a vl knob (0 = the machine's full 128)
+ * and the vector programs strip-mine with emitStripMineLoop, so the
+ * same kernel sweeps VL as a machine dimension (tarantula_batch
+ * --vls) the way RiVEC sweeps kernels across VPU geometries. Problem
+ * sizes are deliberately NOT multiples of the common vl values so the
+ * short-vector tail strip is always exercised.
+ *
+ * Transcendentals (ln, exp, the cumulative normal) are replaced by
+ * series/Padé approximations built from +,-,*,/ and sqrt -- the only
+ * FP primitives the ISA has -- and the C++ reference mirrors the
+ * approximation operation for operation, so checks compare exactly
+ * what the programs compute while the access/compute character
+ * (per-element polynomial pipelines, divides, gathers) is preserved.
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "workloads/kernel_util.hh"
+
+namespace tarantula::workloads
+{
+
+using namespace tarantula::program;
+
+namespace
+{
+
+/** Kernel defaults to the full machine VL when the knob is 0. */
+unsigned
+effectiveVl(unsigned vl)
+{
+    return vl ? vl : 128;
+}
+
+/** Emit a simple scalar loop: body once per element, bases += step. */
+template <typename Body>
+void
+scalarLoop(Assembler &as, std::uint64_t n,
+           std::initializer_list<IR> bases, std::int64_t step,
+           Body &&body)
+{
+    Label loop = as.newLabel();
+    as.movi(R(4), static_cast<std::int64_t>(n));
+    as.bind(loop);
+    body();
+    for (IR b : bases)
+        as.addq(b, b, step);
+    as.subq(R(4), R(4), 1);
+    as.bgt(R(4), loop);
+}
+
+// ---- daxpy / daxpys ---------------------------------------------------
+
+constexpr std::uint64_t AxpyN = 4000;       ///< 4000 = 31*128 + 32
+constexpr Addr AxpyX = 0x2000000;
+constexpr Addr AxpyY = 0x2100000;
+constexpr double AxpyA = 2.5;
+
+Workload
+makeDaxpy(unsigned vl)
+{
+    const unsigned v_l = effectiveVl(vl);
+    Workload w;
+    w.name = "daxpy";
+    w.description = "RiVEC axpy: y(i) += a * x(i), VL-agnostic";
+    w.vlAgnostic = true;
+
+    Assembler v;
+    v.fconst(F(1), AxpyA, R(9));
+    v.movi(R(1), static_cast<std::int64_t>(AxpyX));
+    v.movi(R(2), static_cast<std::int64_t>(AxpyY));
+    emitStripMineLoop(v, v_l, AxpyN, {R(1), R(2)}, [&] {
+        v.vldt(V(0), R(1));
+        v.vldt(V(1), R(2));
+        v.vfmact(V(1), V(0), F(1));
+        v.vstt(V(1), R(2));
+    });
+    v.halt();
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    s.fconst(F(1), AxpyA, R(9));
+    s.movi(R(1), static_cast<std::int64_t>(AxpyX));
+    s.movi(R(2), static_cast<std::int64_t>(AxpyY));
+    scalarLoop(s, AxpyN, {R(1), R(2)}, 8, [&] {
+        s.ldt(F(2), 0, R(1));
+        s.ldt(F(3), 0, R(2));
+        s.mult(F(4), F(2), F(1));
+        s.addt(F(3), F(3), F(4));
+        s.stt(F(3), 0, R(2));
+    });
+    s.halt();
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        putT(mem, AxpyX, randomT(AxpyN, 101, 0.0, 1.0));
+        putT(mem, AxpyY, randomT(AxpyN, 202, 0.0, 1.0));
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        const auto x = randomT(AxpyN, 101, 0.0, 1.0);
+        auto expect = randomT(AxpyN, 202, 0.0, 1.0);
+        for (std::uint64_t i = 0; i < AxpyN; ++i)
+            expect[i] += AxpyA * x[i];
+        return checkArrayT(mem, AxpyY, expect, "y");
+    };
+    return w;
+}
+
+constexpr std::uint64_t AxpysN = 3000;      ///< 3000 = 23*128 + 56
+
+Workload
+makeDaxpys(unsigned vl)
+{
+    const unsigned v_l = effectiveVl(vl);
+    Workload w;
+    w.name = "daxpys";
+    w.description =
+        "RiVEC axpy variant: y(i) += a * x(2i) (strided x)";
+    w.vlAgnostic = true;
+
+    Assembler v;
+    v.fconst(F(1), AxpyA, R(9));
+    v.movi(R(1), static_cast<std::int64_t>(AxpyX));
+    v.movi(R(2), static_cast<std::int64_t>(AxpyY));
+    // r1 advances 16 bytes per element (emitted in the body); only r2
+    // rides the helper's 8-byte advance.
+    emitStripMineLoop(v, v_l, AxpysN, {R(2)}, [&] {
+        v.setvs(16);
+        v.vldt(V(0), R(1));
+        v.setvs(8);
+        v.vldt(V(1), R(2));
+        v.vfmact(V(1), V(0), F(1));
+        v.vstt(V(1), R(2));
+        v.sll(R(8), R(6), 4);
+        v.addq(R(1), R(1), R(8));
+    });
+    v.halt();
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    s.fconst(F(1), AxpyA, R(9));
+    s.movi(R(1), static_cast<std::int64_t>(AxpyX));
+    s.movi(R(2), static_cast<std::int64_t>(AxpyY));
+    scalarLoop(s, AxpysN, {R(2)}, 8, [&] {
+        s.ldt(F(2), 0, R(1));
+        s.ldt(F(3), 0, R(2));
+        s.mult(F(4), F(2), F(1));
+        s.addt(F(3), F(3), F(4));
+        s.stt(F(3), 0, R(2));
+        s.addq(R(1), R(1), 16);
+    });
+    s.halt();
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        putT(mem, AxpyX, randomT(2 * AxpysN, 303, 0.0, 1.0));
+        putT(mem, AxpyY, randomT(AxpysN, 404, 0.0, 1.0));
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        const auto x = randomT(2 * AxpysN, 303, 0.0, 1.0);
+        auto expect = randomT(AxpysN, 404, 0.0, 1.0);
+        for (std::uint64_t i = 0; i < AxpysN; ++i)
+            expect[i] += AxpyA * x[2 * i];
+        return checkArrayT(mem, AxpyY, expect, "y");
+    };
+    return w;
+}
+
+// ---- blackscholes -----------------------------------------------------
+
+constexpr std::uint64_t BsN = 2000;         ///< 2000 = 15*128 + 80
+constexpr Addr BsS = 0x2200000;
+constexpr Addr BsK = 0x2300000;
+constexpr Addr BsT = 0x2400000;
+constexpr Addr BsP = 0x2500000;
+constexpr double BsRate = 0.05;
+constexpr double BsVol = 0.3;
+constexpr double BsC1 = BsRate + 0.5 * BsVol * BsVol;
+constexpr double BsC2 = 0.7978845608028654;     ///< sqrt(2/pi)
+constexpr double BsC3 = 0.044715;
+
+/** tanh-based CNDF approximation, one op per line so the vector and
+ *  scalar programs can mirror it exactly. */
+double
+bsCndf(double x)
+{
+    const double x2 = x * x;
+    const double x3 = x2 * x;
+    double g = x3 * BsC3;
+    g = g + x;
+    const double t = g * BsC2;
+    const double t2 = t * t;
+    double a = t2 + 27.0;
+    a = a * t;
+    double b = t2 * 9.0;
+    b = b + 27.0;
+    const double th = a / b;
+    double nd = th * 0.5;
+    nd = nd + 0.5;
+    return nd;
+}
+
+double
+bsPrice(double s_in, double k_in, double t_in)
+{
+    const double q = s_in / k_in;
+    const double wn = q + -1.0;
+    const double wd = q + 1.0;
+    const double w = wn / wd;
+    const double w2 = w * w;
+    double p = w2 * (1.0 / 7.0);
+    p = p + 0.2;
+    p = p * w2;
+    p = p + (1.0 / 3.0);
+    p = p * w2;
+    p = p + 1.0;
+    double lnsk = w * 2.0;
+    lnsk = lnsk * p;
+    const double sqt = std::sqrt(t_in);
+    const double vst = sqt * BsVol;
+    const double ct = t_in * BsC1;
+    const double num = lnsk + ct;
+    const double d1 = num / vst;
+    const double d2 = d1 - vst;
+    const double nd1 = bsCndf(d1);
+    const double nd2 = bsCndf(d2);
+    const double y = t_in * BsRate;
+    double e = y * (-1.0 / 6.0);
+    e = e + 0.5;
+    e = e * y;
+    e = e + -1.0;
+    e = e * y;
+    e = e + 1.0;
+    const double pa = s_in * nd1;
+    double pb = k_in * e;
+    pb = pb * nd2;
+    return pa - pb;
+}
+
+Workload
+makeBlackscholes(unsigned vl)
+{
+    const unsigned v_l = effectiveVl(vl);
+    Workload w;
+    w.name = "blackscholes";
+    w.description =
+        "RiVEC blackscholes: option pricing, series ln/exp/CNDF";
+    w.vlAgnostic = true;
+
+    Assembler v;
+    v.movi(R(1), static_cast<std::int64_t>(BsS));
+    v.movi(R(2), static_cast<std::int64_t>(BsK));
+    v.movi(R(3), static_cast<std::int64_t>(BsT));
+    v.movi(R(8), static_cast<std::int64_t>(BsP));
+    auto cndfV = [&](VR x, VR out, VR t0, VR t1, VR t2) {
+        v.vmult(t0, x, x);              // x2
+        v.vmult(t0, t0, x);             // x3
+        v.vmult(t0, t0, BsC3);          // g = x3*C3
+        v.vaddt(t0, t0, x);             // g += x
+        v.vmult(t0, t0, BsC2);          // t
+        v.vmult(t1, t0, t0);            // t2
+        v.vaddt(t2, t1, 27.0);          // a = t2 + 27
+        v.vmult(t2, t2, t0);            // a *= t
+        v.vmult(t1, t1, 9.0);           // b = t2 * 9
+        v.vaddt(t1, t1, 27.0);          // b += 27
+        v.vdivt(out, t2, t1);           // th
+        v.vmult(out, out, 0.5);
+        v.vaddt(out, out, 0.5);
+    };
+    emitStripMineLoop(v, v_l, BsN, {R(1), R(2), R(3), R(8)}, [&] {
+        v.vldt(V(0), R(1));             // S
+        v.vldt(V(1), R(2));             // K
+        v.vldt(V(2), R(3));             // T
+        v.vdivt(V(3), V(0), V(1));      // q
+        v.vaddt(V(4), V(3), -1.0);      // wn
+        v.vaddt(V(5), V(3), 1.0);       // wd
+        v.vdivt(V(4), V(4), V(5));      // w
+        v.vmult(V(5), V(4), V(4));      // w2
+        v.vmult(V(6), V(5), 1.0 / 7.0); // p
+        v.vaddt(V(6), V(6), 0.2);
+        v.vmult(V(6), V(6), V(5));
+        v.vaddt(V(6), V(6), 1.0 / 3.0);
+        v.vmult(V(6), V(6), V(5));
+        v.vaddt(V(6), V(6), 1.0);
+        v.vmult(V(7), V(4), 2.0);       // lnsk
+        v.vmult(V(7), V(7), V(6));
+        v.vsqrtt(V(8), V(2));           // sqt
+        v.vmult(V(9), V(8), BsVol);     // vst
+        v.vmult(V(10), V(2), BsC1);     // ct
+        v.vaddt(V(7), V(7), V(10));     // num
+        v.vdivt(V(10), V(7), V(9));     // d1
+        v.vsubt(V(11), V(10), V(9));    // d2
+        cndfV(V(10), V(12), V(13), V(14), V(15));   // nd1
+        cndfV(V(11), V(11), V(13), V(14), V(15));   // nd2
+        v.vmult(V(13), V(2), BsRate);   // y
+        v.vmult(V(14), V(13), -1.0 / 6.0);
+        v.vaddt(V(14), V(14), 0.5);
+        v.vmult(V(14), V(14), V(13));
+        v.vaddt(V(14), V(14), -1.0);
+        v.vmult(V(14), V(14), V(13));
+        v.vaddt(V(14), V(14), 1.0);     // e^{-rT}
+        v.vmult(V(15), V(0), V(12));    // pa
+        v.vmult(V(16), V(1), V(14));    // pb
+        v.vmult(V(16), V(16), V(11));
+        v.vsubt(V(16), V(15), V(16));   // price
+        v.vstt(V(16), R(8));
+    });
+    v.halt();
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    s.fconst(F(10), -1.0, R(9));
+    s.fconst(F(11), 1.0, R(9));
+    s.fconst(F(12), 1.0 / 7.0, R(9));
+    s.fconst(F(13), 0.2, R(9));
+    s.fconst(F(14), 1.0 / 3.0, R(9));
+    s.fconst(F(15), 2.0, R(9));
+    s.fconst(F(16), BsVol, R(9));
+    s.fconst(F(17), BsC1, R(9));
+    s.fconst(F(18), BsC3, R(9));
+    s.fconst(F(19), BsC2, R(9));
+    s.fconst(F(20), 27.0, R(9));
+    s.fconst(F(21), 9.0, R(9));
+    s.fconst(F(22), 0.5, R(9));
+    s.fconst(F(23), BsRate, R(9));
+    s.fconst(F(24), -1.0 / 6.0, R(9));
+    s.movi(R(1), static_cast<std::int64_t>(BsS));
+    s.movi(R(2), static_cast<std::int64_t>(BsK));
+    s.movi(R(3), static_cast<std::int64_t>(BsT));
+    s.movi(R(8), static_cast<std::int64_t>(BsP));
+    auto cndfS = [&](FR x, FR out, FR t0, FR t1, FR t2) {
+        s.mult(t0, x, x);
+        s.mult(t0, t0, x);
+        s.mult(t0, t0, F(18));
+        s.addt(t0, t0, x);
+        s.mult(t0, t0, F(19));
+        s.mult(t1, t0, t0);
+        s.addt(t2, t1, F(20));
+        s.mult(t2, t2, t0);
+        s.mult(t1, t1, F(21));
+        s.addt(t1, t1, F(20));
+        s.divt(out, t2, t1);
+        s.mult(out, out, F(22));
+        s.addt(out, out, F(22));
+    };
+    scalarLoop(s, BsN, {R(1), R(2), R(3), R(8)}, 8, [&] {
+        s.ldt(F(0), 0, R(1));           // S
+        s.ldt(F(1), 0, R(2));           // K
+        s.ldt(F(2), 0, R(3));           // T
+        s.divt(F(3), F(0), F(1));       // q
+        s.addt(F(4), F(3), F(10));      // wn
+        s.addt(F(5), F(3), F(11));      // wd
+        s.divt(F(4), F(4), F(5));       // w
+        s.mult(F(5), F(4), F(4));       // w2
+        s.mult(F(6), F(5), F(12));      // p
+        s.addt(F(6), F(6), F(13));
+        s.mult(F(6), F(6), F(5));
+        s.addt(F(6), F(6), F(14));
+        s.mult(F(6), F(6), F(5));
+        s.addt(F(6), F(6), F(11));
+        s.mult(F(7), F(4), F(15));      // lnsk
+        s.mult(F(7), F(7), F(6));
+        s.sqrtt(F(8), F(2));            // sqt
+        s.mult(F(9), F(8), F(16));      // vst
+        s.mult(F(25), F(2), F(17));     // ct
+        s.addt(F(7), F(7), F(25));      // num
+        s.divt(F(25), F(7), F(9));      // d1
+        s.subt(F(26), F(25), F(9));     // d2
+        cndfS(F(25), F(27), F(28), F(29), F(30));   // nd1
+        cndfS(F(26), F(26), F(28), F(29), F(30));   // nd2
+        s.mult(F(28), F(2), F(23));     // y
+        s.mult(F(29), F(28), F(24));
+        s.addt(F(29), F(29), F(22));
+        s.mult(F(29), F(29), F(28));
+        s.addt(F(29), F(29), F(10));
+        s.mult(F(29), F(29), F(28));
+        s.addt(F(29), F(29), F(11));    // e^{-rT}
+        s.mult(F(30), F(0), F(27));     // pa
+        s.mult(F(3), F(1), F(29));      // pb (f31 is hardwired zero)
+        s.mult(F(3), F(3), F(26));
+        s.subt(F(3), F(30), F(3));      // price
+        s.stt(F(3), 0, R(8));
+    });
+    s.halt();
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        putT(mem, BsS, randomT(BsN, 11, 80.0, 100.0));
+        putT(mem, BsK, randomT(BsN, 22, 80.0, 100.0));
+        putT(mem, BsT, randomT(BsN, 33, 0.5, 2.0));
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        const auto sv = randomT(BsN, 11, 80.0, 100.0);
+        const auto kv = randomT(BsN, 22, 80.0, 100.0);
+        const auto tv = randomT(BsN, 33, 0.5, 2.0);
+        std::vector<double> expect(BsN);
+        for (std::uint64_t i = 0; i < BsN; ++i)
+            expect[i] = bsPrice(sv[i], kv[i], tv[i]);
+        return checkArrayT(mem, BsP, expect, "price");
+    };
+    return w;
+}
+
+// ---- pathfinder -------------------------------------------------------
+
+constexpr std::uint64_t PfCols = 1801;      ///< 1801 = 14*128 + 9
+constexpr std::uint64_t PfRows = 10;
+constexpr Addr PfRow0 = 0x2600000;          ///< (cols+2) guarded cells
+constexpr Addr PfRow1 = 0x2700000;
+constexpr Addr PfW = 0x2800000;             ///< rows x cols weights
+constexpr std::uint64_t PfSentinel = 1ULL << 40;
+
+std::vector<std::uint64_t>
+pfInitialRow()
+{
+    Random rng(55);
+    std::vector<std::uint64_t> row(PfCols);
+    for (auto &x : row)
+        x = rng.below(1000);
+    return row;
+}
+
+std::vector<std::uint64_t>
+pfWeights()
+{
+    Random rng(66);
+    std::vector<std::uint64_t> weights(PfRows * PfCols);
+    for (auto &x : weights)
+        x = rng.below(1000);
+    return weights;
+}
+
+Workload
+makePathfinder(unsigned vl)
+{
+    const unsigned v_l = effectiveVl(vl);
+    Workload w;
+    w.name = "pathfinder";
+    w.description =
+        "RiVEC pathfinder: grid DP, dst = w + min3(neighbors)";
+    w.vlAgnostic = true;
+
+    // r10/r11 ping-pong the two row buffers (element-0 addresses);
+    // r3 walks the weights continuously; r9 counts rows.
+    Assembler v;
+    v.movi(R(10), static_cast<std::int64_t>(PfRow0 + 8));
+    v.movi(R(11), static_cast<std::int64_t>(PfRow1 + 8));
+    v.movi(R(3), static_cast<std::int64_t>(PfW));
+    v.movi(R(9), static_cast<std::int64_t>(PfRows));
+    Label vouter = v.newLabel();
+    v.bind(vouter);
+    v.mov(R(1), R(10));                 // src
+    v.mov(R(2), R(11));                 // dst
+    emitStripMineLoop(v, v_l, PfCols, {R(1), R(2), R(3)}, [&] {
+        v.vldq(V(0), R(1), -8);         // left
+        v.vldq(V(1), R(1), 0);          // mid
+        v.vldq(V(2), R(1), 8);          // right
+        v.vminq(V(3), V(0), V(1));
+        v.vminq(V(3), V(3), V(2));
+        v.vldq(V(4), R(3));             // weight
+        v.vaddq(V(5), V(3), V(4));
+        v.vstq(V(5), R(2));
+    });
+    v.mov(R(8), R(10));                 // swap the buffers
+    v.mov(R(10), R(11));
+    v.mov(R(11), R(8));
+    v.subq(R(9), R(9), 1);
+    v.bgt(R(9), vouter);
+    v.halt();
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    s.movi(R(10), static_cast<std::int64_t>(PfRow0 + 8));
+    s.movi(R(11), static_cast<std::int64_t>(PfRow1 + 8));
+    s.movi(R(3), static_cast<std::int64_t>(PfW));
+    s.movi(R(9), static_cast<std::int64_t>(PfRows));
+    Label souter = s.newLabel();
+    s.bind(souter);
+    s.mov(R(1), R(10));
+    s.mov(R(2), R(11));
+    scalarLoop(s, PfCols, {R(1), R(2), R(3)}, 8, [&] {
+        s.ldq(R(13), -8, R(1));         // left
+        s.ldq(R(14), 0, R(1));          // mid
+        s.ldq(R(15), 8, R(1));          // right
+        Label keep1 = s.newLabel();
+        s.cmplt(R(17), R(14), R(13));
+        s.beq(R(17), keep1);
+        s.mov(R(13), R(14));
+        s.bind(keep1);
+        Label keep2 = s.newLabel();
+        s.cmplt(R(17), R(15), R(13));
+        s.beq(R(17), keep2);
+        s.mov(R(13), R(15));
+        s.bind(keep2);
+        s.ldq(R(14), 0, R(3));          // weight
+        s.addq(R(13), R(13), R(14));
+        s.stq(R(13), 0, R(2));
+    });
+    s.mov(R(8), R(10));
+    s.mov(R(10), R(11));
+    s.mov(R(11), R(8));
+    s.subq(R(9), R(9), 1);
+    s.bgt(R(9), souter);
+    s.halt();
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        std::vector<std::uint64_t> buf(PfCols + 2, PfSentinel);
+        const auto row = pfInitialRow();
+        for (std::uint64_t j = 0; j < PfCols; ++j)
+            buf[j + 1] = row[j];
+        putQ(mem, PfRow0, buf);
+        std::vector<std::uint64_t> other(PfCols + 2, PfSentinel);
+        putQ(mem, PfRow1, other);
+        putQ(mem, PfW, pfWeights());
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        std::vector<std::uint64_t> src(PfCols + 2, PfSentinel);
+        std::vector<std::uint64_t> dst(PfCols + 2, PfSentinel);
+        const auto row = pfInitialRow();
+        for (std::uint64_t j = 0; j < PfCols; ++j)
+            src[j + 1] = row[j];
+        const auto weights = pfWeights();
+        for (std::uint64_t i = 0; i < PfRows; ++i) {
+            for (std::uint64_t j = 1; j <= PfCols; ++j) {
+                std::uint64_t m = src[j - 1];
+                if (src[j] < m)
+                    m = src[j];
+                if (src[j + 1] < m)
+                    m = src[j + 1];
+                dst[j] = weights[i * PfCols + (j - 1)] + m;
+            }
+            std::swap(src, dst);
+        }
+        // PfRows swaps: even row count leaves the result in Row0.
+        static_assert(PfRows % 2 == 0);
+        std::vector<std::uint64_t> expect(src.begin() + 1,
+                                          src.begin() + 1 + PfCols);
+        return checkArrayQ(mem, PfRow0 + 8, expect, "row");
+    };
+    return w;
+}
+
+// ---- pfilter ----------------------------------------------------------
+
+constexpr std::uint64_t PflN = 1990;        ///< 1990 = 15*128 + 70
+constexpr Addr PflX = 0x2900000;            ///< particle positions
+constexpr Addr PflIdx = 0x2a00000;          ///< resample byte offsets
+constexpr Addr PflXn = 0x2b00000;           ///< resampled positions
+constexpr Addr PflWt = 0x2c00000;           ///< updated weights
+constexpr double PflObs = 5.0;
+
+std::vector<std::uint64_t>
+pflIndices()
+{
+    Random rng(77);
+    std::vector<std::uint64_t> idx(PflN);
+    for (auto &x : idx)
+        x = 8 * rng.below(PflN);
+    return idx;
+}
+
+Workload
+makePfilter(unsigned vl)
+{
+    const unsigned v_l = effectiveVl(vl);
+    Workload w;
+    w.name = "pfilter";
+    w.description =
+        "RiVEC particle filter: gathered resample + weight update";
+    w.vlAgnostic = true;
+
+    Assembler v;
+    v.fconst(F(1), PflObs, R(9));
+    v.movi(R(1), static_cast<std::int64_t>(PflIdx));
+    v.movi(R(2), static_cast<std::int64_t>(PflXn));
+    v.movi(R(3), static_cast<std::int64_t>(PflWt));
+    v.movi(R(8), static_cast<std::int64_t>(PflX));
+    emitStripMineLoop(v, v_l, PflN, {R(1), R(2), R(3)}, [&] {
+        v.vldq(V(0), R(1));             // byte offsets
+        v.vgatht(V(1), V(0), R(8));     // xn = x[idx]
+        v.vstt(V(1), R(2));
+        v.vsubt(V(2), V(1), F(1));      // d = xn - obs
+        v.vmult(V(2), V(2), V(2));      // d2
+        v.vaddt(V(2), V(2), 1.0);       // 1 + d2
+        emitVecZero(v, V(3));
+        v.vaddt(V(3), V(3), 1.0);       // ones
+        v.vdivt(V(3), V(3), V(2));      // w = 1/(1+d2)
+        v.vstt(V(3), R(3));
+    });
+    v.halt();
+    w.vectorProg = v.finalize();
+
+    Assembler s;
+    s.fconst(F(1), PflObs, R(9));
+    s.fconst(F(2), 1.0, R(9));
+    s.movi(R(1), static_cast<std::int64_t>(PflIdx));
+    s.movi(R(2), static_cast<std::int64_t>(PflXn));
+    s.movi(R(3), static_cast<std::int64_t>(PflWt));
+    s.movi(R(8), static_cast<std::int64_t>(PflX));
+    scalarLoop(s, PflN, {R(1), R(2), R(3)}, 8, [&] {
+        s.ldq(R(13), 0, R(1));          // byte offset
+        s.addq(R(13), R(13), R(8));
+        s.ldt(F(3), 0, R(13));          // xn
+        s.stt(F(3), 0, R(2));
+        s.subt(F(4), F(3), F(1));       // d
+        s.mult(F(4), F(4), F(4));       // d2
+        s.addt(F(4), F(4), F(2));       // 1 + d2
+        s.divt(F(5), F(2), F(4));       // w
+        s.stt(F(5), 0, R(3));
+    });
+    s.halt();
+    w.scalarProg = s.finalize();
+
+    w.init = [](exec::FunctionalMemory &mem) {
+        putT(mem, PflX, randomT(PflN, 88, 0.0, 10.0));
+        putQ(mem, PflIdx, pflIndices());
+    };
+    w.check = [](exec::FunctionalMemory &mem) {
+        const auto x = randomT(PflN, 88, 0.0, 10.0);
+        const auto idx = pflIndices();
+        std::vector<double> xn(PflN), wt(PflN);
+        for (std::uint64_t i = 0; i < PflN; ++i) {
+            xn[i] = x[idx[i] / 8];
+            const double d = xn[i] - PflObs;
+            const double d2 = d * d;
+            wt[i] = 1.0 / (d2 + 1.0);
+        }
+        std::string err = checkArrayT(mem, PflXn, xn, "xn");
+        if (!err.empty())
+            return err;
+        return checkArrayT(mem, PflWt, wt, "w");
+    };
+    return w;
+}
+
+} // anonymous namespace
+
+Workload
+blackscholes(unsigned vl)
+{
+    return makeBlackscholes(vl);
+}
+
+Workload
+pathfinder(unsigned vl)
+{
+    return makePathfinder(vl);
+}
+
+Workload
+pfilter(unsigned vl)
+{
+    return makePfilter(vl);
+}
+
+Workload
+daxpy(unsigned vl)
+{
+    return makeDaxpy(vl);
+}
+
+Workload
+daxpys(unsigned vl)
+{
+    return makeDaxpys(vl);
+}
+
+} // namespace tarantula::workloads

@@ -66,6 +66,13 @@ struct Workload
     /** Table 2 columns. */
     bool usesPrefetch = false;
     bool usesDrainm = false;
+
+    /**
+     * True when the kernel strip-mines and accepts any vector length
+     * 1..MaxVectorLength via its factory's vl knob (0 = full VL). The
+     * classic Table 2/4 kernels assume VL = 128 and are not.
+     */
+    bool vlAgnostic = false;
 };
 
 // ---- Table 4 microkernels (memory-system behaviour) ------------------
@@ -97,11 +104,31 @@ Workload ccradix();
 /** The untuned radix variant (Figure 6's second radix sort). */
 Workload radixNaive();
 
+// ---- RiVEC-style VL-agnostic kernels (vl knob: 0 = full 128) ----------
+Workload blackscholes(unsigned vl = 0);
+Workload pathfinder(unsigned vl = 0);
+Workload pfilter(unsigned vl = 0);
+Workload daxpy(unsigned vl = 0);
+Workload daxpys(unsigned vl = 0);
+
+/**
+ * A generated differential-fuzz program as a workload: the same
+ * fuzzgen program fills both prog slots (vector and scalar generated
+ * programs compute different results, so each family is homogeneous)
+ * and check() compares the fuzz region against a lazily-run
+ * functional-interpreter reference. Registered dynamically under the
+ * names "fuzz" (vector) and "fuzzs" (scalar).
+ */
+Workload fuzzWorkload(std::uint64_t seed, bool vector, unsigned vl = 0);
+
 /** The Figure 6/7/8/9 benchmark suite, in the paper's order. */
 std::vector<Workload> figureSuite();
 
 /** The Table 4 microkernel set. */
 std::vector<Workload> microkernelSuite();
+
+/** The RiVEC-style VL-agnostic set. */
+std::vector<Workload> rivecSuite();
 
 /**
  * Every registered workload exactly once: the Table 4 microkernels,
@@ -113,6 +140,15 @@ std::vector<Workload> allWorkloads();
 
 /** Look a workload up by name (fatal if unknown). */
 Workload byName(const std::string &name);
+
+/**
+ * Name lookup with the sweepable knobs: @p seed parameterizes the
+ * dynamic fuzz families ("fuzz"/"fuzzs"); @p vl requests a vector
+ * length from a VL-agnostic kernel (fatal when non-zero for a kernel
+ * that is not, or above the machine maximum).
+ */
+Workload byName(const std::string &name, std::uint64_t seed,
+                unsigned vl);
 
 } // namespace tarantula::workloads
 

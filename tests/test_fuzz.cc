@@ -18,6 +18,11 @@
  *
  * The same battery runs across machine variants (T, T4, pump off,
  * CR-box-forced) so the ablation knobs get fuzz coverage too.
+ *
+ * The generator itself lives in src/fuzzgen (shared with the
+ * fuzz/<seed> workload family and the tarantula_fuzz campaign
+ * driver); the digest test below pins its seed stream so a generator
+ * change that silently rewrites historical programs fails here.
  */
 
 #include <gtest/gtest.h>
@@ -30,13 +35,12 @@
 #include <vector>
 
 #include "base/logging.hh"
-#include "base/random.hh"
 #include "check/fault_plan.hh"
 #include "exec/interp.hh"
 #include "exec/memory.hh"
+#include "fuzzgen/fuzzgen.hh"
 #include "proc/machine_config.hh"
 #include "proc/processor.hh"
-#include "program/assembler.hh"
 #include "system/system.hh"
 
 namespace
@@ -45,146 +49,9 @@ namespace
 using namespace tarantula;
 using namespace tarantula::program;
 
-constexpr Addr Region = 0x100000;
-constexpr Addr RegionBytes = 1 << 20;       // 1 MB playground
-constexpr Addr GatherMask = 0xfff8;         // 64 KB, 8-byte aligned
-
-/** Generate a random, self-contained, always-terminating program. */
-Program
-generate(std::uint64_t seed, bool with_vector)
-{
-    Random rng(seed);
-    Assembler a;
-
-    // r20 = region base; r21 = gather base; registers r1..r8 are data.
-    a.movi(R(20), static_cast<std::int64_t>(Region));
-    a.movi(R(21), static_cast<std::int64_t>(Region + 512 * 1024));
-    for (unsigned r = 1; r <= 8; ++r)
-        a.movi(R(r), static_cast<std::int64_t>(rng.below(1 << 20)));
-    a.fconst(F(1), rng.real(0.5, 2.0), R(19));
-    if (with_vector) {
-        a.setvl(128);
-        a.setvs(8);
-    }
-
-    // A bounded outer loop wraps a random instruction soup.
-    Label loop = a.newLabel();
-    a.movi(R(18), static_cast<std::int64_t>(2 + rng.below(3)));
-    a.bind(loop);
-
-    const unsigned body = 12 + static_cast<unsigned>(rng.below(20));
-    for (unsigned n = 0; n < body; ++n) {
-        const auto rd = R(1 + static_cast<unsigned>(rng.below(8)));
-        const auto ra = R(1 + static_cast<unsigned>(rng.below(8)));
-        const auto rb = R(1 + static_cast<unsigned>(rng.below(8)));
-        const auto vd = V(static_cast<unsigned>(rng.below(8)));
-        const auto va = V(static_cast<unsigned>(rng.below(8)));
-        const auto vb = V(static_cast<unsigned>(rng.below(8)));
-        const std::int64_t off = static_cast<std::int64_t>(
-            rng.below(4096) * 8);
-
-        switch (rng.below(with_vector ? 14 : 7)) {
-          case 0:
-            a.addq(rd, ra, rb);
-            break;
-          case 1:
-            a.mulq(rd, ra,
-                   static_cast<std::int64_t>(rng.below(1000)));
-            break;
-          case 2:
-            a.xor_(rd, ra, rb);
-            break;
-          case 3:
-            a.srl(rd, ra, static_cast<std::int64_t>(rng.below(32)));
-            break;
-          case 4:       // scalar store then load (aligned, in region)
-            a.stq(ra, off, R(20));
-            a.ldq(rd, off, R(20));
-            break;
-          case 5:
-            a.stt(F(1), off, R(20));
-            a.ldt(F(2), off, R(20));
-            a.addt(F(1), F(1), F(2));
-            break;
-          case 6: {     // short conditional skip
-            Label skip = a.newLabel();
-            a.and_(R(17), ra, std::int64_t(1));
-            a.beq(R(17), skip);
-            a.addq(rd, rd, std::int64_t(3));
-            a.bind(skip);
-            break;
-          }
-          case 7: {     // random vector length
-            a.setvl(static_cast<std::int64_t>(1 + rng.below(128)));
-            break;
-          }
-          case 8: {     // strided load incl. hostile strides
-            static const std::int64_t strides[] = {8,     16,   24,
-                                                   -8,    256,  1024,
-                                                   8 * 33, 520, 64};
-            const std::int64_t vs =
-                strides[rng.below(sizeof(strides) /
-                                  sizeof(strides[0]))];
-            a.setvs(vs);
-            // Keep 128 * |vs| within the region, centered.
-            a.movi(R(16),
-                   static_cast<std::int64_t>(Region +
-                                             RegionBytes / 2));
-            a.vldq(vd, R(16));
-            a.setvs(8);
-            break;
-          }
-          case 9:       // stride-1 store
-            a.viota(vd);
-            a.vstq(vd, R(20), off);
-            break;
-          case 10: {    // gather via masked-in-region offsets
-            a.viota(vd);
-            a.vmulq(vd, vd,
-                    static_cast<std::int64_t>(rng.below(5000)));
-            a.vandq(vd, vd, static_cast<std::int64_t>(GatherMask));
-            a.vgathq(vb, vd, R(21));
-            break;
-          }
-          case 11: {    // scatter to lane-distinct addresses
-            a.viota(vd);
-            a.vsllq(vd, vd, 3);
-            a.vscatq(va, vd, R(21));
-            break;
-          }
-          case 12:      // masked arithmetic
-            a.vandq(V(9), va, std::int64_t(1));
-            a.setvm(V(9));
-            a.vaddq(vd, va, std::int64_t(17), /*m=*/true);
-            break;
-          case 13:      // vector FP
-            a.vaddt(vd, va, vb);
-            break;
-        }
-    }
-
-    a.subq(R(18), R(18), 1);
-    a.bgt(R(18), loop);
-    a.halt();
-    return a.finalize();
-}
-
-void
-seedMemory(exec::FunctionalMemory &mem, std::uint64_t seed)
-{
-    Random rng(seed ^ 0xfeed);
-    for (Addr a = Region; a < Region + RegionBytes; a += 512)
-        mem.writeQ(a, rng.next());
-}
-
-/** Dump the playground region for comparison. */
-std::vector<std::uint64_t>
-snapshot(exec::FunctionalMemory &mem)
-{
-    std::vector<std::uint64_t> v(RegionBytes / 8);
-    mem.read(Region, v.data(), RegionBytes);
-    return v;
-}
+using fuzzgen::generate;
+using fuzzgen::regionSnapshot;
+using fuzzgen::seedMemory;
 
 struct FuzzCase
 {
@@ -192,21 +59,28 @@ struct FuzzCase
     std::uint64_t seed;
 };
 
-proc::MachineConfig
-configFor(const std::string &name)
+// The generator's seed stream is a compatibility contract: these
+// digests were captured from the original in-test generator before it
+// moved to src/fuzzgen, and every historical seed must keep producing
+// its historical program (tarantula.sweep.v1 grids pin campaigns by
+// seed, not by program text). Regenerating them is a breaking change.
+TEST(Fuzzgen, HistoricalSeedStreamIsPinned)
 {
-    if (name == "T")
-        return proc::tarantulaConfig();
-    if (name == "T4")
-        return proc::tarantula4Config();
-    if (name == "nopump") {
-        auto cfg = proc::tarantulaConfig();
-        cfg.vbox.slicer.pumpEnabled = false;
-        return cfg;
-    }
-    auto cfg = proc::tarantulaConfig();     // "crbox"
-    cfg.vbox.slicer.forceCrBox = true;
-    return cfg;
+    EXPECT_EQ(fuzzgen::programDigest(generate(1, true)),
+              9998506437180142542ull);
+    EXPECT_EQ(fuzzgen::programDigest(generate(2, true)),
+              5368970893173404957ull);
+    EXPECT_EQ(fuzzgen::programDigest(generate(10, true)),
+              1681524620732066664ull);
+    EXPECT_EQ(fuzzgen::programDigest(generate(100, false)),
+              5388975628675541235ull);
+    EXPECT_EQ(fuzzgen::programDigest(generate(111, false)),
+              17986852954988325630ull);
+    // The explicit-vl overload leaves the stream untouched at the
+    // historical default.
+    EXPECT_EQ(fuzzgen::programDigest(
+                  generate(1, true, fuzzgen::DefaultVl)),
+              fuzzgen::programDigest(generate(1, true)));
 }
 
 class Fuzz : public ::testing::TestWithParam<FuzzCase>
@@ -223,7 +97,7 @@ TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
     seedMemory(ref_mem, fc.seed);
     exec::Interpreter ref(prog, ref_mem);
     ref.run(1ULL << 24);
-    const auto expect = snapshot(ref_mem);
+    const auto expect = regionSnapshot(ref_mem);
 
     // Run 0 steps every cycle; run 1 uses the quiescence fast-forward
     // engine; run 2 fast-forwards with the observability layer on
@@ -235,7 +109,7 @@ TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
     for (int run = 0; run < 3; ++run) {
         exec::FunctionalMemory mem;
         seedMemory(mem, fc.seed);
-        auto cfg = configFor(fc.machine);
+        auto cfg = fuzzgen::variantConfig(fc.machine);
         cfg.fastForward = (run >= 1);
         if (run == 2) {
             cfg.trace.events = true;
@@ -247,7 +121,7 @@ TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
         std::ostringstream os;
         cpu.stats().reportJson(os);
         stats[run] = os.str();
-        ASSERT_EQ(snapshot(mem), expect)
+        ASSERT_EQ(regionSnapshot(mem), expect)
             << "machine " << fc.machine << " seed " << fc.seed;
     }
     EXPECT_EQ(cycles[0], cycles[1])
@@ -309,7 +183,7 @@ TEST_P(FaultFuzz, SurvivedOrDetectedAndBitReproducible)
     seedMemory(ref_mem, seed);
     exec::Interpreter ref(prog, ref_mem);
     ref.run(1ULL << 24);
-    const auto expect = snapshot(ref_mem);
+    const auto expect = regionSnapshot(ref_mem);
 
     auto cfg = proc::tarantulaConfig();
     cfg.integrity.checks = true;
@@ -337,7 +211,7 @@ TEST_P(FaultFuzz, SurvivedOrDetectedAndBitReproducible)
             std::ostringstream os;
             cpu.stats().reportJson(os);
             stats[run] = os.str();
-            ASSERT_EQ(snapshot(mem), expect)
+            ASSERT_EQ(regionSnapshot(mem), expect)
                 << "seed " << seed << " plan "
                 << cfg.integrity.faults.summary();
         } catch (const PanicError &e) {
@@ -389,7 +263,7 @@ TEST(FaultFuzz, EveryFaultClassIsSurvivedOrDetected)
     seedMemory(ref_mem, seed);
     exec::Interpreter ref(prog, ref_mem);
     ref.run(1ULL << 24);
-    const auto expect = snapshot(ref_mem);
+    const auto expect = regionSnapshot(ref_mem);
 
     for (const auto kind : kinds) {
         SCOPED_TRACE(check::toString(kind));
@@ -403,7 +277,7 @@ TEST(FaultFuzz, EveryFaultClassIsSurvivedOrDetected)
         proc::Processor cpu(cfg, prog, mem);
         try {
             cpu.run(1ULL << 26);
-            EXPECT_EQ(snapshot(mem), expect);
+            EXPECT_EQ(regionSnapshot(mem), expect);
         } catch (const PanicError &e) {
             const std::string msg = e.what();
             EXPECT_TRUE(msg.find("integrity check") !=
@@ -441,7 +315,7 @@ TEST_P(SnapshotFuzz, ResumeReplaysIdentically)
 {
     const FuzzCase fc = GetParam();
     Program prog = generate(fc.seed, /*with_vector=*/true);
-    auto cfg = configFor(fc.machine);
+    auto cfg = fuzzgen::variantConfig(fc.machine);
     cfg.fastForward = (fc.seed % 2 == 0);
 
     // The reference: one uninterrupted run.
@@ -482,7 +356,7 @@ TEST_P(SnapshotFuzz, ResumeReplaysIdentically)
     EXPECT_EQ(res_os.str(), ref_os.str())
         << "machine " << fc.machine << " seed " << fc.seed
         << " snapshot cycle " << k;
-    EXPECT_EQ(snapshot(mem), snapshot(ref_mem))
+    EXPECT_EQ(regionSnapshot(mem), regionSnapshot(ref_mem))
         << "machine " << fc.machine << " seed " << fc.seed;
 }
 
@@ -625,7 +499,7 @@ TEST_P(CmpFuzz, PerCoreResultsIntactAndFastForwardInvisible)
         seedMemory(ref_mem, s);
         exec::Interpreter ref(progs.back(), ref_mem);
         ref.run(1ULL << 24);
-        expect.push_back(snapshot(ref_mem));
+        expect.push_back(regionSnapshot(ref_mem));
     }
 
     Cycle cycles[2] = {0, 0};
@@ -650,7 +524,7 @@ TEST_P(CmpFuzz, PerCoreResultsIntactAndFastForwardInvisible)
         cpu.stats().reportJson(os);
         stats[run] = os.str();
         for (unsigned i = 0; i < fc.cores; ++i) {
-            ASSERT_EQ(snapshot(mems[i]), expect[i])
+            ASSERT_EQ(regionSnapshot(mems[i]), expect[i])
                 << "core " << i << " seed " << fc.seed;
         }
     }
@@ -685,7 +559,8 @@ TEST(Fuzz, ScalarProgramsOnEv8)
         seedMemory(mem, seed);
         proc::Processor cpu(proc::ev8Config(), prog, mem);
         cpu.run(1ULL << 26);
-        ASSERT_EQ(snapshot(mem), snapshot(ref_mem)) << "seed " << seed;
+        ASSERT_EQ(regionSnapshot(mem), regionSnapshot(ref_mem))
+            << "seed " << seed;
     }
 }
 

@@ -72,7 +72,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "rndmemscale", "swim", "swim_naive", "art",
                       "sixtrack", "dgemm", "dtrmm", "sparsemxv", "fft",
                       "lu", "linpack100", "linpackTPP", "moldyn",
-                      "ccradix", "radix"),
+                      "ccradix", "radix", "blackscholes", "pathfinder",
+                      "pfilter", "daxpy", "daxpys"),
     [](const ::testing::TestParamInfo<const char *> &info) {
         std::string name = info.param;
         for (auto &c : name) {
@@ -86,13 +87,15 @@ TEST(WorkloadRegistry, SuitesAreComplete)
 {
     EXPECT_EQ(workloads::figureSuite().size(), 12u);
     EXPECT_EQ(workloads::microkernelSuite().size(), 6u);
+    EXPECT_EQ(workloads::rivecSuite().size(), 5u);
 }
 
 TEST(WorkloadRegistry, AllWorkloadsRoundTripsThroughByName)
 {
     const auto all = workloads::allWorkloads();
-    // 6 microkernels + 12 figure benchmarks + swim_naive + radix.
-    EXPECT_EQ(all.size(), 20u);
+    // 6 microkernels + 12 figure benchmarks + swim_naive + radix
+    // + 5 RiVEC-style kernels.
+    EXPECT_EQ(all.size(), 25u);
 
     std::set<std::string> names;
     for (const auto &w : all) {
@@ -102,11 +105,80 @@ TEST(WorkloadRegistry, AllWorkloadsRoundTripsThroughByName)
         EXPECT_EQ(workloads::byName(w.name).name, w.name);
     }
 
-    // Both suites are subsets of the full registry.
+    // All suites are subsets of the full registry.
     for (const auto &w : workloads::figureSuite())
         EXPECT_EQ(names.count(w.name), 1u) << w.name;
     for (const auto &w : workloads::microkernelSuite())
         EXPECT_EQ(names.count(w.name), 1u) << w.name;
+    for (const auto &w : workloads::rivecSuite())
+        EXPECT_EQ(names.count(w.name), 1u) << w.name;
+}
+
+// ---- VL-agnostic kernels --------------------------------------------
+
+/**
+ * The RiVEC-style kernels must compute the identical result at any
+ * requested vector length, including ones that leave a short tail
+ * strip, and twice in a row bit-identically (their init/check are
+ * deterministic functions of the name alone).
+ */
+class VlAgnostic
+    : public ::testing::TestWithParam<std::tuple<const char *, unsigned>>
+{
+};
+
+TEST_P(VlAgnostic, VectorMatchesReferenceAtVl)
+{
+    const auto [name, vl] = GetParam();
+    Workload w = workloads::byName(name, 0, vl);
+    EXPECT_TRUE(w.vlAgnostic);
+    runProgram(w.vectorProg, w.init, w.check, /*poison=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rivec, VlAgnostic,
+    ::testing::Combine(::testing::Values("blackscholes", "pathfinder",
+                                         "pfilter", "daxpy", "daxpys"),
+                       ::testing::Values(1u, 7u, 32u, 100u, 128u)),
+    [](const ::testing::TestParamInfo<std::tuple<const char *,
+                                                 unsigned>> &info) {
+        return std::string(std::get<0>(info.param)) + "_vl" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(VlAgnostic, RunTwiceIsBitIdentical)
+{
+    for (const char *name : {"blackscholes", "pathfinder", "pfilter",
+                             "daxpy", "daxpys"}) {
+        Workload w = workloads::byName(name, 0, 24);
+        exec::FunctionalMemory m1, m2;
+        w.init(m1);
+        w.init(m2);
+        exec::Interpreter i1(w.vectorProg, m1);
+        exec::Interpreter i2(w.vectorProg, m2);
+        const std::uint64_t n1 = i1.run(MaxSteps);
+        const std::uint64_t n2 = i2.run(MaxSteps);
+        EXPECT_EQ(n1, n2) << name;
+        EXPECT_TRUE(w.check(m1).empty()) << name;
+        EXPECT_TRUE(w.check(m2).empty()) << name;
+    }
+}
+
+TEST(VlAgnostic, ClassicKernelRejectsVlKnob)
+{
+    EXPECT_THROW(workloads::byName("dgemm", 0, 64), FatalError);
+    EXPECT_THROW(workloads::byName("daxpy", 0, 129), FatalError);
+}
+
+TEST(VlAgnostic, FuzzFamiliesResolveThroughByName)
+{
+    Workload v = workloads::byName("fuzz", 3, 0);
+    Workload s = workloads::byName("fuzzs", 3, 0);
+    EXPECT_EQ(v.name, "fuzz");
+    EXPECT_EQ(s.name, "fuzzs");
+    EXPECT_TRUE(v.vlAgnostic);
+    runProgram(v.vectorProg, v.init, v.check, /*poison=*/false);
+    runProgram(s.scalarProg, s.init, s.check, /*poison=*/false);
 }
 
 TEST(WorkloadRegistry, UnknownNameIsFatal)

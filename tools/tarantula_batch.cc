@@ -4,7 +4,7 @@
  * SimFarm's worker pool and export every result as JSON.
  *
  *   tarantula_batch [--machines EV8,T,...|all] [--workloads all|micro|
- *                   figure|NAME,NAME,...] [--cores LIST] [--jobs N]
+ *                   figure|rivec|NAME,...] [--cores LIST] [--jobs N]
  *                   [--json FILE] [--no-pump] [--force-crbox]
  *                   [--max-cycles N] [--faults SPEC] [--trace-dir DIR]
  *                   [--sample-every N] [--sample-stats PREFIXES]
@@ -96,13 +96,19 @@ usage()
         "usage: tarantula_batch [options]\n"
         "  --machines LIST  comma-separated Table 3 names, or 'all'\n"
         "                   (default T); EV8, EV8+, T, T4, T10\n"
-        "  --workloads LIST 'all', 'micro', 'figure', or a\n"
-        "                   comma-separated name list (default all);\n"
+        "  --workloads LIST 'all', 'micro', 'figure', 'rivec', or\n"
+        "                   a comma-separated name list (default all);\n"
         "                   an entry may be a '+'-joined per-core\n"
         "                   placement list (skipped at 1 core;\n"
         "                   needs some --cores entry > 1)\n"
         "  --cores LIST     comma-separated core counts; each adds a\n"
         "                   CMP grid dimension (default 1)\n"
+        "  --seeds LIST     comma-separated workload seeds; each adds\n"
+        "                   a grid dimension (default 0); seeds\n"
+        "                   parameterize the fuzz/fuzzs families\n"
+        "  --vls LIST       comma-separated vector lengths (default\n"
+        "                   0 = full VL); non-zero entries need\n"
+        "                   VL-agnostic workloads (see --list)\n"
         "  --jobs N         worker threads (default: host threads)\n"
         "  --json FILE      write the batch report there instead of\n"
         "                   stdout\n"
@@ -144,10 +150,16 @@ listEverything()
     std::printf("machines:\n");
     for (const auto &m : proc::machineNames())
         std::printf("  %s\n", m.c_str());
-    std::printf("workloads:\n");
+    std::printf("workloads ([vl] = VL-agnostic, accepts --vls):\n");
     for (const auto &w : workloads::allWorkloads())
-        std::printf("  %-14s %s\n", w.name.c_str(),
-                    w.description.c_str());
+        std::printf("  %-14s %s%s\n", w.name.c_str(),
+                    w.description.c_str(),
+                    w.vlAgnostic ? " [vl]" : "");
+    std::printf(
+        "  %-14s generated vector fuzz program [vl]; --seeds picks\n"
+        "  %-14s the program, see tarantula_fuzz\n"
+        "  %-14s generated scalar fuzz program [vl]\n",
+        "fuzz", "", "fuzzs");
 }
 
 std::uint64_t
@@ -206,6 +218,10 @@ run(int argc, char **argv)
             sweep.workloads = next();
         } else if (arg == "--cores") {
             sweep.cores = next();
+        } else if (arg == "--seeds") {
+            sweep.seeds = next();
+        } else if (arg == "--vls") {
+            sweep.vls = next();
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(parseU64(arg, next()));
         } else if (arg == "--json") {

@@ -76,10 +76,14 @@ usage()
         "sweep spec (pinned into DIR/sweep.json on first run):\n"
         "  --machines LIST  comma-separated Table 3 names, or 'all'\n"
         "                   (default T)\n"
-        "  --workloads LIST 'all', 'micro', 'figure', or a name list\n"
+        "  --workloads LIST 'all', 'micro', 'figure', 'rivec', or a name list\n"
         "                   (default all); entries may be '+'-joined\n"
         "                   per-core placement lists\n"
         "  --cores LIST     comma-separated core counts (default 1)\n"
+        "  --seeds LIST     comma-separated workload seeds (default\n"
+        "                   0); parameterize the fuzz/fuzzs families\n"
+        "  --vls LIST       comma-separated vector lengths (default\n"
+        "                   0 = full VL; needs VL-agnostic workloads)\n"
         "  --no-pump | --force-crbox | --check | --no-fast-forward\n"
         "  --deadlock-cycles N | --max-cycles N | --faults SPEC\n"
         "  --sample-every N | --sample-stats PREFIXES\n"
@@ -188,6 +192,10 @@ run(int argc, char **argv)
             sweep.workloads = next();
         } else if (arg == "--cores") {
             sweep.cores = next();
+        } else if (arg == "--seeds") {
+            sweep.seeds = next();
+        } else if (arg == "--vls") {
+            sweep.vls = next();
         } else if (arg == "--no-pump") {
             sweep.noPump = true;
         } else if (arg == "--force-crbox") {

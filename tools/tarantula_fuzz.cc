@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Differential-fuzz campaign driver (DESIGN.md §13): expand a seed
+ * range x variant grid x fault-plan set x VL set into three-mode
+ * campaign points, run them through SimFarm threads or
+ * tarantula_worker processes, and write the
+ * tarantula.fuzzcampaign.v1 divergence report.
+ *
+ *   tarantula_fuzz --dir DIR [--seeds A..B] [--variants LIST]
+ *                  [--fault-plans SPEC;SPEC...] [--vls LIST]
+ *                  [--max-cycles N] [--deadlock-cycles N]
+ *                  [--jobs N | --workers N] [--json FILE]
+ *                  [--quiet] [--list]
+ *
+ * Every point runs the same generated program on the same machine
+ * through three engines -- stepped, fast-forwarded, and
+ * fast-forwarded with a mid-run snapshot/teardown/restore -- and the
+ * report flags any disagreement (an engine bug) and any agreed-on
+ * failure (the shape a corruption fault plan produces when its
+ * integrity checker fires). Records land in the ordinary
+ * BatchManifest under --dir, so an interrupted campaign resumes by
+ * rerunning the same command, and a serial rerun writes a
+ * byte-identical report.
+ *
+ * Exit status: 0 = campaign clean, 1 = divergences found (see the
+ * report), 2 = usage or setup error.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "farm/spawn.hh"
+#include "farm/status.hh"
+#include "fuzzgen/fuzzgen.hh"
+#include "sim/batch_manifest.hh"
+#include "sim/fuzz_campaign.hh"
+#include "sim/result_sink.hh"
+#include "sim/sim_farm.hh"
+#include "sim/sweep.hh"
+
+using namespace tarantula;
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signals = 0;
+sim::SimFarm *g_farm = nullptr;
+
+void
+onSignal(int)
+{
+    g_signals = g_signals + 1;  // no volatile ++ in C++20
+    if (g_signals >= 2)
+        ::_exit(130);
+    if (g_farm)
+        g_farm->requestStop();
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: tarantula_fuzz --dir DIR [options]\n"
+        "  --dir DIR        campaign directory: job records, the\n"
+        "                   pinned sweep and forensic traces live\n"
+        "                   here; rerun the same command to resume\n"
+        "  --seeds A..B     generator seed range, inclusive (also\n"
+        "                   accepts a single seed; default 1..8)\n"
+        "  --variants LIST  comma-separated fuzz variants: T, T4,\n"
+        "                   nopump, crbox, or any Table 3 machine\n"
+        "                   (default T,T4,nopump,crbox)\n"
+        "  --fault-plans L  semicolon-separated FaultPlan specs\n"
+        "                   (e.g. 'drop_fill@3000;random:7@20000');\n"
+        "                   the clean plan always sweeps first\n"
+        "  --vls LIST       comma-separated VL knob values; 0 = the\n"
+        "                   full machine VL (default 0)\n"
+        "  --max-cycles N   per-job simulated-cycle budget\n"
+        "  --deadlock-cycles N  no-retirement watchdog on fault\n"
+        "                   points (default 500000)\n"
+        "  --jobs N         in-process worker threads (default: host\n"
+        "                   threads)\n"
+        "  --workers N      run through N tarantula_worker processes\n"
+        "                   instead of in-process threads\n"
+        "  --worker-bin P   tarantula_worker executable (default:\n"
+        "                   next to this binary)\n"
+        "  --json FILE      write the campaign report there instead\n"
+        "                   of stdout\n"
+        "  --quiet          no per-job progress on stderr\n"
+        "  --list           list fuzz variants, then exit\n");
+}
+
+void
+listEverything()
+{
+    std::printf("fuzz variants:\n");
+    for (const auto &name : fuzzgen::variantNames()) {
+        const fuzzgen::Variant v = fuzzgen::variantByName(name);
+        std::printf("  %-8s machine %s%s%s\n", name.c_str(),
+                    v.machine.c_str(), v.noPump ? ", pump off" : "",
+                    v.forceCrBox ? ", CR box forced" : "");
+    }
+    std::printf("(any Table 3 machine name is also a variant; scalar\n"
+                " machines fuzz the scalar generator)\n"
+                "workload families: fuzz (vector), fuzzs (scalar) --\n"
+                " also sweepable via tarantula_batch --workloads fuzz\n"
+                " --seeds LIST --vls LIST\n");
+}
+
+std::uint64_t
+parseU64(const std::string &arg, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("invalid number '%s' for %s", value.c_str(),
+              arg.c_str());
+    }
+}
+
+/** "A..B" or "N" -> [lo, hi] inclusive. */
+void
+parseSeedRange(const std::string &spec, std::uint64_t &lo,
+               std::uint64_t &hi)
+{
+    const std::size_t dots = spec.find("..");
+    if (dots == std::string::npos) {
+        lo = hi = parseU64("--seeds", spec);
+        return;
+    }
+    lo = parseU64("--seeds", spec.substr(0, dots));
+    hi = parseU64("--seeds", spec.substr(dots + 2));
+    if (hi < lo)
+        fatal("--seeds range '%s' is empty", spec.c_str());
+}
+
+int
+run(int argc, char **argv)
+{
+    sim::CampaignOptions opt;
+    std::string dir;
+    std::string json_file;
+    unsigned jobs = 0;
+    unsigned workers = 0;
+    std::string worker_bin;
+    bool quiet = false;
+
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const std::size_t eq = a.find('=');
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-' &&
+            eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string arg = args[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                fatal("missing value for %s", arg.c_str());
+            return args[++i];
+        };
+        if (arg == "--dir") {
+            dir = next();
+        } else if (arg == "--seeds") {
+            parseSeedRange(next(), opt.seedLo, opt.seedHi);
+        } else if (arg == "--variants") {
+            opt.variants = next();
+        } else if (arg == "--fault-plans") {
+            opt.faultPlans = next();
+        } else if (arg == "--vls") {
+            opt.vls = next();
+        } else if (arg == "--max-cycles") {
+            opt.maxCycles = parseU64(arg, next());
+        } else if (arg == "--deadlock-cycles") {
+            opt.deadlockCycles = parseU64(arg, next());
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--workers") {
+            workers = static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--worker-bin") {
+            worker_bin = next();
+        } else if (arg == "--json") {
+            json_file = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list") {
+            listEverything();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (dir.empty()) {
+        usage();
+        fatal("--dir DIR is required (records and the report's "
+              "forensic traces live there)");
+    }
+
+    std::vector<sim::Job> grid;
+    try {
+        grid = sim::buildCampaign(opt);
+    } catch (const std::invalid_argument &e) {
+        fatal("%s", e.what());
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    if (workers > 0) {
+        // Distributed execution over the campaign directory: pin the
+        // job list, let tarantula_worker processes lease and run it.
+        std::vector<sim::Job> pinned;
+        try {
+            pinned = sim::declareSweep(dir, grid);
+        } catch (const std::invalid_argument &e) {
+            fatal("%s", e.what());
+        }
+        farm::WorkerCommand cmd;
+        cmd.binPath = worker_bin.empty()
+            ? farm::selfExeDir() + "/tarantula_worker"
+            : worker_bin;
+        cmd.dir = dir;
+        unsigned next_name = 0;
+        std::vector<pid_t> pids;
+        auto spawnOne = [&] {
+            cmd.name = "w" + std::to_string(++next_name);
+            pids.push_back(farm::spawnWorker(cmd));
+        };
+        for (unsigned i = 0; i < workers; ++i)
+            spawnOne();
+        std::fprintf(stderr,
+                     "fuzz: %zu campaign jobs (%zu points) through "
+                     "%u worker processes over %s\n",
+                     pinned.size(), pinned.size() / 3, workers,
+                     dir.c_str());
+        bool draining = false;
+        for (;;) {
+            farm::reapExited(pids);
+            if (g_signals && !draining) {
+                draining = true;
+                for (pid_t pid : pids)
+                    farm::drainWorker(pid);
+                std::fprintf(stderr,
+                             "fuzz: interrupted; draining workers "
+                             "(rerun to resume)\n");
+            }
+            if (draining) {
+                if (pids.empty())
+                    return 130;
+            } else if (farm::scanFarm(dir).complete()) {
+                break;
+            } else if (pids.empty()) {
+                spawnOne();
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+        while (!pids.empty()) {
+            farm::reapExited(pids);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    } else {
+        // In-process execution with manifest resume: jobs already
+        // recorded under --dir are never re-run.
+        const sim::BatchManifest manifest(dir);
+        sim::SimFarm farm(jobs);
+        g_farm = &farm;
+        std::size_t skipped = 0;
+        sim::BatchRecord ignored;
+        for (const auto &job : grid) {
+            if (manifest.load(job, ignored))
+                ++skipped;
+            else
+                farm.submit(job);
+        }
+        std::fprintf(stderr,
+                     "fuzz: %zu campaign jobs (%zu points); %zu "
+                     "already recorded, running %zu on %u threads\n",
+                     grid.size(), grid.size() / 3, skipped,
+                     farm.pending(), farm.threads());
+        auto progress = [&](const sim::JobResult &r, std::size_t done,
+                            std::size_t total) {
+            manifest.store(r.job, sim::toBatchRecord(r, true));
+            if (quiet)
+                return;
+            std::fprintf(stderr, "[%3zu/%zu] %-9s %s seed %llu\n",
+                         done, total, sim::toString(r.status),
+                         sim::BatchManifest::jobKey(r.job).c_str(),
+                         static_cast<unsigned long long>(r.job.seed));
+        };
+        farm.run(progress);
+        g_farm = nullptr;
+        if (g_signals) {
+            std::fprintf(stderr,
+                         "fuzz: interrupted; completed records are "
+                         "in %s; rerun the same command to resume\n",
+                         dir.c_str());
+            return 130;
+        }
+    }
+
+    // Analysis: load every record back in campaign order and write
+    // the divergence report. This pass is deterministic -- a serial
+    // rerun over the same records produces byte-identical output.
+    std::ostringstream report;
+    std::size_t divergences = 0;
+    try {
+        divergences = sim::writeCampaignReport(report, dir, opt);
+    } catch (const std::invalid_argument &e) {
+        fatal("%s", e.what());
+    }
+    if (json_file.empty()) {
+        std::cout << report.str();
+    } else {
+        std::ofstream out(json_file);
+        if (!out)
+            fatal("cannot open '%s'", json_file.c_str());
+        out << report.str();
+        std::fprintf(stderr, "fuzz: report written to %s\n",
+                     json_file.c_str());
+    }
+    std::fprintf(stderr, "fuzz: %zu points, %zu divergences\n",
+                 grid.size() / 3, divergences);
+    return divergences == 0 ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &) {
+        return 2; // fatal() already printed the message
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}
