@@ -1,26 +1,48 @@
 /**
  * @file
- * Host-performance microbenchmark for the quiescence fast-forward
- * engine (DESIGN.md §8): run the same programs with fast-forward off
- * (strict cycle stepping) and on, verify the simulated timing is
- * bit-identical, and report simulated cycles per host second for both
- * modes plus the speedup.
+ * Host-performance microbenchmark for the simulator's two speed
+ * engines, both of which must be bit-identical to the reference path:
  *
- * The headline case is a pointer-chasing dependent-load chain over a
- * cold footprint: the machine spends almost every cycle waiting on
- * memory, which is exactly the phase the engine can skip. Bandwidth-
- * and compute-bound workloads from the registry are included to show
- * the engine never pays more than the horizon bookkeeping there.
+ *  - the quiescence fast-forward engine (DESIGN.md §8): run the same
+ *    programs with fast-forward off (strict cycle stepping) and on,
+ *    verify the simulated timing is bit-identical, and report
+ *    simulated cycles per host second for both modes plus the speedup.
+ *
+ *  - the predecoded-µop engine (DESIGN.md §14): run the same
+ *    workloads with the µop cache off (reference decode-per-step
+ *    interpreter) and on, again verifying bit-identical cycles, and
+ *    additionally time the bare functional engine (Interpreter::run,
+ *    no timing model) where the decode savings show up undiluted.
+ *
+ * The fast-forward headline is a pointer-chasing dependent-load chain
+ * over a cold footprint: the machine spends almost every cycle waiting
+ * on memory, which is exactly the phase the engine can skip. The µop
+ * headline is the dgemm-class compute kernels, where decode overhead
+ * dominates the functional half of the work.
+ *
+ * Every measured row is also emitted as a tarantula.bench.v1 JSON
+ * document (BENCH_host_perf.json by default, --json FILE to move it)
+ * so sweeps over commits can chart engine speed without scraping the
+ * table (see EXPERIMENTS.md).
  *
  * Smoke mode (TARANTULA_BENCH_SMOKE=1 or --smoke) shrinks the chase
- * so CI can run the binary in seconds.
+ * so CI can run the binary in seconds. The µop section's off/on cycle
+ * comparison still runs in smoke mode -- that divergence check is a
+ * CI gate -- but the functional speed gate (>= 5x on dgemm) only
+ * applies to full runs, where timing noise cannot trip it.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
+#include "exec/interp.hh"
 #include "program/assembler.hh"
+#include "sim/json.hh"
 
 using namespace tarantula;
 using namespace tarantula::bench;
@@ -31,6 +53,24 @@ using program::R;
 
 namespace
 {
+
+/** Minimum acceptable µop-engine speedup on the bare functional run
+ *  of dgemm (full mode only; the design target is 10x). */
+constexpr double UcacheFunctionalGate = 5.0;
+
+/** One measured table row, kept for the JSON report. */
+struct BenchRow
+{
+    std::string section;
+    std::string name;
+    std::uint64_t work = 0;     ///< cycles (timed) or insts (functional)
+    double baseRate = 0.0;      ///< reference-mode rate (M/s)
+    double fastRate = 0.0;      ///< fast-mode rate (M/s)
+    double speedup = 0.0;
+    double extra = 0.0;         ///< skipped%% / overhead%% where relevant
+};
+
+std::vector<BenchRow> g_rows;
 
 /** Dependent-load chain: every iteration misses all caches. */
 Program
@@ -58,24 +98,86 @@ runProgram(const proc::MachineConfig &cfg, const Program &prog)
     return p.run(8ULL << 30);
 }
 
-void
-report(const char *name, const proc::RunResult &stepped,
-       const proc::RunResult &ff)
+double
+speedupOf(double base_ms, double fast_ms)
 {
-    if (stepped.cycles != ff.cycles)
-        fatal("%s: fast-forward diverged: %llu vs %llu cycles", name,
-              static_cast<unsigned long long>(stepped.cycles),
-              static_cast<unsigned long long>(ff.cycles));
-    const double speedup =
-        stepped.hostMillis > 0.0 && ff.hostMillis > 0.0
-            ? stepped.hostMillis / ff.hostMillis
-            : 0.0;
+    return base_ms > 0.0 && fast_ms > 0.0 ? base_ms / fast_ms : 0.0;
+}
+
+void
+report(const char *section, const char *name,
+       const proc::RunResult &base, const proc::RunResult &fast,
+       const char *base_label, double extra)
+{
+    if (base.cycles != fast.cycles)
+        fatal("%s: %s diverged: %llu vs %llu cycles", name, base_label,
+              static_cast<unsigned long long>(base.cycles),
+              static_cast<unsigned long long>(fast.cycles));
+    const double speedup = speedupOf(base.hostMillis, fast.hostMillis);
     std::printf("%-12s %11llu %9.2f %9.2f %7.2fx %6.1f%%\n", name,
-                static_cast<unsigned long long>(ff.cycles),
-                stepped.simCyclesPerHostSec() / 1e6,
-                ff.simCyclesPerHostSec() / 1e6, speedup,
-                100.0 * static_cast<double>(ff.ffSkippedCycles) /
-                    static_cast<double>(ff.cycles ? ff.cycles : 1));
+                static_cast<unsigned long long>(fast.cycles),
+                base.simCyclesPerHostSec() / 1e6,
+                fast.simCyclesPerHostSec() / 1e6, speedup, extra);
+    g_rows.push_back({section, name, fast.cycles,
+                      base.simCyclesPerHostSec() / 1e6,
+                      fast.simCyclesPerHostSec() / 1e6, speedup,
+                      extra});
+}
+
+/** Bare functional engine run: no timing model, just the committed
+ *  architectural work. This is where decode cost is undiluted. */
+struct FuncResult
+{
+    std::uint64_t insts = 0;
+    double hostMillis = 0.0;
+};
+
+FuncResult
+runFunctional(const workloads::Workload &w, bool ucache)
+{
+    exec::FunctionalMemory mem;
+    w.init(mem);
+    exec::Interpreter interp(w.vectorProg, mem);
+    interp.setUcache(ucache);
+    const auto t0 = std::chrono::steady_clock::now();
+    FuncResult r;
+    r.insts = interp.run();
+    r.hostMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0).count();
+    const std::string err = w.check(mem);
+    if (!err.empty())
+        fatal("%s (functional, ucache %s): wrong result: %s",
+              w.name.c_str(), ucache ? "on" : "off", err.c_str());
+    return r;
+}
+
+void
+writeJson(const std::string &path, bool smoke)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s'", path.c_str());
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("tarantula.bench.v1");
+    w.key("bench").value("host_perf");
+    w.key("smoke").value(smoke);
+    w.key("rows").beginArray();
+    for (const auto &r : g_rows) {
+        w.beginObject();
+        w.key("section").value(r.section);
+        w.key("name").value(r.name);
+        w.key("work").value(r.work);
+        w.key("baseRate").value(r.baseRate);
+        w.key("fastRate").value(r.fastRate);
+        w.key("speedup").value(r.speedup);
+        w.key("extra").value(r.extra);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
 }
 
 } // anonymous namespace
@@ -84,11 +186,23 @@ int
 main(int argc, char **argv)
 {
     const bool smoke = smokeMode(argc, argv);
+    bool ucache_default = true;
+    std::string json_path = "BENCH_host_perf.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-ucache") == 0)
+            ucache_default = false;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
 
-    std::printf("Host performance: quiescence fast-forward engine%s\n",
+    std::printf("Host performance: engine speed%s\n",
                 smoke ? " (smoke)" : "");
-    std::printf("Simulated timing is bit-identical in both modes "
-                "(verified per row).\n\n");
+    std::printf("Simulated timing is bit-identical in every mode pair "
+                "(verified per row).\n");
+
+    std::printf("\nQuiescence fast-forward engine "
+                "(µop engine %s on both sides):\n",
+                ucache_default ? "on" : "off");
     std::printf("%-12s %11s %9s %9s %8s %7s\n", "program", "cycles",
                 "step Mc/s", "ff Mc/s", "speedup", "skipped");
     rule(62);
@@ -98,13 +212,16 @@ main(int argc, char **argv)
         const Program prog = chaseProgram(smoke ? 2'000 : 20'000);
         for (const char *machine : {"EV8", "T"}) {
             proc::MachineConfig cfg = proc::machineByName(machine);
+            cfg.ucache = ucache_default;
             cfg.fastForward = false;
             const auto stepped = runProgram(cfg, prog);
             cfg.fastForward = true;
             const auto ff = runProgram(cfg, prog);
             char label[32];
             std::snprintf(label, sizeof(label), "chase/%s", machine);
-            report(label, stepped, ff);
+            report("fastForward", label, stepped, ff, "fast-forward",
+                   100.0 * static_cast<double>(ff.ffSkippedCycles) /
+                       static_cast<double>(ff.cycles ? ff.cycles : 1));
         }
     }
 
@@ -113,12 +230,76 @@ main(int argc, char **argv)
     for (const char *name : {"sparsemxv", "rndcopy", "dgemm"}) {
         const workloads::Workload w = workloads::byName(name);
         proc::MachineConfig cfg = proc::machineByName("T");
+        cfg.ucache = ucache_default;
         cfg.fastForward = false;
         const auto stepped = runOn(cfg, w);
         cfg.fastForward = true;
         const auto ff = runOn(cfg, w);
-        report(name, stepped, ff);
+        report("fastForward", name, stepped, ff, "fast-forward",
+               100.0 * static_cast<double>(ff.ffSkippedCycles) /
+                   static_cast<double>(ff.cycles ? ff.cycles : 1));
     }
+
+    // Predecoded-µop engine, full simulation: the same run with the
+    // reference decode-per-step interpreter and with the µop cache.
+    // The cycle comparison in report() is the divergence gate CI
+    // relies on -- any semantic drift between the engines shows up as
+    // a different cycle count (or a failed workload check) here.
+    std::printf("\nPredecoded-µop engine, full simulation "
+                "(fast-forward on):\n");
+    std::printf("%-12s %11s %9s %9s %8s %7s\n", "workload", "cycles",
+                "off Mc/s", "on Mc/s", "speedup", "");
+    rule(62);
+    for (const char *name : {"sparsemxv", "rndcopy", "dgemm"}) {
+        const workloads::Workload w = workloads::byName(name);
+        proc::MachineConfig cfg = proc::machineByName("T");
+        cfg.fastForward = true;
+        cfg.ucache = false;
+        const auto off = runOn(cfg, w);
+        cfg.ucache = true;
+        const auto on = runOn(cfg, w);
+        report("ucacheFullSim", name, off, on, "µop engine", 0.0);
+    }
+
+    // Predecoded-µop engine, bare functional runs: Interpreter::run
+    // with no timing model. Decode cost is undiluted here, so this is
+    // the engine-speed metric the µop cache is designed for.
+    std::printf("\nPredecoded-µop engine, functional only "
+                "(no timing model):\n");
+    std::printf("%-12s %11s %9s %9s %8s\n", "workload", "insts",
+                "off Mi/s", "on Mi/s", "speedup");
+    rule(54);
+    double dgemm_func_speedup = 0.0;
+    for (const char *name : {"sparsemxv", "rndcopy", "dgemm"}) {
+        const workloads::Workload w = workloads::byName(name);
+        const FuncResult off = runFunctional(w, false);
+        const FuncResult on = runFunctional(w, true);
+        if (off.insts != on.insts)
+            fatal("%s: functional µop run diverged: %llu vs %llu "
+                  "insts", name,
+                  static_cast<unsigned long long>(off.insts),
+                  static_cast<unsigned long long>(on.insts));
+        const double speedup =
+            speedupOf(off.hostMillis, on.hostMillis);
+        auto mips = [](const FuncResult &r) {
+            return r.hostMillis > 0.0
+                ? static_cast<double>(r.insts) / r.hostMillis / 1e3
+                : 0.0;
+        };
+        std::printf("%-12s %11llu %9.2f %9.2f %7.2fx\n", name,
+                    static_cast<unsigned long long>(on.insts),
+                    mips(off), mips(on), speedup);
+        g_rows.push_back({"ucacheFunctional", name, on.insts,
+                          mips(off), mips(on), speedup, 0.0});
+        if (std::strcmp(name, "dgemm") == 0)
+            dgemm_func_speedup = speedup;
+    }
+    // The gate runs in smoke mode too (CI's bench-smoke depends on
+    // it): even at smoke sizes dgemm clears 15x, a 3x margin.
+    if (dgemm_func_speedup < UcacheFunctionalGate)
+        fatal("µop engine functional speedup on dgemm is %.2fx, "
+              "below the %.1fx gate (target 10x)",
+              dgemm_func_speedup, UcacheFunctionalGate);
 
     // Observability overhead (DESIGN.md §9): the same fast-forwarded
     // run with event tracing and 1k-cycle sampling on. Simulated
@@ -133,6 +314,7 @@ main(int argc, char **argv)
     for (const char *name : {"sparsemxv", "dgemm"}) {
         const workloads::Workload w = workloads::byName(name);
         proc::MachineConfig cfg = proc::machineByName("T");
+        cfg.ucache = ucache_default;
         cfg.fastForward = true;
         const auto bare = runOn(cfg, w);
         cfg.trace.events = true;
@@ -151,6 +333,15 @@ main(int argc, char **argv)
                     bare.simCyclesPerHostSec() / 1e6,
                     traced.simCyclesPerHostSec() / 1e6,
                     100.0 * overhead);
+        g_rows.push_back({"tracingOverhead", name, traced.cycles,
+                          bare.simCyclesPerHostSec() / 1e6,
+                          traced.simCyclesPerHostSec() / 1e6,
+                          speedupOf(traced.hostMillis, bare.hostMillis),
+                          100.0 * overhead});
     }
+
+    writeJson(json_path, smoke);
+    std::printf("\nJSON report: %s (tarantula.bench.v1)\n",
+                json_path.c_str());
     return 0;
 }

@@ -111,6 +111,28 @@ class ArchState
         return v == isa::ZeroReg ? VecValue{} : vecRegs_[v];
     }
 
+    /**
+     * @name Raw element pointers for the µop engine (exec/ucache.cc).
+     * The hardwired-zero contract survives without a per-element
+     * branch: v31 source reads come from a pinned all-zero register
+     * and v31 destination writes land in a discard sink. Neither
+     * array is architectural state (the sink is never read back and
+     * neither is serialized), so snapshots stay byte-identical.
+     */
+    /// @{
+    const Quadword *
+    vecSrc(isa::RegIndex v) const
+    {
+        return v == isa::ZeroReg ? ZeroVec.data() : vecRegs_[v].data();
+    }
+
+    Quadword *
+    vecDst(isa::RegIndex v)
+    {
+        return v == isa::ZeroReg ? vecSink_.data() : vecRegs_[v].data();
+    }
+    /// @}
+
     // ---- control registers --------------------------------------------
     unsigned vl() const { return vl_; }
     void
@@ -172,9 +194,13 @@ class ArchState
     }
 
   private:
+    /** What every v31 source read observes (vecSrc). */
+    static constexpr VecValue ZeroVec{};
+
     std::array<std::uint64_t, 32> intRegs_;
     std::array<std::uint64_t, 32> fpRegs_;
     std::array<VecValue, NumVectorRegs> vecRegs_;
+    VecValue vecSink_{};    ///< where v31 destination writes vanish
     unsigned vl_;
     std::int64_t vs_;
     std::bitset<MaxVectorLength> vm_;

@@ -27,6 +27,10 @@ Interpreter::Interpreter(const program::Program &prog,
 void
 Interpreter::step(DynInst &out)
 {
+    if (ucacheOn_) {
+        stepUcache(out);
+        return;
+    }
     if (halted_)
         panic("interp: step() after halt");
     if (pc_ >= prog_.size())
@@ -92,6 +96,8 @@ Interpreter::step(DynInst &out)
 std::uint64_t
 Interpreter::run(std::uint64_t max_steps)
 {
+    if (ucacheOn_)
+        return runUcache(max_steps);
     DynInst scratch;
     std::uint64_t n = 0;
     while (!halted_) {

@@ -13,6 +13,7 @@
 #include "exec/arch_state.hh"
 #include "exec/dyn_inst.hh"
 #include "exec/memory.hh"
+#include "exec/ucache.hh"
 #include "program/program.hh"
 
 namespace tarantula::exec
@@ -83,6 +84,10 @@ class Interpreter
         poisonTail_ = in.b();
         state_.restore(in);
         mem_.restore(in);
+        // The µop cache is derived state: never serialized, dropped
+        // here so a restored machine re-lowers on demand (the memory
+        // restore above likewise invalidated its DMI pointers).
+        ucache_.invalidate();
     }
 
     /**
@@ -97,6 +102,20 @@ class Interpreter
     /** The canary written into UNPREDICTABLE tail elements. */
     static constexpr Quadword TailPoison = 0xdeadbeefcafef00dULL;
 
+    /**
+     * Select the execution engine (MachineConfig::ucache): the
+     * predecoded-µop fast path (default) or the legacy decode-every-
+     * step switch cascade. Both are byte-identical by contract --
+     * architectural state, DynInst streams, snapshots and therefore
+     * every cycle count match exactly (tests/test_ucache.cc).
+     */
+    void setUcache(bool on) { ucacheOn_ = on; }
+    bool ucacheEnabled() const { return ucacheOn_; }
+
+    /** The decode cache (tests and the engine bench poke at it). */
+    UopCache &uopCache() { return ucache_; }
+    const UopCache &uopCache() const { return ucache_; }
+
   private:
     void execScalarInt(const isa::Inst &in);
     void execScalarFp(const isa::Inst &in);
@@ -107,13 +126,26 @@ class Interpreter
     void execVecControl(const isa::Inst &in);
     void poison(const isa::Inst &in);
 
+    // ---- µop fast path (exec/ucache.cc) -------------------------------
+    void stepUcache(DynInst &out);
+    std::uint64_t runUcache(std::uint64_t max_steps);
+    /**
+     * The threaded dispatch loop. Record mints the DynInst the timing
+     * models consume; SingleStep executes exactly one µop (the step()
+     * contract) instead of running to halt. Returns µops executed.
+     */
+    template <bool Record, bool SingleStep>
+    std::uint64_t ucacheExec(DynInst *out, std::uint64_t max_steps);
+
     const program::Program &prog_;
     FunctionalMemory &mem_;
     ArchState state_;
+    UopCache ucache_;
     std::uint32_t pc_ = 0;
     std::uint64_t seq_ = 0;
     bool halted_ = false;
     bool poisonTail_ = false;
+    bool ucacheOn_ = true;
 };
 
 } // namespace tarantula::exec

@@ -36,9 +36,18 @@ class FunctionalMemory
     Quadword
     readQ(Addr addr) const
     {
-        const std::uint8_t *frame = findFrame(addr);
-        if (!frame)
-            return 0;
+        const Addr num = frameNum(addr);
+        const unsigned w = dmiWay(num);
+        const std::uint8_t *frame;
+        if (dmiNum_[w] == num) {
+            frame = dmiPtr_[w];
+        } else {
+            frame = findFrame(addr);
+            if (!frame)
+                return 0;   // absent frames read as zero, uncached
+            dmiNum_[w] = num;
+            dmiPtr_[w] = const_cast<std::uint8_t *>(frame);
+        }
         Quadword val;
         std::memcpy(&val, frame + offset(addr), sizeof(val));
         return val;
@@ -48,7 +57,17 @@ class FunctionalMemory
     void
     writeQ(Addr addr, Quadword val)
     {
-        std::memcpy(frameFor(addr) + offset(addr), &val, sizeof(val));
+        const Addr num = frameNum(addr);
+        const unsigned w = dmiWay(num);
+        std::uint8_t *frame;
+        if (dmiNum_[w] == num) {
+            frame = dmiPtr_[w];
+        } else {
+            frame = frameFor(addr);
+            dmiNum_[w] = num;
+            dmiPtr_[w] = frame;
+        }
+        std::memcpy(frame + offset(addr), &val, sizeof(val));
     }
 
     /** Read a double (bit pattern of the quadword at @p addr). */
@@ -133,6 +152,9 @@ class FunctionalMemory
     {
         in.section("memory");
         frames_.clear();
+        // The DMI cache points into the frames just freed; a stale
+        // entry after restore would be a use-after-free.
+        invalidateDmi();
         const std::uint64_t count = in.u64();
         for (std::uint64_t i = 0; i < count; ++i) {
             const Addr num = in.u64();
@@ -143,6 +165,31 @@ class FunctionalMemory
     }
 
   private:
+    /**
+     * DMI-style frame-pointer cache: a tiny direct-mapped map from
+     * frame number to host frame pointer, skipping the hash lookup on
+     * the (vastly common) case of quadword traffic hammering a few
+     * frames. Frames are never freed except in restore(), which
+     * invalidates the cache, and the pointers live inside unique_ptr
+     * values, so map rehashing never moves them. Purely a host-side
+     * accelerator: contents read/written are identical either way.
+     */
+    static constexpr unsigned DmiWays = 4;
+    static constexpr Addr NoFrame = ~Addr(0);   // unreachable number
+
+    static unsigned
+    dmiWay(Addr num)
+    {
+        return static_cast<unsigned>(num) & (DmiWays - 1);
+    }
+
+    void
+    invalidateDmi()
+    {
+        for (unsigned w = 0; w < DmiWays; ++w)
+            dmiNum_[w] = NoFrame;
+    }
+
     static Addr frameNum(Addr addr) { return addr >> FrameBits; }
     static std::size_t
     offset(Addr addr)
@@ -169,6 +216,8 @@ class FunctionalMemory
     }
 
     std::unordered_map<Addr, std::unique_ptr<std::uint8_t[]>> frames_;
+    mutable Addr dmiNum_[DmiWays] = {NoFrame, NoFrame, NoFrame, NoFrame};
+    mutable std::uint8_t *dmiPtr_[DmiWays] = {};
 };
 
 } // namespace tarantula::exec

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The predecoded-µop cache (DESIGN.md §14).
+ *
+ * The baseline interpreter re-derives everything about an instruction
+ * on every dynamic execution: instClass() to pick an exec routine, a
+ * nested opcode switch inside it, and -- for vector operates -- that
+ * whole cascade *per element*. The µop cache lowers each static
+ * instruction exactly once into a flat Uop: a dense handler id that
+ * jumps straight to a specialized routine (data type, and for the odd
+ * corner cases the legacy path, resolved at decode time), the operand
+ * indices, and pre-cast immediates. The threaded dispatch loop lives
+ * in ucache.cc (Interpreter::ucacheExec).
+ *
+ * The cache is pure derived state: it depends only on the immutable
+ * Program, is rebuilt on demand, and is never serialized -- snapshots
+ * (tarantula.snapshot.v2) are byte-identical with the cache on or off,
+ * and Interpreter::restore() invalidates it so a restored machine
+ * re-lowers lazily. Execution results are byte-identical to the
+ * legacy path by contract; tests/test_ucache.cc and the fuzz battery
+ * difference the two engines.
+ */
+
+#ifndef TARANTULA_EXEC_UCACHE_HH
+#define TARANTULA_EXEC_UCACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/instruction.hh"
+#include "program/program.hh"
+
+namespace tarantula::exec
+{
+
+/**
+ * Dense µop handler ids, one per specialized exec routine. Generated
+ * from an X-macro so the dispatch tables in ucache.cc can never fall
+ * out of order with the enum. Vector-operate handlers are specialized
+ * by element data type (Q/T) where semantics differ; combos the fast
+ * path does not cover (e.g. the asserting Q forms of vdiv/vsqrt/vfmac,
+ * the rare vector-control ops) fall back to the legacy exec routines
+ * via the *Slow handlers, so decode is total and semantics are
+ * inherited, never re-implemented, for the corner cases.
+ */
+#define TARANTULA_UOP_HANDLERS(X)                                       \
+    /* scalar integer operate */                                        \
+    X(HAddq) X(HSubq) X(HMulq) X(HAnd) X(HOr) X(HXor)                   \
+    X(HSll) X(HSrl) X(HSra)                                             \
+    X(HCmpeq) X(HCmplt) X(HCmple) X(HCmpult) X(HLda) X(HFtoit)          \
+    /* scalar floating point */                                         \
+    X(HAddt) X(HSubt) X(HMult) X(HDivt) X(HSqrtt)                       \
+    X(HCmpteq) X(HCmptlt) X(HCmptle)                                    \
+    X(HCvtqt) X(HCvttq) X(HFmov) X(HItoft)                              \
+    /* scalar memory */                                                 \
+    X(HLdq) X(HLdt) X(HStq) X(HStt)                                     \
+    /* scalar control */                                                \
+    X(HBr) X(HBeq) X(HBne) X(HBlt) X(HBge) X(HBle) X(HBgt)              \
+    X(HFbeq) X(HFbne)                                                   \
+    /* misc (HPrefetch also covers wh64: same EA-only semantics) */     \
+    X(HNop) X(HHalt) X(HPrefetch)                                       \
+    /* vector operate, specialized by data type where it matters */     \
+    X(HVaddQ) X(HVaddT) X(HVsubQ) X(HVsubT) X(HVmulQ) X(HVmulT)         \
+    X(HVdivT) X(HVsqrtT) X(HVfmacT)                                     \
+    X(HVand) X(HVor) X(HVxor) X(HVsll) X(HVsrl) X(HVsra)                \
+    X(HVcmpeqQ) X(HVcmpeqT) X(HVcmpneQ) X(HVcmpneT)                     \
+    X(HVcmpltQ) X(HVcmpltT) X(HVcmpleQ) X(HVcmpleT)                     \
+    X(HVminQ) X(HVminT) X(HVmaxQ) X(HVmaxT)                             \
+    X(HVmerge) X(HVecOpSlow)                                            \
+    /* vector memory */                                                 \
+    X(HVld) X(HVst) X(HVgath) X(HVscat)                                 \
+    /* vector control */                                                \
+    X(HSetvl) X(HSetvs) X(HVecCtlSlow)
+
+enum class UopHandler : std::uint8_t
+{
+#define TARANTULA_UOP_ENUM(h) h,
+    TARANTULA_UOP_HANDLERS(TARANTULA_UOP_ENUM)
+#undef TARANTULA_UOP_ENUM
+    NumHandlers
+};
+
+/** One predecoded instruction: everything exec needs, flat. */
+struct Uop
+{
+    static constexpr std::uint8_t FlagUnderMask = 1 << 0;
+    static constexpr std::uint8_t FlagImmValid = 1 << 1;
+    static constexpr std::uint8_t FlagIsT = 1 << 2;
+    static constexpr std::uint8_t FlagModeVS = 1 << 3;
+
+    std::uint8_t handler = 0;       ///< UopHandler, stored dense
+    std::uint8_t flags = 0;
+    isa::RegIndex rd = isa::ZeroReg;
+    isa::RegIndex ra = isa::ZeroReg;
+    isa::RegIndex rb = isa::ZeroReg;
+    std::uint32_t target = 0;       ///< branch target (inst index)
+    std::int64_t imm = 0;           ///< integer literal/displacement
+    double fimm = 0.0;              ///< pre-resolved VS scalar (T forms)
+    const isa::Inst *inst = nullptr;
+
+    bool underMask() const { return flags & FlagUnderMask; }
+    bool immValid() const { return flags & FlagImmValid; }
+    bool isT() const { return flags & FlagIsT; }
+    bool modeVS() const { return flags & FlagModeVS; }
+};
+
+/**
+ * Per-PC decode cache: Program index -> Uop. Built on demand against
+ * the interpreter's program; invalidate() drops it (snapshot restore,
+ * DESIGN.md §10) and the next execution re-lowers.
+ */
+class UopCache
+{
+  public:
+    /** The decoded program; lowers it first if needed. */
+    const Uop *
+    get(const program::Program &prog)
+    {
+        if (!valid_)
+            build(prog);
+        return uops_.data();
+    }
+
+    /** Drop the decoded form; the next get() re-lowers. */
+    void
+    invalidate()
+    {
+        valid_ = false;
+        uops_.clear();
+    }
+
+    bool built() const { return valid_; }
+    std::size_t size() const { return uops_.size(); }
+
+    /** Lower one static instruction (exposed for tests). */
+    static Uop lower(const isa::Inst &in);
+
+  private:
+    void build(const program::Program &prog);
+
+    std::vector<Uop> uops_;
+    bool valid_ = false;
+};
+
+} // namespace tarantula::exec
+
+#endif // TARANTULA_EXEC_UCACHE_HH

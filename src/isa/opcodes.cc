@@ -5,140 +5,16 @@
 namespace tarantula::isa
 {
 
+namespace detail
+{
+
 InstClass
-instClass(Opcode op)
+badOpcode(Opcode op)
 {
-    switch (op) {
-      case Opcode::Addq:
-      case Opcode::Subq:
-      case Opcode::Mulq:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::Sll:
-      case Opcode::Srl:
-      case Opcode::Sra:
-      case Opcode::Cmpeq:
-      case Opcode::Cmplt:
-      case Opcode::Cmple:
-      case Opcode::Cmpult:
-      case Opcode::Lda:
-      case Opcode::Ftoit:
-        return InstClass::IntAlu;
-
-      case Opcode::Addt:
-      case Opcode::Subt:
-      case Opcode::Mult:
-      case Opcode::Divt:
-      case Opcode::Sqrtt:
-      case Opcode::Cmpteq:
-      case Opcode::Cmptlt:
-      case Opcode::Cmptle:
-      case Opcode::Cvtqt:
-      case Opcode::Cvttq:
-      case Opcode::Fmov:
-      case Opcode::Itoft:
-        return InstClass::FpAlu;
-
-      case Opcode::Ldq:
-      case Opcode::Ldt:
-        return InstClass::Load;
-
-      case Opcode::Stq:
-      case Opcode::Stt:
-        return InstClass::Store;
-
-      case Opcode::Br:
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Ble:
-      case Opcode::Bgt:
-      case Opcode::Fbeq:
-      case Opcode::Fbne:
-        return InstClass::Branch;
-
-      case Opcode::Prefetch:
-      case Opcode::Wh64:
-      case Opcode::DrainM:
-      case Opcode::Nop:
-      case Opcode::Halt:
-        return InstClass::Misc;
-
-      case Opcode::Vadd:
-      case Opcode::Vsub:
-      case Opcode::Vmul:
-      case Opcode::Vdiv:
-      case Opcode::Vsqrt:
-      case Opcode::Vand:
-      case Opcode::Vor:
-      case Opcode::Vxor:
-      case Opcode::Vsll:
-      case Opcode::Vsrl:
-      case Opcode::Vsra:
-      case Opcode::Vcmpeq:
-      case Opcode::Vcmpne:
-      case Opcode::Vcmplt:
-      case Opcode::Vcmple:
-      case Opcode::Vmin:
-      case Opcode::Vmax:
-      case Opcode::Vmerge:
-      case Opcode::Vfmac:
-        return InstClass::VecOperate;
-
-      case Opcode::Vld:
-      case Opcode::Vgath:
-        return InstClass::VecLoad;
-
-      case Opcode::Vst:
-      case Opcode::Vscat:
-        return InstClass::VecStore;
-
-      case Opcode::Setvl:
-      case Opcode::Setvs:
-      case Opcode::Setvm:
-      case Opcode::Viota:
-      case Opcode::Vslidedown:
-      case Opcode::Vextract:
-      case Opcode::Vinsert:
-        return InstClass::VecControl;
-
-      default:
-        panic("isa: instClass: unknown opcode %d", static_cast<int>(op));
-    }
+    panic("isa: instClass: unknown opcode %d", static_cast<int>(op));
 }
 
-VecGroup
-vecGroup(Opcode op, VecMode mode)
-{
-    switch (instClass(op)) {
-      case InstClass::VecOperate:
-        return mode == VecMode::VS ? VecGroup::VS : VecGroup::VV;
-      case InstClass::VecLoad:
-      case InstClass::VecStore:
-        return (op == Opcode::Vgath || op == Opcode::Vscat)
-            ? VecGroup::RM : VecGroup::SM;
-      case InstClass::VecControl:
-        return VecGroup::VC;
-      default:
-        return VecGroup::NotVector;
-    }
-}
-
-bool
-isVector(Opcode op)
-{
-    switch (instClass(op)) {
-      case InstClass::VecOperate:
-      case InstClass::VecLoad:
-      case InstClass::VecStore:
-      case InstClass::VecControl:
-        return true;
-      default:
-        return false;
-    }
-}
+} // namespace detail
 
 const char *
 opcodeName(Opcode op)

@@ -76,6 +76,16 @@ struct MachineConfig
      * to cross-check or to debug with a strictly stepped machine.
      */
     bool fastForward = true;
+    /**
+     * Predecoded-µop execution engine (DESIGN.md §14): each core's
+     * interpreter lowers the program once into flat µops and executes
+     * through a threaded dispatch loop instead of re-decoding every
+     * step. Architectural results, DynInst streams, statistics and
+     * snapshots are bit-identical either way (enforced by
+     * tests/test_ucache.cc and the fuzz battery); disable to
+     * cross-check against the legacy decode-every-step interpreter.
+     */
+    bool ucache = true;
     /** Integrity subsystem: checkers, fault plan, forensics. */
     check::IntegrityConfig integrity;
     /**

@@ -44,6 +44,10 @@ BatchManifest::jobKey(const Job &job)
     if (!job.faults.empty())
         knobs.str(job.faults);
     knobs.b(job.fastForward);
+    // Only when disabled, so default-engine jobs keep their pre-µop
+    // keys and old manifest directories still resume.
+    if (!job.ucache)
+        knobs.b(job.ucache);
     knobs.u64(job.deadlockCycles);
     knobs.u64(job.maxCycles);
     knobs.u64(job.seed);

@@ -106,6 +106,7 @@ runJobControlled(const Job &job, const RunControl &control,
         if (!job.faults.empty())
             cfg.integrity.faults = check::FaultPlan::parse(job.faults);
         cfg.fastForward = job.fastForward;
+        cfg.ucache = job.ucache;
         if (job.deadlockCycles)
             cfg.deadlockCycles = job.deadlockCycles;
         cfg.trace.events = job.trace;

@@ -55,6 +55,14 @@ struct Job
     std::string faults;
     /** Quiescence fast-forward engine (MachineConfig::fastForward). */
     bool fastForward = true;
+    /**
+     * Predecoded-µop execution engine (MachineConfig::ucache). Both
+     * engines are byte-identical by contract, so the knob is part of
+     * the job identity and of the record's knobs only when false --
+     * default-engine jobs keep their pre-µop keys and record bytes,
+     * and pre-existing manifest/farm directories keep resuming.
+     */
+    bool ucache = true;
     /** Deadlock-watchdog override; 0 keeps the machine default. */
     std::uint64_t deadlockCycles = 0;
     std::uint64_t maxCycles = 8ULL << 30; ///< simulated-cycle budget

@@ -34,6 +34,10 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result,
     if (!result.job.faults.empty())
         w.key("faults").value(result.job.faults);
     w.key("fastForward").value(result.job.fastForward);
+    // Only when disabled, so default-engine records keep their exact
+    // old bytes.
+    if (!result.job.ucache)
+        w.key("ucache").value(result.job.ucache);
     w.key("deadlockCycles").value(result.job.deadlockCycles);
     w.key("maxCycles").value(result.job.maxCycles);
     w.key("seed").value(result.job.seed);

@@ -120,6 +120,18 @@ u64Opt(const trace::JsonValue &obj, const char *key)
     return v->asU64();
 }
 
+/** Optional bool field, like u64Opt: absent means the default. */
+bool
+boolOpt(const trace::JsonValue &obj, const char *key, bool dflt)
+{
+    const trace::JsonValue *v = obj.find(key);
+    if (!v)
+        return dflt;
+    if (v->kind != trace::JsonValue::Kind::Bool)
+        bad(std::string("'") + key + "' is not a bool");
+    return v->boolean;
+}
+
 std::vector<std::uint64_t>
 u64List(const std::string &csv, const char *what)
 {
@@ -236,6 +248,7 @@ buildSweep(const SweepOptions &options)
             job.check = options.check;
             job.faults = options.faults;
             job.fastForward = options.fastForward;
+            job.ucache = options.ucache;
             job.deadlockCycles = options.deadlockCycles;
             job.maxCycles = options.maxCycles;
             job.trace = options.trace;
@@ -290,6 +303,8 @@ sweepJson(const std::vector<Job> &jobs)
             w.key("vl").value(job.vl);
         if (job.selfResumeAt)
             w.key("selfResumeAt").value(job.selfResumeAt);
+        if (!job.ucache)
+            w.key("ucache").value(job.ucache);
         w.endObject();
     }
     w.endArray();
@@ -336,6 +351,7 @@ parseSweepJson(const std::string &text)
         job.resumeFrom = str(entry, "resumeFrom");
         job.vl = static_cast<unsigned>(u64Opt(entry, "vl"));
         job.selfResumeAt = u64Opt(entry, "selfResumeAt");
+        job.ucache = boolOpt(entry, "ucache", true);
         jobs.push_back(std::move(job));
     }
     if (jobs.empty())

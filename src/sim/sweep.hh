@@ -58,6 +58,7 @@ struct SweepOptions
     bool forceCrBox = false;
     bool check = false;
     bool fastForward = true;
+    bool ucache = true;         ///< predecoded-µop engine (Job::ucache)
     std::uint64_t deadlockCycles = 0;
     std::uint64_t maxCycles = 8ULL << 30;
     std::string faults;         ///< FaultPlan::parse spec; "" = none

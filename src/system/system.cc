@@ -71,6 +71,7 @@ System::System(const MachineConfig &cfg,
         }
         node.interp =
             std::make_unique<exec::Interpreter>(*progs[i], *mems[i]);
+        node.interp->setUcache(cfg.ucache);
         node.core = std::make_unique<ev8::Core>(
             cfg.core, *node.interp, *l2_, node.vbox.get(), *parent, i,
             core_label, bias);
@@ -430,9 +431,9 @@ std::uint64_t
 System::configDigest(const MachineConfig &cfg)
 {
     // Canonical serialization of every knob that can change what the
-    // machine computes, hashed. Deliberately excluded: fastForward
-    // (both engines are bit-identical by contract, and resuming a
-    // stepped snapshot under the fast-forward engine is a supported
+    // machine computes, hashed. Deliberately excluded: fastForward and
+    // ucache (each engine pair is bit-identical by contract, and
+    // resuming a snapshot under the other engine is a supported
     // cross-check) and the trace config (observability is read-only,
     // so one warmed snapshot can fan across a tracing/sampling grid).
     std::ostringstream os;

@@ -125,13 +125,12 @@ Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
     // cores touch disjoint line ranges. The bias sits above all cache
     // index bits, so bank/set/slice structure within a core is
     // unchanged and a single-core run (bias 0) is bit-identical.
-    std::vector<exec::VecElemAddr> biased;
     const std::vector<exec::VecElemAddr> *vaddrs = &di.vaddrs;
     if (addrBias_ != 0 && !di.vaddrs.empty()) {
-        biased = di.vaddrs;
-        for (auto &ea : biased)
+        scratchBiased_ = di.vaddrs;
+        for (auto &ea : scratchBiased_)
             ea.addr |= addrBias_;
-        vaddrs = &biased;
+        vaddrs = &scratchBiased_;
     }
 
     mi.plan = slicer_.plan(*vaddrs, mi.isWrite, is_strided, di.vs,
@@ -156,10 +155,14 @@ Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
     // ignore TLB misses entirely (paper section 2).
     Cycle tlb_stall = 0;
     if (!vaddrs->empty()) {
-        std::vector<Addr> miss_addrs;
-        std::vector<unsigned> miss_elems;
-        std::vector<Addr> all_addrs;
-        std::vector<unsigned> all_elems;
+        std::vector<Addr> &miss_addrs = scratchMissAddrs_;
+        std::vector<unsigned> &miss_elems = scratchMissElems_;
+        std::vector<Addr> &all_addrs = scratchAllAddrs_;
+        std::vector<unsigned> &all_elems = scratchAllElems_;
+        miss_addrs.clear();
+        miss_elems.clear();
+        all_addrs.clear();
+        all_elems.clear();
         all_addrs.reserve(vaddrs->size());
         all_elems.reserve(vaddrs->size());
         // Fault injection: every lookup misses for the window,

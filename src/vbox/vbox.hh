@@ -203,6 +203,16 @@ class Vbox
     std::unordered_map<std::uint64_t, std::size_t> bySliceInst_;
     std::deque<VboxCompletion> completions_;
 
+    // startAddrGen scratch (not state: cleared per call). Members so
+    // the capacity survives across the millions of vector memory
+    // instructions a run issues instead of reallocating each time.
+    // Never serialized; contents are meaningless between calls.
+    std::vector<exec::VecElemAddr> scratchBiased_;
+    std::vector<Addr> scratchMissAddrs_;
+    std::vector<unsigned> scratchMissElems_;
+    std::vector<Addr> scratchAllAddrs_;
+    std::vector<unsigned> scratchAllElems_;
+
     stats::StatGroup statGroup_;
     tlb::VectorTlb vtlb_;
     stats::Scalar arithIssued_;

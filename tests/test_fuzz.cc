@@ -101,12 +101,15 @@ TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
 
     // Run 0 steps every cycle; run 1 uses the quiescence fast-forward
     // engine; run 2 fast-forwards with the observability layer on
-    // (event tracing plus a deliberately odd sampling interval).
-    // Identical cycles and stats prove the engine only skips host
-    // work and that observing a run never perturbs it (DESIGN.md §9).
-    Cycle cycles[3];
-    std::string stats[3];
-    for (int run = 0; run < 3; ++run) {
+    // (event tracing plus a deliberately odd sampling interval);
+    // run 3 fast-forwards with the predecoded-µop engine off, so the
+    // reference decode-per-step interpreter feeds the timing model.
+    // Identical cycles and stats prove each engine only skips host
+    // work and that observing a run never perturbs it (DESIGN.md
+    // §§9, 14).
+    Cycle cycles[4];
+    std::string stats[4];
+    for (int run = 0; run < 4; ++run) {
         exec::FunctionalMemory mem;
         seedMemory(mem, fc.seed);
         auto cfg = fuzzgen::variantConfig(fc.machine);
@@ -115,6 +118,8 @@ TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
             cfg.trace.events = true;
             cfg.trace.sampleEvery = 97;
         }
+        if (run == 3)
+            cfg.ucache = false;
         proc::Processor cpu(cfg, prog, mem);
         const auto r = cpu.run(1ULL << 26);
         cycles[run] = r.cycles;
@@ -135,6 +140,12 @@ TEST_P(Fuzz, TimingNeverPerturbsResultsAndIsDeterministic)
         << " seed " << fc.seed;
     EXPECT_EQ(stats[0], stats[2])
         << "tracing changed stats, machine " << fc.machine
+        << " seed " << fc.seed;
+    EXPECT_EQ(cycles[0], cycles[3])
+        << "µop engine changed timing, machine " << fc.machine
+        << " seed " << fc.seed;
+    EXPECT_EQ(stats[0], stats[3])
+        << "µop engine changed stats, machine " << fc.machine
         << " seed " << fc.seed;
 }
 

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * The predecoded-µop engine's contract (DESIGN.md §14): it is a pure
+ * host-speed optimization. With the µop cache on or off, every run
+ * must produce the same committed instruction stream, the same
+ * architectural state, the same cycle count and the same statistics
+ * tree byte for byte -- on the golden workloads, on fuzz-generated
+ * programs, and across snapshot/resume boundaries where the two sides
+ * of the resume run different engines.
+ *
+ * The cache itself is invisible to serialization: snapshots carry no
+ * µop state (tarantula.snapshot.v2 is unchanged), a restore
+ * invalidates and re-lowers on demand, and System::configDigest
+ * ignores the knob so snapshots fan freely across engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/interp.hh"
+#include "exec/memory.hh"
+#include "fuzzgen/fuzzgen.hh"
+#include "proc/machine_config.hh"
+#include "proc/processor.hh"
+#include "sim/batch_manifest.hh"
+#include "sim/job.hh"
+#include "sim/sweep.hh"
+#include "snap/snapshot.hh"
+#include "system/system.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tarantula;
+using program::Program;
+
+using fuzzgen::generate;
+using fuzzgen::regionSnapshot;
+using fuzzgen::seedMemory;
+
+sim::Job
+jobFor(const std::string &machine, const std::string &workload,
+       bool ucache)
+{
+    sim::Job job;
+    job.machine = machine;
+    job.workload = workload;
+    job.ucache = ucache;
+    return job;
+}
+
+// ---- golden-grid sample -----------------------------------------------
+//
+// A sample of the golden grid (the full grid runs in test_golden with
+// the µop engine on, pinning it against the reviewed table): off and
+// on runs must agree on every metric and on the stats tree bytes.
+
+struct UcachePoint
+{
+    const char *machine;
+    const char *workload;
+};
+
+class UcacheGolden : public ::testing::TestWithParam<UcachePoint>
+{
+};
+
+TEST_P(UcacheGolden, OffAndOnRunsAreByteIdentical)
+{
+    const auto &p = GetParam();
+    const sim::JobResult off =
+        sim::runJob(jobFor(p.machine, p.workload, false));
+    const sim::JobResult on =
+        sim::runJob(jobFor(p.machine, p.workload, true));
+    ASSERT_EQ(off.status, sim::JobStatus::Ok) << off.message;
+    ASSERT_EQ(on.status, sim::JobStatus::Ok) << on.message;
+
+    EXPECT_EQ(on.run.cycles, off.run.cycles);
+    EXPECT_EQ(on.run.insts, off.run.insts);
+    EXPECT_EQ(on.run.ops, off.run.ops);
+    EXPECT_EQ(on.run.flops, off.run.flops);
+    EXPECT_EQ(on.run.memops, off.run.memops);
+    EXPECT_EQ(on.statsJson, off.statsJson);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sample, UcacheGolden,
+    ::testing::Values(UcachePoint{"EV8", "dgemm"},
+                      UcachePoint{"EV8", "sparsemxv"},
+                      UcachePoint{"T", "dgemm"},
+                      UcachePoint{"T", "copy"},
+                      UcachePoint{"T", "rndcopy"},
+                      UcachePoint{"T", "sparsemxv"},
+                      UcachePoint{"T", "swim"},
+                      UcachePoint{"T", "fft"}),
+    [](const ::testing::TestParamInfo<UcachePoint> &info) {
+        std::string name = std::string(info.param.machine) + "_" +
+                           info.param.workload;
+        for (char &c : name)
+            if (c == '+')
+                c = 'p';
+        return name;
+    });
+
+// ---- functional equivalence on fuzz programs ---------------------------
+//
+// The bare functional engine, no timing model: for seeded random
+// programs (vector and scalar), the µop engine must retire the same
+// number of instructions, leave the same architectural memory, and
+// serialize to the same snapshot bytes as the reference interpreter.
+
+TEST(UcacheFunctional, FuzzProgramsMatchReferenceInterpreter)
+{
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        const bool with_vector = seed <= 8;
+        Program prog = generate(seed, with_vector);
+
+        exec::FunctionalMemory ref_mem;
+        seedMemory(ref_mem, seed);
+        exec::Interpreter ref(prog, ref_mem);
+        ref.setUcache(false);
+        const std::uint64_t ref_insts = ref.run(1ULL << 24);
+
+        exec::FunctionalMemory mem;
+        seedMemory(mem, seed);
+        exec::Interpreter fast(prog, mem);
+        fast.setUcache(true);
+        const std::uint64_t insts = fast.run(1ULL << 24);
+
+        EXPECT_EQ(insts, ref_insts) << "seed " << seed;
+        EXPECT_EQ(regionSnapshot(mem), regionSnapshot(ref_mem))
+            << "seed " << seed;
+
+        // The serialized interpreter covers what regionSnapshot does
+        // not: every scalar/FP/vector register, vl/vs/vm, and the
+        // full memory frame set, byte for byte.
+        std::ostringstream ref_os, fast_os;
+        snap::Snapshotter ref_snap(ref_os), fast_snap(fast_os);
+        ref.save(ref_snap);
+        fast.save(fast_snap);
+        EXPECT_EQ(fast_os.str(), ref_os.str()) << "seed " << seed;
+    }
+}
+
+// The engines must also agree step by step, not just at the end: the
+// per-instruction DynInst records feed the timing model, so a drift
+// in any field (effective addresses, branch direction, next PC, vl)
+// would change timing even with identical final state.
+
+TEST(UcacheFunctional, SteppedDynInstStreamsMatch)
+{
+    for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+        Program prog = generate(seed, /*with_vector=*/seed != 9);
+
+        exec::FunctionalMemory ref_mem, mem;
+        seedMemory(ref_mem, seed);
+        seedMemory(mem, seed);
+        exec::Interpreter ref(prog, ref_mem);
+        exec::Interpreter fast(prog, mem);
+        ref.setUcache(false);
+        fast.setUcache(true);
+
+        std::uint64_t n = 0;
+        while (!ref.halted() && n < (1ULL << 22)) {
+            exec::DynInst a, b;
+            ref.step(a);
+            fast.step(b);
+            ++n;
+            ASSERT_EQ(b.seq, a.seq) << "seed " << seed;
+            ASSERT_EQ(b.pc, a.pc) << "seed " << seed << " seq "
+                                  << a.seq;
+            ASSERT_EQ(b.nextPc, a.nextPc)
+                << "seed " << seed << " seq " << a.seq;
+            ASSERT_EQ(b.taken, a.taken)
+                << "seed " << seed << " seq " << a.seq;
+            ASSERT_EQ(b.effAddr, a.effAddr)
+                << "seed " << seed << " seq " << a.seq;
+            ASSERT_EQ(b.vl, a.vl) << "seed " << seed << " seq "
+                                  << a.seq;
+            ASSERT_EQ(b.vs, a.vs) << "seed " << seed << " seq "
+                                  << a.seq;
+            ASSERT_EQ(b.vaddrs.size(), a.vaddrs.size())
+                << "seed " << seed << " seq " << a.seq;
+            for (std::size_t i = 0; i < a.vaddrs.size(); ++i) {
+                ASSERT_EQ(b.vaddrs[i].elem, a.vaddrs[i].elem)
+                    << "seed " << seed << " seq " << a.seq;
+                ASSERT_EQ(b.vaddrs[i].addr, a.vaddrs[i].addr)
+                    << "seed " << seed << " seq " << a.seq;
+            }
+        }
+        EXPECT_TRUE(fast.halted()) << "seed " << seed;
+    }
+}
+
+// ---- lazy build and invalidation ---------------------------------------
+
+TEST(UcacheCache, BuildsLazilyAndInvalidatesOnRestore)
+{
+    Program prog = generate(3, /*with_vector=*/true);
+    exec::FunctionalMemory mem;
+    seedMemory(mem, 3);
+    exec::Interpreter interp(prog, mem);
+    ASSERT_TRUE(interp.ucacheEnabled());
+    EXPECT_FALSE(interp.uopCache().built());
+
+    exec::DynInst di;
+    interp.step(di);
+    EXPECT_TRUE(interp.uopCache().built());
+    EXPECT_EQ(interp.uopCache().size(), prog.size());
+
+    // A snapshot round-trip invalidates: the restored state could be
+    // from a different program image, so the lowered µops are stale
+    // by construction and must be rebuilt on demand.
+    std::ostringstream os;
+    snap::Snapshotter out(os);
+    interp.save(out);
+    std::istringstream is(os.str());
+    snap::Restorer in(is);
+    interp.restore(in);
+    EXPECT_FALSE(interp.uopCache().built());
+
+    // And the rebuilt cache continues exactly where the reference
+    // engine would: finish the program on both and compare.
+    exec::FunctionalMemory ref_mem;
+    seedMemory(ref_mem, 3);
+    exec::Interpreter ref(prog, ref_mem);
+    ref.setUcache(false);
+    ref.step(di);                   // mirror the pre-snapshot step
+    ref.run(1ULL << 24);
+    interp.run(1ULL << 24);
+    EXPECT_EQ(regionSnapshot(mem), regionSnapshot(ref_mem));
+}
+
+TEST(UcacheCache, ToggleTakesEffectMidRun)
+{
+    // Flipping the knob between steps must not change semantics: run
+    // half the program on one engine and half on the other.
+    Program prog = generate(7, /*with_vector=*/true);
+
+    exec::FunctionalMemory ref_mem;
+    seedMemory(ref_mem, 7);
+    exec::Interpreter ref(prog, ref_mem);
+    ref.setUcache(false);
+    const std::uint64_t total = ref.run(1ULL << 24);
+
+    exec::FunctionalMemory mem;
+    seedMemory(mem, 7);
+    exec::Interpreter mixed(prog, mem);
+    exec::DynInst di;
+    for (std::uint64_t i = 0; i < total && !mixed.halted(); ++i) {
+        mixed.setUcache(i % 2 == 0);
+        mixed.step(di);
+    }
+    EXPECT_TRUE(mixed.halted());
+    EXPECT_EQ(mixed.numInsts(), total);
+    EXPECT_EQ(regionSnapshot(mem), regionSnapshot(ref_mem));
+}
+
+// ---- snapshots across engines ------------------------------------------
+//
+// tarantula.snapshot.v2 carries no µop state, so a snapshot taken
+// under either engine must resume under either engine and land on the
+// reference run's exact cycles and stats.
+
+TEST(UcacheSnapshot, ResumeAcrossEnginesIsByteIdentical)
+{
+    const workloads::Workload w = workloads::byName("dgemm");
+
+    proc::MachineConfig cfg = proc::machineByName("T");
+    cfg.ucache = true;
+    exec::FunctionalMemory ref_mem;
+    w.init(ref_mem);
+    proc::Processor ref(cfg, w.vectorProg, ref_mem);
+    for (const auto &r : w.warmRanges) {
+        for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
+            ref.l2().warmLine(r.base + o);
+    }
+    const auto straight = ref.run(8ULL << 30);
+    std::ostringstream ref_os;
+    ref.stats().reportJson(ref_os);
+
+    const Cycle k = straight.cycles / 2;
+    for (const bool save_ucache : {false, true}) {
+        // Save under one engine...
+        const std::string path =
+            testing::TempDir() + "ucache_cross_" +
+            (save_ucache ? "on" : "off") + ".tsnap";
+        {
+            proc::MachineConfig save_cfg = cfg;
+            save_cfg.ucache = save_ucache;
+            exec::FunctionalMemory mem;
+            w.init(mem);
+            proc::Processor cpu(save_cfg, w.vectorProg, mem);
+            for (const auto &r : w.warmRanges) {
+                for (std::uint64_t o = 0; o < r.bytes;
+                     o += CacheLineBytes)
+                    cpu.l2().warmLine(r.base + o);
+            }
+            cpu.run(8ULL << 30, k);
+            cpu.snapshot(path, w.name);
+        }
+        // ...resume under the other.
+        proc::MachineConfig resume_cfg = cfg;
+        resume_cfg.ucache = !save_ucache;
+        exec::FunctionalMemory mem;
+        w.init(mem);
+        proc::Processor cpu(resume_cfg, w.vectorProg, mem);
+        cpu.restoreFrom(path);
+        std::remove(path.c_str());
+        EXPECT_EQ(cpu.now(), k);
+        const auto resumed = cpu.run(8ULL << 30);
+        std::ostringstream os;
+        cpu.stats().reportJson(os);
+        EXPECT_EQ(resumed.cycles, straight.cycles)
+            << "saved with ucache " << save_ucache;
+        EXPECT_EQ(os.str(), ref_os.str())
+            << "saved with ucache " << save_ucache;
+        EXPECT_EQ(w.check(mem), "")
+            << "saved with ucache " << save_ucache;
+    }
+}
+
+TEST(UcacheSnapshot, ConfigDigestIgnoresTheKnob)
+{
+    proc::MachineConfig cfg = proc::machineByName("T");
+    cfg.ucache = true;
+    const std::uint64_t on = sys::System::configDigest(cfg);
+    cfg.ucache = false;
+    const std::uint64_t off = sys::System::configDigest(cfg);
+    EXPECT_EQ(on, off);
+}
+
+// ---- record/manifest byte compatibility --------------------------------
+
+TEST(UcacheRecords, DefaultJobKeyAndSweepBytesUnchanged)
+{
+    // The knob serializes only when off: a default job's manifest key
+    // (and thus every pre-existing batch directory) is untouched,
+    // while an off-engine job gets its own key.
+    sim::Job dflt = jobFor("T", "dgemm", true);
+    sim::Job off = jobFor("T", "dgemm", false);
+    EXPECT_NE(sim::BatchManifest::jobKey(dflt),
+              sim::BatchManifest::jobKey(off));
+
+    sim::Job legacy = dflt;
+    EXPECT_EQ(sim::BatchManifest::jobKey(dflt),
+              sim::BatchManifest::jobKey(legacy));
+
+    // Sweep documents round-trip the knob, defaulting absent fields
+    // to on so pre-existing sweep.json files parse unchanged.
+    const std::vector<sim::Job> jobs = {dflt, off};
+    const std::vector<sim::Job> back =
+        sim::parseSweepJson(sim::sweepJson(jobs));
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_TRUE(back[0].ucache);
+    EXPECT_FALSE(back[1].ucache);
+    // A default-engine sweep document never mentions the knob.
+    EXPECT_EQ(sim::sweepJson({dflt}).find("ucache"),
+              std::string::npos);
+}
+
+} // anonymous namespace

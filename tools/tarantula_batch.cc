@@ -121,6 +121,9 @@ usage()
         "  --check          run the integrity checkers on every job\n"
         "  --no-fast-forward  step every cycle on every job instead\n"
         "                   of jumping over quiescent ones\n"
+        "  --no-ucache      use the reference decode-per-step\n"
+        "                   interpreter on every job (bit-identical,\n"
+        "                   slower)\n"
         "  --deadlock-cycles N  per-job no-retirement watchdog\n"
         "                   (0 keeps the machine default of 1M)\n"
         "  --trace-dir DIR  write a Chrome trace-event JSON per job\n"
@@ -238,6 +241,8 @@ run(int argc, char **argv)
             sweep.check = true;
         } else if (arg == "--no-fast-forward") {
             sweep.fastForward = false;
+        } else if (arg == "--no-ucache") {
+            sweep.ucache = false;
         } else if (arg == "--deadlock-cycles") {
             sweep.deadlockCycles = parseU64(arg, next());
         } else if (arg == "--trace-dir") {

@@ -85,6 +85,7 @@ usage()
         "  --vls LIST       comma-separated vector lengths (default\n"
         "                   0 = full VL; needs VL-agnostic workloads)\n"
         "  --no-pump | --force-crbox | --check | --no-fast-forward\n"
+        "  --no-ucache (reference decode-per-step interpreter)\n"
         "  --deadlock-cycles N | --max-cycles N | --faults SPEC\n"
         "  --sample-every N | --sample-stats PREFIXES\n"
         "worker tuning (forwarded to every spawned worker):\n"
@@ -204,6 +205,8 @@ run(int argc, char **argv)
             sweep.check = true;
         } else if (arg == "--no-fast-forward") {
             sweep.fastForward = false;
+        } else if (arg == "--no-ucache") {
+            sweep.ucache = false;
         } else if (arg == "--deadlock-cycles") {
             sweep.deadlockCycles = parseU64(arg, next());
         } else if (arg == "--max-cycles") {

@@ -75,6 +75,9 @@ usage()
         "  --check         run the integrity checkers every interval\n"
         "  --no-fast-forward  step every cycle instead of jumping over\n"
         "                  quiescent ones (bit-identical, slower)\n"
+        "  --no-ucache     use the reference decode-per-step\n"
+        "                  interpreter instead of the predecoded-µop\n"
+        "                  engine (bit-identical, slower)\n"
         "  --deadlock-cycles N  no-retirement watchdog (0 disables;\n"
         "                  default 1M)\n"
         "  --trace FILE    write a Chrome trace-event JSON (load it in\n"
@@ -127,6 +130,7 @@ run(int argc, char **argv)
     bool force_crbox = false;
     bool check = false;
     bool fast_forward = true;
+    bool ucache = true;
     bool deadlock_set = false;
     std::uint64_t deadlock_cycles = 0;
     std::uint64_t max_cycles = 8ULL << 30;
@@ -183,6 +187,8 @@ run(int argc, char **argv)
             check = true;
         } else if (arg == "--no-fast-forward") {
             fast_forward = false;
+        } else if (arg == "--no-ucache") {
+            ucache = false;
         } else if (arg == "--deadlock-cycles") {
             deadlock_cycles = parseU64(arg, next());
             deadlock_set = true;
@@ -231,6 +237,7 @@ run(int argc, char **argv)
     cfg.vbox.slicer.forceCrBox = force_crbox;
     cfg.integrity.checks = check;
     cfg.fastForward = fast_forward;
+    cfg.ucache = ucache;
     if (deadlock_set)
         cfg.deadlockCycles = deadlock_cycles;
     cfg.trace.events = !trace_file.empty();
@@ -328,6 +335,7 @@ run(int argc, char **argv)
     record.job.forceCrBox = force_crbox;
     record.job.check = check;
     record.job.fastForward = fast_forward;
+    record.job.ucache = ucache;
     record.job.deadlockCycles = deadlock_set ? deadlock_cycles : 0;
     record.job.maxCycles = max_cycles;
     record.job.trace = !trace_file.empty();
