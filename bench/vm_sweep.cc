@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The OS/VM sensitivity sweep (DESIGN.md §15): an AraOS-style
+ * page-size x TLB-geometry x refill-policy grid over a dense kernel,
+ * a gather-bound kernel and a random-gather kernel.
+ *
+ * Each grid point runs the full machine with the VM scenario layer
+ * on: TLB misses walk a multi-level page table through the real
+ * L2/Zbox (so translation traffic steals memory bandwidth), and the
+ * first touch of every page charges the minor-fault handler cost.
+ * The table reports cycles against the flat-cost PALcode baseline,
+ * the walk counts, and the extra raw bytes the memory controller
+ * moved for PTEs -- the attribution trail for the paper's 512 MB
+ * page-size argument: at 8 KB pages the gather kernels pay a
+ * double-digit-percent (to multi-x) cycle penalty that is pure
+ * translation overhead, while 512 MB pages make it vanish.
+ *
+ * Smoke mode (TARANTULA_BENCH_SMOKE=1 or --smoke) shrinks the grid
+ * to two page sizes on the paper's TLB so CI runs the binary on
+ * every change.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "bench/bench_util.hh"
+#include "exec/memory.hh"
+#include "proc/machine_config.hh"
+#include "system/system.hh"
+#include "tlb/tlb.hh"
+#include "workloads/workload.hh"
+
+using namespace tarantula;
+
+namespace
+{
+
+struct PointResult
+{
+    Cycle cycles = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t walkMemReads = 0;
+    std::uint64_t zboxRawBytes = 0;
+};
+
+/** Sum every occurrence of `"key":N` in a stats-tree JSON dump. */
+std::uint64_t
+sumCounter(const std::string &json, const char *key)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    std::uint64_t total = 0;
+    std::size_t pos = 0;
+    while ((pos = json.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        total += std::strtoull(json.c_str() + pos, nullptr, 10);
+    }
+    return total;
+}
+
+/** One full-machine run; checks the architectural result. */
+PointResult
+runPoint(const workloads::Workload &w, const proc::MachineConfig &cfg)
+{
+    exec::FunctionalMemory mem;
+    w.init(mem);
+    const std::vector<const program::Program *> progs{&w.vectorProg};
+    const std::vector<exec::FunctionalMemory *> mems{&mem};
+    sys::System sys(cfg, progs, mems);
+    for (const auto &r : w.warmRanges) {
+        for (std::uint64_t o = 0; o < r.bytes; o += CacheLineBytes)
+            sys.l2().warmLine(r.base + o);
+    }
+    const auto res = sys.run(8ULL << 30);
+    const std::string err = w.check(mem);
+    if (!err.empty()) {
+        fatal("%s: wrong result with VM scenario on: %s",
+              w.name.c_str(), err.c_str());
+    }
+    std::ostringstream os;
+    sys.stats().reportJson(os);
+    const std::string json = os.str();
+    PointResult out;
+    out.cycles = res.cycles;
+    out.walks = sumCounter(json, "walks");
+    out.walkMemReads = sumCounter(json, "walk_mem_reads");
+    out.zboxRawBytes = sys.zbox().rawBytes();
+    return out;
+}
+
+struct Geometry
+{
+    unsigned entries;
+    unsigned assoc;
+};
+
+const char *
+policyName(tlb::RefillPolicy p)
+{
+    return p == tlb::RefillPolicy::AllLanes ? "all-lanes" : "missed";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = bench::smokeMode(argc, argv);
+
+    std::vector<unsigned> page_bits = {29, 21, 16, 13};
+    // The paper's per-lane TLB is a 32-entry CAM; 32x8 is the minimum
+    // associativity that still guarantees forward progress, 16x8 a
+    // halved capacity point.
+    std::vector<Geometry> geometries = {{32, 32}, {32, 8}, {16, 8}};
+    std::vector<tlb::RefillPolicy> policies = {
+        tlb::RefillPolicy::MissedLanesOnly, tlb::RefillPolicy::AllLanes};
+    std::vector<std::string> kernels = {"dgemm", "sparsemxv",
+                                        "rndcopy"};
+    if (smoke) {
+        page_bits = {29, 13};
+        geometries = {{32, 32}};
+        policies = {tlb::RefillPolicy::MissedLanesOnly};
+        kernels = {"dgemm", "rndcopy"};
+    }
+
+    std::printf("OS/VM sensitivity sweep on T (DESIGN.md §15)%s\n",
+                smoke ? " [smoke]" : "");
+    std::printf("%-10s %-6s %-7s %-9s %12s %9s %10s %12s %10s\n",
+                "kernel", "page", "tlb", "refill", "cycles",
+                "vs-flat", "walks", "pte-reads", "pte-MB");
+
+    for (const auto &name : kernels) {
+        const workloads::Workload w = workloads::byName(name);
+
+        // The baseline: the flat-cost PALcode refill (the pre-VM
+        // machine, byte-identical to the golden grid).
+        proc::MachineConfig flat_cfg = proc::machineByName("T");
+        const PointResult flat = runPoint(w, flat_cfg);
+        std::printf("%-10s %-6s %-7s %-9s %12llu %9s %10s %12s %10s\n",
+                    name.c_str(), "flat", "32x32", "missed",
+                    static_cast<unsigned long long>(flat.cycles), "-",
+                    "-", "-", "-");
+
+        for (const unsigned pb : page_bits) {
+            for (const auto &g : geometries) {
+                for (const auto policy : policies) {
+                    proc::MachineConfig cfg = proc::machineByName("T");
+                    cfg.vbox.tlb.entries = g.entries;
+                    cfg.vbox.tlb.assoc = g.assoc;
+                    cfg.vbox.tlb.pageBits = pb;
+                    cfg.vbox.refill = policy;
+                    cfg.vm.enabled = true;
+                    cfg.vm.pageBits = pb;
+                    const PointResult r = runPoint(w, cfg);
+
+                    char page[16];
+                    if (pb >= 20) {
+                        std::snprintf(page, sizeof page, "%uM",
+                                      1u << (pb - 20));
+                    } else {
+                        std::snprintf(page, sizeof page, "%uK",
+                                      1u << (pb - 10));
+                    }
+                    char geom[16];
+                    std::snprintf(geom, sizeof geom, "%ux%u",
+                                  g.entries, g.assoc);
+                    const double swing =
+                        100.0 *
+                        (static_cast<double>(r.cycles) /
+                             static_cast<double>(flat.cycles) -
+                         1.0);
+                    const double pte_mb =
+                        static_cast<double>(r.zboxRawBytes -
+                                            flat.zboxRawBytes) /
+                        (1024.0 * 1024.0);
+                    std::printf("%-10s %-6s %-7s %-9s %12llu %+8.1f%% "
+                                "%10llu %12llu %10.2f\n",
+                                name.c_str(), page, geom,
+                                policyName(policy),
+                                static_cast<unsigned long long>(
+                                    r.cycles),
+                                swing,
+                                static_cast<unsigned long long>(
+                                    r.walks),
+                                static_cast<unsigned long long>(
+                                    r.walkMemReads),
+                                pte_mb);
+                }
+            }
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "base/bitfield.hh"
 #include "base/logging.hh"
+#include "vm/vm.hh"
 
 namespace tarantula::ev8
 {
@@ -407,6 +408,16 @@ Core::issueOne(std::uint64_t seq)
       case InstClass::Load:
         return issueLoad(e);
       case InstClass::Store:
+        // The AGU consults the DTB at issue; a VM-layer miss walks
+        // the page table and the store re-issues afterwards.
+        if (vm_) {
+            const Cycle stall =
+                vm_->scalarTranslate(e.di.effAddr | addrBias_, now_);
+            if (stall) {
+                e.readyAt = now_ + stall;
+                return false;
+            }
+        }
         // Data and address are ready; the actual write happens from
         // the write buffer after retirement (write-through).
         latency = 1;
@@ -437,6 +448,17 @@ Core::issueOne(std::uint64_t seq)
 bool
 Core::issueLoad(RobEntry &e)
 {
+    // The AGU consults the DTB first; a VM-layer miss walks the page
+    // table (real memory traffic) and the load re-issues once the
+    // translation is installed.
+    if (vm_) {
+        const Cycle stall =
+            vm_->scalarTranslate(e.di.effAddr | addrBias_, now_);
+        if (stall) {
+            e.readyAt = now_ + stall;
+            return false;
+        }
+    }
     const Addr line = lineOf_(e.di.effAddr);
     if (l1_.lookup(line)) {
         e.stage = Stage::Issued;

@@ -160,6 +160,15 @@ class Core
      */
     bool hasPendingStore(Addr line_addr) const;
 
+    /**
+     * Put the OS scenario layer (DESIGN.md §15) on the scalar data
+     * path: loads and stores translate through the VM unit's DTB at
+     * issue; a miss re-schedules the access after the page-table
+     * walk. Null (the default) keeps translation free, bit-identical
+     * to pre-VM behaviour.
+     */
+    void setVm(vm::VmUnit *vm) { vm_ = vm; }
+
     // ---- results ----------------------------------------------------
     Cycle numCycles() const { return now_; }
     std::uint64_t numRetired() const { return retired_.value(); }
@@ -231,6 +240,7 @@ class Core
     exec::Interpreter &interp_;
     cache::L2Cache &l2_;
     vbox::Vbox *vbox_;
+    vm::VmUnit *vm_ = nullptr;  ///< OS scenario layer (null = off)
     unsigned coreId_ = 0;       ///< requester id on the shared L2
     std::string label_;         ///< per-core observability name
     Addr addrBias_ = 0;         ///< CMP address coloring (0 = off)

@@ -56,6 +56,38 @@ Zbox::enqueue(const MemRequest &req)
     return true;
 }
 
+double
+Zbox::rowCost(Port &port, Addr lineAddr)
+{
+    // Rows are contiguous in the port-local address space: after
+    // line interleaving, every numPorts-th line lands here, and a
+    // 2 KB row buffers rowBytes/64 of *those* lines, so sequential
+    // streams amortize one activate across a whole row.
+    const std::uint64_t local_line =
+        (lineAddr / CacheLineBytes) / cfg_.numPorts;
+    const std::uint64_t global_row =
+        local_line * CacheLineBytes / cfg_.rowBytes;
+    const unsigned bank =
+        static_cast<unsigned>(global_row % cfg_.banksPerPort);
+    Bank &b = port.banks[bank];
+    double mem_clocks = 0.0;
+    if (!b.open) {
+        mem_clocks += cfg_.activateMemClocks;
+        ++activates_;
+        trc("row_activate", lineAddr, global_row);
+        b.open = true;
+        b.row = global_row;
+    } else if (b.row != global_row) {
+        mem_clocks += cfg_.prechargeMemClocks +
+                      cfg_.activateMemClocks;
+        ++precharges_;
+        ++activates_;
+        trc("row_precharge_activate", lineAddr, global_row);
+        b.row = global_row;
+    }
+    return mem_clocks;
+}
+
 void
 Zbox::service(Port &port, const MemRequest &req)
 {
@@ -70,31 +102,7 @@ Zbox::service(Port &port, const MemRequest &req)
     // Row management for the data access (directory storage is modeled
     // as always row-resident; its cost is the access itself).
     if (has_data) {
-        // Rows are contiguous in the port-local address space: after
-        // line interleaving, every numPorts-th line lands here, and a
-        // 2 KB row buffers rowBytes/64 of *those* lines, so sequential
-        // streams amortize one activate across a whole row.
-        const std::uint64_t local_line =
-            (req.lineAddr / CacheLineBytes) / cfg_.numPorts;
-        const std::uint64_t global_row =
-            local_line * CacheLineBytes / cfg_.rowBytes;
-        const unsigned bank =
-            static_cast<unsigned>(global_row % cfg_.banksPerPort);
-        Bank &b = port.banks[bank];
-        if (!b.open) {
-            mem_clocks += cfg_.activateMemClocks;
-            ++activates_;
-            trc("row_activate", req.lineAddr, global_row);
-            b.open = true;
-            b.row = global_row;
-        } else if (b.row != global_row) {
-            mem_clocks += cfg_.prechargeMemClocks +
-                          cfg_.activateMemClocks;
-            ++precharges_;
-            ++activates_;
-            trc("row_precharge_activate", req.lineAddr, global_row);
-            b.row = global_row;
-        }
+        mem_clocks += rowCost(port, req.lineAddr);
         mem_clocks += cfg_.lineXferMemClocks;
     }
 
@@ -142,6 +150,35 @@ Zbox::service(Port &port, const MemRequest &req)
     resp.readyAt =
         static_cast<Cycle>(port.freeAt) + cfg_.baseLatency;
     responses_.push_back(resp);
+}
+
+Cycle
+Zbox::walkAccess(Addr line_addr)
+{
+    Port &port = ports_[portOf(line_addr)];
+    const double start =
+        port.freeAt > static_cast<double>(now_)
+            ? port.freeAt : static_cast<double>(now_);
+
+    double mem_clocks = rowCost(port, line_addr);
+    mem_clocks += cfg_.lineXferMemClocks;
+    // A walk is a read; turn the bus around if the port last wrote.
+    if (port.lastWasWrite) {
+        mem_clocks += cfg_.turnaroundMemClocks;
+        ++turnarounds_;
+        trc("bus_turnaround", false);
+        port.lastWasWrite = false;
+    }
+    port.freeAt = start + mem_clocks * cfg_.cpuPerMemClock;
+
+    ++reads_;
+    // Overhead traffic, like directory ops: raw bytes, not data bytes.
+    rawBytes_ += CacheLineBytes;
+    trc("walk_read", line_addr);
+
+    const Cycle done =
+        static_cast<Cycle>(port.freeAt) + cfg_.baseLatency;
+    return done > now_ ? done - now_ : Cycle{1};
 }
 
 void

@@ -83,6 +83,19 @@ class Zbox
     /** Retrieve the next completed response, if any is ready. */
     std::optional<MemResponse> dequeueResponse();
 
+    /**
+     * One synchronous page-table-walk read (the OS scenario layer,
+     * DESIGN.md §15). Runs through the same port/bank machinery as
+     * data traffic -- it occupies the port, opens and closes DRAM
+     * rows and turns the bus around, so walks genuinely steal
+     * bandwidth from queued data requests -- but completes inline:
+     * it never enters the request queues or the response buffer, so
+     * the zbox.lifetime conservation invariant is untouched. Counted
+     * as a read and as raw (not data) bytes, like directory overhead.
+     * @return Latency in CPU cycles from now to the PTE's arrival.
+     */
+    Cycle walkAccess(Addr line_addr);
+
     /** True when no request is queued or in flight. */
     bool idle() const;
 
@@ -133,6 +146,8 @@ class Zbox
 
     unsigned portOf(Addr lineAddr) const;
     void service(Port &port, const MemRequest &req);
+    /** Row-buffer management for one data access; returns mem clocks. */
+    double rowCost(Port &port, Addr lineAddr);
 
     void
     rec(const char *what, std::uint64_t a = 0, std::uint64_t b = 0)

@@ -25,6 +25,7 @@
 #include "mem/zbox.hh"
 #include "trace/trace.hh"
 #include "vbox/vbox.hh"
+#include "vm/vm_config.hh"
 
 namespace tarantula::proc
 {
@@ -101,6 +102,12 @@ struct MachineConfig
     mem::ZboxConfig zbox;
     /** CMP shape; the default is the paper's single-core machine. */
     CmpConfig cmp;
+    /**
+     * OS/virtual-memory scenario layer (DESIGN.md §15); disabled by
+     * default, in which case TLB misses keep the paper's flat PALcode
+     * cost and every pre-VM golden/snapshot byte stays identical.
+     */
+    vm::VmConfig vm;
 };
 
 /**

@@ -61,6 +61,17 @@ BatchManifest::jobKey(const Job &job)
         knobs.u32(job.vl);
     if (job.selfResumeAt)
         knobs.u64(job.selfResumeAt);
+    // The VM knobs (DESIGN.md §15), only when the layer is on, so
+    // flat-cost jobs keep their pre-VM keys. vmPageBits gates the
+    // rest: companion knobs are inert without it and stay out.
+    if (job.vmPageBits) {
+        knobs.u32(job.vmPageBits);
+        knobs.u32(job.vmWalkLevels);
+        knobs.u32(job.vmAsids);
+        knobs.u64(job.vmSwitchEvery);
+        knobs.u64(job.vmShootdownEvery);
+        knobs.b(job.vmPtesUncached);
+    }
     const std::string bytes = os.str();
     const std::uint64_t hash = snap::fnv1a(bytes.data(), bytes.size());
 
@@ -73,6 +84,8 @@ BatchManifest::jobKey(const Job &job)
         stem += "_s" + std::to_string(job.seed);
     if (job.vl)
         stem += "_v" + std::to_string(job.vl);
+    if (job.vmPageBits)
+        stem += "_p" + std::to_string(job.vmPageBits);
     for (char &c : stem) {
         if (c == '+')
             c = 'p';            // EV8+ -> EV8p: filesystem-safe

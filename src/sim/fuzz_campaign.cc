@@ -187,6 +187,25 @@ campaignPoints(const CampaignOptions &opt)
     if (vls.empty())
         bad("empty vl list");
 
+    std::vector<unsigned> page_bits;
+    for (const auto &p : split(opt.vmPageBits, ',')) {
+        try {
+            std::size_t pos = 0;
+            page_bits.push_back(
+                static_cast<unsigned>(std::stoul(p, &pos)));
+            if (pos != p.size())
+                throw std::invalid_argument(p);
+        } catch (const std::exception &) {
+            bad("invalid vm page bits '" + p + "'");
+        }
+        const unsigned pb = page_bits.back();
+        if (pb != 0 && (pb < 12 || pb > 30))
+            bad("vm page bits '" + std::to_string(pb) +
+                "' outside 12..30 (or 0 for the flat-cost path)");
+    }
+    if (page_bits.empty())
+        bad("empty vm page bits list");
+
     // Fail fast on any bad spec element, with the campaign prefix.
     try {
         for (const auto &v : variants)
@@ -209,8 +228,10 @@ campaignPoints(const CampaignOptions &opt)
         for (std::uint64_t seed = opt.seedLo; seed <= opt.seedHi;
              ++seed) {
             for (unsigned vl : vls) {
-                for (const auto &plan : plans)
-                    points.push_back({variant, seed, vl, plan});
+                for (unsigned pb : page_bits) {
+                    for (const auto &plan : plans)
+                        points.push_back({variant, seed, vl, pb, plan});
+                }
             }
         }
     }
@@ -235,6 +256,12 @@ pointJobs(const CampaignPoint &point, const CampaignOptions &opt)
     base.seed = point.seed;
     base.vl = point.vl;
     base.maxCycles = opt.maxCycles;
+    if (point.vmPageBits) {
+        base.vmPageBits = point.vmPageBits;
+        base.vmAsids = opt.vmAsids;
+        base.vmSwitchEvery = opt.vmSwitchEvery;
+        base.vmShootdownEvery = opt.vmShootdownEvery;
+    }
     if (!point.faults.empty()) {
         base.faults = point.faults;
         base.check = true;
@@ -377,6 +404,20 @@ writeCampaignReport(std::ostream &os, const std::string &dir,
     for (const auto &v : split(opt.vls, ','))
         w.value(static_cast<std::uint64_t>(std::stoull(v)));
     w.endArray();
+    // VM grid axis (DESIGN.md §15), only when swept: flat-cost-only
+    // campaign reports keep their exact pre-VM bytes.
+    if (opt.vmPageBits != "0") {
+        w.key("vmPageBits").beginArray();
+        for (const auto &p : split(opt.vmPageBits, ','))
+            w.value(static_cast<std::uint64_t>(std::stoull(p)));
+        w.endArray();
+        if (opt.vmAsids)
+            w.key("vmAsids").value(opt.vmAsids);
+        if (opt.vmSwitchEvery)
+            w.key("vmSwitchEvery").value(opt.vmSwitchEvery);
+        if (opt.vmShootdownEvery)
+            w.key("vmShootdownEvery").value(opt.vmShootdownEvery);
+    }
     w.key("maxCycles").value(opt.maxCycles);
     w.key("deadlockCycles").value(opt.deadlockCycles);
     w.key("points").value(std::uint64_t{points.size()});
@@ -404,6 +445,8 @@ writeCampaignReport(std::ostream &os, const std::string &dir,
         w.key("workload").value(d.modes[0].job.workload);
         w.key("seed").value(d.point.seed);
         w.key("vl").value(d.point.vl);
+        if (d.point.vmPageBits)
+            w.key("vmPageBits").value(d.point.vmPageBits);
         w.key("faults").value(d.point.faults);
         w.key("kind").value(d.kind);
         w.key("detail").value(d.detail);

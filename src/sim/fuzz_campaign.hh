@@ -64,16 +64,29 @@ struct CampaignOptions
     std::string faultPlans;
     /** Comma-separated VL knob values; 0 = the full machine VL. */
     std::string vls = "0";
+    /**
+     * Comma-separated log2 page sizes for the OS/VM scenario layer
+     * (DESIGN.md §15); each adds a grid dimension. 0 = the flat-cost
+     * PALcode refill. All three engine modes of a VM point carry the
+     * same VM knobs, so the campaign proves the stepped/fast-forward/
+     * resume contract holds with walks, faults and switches live.
+     */
+    std::string vmPageBits = "0";
+    /** VM companion knobs, applied to every vmPageBits != 0 point. */
+    unsigned vmAsids = 0;
+    std::uint64_t vmSwitchEvery = 0;
+    std::uint64_t vmShootdownEvery = 0;
     std::uint64_t maxCycles = 1ULL << 26;
     std::uint64_t deadlockCycles = 500000;
 };
 
-/** One (variant, seed, vl, fault-plan) grid point. */
+/** One (variant, seed, vl, vm-page-bits, fault-plan) grid point. */
 struct CampaignPoint
 {
     std::string variant;
     std::uint64_t seed = 0;
     unsigned vl = 0;
+    unsigned vmPageBits = 0;    ///< 0 = the VM layer off
     std::string faults;
 };
 

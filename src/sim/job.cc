@@ -114,6 +114,17 @@ runJobControlled(const Job &job, const RunControl &control,
         cfg.trace.sampleStats = job.sampleStats;
         const unsigned cores = job.cores ? job.cores : 1;
         cfg.cmp.numCores = cores;
+        if (job.vmPageBits) {
+            cfg.vm.enabled = true;
+            cfg.vm.pageBits = job.vmPageBits;
+            if (job.vmWalkLevels)
+                cfg.vm.walkLevels = job.vmWalkLevels;
+            if (job.vmAsids)
+                cfg.vm.asids = job.vmAsids;
+            cfg.vm.switchEvery = job.vmSwitchEvery;
+            cfg.vm.shootdownEvery = job.vmShootdownEvery;
+            cfg.vm.ptesCacheable = !job.vmPtesUncached;
+        }
 
         // CMP placement: "a,b" on 4 cores runs a on 0/2, b on 1/3.
         std::vector<std::string> names;

@@ -89,6 +89,18 @@ struct Job
      * the campaign report flags any divergence.
      */
     std::uint64_t selfResumeAt = 0;
+    // ---- OS/VM scenario layer (DESIGN.md §15) -----------------------
+    // vmPageBits is the master gate: 0 (the default) keeps the flat-
+    // cost PALcode refill and pre-VM record/key bytes; non-zero
+    // enables page-table walks at that page size. The companion knobs
+    // only mean anything when it is set, and each joins the job key
+    // and record only when non-default.
+    unsigned vmPageBits = 0;       ///< log2 page size; 0 = VM layer off
+    unsigned vmWalkLevels = 0;     ///< walk depth; 0 = default (3)
+    unsigned vmAsids = 0;          ///< ASID space; 0 = default (1)
+    std::uint64_t vmSwitchEvery = 0;    ///< context-switch period; 0 = off
+    std::uint64_t vmShootdownEvery = 0; ///< shootdown period; 0 = off
+    bool vmPtesUncached = false;   ///< force every PTE read to DRAM
     // ---- observability (DESIGN.md §9); read-only, never perturbs ----
     bool trace = false;            ///< collect Chrome trace events
     std::uint64_t sampleEvery = 0; ///< stats snapshot interval; 0 = off

@@ -49,6 +49,22 @@ writeJobRecordBody(JsonWriter &w, const JobResult &result,
         w.key("resumeFrom").value(result.job.resumeFrom);
     if (result.job.selfResumeAt)
         w.key("selfResumeAt").value(result.job.selfResumeAt);
+    // The VM knobs (DESIGN.md §15), only when the layer is on, so
+    // flat-cost records keep their exact old bytes.
+    if (result.job.vmPageBits) {
+        w.key("vmPageBits").value(result.job.vmPageBits);
+        if (result.job.vmWalkLevels)
+            w.key("vmWalkLevels").value(result.job.vmWalkLevels);
+        if (result.job.vmAsids)
+            w.key("vmAsids").value(result.job.vmAsids);
+        if (result.job.vmSwitchEvery)
+            w.key("vmSwitchEvery").value(result.job.vmSwitchEvery);
+        if (result.job.vmShootdownEvery)
+            w.key("vmShootdownEvery")
+                .value(result.job.vmShootdownEvery);
+        if (result.job.vmPtesUncached)
+            w.key("vmPtesUncached").value(result.job.vmPtesUncached);
+    }
     w.endObject();
 
     w.key("status").value(toString(result.status));

@@ -189,6 +189,14 @@ buildSweep(const SweepOptions &options)
     std::vector<unsigned> vls;
     for (std::uint64_t v : u64List(options.vls, "vl"))
         vls.push_back(static_cast<unsigned>(v));
+    std::vector<unsigned> page_bits;
+    for (std::uint64_t p : u64List(options.vmPageBits, "vm page bits")) {
+        // 0 = flat cost; real page sizes span the sane 4 KB .. 1 GB.
+        if (p != 0 && (p < 12 || p > 30))
+            bad("vm page bits '" + std::to_string(p) +
+                "' outside 12..30 (or 0 for the flat-cost path)");
+        page_bits.push_back(static_cast<unsigned>(p));
+    }
 
     // Validate everything up front so a typo fails fast rather than
     // as N failed jobs deep into the sweep. Name lookups throw with
@@ -256,9 +264,25 @@ buildSweep(const SweepOptions &options)
             job.sampleStats = options.sampleStats;
             for (std::uint64_t s : seeds) {
             for (unsigned vl : vls) {
+            for (unsigned pb : page_bits) {
                 job.seed = s;
                 job.vl = vl;
+                job.vmPageBits = pb;
+                if (pb) {
+                    job.vmWalkLevels = options.vmWalkLevels;
+                    job.vmAsids = options.vmAsids;
+                    job.vmSwitchEvery = options.vmSwitchEvery;
+                    job.vmShootdownEvery = options.vmShootdownEvery;
+                    job.vmPtesUncached = options.vmPtesUncached;
+                } else {
+                    job.vmWalkLevels = 0;
+                    job.vmAsids = 0;
+                    job.vmSwitchEvery = 0;
+                    job.vmShootdownEvery = 0;
+                    job.vmPtesUncached = false;
+                }
                 grid.push_back(job);
+            }
             }
             }
         }
@@ -305,6 +329,19 @@ sweepJson(const std::vector<Job> &jobs)
             w.key("selfResumeAt").value(job.selfResumeAt);
         if (!job.ucache)
             w.key("ucache").value(job.ucache);
+        // VM knobs (DESIGN.md §15), only-when-set like the PR-8 set.
+        if (job.vmPageBits)
+            w.key("vmPageBits").value(job.vmPageBits);
+        if (job.vmWalkLevels)
+            w.key("vmWalkLevels").value(job.vmWalkLevels);
+        if (job.vmAsids)
+            w.key("vmAsids").value(job.vmAsids);
+        if (job.vmSwitchEvery)
+            w.key("vmSwitchEvery").value(job.vmSwitchEvery);
+        if (job.vmShootdownEvery)
+            w.key("vmShootdownEvery").value(job.vmShootdownEvery);
+        if (job.vmPtesUncached)
+            w.key("vmPtesUncached").value(job.vmPtesUncached);
         w.endObject();
     }
     w.endArray();
@@ -352,6 +389,14 @@ parseSweepJson(const std::string &text)
         job.vl = static_cast<unsigned>(u64Opt(entry, "vl"));
         job.selfResumeAt = u64Opt(entry, "selfResumeAt");
         job.ucache = boolOpt(entry, "ucache", true);
+        job.vmPageBits =
+            static_cast<unsigned>(u64Opt(entry, "vmPageBits"));
+        job.vmWalkLevels =
+            static_cast<unsigned>(u64Opt(entry, "vmWalkLevels"));
+        job.vmAsids = static_cast<unsigned>(u64Opt(entry, "vmAsids"));
+        job.vmSwitchEvery = u64Opt(entry, "vmSwitchEvery");
+        job.vmShootdownEvery = u64Opt(entry, "vmShootdownEvery");
+        job.vmPtesUncached = boolOpt(entry, "vmPtesUncached", false);
         jobs.push_back(std::move(job));
     }
     if (jobs.empty())

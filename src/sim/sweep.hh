@@ -53,6 +53,13 @@ struct SweepOptions
      * VL-agnostic workloads (the RiVEC set and the fuzz families).
      */
     std::string vls = "0";
+    /**
+     * Comma-separated log2 page sizes for the OS/VM scenario layer
+     * (DESIGN.md §15); each adds a grid dimension. 0 = the flat-cost
+     * PALcode refill (the VM layer off). "0" (the default) keeps the
+     * legacy grid.
+     */
+    std::string vmPageBits = "0";
     // Per-job knobs, applied to every grid point.
     bool noPump = false;
     bool forceCrBox = false;
@@ -65,6 +72,13 @@ struct SweepOptions
     bool trace = false;
     std::uint64_t sampleEvery = 0;
     std::string sampleStats;
+    // VM companion knobs, applied to every vmPageBits != 0 grid point
+    // (inert at flat-cost points, mirroring Job's master-gate rule).
+    unsigned vmWalkLevels = 0;
+    unsigned vmAsids = 0;
+    std::uint64_t vmSwitchEvery = 0;
+    std::uint64_t vmShootdownEvery = 0;
+    bool vmPtesUncached = false;
 };
 
 /**

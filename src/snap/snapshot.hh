@@ -213,7 +213,7 @@ class Restorer
     }
 
     std::istream &is_;
-    unsigned version_ = 2;      ///< see version(); current by default
+    unsigned version_ = 3;      ///< see version(); current by default
 };
 
 } // namespace tarantula::snap

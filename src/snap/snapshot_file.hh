@@ -40,11 +40,13 @@ inline constexpr const char *SnapshotSchemaTag = "tarantula.snapshot.v1";
 /**
  * Current file-format version. Version 2 (the CMP `System` refactor,
  * DESIGN.md §11) added per-requester fields to the L2 payload and the
- * multi-core "system" top section; readers accept version 1 files
- * (always single-core) through a legacy-read path keyed off
- * Restorer::version().
+ * multi-core "system" top section; version 3 (the OS/VM scenario
+ * layer, DESIGN.md §15) added per-entry ASID and page-size tags to
+ * every TLB payload and, when the VM layer is enabled, a per-core
+ * "vm" section. Readers accept version 1 and 2 files through
+ * legacy-read paths keyed off Restorer::version().
  */
-inline constexpr std::uint32_t SnapshotVersion = 2;
+inline constexpr std::uint32_t SnapshotVersion = 3;
 
 /** Oldest file-format version this build can still read. */
 inline constexpr std::uint32_t SnapshotMinVersion = 1;

@@ -75,6 +75,30 @@ System::System(const MachineConfig &cfg,
         node.core = std::make_unique<ev8::Core>(
             cfg.core, *node.interp, *l2_, node.vbox.get(), *parent, i,
             core_label, bias);
+        if (cfg.vm.enabled) {
+            const std::string vm_label =
+                n > 1 ? "vm" + std::to_string(i) : "vm";
+            node.vm = std::make_unique<vm::VmUnit>(
+                cfg.vm, *l2_, *zbox_, *parent, vm_label, bias);
+            if (node.vbox) {
+                node.vm->bindVectorTlb(&node.vbox->vtlb());
+                node.vbox->setVm(node.vm.get());
+            }
+            node.core->setVm(node.vm.get());
+        }
+    }
+
+    // TLB shootdowns (DESIGN.md §15) broadcast to every *other* core's
+    // VM unit; a 1-core machine has no peers and never sends any.
+    if (cfg.vm.enabled && n > 1) {
+        for (unsigned i = 0; i < n; ++i) {
+            std::vector<vm::VmUnit *> peers;
+            for (unsigned j = 0; j < n; ++j) {
+                if (j != i)
+                    peers.push_back(cores_[j].vm.get());
+            }
+            cores_[i].vm->setPeers(std::move(peers));
+        }
     }
 
     // P-bit protocol: the shared L2 invalidating a processor-held line
@@ -121,6 +145,8 @@ System::System(const MachineConfig &cfg,
             if (node.vbox)
                 node.vbox->attachTrace(*trace_);
             node.core->attachTrace(*trace_);
+            if (node.vm)
+                node.vm->attachTrace(*trace_);
         }
         procTrace_ = &trace_->channel("proc");
     }
@@ -529,6 +555,26 @@ System::configDigest(const MachineConfig &cfg)
         out.u64(cfg.cmp.fairnessMinGrants);
     }
 
+    // OS/VM scenario layer (DESIGN.md §15): appended only when
+    // enabled, so a flat-cost machine's digest equals the pre-VM one
+    // and every existing snapshot stays restorable.
+    if (cfg.vm.enabled) {
+        out.b(cfg.vm.enabled);
+        out.u32(cfg.vm.pageBits);
+        out.u32(cfg.vm.walkLevels);
+        out.b(cfg.vm.ptesCacheable);
+        out.u32(cfg.vm.asids);
+        out.u64(cfg.vm.switchEvery);
+        out.u32(cfg.vm.hugePageBits);
+        out.u64(cfg.vm.hugeBase);
+        out.u64(cfg.vm.minorFaultCycles);
+        out.u64(cfg.vm.majorFaultCycles);
+        out.u64(cfg.vm.majorFaultEvery);
+        out.u64(cfg.vm.shootdownEvery);
+        out.u64(cfg.vm.shootdownCycles);
+        out.u32(cfg.vm.scalarTlbEntries);
+    }
+
     const std::string bytes = os.str();
     return snap::fnv1a(bytes.data(), bytes.size());
 }
@@ -575,6 +621,8 @@ System::snapshot(const std::string &path,
         if (cores_[0].vbox)
             cores_[0].vbox->save(out);
         cores_[0].core->save(out);
+        if (cores_[0].vm)
+            cores_[0].vm->save(out);
     } else {
         out.section("system");
         out.u32(numCores());
@@ -598,6 +646,10 @@ System::snapshot(const std::string &path,
         }
         for (const auto &node : cores_)
             node.core->save(out);
+        for (const auto &node : cores_) {
+            if (node.vm)
+                node.vm->save(out);
+        }
     }
 
     // The fault plan's presence is implied by the config digest, but
@@ -674,6 +726,8 @@ System::restoreFrom(const std::string &path)
         if (cores_[0].vbox)
             cores_[0].vbox->restore(in);
         cores_[0].core->restore(in);
+        if (cores_[0].vm)
+            cores_[0].vm->restore(in);
     } else {
         in.section("system");
         const unsigned n = in.u32();
@@ -703,6 +757,10 @@ System::restoreFrom(const std::string &path)
         }
         for (auto &node : cores_)
             node.core->restore(in);
+        for (auto &node : cores_) {
+            if (node.vm)
+                node.vm->restore(in);
+        }
     }
 
     const bool hasFaults = in.b();

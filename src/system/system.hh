@@ -42,6 +42,7 @@
 #include "trace/sampler.hh"
 #include "trace/trace.hh"
 #include "vbox/vbox.hh"
+#include "vm/vm.hh"
 
 namespace tarantula::sys
 {
@@ -265,6 +266,10 @@ class System
         std::unique_ptr<exec::Interpreter> interp;
         std::unique_ptr<vbox::Vbox> vbox;
         std::unique_ptr<ev8::Core> core;
+        /** OS/VM scenario layer (DESIGN.md §15); null unless
+         *  cfg.vm.enabled, so the default stats tree and snapshot
+         *  payload stay byte-identical to the pre-VM machine. */
+        std::unique_ptr<vm::VmUnit> vm;
     };
 
     /** True when every component has drained: the run is over. */

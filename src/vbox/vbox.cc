@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "vm/vm.hh"
 
 namespace tarantula::vbox
 {
@@ -152,8 +153,13 @@ Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
         static_cast<std::uint64_t>(mi.plan.slices.size()));
 
     // Per-lane TLB translation during address generation. Prefetches
-    // ignore TLB misses entirely (paper section 2).
+    // ignore TLB misses entirely (paper section 2). With the OS
+    // scenario layer on, the burst first applies any pending context
+    // switch and drains shootdown IPIs, and lookups carry the running
+    // ASID and the page size governing each address.
     Cycle tlb_stall = 0;
+    if (vm_ && !vaddrs->empty())
+        tlb_stall += vm_->beginVectorAccess(now_);
     if (!vaddrs->empty()) {
         std::vector<Addr> &miss_addrs = scratchMissAddrs_;
         std::vector<unsigned> &miss_elems = scratchMissElems_;
@@ -172,10 +178,13 @@ Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
             faults_->active(check::Fault::TlbMissStorm, now_);
         if (tlb_storm)
             rec("tlb_miss_storm", mi.robTag);
+        const std::uint16_t asid = vm_ ? vm_->currentAsid(now_) : 0;
         for (const auto &ea : *vaddrs) {
             all_addrs.push_back(ea.addr);
             all_elems.push_back(ea.elem);
-            if (!vtlb_.lookup(ea.elem, ea.addr) || tlb_storm) {
+            const unsigned pb = vm_ ? vm_->pageBitsFor(ea.addr) : 0;
+            if (!vtlb_.lookup(ea.elem, ea.addr, pb, asid) ||
+                tlb_storm) {
                 miss_addrs.push_back(ea.addr);
                 miss_elems.push_back(ea.elem);
             }
@@ -183,8 +192,14 @@ Vbox::startAddrGen(MemInst &mi, const DynInst &di, Cycle src_ready)
         if (!miss_addrs.empty()) {
             if (is_prefetch) {
                 // Misses ignored; the elements simply don't prefetch.
+            } else if (vm_) {
+                tlb_stall += vm_->vectorRefill(
+                    vtlb_, now_, miss_addrs.data(), miss_elems.data(),
+                    static_cast<unsigned>(miss_addrs.size()),
+                    all_addrs.data(), all_elems.data(),
+                    static_cast<unsigned>(all_addrs.size()));
             } else {
-                tlb_stall = vtlb_.refill(
+                tlb_stall += vtlb_.refill(
                     miss_addrs.data(), miss_elems.data(),
                     static_cast<unsigned>(miss_addrs.size()),
                     all_addrs.data(), all_elems.data(),

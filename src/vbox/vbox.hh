@@ -38,6 +38,11 @@
 #include "trace/trace.hh"
 #include "vbox/slicer.hh"
 
+namespace tarantula::vm
+{
+class VmUnit;
+}
+
 namespace tarantula::vbox
 {
 
@@ -132,6 +137,18 @@ class Vbox
      */
     void attachTrace(trace::TraceSink &sink);
 
+    /**
+     * Put the OS scenario layer (DESIGN.md §15) behind the per-lane
+     * TLBs: refills become real page-table walks, lookups carry the
+     * running ASID and per-region page size. Null (the default)
+     * keeps the classic flat-cost PALcode refill, bit-identical to
+     * pre-VM behaviour.
+     */
+    void setVm(vm::VmUnit *vm) { vm_ = vm; }
+
+    /** The per-lane TLB array (the VM unit flushes/invalidates it). */
+    tlb::VectorTlb &vtlb() { return vtlb_; }
+
     /** Statistics for benches. */
     std::uint64_t slicesIssued() const { return slicesIssued_.value(); }
     std::uint64_t addrGenBusy() const { return addrGenBusy_.value(); }
@@ -185,6 +202,7 @@ class Vbox
     check::FaultPlan *faults_ = nullptr;
     check::EventRing *ring_ = nullptr;
     trace::TraceChannel *trace_ = nullptr;
+    vm::VmUnit *vm_ = nullptr;
     bool checks_ = false;
 
     VboxConfig cfg_;

@@ -1,0 +1,290 @@
+#include "vm/vm.hh"
+
+#include "base/logging.hh"
+
+namespace tarantula::vm
+{
+
+namespace
+{
+
+/**
+ * Page tables live far above every workload's data (and above the CMP
+ * coloring bias bits, 32..36): the walk's PTE traffic shares ports and
+ * banks with data traffic but never its cache lines.
+ */
+constexpr Addr PteBase = 1ULL << 44;
+/** Each walk level reads one 8-byte PTE from its own level table. */
+constexpr unsigned PteBytes = 8;
+constexpr unsigned LevelShift = 38;
+/** Index bits resolved per level (a 4K-entry table per level). */
+constexpr unsigned IndexBitsPerLevel = 12;
+
+} // anonymous namespace
+
+VmUnit::VmUnit(const VmConfig &cfg, cache::L2Cache &l2, mem::Zbox &zbox,
+               stats::StatGroup &parent, const std::string &label,
+               Addr addr_bias)
+    : cfg_(cfg), l2_(l2), zbox_(zbox), bias_(addr_bias),
+      scalarTlb_(tlb::TlbConfig{cfg.scalarTlbEntries,
+                                cfg.scalarTlbEntries, cfg.pageBits}),
+      statGroup_(label, &parent),
+      scalarAccesses_(statGroup_, "scalar_accesses",
+                      "scalar data translations"),
+      scalarMisses_(statGroup_, "scalar_misses", "scalar DTB misses"),
+      walks_(statGroup_, "walks", "page-table walks performed"),
+      walkLevelReads_(statGroup_, "walk_level_reads",
+                      "PTE reads issued across all walks"),
+      walkL2Hits_(statGroup_, "walk_l2_hits", "PTE reads hitting in L2"),
+      walkMemReads_(statGroup_, "walk_mem_reads",
+                    "PTE reads serviced by the Zbox"),
+      walkCycles_(statGroup_, "walk_cycles",
+                  "stall cycles spent walking page tables"),
+      minorFaults_(statGroup_, "minor_faults",
+                   "first-touch (minor) page faults"),
+      majorFaults_(statGroup_, "major_faults",
+                   "major page faults (I/O wait)"),
+      faultCycles_(statGroup_, "fault_cycles",
+                   "OS-handler cycles charged to page faults"),
+      asidSwitches_(statGroup_, "asid_switches",
+                    "context switches observed"),
+      asidFlushes_(statGroup_, "asid_flushes",
+                   "TLB flushes taken at context switches"),
+      shootdownsSent_(statGroup_, "shootdowns_sent",
+                      "TLB shootdown IPIs broadcast"),
+      shootdownsReceived_(statGroup_, "shootdowns_received",
+                          "TLB shootdown IPIs received"),
+      shootdownDrainCycles_(statGroup_, "shootdown_drain_cycles",
+                            "stall cycles draining shootdown IPIs")
+{
+    if (cfg.walkLevels == 0)
+        fatal("vm: walkLevels must be at least 1");
+    if (cfg.asids == 0)
+        fatal("vm: asids must be at least 1");
+}
+
+void
+VmUnit::attachTrace(trace::TraceSink &sink)
+{
+    trace_ = &sink.channel(statGroup_.name());
+}
+
+Addr
+VmUnit::pteLine(Addr addr, unsigned page_bits, unsigned level) const
+{
+    const std::uint64_t vpn = (addr & ~bias_) >> page_bits;
+    // Level 0 is the root table, level walkLevels-1 the leaf: each
+    // level resolves IndexBitsPerLevel more of the VPN, so upper
+    // levels are shared by many pages (and hit in the L2 when PTEs
+    // are cacheable) while leaf PTEs are distinct per page.
+    const unsigned drop =
+        IndexBitsPerLevel * (cfg_.walkLevels - 1 - level);
+    const std::uint64_t idx = drop >= 64 ? 0 : (vpn >> drop);
+    const Addr entry = (PteBase | (Addr(level) << LevelShift) | bias_) +
+                       idx * PteBytes;
+    return entry & ~static_cast<Addr>(CacheLineBytes - 1);
+}
+
+Cycle
+VmUnit::walk(Addr addr, unsigned page_bits, Cycle now)
+{
+    ++walks_;
+    Cycle total = 0;
+    for (unsigned level = 0; level < cfg_.walkLevels; ++level) {
+        const Addr line = pteLine(addr, page_bits, level);
+        ++walkLevelReads_;
+        if (cfg_.ptesCacheable && l2_.probe(line)) {
+            ++walkL2Hits_;
+            total += l2_.config().scalarHitLatency;
+            continue;
+        }
+        // A real Zbox reference: occupies the port, opens/closes DRAM
+        // rows and turns the bus around exactly like data traffic, so
+        // a translation storm steals bandwidth from the access that
+        // caused it.
+        ++walkMemReads_;
+        total += zbox_.walkAccess(line);
+        if (cfg_.ptesCacheable)
+            l2_.warmLine(line);
+    }
+    walkCycles_ += total;
+    if (trace_)
+        trace_->complete(now, total, "ptwalk", addr & ~bias_, total);
+    return total;
+}
+
+Cycle
+VmUnit::faultCost(Addr addr, unsigned page_bits)
+{
+    const std::uint64_t vpn = (addr & ~bias_) >> page_bits;
+    const std::uint64_t key = (vpn << 6) | page_bits;
+    if (!touched_.insert(key).second)
+        return 0;
+    ++minorFaults_;
+    Cycle cost = cfg_.minorFaultCycles;
+    if (cfg_.majorFaultEvery &&
+        touched_.size() % cfg_.majorFaultEvery == 0) {
+        ++majorFaults_;
+        cost += cfg_.majorFaultCycles;
+    }
+    faultCycles_ += cost;
+    return cost;
+}
+
+void
+VmUnit::maybeSwitch(Cycle now)
+{
+    if (!cfg_.switchEvery)
+        return;
+    const std::uint64_t epoch = now / cfg_.switchEvery;
+    if (epoch == switchEpoch_)
+        return;
+    switchEpoch_ = epoch;
+    ++asidSwitches_;
+    if (trace_)
+        trace_->instant(now, "ctx_switch", epoch,
+                        currentAsid(now));
+    if (cfg_.asids <= 1) {
+        // Untagged TLBs: a switch invalidates every translation.
+        scalarTlb_.flush();
+        if (vtlb_)
+            vtlb_->flush();
+        ++asidFlushes_;
+    } else if (epoch >= cfg_.asids) {
+        // Tagged TLBs flush selectively: only the recycled ASID's
+        // entries go; every other address space survives the switch.
+        const std::uint16_t asid = currentAsid(now);
+        scalarTlb_.flushAsid(asid);
+        if (vtlb_)
+            vtlb_->flushAsid(asid);
+        ++asidFlushes_;
+    }
+}
+
+Cycle
+VmUnit::drainShootdowns()
+{
+    const Cycle c = pendingShootdownCycles_;
+    if (c) {
+        pendingShootdownCycles_ = 0;
+        shootdownDrainCycles_ += c;
+    }
+    return c;
+}
+
+void
+VmUnit::maybeShootdown(Addr addr, unsigned page_bits, Cycle now)
+{
+    if (!cfg_.shootdownEvery || peers_.empty())
+        return;
+    if (++insertCount_ % cfg_.shootdownEvery != 0)
+        return;
+    ++shootdownsSent_;
+    const Addr unbiased = addr & ~bias_;
+    if (trace_)
+        trace_->instant(now, "shootdown_ipi", unbiased, page_bits);
+    for (VmUnit *peer : peers_)
+        peer->receiveShootdown(unbiased, page_bits, now);
+}
+
+void
+VmUnit::receiveShootdown(Addr unbiased_addr, unsigned page_bits,
+                         Cycle now)
+{
+    ++shootdownsReceived_;
+    // The invalidate takes effect immediately; the handler's drain
+    // cost is paid at this core's next translation event, which is
+    // the first point its pipeline would notice the IPI.
+    pendingShootdownCycles_ += cfg_.shootdownCycles;
+    const Addr local = unbiased_addr | bias_;
+    scalarTlb_.invalidatePage(local, page_bits);
+    if (vtlb_)
+        vtlb_->invalidatePage(local, page_bits);
+    if (trace_)
+        trace_->instant(now, "shootdown_recv", unbiased_addr,
+                        page_bits);
+}
+
+Cycle
+VmUnit::beginVectorAccess(Cycle now)
+{
+    maybeSwitch(now);
+    return drainShootdowns();
+}
+
+Cycle
+VmUnit::scalarTranslate(Addr addr, Cycle now)
+{
+    maybeSwitch(now);
+    Cycle stall = drainShootdowns();
+    const unsigned pb = pageBitsFor(addr);
+    const std::uint16_t asid = currentAsid(now);
+    ++scalarAccesses_;
+    if (scalarTlb_.lookup(addr, pb, asid))
+        return stall;
+    ++scalarMisses_;
+    stall += walk(addr, pb, now);
+    stall += faultCost(addr, pb);
+    scalarTlb_.insert(addr, pb, asid);
+    maybeShootdown(addr, pb, now);
+    return stall;
+}
+
+Cycle
+VmUnit::vectorRefill(tlb::VectorTlb &vtlb, Cycle now,
+                     const Addr *miss_addrs, const unsigned *miss_elems,
+                     unsigned n, const Addr *all_addrs,
+                     const unsigned *all_elems, unsigned total)
+{
+    vtlb.countRefillTrap();
+    Cycle stall = tlb::VectorTlb::TrapOverhead;
+    const std::uint16_t asid = currentAsid(now);
+
+    const bool all_lanes = vtlb.policy() == tlb::RefillPolicy::AllLanes;
+    const Addr *addrs = all_lanes ? all_addrs : miss_addrs;
+    const unsigned *elems = all_lanes ? all_elems : miss_elems;
+    const unsigned count = all_lanes ? total : n;
+    for (unsigned i = 0; i < count; ++i) {
+        const unsigned pb = pageBitsFor(addrs[i]);
+        tlb::Tlb &t = vtlb.lane(elems[i]);
+        // Several elements of one lane may share a page; the walk is
+        // only paid once per inserted mapping (same dedup rule as the
+        // flat-cost refill).
+        if (t.lookup(addrs[i], pb, asid))
+            continue;
+        stall += walk(addrs[i], pb, now);
+        stall += faultCost(addrs[i], pb);
+        t.insert(addrs[i], pb, asid);
+        maybeShootdown(addrs[i], pb, now);
+    }
+    return stall;
+}
+
+void
+VmUnit::save(snap::Snapshotter &out) const
+{
+    out.section(statGroup_.name());
+    out.u64(switchEpoch_);
+    out.u64(insertCount_);
+    out.u64(pendingShootdownCycles_);
+    out.u64(touched_.size());
+    for (const std::uint64_t key : touched_)
+        out.u64(key);
+    scalarTlb_.save(out);
+}
+
+void
+VmUnit::restore(snap::Restorer &in)
+{
+    in.section(statGroup_.name());
+    switchEpoch_ = in.u64();
+    insertCount_ = in.u64();
+    pendingShootdownCycles_ = in.u64();
+    touched_.clear();
+    const std::uint64_t pages = in.u64();
+    for (std::uint64_t i = 0; i < pages; ++i)
+        touched_.insert(in.u64());
+    scalarTlb_.restore(in);
+}
+
+} // namespace tarantula::vm

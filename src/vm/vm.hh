@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The OS/virtual-memory scenario layer (DESIGN.md §15).
+ *
+ * With the layer off (the default), TLB misses cost the paper's flat
+ * PALcode charge and no VM state exists anywhere. Enabled, a VmUnit
+ * sits behind each core's translation paths and turns the abstract
+ * refill into an operating-system scenario:
+ *
+ *  - PALcode refills become multi-level page-table walks issued as
+ *    real memory references: one PTE read per level, serviced by the
+ *    L2 (walked lines are installed there when PTEs are cacheable) or
+ *    by the Zbox through the same port/bank/row/turnaround machinery
+ *    as data traffic -- so translation storms genuinely steal memory
+ *    bandwidth from the access that caused them.
+ *  - The first touch of every page takes a minor fault charging an
+ *    OS-handler cycle cost; every Nth distinct page can be made a
+ *    major fault with an extra (I/O-wait) cost.
+ *  - TLB entries are ASID-tagged; a context-switch scenario derives
+ *    the running address space from the cycle clock and flushes
+ *    either everything (asids = 1, untagged) or just the recycled
+ *    ASID's entries (asids > 1) at each switch.
+ *  - Huge-page and base-page mappings coexist: addresses above
+ *    VmConfig::hugeBase map at hugePageBits, the rest at pageBits.
+ *  - On a CMP, every Nth insert broadcasts a TLB-shootdown IPI:
+ *    peers invalidate the page immediately and pay a drain cost at
+ *    their next translation event.
+ *
+ * Everything is deterministic -- derived from the cycle clock and the
+ * translation stream, never from host state -- so stepped /
+ * fast-forwarded / snapshot-resumed runs stay byte-identical with the
+ * layer on (enforced by tests/test_tlb.cc and the fuzz battery).
+ */
+
+#ifndef TARANTULA_VM_VM_HH
+#define TARANTULA_VM_VM_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/statistics.hh"
+#include "base/types.hh"
+#include "cache/l2_cache.hh"
+#include "mem/zbox.hh"
+#include "snap/snapshot.hh"
+#include "tlb/tlb.hh"
+#include "trace/trace.hh"
+#include "vm/vm_config.hh"
+
+namespace tarantula::vm
+{
+
+/** Per-core VM unit; see file comment. */
+class VmUnit
+{
+  public:
+    /**
+     * @param label      Trace-channel name ("vm" single-core,
+     *                   "vm0".. in a CMP).
+     * @param addr_bias  The core's CMP address-coloring bias; page
+     *                   classification and page-table addresses are
+     *                   computed on the unbiased address, walk traffic
+     *                   is re-biased so it lands on the core's ports.
+     */
+    VmUnit(const VmConfig &cfg, cache::L2Cache &l2, mem::Zbox &zbox,
+           stats::StatGroup &parent, const std::string &label = "vm",
+           Addr addr_bias = 0);
+
+    /** The vector TLB this unit flushes/invalidates (may be null). */
+    void bindVectorTlb(tlb::VectorTlb *vtlb) { vtlb_ = vtlb; }
+
+    /** Shootdown IPI targets (every other core's VM unit). */
+    void setPeers(std::vector<VmUnit *> peers)
+    {
+        peers_ = std::move(peers);
+    }
+
+    /** Join the observability trace; read-only by contract. */
+    void attachTrace(trace::TraceSink &sink);
+
+    /** Page size governing @p addr (huge region vs base pages). */
+    unsigned
+    pageBitsFor(Addr addr) const
+    {
+        if (cfg_.hugePageBits && (addr & ~bias_) >= cfg_.hugeBase)
+            return cfg_.hugePageBits;
+        return cfg_.pageBits;
+    }
+
+    /** Address space running at cycle @p now (clock-derived). */
+    std::uint16_t
+    currentAsid(Cycle now) const
+    {
+        if (!cfg_.switchEvery || cfg_.asids <= 1)
+            return 0;
+        return static_cast<std::uint16_t>((now / cfg_.switchEvery) %
+                                          cfg_.asids);
+    }
+
+    /**
+     * Start of a vector address-generation burst: apply any pending
+     * context switch, then drain pending shootdown IPIs.
+     * @return Drain stall cycles to charge before translation begins.
+     */
+    Cycle beginVectorAccess(Cycle now);
+
+    /**
+     * Translate one scalar data access. A TLB hit costs nothing; a
+     * miss walks the page table (real memory traffic) and charges any
+     * fault cost. Also applies context switches and IPI drains.
+     * @return Stall cycles; 0 means proceed immediately.
+     */
+    Cycle scalarTranslate(Addr addr, Cycle now);
+
+    /**
+     * The walk-cost replacement for tlb::VectorTlb::refill: same
+     * PALcode trap semantics and dedup rules, but each inserted
+     * mapping pays a real page-table walk plus fault costs.
+     * @return Stall cycles charged to the refill trap.
+     */
+    Cycle vectorRefill(tlb::VectorTlb &vtlb, Cycle now,
+                       const Addr *miss_addrs,
+                       const unsigned *miss_elems, unsigned n,
+                       const Addr *all_addrs,
+                       const unsigned *all_elems, unsigned total);
+
+    const VmConfig &config() const { return cfg_; }
+
+    // ---- accounting for tests and benches ---------------------------
+    std::uint64_t walks() const { return walks_.value(); }
+    std::uint64_t walkCycles() const { return walkCycles_.value(); }
+    std::uint64_t walkMemReads() const { return walkMemReads_.value(); }
+    std::uint64_t walkL2Hits() const { return walkL2Hits_.value(); }
+    std::uint64_t minorFaults() const { return minorFaults_.value(); }
+    std::uint64_t majorFaults() const { return majorFaults_.value(); }
+    std::uint64_t asidSwitches() const { return asidSwitches_.value(); }
+    std::uint64_t shootdownsSent() const
+    {
+        return shootdownsSent_.value();
+    }
+    std::uint64_t shootdownsReceived() const
+    {
+        return shootdownsReceived_.value();
+    }
+
+    // ---- snapshot (DESIGN.md §10) -----------------------------------
+    /** Stats are restored by the machine's whole-tree pass. */
+    void save(snap::Snapshotter &out) const;
+    void restore(snap::Restorer &in);
+
+  private:
+    /** Apply any context switch the clock has passed since last seen. */
+    void maybeSwitch(Cycle now);
+    /** Consume pending shootdown-IPI drain cycles. */
+    Cycle drainShootdowns();
+    /** Walk the page table for @p addr; returns the walk latency. */
+    Cycle walk(Addr addr, unsigned page_bits, Cycle now);
+    /** First-touch fault cost of @p addr's page (0 when warm). */
+    Cycle faultCost(Addr addr, unsigned page_bits);
+    /** Count an insert; broadcast a shootdown IPI every Nth. */
+    void maybeShootdown(Addr addr, unsigned page_bits, Cycle now);
+    /** Receive a peer's IPI: invalidate now, drain cost later. */
+    void receiveShootdown(Addr unbiased_addr, unsigned page_bits,
+                          Cycle now);
+    /** The line address of one PTE read of @p addr's walk. */
+    Addr pteLine(Addr addr, unsigned page_bits, unsigned level) const;
+
+    VmConfig cfg_;
+    cache::L2Cache &l2_;
+    mem::Zbox &zbox_;
+    Addr bias_ = 0;
+    tlb::VectorTlb *vtlb_ = nullptr;
+    std::vector<VmUnit *> peers_;
+    trace::TraceChannel *trace_ = nullptr;
+
+    tlb::Tlb scalarTlb_;
+
+    // ---- serialized scenario state ----------------------------------
+    std::uint64_t switchEpoch_ = 0;     ///< last context-switch epoch seen
+    std::uint64_t insertCount_ = 0;     ///< inserts (shootdown trigger)
+    Cycle pendingShootdownCycles_ = 0;  ///< IPI drain owed at next event
+    /** Pages touched so far: (vpn << 6 | pageBits); ordered so the
+     *  snapshot serialization is deterministic. */
+    std::set<std::uint64_t> touched_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar scalarAccesses_;
+    stats::Scalar scalarMisses_;
+    stats::Scalar walks_;
+    stats::Scalar walkLevelReads_;
+    stats::Scalar walkL2Hits_;
+    stats::Scalar walkMemReads_;
+    stats::Scalar walkCycles_;
+    stats::Scalar minorFaults_;
+    stats::Scalar majorFaults_;
+    stats::Scalar faultCycles_;
+    stats::Scalar asidSwitches_;
+    stats::Scalar asidFlushes_;
+    stats::Scalar shootdownsSent_;
+    stats::Scalar shootdownsReceived_;
+    stats::Scalar shootdownDrainCycles_;
+};
+
+} // namespace tarantula::vm
+
+#endif // TARANTULA_VM_VM_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Configuration of the OS/virtual-memory scenario layer (DESIGN.md
+ * §15). Kept free of heavy includes so proc/machine_config.hh can
+ * embed a VmConfig without dragging the whole VM unit in.
+ *
+ * Everything defaults to OFF (enabled = false): a machine built with
+ * the default config charges the classic flat PALcode refill cost and
+ * produces byte-identical statistics, snapshots and golden numbers to
+ * a build without the VM layer at all.
+ */
+
+#ifndef TARANTULA_VM_VM_CONFIG_HH
+#define TARANTULA_VM_VM_CONFIG_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace tarantula::vm
+{
+
+/** Knobs of the OS/virtual-memory scenario layer. */
+struct VmConfig
+{
+    /**
+     * Master switch. Off = the classic flat-cost refill path; nothing
+     * below is consulted, no VM state exists, and every pre-VM golden
+     * and snapshot byte stays identical.
+     */
+    bool enabled = false;
+    /** Base page size (Tarantula's 512 MB pages = 29). */
+    unsigned pageBits = 29;
+    /**
+     * Page-table walk depth: PALcode issues one PTE read per level
+     * through the L2/Zbox instead of the flat PerEntryFill charge.
+     */
+    unsigned walkLevels = 3;
+    /**
+     * PTE reads may hit in the L2 (walked lines are installed there);
+     * false sends every level of every walk to the Zbox uncached.
+     */
+    bool ptesCacheable = true;
+    /**
+     * Address-space count. 1 = untagged TLBs: every context switch
+     * flushes everything. >1 = ASID-tagged entries: switches flush
+     * only the recycled ASID's entries.
+     */
+    unsigned asids = 1;
+    /** Context-switch period in cycles; 0 = never switch. */
+    std::uint64_t switchEvery = 0;
+    /**
+     * Huge-page region: addresses at or above hugeBase map with
+     * hugePageBits-sized pages while the rest of the address space
+     * keeps pageBits. hugePageBits = 0 disables the region (uniform
+     * page size).
+     */
+    unsigned hugePageBits = 0;
+    Addr hugeBase = 0;
+    /** OS handler cost of a minor (first-touch) page fault. */
+    Cycle minorFaultCycles = 400;
+    /** Extra cost when a first touch is a major fault (I/O wait). */
+    Cycle majorFaultCycles = 4000;
+    /** Every Nth distinct page faulted is major; 0 = never major. */
+    std::uint64_t majorFaultEvery = 0;
+    /**
+     * CMP TLB shootdowns: every Nth TLB insert broadcasts an
+     * invalidate IPI for that page to every peer core; 0 = off.
+     * Receivers invalidate immediately and pay shootdownCycles of
+     * drain at their next translation event.
+     */
+    std::uint64_t shootdownEvery = 0;
+    Cycle shootdownCycles = 120;
+    /** Scalar core DTB size (fully associative). */
+    unsigned scalarTlbEntries = 32;
+};
+
+} // namespace tarantula::vm
+
+#endif // TARANTULA_VM_VM_CONFIG_HH

@@ -167,6 +167,95 @@ INSTANTIATE_TEST_SUITE_P(
                std::to_string(info.param.seed);
     });
 
+// ---- OS/VM scenario leg (DESIGN.md §15) -------------------------------
+//
+// The walk-cost translation path must be timing-only: for every
+// seeded program, a run with real page-table walks, first-touch
+// faults, context switches and hostile 8 KB pages commits exactly the
+// architectural state the flat-cost run (and the pure functional
+// reference) commits, and the stepped and fast-forwarded engines stay
+// byte-identical with the scenario live.
+
+class VmFuzz : public ::testing::TestWithParam<FuzzCase>
+{
+};
+
+TEST_P(VmFuzz, WalkCostsAreTimingOnly)
+{
+    const FuzzCase fc = GetParam();
+    Program prog = generate(fc.seed, /*with_vector=*/true);
+
+    exec::FunctionalMemory ref_mem;
+    seedMemory(ref_mem, fc.seed);
+    exec::Interpreter ref(prog, ref_mem);
+    ref.run(1ULL << 24);
+    const auto expect = regionSnapshot(ref_mem);
+
+    auto run_one = [&](bool vm_on, bool fast_forward, Cycle *cycles,
+                       std::string *stats) {
+        exec::FunctionalMemory mem;
+        seedMemory(mem, fc.seed);
+        auto cfg = fuzzgen::variantConfig(fc.machine);
+        cfg.fastForward = fast_forward;
+        if (vm_on) {
+            cfg.vm.enabled = true;
+            cfg.vm.pageBits = 13;
+            cfg.vm.asids = 4;
+            cfg.vm.switchEvery = 5000;
+        }
+        const std::vector<const Program *> progs{&prog};
+        const std::vector<exec::FunctionalMemory *> mems{&mem};
+        sys::System cpu(cfg, progs, mems);
+        const auto r = cpu.run(1ULL << 26);
+        *cycles = r.cycles;
+        std::ostringstream os;
+        cpu.stats().reportJson(os);
+        *stats = os.str();
+        ASSERT_EQ(regionSnapshot(mem), expect)
+            << "machine " << fc.machine << " seed " << fc.seed
+            << (vm_on ? " (walk-cost)" : " (flat-cost)");
+    };
+
+    Cycle flat_c = 0, vm_ff_c = 0, vm_st_c = 0;
+    std::string flat_s, vm_ff_s, vm_st_s;
+    run_one(false, true, &flat_c, &flat_s);
+    run_one(true, true, &vm_ff_c, &vm_ff_s);
+    run_one(true, false, &vm_st_c, &vm_st_s);
+
+    // The two cycle engines agree with the scenario live...
+    EXPECT_EQ(vm_ff_c, vm_st_c)
+        << "fast-forward changed VM timing, machine " << fc.machine
+        << " seed " << fc.seed;
+    EXPECT_EQ(vm_ff_s, vm_st_s)
+        << "fast-forward changed VM stats, machine " << fc.machine
+        << " seed " << fc.seed;
+    // ...and the scenario differs from the flat path only in timing:
+    // the flat tree does not even contain a vm group.
+    EXPECT_EQ(flat_s.find("\"vm\""), std::string::npos);
+    EXPECT_NE(vm_ff_s.find("\"walks\""), std::string::npos);
+}
+
+std::vector<FuzzCase>
+vmCases()
+{
+    // A slimmer grid than the main battery: the VM leg triples every
+    // point's timing runs, and the per-variant coverage it needs is
+    // of the translation path, not of every knob again.
+    std::vector<FuzzCase> v;
+    for (const char *m : {"T", "T4", "nopump", "crbox"}) {
+        for (std::uint64_t s = 1; s <= 5; ++s)
+            v.push_back({m, s});
+    }
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, VmFuzz, ::testing::ValuesIn(vmCases()),
+    [](const ::testing::TestParamInfo<FuzzCase> &info) {
+        return std::string(info.param.machine) + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
 // ---- Fault-injection battery ------------------------------------------
 //
 // Survivable faults (grant starvation, replay storms, TLB miss storms,

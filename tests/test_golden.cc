@@ -89,14 +89,17 @@ readGoldenText()
 bool
 findEntry(const std::string &text, const std::string &machine,
           const std::string &workload, unsigned cores,
-          GoldenEntry &out)
+          unsigned vm_page_bits, GoldenEntry &out)
 {
     std::string prefix = "{\"machine\":\"" + machine +
                          "\",\"workload\":\"" + workload + "\",";
-    if (cores == 1)
-        prefix += "\"cycles\":";
-    else
+    if (cores != 1)
         prefix += "\"cores\":" + std::to_string(cores) + ",";
+    if (vm_page_bits != 0)
+        prefix += "\"vmPageBits\":" + std::to_string(vm_page_bits) +
+                  ",";
+    if (cores == 1 && vm_page_bits == 0)
+        prefix += "\"cycles\":";
     const std::size_t at = text.find(prefix);
     if (at == std::string::npos)
         return false;
@@ -121,13 +124,15 @@ findEntry(const std::string &text, const std::string &machine,
 
 sim::Job
 jobFor(const std::string &machine, const std::string &workload,
-       bool fast_forward, unsigned cores = 1)
+       bool fast_forward, unsigned cores = 1,
+       unsigned vm_page_bits = 0)
 {
     sim::Job job;
     job.machine = machine;
     job.workload = workload;
     job.fastForward = fast_forward;
     job.cores = cores;
+    job.vmPageBits = vm_page_bits;
     return job;
 }
 
@@ -138,6 +143,7 @@ struct GoldenPoint
     std::string machine;
     std::string workload;
     unsigned cores = 1;
+    unsigned vmPageBits = 0;    ///< 0 = the flat-cost PALcode refill
 };
 
 std::vector<GoldenPoint>
@@ -154,6 +160,14 @@ allPoints()
         for (const char *w : {"dgemm", "rndcopy"})
             points.push_back({"T", w, cores});
     }
+    // The OS/VM scenario grid (DESIGN.md §15): walk, fault and TLB
+    // costs at the paper's 512 MB pages and at hostile 8 KB pages,
+    // over a dense kernel, a gather-bound kernel and a random-index
+    // kernel. These reviewed numbers pin the whole translation path.
+    for (unsigned pb : {29u, 13u}) {
+        for (const char *w : {"dgemm", "sparsemxv", "rndcopy"})
+            points.push_back({"T", w, 1, pb});
+    }
     return points;
 }
 
@@ -169,12 +183,12 @@ TEST_P(Golden, FastForwardMatchesSteppedAndGoldenTable)
 {
     const auto &p = GetParam();
 
-    const sim::JobResult stepped =
-        sim::runJob(jobFor(p.machine, p.workload, false, p.cores));
-    const sim::JobResult ff =
-        sim::runJob(jobFor(p.machine, p.workload, true, p.cores));
+    const sim::JobResult stepped = sim::runJob(
+        jobFor(p.machine, p.workload, false, p.cores, p.vmPageBits));
+    const sim::JobResult ff = sim::runJob(
+        jobFor(p.machine, p.workload, true, p.cores, p.vmPageBits));
     sim::Job observed_job =
-        jobFor(p.machine, p.workload, true, p.cores);
+        jobFor(p.machine, p.workload, true, p.cores, p.vmPageBits);
     observed_job.trace = true;
     observed_job.sampleEvery = 1000;
     const sim::JobResult observed = sim::runJob(observed_job);
@@ -205,9 +219,9 @@ TEST_P(Golden, FastForwardMatchesSteppedAndGoldenTable)
 
     GoldenEntry golden;
     ASSERT_TRUE(findEntry(text, p.machine, p.workload, p.cores,
-                          golden))
+                          p.vmPageBits, golden))
         << "no golden entry for " << p.machine << "/" << p.workload
-        << " x" << p.cores
+        << " x" << p.cores << " p" << p.vmPageBits
         << "; regenerate with: ./build/tests/test_golden --regen";
     EXPECT_EQ(stepped.run.cycles, golden.cycles);
     EXPECT_EQ(stepped.run.insts, golden.insts);
@@ -223,6 +237,8 @@ INSTANTIATE_TEST_SUITE_P(
             info.param.machine + "_" + info.param.workload;
         if (info.param.cores != 1)
             name += "_x" + std::to_string(info.param.cores);
+        if (info.param.vmPageBits != 0)
+            name += "_p" + std::to_string(info.param.vmPageBits);
         for (char &c : name) {
             if (c == '+')
                 c = 'p';
@@ -242,7 +258,8 @@ regenerate(const std::string &path)
     const auto points = allPoints();
     sim::SimFarm farm;
     for (const auto &p : points)
-        farm.submit(jobFor(p.machine, p.workload, false, p.cores));
+        farm.submit(jobFor(p.machine, p.workload, false, p.cores,
+                           p.vmPageBits));
     const sim::BatchResult batch = farm.run();
 
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -269,6 +286,8 @@ regenerate(const std::string &path)
             << "\",\"workload\":\"" << points[i].workload << "\",";
         if (points[i].cores != 1)
             out << "\"cores\":" << points[i].cores << ",";
+        if (points[i].vmPageBits != 0)
+            out << "\"vmPageBits\":" << points[i].vmPageBits << ",";
         out << "\"cycles\":" << r.cycles << ",\"insts\":" << r.insts
             << ",\"ops\":" << r.ops << ",\"flops\":" << r.flops
             << ",\"memops\":" << r.memops << "}"

@@ -1,19 +1,44 @@
 /**
  * @file
- * Unit tests for the TLB models: 512 MB pages, LRU replacement, the
- * per-lane vector TLB array, both PALcode refill policies, and the
- * paper's forward-progress associativity requirement.
+ * Unit tests for the TLB models and the OS/VM scenario battery
+ * (DESIGN.md §15).
+ *
+ * The classic half: 512 MB pages, LRU replacement, the per-lane
+ * vector TLB array, both PALcode refill policies, and the paper's
+ * forward-progress associativity requirement.
+ *
+ * The VM half locks down the scenario layer: page-table walk traffic
+ * against hand-computed reference counts (with the walks serviced by
+ * a real L2/Zbox pair), minor/major fault charging, ASID-selective
+ * context-switch flushes, huge/base page coexistence, cross-core
+ * shootdown invalidate-now/drain-later ordering, forward progress at
+ * every associativity x page-size point under the walk-cost refill,
+ * the victim-choice regression (first invalid way, then LRU), a
+ * VmUnit snapshot round-trip, and the system-level byte-identity
+ * contracts (stepped vs fast-forward, snapshot resume) with the VM
+ * knobs on.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include <vector>
 
 #include "base/logging.hh"
 #include "base/statistics.hh"
+#include "cache/l2_cache.hh"
+#include "mem/zbox.hh"
+#include "sim/job.hh"
+#include "snap/snapshot.hh"
 #include "tlb/tlb.hh"
+#include "vm/vm.hh"
+#include "vm/vm_config.hh"
 
 namespace
 {
@@ -221,6 +246,427 @@ TEST(VectorTlb, StatsCountMissesAndTraps)
     unsigned e = 0;
     h.vtlb->refill(&a, &e, 1, &a, &e, 1);
     EXPECT_EQ(h.vtlb->numRefills(), 1u);
+}
+
+TEST(Tlb, VictimPrefersInvalidWayOverStaleLru)
+{
+    // Regression: a shootdown or flush invalidates a way but leaves
+    // its lastUse stamp behind. The victim scan must take the free
+    // way; evicting a live mapping while one exists is a bug.
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.assoc = 4;
+    Tlb t(cfg);
+    for (unsigned i = 0; i < 4; ++i)
+        t.insert(Addr(i) << 29);
+    EXPECT_TRUE(t.lookup(0));               // page 0 recently used
+    t.invalidatePage(Addr(1) << 29);        // shootdown page 1
+
+    t.insert(Addr(4) << 29);                // must fill page 1's way
+    EXPECT_TRUE(t.lookup(0));
+    EXPECT_TRUE(t.lookup(Addr(2) << 29));
+    EXPECT_TRUE(t.lookup(Addr(3) << 29));
+    EXPECT_TRUE(t.lookup(Addr(4) << 29));
+    EXPECT_FALSE(t.lookup(Addr(1) << 29));
+
+    // Only a full set falls back to true LRU: the probes above
+    // touched page 0 first, so it is now the oldest and goes.
+    t.insert(Addr(5) << 29);
+    EXPECT_FALSE(t.lookup(0));
+    EXPECT_TRUE(t.lookup(Addr(2) << 29));
+    EXPECT_TRUE(t.lookup(Addr(5) << 29));
+}
+
+// ==== The OS/VM scenario battery (DESIGN.md §15) ========================
+
+using vm::VmConfig;
+using vm::VmUnit;
+
+/**
+ * A VmUnit with the real memory system behind it: walks are serviced
+ * by the same L2/Zbox pair a core's data traffic uses, so the
+ * hand-computed reference counts below count genuine memory
+ * references, not an abstraction of them.
+ */
+struct VmHarness
+{
+    stats::StatGroup root{"T"};
+    std::unique_ptr<mem::Zbox> zbox;
+    std::unique_ptr<cache::L2Cache> l2;
+    std::unique_ptr<VectorTlb> vtlb;
+    std::unique_ptr<VmUnit> vm;
+
+    explicit VmHarness(VmConfig cfg = {}, TlbConfig tcfg = {},
+                       RefillPolicy p = RefillPolicy::MissedLanesOnly,
+                       const std::string &label = "vm")
+    {
+        zbox = std::make_unique<mem::Zbox>(mem::ZboxConfig{}, root);
+        l2 = std::make_unique<cache::L2Cache>(cache::L2Config{}, *zbox,
+                                              root);
+        tcfg.pageBits = cfg.pageBits;
+        vtlb = std::make_unique<VectorTlb>(tcfg, p, root);
+        vm = std::make_unique<VmUnit>(cfg, *l2, *zbox, root, label);
+        vm->bindVectorTlb(vtlb.get());
+    }
+};
+
+TEST(VmWalk, HandComputedWalkTraffic)
+{
+    VmConfig cfg;
+    cfg.enabled = true;
+    cfg.minorFaultCycles = 0;   // isolate the walk itself
+    VmHarness h(cfg);
+
+    // Cold machine: all three PTE levels of the first walk miss the
+    // L2 and read the Zbox.
+    const Cycle s1 = h.vm->scalarTranslate(0, 0);
+    EXPECT_EQ(h.vm->walks(), 1u);
+    EXPECT_EQ(h.vm->walkL2Hits(), 0u);
+    EXPECT_EQ(h.vm->walkMemReads(), 3u);
+    EXPECT_EQ(s1, h.vm->walkCycles());
+    // Walk traffic is visible at the memory controller, and like
+    // directory overhead it is raw bytes, never data bytes.
+    EXPECT_GT(h.zbox->rawBytes(), 0u);
+    EXPECT_EQ(h.zbox->dataBytes(), 0u);
+
+    // A second page shares the two upper walk levels, whose PTE lines
+    // the first walk just installed in the L2: only the leaf read
+    // goes to memory. vpn 8 keeps the 8-byte leaf PTE off vpn 0's
+    // cache line.
+    const Cycle before = h.vm->walkCycles();
+    const Cycle s2 = h.vm->scalarTranslate(Addr(8) << 29, 0);
+    EXPECT_EQ(h.vm->walks(), 2u);
+    EXPECT_EQ(h.vm->walkL2Hits(), 2u);
+    EXPECT_EQ(h.vm->walkMemReads(), 4u);
+    EXPECT_EQ(s2, h.vm->walkCycles() - before);
+    EXPECT_GE(s2, 2 * h.l2->config().scalarHitLatency);
+
+    // Warm TLB: translation is free.
+    EXPECT_EQ(h.vm->scalarTranslate(0, 0), 0u);
+    EXPECT_EQ(h.vm->walks(), 2u);
+}
+
+TEST(VmWalk, UncacheablePtesAlwaysReadMemory)
+{
+    VmConfig cfg;
+    cfg.enabled = true;
+    cfg.ptesCacheable = false;
+    cfg.minorFaultCycles = 0;
+    VmHarness h(cfg);
+    h.vm->scalarTranslate(0, 0);
+    h.vm->scalarTranslate(Addr(8) << 29, 0);
+    EXPECT_EQ(h.vm->walkL2Hits(), 0u);
+    EXPECT_EQ(h.vm->walkMemReads(), 6u);
+}
+
+TEST(VmWalk, WalkDepthIsAKnob)
+{
+    for (unsigned levels : {1u, 2u, 4u}) {
+        VmConfig cfg;
+        cfg.enabled = true;
+        cfg.walkLevels = levels;
+        cfg.minorFaultCycles = 0;
+        VmHarness h(cfg);
+        h.vm->scalarTranslate(0, 0);
+        EXPECT_EQ(h.vm->walkMemReads(), levels) << levels;
+    }
+}
+
+TEST(VmFaults, FirstTouchMinorEveryNthMajor)
+{
+    VmConfig cfg;
+    cfg.enabled = true;
+    cfg.minorFaultCycles = 100;
+    cfg.majorFaultEvery = 2;
+    cfg.majorFaultCycles = 1000;
+    VmHarness h(cfg);
+
+    Cycle total = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        total += h.vm->scalarTranslate(Addr(i) << 29, 0);
+    EXPECT_EQ(h.vm->minorFaults(), 4u);
+    EXPECT_EQ(h.vm->majorFaults(), 2u);     // distinct pages #2 and #4
+    // The stall decomposes exactly: walks + 4 minors + 2 majors.
+    EXPECT_EQ(total, h.vm->walkCycles() + 4 * 100 + 2 * 1000);
+
+    // Re-touching a warm page faults nothing and costs nothing.
+    EXPECT_EQ(h.vm->scalarTranslate(0, 0), 0u);
+    EXPECT_EQ(h.vm->minorFaults(), 4u);
+}
+
+TEST(VmAsid, TaggedFlushIsSelective)
+{
+    VmConfig cfg;
+    cfg.enabled = true;
+    cfg.asids = 4;
+    cfg.switchEvery = 1000;
+    VmHarness h(cfg);
+
+    // Install page 0 on lane 0 under ASID 0 (cycle 0) and again under
+    // ASID 1 (cycle 1000) via the walk-cost refill path.
+    Addr a = 0;
+    unsigned e = 0;
+    h.vm->vectorRefill(*h.vtlb, 0, &a, &e, 1, &a, &e, 1);
+    h.vm->vectorRefill(*h.vtlb, 1000, &a, &e, 1, &a, &e, 1);
+    EXPECT_TRUE(h.vtlb->lookup(0, a, 29, 0));
+    EXPECT_TRUE(h.vtlb->lookup(0, a, 29, 1));
+
+    // Epoch 4 re-runs ASID 0: the switch recycles exactly that
+    // address space; ASID 1's mapping survives the flush.
+    h.vm->beginVectorAccess(4000);
+    EXPECT_EQ(h.vm->asidSwitches(), 1u);
+    EXPECT_FALSE(h.vtlb->lookup(0, a, 29, 0));
+    EXPECT_TRUE(h.vtlb->lookup(0, a, 29, 1));
+}
+
+TEST(VmAsid, UntaggedSwitchFlushesEverything)
+{
+    VmConfig cfg;
+    cfg.enabled = true;
+    cfg.asids = 1;
+    cfg.switchEvery = 1000;
+    VmHarness h(cfg);
+    Addr a = 0;
+    unsigned e = 0;
+    h.vm->vectorRefill(*h.vtlb, 0, &a, &e, 1, &a, &e, 1);
+    EXPECT_TRUE(h.vtlb->lookup(0, a, 29, 0));
+    h.vm->beginVectorAccess(1000);
+    EXPECT_EQ(h.vm->asidSwitches(), 1u);
+    EXPECT_FALSE(h.vtlb->lookup(0, a, 29, 0));
+}
+
+TEST(VmPages, HugeAndBaseCoexistPerRegion)
+{
+    VmConfig cfg;
+    cfg.enabled = true;
+    cfg.pageBits = 13;          // 8 KB base pages
+    cfg.hugePageBits = 29;      // the paper's 512 MB pages up high
+    cfg.hugeBase = 1ULL << 30;
+    cfg.minorFaultCycles = 0;
+    VmHarness h(cfg);
+
+    EXPECT_EQ(h.vm->pageBitsFor(0), 13u);
+    EXPECT_EQ(h.vm->pageBitsFor(1ULL << 30), 29u);
+
+    h.vm->scalarTranslate(0x0000, 0);       // base page 0
+    h.vm->scalarTranslate(0x2000, 0);       // base page 1: a new walk
+    EXPECT_EQ(h.vm->walks(), 2u);
+    EXPECT_EQ(h.vm->scalarTranslate(0x1fff, 0), 0u);    // page 0 warm
+
+    h.vm->scalarTranslate(1ULL << 30, 0);   // huge page
+    EXPECT_EQ(h.vm->walks(), 3u);
+    // 100 MB later is still inside the same 512 MB page...
+    EXPECT_EQ(h.vm->scalarTranslate((1ULL << 30) + (100ULL << 20), 0),
+              0u);
+    // ...and both granularities stay resident side by side.
+    EXPECT_EQ(h.vm->scalarTranslate(0x0000, 0), 0u);
+    EXPECT_EQ(h.vm->scalarTranslate(1ULL << 30, 0), 0u);
+    EXPECT_EQ(h.vm->walks(), 3u);
+}
+
+TEST(VmShootdown, InvalidateNowDrainAtNextEvent)
+{
+    VmConfig cfg;
+    cfg.enabled = true;
+    cfg.shootdownEvery = 2;
+    cfg.shootdownCycles = 120;
+    cfg.minorFaultCycles = 0;
+    VmHarness h0(cfg, TlbConfig{}, RefillPolicy::MissedLanesOnly,
+                 "vm0");
+    VmHarness h1(cfg, TlbConfig{}, RefillPolicy::MissedLanesOnly,
+                 "vm1");
+    h0.vm->setPeers({h1.vm.get()});
+    h1.vm->setPeers({h0.vm.get()});
+
+    const Addr A = 0;
+    const Addr B = Addr(1) << 29;
+
+    // Two inserts on core 1: the second broadcasts the IPI for B.
+    h1.vm->scalarTranslate(A, 0);
+    h1.vm->scalarTranslate(B, 0);
+    EXPECT_EQ(h1.vm->shootdownsSent(), 1u);
+    EXPECT_EQ(h0.vm->shootdownsReceived(), 1u);
+
+    // Core 0 pays the drain exactly once, at its next translation
+    // event -- not at IPI delivery.
+    EXPECT_EQ(h0.vm->beginVectorAccess(0), 120u);
+    EXPECT_EQ(h0.vm->beginVectorAccess(0), 0u);
+
+    // Core 0's own inserts; its second one shoots B out of core 1.
+    h0.vm->scalarTranslate(A, 0);
+    h0.vm->scalarTranslate(B, 0);
+    EXPECT_EQ(h0.vm->shootdownsSent(), 1u);
+    EXPECT_EQ(h1.vm->shootdownsReceived(), 1u);
+
+    // Core 1 kept A (only B was shot down): a pure drain stall...
+    const std::uint64_t walks_before = h1.vm->walks();
+    EXPECT_EQ(h1.vm->scalarTranslate(A, 1), 120u);
+    EXPECT_EQ(h1.vm->walks(), walks_before);
+    // ...but the shot-down page must be re-walked.
+    h1.vm->scalarTranslate(B, 1);
+    EXPECT_EQ(h1.vm->walks(), walks_before + 1);
+}
+
+TEST(VmTlb, ForwardProgressAcrossAssocAndPageSize)
+{
+    // The paper's forward-progress requirement must survive the VM
+    // layer's walk-cost refill at every supported page size: eight
+    // same-set pages per lane coexist whenever assoc >= 8.
+    for (unsigned pb : {13u, 29u}) {
+        for (unsigned assoc : {8u, 16u, 32u}) {
+            VmConfig cfg;
+            cfg.enabled = true;
+            cfg.pageBits = pb;
+            cfg.minorFaultCycles = 0;
+            TlbConfig tcfg;
+            tcfg.entries = 32;
+            tcfg.assoc = assoc;
+            VmHarness h(cfg, tcfg);
+
+            const unsigned sets = tcfg.entries / assoc;
+            std::vector<Addr> addrs;
+            std::vector<unsigned> elems;
+            for (unsigned k = 0; k < 8; ++k) {
+                addrs.push_back((Addr(k) * sets) << pb);
+                elems.push_back(0);     // all on lane 0
+            }
+            h.vm->vectorRefill(*h.vtlb, 0, addrs.data(), elems.data(),
+                               8, addrs.data(), elems.data(), 8);
+            for (unsigned k = 0; k < 8; ++k) {
+                EXPECT_TRUE(h.vtlb->lookup(0, addrs[k], pb, 0))
+                    << "assoc=" << assoc << " pageBits=" << pb
+                    << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(VmSnapshot, RoundTripPreservesScenarioState)
+{
+    VmConfig cfg;
+    cfg.enabled = true;
+    cfg.minorFaultCycles = 100;
+    cfg.majorFaultEvery = 4;
+    cfg.majorFaultCycles = 1000;
+
+    VmHarness a(cfg);
+    for (unsigned i = 0; i < 3; ++i)
+        a.vm->scalarTranslate(Addr(i) << 29, 0);
+    EXPECT_EQ(a.vm->minorFaults(), 3u);
+    EXPECT_EQ(a.vm->majorFaults(), 0u);
+
+    std::ostringstream os;
+    snap::Snapshotter out(os);
+    a.vm->save(out);
+
+    VmHarness b(cfg);
+    std::istringstream is(os.str());
+    snap::Restorer in(is);
+    b.vm->restore(in);
+
+    // The scalar TLB came back: warm pages translate for free.
+    EXPECT_EQ(b.vm->scalarTranslate(0, 0), 0u);
+    EXPECT_EQ(b.vm->minorFaults(), 0u);     // stats are not state
+    // The touched-page set came back too: the next distinct page is
+    // the 4th overall, so the every-4th major fault fires here.
+    b.vm->scalarTranslate(Addr(3) << 29, 0);
+    EXPECT_EQ(b.vm->majorFaults(), 1u);
+}
+
+// ==== system-level byte identity with the VM layer on ===================
+
+sim::Job
+vmJob(const std::string &workload, unsigned page_bits,
+      bool fast_forward = true)
+{
+    sim::Job job;
+    job.machine = "T";
+    job.workload = workload;
+    job.fastForward = fast_forward;
+    job.vmPageBits = page_bits;
+    job.vmAsids = 4;
+    job.vmSwitchEvery = 5000;
+    return job;
+}
+
+TEST(VmSystem, SteppedAndFastForwardBitIdentical)
+{
+    const sim::JobResult ff = sim::runJob(vmJob("dgemm", 13, true));
+    const sim::JobResult st = sim::runJob(vmJob("dgemm", 13, false));
+    ASSERT_EQ(ff.status, sim::JobStatus::Ok) << ff.message;
+    ASSERT_EQ(st.status, sim::JobStatus::Ok) << st.message;
+    EXPECT_EQ(ff.run.cycles, st.run.cycles);
+    EXPECT_EQ(ff.statsJson, st.statsJson);
+}
+
+TEST(VmSystem, SelfResumeBitIdentical)
+{
+    const sim::JobResult straight = sim::runJob(vmJob("dgemm", 13));
+    ASSERT_EQ(straight.status, sim::JobStatus::Ok) << straight.message;
+
+    sim::Job job = vmJob("dgemm", 13);
+    job.selfResumeAt = straight.run.cycles / 2;
+    const sim::JobResult resumed = sim::runJob(job);
+    ASSERT_EQ(resumed.status, sim::JobStatus::Ok) << resumed.message;
+    EXPECT_EQ(resumed.run.cycles, straight.run.cycles);
+    EXPECT_EQ(resumed.statsJson, straight.statsJson);
+}
+
+TEST(VmSystem, FlatCostDefaultHasNoVmFootprint)
+{
+    // With the knobs off the stats tree must not even contain a vm
+    // group -- the shape contract that keeps every pre-VM golden and
+    // snapshot byte identical.
+    sim::Job flat;
+    flat.machine = "T";
+    flat.workload = "dgemm";
+    const sim::JobResult r = sim::runJob(flat);
+    ASSERT_EQ(r.status, sim::JobStatus::Ok) << r.message;
+    EXPECT_EQ(r.statsJson.find("\"vm\""), std::string::npos);
+    EXPECT_EQ(r.statsJson.find("walk_cycles"), std::string::npos);
+}
+
+TEST(VmSystem, WalkCostsChangeTimingNotResults)
+{
+    // The contract shared with the fuzz battery: flat-cost and
+    // walk-cost runs agree on everything architectural and differ
+    // only in timing.
+    sim::Job flat;
+    flat.machine = "T";
+    flat.workload = "dgemm";
+    const sim::JobResult f = sim::runJob(flat);
+    const sim::JobResult v = sim::runJob(vmJob("dgemm", 13));
+    ASSERT_EQ(f.status, sim::JobStatus::Ok) << f.message;
+    ASSERT_EQ(v.status, sim::JobStatus::Ok) << v.message;
+    EXPECT_EQ(v.run.insts, f.run.insts);
+    EXPECT_EQ(v.run.ops, f.run.ops);
+    EXPECT_EQ(v.run.flops, f.run.flops);
+    EXPECT_EQ(v.run.memops, f.run.memops);
+    EXPECT_GT(v.run.cycles, f.run.cycles);
+    EXPECT_NE(v.statsJson.find("\"walks\""), std::string::npos);
+}
+
+TEST(VmSystem, CmpShootdownsFlowAndStayDeterministic)
+{
+    sim::Job job = vmJob("dgemm", 13);
+    job.cores = 2;
+    job.vmShootdownEvery = 64;
+    const sim::JobResult a = sim::runJob(job);
+    const sim::JobResult b = sim::runJob(job);
+    ASSERT_EQ(a.status, sim::JobStatus::Ok) << a.message;
+    ASSERT_EQ(b.status, sim::JobStatus::Ok) << b.message;
+    EXPECT_EQ(a.statsJson, b.statsJson);
+
+    // IPIs genuinely flowed somewhere in the system.
+    std::uint64_t sent = 0;
+    std::size_t pos = 0;
+    const char *needle = "\"shootdowns_sent\":";
+    while ((pos = a.statsJson.find(needle, pos)) !=
+           std::string::npos) {
+        pos += std::strlen(needle);
+        sent += std::strtoull(a.statsJson.c_str() + pos, nullptr, 10);
+    }
+    EXPECT_GT(sent, 0u);
 }
 
 } // anonymous namespace

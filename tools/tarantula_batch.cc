@@ -109,6 +109,19 @@ usage()
         "  --vls LIST       comma-separated vector lengths (default\n"
         "                   0 = full VL); non-zero entries need\n"
         "                   VL-agnostic workloads (see --list)\n"
+        "  --vm-page-bits LIST  comma-separated log2 page sizes; each\n"
+        "                   adds a VM grid dimension (default 0 = the\n"
+        "                   flat-cost PALcode refill; 29 = the paper's\n"
+        "                   512 MB pages, 13 = 8 KB)\n"
+        "  --vm-walk-levels N   page-table walk depth (default 3)\n"
+        "  --vm-asids N     ASID space; context switches flush\n"
+        "                   selectively when > 1 (default 1)\n"
+        "  --vm-switch-every N  context-switch period in cycles\n"
+        "                   (default 0 = never)\n"
+        "  --vm-shootdown-every N  broadcast a TLB shootdown every\n"
+        "                   N-th insert (default 0 = never)\n"
+        "  --vm-ptes-uncached   force every PTE read to DRAM instead\n"
+        "                   of probing the L2\n"
         "  --jobs N         worker threads (default: host threads)\n"
         "  --json FILE      write the batch report there instead of\n"
         "                   stdout\n"
@@ -225,6 +238,20 @@ run(int argc, char **argv)
             sweep.seeds = next();
         } else if (arg == "--vls") {
             sweep.vls = next();
+        } else if (arg == "--vm-page-bits") {
+            sweep.vmPageBits = next();
+        } else if (arg == "--vm-walk-levels") {
+            sweep.vmWalkLevels =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--vm-asids") {
+            sweep.vmAsids =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--vm-switch-every") {
+            sweep.vmSwitchEvery = parseU64(arg, next());
+        } else if (arg == "--vm-shootdown-every") {
+            sweep.vmShootdownEvery = parseU64(arg, next());
+        } else if (arg == "--vm-ptes-uncached") {
+            sweep.vmPtesUncached = true;
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(parseU64(arg, next()));
         } else if (arg == "--json") {

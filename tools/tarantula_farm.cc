@@ -84,6 +84,11 @@ usage()
         "                   0); parameterize the fuzz/fuzzs families\n"
         "  --vls LIST       comma-separated vector lengths (default\n"
         "                   0 = full VL; needs VL-agnostic workloads)\n"
+        "  --vm-page-bits LIST  comma-separated log2 page sizes; each\n"
+        "                   adds a VM grid dimension (default 0 = the\n"
+        "                   flat-cost PALcode refill)\n"
+        "  --vm-walk-levels N | --vm-asids N | --vm-switch-every N\n"
+        "  --vm-shootdown-every N | --vm-ptes-uncached\n"
         "  --no-pump | --force-crbox | --check | --no-fast-forward\n"
         "  --no-ucache (reference decode-per-step interpreter)\n"
         "  --deadlock-cycles N | --max-cycles N | --faults SPEC\n"
@@ -197,6 +202,20 @@ run(int argc, char **argv)
             sweep.seeds = next();
         } else if (arg == "--vls") {
             sweep.vls = next();
+        } else if (arg == "--vm-page-bits") {
+            sweep.vmPageBits = next();
+        } else if (arg == "--vm-walk-levels") {
+            sweep.vmWalkLevels =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--vm-asids") {
+            sweep.vmAsids =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--vm-switch-every") {
+            sweep.vmSwitchEvery = parseU64(arg, next());
+        } else if (arg == "--vm-shootdown-every") {
+            sweep.vmShootdownEvery = parseU64(arg, next());
+        } else if (arg == "--vm-ptes-uncached") {
+            sweep.vmPtesUncached = true;
         } else if (arg == "--no-pump") {
             sweep.noPump = true;
         } else if (arg == "--force-crbox") {

@@ -82,6 +82,12 @@ usage()
         "                   the clean plan always sweeps first\n"
         "  --vls LIST       comma-separated VL knob values; 0 = the\n"
         "                   full machine VL (default 0)\n"
+        "  --vm-page-bits LIST  comma-separated log2 page sizes; each\n"
+        "                   adds a VM grid dimension (default 0 = the\n"
+        "                   flat-cost PALcode refill); all three\n"
+        "                   engine modes carry the same VM knobs\n"
+        "  --vm-asids N | --vm-switch-every N | --vm-shootdown-every N\n"
+        "                   VM companion knobs on vm-page-bits points\n"
         "  --max-cycles N   per-job simulated-cycle budget\n"
         "  --deadlock-cycles N  no-retirement watchdog on fault\n"
         "                   points (default 500000)\n"
@@ -186,6 +192,15 @@ run(int argc, char **argv)
             opt.faultPlans = next();
         } else if (arg == "--vls") {
             opt.vls = next();
+        } else if (arg == "--vm-page-bits") {
+            opt.vmPageBits = next();
+        } else if (arg == "--vm-asids") {
+            opt.vmAsids =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--vm-switch-every") {
+            opt.vmSwitchEvery = parseU64(arg, next());
+        } else if (arg == "--vm-shootdown-every") {
+            opt.vmShootdownEvery = parseU64(arg, next());
         } else if (arg == "--max-cycles") {
             opt.maxCycles = parseU64(arg, next());
         } else if (arg == "--deadlock-cycles") {

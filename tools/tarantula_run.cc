@@ -90,7 +90,21 @@ usage()
         "                  at each and keep running\n"
         "  --ckpt-out P    checkpoint path prefix (default\n"
         "                  ckpt_<machine>_<workload>)\n"
-        "  --resume FILE   restore a snapshot and run to completion\n");
+        "  --resume FILE   restore a snapshot and run to completion\n"
+        "OS/VM scenario layer (DESIGN.md §15; default off = the flat-\n"
+        "cost PALcode refill, bit-identical to the classic machine):\n"
+        "  --vm-page-bits N  enable page-table walks at log2 page\n"
+        "                  size N (29 = the paper's 512 MB pages,\n"
+        "                  13 = 8 KB)\n"
+        "  --vm-walk-levels N  walk depth (default 3)\n"
+        "  --vm-asids N    ASID space; context switches flush\n"
+        "                  selectively when > 1 (default 1)\n"
+        "  --vm-switch-every N  context-switch period in cycles\n"
+        "                  (default 0 = never)\n"
+        "  --vm-shootdown-every N  broadcast a TLB shootdown every\n"
+        "                  N-th insert (default 0 = never)\n"
+        "  --vm-ptes-uncached  force every PTE read to DRAM instead\n"
+        "                  of probing the L2\n");
 }
 
 void
@@ -140,6 +154,12 @@ run(int argc, char **argv)
     std::string ckpt_at_spec;
     std::string ckpt_out;
     std::string resume_file;
+    unsigned vm_page_bits = 0;
+    unsigned vm_walk_levels = 0;
+    unsigned vm_asids = 0;
+    std::uint64_t vm_switch_every = 0;
+    std::uint64_t vm_shootdown_every = 0;
+    bool vm_ptes_uncached = false;
 
     // Accept --opt=value alongside --opt value: split at the first
     // '=' so both spellings hit the same parser below.
@@ -204,6 +224,20 @@ run(int argc, char **argv)
             ckpt_out = next();
         } else if (arg == "--resume") {
             resume_file = next();
+        } else if (arg == "--vm-page-bits") {
+            vm_page_bits =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--vm-walk-levels") {
+            vm_walk_levels =
+                static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--vm-asids") {
+            vm_asids = static_cast<unsigned>(parseU64(arg, next()));
+        } else if (arg == "--vm-switch-every") {
+            vm_switch_every = parseU64(arg, next());
+        } else if (arg == "--vm-shootdown-every") {
+            vm_shootdown_every = parseU64(arg, next());
+        } else if (arg == "--vm-ptes-uncached") {
+            vm_ptes_uncached = true;
         } else if (arg == "--list") {
             listWorkloads();
             return 0;
@@ -245,6 +279,21 @@ run(int argc, char **argv)
     cfg.trace.sampleStats = sample_stats;
 
     cfg.cmp.numCores = cores;
+
+    if (vm_page_bits) {
+        cfg.vm.enabled = true;
+        cfg.vm.pageBits = vm_page_bits;
+        if (vm_walk_levels)
+            cfg.vm.walkLevels = vm_walk_levels;
+        if (vm_asids)
+            cfg.vm.asids = vm_asids;
+        cfg.vm.switchEvery = vm_switch_every;
+        cfg.vm.shootdownEvery = vm_shootdown_every;
+        cfg.vm.ptesCacheable = !vm_ptes_uncached;
+    } else if (vm_walk_levels || vm_asids || vm_switch_every ||
+               vm_shootdown_every || vm_ptes_uncached) {
+        fatal("--vm-* knobs need --vm-page-bits (the VM master gate)");
+    }
 
     // CMP placement: "a,b" on 4 cores runs a on 0/2, b on 1/3.
     std::vector<std::string> names;
@@ -342,6 +391,12 @@ run(int argc, char **argv)
     record.job.sampleEvery = sample_every;
     record.job.sampleStats = sample_stats;
     record.job.resumeFrom = resume_file;
+    record.job.vmPageBits = vm_page_bits;
+    record.job.vmWalkLevels = vm_walk_levels;
+    record.job.vmAsids = vm_asids;
+    record.job.vmSwitchEvery = vm_switch_every;
+    record.job.vmShootdownEvery = vm_shootdown_every;
+    record.job.vmPtesUncached = vm_ptes_uncached;
     auto writeTrace = [&] {
         if (trace_file.empty())
             return;
